@@ -1,0 +1,93 @@
+// Ablation A2 — probabilistic engine design choices: value-iteration
+// convergence threshold, qualitative precomputation on/off, and the digital
+// clock granularity (scaling TD and the timeout together), all on the BRP.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "models/brp.h"
+#include "pta/digital_clocks.h"
+#include "pta/properties.h"
+
+using namespace quanta;
+
+int main() {
+  bench::section("A2a: value-iteration epsilon sweep (BRP P1)");
+  auto brp = models::make_brp();
+  auto dm = pta::build_digital_mdp(brp.system);
+  auto goal = [&brp](const ta::DigitalState& s) { return brp.no_success(s.locs); };
+  double reference = brp.analytic_p1();
+
+  bench::Table eps_table({"epsilon", "P1", "abs err vs analytic", "iterations"});
+  for (double eps : {1e-3, 1e-6, 1e-9, 1e-12}) {
+    mdp::ViOptions opts;
+    opts.epsilon = eps;
+    auto r = pta::pmax_reach(dm, goal, opts);
+    eps_table.row({bench::fmt(eps, "%.0e"), bench::fmt(r.value, "%.6e"),
+                   bench::fmt(std::abs(r.value - reference), "%.1e"),
+                   std::to_string(r.iterations)});
+  }
+  eps_table.print();
+
+  bench::section("A2a': interval iteration — certified brackets for P1");
+  {
+    bench::Table ii_table({"epsilon", "lower", "upper", "certified width",
+                           "iterations"});
+    for (double eps : {1e-3, 1e-6, 1e-9}) {
+      auto goal_set = dm.states_where(goal);
+      auto ii = mdp::interval_iteration(dm.mdp, goal_set, mdp::Objective::kMax,
+                                        eps);
+      ii_table.row({bench::fmt(eps, "%.0e"),
+                    bench::fmt(ii.lower[static_cast<std::size_t>(dm.mdp.initial())], "%.6e"),
+                    bench::fmt(ii.upper[static_cast<std::size_t>(dm.mdp.initial())], "%.6e"),
+                    bench::fmt(ii.width_at_initial(dm.mdp), "%.1e"),
+                    std::to_string(ii.iterations)});
+    }
+    ii_table.print();
+    std::printf("\n  expected: unlike plain VI at loose epsilon (above), the\n"
+                "  bracket always *contains* the true value — the width is an\n"
+                "  honest error certificate.\n");
+  }
+
+  bench::section("A2b: qualitative precomputation on/off (BRP P1, PA)");
+  {
+    bench::Table pre({"precomputation", "P1", "PA", "P1 iterations"});
+    for (bool use_pre : {true, false}) {
+      mdp::ViOptions opts;
+      opts.use_precomputation = use_pre;
+      auto p1 = pta::pmax_reach(dm, goal, opts);
+      auto pa = pta::pmax_reach(dm, [&brp](const ta::DigitalState& s) {
+                  return brp.is_fail_nok(s.locs) && brp.complete_file(s.vars);
+                }, opts);
+      pre.row({use_pre ? "on" : "off", bench::fmt(p1.value, "%.6e"),
+               bench::fmt(pa.value, "%.3g"), std::to_string(p1.iterations)});
+    }
+    pre.print();
+    std::printf("\n  expected: identical probabilities; with precomputation PA\n"
+                "  is *exactly* 0 (graph argument) instead of numerically 0.\n");
+  }
+
+  bench::section("A2c: digital-clock granularity (scale TD, TO together)");
+  {
+    bench::Table gran({"TD", "TO", "MDP states", "P1", "Emax", "build+query [s]"});
+    for (int td : {1, 2, 3}) {
+      models::BrpParams params;
+      params.td = td;  // timeout defaults to 2*TD+1
+      auto b = models::make_brp(params);
+      bench::Stopwatch sw;
+      auto m = pta::build_digital_mdp(b.system);
+      auto p1 = pta::pmax_reach(m, [&b](const ta::DigitalState& s) {
+                  return b.no_success(s.locs);
+                }).value;
+      auto emax = pta::emax_time(m, [&b](const ta::DigitalState& s) {
+                    return b.is_done(s.locs);
+                  }).value;
+      gran.row({std::to_string(td), std::to_string(b.params.effective_timeout()),
+                std::to_string(m.mdp.num_states()), bench::fmt(p1, "%.4e"),
+                bench::fmt(emax, "%.4g"), bench::fmt(sw.seconds(), "%.2f")});
+    }
+    gran.print();
+    std::printf("\n  expected: P1 is granularity-independent (it depends only on\n"
+                "  loss probabilities); Emax and the state count scale with TD.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Experiment E6 — §IV / Fig. 6: the DALA rover functional level in BIP.
+// Reports: state-space size, safety of the controlled system, rule
+// violations of the unprotected baseline, deadlock-freedom by exact search
+// and by D-Finder, fault-injection run statistics, and the flattening
+// transformation.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bip/dfinder.h"
+#include "bip/flatten.h"
+#include "models/dala.h"
+
+using namespace quanta;
+
+namespace {
+
+struct RunStats {
+  std::size_t runs = 0;
+  std::size_t unsafe_visits = 0;
+  std::size_t runs_with_violation = 0;
+};
+
+RunStats fault_injection(const models::Dala& d, int runs, int steps,
+                         std::uint64_t seed) {
+  bip::Engine engine(d.system);
+  common::Rng rng(seed);
+  RunStats stats;
+  for (int r = 0; r < runs; ++r) {
+    engine.reset();
+    std::size_t before = stats.unsafe_visits;
+    engine.run(static_cast<std::size_t>(steps), rng,
+               [&d, &stats](const bip::BipState& s) {
+                 if (!d.safe(s)) ++stats.unsafe_visits;
+                 return true;
+               });
+    ++stats.runs;
+    if (stats.unsafe_visits > before) ++stats.runs_with_violation;
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::section("E6: BIP / DALA rover — controller synthesis by construction");
+
+  bench::Table table({"variant", "states", "R1+R2 hold", "deadlock-free",
+                      "D-Finder verdict", "time [s]"});
+  for (bool with_controller : {true, false}) {
+    models::DalaOptions opts{with_controller};
+    auto d = models::make_dala(opts);
+    bench::Stopwatch sw;
+    auto exact = bip::explore(d.system, bip::ExploreOptions{},
+                              [&d](const bip::BipState& s) { return d.safe(s); });
+    auto df = bip::dfinder_deadlock_check(d.system);
+    table.row({with_controller ? "with R2C controller" : "unprotected",
+               std::to_string(exact.states),
+               exact.violation_found ? "VIOLATED" : "yes",
+               exact.deadlock_found ? "NO" : "yes",
+               df.deadlock_free
+                   ? "deadlock-free"
+                   : std::to_string(df.candidates) + " candidate(s)",
+               bench::fmt(sw.seconds(), "%.2f")});
+  }
+  table.print();
+
+  bench::section("Fault injection: 200 random runs x 500 interactions");
+  bench::Table fi({"variant", "runs", "runs hitting unsafe", "unsafe visits"});
+  for (bool with_controller : {true, false}) {
+    auto d = models::make_dala({with_controller});
+    auto stats = fault_injection(d, 200, 500, 0xDA1A);
+    fi.row({with_controller ? "with R2C controller" : "unprotected",
+            std::to_string(stats.runs),
+            std::to_string(stats.runs_with_violation),
+            std::to_string(stats.unsafe_visits)});
+  }
+  fi.print();
+  std::printf("\n  expected (paper): the synthesized controller stops the robot\n"
+              "  from reaching undesired/unsafe states; the baseline does not.\n");
+
+  bench::section("Source-to-source flattening ([24])");
+  {
+    auto d = models::make_dala({.with_controller = true});
+    bench::Stopwatch sw;
+    auto flat = bip::flatten(d.system);
+    std::printf("  flat component: %d places, %zu transitions (%.2fs)\n",
+                flat.flat.place_count(), flat.flat.transitions().size(),
+                sw.seconds());
+    std::printf("  components before flattening: %d\n",
+                d.system.component_count());
+  }
+  return 0;
+}

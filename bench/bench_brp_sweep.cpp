@@ -1,0 +1,43 @@
+// Experiment E5 — the Fig. 5 lossy-channel component, swept: P1 (probability
+// the sender cannot report success) as a function of the per-message loss
+// probability and the retransmission bound, model-checked on the digital
+// MDP and cross-checked against the closed form.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "models/brp.h"
+#include "pta/digital_clocks.h"
+#include "pta/properties.h"
+
+using namespace quanta;
+
+int main() {
+  bench::section("E5: lossy-channel sweep — P1 vs loss rate and MAX");
+
+  bench::Table table({"msg loss", "ack loss", "MAX", "P1 (model)",
+                      "P1 (analytic)", "rel. err", "MDP states"});
+  for (double loss : {0.01, 0.02, 0.05, 0.10}) {
+    for (int max_r : {1, 2, 3}) {
+      models::BrpParams params;
+      params.frames = 16;
+      params.max_retrans = max_r;
+      params.msg_loss = loss;
+      params.ack_loss = loss / 2.0;
+      auto brp = models::make_brp(params);
+      auto dm = pta::build_digital_mdp(brp.system);
+      double p1 = pta::pmax_reach(dm, [&brp](const ta::DigitalState& s) {
+                    return brp.no_success(s.locs);
+                  }).value;
+      double ref = brp.analytic_p1();
+      table.row({bench::fmt(loss, "%.2f"), bench::fmt(loss / 2.0, "%.3f"),
+                 std::to_string(max_r), bench::fmt(p1, "%.4e"),
+                 bench::fmt(ref, "%.4e"),
+                 bench::fmt(std::abs(p1 - ref) / ref, "%.1e"),
+                 std::to_string(dm.mdp.num_states())});
+    }
+  }
+  table.print();
+  std::printf("\n  expected: model and closed form agree to numerical\n"
+              "  precision; P1 falls steeply with MAX and rises with loss.\n");
+  return 0;
+}

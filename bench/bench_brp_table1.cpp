@@ -1,0 +1,185 @@
+// Experiment E4 — the paper's Table I: "Results for the BRP model,
+// parameters (N, MAX, TD) = (16, 2, 1)", reproduced through the three
+// analysis routes of the MODEST single-formalism approach:
+//   mctau : TA overapproximation, checked by the zone-based engine;
+//   mcpta : digital-clocks MDP, checked by value iteration (PRISM-style);
+//   modes : discrete-event simulation, 10k runs, ALAP scheduler.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "models/brp.h"
+#include "pta/digital_clocks.h"
+#include "pta/properties.h"
+#include "sta/des.h"
+#include "sta/mctau.h"
+#include "sta/sta.h"
+
+using namespace quanta;
+using bench::fmt;
+
+namespace {
+
+std::string mu_sigma(double mu, double sigma) {
+  return "mu=" + fmt(mu, "%.4g") + ", sigma=" + fmt(sigma, "%.2g");
+}
+
+}  // namespace
+
+int main() {
+  bench::section("Table I: BRP (N, MAX, TD) = (16, 2, 1)");
+  bench::Stopwatch total;
+
+  auto brp = models::make_brp();
+  std::printf("  model class: %s (analysed as TA / PTA / via simulation)\n",
+              sta::to_string(sta::classify(brp.system)));
+  std::printf("  analytic reference: P1 = %.4g, P2 = %.4g\n\n",
+              brp.analytic_p1(), brp.analytic_p2());
+
+  const int to = brp.params.effective_timeout();
+
+  // ---------------- mctau column ------------------------------------------
+  bench::Stopwatch sw;
+  bool ta1_mctau = sta::mctau_invariant(
+      brp.system, [&brp, to](const ta::SymState& s) {
+        bool can_expire =
+            brp.sender_waiting(s.locs) &&
+            s.zone.satisfies(0, brp.clk_x, dbm::bound_le(-to));
+        return !(can_expire && brp.channels_busy(s.locs));
+      });
+  bool ta2_mctau = sta::mctau_invariant(
+      brp.system, [&brp](const ta::SymState& s) { return brp.ta2_ok(s.vars); });
+  auto pa_mctau = sta::mctau_reach_probability(
+      brp.system, [&brp](const ta::SymState& s) {
+        return brp.is_fail_nok(s.locs) && brp.complete_file(s.vars);
+      });
+  auto pb_mctau = sta::mctau_reach_probability(
+      brp.system, [&brp](const ta::SymState& s) {
+        return brp.is_success(s.locs) && !brp.complete_file(s.vars);
+      });
+  auto p1_mctau = sta::mctau_reach_probability(
+      brp.system,
+      [&brp](const ta::SymState& s) { return brp.no_success(s.locs); });
+  auto p2_mctau = sta::mctau_reach_probability(
+      brp.system,
+      [&brp](const ta::SymState& s) { return brp.is_fail_dk(s.locs); });
+  double t_mctau = sw.seconds();
+
+  // ---------------- mcpta column ------------------------------------------
+  sw.reset();
+  auto dm = pta::build_digital_mdp(brp.system);
+  bool ta1_mcpta =
+      pta::check_invariant(dm, [&brp, to](const ta::DigitalState& s) {
+        bool timer_expired =
+            brp.sender_waiting(s.locs) &&
+            s.clocks[static_cast<std::size_t>(brp.clk_x)] >= to;
+        return !(timer_expired && brp.channels_busy(s.locs));
+      }).holds;
+  bool ta2_mcpta =
+      pta::check_invariant(dm, [&brp](const ta::DigitalState& s) {
+        return brp.ta2_ok(s.vars);
+      }).holds;
+  double pa_mcpta =
+      pta::pmax_reach(dm, [&brp](const ta::DigitalState& s) {
+        return brp.is_fail_nok(s.locs) && brp.complete_file(s.vars);
+      }).value;
+  double pb_mcpta =
+      pta::pmax_reach(dm, [&brp](const ta::DigitalState& s) {
+        return brp.is_success(s.locs) && !brp.complete_file(s.vars);
+      }).value;
+  double p1_mcpta = pta::pmax_reach(dm, [&brp](const ta::DigitalState& s) {
+                      return brp.no_success(s.locs);
+                    }).value;
+  double p2_mcpta = pta::pmax_reach(dm, [&brp](const ta::DigitalState& s) {
+                      return brp.is_fail_dk(s.locs);
+                    }).value;
+  double emax_mcpta = pta::emax_time(dm, [&brp](const ta::DigitalState& s) {
+                        return brp.is_done(s.locs);
+                      }).value;
+
+  // Dmax needs the global-clock variant of the model.
+  models::BrpParams gp;
+  gp.global_clock = true;
+  auto brpg = models::make_brp(gp);
+  auto dmg = pta::build_digital_mdp(brpg.system);
+  int gt = brpg.clk_gt;
+  double dmax_mcpta =
+      pta::pmax_reach(dmg, [&brpg, gt](const ta::DigitalState& s) {
+        return brpg.is_success(s.locs) &&
+               s.clocks[static_cast<std::size_t>(gt)] <= 64;
+      }).value;
+  double t_mcpta = sw.seconds();
+
+  // ---------------- modes column ------------------------------------------
+  sw.reset();
+  const std::size_t kRuns = 10000;
+  sta::DesOptions des_opts;
+  des_opts.policy = sta::SchedulerPolicy::kAlap;  // the explicitly specified
+                                                  // scheduler of the paper
+  auto terminal =
+      [&brp](const ta::ConcreteState& s) { return brp.is_done(s.locs); };
+  std::vector<sta::DesPredicate> watch = {
+      [&brp](const ta::ConcreteState& s) { return brp.no_success(s.locs); },
+      [&brp](const ta::ConcreteState& s) { return brp.is_fail_dk(s.locs); },
+      [&brp](const ta::ConcreteState& s) {
+        return brp.is_fail_nok(s.locs) && brp.complete_file(s.vars);
+      },
+      [&brp](const ta::ConcreteState& s) {
+        return brp.is_success(s.locs) && !brp.complete_file(s.vars);
+      },
+  };
+  std::vector<sta::DesPredicate> monitors = {
+      [&brp](const ta::ConcreteState& s) { return brp.ta2_ok(s.vars); },
+  };
+  auto ens = sta::run_ensemble(brp.system, kRuns, 20120312, des_opts, terminal,
+                               watch, monitors);
+  // Dmax via simulation: success within 64 time units.
+  sta::DesSimulator dmax_sim(brp.system, 4242, des_opts);
+  std::size_t dmax_hits = 0;
+  common::RunningStats dmax_stats;
+  for (std::size_t r = 0; r < kRuns; ++r) {
+    auto run = dmax_sim.run(terminal,
+                            {[&brp](const ta::ConcreteState& s) {
+                              return brp.is_success(s.locs);
+                            }});
+    bool hit = run.first_hit[0] >= 0.0 && run.first_hit[0] <= 64.0;
+    if (hit) ++dmax_hits;
+    dmax_stats.add(hit ? 1.0 : 0.0);
+  }
+  double t_modes = sw.seconds();
+
+  auto obs = [kRuns](std::size_t hits) {
+    if (hits == 0) {
+      return std::string("0 (no observations in ") + std::to_string(kRuns) +
+             " runs)";
+    }
+    double mu = static_cast<double>(hits) / static_cast<double>(kRuns);
+    return mu_sigma(mu, std::sqrt(mu * (1 - mu)));
+  };
+
+  bench::Table table({"property", "mctau", "mcpta", "modes (10k runs, ALAP)"});
+  table.row({"TA1", ta1_mctau ? "true" : "FALSE", ta1_mcpta ? "true" : "FALSE",
+             "true (all runs)"});
+  table.row({"TA2", ta2_mctau ? "true" : "FALSE", ta2_mcpta ? "true" : "FALSE",
+             ens.monitor_violations[0] == 0 ? "true (all runs)" : "VIOLATED"});
+  table.row({"PA", pa_mctau.to_string(), fmt(pa_mcpta), obs(ens.watch_hits[2])});
+  table.row({"PB", pb_mctau.to_string(), fmt(pb_mcpta), obs(ens.watch_hits[3])});
+  table.row({"P1", p1_mctau.to_string(), fmt(p1_mcpta, "%.4g"),
+             obs(ens.watch_hits[0])});
+  table.row({"P2", p2_mctau.to_string(), fmt(p2_mcpta, "%.4g"),
+             obs(ens.watch_hits[1])});
+  table.row({"Dmax", "[0, 1]", fmt(dmax_mcpta, "%.6g"),
+             mu_sigma(dmax_stats.mean(), dmax_stats.stddev())});
+  table.row({"Emax", "n/a", fmt(emax_mcpta, "%.5g"),
+             mu_sigma(ens.end_time.mean(), ens.end_time.stddev())});
+  table.print();
+
+  std::printf(
+      "\n  paper values (mcpta): P1=4.233e-4  P2=2.645e-5  Dmax=9.996e-1  "
+      "Emax=33.473\n");
+  std::printf("  timings: mctau %.2fs, mcpta %.2fs (MDP: %d + %d states), "
+              "modes %.2fs\n",
+              t_mctau, t_mcpta, dm.mdp.num_states(), dmg.mdp.num_states(),
+              t_modes);
+  std::printf("  total %.2fs\n", total.seconds());
+  return 0;
+}

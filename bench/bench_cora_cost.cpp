@@ -1,0 +1,92 @@
+// Experiment E8 — §II (UPPAAL-CORA): minimum-cost reachability on a priced
+// train-gate, WCET-style. Waiting in Appr and Stop accrues cost; the engine
+// finds the cheapest schedule for a given train to cross, swept over the
+// number of competing trains and the waiting rates.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cora/priced.h"
+#include "models/train_gate.h"
+
+using namespace quanta;
+
+namespace {
+
+cora::MinCostResult train_cost(int trains, std::int64_t appr_rate,
+                               std::int64_t stop_rate, int target_train) {
+  auto tg = models::make_train_gate(trains);
+  cora::PriceModel prices(tg.system);
+  for (int t : tg.trains) {
+    const auto& proc = tg.system.process(t);
+    prices.set_location_rate(t, proc.location_index("Appr"), appr_rate);
+    prices.set_location_rate(t, proc.location_index("Stop"), stop_rate);
+  }
+  int cross =
+      tg.system.process(tg.trains[static_cast<std::size_t>(target_train)])
+          .location_index("Cross");
+  int p = tg.trains[static_cast<std::size_t>(target_train)];
+  return cora::min_cost_reachability(
+      tg.system, prices, [p, cross](const ta::DigitalState& s) {
+        return s.locs[static_cast<std::size_t>(p)] == cross;
+      });
+}
+
+}  // namespace
+
+int main() {
+  bench::section("E8: UPPAAL-CORA minimum-cost reachability (priced train-gate)");
+
+  bench::Table table({"trains", "appr rate", "stop rate", "goal",
+                      "min cost", "states", "time [s]"});
+  for (int n = 1; n <= 3; ++n) {
+    bench::Stopwatch sw;
+    auto r = train_cost(n, 1, 1, 0);
+    table.row({std::to_string(n), "1", "1", "Train(0).Cross",
+               r.reachable ? std::to_string(r.cost) : "unreachable",
+               std::to_string(r.states_explored),
+               bench::fmt(sw.seconds(), "%.2f")});
+  }
+  // Rate sweep: pricier waiting in Appr does not change the optimal plan
+  // (train 0 can always approach alone), it scales the cost.
+  for (std::int64_t rate : {2, 5}) {
+    bench::Stopwatch sw;
+    auto r = train_cost(2, rate, 1, 0);
+    table.row({"2", std::to_string(rate), "1", "Train(0).Cross",
+               r.reachable ? std::to_string(r.cost) : "unreachable",
+               std::to_string(r.states_explored),
+               bench::fmt(sw.seconds(), "%.2f")});
+  }
+  // Forced-waiting query: train 0 must have sat in Stop for at least 8 time
+  // units. Now waiting cost is unavoidable and the queueing dynamics (a
+  // second train must occupy the bridge) enter the optimum.
+  {
+    auto tg = models::make_train_gate(2);
+    cora::PriceModel prices(tg.system);
+    for (int t : tg.trains) {
+      const auto& proc = tg.system.process(t);
+      prices.set_location_rate(t, proc.location_index("Appr"), 1);
+      prices.set_location_rate(t, proc.location_index("Stop"), 1);
+    }
+    // x0 counts from train 0's approach; make sure its digital cap covers 8.
+    int stop0 = tg.system.process(tg.trains[0]).location_index("Stop");
+    int p0 = tg.trains[0];
+    int x0 = tg.train_clock[0];
+    bench::Stopwatch sw;
+    auto r = cora::min_cost_reachability(
+        tg.system, prices, [p0, stop0, x0](const ta::DigitalState& s) {
+          return s.locs[static_cast<std::size_t>(p0)] == stop0 &&
+                 s.clocks[static_cast<std::size_t>(x0)] >= 8;
+        });
+    table.row({"2", "1", "1", "T0 stopped >= 8",
+               r.reachable ? std::to_string(r.cost) : "unreachable",
+               std::to_string(r.states_explored),
+               bench::fmt(sw.seconds(), "%.2f")});
+  }
+  table.print();
+  std::printf(
+      "\n  expected: cost 10*rate for a lone approach (the mandatory x>=10 in\n"
+      "  Appr). In the forced-waiting query the optimiser still schedules the\n"
+      "  blocking train just-in-time, so the cost is train 0's own 8 units\n"
+      "  plus the minimal overlap of the blocker's approach.\n");
+  return 0;
+}

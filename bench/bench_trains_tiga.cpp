@@ -1,0 +1,91 @@
+// Experiment E2 — §II.A.b / Fig. 2-3: controller synthesis for the timed
+// game version of the trains. Solves the safety game (mutual exclusion on
+// the bridge) and a reachability game, verifies the synthesized strategies
+// in closed loop, and shows the controllability ablation (no controllable
+// edges -> no winning strategy).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "game/tiga.h"
+#include "models/train_game.h"
+
+using namespace quanta;
+
+int main() {
+  bench::section("E2: UPPAAL-TIGA synthesis on the train game (Fig. 2-3)");
+
+  bench::Table table({"instance", "objective", "winning?", "game states",
+                      "winning states", "strategy verified", "time [s]"});
+
+  for (int n = 1; n <= 2; ++n) {
+    // Safety game: never two trains on the bridge.
+    {
+      auto tg = models::make_train_game({.num_trains = n});
+      bench::Stopwatch sw;
+      game::TimedGame g(tg.system);
+      auto safe = [&tg](const ta::DigitalState& s) { return tg.mutex_ok(s.locs); };
+      auto result = g.solve_safety(safe);
+      bool verified =
+          result.controller_wins &&
+          game::verify_safety_strategy(tg.system, result.strategy, safe);
+      table.row({std::to_string(n) + " train(s)", "safety (mutex)",
+                 result.controller_wins ? "yes" : "no",
+                 std::to_string(result.states_explored),
+                 std::to_string(result.winning_states),
+                 verified ? "yes" : "NO", bench::fmt(sw.seconds(), "%.2f")});
+    }
+    // Reachability game: train 0 (already approaching) eventually crosses.
+    {
+      auto tg = models::make_train_game(
+          {.num_trains = n, .first_train_approaching = true});
+      bench::Stopwatch sw;
+      game::TimedGame g(tg.system);
+      auto goal = [&tg](const ta::DigitalState& s) {
+        return s.locs[static_cast<std::size_t>(tg.trains[0])] == tg.l_cross;
+      };
+      auto result = g.solve_reachability(goal);
+      bool verified =
+          result.controller_wins &&
+          game::verify_reach_strategy(tg.system, result.strategy, goal);
+      table.row({std::to_string(n) + " train(s)", "reach (T0 crosses)",
+                 result.controller_wins ? "yes" : "no",
+                 std::to_string(result.states_explored),
+                 std::to_string(result.winning_states),
+                 verified ? "yes" : "NO", bench::fmt(sw.seconds(), "%.2f")});
+    }
+  }
+
+  // Ablations: objectives that must NOT be winnable.
+  {
+    auto tg = models::make_train_game({.num_trains = 1});
+    game::TimedGame g(tg.system);
+    auto result = g.solve_reachability([&tg](const ta::DigitalState& s) {
+      return s.locs[static_cast<std::size_t>(tg.trains[0])] == tg.l_cross;
+    });
+    table.row({"1 train, from Safe", "reach (T0 crosses)",
+               result.controller_wins ? "YES (unexpected)" : "no (env may idle)",
+               std::to_string(result.states_explored),
+               std::to_string(result.winning_states), "-", "-"});
+  }
+  {
+    auto tg = models::make_train_game({.num_trains = 2});
+    for (int t : tg.trains) {
+      for (auto& e : tg.system.process_mut(t).edges) e.controllable = false;
+    }
+    for (auto& e : tg.system.process_mut(tg.controller).edges) {
+      e.controllable = false;
+    }
+    game::TimedGame g(tg.system);
+    auto result = g.solve_safety(
+        [&tg](const ta::DigitalState& s) { return tg.mutex_ok(s.locs); });
+    table.row({"2 trains, no control", "safety (mutex)",
+               result.controller_wins ? "YES (unexpected)" : "no",
+               std::to_string(result.states_explored),
+               std::to_string(result.winning_states), "-", "-"});
+  }
+  table.print();
+  std::printf(
+      "\n  expected: both objectives winnable with control (strategy verified\n"
+      "  in closed loop); unwinnable without control or from an idle train.\n");
+  return 0;
+}

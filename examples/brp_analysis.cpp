@@ -1,0 +1,61 @@
+// The MODEST single-formalism, multi-solution workflow (§III) on the BRP:
+// one model, three analysis routes. Mirrors the narrative of the paper —
+// first a quick nonprobabilistic check with mctau for model debugging, then
+// the full probabilistic analysis with mcpta, then simulation with modes.
+#include <cstdio>
+
+#include "models/brp.h"
+#include "pta/digital_clocks.h"
+#include "pta/properties.h"
+#include "sta/des.h"
+#include "sta/mctau.h"
+#include "sta/sta.h"
+
+using namespace quanta;
+
+int main() {
+  auto brp = models::make_brp();  // N=16, MAX=2, TD=1
+  std::printf("BRP model: %d processes, %d clocks, class %s\n",
+              brp.system.process_count(), brp.system.clock_count(),
+              sta::to_string(sta::classify(brp.system)));
+
+  // ---- Step 1: mctau — fast qualitative debugging -------------------------
+  std::printf("\n[mctau] overapproximating probabilistic choices...\n");
+  bool ta2 = sta::mctau_invariant(
+      brp.system, [&brp](const ta::SymState& s) { return brp.ta2_ok(s.vars); });
+  auto p1_bound = sta::mctau_reach_probability(
+      brp.system,
+      [&brp](const ta::SymState& s) { return brp.no_success(s.locs); });
+  std::printf("  TA2 (failure handling)  : %s\n", ta2 ? "true" : "FALSE");
+  std::printf("  P1  (no success)        : %s  <- needs a probabilistic engine\n",
+              p1_bound.to_string().c_str());
+
+  // ---- Step 2: mcpta — exact probabilistic model checking -----------------
+  std::printf("\n[mcpta] digital clocks -> MDP -> value iteration...\n");
+  auto dm = pta::build_digital_mdp(brp.system);
+  std::printf("  MDP: %d states, %lld choices\n", dm.mdp.num_states(),
+              static_cast<long long>(dm.mdp.num_choices()));
+  auto p1 = pta::pmax_reach(
+      dm, [&brp](const ta::DigitalState& s) { return brp.no_success(s.locs); });
+  auto emax = pta::emax_time(
+      dm, [&brp](const ta::DigitalState& s) { return brp.is_done(s.locs); });
+  std::printf("  P1   = %.6e  (analytic: %.6e)\n", p1.value, brp.analytic_p1());
+  std::printf("  Emax = %.3f time units until the transfer finishes\n",
+              emax.value);
+
+  // ---- Step 3: modes — simulation with an explicit scheduler --------------
+  std::printf("\n[modes] 10000 ALAP-scheduled simulation runs...\n");
+  sta::DesOptions opts;
+  opts.policy = sta::SchedulerPolicy::kAlap;
+  auto ens = sta::run_ensemble(
+      brp.system, 10000, 7, opts,
+      [&brp](const ta::ConcreteState& s) { return brp.is_done(s.locs); },
+      {[&brp](const ta::ConcreteState& s) { return brp.no_success(s.locs); }});
+  std::printf("  transfer time: mu=%.3f sigma=%.3f (min %.1f, max %.1f)\n",
+              ens.end_time.mean(), ens.end_time.stddev(), ens.end_time.min(),
+              ens.end_time.max());
+  std::printf("  'no success' observed in %zu/10000 runs — a rare event that\n"
+              "  simulation hardly sees but mcpta quantifies exactly.\n",
+              ens.watch_hits[0]);
+  return 0;
+}

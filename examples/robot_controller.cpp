@@ -1,0 +1,86 @@
+// Component-based design of an autonomous system (§IV): assembling the DALA
+// rover's functional level in BIP, verifying it, and watching the R2C
+// execution controller block unsafe interactions at run time.
+#include <cstdio>
+
+#include "bip/dfinder.h"
+#include "models/dala.h"
+
+using namespace quanta;
+
+namespace {
+
+void describe(const models::Dala& d) {
+  std::printf("  components:");
+  for (int c = 0; c < d.system.component_count(); ++c) {
+    std::printf(" %s", d.system.component(c).name().c_str());
+  }
+  std::printf("\n  connectors:");
+  for (int c = 0; c < d.system.connector_count(); ++c) {
+    std::printf(" %s", d.system.connector(c).name.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  auto controlled = models::make_dala({.with_controller = true});
+  std::printf("DALA functional level (with R2C execution controller):\n");
+  describe(controlled);
+
+  // ---- Verification ---------------------------------------------------------
+  auto exact = bip::explore(controlled.system, bip::ExploreOptions{},
+                            [&controlled](const bip::BipState& s) {
+                              return controlled.safe(s);
+                            });
+  std::printf("\n  exhaustive search : %zu states, safety %s, %s\n",
+              exact.states, exact.violation_found ? "VIOLATED" : "holds",
+              exact.deadlock_found ? "DEADLOCK found" : "deadlock-free");
+  auto df = bip::dfinder_deadlock_check(controlled.system);
+  std::printf("  D-Finder          : %s (%zu interaction invariants)\n",
+              df.deadlock_free ? "deadlock-freedom proven compositionally"
+                               : "potential deadlocks remain",
+              df.trap_invariants);
+
+  // ---- Execution with a narrated run ----------------------------------------
+  std::printf("\n  running the engine for 20 interactions:\n");
+  bip::Engine engine(controlled.system);
+  common::Rng rng(7);
+  int shown = 0;
+  while (shown < 20) {
+    auto choices = engine.enabled_maximal(engine.current());
+    if (choices.empty()) break;
+    const auto& i = choices[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(choices.size()) - 1))];
+    if (i.connector >= 0) {  // narrate only coordinated steps
+      std::printf("    %2d. %s\n", ++shown,
+                  i.describe(controlled.system).c_str());
+    } else {
+      ++shown;
+    }
+    engine.corrupt(engine.apply(engine.current(), i));
+  }
+
+  // ---- Fault injection comparison -------------------------------------------
+  std::printf("\nFault-injection comparison (300 runs x 400 interactions):\n");
+  for (bool with_controller : {false, true}) {
+    auto d = models::make_dala({with_controller});
+    bip::Engine e(d.system);
+    common::Rng r(99);
+    std::size_t unsafe = 0;
+    for (int run = 0; run < 300; ++run) {
+      e.reset();
+      e.run(400, r, [&d, &unsafe](const bip::BipState& s) {
+        if (!d.safe(s)) ++unsafe;
+        return true;
+      });
+    }
+    std::printf("  %-18s : %zu unsafe states visited\n",
+                with_controller ? "with controller" : "unprotected", unsafe);
+  }
+  std::printf("\n  The controller enforces by construction that the antenna\n"
+              "  never transmits while driving and the laser only scans with\n"
+              "  the platine locked.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "bip/component.h"
+
+#include <stdexcept>
+
+namespace quanta::bip {
+
+int Component::add_place(std::string name) {
+  places_.push_back(std::move(name));
+  return static_cast<int>(places_.size()) - 1;
+}
+
+int Component::add_port(std::string name) {
+  ports_.push_back(std::move(name));
+  return static_cast<int>(ports_.size()) - 1;
+}
+
+int Component::add_transition(int source, int target, int port, Guard guard,
+                              Action action, std::string label) {
+  transitions_.push_back(Transition{source, target, port, std::move(guard),
+                                    std::move(action), std::move(label)});
+  return static_cast<int>(transitions_.size()) - 1;
+}
+
+int Component::place_index(const std::string& name) const {
+  for (std::size_t i = 0; i < places_.size(); ++i) {
+    if (places_[i] == name) return static_cast<int>(i);
+  }
+  throw std::out_of_range("component " + name_ + ": unknown place " + name);
+}
+
+int Component::port_index(const std::string& name) const {
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (ports_[i] == name) return static_cast<int>(i);
+  }
+  throw std::out_of_range("component " + name_ + ": unknown port " + name);
+}
+
+std::vector<int> Component::transitions_from(int place, int port) const {
+  std::vector<int> result;
+  for (std::size_t i = 0; i < transitions_.size(); ++i) {
+    if (transitions_[i].source == place && transitions_[i].port == port) {
+      result.push_back(static_cast<int>(i));
+    }
+  }
+  return result;
+}
+
+void Component::validate() const {
+  if (places_.empty()) {
+    throw std::invalid_argument("component " + name_ + ": no places");
+  }
+  if (initial_ < 0 || initial_ >= place_count()) {
+    throw std::invalid_argument("component " + name_ + ": bad initial place");
+  }
+  for (const auto& t : transitions_) {
+    if (t.source < 0 || t.source >= place_count() || t.target < 0 ||
+        t.target >= place_count()) {
+      throw std::invalid_argument("component " + name_ + ": dangling place");
+    }
+    if (t.port < -1 || t.port >= port_count()) {
+      throw std::invalid_argument("component " + name_ + ": dangling port");
+    }
+  }
+}
+
+}  // namespace quanta::bip

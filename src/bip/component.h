@@ -1,0 +1,70 @@
+// BIP atomic components (the B in Behaviour-Interaction-Priority): finite
+// automata over "places" with local bounded-integer data, whose transitions
+// are labelled by ports. Ports are the only interface visible to connectors.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/expr.h"
+
+namespace quanta::bip {
+
+using common::Valuation;
+using common::Value;
+using common::VarTable;
+
+using Guard = std::function<bool(const Valuation&)>;
+using Action = std::function<void(Valuation&)>;
+
+struct Transition {
+  int source = 0;
+  int target = 0;
+  /// Port labelling the transition; -1 for internal (unobservable) steps.
+  int port = -1;
+  Guard guard;    ///< over the component's local variables; null = true
+  Action action;  ///< local data update; null = identity
+  std::string label;
+};
+
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+
+  int add_place(std::string name);
+  int add_port(std::string name);
+  int declare_var(std::string name, Value init, Value min, Value max) {
+    return vars_.declare(std::move(name), init, min, max);
+  }
+  int add_transition(int source, int target, int port, Guard guard = nullptr,
+                     Action action = nullptr, std::string label = {});
+  void set_initial(int place) { initial_ = place; }
+
+  const std::string& name() const { return name_; }
+  int place_count() const { return static_cast<int>(places_.size()); }
+  int port_count() const { return static_cast<int>(ports_.size()); }
+  const std::string& place_name(int p) const { return places_.at(static_cast<std::size_t>(p)); }
+  const std::string& port_name(int p) const { return ports_.at(static_cast<std::size_t>(p)); }
+  int place_index(const std::string& name) const;
+  int port_index(const std::string& name) const;
+  int initial() const { return initial_; }
+  const VarTable& vars() const { return vars_; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// Indices of transitions leaving `place` labelled with `port`.
+  std::vector<int> transitions_from(int place, int port) const;
+
+  /// Throws std::invalid_argument on dangling indices.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> places_;
+  std::vector<std::string> ports_;
+  std::vector<Transition> transitions_;
+  VarTable vars_;
+  int initial_ = 0;
+};
+
+}  // namespace quanta::bip

@@ -1,0 +1,348 @@
+#include "bip/dfinder.h"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace quanta::bip {
+
+namespace {
+
+/// Global place id for (component, place).
+struct PlaceTable {
+  std::vector<int> offset;  ///< per component
+  int total = 0;
+
+  explicit PlaceTable(const BipSystem& sys) {
+    offset.reserve(static_cast<std::size_t>(sys.component_count()));
+    for (int c = 0; c < sys.component_count(); ++c) {
+      offset.push_back(total);
+      total += sys.component(c).place_count();
+    }
+  }
+  int id(int component, int place) const {
+    return offset[static_cast<std::size_t>(component)] + place;
+  }
+};
+
+/// Abstract interaction: global places consumed and produced.
+struct AbstractInteraction {
+  std::vector<int> pre;
+  std::vector<int> post;
+};
+
+/// Every firable shape of the system's coordination, at the control level:
+/// internal transitions, rendezvous instances, and broadcast instances for
+/// every receiver subset (traps must be closed under all of them).
+std::vector<AbstractInteraction> abstract_interactions(
+    const BipSystem& sys, const PlaceTable& places,
+    std::size_t max_broadcast_receivers) {
+  std::vector<AbstractInteraction> result;
+
+  // Internal transitions.
+  for (int c = 0; c < sys.component_count(); ++c) {
+    for (const Transition& t : sys.component(c).transitions()) {
+      if (t.port != -1) continue;
+      result.push_back(AbstractInteraction{{places.id(c, t.source)},
+                                           {places.id(c, t.target)}});
+    }
+  }
+
+  for (int ci = 0; ci < sys.connector_count(); ++ci) {
+    const Connector& conn = sys.connector(ci);
+    // Per endpoint: the transitions carrying that port.
+    std::vector<std::vector<const Transition*>> labelled(conn.ports.size());
+    for (std::size_t k = 0; k < conn.ports.size(); ++k) {
+      for (const Transition& t :
+           sys.component(conn.ports[k].component).transitions()) {
+        if (t.port == conn.ports[k].port) labelled[k].push_back(&t);
+      }
+    }
+
+    if (conn.kind == ConnectorKind::kRendezvous) {
+      // Product over endpoints of their labelled transitions.
+      std::vector<std::size_t> counter(conn.ports.size(), 0);
+      bool any_empty = false;
+      for (const auto& l : labelled) {
+        if (l.empty()) any_empty = true;
+      }
+      if (any_empty) continue;  // connector can never fire
+      for (;;) {
+        AbstractInteraction ai;
+        for (std::size_t k = 0; k < conn.ports.size(); ++k) {
+          const Transition* t = labelled[k][counter[k]];
+          ai.pre.push_back(places.id(conn.ports[k].component, t->source));
+          ai.post.push_back(places.id(conn.ports[k].component, t->target));
+        }
+        result.push_back(std::move(ai));
+        std::size_t pos = 0;
+        while (pos < conn.ports.size()) {
+          if (++counter[pos] < labelled[pos].size()) break;
+          counter[pos] = 0;
+          ++pos;
+        }
+        if (pos == conn.ports.size()) break;
+      }
+    } else {
+      if (labelled[0].empty()) continue;
+      std::size_t receivers = conn.ports.size() - 1;
+      if (receivers > max_broadcast_receivers) {
+        throw std::invalid_argument(
+            "dfinder: broadcast connector too wide for subset enumeration");
+      }
+      const std::size_t subsets = std::size_t{1} << receivers;
+      for (const Transition* trig : labelled[0]) {
+        for (std::size_t mask = 0; mask < subsets; ++mask) {
+          AbstractInteraction ai;
+          ai.pre.push_back(places.id(conn.ports[0].component, trig->source));
+          ai.post.push_back(places.id(conn.ports[0].component, trig->target));
+          bool ok = true;
+          for (std::size_t b = 0; b < receivers && ok; ++b) {
+            if (!(mask & (std::size_t{1} << b))) continue;
+            std::size_t k = b + 1;
+            if (labelled[k].empty()) {
+              ok = false;
+              break;
+            }
+            for (const Transition* t : labelled[k]) {
+              ai.pre.push_back(places.id(conn.ports[k].component, t->source));
+              ai.post.push_back(places.id(conn.ports[k].component, t->target));
+              break;  // first labelled transition per receiver
+            }
+          }
+          if (ok) result.push_back(std::move(ai));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+/// Locally reachable places of one component (guards abstracted away).
+std::vector<bool> reachable_places(const Component& comp) {
+  std::vector<bool> reach(static_cast<std::size_t>(comp.place_count()), false);
+  std::vector<int> work{comp.initial()};
+  reach[static_cast<std::size_t>(comp.initial())] = true;
+  while (!work.empty()) {
+    int p = work.back();
+    work.pop_back();
+    for (const Transition& t : comp.transitions()) {
+      if (t.source == p && !reach[static_cast<std::size_t>(t.target)]) {
+        reach[static_cast<std::size_t>(t.target)] = true;
+        work.push_back(t.target);
+      }
+    }
+  }
+  return reach;
+}
+
+/// Trap saturation from a seed: whenever an interaction consumes from S, all
+/// its outputs are added. The result is a trap by construction.
+std::set<int> saturate_trap(int seed,
+                            const std::vector<AbstractInteraction>& ais) {
+  std::set<int> trap{seed};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& ai : ais) {
+      bool consumes = false;
+      for (int p : ai.pre) {
+        if (trap.count(p)) {
+          consumes = true;
+          break;
+        }
+      }
+      if (!consumes) continue;
+      bool produces = false;
+      for (int p : ai.post) {
+        if (trap.count(p)) {
+          produces = true;
+          break;
+        }
+      }
+      if (!produces) {
+        // Add all outputs (the coarse, always-sound completion).
+        for (int p : ai.post) trap.insert(p);
+        changed = true;
+      }
+    }
+  }
+  return trap;
+}
+
+/// Linear place invariants: a basis of y with yᵀC = 0 for the incidence
+/// matrix C (places x interactions, entries post - pre). Every reachable
+/// marking M then satisfies yᵀM = yᵀM₀ — this captures lockstep relations
+/// between components that traps cannot express.
+std::vector<std::vector<double>> place_invariants(
+    int total_places, const std::vector<AbstractInteraction>& ais) {
+  // Rows of the system to solve: one per interaction (Cᵀ y = 0).
+  std::vector<std::vector<double>> rows;
+  rows.reserve(ais.size());
+  for (const auto& ai : ais) {
+    std::vector<double> row(static_cast<std::size_t>(total_places), 0.0);
+    for (int p : ai.pre) row[static_cast<std::size_t>(p)] -= 1.0;
+    for (int p : ai.post) row[static_cast<std::size_t>(p)] += 1.0;
+    rows.push_back(std::move(row));
+  }
+  // Gaussian elimination to reduced row-echelon form.
+  const int n = total_places;
+  std::vector<int> pivot_col;
+  std::size_t r = 0;
+  for (int c = 0; c < n && r < rows.size(); ++c) {
+    std::size_t best = r;
+    for (std::size_t i = r; i < rows.size(); ++i) {
+      if (std::abs(rows[i][static_cast<std::size_t>(c)]) >
+          std::abs(rows[best][static_cast<std::size_t>(c)])) {
+        best = i;
+      }
+    }
+    if (std::abs(rows[best][static_cast<std::size_t>(c)]) < 1e-9) continue;
+    std::swap(rows[r], rows[best]);
+    double inv = 1.0 / rows[r][static_cast<std::size_t>(c)];
+    for (int j = 0; j < n; ++j) rows[r][static_cast<std::size_t>(j)] *= inv;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i == r) continue;
+      double f = rows[i][static_cast<std::size_t>(c)];
+      if (std::abs(f) < 1e-12) continue;
+      for (int j = 0; j < n; ++j) {
+        rows[i][static_cast<std::size_t>(j)] -=
+            f * rows[r][static_cast<std::size_t>(j)];
+      }
+    }
+    pivot_col.push_back(c);
+    ++r;
+  }
+  // Null-space basis: one vector per free column.
+  std::vector<bool> is_pivot(static_cast<std::size_t>(n), false);
+  for (int c : pivot_col) is_pivot[static_cast<std::size_t>(c)] = true;
+  std::vector<std::vector<double>> basis;
+  for (int free = 0; free < n; ++free) {
+    if (is_pivot[static_cast<std::size_t>(free)]) continue;
+    std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+    y[static_cast<std::size_t>(free)] = 1.0;
+    for (std::size_t i = 0; i < pivot_col.size(); ++i) {
+      y[static_cast<std::size_t>(pivot_col[i])] =
+          -rows[i][static_cast<std::size_t>(free)];
+    }
+    basis.push_back(std::move(y));
+  }
+  return basis;
+}
+
+}  // namespace
+
+DFinderResult dfinder_deadlock_check(const BipSystem& sys,
+                                     const DFinderOptions& opts) {
+  sys.validate();
+  PlaceTable places(sys);
+  auto ais = abstract_interactions(sys, places, opts.max_broadcast_receivers);
+
+  // Component invariants.
+  std::vector<std::vector<bool>> ci;
+  ci.reserve(static_cast<std::size_t>(sys.component_count()));
+  for (int c = 0; c < sys.component_count(); ++c) {
+    ci.push_back(reachable_places(sys.component(c)));
+  }
+
+  // Interaction invariants: traps saturated from each initial place.
+  std::vector<std::set<int>> traps;
+  for (int c = 0; c < sys.component_count(); ++c) {
+    std::set<int> trap = saturate_trap(places.id(c, sys.component(c).initial()), ais);
+    if (static_cast<int>(trap.size()) < places.total) {
+      bool duplicate = false;
+      for (const auto& t : traps) {
+        if (t == trap) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) traps.push_back(std::move(trap));
+    }
+  }
+
+  DFinderResult result;
+  result.trap_invariants = traps.size();
+
+  // Linear place invariants and their initial values.
+  auto lin = place_invariants(places.total, ais);
+  std::vector<double> lin_init(lin.size(), 0.0);
+  for (std::size_t i = 0; i < lin.size(); ++i) {
+    for (int c = 0; c < sys.component_count(); ++c) {
+      lin_init[i] +=
+          lin[i][static_cast<std::size_t>(places.id(c, sys.component(c).initial()))];
+    }
+  }
+
+  // Enumerate control states consistent with CI; keep those where no
+  // abstract interaction is enabled and all trap invariants hold.
+  std::vector<int> current(static_cast<std::size_t>(sys.component_count()), 0);
+  std::vector<std::string> examples;
+  std::size_t candidates = 0;
+
+  auto interaction_enabled = [&](const AbstractInteraction& ai) {
+    for (int p : ai.pre) {
+      bool marked = false;
+      for (int c = 0; c < sys.component_count(); ++c) {
+        if (places.id(c, current[static_cast<std::size_t>(c)]) == p) {
+          marked = true;
+          break;
+        }
+      }
+      if (!marked) return false;
+    }
+    return true;
+  };
+
+  std::function<void(int)> enumerate = [&](int c) {
+    if (c == sys.component_count()) {
+      for (const auto& ai : ais) {
+        if (interaction_enabled(ai)) return;  // live state
+      }
+      for (const auto& trap : traps) {
+        bool marked = false;
+        for (int cc = 0; cc < sys.component_count(); ++cc) {
+          if (trap.count(places.id(cc, current[static_cast<std::size_t>(cc)]))) {
+            marked = true;
+            break;
+          }
+        }
+        if (!marked) return;  // violates an interaction invariant
+      }
+      for (std::size_t i = 0; i < lin.size(); ++i) {
+        double val = 0.0;
+        for (int cc = 0; cc < sys.component_count(); ++cc) {
+          val += lin[i][static_cast<std::size_t>(
+              places.id(cc, current[static_cast<std::size_t>(cc)]))];
+        }
+        if (std::abs(val - lin_init[i]) > 1e-6) return;  // violates invariant
+      }
+      ++candidates;
+      if (examples.size() < opts.max_candidates_reported) {
+        std::ostringstream os;
+        os << "(";
+        for (int cc = 0; cc < sys.component_count(); ++cc) {
+          if (cc) os << ", ";
+          os << sys.component(cc).name() << "."
+             << sys.component(cc).place_name(current[static_cast<std::size_t>(cc)]);
+        }
+        os << ")";
+        examples.push_back(os.str());
+      }
+      return;
+    }
+    for (int p = 0; p < sys.component(c).place_count(); ++p) {
+      if (!ci[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)]) continue;
+      current[static_cast<std::size_t>(c)] = p;
+      enumerate(c + 1);
+    }
+  };
+  enumerate(0);
+
+  result.candidates = candidates;
+  result.examples = std::move(examples);
+  result.deadlock_free = candidates == 0;
+  return result;
+}
+
+}  // namespace quanta::bip

@@ -1,0 +1,239 @@
+#include "bip/engine.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace quanta::bip {
+
+std::size_t BipState::hash() const {
+  std::size_t seed = common::hash_vector(places);
+  for (const auto& v : vars) {
+    common::hash_combine(seed, common::hash_vector(v));
+  }
+  return seed;
+}
+
+std::string Interaction::describe(const BipSystem& sys) const {
+  std::ostringstream os;
+  if (connector >= 0) {
+    os << sys.connector(connector).name << "{";
+  } else {
+    os << "internal{";
+  }
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    if (i) os << ", ";
+    const auto& p = participants[i];
+    const Component& comp = sys.component(p.component);
+    os << comp.name();
+    if (p.port >= 0) {
+      os << "." << comp.port_name(p.port);
+    } else if (i < transitions.size()) {
+      const std::string& label =
+          comp.transitions().at(static_cast<std::size_t>(transitions[i])).label;
+      if (!label.empty()) os << ":" << label;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+Engine::Engine(const BipSystem& sys) : sys_(&sys), state_(initial()) {
+  sys.validate();
+}
+
+BipState Engine::initial() const {
+  BipState s;
+  s.places.reserve(static_cast<std::size_t>(sys_->component_count()));
+  s.vars.reserve(static_cast<std::size_t>(sys_->component_count()));
+  for (int c = 0; c < sys_->component_count(); ++c) {
+    s.places.push_back(sys_->component(c).initial());
+    s.vars.push_back(sys_->component(c).vars().initial());
+  }
+  return s;
+}
+
+bool Engine::transition_enabled(const BipState& s, int component, int t) const {
+  const Transition& tr =
+      sys_->component(component).transitions().at(static_cast<std::size_t>(t));
+  if (tr.source != s.places[static_cast<std::size_t>(component)]) return false;
+  return !tr.guard || tr.guard(s.vars[static_cast<std::size_t>(component)]);
+}
+
+std::vector<int> Engine::enabled_for_port(const BipState& s, int component,
+                                          int port) const {
+  std::vector<int> result;
+  const Component& comp = sys_->component(component);
+  const auto& transitions = comp.transitions();
+  for (std::size_t t = 0; t < transitions.size(); ++t) {
+    if (transitions[t].port != port) continue;
+    if (transition_enabled(s, component, static_cast<int>(t))) {
+      result.push_back(static_cast<int>(t));
+    }
+  }
+  return result;
+}
+
+std::vector<Interaction> Engine::enabled(const BipState& s) const {
+  std::vector<Interaction> result;
+
+  // Internal transitions: singleton interactions.
+  for (int c = 0; c < sys_->component_count(); ++c) {
+    for (int t : enabled_for_port(s, c, -1)) {
+      Interaction i;
+      i.connector = -1;
+      i.participants.push_back(PortRef{c, -1});
+      i.transitions.push_back(t);
+      result.push_back(std::move(i));
+    }
+  }
+
+  for (int ci = 0; ci < sys_->connector_count(); ++ci) {
+    const Connector& conn = sys_->connector(ci);
+    // Enabled transitions per endpoint.
+    std::vector<std::vector<int>> options;
+    options.reserve(conn.ports.size());
+    for (const PortRef& p : conn.ports) {
+      options.push_back(enabled_for_port(s, p.component, p.port));
+    }
+
+    if (conn.kind == ConnectorKind::kRendezvous) {
+      bool all = true;
+      for (const auto& o : options) {
+        if (o.empty()) {
+          all = false;
+          break;
+        }
+      }
+      if (!all) continue;
+      // Enumerate the product of transition choices (usually singletons).
+      std::vector<std::size_t> counter(options.size(), 0);
+      for (;;) {
+        Interaction i;
+        i.connector = ci;
+        for (std::size_t k = 0; k < options.size(); ++k) {
+          i.participants.push_back(conn.ports[k]);
+          i.transitions.push_back(options[k][counter[k]]);
+        }
+        result.push_back(std::move(i));
+        std::size_t pos = 0;
+        while (pos < options.size()) {
+          if (++counter[pos] < options[pos].size()) break;
+          counter[pos] = 0;
+          ++pos;
+        }
+        if (pos == options.size()) break;
+      }
+    } else {
+      // Broadcast: the trigger must be enabled; every subset of the enabled
+      // receivers forms an instance (maximal progress is applied later).
+      if (options[0].empty()) continue;
+      std::vector<std::size_t> enabled_receivers;
+      for (std::size_t k = 1; k < options.size(); ++k) {
+        if (!options[k].empty()) enabled_receivers.push_back(k);
+      }
+      const std::size_t subsets = std::size_t{1} << enabled_receivers.size();
+      for (std::size_t mask = 0; mask < subsets; ++mask) {
+        // For simplicity take the first enabled transition per participant
+        // (multiple same-port transitions are rare in practice).
+        Interaction i;
+        i.connector = ci;
+        i.participants.push_back(conn.ports[0]);
+        i.transitions.push_back(options[0].front());
+        for (std::size_t b = 0; b < enabled_receivers.size(); ++b) {
+          if (mask & (std::size_t{1} << b)) {
+            std::size_t k = enabled_receivers[b];
+            i.participants.push_back(conn.ports[k]);
+            i.transitions.push_back(options[k].front());
+          }
+        }
+        result.push_back(std::move(i));
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Interaction> Engine::enabled_maximal(const BipState& s) const {
+  std::vector<Interaction> all = enabled(s);
+
+  // Maximal progress on broadcasts: drop instances strictly contained in
+  // another enabled instance of the same connector.
+  auto contained = [](const Interaction& small, const Interaction& big) {
+    if (small.connector != big.connector) return false;
+    if (small.participants.size() >= big.participants.size()) return false;
+    for (const auto& p : small.participants) {
+      bool found = false;
+      for (const auto& q : big.participants) {
+        if (p == q) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  };
+
+  std::vector<bool> dead(all.size(), false);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = 0; j < all.size(); ++j) {
+      if (i != j && contained(all[i], all[j])) dead[i] = true;
+    }
+  }
+
+  // User priority rules: low suppressed when any high instance is enabled.
+  for (const PriorityRule& rule : sys_->priorities()) {
+    bool high_enabled = false;
+    for (std::size_t j = 0; j < all.size(); ++j) {
+      if (!dead[j] && all[j].connector == rule.high) {
+        high_enabled = true;
+        break;
+      }
+    }
+    if (!high_enabled) continue;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (all[i].connector == rule.low) dead[i] = true;
+    }
+  }
+
+  std::vector<Interaction> result;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (!dead[i]) result.push_back(std::move(all[i]));
+  }
+  return result;
+}
+
+BipState Engine::apply(const BipState& s, const Interaction& i) const {
+  BipState next = s;
+  for (std::size_t k = 0; k < i.participants.size(); ++k) {
+    int c = i.participants[k].component;
+    const Transition& tr = sys_->component(c).transitions().at(
+        static_cast<std::size_t>(i.transitions[k]));
+    next.places[static_cast<std::size_t>(c)] = tr.target;
+    if (tr.action) {
+      tr.action(next.vars[static_cast<std::size_t>(c)]);
+      sys_->component(c).vars().check_bounds(next.vars[static_cast<std::size_t>(c)]);
+    }
+  }
+  return next;
+}
+
+std::size_t Engine::run(std::size_t max_steps, common::Rng& rng,
+                        const std::function<bool(const BipState&)>& observer) {
+  if (observer && !observer(state_)) return 0;
+  std::size_t steps = 0;
+  while (steps < max_steps) {
+    auto choices = enabled_maximal(state_);
+    if (choices.empty()) break;  // global deadlock
+    const Interaction& i = choices[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(choices.size()) - 1))];
+    state_ = apply(state_, i);
+    ++steps;
+    if (observer && !observer(state_)) break;
+  }
+  return steps;
+}
+
+}  // namespace quanta::bip

@@ -1,0 +1,83 @@
+// The centralized BIP execution engine: computes the enabled interactions of
+// a global state (rendezvous instances, broadcast instances over every
+// receiver subset), applies priority filtering (user rules + maximal
+// progress on broadcasts), and executes interactions atomically. This is the
+// operational semantics that BIP code generation targets; `Engine::run`
+// doubles as the generated controller loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bip/system.h"
+#include "common/rng.h"
+
+namespace quanta::bip {
+
+struct BipState {
+  std::vector<int> places;              ///< per component
+  std::vector<Valuation> vars;          ///< per component
+
+  bool operator==(const BipState&) const = default;
+  std::size_t hash() const;
+};
+
+struct BipStateHash {
+  std::size_t operator()(const BipState& s) const { return s.hash(); }
+};
+
+/// One executable instance of a connector: the participating ports (for
+/// broadcasts: the trigger plus the chosen receiver subset) and the chosen
+/// transition of every participant.
+struct Interaction {
+  int connector = 0;
+  std::vector<PortRef> participants;
+  std::vector<int> transitions;  ///< per participant, index into component
+
+  std::string describe(const BipSystem& sys) const;
+};
+
+class Engine {
+ public:
+  explicit Engine(const BipSystem& sys);
+
+  const BipSystem& system() const { return *sys_; }
+
+  BipState initial() const;
+
+  /// All enabled interactions, before priority filtering. Internal
+  /// transitions are modelled as singleton interactions with connector -1.
+  std::vector<Interaction> enabled(const BipState& s) const;
+
+  /// Enabled interactions after applying the priority layer: user rules and
+  /// maximal progress among the instances of one broadcast connector.
+  std::vector<Interaction> enabled_maximal(const BipState& s) const;
+
+  BipState apply(const BipState& s, const Interaction& i) const;
+
+  /// Runs up to `max_steps` interactions, choosing uniformly at random among
+  /// the maximal enabled ones. `observer` (if set) sees every state,
+  /// starting with the initial one; returning false stops the run.
+  /// Returns the number of interactions executed.
+  std::size_t run(std::size_t max_steps, common::Rng& rng,
+                  const std::function<bool(const BipState&)>& observer = {});
+
+  BipState current() const { return state_; }
+  void reset() { state_ = initial(); }
+  /// Overwrites the engine's state — used by fault injection.
+  void corrupt(const BipState& s) { state_ = s; }
+
+ private:
+  bool transition_enabled(const BipState& s, int component, int t) const;
+  /// Enabled transition indices of `component` for `port` at state `s`.
+  std::vector<int> enabled_for_port(const BipState& s, int component,
+                                    int port) const;
+
+  const BipSystem* sys_;
+  BipState state_;
+};
+
+}  // namespace quanta::bip

@@ -1,0 +1,82 @@
+#include "bip/explore.h"
+
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+
+namespace quanta::bip {
+
+std::string describe_state(const BipSystem& sys, const BipState& s) {
+  std::ostringstream os;
+  os << "(";
+  for (int c = 0; c < sys.component_count(); ++c) {
+    if (c) os << ", ";
+    os << sys.component(c).name() << "."
+       << sys.component(c).place_name(s.places[static_cast<std::size_t>(c)]);
+  }
+  os << ")";
+  return os.str();
+}
+
+namespace {
+
+ExploreResult explore_impl(const BipSystem& sys, const ExploreOptions& opts,
+                           const BipPredicate& safety,
+                           const BipPredicate& target, bool* target_found) {
+  Engine engine(sys);
+  std::unordered_map<BipState, int, BipStateHash> index;
+  std::deque<BipState> work;
+  ExploreResult result;
+
+  auto intern = [&](BipState s) {
+    auto [it, ins] = index.try_emplace(std::move(s), static_cast<int>(index.size()));
+    if (ins) work.push_back(it->first);
+  };
+
+  intern(engine.initial());
+  while (!work.empty()) {
+    BipState s = std::move(work.front());
+    work.pop_front();
+    if (safety && !safety(s)) {
+      result.violation_found = true;
+      result.violating_state = describe_state(sys, s);
+    }
+    if (target && target(s)) {
+      *target_found = true;
+      break;
+    }
+    if (index.size() >= opts.max_states) {
+      result.truncated = true;
+      break;
+    }
+    auto interactions =
+        opts.use_priorities ? engine.enabled_maximal(s) : engine.enabled(s);
+    if (interactions.empty() && !result.deadlock_found) {
+      result.deadlock_found = true;
+      result.deadlock_state = describe_state(sys, s);
+    }
+    for (const Interaction& i : interactions) {
+      ++result.transitions;
+      intern(engine.apply(s, i));
+    }
+  }
+  result.states = index.size();
+  return result;
+}
+
+}  // namespace
+
+ExploreResult explore(const BipSystem& sys, const ExploreOptions& opts,
+                      const BipPredicate& safety) {
+  bool unused = false;
+  return explore_impl(sys, opts, safety, {}, &unused);
+}
+
+bool reachable(const BipSystem& sys, const BipPredicate& pred,
+               const ExploreOptions& opts) {
+  bool found = false;
+  explore_impl(sys, opts, {}, pred, &found);
+  return found;
+}
+
+}  // namespace quanta::bip

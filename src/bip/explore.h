@@ -1,0 +1,46 @@
+// Exact state-space exploration of a BIP system (through the engine's
+// semantics): reachability of predicates, global deadlock detection, and
+// safety monitoring. Serves as the ground truth that the compositional
+// D-Finder analysis is compared against.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "bip/engine.h"
+
+namespace quanta::bip {
+
+using BipPredicate = std::function<bool(const BipState&)>;
+
+struct ExploreOptions {
+  std::size_t max_states = 5'000'000;
+  /// Explore under the priority layer (true) or the unrestricted interaction
+  /// semantics (false). Deadlock-freedom is priority-sensitive in BIP.
+  bool use_priorities = true;
+};
+
+struct ExploreResult {
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+  bool truncated = false;
+
+  bool deadlock_found = false;
+  std::string deadlock_state;
+
+  bool violation_found = false;
+  std::string violating_state;
+};
+
+std::string describe_state(const BipSystem& sys, const BipState& s);
+
+/// Explores all reachable states; reports the first deadlock (state with no
+/// enabled interaction) and the first violation of `safety` (if given).
+ExploreResult explore(const BipSystem& sys, const ExploreOptions& opts = {},
+                      const BipPredicate& safety = {});
+
+/// E<> pred over the reachable states.
+bool reachable(const BipSystem& sys, const BipPredicate& pred,
+               const ExploreOptions& opts = {});
+
+}  // namespace quanta::bip

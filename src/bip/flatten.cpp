@@ -1,0 +1,49 @@
+#include "bip/flatten.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "bip/explore.h"
+
+namespace quanta::bip {
+
+FlattenResult flatten(const BipSystem& sys, const FlattenOptions& opts) {
+  Engine engine(sys);
+  FlattenResult result;
+  result.flat = Component("flat(" + std::to_string(sys.component_count()) +
+                          " components)");
+
+  std::unordered_map<BipState, int, BipStateHash> index;
+  std::vector<BipState> states;
+  auto intern2 = [&](BipState s) -> int {
+    auto [it, ins] = index.try_emplace(std::move(s), static_cast<int>(states.size()));
+    if (ins) {
+      states.push_back(it->first);
+      result.flat.add_place(describe_state(sys, it->first));
+    }
+    return it->second;
+  };
+
+  int init = intern2(engine.initial());
+  result.flat.set_initial(init);
+  std::size_t done = 0;
+  while (done < states.size()) {
+    if (states.size() >= opts.max_states) {
+      result.truncated = true;
+      break;
+    }
+    int idx = static_cast<int>(done++);
+    const BipState state = states[static_cast<std::size_t>(idx)];
+    auto interactions = opts.use_priorities ? engine.enabled_maximal(state)
+                                            : engine.enabled(state);
+    for (const Interaction& i : interactions) {
+      int to = intern2(engine.apply(state, i));
+      result.flat.add_transition(idx, to, -1, nullptr, nullptr,
+                                 i.describe(sys));
+    }
+  }
+  result.flat.validate();
+  return result;
+}
+
+}  // namespace quanta::bip

@@ -1,0 +1,27 @@
+// Source-to-source architecture transformation (§IV, [24]): flattening a
+// composite BIP system into a single atomic component whose places are the
+// reachable global configurations and whose transitions are the (priority-
+// filtered) interactions. The flat component executes without any
+// coordination overhead — the optimisation BIP's transformers perform before
+// code generation.
+#pragma once
+
+#include "bip/engine.h"
+
+namespace quanta::bip {
+
+struct FlattenOptions {
+  std::size_t max_states = 1'000'000;
+  bool use_priorities = true;
+};
+
+struct FlattenResult {
+  Component flat;        ///< one place per reachable global state
+  bool truncated = false;
+
+  FlattenResult() : flat("flat") {}
+};
+
+FlattenResult flatten(const BipSystem& sys, const FlattenOptions& opts = {});
+
+}  // namespace quanta::bip

@@ -1,0 +1,71 @@
+#include "bip/system.h"
+
+#include <stdexcept>
+
+namespace quanta::bip {
+
+int BipSystem::add_component(Component c) {
+  c.validate();
+  components_.push_back(std::move(c));
+  return static_cast<int>(components_.size()) - 1;
+}
+
+int BipSystem::add_connector(Connector c) {
+  connectors_.push_back(std::move(c));
+  return static_cast<int>(connectors_.size()) - 1;
+}
+
+void BipSystem::add_priority(int low_connector, int high_connector) {
+  priorities_.push_back(PriorityRule{low_connector, high_connector});
+}
+
+int BipSystem::component_index(const std::string& name) const {
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i].name() == name) return static_cast<int>(i);
+  }
+  throw std::out_of_range("BipSystem: unknown component " + name);
+}
+
+void BipSystem::validate() const {
+  for (const auto& c : components_) c.validate();
+  for (const auto& conn : connectors_) {
+    if (conn.ports.empty()) {
+      throw std::invalid_argument("connector " + conn.name + ": no ports");
+    }
+    if (conn.kind == ConnectorKind::kBroadcast && conn.ports.size() < 2) {
+      throw std::invalid_argument("connector " + conn.name +
+                                  ": broadcast needs a trigger and receivers");
+    }
+    for (const auto& p : conn.ports) {
+      if (p.component < 0 || p.component >= component_count()) {
+        throw std::invalid_argument("connector " + conn.name +
+                                    ": dangling component");
+      }
+      if (p.port < 0 || p.port >= component(p.component).port_count()) {
+        throw std::invalid_argument("connector " + conn.name + ": dangling port");
+      }
+    }
+    // A port may appear at most once per connector.
+    for (std::size_t i = 0; i < conn.ports.size(); ++i) {
+      for (std::size_t j = i + 1; j < conn.ports.size(); ++j) {
+        if (conn.ports[i] == conn.ports[j]) {
+          throw std::invalid_argument("connector " + conn.name +
+                                      ": duplicate port");
+        }
+        if (conn.ports[i].component == conn.ports[j].component) {
+          throw std::invalid_argument(
+              "connector " + conn.name +
+              ": two ports of the same component cannot synchronise");
+        }
+      }
+    }
+  }
+  for (const auto& rule : priorities_) {
+    if (rule.low < 0 || rule.low >= connector_count() || rule.high < 0 ||
+        rule.high >= connector_count() || rule.low == rule.high) {
+      throw std::invalid_argument("invalid priority rule");
+    }
+  }
+}
+
+}  // namespace quanta::bip

@@ -1,0 +1,61 @@
+// BIP composite systems: components glued by connectors (rendezvous and
+// broadcast — the I of BIP) filtered by priorities (the P). Architecture is
+// first-class: connectors and priorities are data that analysis and
+// transformation passes (engine, D-Finder, flattening) consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bip/component.h"
+
+namespace quanta::bip {
+
+struct PortRef {
+  int component = 0;
+  int port = 0;
+  bool operator==(const PortRef&) const = default;
+};
+
+enum class ConnectorKind {
+  kRendezvous,  ///< strong symmetric synchronisation: all ports fire
+  kBroadcast,   ///< ports[0] triggers; any subset of the others may join
+};
+
+struct Connector {
+  std::string name;
+  ConnectorKind kind = ConnectorKind::kRendezvous;
+  std::vector<PortRef> ports;
+};
+
+/// Static priority rule: interactions of `low` are suppressed whenever some
+/// interaction of `high` is enabled.
+struct PriorityRule {
+  int low = 0;   ///< connector index
+  int high = 0;  ///< connector index
+};
+
+class BipSystem {
+ public:
+  int add_component(Component c);
+  int add_connector(Connector c);
+  void add_priority(int low_connector, int high_connector);
+
+  int component_count() const { return static_cast<int>(components_.size()); }
+  const Component& component(int i) const { return components_.at(static_cast<std::size_t>(i)); }
+  int component_index(const std::string& name) const;
+
+  int connector_count() const { return static_cast<int>(connectors_.size()); }
+  const Connector& connector(int i) const { return connectors_.at(static_cast<std::size_t>(i)); }
+
+  const std::vector<PriorityRule>& priorities() const { return priorities_; }
+
+  void validate() const;
+
+ private:
+  std::vector<Component> components_;
+  std::vector<Connector> connectors_;
+  std::vector<PriorityRule> priorities_;
+};
+
+}  // namespace quanta::bip

@@ -1,0 +1,40 @@
+#include "common/expr.h"
+
+namespace quanta::common {
+
+int VarTable::declare(std::string name, Value init, Value min, Value max) {
+  if (min > max || init < min || init > max) {
+    throw std::invalid_argument("VarTable::declare: inconsistent bounds for " +
+                                name);
+  }
+  decls_.push_back(VarDecl{std::move(name), init, min, max});
+  return static_cast<int>(decls_.size()) - 1;
+}
+
+int VarTable::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < decls_.size(); ++i) {
+    if (decls_[i].name == name) return static_cast<int>(i);
+  }
+  throw std::out_of_range("VarTable: unknown variable " + name);
+}
+
+Valuation VarTable::initial() const {
+  Valuation v;
+  v.reserve(decls_.size());
+  for (const auto& d : decls_) v.push_back(d.init);
+  return v;
+}
+
+void VarTable::check_bounds(const Valuation& v) const {
+  if (v.size() != decls_.size()) {
+    throw std::out_of_range("VarTable::check_bounds: arity mismatch");
+  }
+  for (std::size_t i = 0; i < decls_.size(); ++i) {
+    if (v[i] < decls_[i].min || v[i] > decls_[i].max) {
+      throw std::out_of_range("variable " + decls_[i].name +
+                              " out of declared range");
+    }
+  }
+}
+
+}  // namespace quanta::common

@@ -1,0 +1,58 @@
+// Discrete-data layer shared by the modelling formalisms (timed automata,
+// PTA/STA, BIP components): bounded integer variables, valuations, and
+// guard/update callables. Guards and updates over *data* are opaque callables
+// (the engines only need to execute them and hash the resulting valuation);
+// guards over *clocks* are explicit constraint atoms defined per formalism so
+// that symbolic engines can introspect them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace quanta::common {
+
+using Value = std::int32_t;
+using Valuation = std::vector<Value>;
+
+/// Declaration of a bounded integer variable. Bounds are enforced when the
+/// engines commit an update (out-of-range values indicate a modelling error).
+struct VarDecl {
+  std::string name;
+  Value init = 0;
+  Value min = 0;
+  Value max = 0;
+};
+
+/// Predicate over the discrete variables.
+using DataGuard = std::function<bool(const Valuation&)>;
+/// In-place update of the discrete variables.
+using DataUpdate = std::function<void(Valuation&)>;
+
+/// The always-true data guard (used when an edge has clock constraints only).
+inline bool guard_true(const Valuation&) { return true; }
+
+/// Registry of variable declarations; owned by each model and used to build
+/// initial valuations and to validate committed updates.
+class VarTable {
+ public:
+  /// Declares a variable and returns its index.
+  int declare(std::string name, Value init, Value min, Value max);
+
+  int index_of(const std::string& name) const;
+  std::size_t size() const { return decls_.size(); }
+  const VarDecl& decl(int index) const { return decls_.at(index); }
+  const std::vector<VarDecl>& decls() const { return decls_; }
+
+  Valuation initial() const;
+
+  /// Throws std::out_of_range if any value violates its declared bounds.
+  void check_bounds(const Valuation& v) const;
+
+ private:
+  std::vector<VarDecl> decls_;
+};
+
+}  // namespace quanta::common

@@ -1,0 +1,32 @@
+// Small hashing helpers shared by the state-space exploration engines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace quanta::common {
+
+/// Combine a hash value into a running seed (boost::hash_combine recipe,
+/// 64-bit variant).
+inline void hash_combine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hash a contiguous range of integral values.
+template <typename It>
+std::size_t hash_range(It first, It last) {
+  std::size_t seed = 0xcbf29ce484222325ULL;
+  for (; first != last; ++first) {
+    hash_combine(seed, std::hash<std::decay_t<decltype(*first)>>{}(*first));
+  }
+  return seed;
+}
+
+template <typename T>
+std::size_t hash_vector(const std::vector<T>& v) {
+  return hash_range(v.begin(), v.end());
+}
+
+}  // namespace quanta::common

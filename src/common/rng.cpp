@@ -1,0 +1,44 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace quanta::common {
+
+double Rng::exponential(double rate) {
+  if (rate <= 0.0) {
+    throw std::invalid_argument("Rng::exponential: rate must be positive");
+  }
+  // Inverse transform sampling; guard against log(0).
+  double u = uniform01();
+  if (u <= 0.0) u = std::numeric_limits<double>::min();
+  return -std::log(u) / rate;
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("Rng::uniform_int: empty range");
+  }
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::size_t Rng::weighted_choice(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("Rng::weighted_choice: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("Rng::weighted_choice: all weights zero");
+  }
+  double target = uniform01() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;  // numerical edge: target == total
+}
+
+}  // namespace quanta::common

@@ -1,0 +1,43 @@
+// Random number generation used by the statistical engines (SMC, modes DES,
+// test generation). A thin, seedable wrapper around std::mt19937_64 so that
+// every experiment is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace quanta::common {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) : engine_(seed) {}
+
+  /// Uniform real in [0, 1).
+  double uniform01() { return uniform_(engine_); }
+
+  /// Uniform real in [lo, hi]. Requires lo <= hi.
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Exponentially distributed delay with the given rate (> 0).
+  double exponential(double rate);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+
+  /// Index drawn according to (unnormalised, non-negative) weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_choice(std::span<const double> weights);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+}  // namespace quanta::common

@@ -1,0 +1,126 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace quanta::common {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+
+// Continued-fraction evaluation for the incomplete beta function
+// (Numerical Recipes `betacf`).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3.0e-12;
+  const double tiny = std::numeric_limits<double>::min() * 1e10;
+
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < tiny) d = tiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  double ln_bt = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                 a * std::log(x) + b * std::log1p(-x);
+  double bt = std::exp(ln_bt);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return bt * betacf(a, b, x) / a;
+  }
+  return 1.0 - bt * betacf(b, a, 1.0 - x) / b;
+}
+
+namespace {
+
+// Smallest x with incomplete_beta(a, b, x) >= p, by bisection.
+double beta_quantile(double a, double b, double p) {
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (incomplete_beta(a, b, mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+std::pair<double, double> clopper_pearson(std::size_t successes,
+                                          std::size_t trials, double alpha) {
+  if (trials == 0) throw std::invalid_argument("clopper_pearson: no trials");
+  if (successes > trials) {
+    throw std::invalid_argument("clopper_pearson: successes > trials");
+  }
+  double k = static_cast<double>(successes);
+  double n = static_cast<double>(trials);
+  double lo = 0.0, hi = 1.0;
+  if (successes > 0) {
+    lo = beta_quantile(k, n - k + 1.0, alpha / 2.0);
+  }
+  if (successes < trials) {
+    hi = beta_quantile(k + 1.0, n - k, 1.0 - alpha / 2.0);
+  }
+  return {lo, hi};
+}
+
+std::size_t chernoff_sample_count(double epsilon, double delta) {
+  if (epsilon <= 0.0 || epsilon >= 1.0 || delta <= 0.0 || delta >= 1.0) {
+    throw std::invalid_argument("chernoff_sample_count: parameters in (0,1)");
+  }
+  double n = std::log(2.0 / delta) / (2.0 * epsilon * epsilon);
+  return static_cast<std::size_t>(std::ceil(n));
+}
+
+}  // namespace quanta::common

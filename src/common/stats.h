@@ -1,0 +1,45 @@
+// Statistical primitives used by the SMC engine and the modes-style
+// discrete-event simulator: running moments (Welford), binomial confidence
+// intervals (Clopper-Pearson), and Chernoff-Hoeffding sample-size bounds.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace quanta::common {
+
+/// Numerically stable running mean / variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided Clopper-Pearson confidence interval for a binomial proportion
+/// with `successes` out of `trials` at confidence level 1 - alpha.
+std::pair<double, double> clopper_pearson(std::size_t successes,
+                                          std::size_t trials, double alpha);
+
+/// Number of i.i.d. Bernoulli samples required so that the empirical mean is
+/// within +-epsilon of the true probability with probability >= 1 - delta
+/// (Chernoff-Hoeffding / Okamoto bound, as used by UPPAAL-SMC).
+std::size_t chernoff_sample_count(double epsilon, double delta);
+
+/// Regularized incomplete beta function I_x(a, b), exposed for testing.
+double incomplete_beta(double a, double b, double x);
+
+}  // namespace quanta::common

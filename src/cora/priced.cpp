@@ -1,0 +1,125 @@
+#include "cora/priced.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace quanta::cora {
+
+PriceModel::PriceModel(const ta::System& sys) {
+  rates_.resize(static_cast<std::size_t>(sys.process_count()));
+  edge_costs_.resize(static_cast<std::size_t>(sys.process_count()));
+  for (int p = 0; p < sys.process_count(); ++p) {
+    rates_[static_cast<std::size_t>(p)].assign(sys.process(p).locations.size(), 0);
+    edge_costs_[static_cast<std::size_t>(p)].assign(sys.process(p).edges.size(), 0);
+  }
+}
+
+void PriceModel::set_location_rate(int process, int location, std::int64_t rate) {
+  if (rate < 0) throw std::invalid_argument("negative cost rates unsupported");
+  rates_.at(static_cast<std::size_t>(process)).at(static_cast<std::size_t>(location)) = rate;
+}
+
+void PriceModel::set_edge_cost(int process, int edge, std::int64_t cost) {
+  if (cost < 0) throw std::invalid_argument("negative edge costs unsupported");
+  edge_costs_.at(static_cast<std::size_t>(process)).at(static_cast<std::size_t>(edge)) = cost;
+}
+
+std::int64_t PriceModel::delay_rate(const std::vector<int>& locs) const {
+  std::int64_t total = 0;
+  for (std::size_t p = 0; p < locs.size(); ++p) {
+    total += rates_[p][static_cast<std::size_t>(locs[p])];
+  }
+  return total;
+}
+
+std::int64_t PriceModel::move_cost(const ta::Move& m) const {
+  std::int64_t total = 0;
+  for (const auto& [p, e] : m.participants) {
+    total += edge_costs_[static_cast<std::size_t>(p)][static_cast<std::size_t>(e)];
+  }
+  return total;
+}
+
+MinCostResult min_cost_reachability(
+    const ta::System& sys, const PriceModel& prices,
+    const std::function<bool(const ta::DigitalState&)>& goal,
+    const MinCostOptions& opts) {
+  ta::DigitalSemantics sem(sys);
+
+  struct Entry {
+    std::int64_t cost;
+    std::int32_t node;
+    bool operator>(const Entry& o) const { return cost > o.cost; }
+  };
+  struct NodeInfo {
+    std::int64_t best;
+    std::int32_t parent;
+    std::string action;
+  };
+
+  std::vector<ta::DigitalState> states;
+  std::vector<NodeInfo> info;
+  std::unordered_map<ta::DigitalState, std::int32_t, ta::DigitalStateHash> index;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+
+  auto intern = [&](ta::DigitalState s) -> std::int32_t {
+    auto [it, ins] = index.try_emplace(std::move(s),
+                                       static_cast<std::int32_t>(states.size()));
+    if (ins) {
+      states.push_back(it->first);
+      info.push_back(NodeInfo{std::numeric_limits<std::int64_t>::max(), -1, {}});
+    }
+    return it->second;
+  };
+
+  auto relax = [&](std::int32_t to, std::int64_t cost, std::int32_t from,
+                   std::string action) {
+    if (cost < info[static_cast<std::size_t>(to)].best) {
+      info[static_cast<std::size_t>(to)] =
+          NodeInfo{cost, from, opts.record_trace ? std::move(action) : std::string{}};
+      queue.push(Entry{cost, to});
+    }
+  };
+
+  std::int32_t init = intern(sem.initial());
+  relax(init, 0, -1, "init");
+
+  MinCostResult result;
+  while (!queue.empty()) {
+    auto [cost, node] = queue.top();
+    queue.pop();
+    if (cost > info[static_cast<std::size_t>(node)].best) continue;  // stale
+    ++result.states_explored;
+    const ta::DigitalState state = states[static_cast<std::size_t>(node)];
+    if (goal(state)) {
+      result.reachable = true;
+      result.cost = cost;
+      if (opts.record_trace) {
+        for (std::int32_t cur = node; cur >= 0;
+             cur = info[static_cast<std::size_t>(cur)].parent) {
+          result.trace.push_back(info[static_cast<std::size_t>(cur)].action);
+        }
+        std::reverse(result.trace.begin(), result.trace.end());
+      }
+      return result;
+    }
+    if (states.size() >= opts.max_states) break;
+
+    for (ta::Move& m : sem.enabled_moves(state)) {
+      std::int64_t c = cost + prices.move_cost(m);
+      std::string label =
+          opts.record_trace ? m.describe(sys) : std::string{};
+      relax(intern(sem.apply(state, m)), c, node, std::move(label));
+    }
+    if (sem.can_delay(state)) {
+      std::int64_t c = cost + prices.delay_rate(state.locs);
+      relax(intern(sem.delay_one(state)), c, node, "tick");
+    }
+  }
+  return result;
+}
+
+}  // namespace quanta::cora

@@ -1,0 +1,65 @@
+// UPPAAL-CORA-style minimum-cost reachability for priced timed automata:
+// locations accumulate cost at a rate per time unit, edges charge a discrete
+// cost, and the engine finds the cheapest way to reach a goal predicate.
+// Solved with Dijkstra over the digital-clocks semantics (DESIGN.md §4.2);
+// exact for closed, diagonal-free models with integer rates and costs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ta/digital.h"
+
+namespace quanta::cora {
+
+/// Cost annotations for a ta::System. Indices follow the system's process /
+/// location / edge numbering; missing entries default to 0.
+class PriceModel {
+ public:
+  explicit PriceModel(const ta::System& sys);
+
+  /// Cost per time unit while process `p` is in location `loc`.
+  void set_location_rate(int process, int location, std::int64_t rate);
+  /// One-off cost of taking the edge.
+  void set_edge_cost(int process, int edge, std::int64_t cost);
+
+  std::int64_t location_rate(int process, int location) const {
+    return rates_[static_cast<std::size_t>(process)][static_cast<std::size_t>(location)];
+  }
+  std::int64_t edge_cost(int process, int edge) const {
+    return edge_costs_[static_cast<std::size_t>(process)][static_cast<std::size_t>(edge)];
+  }
+
+  /// Cost of one unit delay in the given configuration: the sum of all
+  /// active location rates.
+  std::int64_t delay_rate(const std::vector<int>& locs) const;
+  /// Total edge cost of a synchronised move.
+  std::int64_t move_cost(const ta::Move& m) const;
+
+ private:
+  std::vector<std::vector<std::int64_t>> rates_;
+  std::vector<std::vector<std::int64_t>> edge_costs_;
+};
+
+struct MinCostResult {
+  bool reachable = false;
+  std::int64_t cost = 0;
+  std::size_t states_explored = 0;
+  /// Action labels along one cheapest path ("tick" for unit delays).
+  std::vector<std::string> trace;
+};
+
+struct MinCostOptions {
+  std::size_t max_states = 10'000'000;
+  bool record_trace = false;
+};
+
+/// Minimum accumulated cost over all runs reaching `goal`.
+MinCostResult min_cost_reachability(
+    const ta::System& sys, const PriceModel& prices,
+    const std::function<bool(const ta::DigitalState&)>& goal,
+    const MinCostOptions& opts = {});
+
+}  // namespace quanta::cora

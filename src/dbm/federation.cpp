@@ -1,0 +1,108 @@
+#include "dbm/federation.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace quanta::dbm {
+
+std::vector<Dbm> subtract(const Dbm& minuend, const Dbm& subtrahend) {
+  std::vector<Dbm> result;
+  if (minuend.is_empty()) return result;
+  if (subtrahend.is_empty()) {
+    result.push_back(minuend);
+    return result;
+  }
+  if (minuend.dim() != subtrahend.dim()) {
+    throw std::invalid_argument("dbm::subtract: dimension mismatch");
+  }
+  // Peel the minuend constraint by constraint: for every facet of the
+  // subtrahend, the part of the (remaining) minuend strictly outside that
+  // facet belongs to the difference; the rest is carried forward. The pieces
+  // produced this way are pairwise disjoint.
+  Dbm rest = minuend;
+  const int n = minuend.dim();
+  for (int i = 0; i < n && !rest.is_empty(); ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      raw_t b = subtrahend.at(i, j);
+      if (b >= kInf) continue;
+      Dbm piece = rest;
+      if (piece.constrain(j, i, bound_negate(b))) {
+        result.push_back(piece);
+      }
+      if (!rest.constrain(i, j, b)) break;
+    }
+  }
+  return result;
+}
+
+Federation::Federation(const Dbm& zone) : dim_(zone.dim()) {
+  if (!zone.is_empty()) zones_.push_back(zone);
+}
+
+void Federation::add(const Dbm& zone) {
+  if (zone.is_empty()) return;
+  if (zone.dim() != dim_) throw std::invalid_argument("Federation::add: dim");
+  for (auto it = zones_.begin(); it != zones_.end();) {
+    Relation r = zone.relation(*it);
+    if (r == Relation::kEqual || r == Relation::kSubset) return;  // covered
+    if (r == Relation::kSuperset) {
+      it = zones_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  zones_.push_back(zone);
+}
+
+void Federation::subtract(const Dbm& zone) {
+  if (zone.is_empty() || zones_.empty()) return;
+  std::vector<Dbm> next;
+  for (const Dbm& z : zones_) {
+    if (!z.intersects(zone)) {
+      next.push_back(z);
+      continue;
+    }
+    for (Dbm& piece : quanta::dbm::subtract(z, zone)) {
+      next.push_back(std::move(piece));
+    }
+  }
+  zones_ = std::move(next);
+}
+
+void Federation::intersect(const Dbm& zone) {
+  std::vector<Dbm> next;
+  for (Dbm z : zones_) {
+    if (z.intersect(zone)) next.push_back(std::move(z));
+  }
+  zones_ = std::move(next);
+}
+
+bool Federation::contains(const Dbm& zone) const {
+  if (zone.is_empty()) return true;
+  Federation remainder(zone);
+  for (const Dbm& z : zones_) {
+    remainder.subtract(z);
+    if (remainder.is_empty()) return true;
+  }
+  return remainder.is_empty();
+}
+
+bool Federation::intersects(const Dbm& zone) const {
+  for (const Dbm& z : zones_) {
+    if (z.intersects(zone)) return true;
+  }
+  return false;
+}
+
+std::string Federation::to_string() const {
+  if (zones_.empty()) return "<empty federation>";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < zones_.size(); ++i) {
+    if (i > 0) os << " | ";
+    os << "{" << zones_[i].to_string() << "}";
+  }
+  return os.str();
+}
+
+}  // namespace quanta::dbm

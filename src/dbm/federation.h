@@ -1,0 +1,50 @@
+// Federations: finite unions of zones (DBMs) of a common dimension.
+// Needed wherever a set difference of zones arises — exact deadlock checking
+// in the model checker and state-set estimation in online testing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dbm/dbm.h"
+
+namespace quanta::dbm {
+
+class Federation {
+ public:
+  explicit Federation(int dim) : dim_(dim) {}
+  /// Federation containing a single zone (skipped if empty).
+  explicit Federation(const Dbm& zone);
+
+  int dim() const { return dim_; }
+  bool is_empty() const { return zones_.empty(); }
+  std::size_t size() const { return zones_.size(); }
+  const std::vector<Dbm>& zones() const { return zones_; }
+
+  /// Adds a zone; drops it if empty or already included in a member, and
+  /// drops members included in the new zone.
+  void add(const Dbm& zone);
+
+  /// Removes `zone` from this federation (exact set difference).
+  void subtract(const Dbm& zone);
+
+  /// Intersects every member with `zone`, dropping empties.
+  void intersect(const Dbm& zone);
+
+  /// True iff `zone` is completely covered by this federation.
+  bool contains(const Dbm& zone) const;
+
+  /// True iff some member intersects `zone`.
+  bool intersects(const Dbm& zone) const;
+
+  std::string to_string() const;
+
+ private:
+  int dim_;
+  std::vector<Dbm> zones_;
+};
+
+/// Exact set difference minuend \ subtrahend as a list of disjoint zones.
+std::vector<Dbm> subtract(const Dbm& minuend, const Dbm& subtrahend);
+
+}  // namespace quanta::dbm

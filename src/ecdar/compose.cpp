@@ -1,0 +1,200 @@
+#include "ecdar/compose.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace quanta::ecdar {
+
+namespace {
+
+void require_clock_only(const Tioa& t, const char* side) {
+  if (t.system.vars().size() != 0) {
+    throw std::invalid_argument(std::string("compose: specification '") +
+                                side + "' uses discrete variables");
+  }
+}
+
+/// Shifts the clock indices of a constraint list.
+std::vector<ta::ClockConstraint> shift(const std::vector<ta::ClockConstraint>& ccs,
+                                       int offset) {
+  std::vector<ta::ClockConstraint> out;
+  out.reserve(ccs.size());
+  for (auto c : ccs) {
+    if (c.i != 0) c.i += offset;
+    if (c.j != 0) c.j += offset;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<std::pair<int, ta::Value>> shift_resets(
+    const std::vector<std::pair<int, ta::Value>>& resets, int offset) {
+  std::vector<std::pair<int, ta::Value>> out;
+  out.reserve(resets.size());
+  for (auto [clock, value] : resets) out.emplace_back(clock + offset, value);
+  return out;
+}
+
+void append(std::vector<ta::ClockConstraint>& dst,
+            const std::vector<ta::ClockConstraint>& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+}  // namespace
+
+Tioa compose(const Tioa& a, const Tioa& b) {
+  a.validate();
+  b.validate();
+  require_clock_only(a, "a");
+  require_clock_only(b, "b");
+  const ta::Process& pa = a.system.process(0);
+  const ta::Process& pb = b.system.process(0);
+
+  Tioa out;
+  // Channels, matched by name.
+  std::map<std::string, int> chan_by_name;
+  std::vector<int> a_chan(static_cast<std::size_t>(a.system.channel_count()));
+  std::vector<int> b_chan(static_cast<std::size_t>(b.system.channel_count()));
+  auto intern_channel = [&](const std::string& name) {
+    auto it = chan_by_name.find(name);
+    if (it != chan_by_name.end()) return it->second;
+    int id = out.system.add_channel(name);
+    chan_by_name.emplace(name, id);
+    return id;
+  };
+  for (int c = 0; c < a.system.channel_count(); ++c) {
+    a_chan[static_cast<std::size_t>(c)] =
+        intern_channel(a.system.channel(c).name);
+  }
+  std::map<std::string, bool> in_a;
+  for (int c = 0; c < a.system.channel_count(); ++c) {
+    in_a[a.system.channel(c).name] = true;
+  }
+  bool any_shared = false;
+  for (int c = 0; c < b.system.channel_count(); ++c) {
+    const std::string& name = b.system.channel(c).name;
+    if (in_a.count(name)) any_shared = true;
+    b_chan[static_cast<std::size_t>(c)] = intern_channel(name);
+  }
+  (void)any_shared;
+
+  // Polarity of composed channels: input iff input on every side that knows
+  // the action; shared output/input pairs become outputs; two outputs clash.
+  for (const auto& [name, id] : chan_by_name) {
+    bool a_output = false, b_output = false;
+    for (int c = 0; c < a.system.channel_count(); ++c) {
+      if (a.system.channel(c).name == name && !a.is_input(c)) a_output = true;
+    }
+    for (int c = 0; c < b.system.channel_count(); ++c) {
+      if (b.system.channel(c).name == name && !b.is_input(c)) b_output = true;
+    }
+    if (a_output && b_output) {
+      throw std::invalid_argument("compose: action '" + name +
+                                  "' is an output on both sides");
+    }
+    bool is_output = a_output || b_output;
+    if (!is_output) out.inputs.insert(id);
+  }
+
+  // Clocks: a's, then b's (prefix on name clash).
+  const int offset = a.system.clock_count();
+  for (int c = 1; c <= a.system.clock_count(); ++c) {
+    out.system.add_clock(a.system.clock_name(c));
+  }
+  for (int c = 1; c <= b.system.clock_count(); ++c) {
+    std::string name = b.system.clock_name(c);
+    bool clash = false;
+    for (int d = 1; d <= a.system.clock_count(); ++d) {
+      if (a.system.clock_name(d) == name) clash = true;
+    }
+    out.system.add_clock(clash ? pb.name + "." + name : name);
+  }
+
+  // Product locations.
+  ta::ProcessBuilder builder(pa.name + "||" + pb.name);
+  const int nb = static_cast<int>(pb.locations.size());
+  auto loc_id = [nb](int i, int j) { return i * nb + j; };
+  for (const auto& la : pa.locations) {
+    for (const auto& lb : pb.locations) {
+      std::vector<ta::ClockConstraint> inv = la.invariant;
+      append(inv, shift(lb.invariant, offset));
+      builder.location(la.name + "|" + lb.name, std::move(inv),
+                       la.committed || lb.committed, la.urgent || lb.urgent);
+    }
+  }
+  builder.set_initial(loc_id(pa.initial, pb.initial));
+
+  auto shared = [&](int composed_channel) {
+    // Shared iff both sides declare an edge-bearing channel with this name.
+    const std::string& name = out.system.channel(composed_channel).name;
+    bool in_a_edges = false, in_b_edges = false;
+    for (const auto& e : pa.edges) {
+      if (e.channel >= 0 && a.system.channel(e.channel).name == name) {
+        in_a_edges = true;
+      }
+    }
+    for (const auto& e : pb.edges) {
+      if (e.channel >= 0 && b.system.channel(e.channel).name == name) {
+        in_b_edges = true;
+      }
+    }
+    return in_a_edges && in_b_edges;
+  };
+
+  // Edges.
+  for (int j = 0; j < nb; ++j) {
+    for (const auto& ea : pa.edges) {
+      int ch = ea.channel >= 0 ? a_chan[static_cast<std::size_t>(ea.channel)] : -1;
+      if (ch >= 0 && shared(ch)) continue;  // handled jointly below
+      int idx = builder.edge(loc_id(ea.source, j), loc_id(ea.target, j));
+      ta::Edge& e = builder.edge_ref(idx);
+      e.guard = ea.guard;
+      e.resets = ea.resets;
+      e.channel = ch;
+      e.sync = ea.sync;
+      e.label = ea.label;
+    }
+  }
+  for (int i = 0; i < static_cast<int>(pa.locations.size()); ++i) {
+    for (const auto& eb : pb.edges) {
+      int ch = eb.channel >= 0 ? b_chan[static_cast<std::size_t>(eb.channel)] : -1;
+      if (ch >= 0 && shared(ch)) continue;
+      int idx = builder.edge(loc_id(i, eb.source), loc_id(i, eb.target));
+      ta::Edge& e = builder.edge_ref(idx);
+      e.guard = shift(eb.guard, offset);
+      e.resets = shift_resets(eb.resets, offset);
+      e.channel = ch;
+      e.sync = eb.sync;
+      e.label = eb.label;
+    }
+  }
+  // Joint edges on shared actions.
+  for (const auto& ea : pa.edges) {
+    if (ea.channel < 0) continue;
+    int ch = a_chan[static_cast<std::size_t>(ea.channel)];
+    if (!shared(ch)) continue;
+    for (const auto& eb : pb.edges) {
+      if (eb.channel < 0) continue;
+      if (b_chan[static_cast<std::size_t>(eb.channel)] != ch) continue;
+      int idx = builder.edge(loc_id(ea.source, eb.source),
+                             loc_id(ea.target, eb.target));
+      ta::Edge& e = builder.edge_ref(idx);
+      e.guard = ea.guard;
+      append(e.guard, shift(eb.guard, offset));
+      e.resets = ea.resets;
+      for (auto r : shift_resets(eb.resets, offset)) e.resets.push_back(r);
+      e.channel = ch;
+      // Output wins over input; input-input stays input.
+      e.sync = (ea.sync == ta::SyncKind::kSend || eb.sync == ta::SyncKind::kSend)
+                   ? ta::SyncKind::kSend
+                   : ta::SyncKind::kReceive;
+      e.label = ea.label + "&" + eb.label;
+    }
+  }
+
+  out.system.add_process(builder.build());
+  out.validate();
+  return out;
+}
+
+}  // namespace quanta::ecdar

@@ -1,0 +1,20 @@
+// Structural composition of timed I/O specifications (ECDAR's parallel
+// product): shared actions synchronise — an output of one side matched with
+// an input of the other becomes an output of the composite; input-input
+// stays an input — and unshared actions interleave. Output-output clashes
+// on a shared action are rejected.
+//
+// Restricted to clock-only specifications (no discrete variables), which is
+// the ECDAR fragment; throws otherwise.
+#pragma once
+
+#include "ecdar/tioa.h"
+
+namespace quanta::ecdar {
+
+/// Parallel composition a || b. Channels are matched by name; clocks are
+/// disjoint (renamed with a process prefix on collision); the location space
+/// is the product with conjoined invariants.
+Tioa compose(const Tioa& a, const Tioa& b);
+
+}  // namespace quanta::ecdar

@@ -1,0 +1,49 @@
+// Internal helpers shared by the ECDAR consistency and refinement checkers:
+// a digital-clocks stepper for open (single-process) timed I/O automata.
+#pragma once
+
+#include <compare>
+#include <string>
+#include <vector>
+
+#include "ecdar/tioa.h"
+
+namespace quanta::ecdar::internal {
+
+struct TioaState {
+  int loc = 0;
+  ta::Valuation vars;
+  std::vector<std::int32_t> clocks;
+
+  auto operator<=>(const TioaState&) const = default;
+};
+
+class OpenTioaStepper {
+ public:
+  explicit OpenTioaStepper(const Tioa& spec);
+
+  const ta::Process& process() const { return spec_->system.process(0); }
+  const Tioa& spec() const { return *spec_; }
+
+  TioaState initial() const;
+  bool invariant_ok(const TioaState& s) const;
+  bool edge_enabled(const TioaState& s, const ta::Edge& e) const;
+  TioaState apply(const TioaState& s, const ta::Edge& e) const;
+  bool can_delay(const TioaState& s) const;
+  TioaState delay(const TioaState& s) const;
+  std::vector<const ta::Edge*> enabled_edges(const TioaState& s) const;
+  /// The unique enabled edge for (channel, kind), or nullptr; throws on
+  /// nondeterminism.
+  const ta::Edge* enabled_edge_for(const TioaState& s, int channel,
+                                   ta::SyncKind kind) const;
+  std::string describe(const TioaState& s) const;
+
+  static bool constraint_ok(const ta::ClockConstraint& c,
+                            const std::vector<std::int32_t>& clocks);
+
+ private:
+  const Tioa* spec_;
+  std::vector<std::int32_t> caps_;
+};
+
+}  // namespace quanta::ecdar::internal

@@ -1,0 +1,89 @@
+#include "ecdar/refinement.h"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "ecdar/internal.h"
+
+namespace quanta::ecdar {
+
+using internal::OpenTioaStepper;
+using internal::TioaState;
+
+RefinementResult check_refinement(const Tioa& s_spec, const Tioa& t_spec) {
+  OpenTioaStepper s(s_spec);
+  OpenTioaStepper t(t_spec);
+  if (s_spec.inputs != t_spec.inputs) {
+    throw std::invalid_argument(
+        "check_refinement: specifications must share the input alphabet");
+  }
+
+  // Co-inductive check by on-the-fly exploration of state pairs: assume the
+  // relation holds, explore obligations, and fail on the first pair where an
+  // alternating-simulation condition breaks. Sound for finite digital state
+  // spaces because every reachable obligation is eventually checked.
+  std::set<std::pair<TioaState, TioaState>> seen;
+  std::deque<std::pair<TioaState, TioaState>> work;
+  auto push = [&](TioaState a, TioaState b) {
+    auto key = std::make_pair(std::move(a), std::move(b));
+    if (seen.insert(key).second) work.push_back(std::move(key));
+  };
+  push(s.initial(), t.initial());
+
+  RefinementResult result;
+  auto fail = [&](const TioaState& ss, const TioaState& ts,
+                  const std::string& why) {
+    result.refines = false;
+    std::ostringstream os;
+    os << why << " at pair (" << s.describe(ss) << ", " << t.describe(ts) << ")";
+    result.reason = os.str();
+    return result;
+  };
+
+  while (!work.empty()) {
+    auto [ss, ts] = work.front();
+    work.pop_front();
+    ++result.pairs_explored;
+
+    // (i) Inputs offered by T must be accepted by S.
+    for (const auto& e : t.process().edges) {
+      if (e.sync != ta::SyncKind::kReceive) continue;
+      if (!t.edge_enabled(ts, e)) continue;
+      const ta::Edge* match =
+          s.enabled_edge_for(ss, e.channel, ta::SyncKind::kReceive);
+      if (match == nullptr) {
+        return fail(ss, ts,
+                    "input '" + t_spec.system.channel(e.channel).name +
+                        "' offered by the refined spec is not accepted");
+      }
+      push(s.apply(ss, *match), t.apply(ts, e));
+    }
+    // (ii) Outputs produced by S must be allowed by T.
+    for (const auto& e : s.process().edges) {
+      if (e.sync != ta::SyncKind::kSend) continue;
+      if (!s.edge_enabled(ss, e)) continue;
+      const ta::Edge* match =
+          t.enabled_edge_for(ts, e.channel, ta::SyncKind::kSend);
+      if (match == nullptr) {
+        return fail(ss, ts,
+                    "output '" + s_spec.system.channel(e.channel).name +
+                        "' of the refining spec is not allowed");
+      }
+      push(s.apply(ss, *match), t.apply(ts, e));
+    }
+    // (iii) Delays of S must be matched by T.
+    if (s.can_delay(ss)) {
+      if (!t.can_delay(ts)) {
+        return fail(ss, ts, "the refining spec delays where the refined cannot");
+      }
+      push(s.delay(ss), t.delay(ts));
+    }
+  }
+  result.refines = true;
+  return result;
+}
+
+}  // namespace quanta::ecdar

@@ -1,0 +1,23 @@
+// Refinement checking between timed I/O specifications (ECDAR's core
+// operation): S refines T iff an alternating simulation relates their
+// initial states — T's inputs must be accepted by S, S's outputs must be
+// allowed by T, and S's delays must be matched by T.
+#pragma once
+
+#include "ecdar/tioa.h"
+
+namespace quanta::ecdar {
+
+struct RefinementResult {
+  bool refines = false;
+  std::size_t pairs_explored = 0;
+  /// When !refines: a printable reason for the first failing pair.
+  std::string reason;
+};
+
+/// Checks S <= T (S refines T). Both specifications must be deterministic
+/// (at most one enabled edge per action per state) and share action ids and
+/// input/output polarity; throws std::invalid_argument otherwise.
+RefinementResult check_refinement(const Tioa& s, const Tioa& t);
+
+}  // namespace quanta::ecdar

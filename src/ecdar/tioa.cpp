@@ -1,0 +1,167 @@
+#include "ecdar/tioa.h"
+
+#include <deque>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "ecdar/internal.h"
+
+namespace quanta::ecdar {
+
+void Tioa::validate() const {
+  system.validate();
+  if (system.process_count() != 1) {
+    throw std::invalid_argument("Tioa: exactly one process required");
+  }
+  if (system.has_probabilistic()) {
+    throw std::invalid_argument("Tioa: probabilistic branches not allowed");
+  }
+  for (const auto& e : system.process(0).edges) {
+    if (e.sync == ta::SyncKind::kNone) continue;
+    bool input_channel = is_input(e.channel);
+    bool input_edge = e.sync == ta::SyncKind::kReceive;
+    if (input_channel != input_edge) {
+      throw std::invalid_argument(
+          "Tioa: edge direction inconsistent with input/output partition");
+    }
+  }
+}
+
+namespace internal {
+
+OpenTioaStepper::OpenTioaStepper(const Tioa& spec) : spec_(&spec) {
+  spec.validate();
+  caps_ = spec.system.max_constants();
+  for (auto& c : caps_) c += 1;
+}
+
+TioaState OpenTioaStepper::initial() const {
+  TioaState s;
+  s.loc = process().initial;
+  s.vars = spec_->system.vars().initial();
+  s.clocks.assign(static_cast<std::size_t>(spec_->system.dim()), 0);
+  return s;
+}
+
+bool OpenTioaStepper::constraint_ok(const ta::ClockConstraint& c,
+                                    const std::vector<std::int32_t>& clocks) {
+  if (c.bound >= dbm::kInf) return true;
+  std::int64_t diff = static_cast<std::int64_t>(clocks[c.i]) - clocks[c.j];
+  std::int64_t m = dbm::bound_value(c.bound);
+  return dbm::bound_is_strict(c.bound) ? diff < m : diff <= m;
+}
+
+bool OpenTioaStepper::edge_enabled(const TioaState& s, const ta::Edge& e) const {
+  if (e.source != s.loc) return false;
+  if (e.data_guard && !e.data_guard(s.vars)) return false;
+  for (const auto& c : e.guard) {
+    if (!constraint_ok(c, s.clocks)) return false;
+  }
+  return true;
+}
+
+bool OpenTioaStepper::invariant_ok(const TioaState& s) const {
+  for (const auto& c :
+       process().locations[static_cast<std::size_t>(s.loc)].invariant) {
+    if (!constraint_ok(c, s.clocks)) return false;
+  }
+  return true;
+}
+
+TioaState OpenTioaStepper::apply(const TioaState& s, const ta::Edge& e) const {
+  TioaState next = s;
+  next.loc = e.target;
+  for (const auto& [clock, value] : e.resets) {
+    next.clocks[static_cast<std::size_t>(clock)] = value;
+  }
+  if (e.update) {
+    e.update(next.vars);
+    spec_->system.vars().check_bounds(next.vars);
+  }
+  return next;
+}
+
+bool OpenTioaStepper::can_delay(const TioaState& s) const {
+  TioaState next = delay(s);
+  return invariant_ok(next);
+}
+
+TioaState OpenTioaStepper::delay(const TioaState& s) const {
+  TioaState next = s;
+  for (std::size_t i = 1; i < next.clocks.size(); ++i) {
+    if (next.clocks[i] < caps_[i]) next.clocks[i] += 1;
+  }
+  return next;
+}
+
+std::vector<const ta::Edge*> OpenTioaStepper::enabled_edges(
+    const TioaState& s) const {
+  std::vector<const ta::Edge*> result;
+  for (const auto& e : process().edges) {
+    if (edge_enabled(s, e)) result.push_back(&e);
+  }
+  return result;
+}
+
+const ta::Edge* OpenTioaStepper::enabled_edge_for(const TioaState& s,
+                                                  int channel,
+                                                  ta::SyncKind kind) const {
+  const ta::Edge* found = nullptr;
+  for (const auto& e : process().edges) {
+    if (e.sync != kind || e.channel != channel) continue;
+    if (!edge_enabled(s, e)) continue;
+    if (found != nullptr) {
+      throw std::invalid_argument(
+          "Tioa: nondeterministic action — refinement requires determinism");
+    }
+    found = &e;
+  }
+  return found;
+}
+
+std::string OpenTioaStepper::describe(const TioaState& s) const {
+  std::ostringstream os;
+  os << process().name << "."
+     << process().locations[static_cast<std::size_t>(s.loc)].name << " [";
+  for (std::size_t i = 1; i < s.clocks.size(); ++i) {
+    if (i > 1) os << ",";
+    os << spec_->system.clock_name(static_cast<int>(i)) << "=" << s.clocks[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace internal
+
+ConsistencyResult check_consistency(const Tioa& spec) {
+  internal::OpenTioaStepper stepper(spec);
+  std::map<internal::TioaState, bool> seen;
+  std::deque<internal::TioaState> work;
+  work.push_back(stepper.initial());
+  seen[work.front()] = true;
+
+  ConsistencyResult result;
+  while (!work.empty()) {
+    internal::TioaState s = std::move(work.front());
+    work.pop_front();
+    auto edges = stepper.enabled_edges(s);
+    if (!stepper.can_delay(s) && edges.empty()) {
+      result.consistent = false;
+      result.error_state = stepper.describe(s);
+      return result;
+    }
+    if (stepper.can_delay(s)) {
+      internal::TioaState n = stepper.delay(s);
+      if (seen.emplace(n, true).second) work.push_back(std::move(n));
+    }
+    for (const ta::Edge* e : edges) {
+      internal::TioaState n = stepper.apply(s, *e);
+      if (seen.emplace(n, true).second) work.push_back(std::move(n));
+    }
+  }
+  result.consistent = true;
+  return result;
+}
+
+}  // namespace quanta::ecdar

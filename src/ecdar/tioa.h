@@ -1,0 +1,39 @@
+// ECDAR-style specification theory for real-time systems (§II, timed I/O
+// automata): specifications are open timed automata whose actions split into
+// inputs and outputs; the theory's core judgement is *refinement* — an
+// alternating simulation where the refining spec must accept at least the
+// inputs and emit at most the outputs of the refined one, while matching
+// delays. Checked here on the digital-clocks semantics for deterministic
+// TIOA (DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ta/model.h"
+
+namespace quanta::ecdar {
+
+/// A timed I/O specification: one TA process; channel ids are actions,
+/// partitioned by `inputs` (all other channels on edges are outputs).
+/// Edge sync kinds encode direction: kReceive = input, kSend = output.
+struct Tioa {
+  ta::System system;
+  std::set<int> inputs;
+
+  bool is_input(int channel) const { return inputs.count(channel) > 0; }
+  void validate() const;
+};
+
+struct ConsistencyResult {
+  bool consistent = false;
+  std::string error_state;  ///< a timelocked state, when inconsistent
+};
+
+/// A spec is consistent when no reachable state is timelocked (time blocked
+/// with no enabled action): such states admit no implementation.
+ConsistencyResult check_consistency(const Tioa& spec);
+
+}  // namespace quanta::ecdar

@@ -1,0 +1,288 @@
+#include "game/tiga.h"
+
+#include <deque>
+
+namespace quanta::game {
+
+namespace {
+
+bool move_controllable(const ta::System& sys, const ta::Move& m) {
+  for (const auto& [p, e] : m.participants) {
+    if (!sys.process(p).edges.at(static_cast<std::size_t>(e)).controllable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<StrategyAction> Strategy::action(const ta::DigitalState& s) const {
+  auto it = actions_.find(s);
+  if (it == actions_.end()) return std::nullopt;
+  return it->second;
+}
+
+TimedGame::TimedGame(const ta::System& sys) : sem_(sys) {}
+
+std::int32_t TimedGame::intern(ta::DigitalState s) {
+  auto [it, inserted] =
+      index_.try_emplace(std::move(s), static_cast<std::int32_t>(nodes_.size()));
+  if (inserted) {
+    nodes_.push_back(Node{it->first, {}, {}, -1});
+  }
+  return it->second;
+}
+
+void TimedGame::build_graph() {
+  if (built_) return;
+  std::deque<std::int32_t> work;
+  work.push_back(intern(sem_.initial()));
+  std::size_t done = 0;
+  while (done < nodes_.size()) {
+    std::int32_t idx = static_cast<std::int32_t>(done++);
+    const ta::DigitalState state = nodes_[static_cast<std::size_t>(idx)].state;
+    std::vector<std::pair<std::int32_t, ta::Move>> ctrl;
+    std::vector<std::int32_t> unctrl;
+    std::int32_t tick = -1;
+    for (ta::Move& m : sem_.enabled_moves(state)) {
+      std::int32_t to = intern(sem_.apply(state, m));
+      if (move_controllable(sem_.system(), m)) {
+        ctrl.emplace_back(to, std::move(m));
+      } else {
+        unctrl.push_back(to);
+      }
+    }
+    if (sem_.can_delay(state)) tick = intern(sem_.delay_one(state));
+    Node& node = nodes_[static_cast<std::size_t>(idx)];
+    node.ctrl = std::move(ctrl);
+    node.unctrl = std::move(unctrl);
+    node.tick = tick;
+  }
+  built_ = true;
+}
+
+GameResult TimedGame::solve_reachability(const GamePredicate& goal) {
+  build_graph();
+  const std::size_t n = nodes_.size();
+  std::vector<char> win(n, 0);
+  std::vector<StrategyAction> act(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (goal(nodes_[i].state)) win[i] = 1;
+  }
+  // Least fixpoint of the controllable predecessor (environment preempts).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (win[i]) continue;
+      const Node& node = nodes_[i];
+      bool unctrl_safe = true;
+      for (std::int32_t u : node.unctrl) {
+        if (!win[static_cast<std::size_t>(u)]) {
+          unctrl_safe = false;
+          break;
+        }
+      }
+      if (!unctrl_safe) continue;
+      // Controller needs some way to make progress into the winning set.
+      const ta::Move* witness = nullptr;
+      bool wait_wins = node.tick >= 0 && win[static_cast<std::size_t>(node.tick)];
+      for (const auto& [to, move] : node.ctrl) {
+        if (win[static_cast<std::size_t>(to)]) {
+          witness = &move;
+          break;
+        }
+      }
+      // Time blocked by an invariant with only (winning) uncontrollable
+      // moves enabled: runs must progress, so the environment is forced to
+      // fire one of them — the controller wins by waiting.
+      bool forced_env = node.tick < 0 && !node.unctrl.empty();
+      if (witness != nullptr || wait_wins || forced_env) {
+        win[i] = 1;
+        if (witness != nullptr) {
+          act[i] = StrategyAction{ActionKind::kMove, *witness};
+        } else {
+          act[i] = StrategyAction{ActionKind::kWait, {}};
+        }
+        changed = true;
+      }
+    }
+  }
+
+  GameResult result;
+  result.states_explored = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!win[i]) continue;
+    ++result.winning_states;
+    result.strategy.actions_.emplace(nodes_[i].state, act[i]);
+  }
+  result.controller_wins = !nodes_.empty() && win[0];
+  return result;
+}
+
+GameResult TimedGame::solve_safety(const GamePredicate& safe) {
+  build_graph();
+  const std::size_t n = nodes_.size();
+  std::vector<char> win(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (safe(nodes_[i].state)) win[i] = 1;
+  }
+  // Greatest fixpoint: prune states the controller cannot keep safe.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!win[i]) continue;
+      const Node& node = nodes_[i];
+      bool unctrl_safe = true;
+      for (std::int32_t u : node.unctrl) {
+        if (!win[static_cast<std::size_t>(u)]) {
+          unctrl_safe = false;
+          break;
+        }
+      }
+      bool has_safe_ctrl = false;
+      for (const auto& [to, move] : node.ctrl) {
+        if (win[static_cast<std::size_t>(to)]) {
+          has_safe_ctrl = true;
+          break;
+        }
+      }
+      bool can_wait = node.tick >= 0 && win[static_cast<std::size_t>(node.tick)];
+      // A timelocked state with no moves at all is trivially safe to hold.
+      bool frozen = node.ctrl.empty() && node.tick < 0;
+      if (!(unctrl_safe && (has_safe_ctrl || can_wait || frozen))) {
+        win[i] = 0;
+        changed = true;
+      }
+    }
+  }
+
+  GameResult result;
+  result.states_explored = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!win[i]) continue;
+    ++result.winning_states;
+    const Node& node = nodes_[i];
+    StrategyAction action{ActionKind::kWait, {}};
+    if (!(node.tick >= 0 && win[static_cast<std::size_t>(node.tick)])) {
+      for (const auto& [to, move] : node.ctrl) {
+        if (win[static_cast<std::size_t>(to)]) {
+          action = StrategyAction{ActionKind::kMove, move};
+          break;
+        }
+      }
+    }
+    result.strategy.actions_.emplace(node.state, action);
+  }
+  result.controller_wins = !nodes_.empty() && win[0];
+  return result;
+}
+
+namespace {
+
+/// Closed-loop successor expansion shared by the two verifiers. Returns
+/// false immediately when `visit` returns false for a reachable state.
+bool closed_loop_explore(
+    const ta::System& sys, const Strategy& strategy,
+    const std::function<bool(const ta::DigitalState&)>& prune,
+    const std::function<bool(const ta::DigitalState&)>& visit,
+    std::vector<ta::DigitalState>* out_states,
+    std::vector<std::vector<std::int32_t>>* out_succ) {
+  ta::DigitalSemantics sem(sys);
+  std::unordered_map<ta::DigitalState, std::int32_t, ta::DigitalStateHash> index;
+  std::vector<ta::DigitalState> states;
+  std::deque<std::int32_t> work;
+
+  auto intern = [&](ta::DigitalState s) -> std::int32_t {
+    auto [it, ins] = index.try_emplace(std::move(s),
+                                       static_cast<std::int32_t>(states.size()));
+    if (ins) {
+      states.push_back(it->first);
+      work.push_back(it->second);
+    }
+    return it->second;
+  };
+
+  intern(sem.initial());
+  std::vector<std::vector<std::int32_t>> succ;
+  while (!work.empty()) {
+    std::int32_t idx = work.front();
+    work.pop_front();
+    const ta::DigitalState state = states[static_cast<std::size_t>(idx)];
+    if (!visit(state)) return false;
+    succ.resize(states.size());
+    if (prune(state)) continue;  // no expansion beyond pruned states
+    auto action = strategy.action(state);
+    std::vector<std::int32_t> next;
+    // Environment may always act.
+    for (ta::Move& m : sem.enabled_moves(state)) {
+      if (!move_controllable(sys, m)) next.push_back(intern(sem.apply(state, m)));
+    }
+    if (action && action->kind == ActionKind::kMove) {
+      next.push_back(intern(sem.apply(state, action->move)));
+    } else {
+      // Strategy waits (or state is outside the winning region): time may
+      // pass if permitted.
+      if (sem.can_delay(state)) next.push_back(intern(sem.delay_one(state)));
+    }
+    succ[static_cast<std::size_t>(idx)] = std::move(next);
+  }
+  succ.resize(states.size());
+  if (out_states) *out_states = std::move(states);
+  if (out_succ) *out_succ = std::move(succ);
+  return true;
+}
+
+}  // namespace
+
+bool verify_safety_strategy(const ta::System& sys, const Strategy& strategy,
+                            const GamePredicate& safe) {
+  return closed_loop_explore(
+      sys, strategy, [](const ta::DigitalState&) { return false; },
+      [&safe](const ta::DigitalState& s) { return safe(s); }, nullptr, nullptr);
+}
+
+bool verify_reach_strategy(const ta::System& sys, const Strategy& strategy,
+                           const GamePredicate& goal) {
+  std::vector<ta::DigitalState> states;
+  std::vector<std::vector<std::int32_t>> succ;
+  // Prune at goal states: obligations are discharged there.
+  bool ok = closed_loop_explore(
+      sys, strategy, goal, [](const ta::DigitalState&) { return true; },
+      &states, &succ);
+  if (!ok) return false;
+  succ.resize(states.size());
+  // Every non-goal reachable state must make progress (have successors) and
+  // the non-goal subgraph must be acyclic (so goal is reached eventually).
+  const std::size_t n = states.size();
+  std::vector<char> color(n, 0);
+  std::vector<std::pair<std::int32_t, std::size_t>> stack;
+  for (std::size_t root = 0; root < n; ++root) {
+    if (goal(states[root]) || color[root] != 0) continue;
+    stack.push_back({static_cast<std::int32_t>(root), 0});
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [node, child] = stack.back();
+      const auto& kids = succ[static_cast<std::size_t>(node)];
+      if (kids.empty()) return false;  // dead end short of the goal
+      if (child == kids.size()) {
+        color[static_cast<std::size_t>(node)] = 2;
+        stack.pop_back();
+        continue;
+      }
+      std::int32_t k = kids[child++];
+      if (goal(states[static_cast<std::size_t>(k)])) continue;
+      char& c = color[static_cast<std::size_t>(k)];
+      if (c == 1) return false;  // goal-free cycle
+      if (c == 0) {
+        c = 1;
+        stack.push_back({k, 0});
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace quanta::game

@@ -1,0 +1,100 @@
+// Timed-game solving and controller synthesis in the spirit of UPPAAL-TIGA
+// (§II.A.b): the model is a network of timed (game) automata whose edges are
+// partitioned into controllable and uncontrollable (Edge::controllable); the
+// solver computes the controller's winning region for reachability or safety
+// objectives and extracts a memoryless strategy over game states.
+//
+// Semantics: the digital-clocks turn abstraction (DESIGN.md §4.1). In every
+// state the environment may fire any enabled uncontrollable move; the
+// controller may fire an enabled controllable move or wait (unit tick). The
+// environment can always preempt, so the controllable predecessor requires
+// all uncontrollable successors to stay winning — the conservative
+// Maler-Pnueli-Sifakis rule. A synchronised move is controllable iff all
+// participating edges are controllable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ta/digital.h"
+
+namespace quanta::game {
+
+using GamePredicate = std::function<bool(const ta::DigitalState&)>;
+
+enum class ActionKind { kWait, kMove };
+
+struct StrategyAction {
+  ActionKind kind = ActionKind::kWait;
+  ta::Move move;  ///< valid when kind == kMove
+};
+
+class TimedGame;
+
+/// A memoryless strategy on the reachable game graph.
+class Strategy {
+ public:
+  /// The prescribed action, or nullopt if the state is not winning / known.
+  std::optional<StrategyAction> action(const ta::DigitalState& s) const;
+
+  std::size_t winning_states() const { return actions_.size(); }
+
+ private:
+  friend class TimedGame;
+  std::unordered_map<ta::DigitalState, StrategyAction, ta::DigitalStateHash>
+      actions_;
+};
+
+struct GameResult {
+  bool controller_wins = false;  ///< initial state is in the winning region
+  std::size_t states_explored = 0;
+  std::size_t winning_states = 0;
+  Strategy strategy;
+};
+
+class TimedGame {
+ public:
+  explicit TimedGame(const ta::System& sys);
+
+  /// Controller objective: eventually reach `goal`, whatever the
+  /// environment does.
+  GameResult solve_reachability(const GamePredicate& goal);
+
+  /// Controller objective: keep the system inside `safe` forever.
+  GameResult solve_safety(const GamePredicate& safe);
+
+  const ta::DigitalSemantics& semantics() const { return sem_; }
+
+ private:
+  struct Node {
+    ta::DigitalState state;
+    std::vector<std::pair<std::int32_t, ta::Move>> ctrl;  ///< (succ, move)
+    std::vector<std::int32_t> unctrl;
+    std::int32_t tick = -1;
+  };
+
+  void build_graph();
+  std::int32_t intern(ta::DigitalState s);
+
+  ta::DigitalSemantics sem_;
+  std::vector<Node> nodes_;
+  std::unordered_map<ta::DigitalState, std::int32_t, ta::DigitalStateHash> index_;
+  bool built_ = false;
+};
+
+/// Exhaustively verifies a reachability strategy in closed loop: from the
+/// initial state, following the strategy (with the environment free to act
+/// or preempt), every path must reach `goal`; returns false if a goal-free
+/// cycle or dead end is reachable.
+bool verify_reach_strategy(const ta::System& sys, const Strategy& strategy,
+                           const GamePredicate& goal);
+
+/// Exhaustively verifies a safety strategy in closed loop: no reachable
+/// closed-loop state violates `safe`.
+bool verify_safety_strategy(const ta::System& sys, const Strategy& strategy,
+                            const GamePredicate& safe);
+
+}  // namespace quanta::game

@@ -1,0 +1,78 @@
+#include "mbt/ioco.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace quanta::mbt {
+
+namespace {
+
+std::string label_str(const Lts& lts, int label) {
+  if (label == kDelta) return "delta";
+  return lts.label_name(label);
+}
+
+}  // namespace
+
+IocoResult check_ioco(const Lts& impl, const Lts& spec) {
+  SuspensionAutomaton sa_impl(impl);
+  SuspensionAutomaton sa_spec(spec);
+
+  struct Node {
+    int impl_state;
+    int spec_state;
+    int parent;
+    int label;  ///< label taken to reach this node
+  };
+  std::vector<Node> nodes;
+  std::map<std::pair<int, int>, bool> seen;
+  std::deque<int> work;
+
+  auto push = [&](int is, int ss, int parent, int label) {
+    if (seen.emplace(std::make_pair(is, ss), true).second) {
+      nodes.push_back(Node{is, ss, parent, label});
+      work.push_back(static_cast<int>(nodes.size()) - 1);
+    }
+  };
+  push(sa_impl.initial(), sa_spec.initial(), -1, kTau);
+
+  IocoResult result;
+  while (!work.empty()) {
+    int idx = work.front();
+    work.pop_front();
+    const Node node = nodes[static_cast<std::size_t>(idx)];
+
+    // Conformance check at this suspension trace.
+    for (int o : sa_impl.out(node.impl_state)) {
+      if (sa_spec.step(node.spec_state, o) < 0) {
+        result.conforms = false;
+        result.offending = label_str(impl, o);
+        for (int cur = idx; cur >= 0;
+             cur = nodes[static_cast<std::size_t>(cur)].parent) {
+          int l = nodes[static_cast<std::size_t>(cur)].label;
+          if (l != kTau) result.trace.push_back(label_str(impl, l));
+        }
+        std::reverse(result.trace.begin(), result.trace.end());
+        return result;
+      }
+    }
+
+    // Extend the common suspension traces of the spec.
+    for (int o : sa_impl.out(node.impl_state)) {
+      int ss = sa_spec.step(node.spec_state, o);
+      int is = sa_impl.step(node.impl_state, o);
+      if (ss >= 0 && is >= 0) push(is, ss, idx, o);
+    }
+    for (int a : sa_spec.enabled_inputs(node.spec_state)) {
+      int is = sa_impl.step(node.impl_state, a);
+      int ss = sa_spec.step(node.spec_state, a);
+      if (is >= 0 && ss >= 0) push(is, ss, idx, a);
+    }
+  }
+  result.conforms = true;
+  return result;
+}
+
+}  // namespace quanta::mbt

@@ -1,0 +1,27 @@
+// The ioco implementation relation (Input/Output Conformance, Tretmans):
+//   impl ioco spec  iff  for all suspension traces sigma of spec:
+//       out(impl after sigma)  subset-of  out(spec after sigma).
+// Decided exactly by a product walk of the two suspension automata.
+#pragma once
+
+#include <string>
+
+#include "mbt/suspension.h"
+
+namespace quanta::mbt {
+
+struct IocoResult {
+  bool conforms = false;
+  /// When !conforms: a witnessing suspension trace of the spec after which
+  /// the implementation shows a non-allowed output (or quiescence).
+  std::vector<std::string> trace;
+  std::string offending;  ///< the output (or "delta") not allowed by the spec
+};
+
+/// Checks impl ioco spec. The implementation should be input-enabled (the
+/// ioco testing hypothesis); enabledness is checked per visited state and
+/// non-input-enabled implementations are still handled by skipping the
+/// missing inputs.
+IocoResult check_ioco(const Lts& impl, const Lts& spec);
+
+}  // namespace quanta::mbt

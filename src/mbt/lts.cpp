@@ -1,0 +1,84 @@
+#include "mbt/lts.h"
+
+#include <stdexcept>
+
+namespace quanta::mbt {
+
+int Lts::add_state(std::string name) {
+  if (name.empty()) name = "s" + std::to_string(state_names_.size());
+  state_names_.push_back(std::move(name));
+  return static_cast<int>(state_names_.size()) - 1;
+}
+
+int Lts::add_input(std::string name) {
+  labels_.push_back(Label{std::move(name), LabelKind::kInput});
+  return static_cast<int>(labels_.size()) - 1;
+}
+
+int Lts::add_output(std::string name) {
+  labels_.push_back(Label{std::move(name), LabelKind::kOutput});
+  return static_cast<int>(labels_.size()) - 1;
+}
+
+void Lts::add_transition(int source, int target, int label) {
+  transitions_.push_back(Transition{source, target, label});
+}
+
+std::vector<int> Lts::inputs() const {
+  std::vector<int> result;
+  for (int l = 0; l < label_count(); ++l) {
+    if (is_input(l)) result.push_back(l);
+  }
+  return result;
+}
+
+std::vector<int> Lts::outputs() const {
+  std::vector<int> result;
+  for (int l = 0; l < label_count(); ++l) {
+    if (is_output(l)) result.push_back(l);
+  }
+  return result;
+}
+
+std::vector<int> Lts::post(int state, int label) const {
+  std::vector<int> result;
+  for (const auto& t : transitions_) {
+    if (t.source == state && t.label == label) result.push_back(t.target);
+  }
+  return result;
+}
+
+bool Lts::quiescent(int state) const {
+  for (const auto& t : transitions_) {
+    if (t.source != state) continue;
+    if (t.label == kTau || is_output(t.label)) return false;
+  }
+  return true;
+}
+
+bool Lts::input_enabled() const {
+  for (int s = 0; s < state_count(); ++s) {
+    for (int l : inputs()) {
+      if (post(s, l).empty()) return false;
+    }
+  }
+  return true;
+}
+
+void Lts::validate() const {
+  if (state_names_.empty()) throw std::invalid_argument("Lts: no states");
+  if (initial_ < 0 || initial_ >= state_count()) {
+    throw std::invalid_argument("Lts: bad initial state");
+  }
+  for (const auto& t : transitions_) {
+    if (t.source < 0 || t.source >= state_count() || t.target < 0 ||
+        t.target >= state_count()) {
+      throw std::invalid_argument("Lts: dangling state");
+    }
+    if (t.label != kTau && (t.label < 0 || t.label >= label_count())) {
+      throw std::invalid_argument("Lts: dangling label");
+    }
+  }
+}
+
+}  // namespace quanta::mbt

@@ -1,0 +1,66 @@
+// Labelled transition systems with inputs and outputs — the semantic domain
+// of the ioco testing theory (§V, Tretmans). Labels are partitioned into
+// inputs (controlled by the tester), outputs (produced by the system), and
+// the internal action tau.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace quanta::mbt {
+
+inline constexpr int kTau = -1;
+
+enum class LabelKind { kInput, kOutput };
+
+class Lts {
+ public:
+  int add_state(std::string name = {});
+  /// Declares an input (tester -> system) label; returns its id.
+  int add_input(std::string name);
+  /// Declares an output (system -> tester) label; returns its id.
+  int add_output(std::string name);
+  /// Adds a transition; label may be kTau.
+  void add_transition(int source, int target, int label);
+  void set_initial(int s) { initial_ = s; }
+
+  int state_count() const { return static_cast<int>(state_names_.size()); }
+  int label_count() const { return static_cast<int>(labels_.size()); }
+  int initial() const { return initial_; }
+  const std::string& state_name(int s) const { return state_names_.at(static_cast<std::size_t>(s)); }
+  const std::string& label_name(int l) const { return labels_.at(static_cast<std::size_t>(l)).name; }
+  bool is_input(int label) const {
+    return labels_.at(static_cast<std::size_t>(label)).kind == LabelKind::kInput;
+  }
+  bool is_output(int label) const { return !is_input(label); }
+  std::vector<int> inputs() const;
+  std::vector<int> outputs() const;
+
+  struct Transition {
+    int source, target, label;
+  };
+  const std::vector<Transition>& transitions() const { return transitions_; }
+  /// Targets of `state` under `label` (may be kTau).
+  std::vector<int> post(int state, int label) const;
+
+  /// True iff the state has no enabled output or tau transition (quiescent).
+  bool quiescent(int state) const;
+
+  /// True iff every state accepts every input (the ioco testing hypothesis
+  /// for implementations).
+  bool input_enabled() const;
+
+  void validate() const;
+
+ private:
+  struct Label {
+    std::string name;
+    LabelKind kind;
+  };
+  std::vector<std::string> state_names_;
+  std::vector<Label> labels_;
+  std::vector<Transition> transitions_;
+  int initial_ = 0;
+};
+
+}  // namespace quanta::mbt

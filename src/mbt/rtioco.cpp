@@ -1,0 +1,331 @@
+#include "mbt/rtioco.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace quanta::mbt {
+
+namespace {
+
+using ta::Edge;
+using ta::SyncKind;
+
+struct SpecState {
+  int loc = 0;
+  ta::Valuation vars;
+  std::vector<std::int32_t> clocks;
+
+  auto operator<=>(const SpecState&) const = default;
+};
+
+/// Shared stepping logic for the single-process open TA.
+class OpenStepper {
+ public:
+  explicit OpenStepper(const TimedSpec& spec) : spec_(&spec) {
+    if (spec.system.process_count() != 1) {
+      throw std::invalid_argument("TimedSpec must contain exactly one process");
+    }
+    spec.system.validate();
+    if (spec.system.has_probabilistic()) {
+      throw std::invalid_argument("TimedSpec must be non-probabilistic");
+    }
+    caps_ = spec.system.max_constants();
+    for (auto& c : caps_) c += 1;
+  }
+
+  const ta::Process& process() const { return spec_->system.process(0); }
+
+  SpecState initial() const {
+    SpecState s;
+    s.loc = process().initial;
+    s.vars = spec_->system.vars().initial();
+    s.clocks.assign(static_cast<std::size_t>(spec_->system.dim()), 0);
+    return s;
+  }
+
+  bool constraint_ok(const ta::ClockConstraint& c,
+                     const std::vector<std::int32_t>& clocks) const {
+    if (c.bound >= dbm::kInf) return true;
+    std::int64_t diff = static_cast<std::int64_t>(clocks[c.i]) - clocks[c.j];
+    std::int64_t m = dbm::bound_value(c.bound);
+    return dbm::bound_is_strict(c.bound) ? diff < m : diff <= m;
+  }
+
+  bool edge_enabled(const SpecState& s, const Edge& e) const {
+    if (e.source != s.loc) return false;
+    if (e.data_guard && !e.data_guard(s.vars)) return false;
+    for (const auto& c : e.guard) {
+      if (!constraint_ok(c, s.clocks)) return false;
+    }
+    return true;
+  }
+
+  bool invariant_ok(const SpecState& s) const {
+    for (const auto& c : process().locations[static_cast<std::size_t>(s.loc)].invariant) {
+      if (!constraint_ok(c, s.clocks)) return false;
+    }
+    return true;
+  }
+
+  SpecState apply(const SpecState& s, const Edge& e) const {
+    SpecState next = s;
+    next.loc = e.target;
+    for (const auto& [clock, value] : e.resets) {
+      next.clocks[static_cast<std::size_t>(clock)] = value;
+    }
+    if (e.update) {
+      e.update(next.vars);
+      spec_->system.vars().check_bounds(next.vars);
+    }
+    return next;
+  }
+
+  SpecState tick(const SpecState& s) const {
+    SpecState next = s;
+    for (std::size_t i = 1; i < next.clocks.size(); ++i) {
+      if (next.clocks[i] < caps_[i]) next.clocks[i] += 1;
+    }
+    return next;
+  }
+
+  /// Closure under unobservable (internal) edges.
+  std::set<SpecState> closure(std::set<SpecState> states) const {
+    std::deque<SpecState> work(states.begin(), states.end());
+    while (!work.empty()) {
+      SpecState s = std::move(work.front());
+      work.pop_front();
+      for (const Edge& e : process().edges) {
+        if (e.sync != SyncKind::kNone) continue;
+        if (!edge_enabled(s, e)) continue;
+        SpecState n = apply(s, e);
+        if (states.insert(n).second) work.push_back(std::move(n));
+      }
+    }
+    return states;
+  }
+
+  std::set<SpecState> after_action(const std::set<SpecState>& states,
+                                   int channel, SyncKind kind) const {
+    std::set<SpecState> next;
+    for (const SpecState& s : states) {
+      for (const Edge& e : process().edges) {
+        if (e.sync != kind || e.channel != channel) continue;
+        if (edge_enabled(s, e)) next.insert(apply(s, e));
+      }
+    }
+    return closure(std::move(next));
+  }
+
+  std::set<SpecState> after_tick(const std::set<SpecState>& states) const {
+    std::set<SpecState> next;
+    for (const SpecState& s : states) {
+      SpecState n = tick(s);
+      if (invariant_ok(n)) next.insert(std::move(n));
+    }
+    return closure(std::move(next));
+  }
+
+  std::set<int> enabled_inputs(const std::set<SpecState>& states) const {
+    std::set<int> result;
+    for (const SpecState& s : states) {
+      for (const Edge& e : process().edges) {
+        if (e.sync == SyncKind::kReceive && edge_enabled(s, e)) {
+          result.insert(e.channel);
+        }
+      }
+    }
+    return result;
+  }
+
+ private:
+  const TimedSpec* spec_;
+  std::vector<std::int32_t> caps_;
+};
+
+}  // namespace
+
+// ---- TimedSystemIut --------------------------------------------------------
+
+TimedSystemIut::TimedSystemIut(const TimedSpec& model, std::uint64_t seed)
+    : model_(&model), rng_(seed) {
+  if (model.system.process_count() != 1) {
+    throw std::invalid_argument("TimedSystemIut: single-process model required");
+  }
+  caps_ = model.system.max_constants();
+  for (auto& c : caps_) c += 1;
+  reset();
+}
+
+void TimedSystemIut::reset() {
+  loc_ = model_->system.process(0).initial;
+  vars_ = model_->system.vars().initial();
+  clocks_.assign(static_cast<std::size_t>(model_->system.dim()), 0);
+}
+
+namespace {
+
+bool iut_constraint_ok(const ta::ClockConstraint& c,
+                       const std::vector<std::int32_t>& clocks) {
+  if (c.bound >= dbm::kInf) return true;
+  std::int64_t diff = static_cast<std::int64_t>(clocks[c.i]) - clocks[c.j];
+  std::int64_t m = dbm::bound_value(c.bound);
+  return dbm::bound_is_strict(c.bound) ? diff < m : diff <= m;
+}
+
+bool iut_edge_enabled(const ta::Edge& e, int loc, const ta::Valuation& vars,
+                      const std::vector<std::int32_t>& clocks) {
+  if (e.source != loc) return false;
+  if (e.data_guard && !e.data_guard(vars)) return false;
+  for (const auto& c : e.guard) {
+    if (!iut_constraint_ok(c, clocks)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool TimedSystemIut::must_act_now() const {
+  // True when a unit delay would violate the current location's invariant.
+  const auto& loc = model_->system.process(0).locations[static_cast<std::size_t>(loc_)];
+  std::vector<std::int32_t> next = clocks_;
+  for (std::size_t i = 1; i < next.size(); ++i) {
+    if (next[i] < caps_[i]) next[i] += 1;
+  }
+  for (const auto& c : loc.invariant) {
+    if (!iut_constraint_ok(c, next)) return true;
+  }
+  return false;
+}
+
+void TimedSystemIut::take_taus() {
+  for (int guard = 0; guard < 16; ++guard) {
+    std::vector<const ta::Edge*> taus;
+    for (const auto& e : model_->system.process(0).edges) {
+      if (e.sync == ta::SyncKind::kNone &&
+          iut_edge_enabled(e, loc_, vars_, clocks_)) {
+        taus.push_back(&e);
+      }
+    }
+    if (taus.empty() || (!must_act_now() && rng_.bernoulli(0.5))) return;
+    const ta::Edge* e = taus[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(taus.size()) - 1))];
+    loc_ = e->target;
+    for (const auto& [clock, value] : e->resets) clocks_[static_cast<std::size_t>(clock)] = value;
+    if (e->update) e->update(vars_);
+  }
+}
+
+std::optional<int> TimedSystemIut::poll_output() {
+  take_taus();
+  std::vector<const ta::Edge*> outs;
+  for (const auto& e : model_->system.process(0).edges) {
+    if (e.sync == ta::SyncKind::kSend &&
+        iut_edge_enabled(e, loc_, vars_, clocks_)) {
+      outs.push_back(&e);
+    }
+  }
+  if (outs.empty()) return std::nullopt;
+  // Emit now when forced by the invariant, otherwise sometimes wait.
+  if (!must_act_now() && rng_.bernoulli(0.6)) return std::nullopt;
+  const ta::Edge* e = outs[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<int>(outs.size()) - 1))];
+  loc_ = e->target;
+  for (const auto& [clock, value] : e->resets) clocks_[static_cast<std::size_t>(clock)] = value;
+  if (e->update) e->update(vars_);
+  return e->channel;
+}
+
+bool TimedSystemIut::input(int action) {
+  take_taus();
+  std::vector<const ta::Edge*> candidates;
+  for (const auto& e : model_->system.process(0).edges) {
+    if (e.sync == ta::SyncKind::kReceive && e.channel == action &&
+        iut_edge_enabled(e, loc_, vars_, clocks_)) {
+      candidates.push_back(&e);
+    }
+  }
+  if (candidates.empty()) return false;
+  const ta::Edge* e = candidates[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<int>(candidates.size()) - 1))];
+  loc_ = e->target;
+  for (const auto& [clock, value] : e->resets) clocks_[static_cast<std::size_t>(clock)] = value;
+  if (e->update) e->update(vars_);
+  return true;
+}
+
+void TimedSystemIut::tick() {
+  for (std::size_t i = 1; i < clocks_.size(); ++i) {
+    if (clocks_[i] < caps_[i]) clocks_[i] += 1;
+  }
+}
+
+// ---- Online tester ----------------------------------------------------------
+
+OnlineTestResult rtioco_online_test(const TimedSpec& spec, TimedIut& iut,
+                                    std::uint64_t seed,
+                                    const OnlineTestOptions& opts) {
+  OpenStepper stepper(spec);
+  common::Rng rng(seed);
+  OnlineTestResult result;
+  iut.reset();
+
+  std::set<SpecState> estimate = stepper.closure({stepper.initial()});
+  auto action_name = [&spec](int channel) {
+    return spec.system.channel(channel).name;
+  };
+
+  for (std::size_t t = 0; t < opts.max_time; ++t) {
+    result.steps = t;
+    // Zero-duration phase: drain outputs, possibly interleaving one input.
+    bool may_send = true;
+    for (int rounds = 0; rounds < 64; ++rounds) {
+      auto out = iut.poll_output();
+      if (out) {
+        result.log.push_back("t=" + std::to_string(t) + " out " +
+                             action_name(*out));
+        estimate = stepper.after_action(estimate, *out, SyncKind::kSend);
+        if (estimate.empty()) {
+          result.verdict = OnlineVerdict::kFailOutput;
+          return result;
+        }
+        continue;
+      }
+      if (may_send && rng.bernoulli(opts.input_probability)) {
+        auto inputs = stepper.enabled_inputs(estimate);
+        if (!inputs.empty()) {
+          auto it = inputs.begin();
+          std::advance(it,
+                       rng.uniform_int(0, static_cast<int>(inputs.size()) - 1));
+          int action = *it;
+          result.log.push_back("t=" + std::to_string(t) + " in  " +
+                               action_name(action));
+          may_send = false;
+          if (!iut.input(action)) {
+            result.verdict = OnlineVerdict::kFailRefusal;
+            return result;
+          }
+          estimate = stepper.after_action(estimate, action, SyncKind::kReceive);
+          if (estimate.empty()) {
+            result.verdict = OnlineVerdict::kFailOutput;
+            return result;
+          }
+          continue;  // the input may trigger same-instant outputs
+        }
+      }
+      break;  // quiet: let time pass
+    }
+    // Advance time by one unit on both sides.
+    iut.tick();
+    estimate = stepper.after_tick(estimate);
+    if (estimate.empty()) {
+      // The specification forced an output before this instant.
+      result.verdict = OnlineVerdict::kFailDeadline;
+      return result;
+    }
+  }
+  result.verdict = OnlineVerdict::kPass;
+  result.steps = opts.max_time;
+  return result;
+}
+
+}  // namespace quanta::mbt

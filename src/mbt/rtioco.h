@@ -1,0 +1,88 @@
+// Online timed conformance testing in the style of UPPAAL-TRON (§II bullet 3
+// and §V): the tester tracks the set of specification states consistent with
+// the observed timed trace and, on the fly, stimulates the implementation
+// with spec-allowed inputs, checks every output against the estimate, and
+// detects missed deadlines (the spec forces an output that never came).
+// This is the rtioco relation in its discrete-time (digital clocks) form.
+//
+// The specification is a single ta::Process over a ta::System whose channels
+// are partitioned into inputs and outputs; internal edges (no channel) are
+// unobservable. The implementation is a black box behind the TimedIut
+// interface, advancing in unit time steps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ta/model.h"
+
+namespace quanta::mbt {
+
+/// An open timed specification: one TA whose channel ids are actions.
+struct TimedSpec {
+  ta::System system;          ///< must contain exactly one process
+  std::set<int> input_actions;  ///< channel ids the tester may send
+  // All other channels appearing on edges are outputs.
+
+  bool is_input(int channel) const { return input_actions.count(channel) > 0; }
+};
+
+/// The tester's view of a timed black box.
+class TimedIut {
+ public:
+  virtual ~TimedIut() = default;
+  virtual void reset() = 0;
+  /// Outputs the implementation emits at the current instant (each call may
+  /// return one more action; empty optional = nothing further right now).
+  virtual std::optional<int> poll_output() = 0;
+  /// Feeds an input at the current instant; false = refused.
+  virtual bool input(int action) = 0;
+  /// Advances the implementation by one time unit.
+  virtual void tick() = 0;
+};
+
+/// Reference implementation adapter: simulates a (possibly mutated) single-
+/// process TA, emitting outputs at a random legal instant in their window.
+class TimedSystemIut : public TimedIut {
+ public:
+  TimedSystemIut(const TimedSpec& model, std::uint64_t seed);
+  void reset() override;
+  std::optional<int> poll_output() override;
+  bool input(int action) override;
+  void tick() override;
+
+ private:
+  bool must_act_now() const;
+  void take_taus();
+
+  const TimedSpec* model_;
+  common::Rng rng_;
+  int loc_ = 0;
+  ta::Valuation vars_;
+  std::vector<std::int32_t> clocks_;
+  std::vector<std::int32_t> caps_;
+};
+
+enum class OnlineVerdict { kPass, kFailOutput, kFailDeadline, kFailRefusal };
+
+struct OnlineTestResult {
+  OnlineVerdict verdict = OnlineVerdict::kPass;
+  std::size_t steps = 0;          ///< time units elapsed
+  std::vector<std::string> log;   ///< observed/emitted events with timestamps
+};
+
+struct OnlineTestOptions {
+  std::size_t max_time = 100;
+  double input_probability = 0.3;  ///< chance to stimulate at each instant
+};
+
+/// Runs one online test session of `iut` against `spec`.
+OnlineTestResult rtioco_online_test(const TimedSpec& spec, TimedIut& iut,
+                                    std::uint64_t seed,
+                                    const OnlineTestOptions& opts = {});
+
+}  // namespace quanta::mbt

@@ -1,0 +1,76 @@
+#include "mbt/suspension.h"
+
+#include <deque>
+
+namespace quanta::mbt {
+
+std::set<int> SuspensionAutomaton::tau_closure(std::set<int> states) const {
+  std::deque<int> work(states.begin(), states.end());
+  while (!work.empty()) {
+    int s = work.front();
+    work.pop_front();
+    for (int t : lts_->post(s, kTau)) {
+      if (states.insert(t).second) work.push_back(t);
+    }
+  }
+  return states;
+}
+
+int SuspensionAutomaton::intern(std::set<int> states) {
+  auto [it, inserted] = index_.try_emplace(states, static_cast<int>(sets_.size()));
+  if (inserted) {
+    sets_.push_back(std::move(states));
+    edges_.emplace_back();
+  }
+  return it->second;
+}
+
+SuspensionAutomaton::SuspensionAutomaton(const Lts& lts) : lts_(&lts) {
+  lts.validate();
+  initial_ = intern(tau_closure({lts.initial()}));
+  // Breadth-first determinization over inputs, outputs and delta.
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    const std::set<int> current = sets_[i];
+    // Visible labels.
+    for (int l = 0; l < lts.label_count(); ++l) {
+      std::set<int> next;
+      for (int s : current) {
+        for (int t : lts.post(s, l)) next.insert(t);
+      }
+      if (next.empty()) continue;
+      edges_[i][l] = intern(tau_closure(std::move(next)));
+    }
+    // Quiescence: delta loops on the quiescent member states.
+    std::set<int> quiet;
+    for (int s : current) {
+      if (lts.quiescent(s)) quiet.insert(s);
+    }
+    if (!quiet.empty()) {
+      edges_[i][kDelta] = intern(tau_closure(std::move(quiet)));
+    }
+  }
+}
+
+int SuspensionAutomaton::step(int s, int label) const {
+  const auto& edges = edges_.at(static_cast<std::size_t>(s));
+  auto it = edges.find(label);
+  return it == edges.end() ? -1 : it->second;
+}
+
+std::vector<int> SuspensionAutomaton::out(int s) const {
+  std::vector<int> result;
+  for (const auto& [label, target] : edges_.at(static_cast<std::size_t>(s))) {
+    if (label == kDelta || lts_->is_output(label)) result.push_back(label);
+  }
+  return result;
+}
+
+std::vector<int> SuspensionAutomaton::enabled_inputs(int s) const {
+  std::vector<int> result;
+  for (const auto& [label, target] : edges_.at(static_cast<std::size_t>(s))) {
+    if (label != kDelta && lts_->is_input(label)) result.push_back(label);
+  }
+  return result;
+}
+
+}  // namespace quanta::mbt

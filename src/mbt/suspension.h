@@ -1,0 +1,48 @@
+// Suspension automaton: the tau-closed determinization of an LTS extended
+// with the quiescence action delta — the structure over which suspension
+// traces, out-sets and the ioco relation are defined.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "mbt/lts.h"
+
+namespace quanta::mbt {
+
+/// Label id used for quiescence observations (distinct from all LTS labels).
+inline constexpr int kDelta = -2;
+
+class SuspensionAutomaton {
+ public:
+  explicit SuspensionAutomaton(const Lts& lts);
+
+  const Lts& lts() const { return *lts_; }
+  int initial() const { return initial_; }
+  int state_count() const { return static_cast<int>(sets_.size()); }
+
+  /// Underlying LTS state set of a suspension state.
+  const std::set<int>& states_of(int s) const { return sets_.at(static_cast<std::size_t>(s)); }
+
+  /// Successor under an input/output label or kDelta; -1 if undefined.
+  int step(int s, int label) const;
+
+  /// The out-set: enabled outputs plus kDelta if some member is quiescent.
+  std::vector<int> out(int s) const;
+
+  /// Inputs enabled (in at least one member state).
+  std::vector<int> enabled_inputs(int s) const;
+
+ private:
+  std::set<int> tau_closure(std::set<int> states) const;
+  int intern(std::set<int> states);
+
+  const Lts* lts_;
+  int initial_ = 0;
+  std::vector<std::set<int>> sets_;
+  std::map<std::set<int>, int> index_;
+  std::vector<std::map<int, int>> edges_;  ///< per state: label -> successor
+};
+
+}  // namespace quanta::mbt

@@ -1,0 +1,27 @@
+// Exact symbolic deadlock detection: a valuation is deadlocked when no
+// discrete transition is enabled now or after any legal delay. Implemented
+// with zone federations (set difference of the stored zone and the
+// delay-predecessors of all enabled guards), matching UPPAAL's
+// `A[] not deadlock`.
+#pragma once
+
+#include "mc/reachability.h"
+
+namespace quanta::mc {
+
+struct DeadlockResult {
+  bool deadlock_free = false;
+  SearchStats stats;
+  std::vector<std::string> trace;     ///< path to a deadlocked state
+  std::string deadlocked_state;
+};
+
+DeadlockResult check_deadlock_freedom(const ta::System& sys,
+                                      const ReachOptions& opts = {});
+
+/// The deadlocked portion of one symbolic state (exposed for testing):
+/// the subset of the zone from which no move in `sem` can ever be taken.
+dbm::Dbm deadlocked_part_witness(const ta::SymbolicSemantics& sem,
+                                 const ta::SymState& s);
+
+}  // namespace quanta::mc

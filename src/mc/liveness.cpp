@@ -1,0 +1,152 @@
+#include "mc/liveness.h"
+
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace quanta::mc {
+
+namespace {
+
+struct Graph {
+  std::vector<ta::SymState> states;
+  std::vector<std::vector<int>> succ;
+};
+
+Graph build_zone_graph(const ta::SymbolicSemantics& sem, SearchStats& stats,
+                       std::size_t max_states, bool* truncated) {
+  Graph g;
+  std::unordered_map<std::size_t, std::vector<int>> index;
+  std::vector<int> worklist;
+
+  auto intern = [&](ta::SymState s) -> int {
+    std::size_t key = s.discrete_hash();
+    common::hash_combine(key, s.zone.hash());
+    auto& bucket = index[key];
+    for (int n : bucket) {
+      if (g.states[static_cast<std::size_t>(n)].same_discrete(s) &&
+          g.states[static_cast<std::size_t>(n)].zone == s.zone) {
+        return n;
+      }
+    }
+    int idx = static_cast<int>(g.states.size());
+    g.states.push_back(std::move(s));
+    g.succ.emplace_back();
+    bucket.push_back(idx);
+    worklist.push_back(idx);
+    return idx;
+  };
+
+  intern(sem.initial());
+  while (!worklist.empty()) {
+    int idx = worklist.back();
+    worklist.pop_back();
+    ++stats.states_explored;
+    if (g.states.size() >= max_states) {
+      *truncated = true;
+      break;
+    }
+    const ta::SymState state = g.states[static_cast<std::size_t>(idx)];
+    for (auto& tr : sem.successors(state)) {
+      ++stats.transitions;
+      int to = intern(std::move(tr.state));
+      g.succ[static_cast<std::size_t>(idx)].push_back(to);
+    }
+  }
+  stats.states_stored = g.states.size();
+  return g;
+}
+
+/// Iterative detection of a cycle or dead-end inside the non-psi subgraph
+/// restricted to nodes reachable from `roots`. Returns a reason string, or
+/// empty if the obligation holds.
+std::string find_violation(const Graph& g, const std::vector<bool>& is_psi,
+                           const std::vector<int>& roots) {
+  const int n = static_cast<int>(g.states.size());
+  // Colors: 0 = unvisited, 1 = on stack, 2 = done.
+  std::vector<char> color(static_cast<std::size_t>(n), 0);
+  struct Frame {
+    int node;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack;
+  for (int root : roots) {
+    if (is_psi[static_cast<std::size_t>(root)]) continue;  // discharged at once
+    if (color[static_cast<std::size_t>(root)] != 0) continue;
+    stack.push_back(Frame{root, 0});
+    color[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto& succ = g.succ[static_cast<std::size_t>(f.node)];
+      if (succ.empty()) {
+        return "non-psi state with no successors (stuck run)";
+      }
+      if (f.next_child == succ.size()) {
+        color[static_cast<std::size_t>(f.node)] = 2;
+        stack.pop_back();
+        continue;
+      }
+      int child = succ[f.next_child++];
+      if (is_psi[static_cast<std::size_t>(child)]) continue;  // obligation met
+      char& c = color[static_cast<std::size_t>(child)];
+      if (c == 1) {
+        return "cycle of non-psi states (psi can be avoided forever)";
+      }
+      if (c == 0) {
+        c = 1;
+        stack.push_back(Frame{child, 0});
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+LeadsToResult check_leads_to(const ta::System& sys, const StatePredicate& phi,
+                             const StatePredicate& psi,
+                             const ReachOptions& opts) {
+  ta::SymbolicSemantics sem(sys, ta::SymbolicSemantics::Options{opts.extrapolate});
+  LeadsToResult result;
+  bool truncated = false;
+  Graph g = build_zone_graph(sem, result.stats, opts.max_states, &truncated);
+  if (truncated) {
+    result.stats.truncated = true;
+    result.holds = false;
+    result.reason = "state space truncated";
+    return result;
+  }
+  std::vector<bool> is_psi(g.states.size());
+  std::vector<int> roots;
+  for (std::size_t i = 0; i < g.states.size(); ++i) {
+    is_psi[i] = psi(g.states[i]);
+    if (!is_psi[i] && phi(g.states[i])) roots.push_back(static_cast<int>(i));
+  }
+  result.reason = find_violation(g, is_psi, roots);
+  result.holds = result.reason.empty();
+  return result;
+}
+
+LeadsToResult check_eventually(const ta::System& sys,
+                               const StatePredicate& psi,
+                               const ReachOptions& opts) {
+  // A<> psi == (initial --> psi): only the initial state seeds the search.
+  ta::SymbolicSemantics sem(sys, ta::SymbolicSemantics::Options{opts.extrapolate});
+  ta::SymState init = sem.initial();
+  StatePredicate initial_only = [init](const ta::SymState& s) {
+    return s.same_discrete(init) && s.zone == init.zone;
+  };
+  return check_leads_to(sys, initial_only, psi, opts);
+}
+
+PossiblyAlwaysResult check_possibly_always(const ta::System& sys,
+                                           const StatePredicate& psi,
+                                           const ReachOptions& opts) {
+  LeadsToResult dual = check_eventually(sys, pred_not(psi), opts);
+  PossiblyAlwaysResult result;
+  result.stats = dual.stats;
+  result.holds = !dual.holds && !dual.stats.truncated;
+  return result;
+}
+
+}  // namespace quanta::mc

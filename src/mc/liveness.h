@@ -1,0 +1,44 @@
+// Leads-to (response) properties:  phi --> psi  ==  A[] (phi imply A<> psi).
+//
+// Checked on the full zone graph (exact-equality deduplication; finite thanks
+// to extrapolation): the property fails iff from some reachable phi-state a
+// path avoiding psi reaches either a cycle of non-psi states or a state with
+// no successors at all. As in UPPAAL practice this judges over runs with
+// discrete progress (zeno idling in a state with enabled actions is not a
+// counterexample); see DESIGN.md.
+//
+// phi and psi must be *discrete* predicates (locations/variables only); the
+// zone component of the states they receive must not influence the verdict.
+#pragma once
+
+#include "mc/reachability.h"
+
+namespace quanta::mc {
+
+struct LeadsToResult {
+  bool holds = false;
+  SearchStats stats;
+  std::string reason;  ///< human-readable explanation when it fails
+};
+
+LeadsToResult check_leads_to(const ta::System& sys, const StatePredicate& phi,
+                             const StatePredicate& psi,
+                             const ReachOptions& opts = {});
+
+/// A<> psi ("inevitably psi"): every run from the initial state eventually
+/// satisfies psi — the special case of leads-to with phi = initial.
+LeadsToResult check_eventually(const ta::System& sys,
+                               const StatePredicate& psi,
+                               const ReachOptions& opts = {});
+
+/// E[] psi ("psi can hold forever"): some run stays inside psi states —
+/// the dual of A<> (not psi).
+struct PossiblyAlwaysResult {
+  bool holds = false;
+  SearchStats stats;
+};
+PossiblyAlwaysResult check_possibly_always(const ta::System& sys,
+                                           const StatePredicate& psi,
+                                           const ReachOptions& opts = {});
+
+}  // namespace quanta::mc

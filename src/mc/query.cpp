@@ -1,0 +1,42 @@
+#include "mc/query.h"
+
+namespace quanta::mc {
+
+QueryResult run_query(const ta::System& sys, const Query& query,
+                      const ReachOptions& opts) {
+  QueryResult result;
+  result.name = query.name;
+  switch (query.kind) {
+    case QueryKind::kInvariant: {
+      InvariantResult r = check_invariant(sys, query.p, opts);
+      result.holds = r.holds;
+      result.stats = r.stats;
+      if (!r.holds) result.details = "violated at " + r.violating_state;
+      break;
+    }
+    case QueryKind::kReachability: {
+      ReachResult r = reachable(sys, query.p, opts);
+      result.holds = r.reachable;
+      result.stats = r.stats;
+      if (r.reachable) result.details = "witness: " + r.witness;
+      break;
+    }
+    case QueryKind::kLeadsTo: {
+      LeadsToResult r = check_leads_to(sys, query.p, query.q, opts);
+      result.holds = r.holds;
+      result.stats = r.stats;
+      result.details = r.reason;
+      break;
+    }
+    case QueryKind::kDeadlockFree: {
+      DeadlockResult r = check_deadlock_freedom(sys, opts);
+      result.holds = r.deadlock_free;
+      result.stats = r.stats;
+      if (!r.deadlock_free) result.details = "deadlock at " + r.deadlocked_state;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace quanta::mc

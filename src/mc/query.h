@@ -1,0 +1,47 @@
+// A small structured query facade over the model-checking engines, mirroring
+// the UPPAAL property language fragment used in the paper:
+//   A[] p        (invariant)         E<> p   (reachability)
+//   p --> q      (leads-to)          A[] not deadlock
+#pragma once
+
+#include <string>
+
+#include "mc/deadlock.h"
+#include "mc/liveness.h"
+#include "mc/reachability.h"
+
+namespace quanta::mc {
+
+enum class QueryKind { kInvariant, kReachability, kLeadsTo, kDeadlockFree };
+
+struct Query {
+  QueryKind kind = QueryKind::kInvariant;
+  std::string name;       ///< label used in reports
+  StatePredicate p;       ///< main predicate (unused for deadlock queries)
+  StatePredicate q;       ///< right-hand side of leads-to
+};
+
+inline Query invariant(std::string name, StatePredicate p) {
+  return Query{QueryKind::kInvariant, std::move(name), std::move(p), nullptr};
+}
+inline Query reach(std::string name, StatePredicate p) {
+  return Query{QueryKind::kReachability, std::move(name), std::move(p), nullptr};
+}
+inline Query leads_to(std::string name, StatePredicate p, StatePredicate q) {
+  return Query{QueryKind::kLeadsTo, std::move(name), std::move(p), std::move(q)};
+}
+inline Query deadlock_free(std::string name) {
+  return Query{QueryKind::kDeadlockFree, std::move(name), nullptr, nullptr};
+}
+
+struct QueryResult {
+  std::string name;
+  bool holds = false;
+  SearchStats stats;
+  std::string details;
+};
+
+QueryResult run_query(const ta::System& sys, const Query& query,
+                      const ReachOptions& opts = {});
+
+}  // namespace quanta::mc

@@ -1,0 +1,147 @@
+#include "mc/reachability.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace quanta::mc {
+
+StatePredicate loc_pred(const ta::System& sys, const std::string& process,
+                        const std::string& location) {
+  int p = sys.process_index(process);
+  int l = sys.process(p).location_index(location);
+  return [p, l](const ta::SymState& s) { return s.locs[p] == l; };
+}
+
+StatePredicate pred_and(StatePredicate a, StatePredicate b) {
+  return [a = std::move(a), b = std::move(b)](const ta::SymState& s) {
+    return a(s) && b(s);
+  };
+}
+
+StatePredicate pred_or(StatePredicate a, StatePredicate b) {
+  return [a = std::move(a), b = std::move(b)](const ta::SymState& s) {
+    return a(s) || b(s);
+  };
+}
+
+StatePredicate pred_not(StatePredicate a) {
+  return [a = std::move(a)](const ta::SymState& s) { return !a(s); };
+}
+
+namespace {
+
+struct Node {
+  ta::SymState state;
+  int parent = -1;
+  ta::Move move;         ///< move that produced this node (described lazily)
+  bool covered = false;  ///< subsumed by a later, larger zone
+};
+
+class Explorer {
+ public:
+  Explorer(const ta::System& sys, const ReachOptions& opts)
+      : sem_(sys, ta::SymbolicSemantics::Options{opts.extrapolate}),
+        opts_(opts) {}
+
+  /// Runs the search; returns the index of a goal node or -1.
+  int run(const StatePredicate& goal, SearchStats& stats) {
+    add_state(sem_.initial(), -1, ta::Move{});
+    int goal_node = -1;
+    while (!waiting_.empty()) {
+      int idx = waiting_.front();
+      waiting_.pop_front();
+      if (nodes_[static_cast<std::size_t>(idx)].covered) continue;
+      // Copy out what we need: nodes_ may reallocate during expansion.
+      const ta::SymState state = nodes_[static_cast<std::size_t>(idx)].state;
+      ++stats.states_explored;
+      if (goal(state)) {
+        goal_node = idx;
+        break;
+      }
+      if (nodes_.size() >= opts_.max_states) {
+        stats.truncated = true;
+        break;
+      }
+      for (auto& tr : sem_.successors(state)) {
+        ++stats.transitions;
+        add_state(std::move(tr.state), idx, std::move(tr.move));
+      }
+    }
+    stats.states_stored = nodes_.size();
+    return goal_node;
+  }
+
+  std::vector<std::string> trace_to(int idx) const {
+    std::vector<std::string> trace;
+    for (int cur = idx; cur >= 0;
+         cur = nodes_[static_cast<std::size_t>(cur)].parent) {
+      const Node& node = nodes_[static_cast<std::size_t>(cur)];
+      trace.push_back(node.parent < 0 ? "init"
+                                      : node.move.describe(sem_.system()));
+    }
+    std::reverse(trace.begin(), trace.end());
+    return trace;
+  }
+
+  std::string describe(int idx) const {
+    return sem_.state_to_string(nodes_[static_cast<std::size_t>(idx)].state);
+  }
+
+ private:
+  void add_state(ta::SymState s, int parent, ta::Move move) {
+    std::size_t key = s.discrete_hash();
+    auto& bucket = buckets_[key];
+    for (int n : bucket) {
+      Node& node = nodes_[static_cast<std::size_t>(n)];
+      if (node.covered || !node.state.same_discrete(s)) continue;
+      dbm::Relation r = s.zone.relation(node.state.zone);
+      if (r == dbm::Relation::kEqual || r == dbm::Relation::kSubset) {
+        return;  // already covered by a stored zone
+      }
+      if (opts_.inclusion_subsumption && r == dbm::Relation::kSuperset) {
+        node.covered = true;  // the new zone strictly covers this one
+      }
+    }
+    int idx = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{std::move(s), parent,
+                          opts_.record_trace ? std::move(move) : ta::Move{},
+                          false});
+    bucket.push_back(idx);
+    waiting_.push_back(idx);
+  }
+
+  ta::SymbolicSemantics sem_;
+  ReachOptions opts_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::size_t, std::vector<int>> buckets_;
+  std::deque<int> waiting_;
+};
+
+}  // namespace
+
+ReachResult reachable(const ta::System& sys, const StatePredicate& goal,
+                      const ReachOptions& opts) {
+  Explorer explorer(sys, opts);
+  ReachResult result;
+  int idx = explorer.run(goal, result.stats);
+  result.reachable = idx >= 0;
+  if (idx >= 0) {
+    result.witness = explorer.describe(idx);
+    if (opts.record_trace) result.trace = explorer.trace_to(idx);
+  }
+  return result;
+}
+
+InvariantResult check_invariant(const ta::System& sys,
+                                const StatePredicate& safe,
+                                const ReachOptions& opts) {
+  ReachResult r = reachable(sys, pred_not(safe), opts);
+  InvariantResult inv;
+  inv.holds = !r.reachable && !r.stats.truncated;
+  inv.stats = r.stats;
+  inv.counterexample = std::move(r.trace);
+  inv.violating_state = std::move(r.witness);
+  return inv;
+}
+
+}  // namespace quanta::mc

@@ -1,0 +1,69 @@
+// UPPAAL-style symbolic reachability: forward exploration of the zone graph
+// with a passed/waiting list, discrete-state bucketing and zone-inclusion
+// subsumption. Answers E<> goal and (by negation) A[] safe queries.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ta/symbolic.h"
+
+namespace quanta::mc {
+
+/// Predicate over symbolic states. For clock-constrained goals, check
+/// non-emptiness of the intersection with the state's zone inside the
+/// predicate (helpers below).
+using StatePredicate = std::function<bool(const ta::SymState&)>;
+
+/// Predicate "process is in location" (by name).
+StatePredicate loc_pred(const ta::System& sys, const std::string& process,
+                        const std::string& location);
+/// Conjunction / disjunction / negation of predicates.
+StatePredicate pred_and(StatePredicate a, StatePredicate b);
+StatePredicate pred_or(StatePredicate a, StatePredicate b);
+StatePredicate pred_not(StatePredicate a);
+
+struct SearchStats {
+  std::size_t states_stored = 0;
+  std::size_t states_explored = 0;
+  std::size_t transitions = 0;
+  bool truncated = false;  ///< hit the max_states limit
+};
+
+struct ReachOptions {
+  bool extrapolate = true;
+  /// Use zone-inclusion subsumption in the passed list (ablation A1 turns
+  /// this off).
+  bool inclusion_subsumption = true;
+  bool record_trace = true;
+  std::size_t max_states = std::numeric_limits<std::size_t>::max();
+};
+
+struct ReachResult {
+  bool reachable = false;
+  SearchStats stats;
+  /// Action labels along a witness path (empty if not recorded/reachable).
+  std::vector<std::string> trace;
+  /// Printable form of the witness state.
+  std::string witness;
+};
+
+/// E<> goal.
+ReachResult reachable(const ta::System& sys, const StatePredicate& goal,
+                      const ReachOptions& opts = {});
+
+struct InvariantResult {
+  bool holds = false;
+  SearchStats stats;
+  std::vector<std::string> counterexample;
+  std::string violating_state;
+};
+
+/// A[] safe  ==  not E<> (not safe).
+InvariantResult check_invariant(const ta::System& sys,
+                                const StatePredicate& safe,
+                                const ReachOptions& opts = {});
+
+}  // namespace quanta::mc

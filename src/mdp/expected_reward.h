@@ -1,0 +1,32 @@
+// Expected total (action-)reward until reaching a goal set — the stochastic
+// shortest path problem. Used for the paper's Emax property (expected time
+// until the BRP transfer finishes), with time entering as reward 1 on the
+// digital-clock tick action.
+#pragma once
+
+#include <limits>
+
+#include "mdp/value_iteration.h"
+
+namespace quanta::mdp {
+
+inline constexpr double kInfiniteReward = std::numeric_limits<double>::infinity();
+
+struct RewardResult {
+  std::vector<double> values;  ///< per state; kInfiniteReward where divergent
+  std::int64_t iterations = 0;
+  bool converged = false;
+
+  double at_initial(const Mdp& m) const {
+    return values[static_cast<std::size_t>(m.initial())];
+  }
+};
+
+/// E_opt(total reward until F goal). For kMax, states where some scheduler
+/// avoids the goal with positive probability get kInfiniteReward (the
+/// scheduler can accumulate reward forever); for kMin the same applies to
+/// states where no scheduler reaches the goal a.s.
+RewardResult expected_reward_to_goal(const Mdp& m, const StateSet& goal,
+                                     Objective obj, const ViOptions& opts = {});
+
+}  // namespace quanta::mdp

@@ -1,0 +1,158 @@
+#include "mdp/graph_analysis.h"
+
+#include <stdexcept>
+
+namespace quanta::mdp {
+
+namespace {
+
+void require_frozen(const Mdp& m) {
+  if (!m.frozen()) throw std::logic_error("graph analysis requires frozen MDP");
+}
+
+/// Least fixpoint of "goal or some choice has some branch into the set".
+StateSet existential_reach(const Mdp& m, const StateSet& goal) {
+  StateSet in = goal;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::int32_t s = 0; s < m.num_states(); ++s) {
+      if (in[static_cast<std::size_t>(s)]) continue;
+      bool hit = false;
+      for (std::int64_t c = m.choice_begin(s); c < m.choice_end(s) && !hit; ++c) {
+        for (const Branch& b : m.branches_of(c)) {
+          if (in[static_cast<std::size_t>(b.target)]) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit) {
+        in[static_cast<std::size_t>(s)] = true;
+        changed = true;
+      }
+    }
+  }
+  return in;
+}
+
+/// Greatest fixpoint of "non-goal and some choice keeps all mass in the set"
+/// — states with a strategy to surely avoid `goal` forever.
+StateSet sure_avoid(const Mdp& m, const StateSet& goal) {
+  StateSet in(static_cast<std::size_t>(m.num_states()), true);
+  for (std::int32_t s = 0; s < m.num_states(); ++s) {
+    if (goal[static_cast<std::size_t>(s)]) in[static_cast<std::size_t>(s)] = false;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::int32_t s = 0; s < m.num_states(); ++s) {
+      if (!in[static_cast<std::size_t>(s)]) continue;
+      bool has_safe_choice = false;
+      for (std::int64_t c = m.choice_begin(s); c < m.choice_end(s); ++c) {
+        bool all_inside = true;
+        for (const Branch& b : m.branches_of(c)) {
+          if (!in[static_cast<std::size_t>(b.target)]) {
+            all_inside = false;
+            break;
+          }
+        }
+        if (all_inside) {
+          has_safe_choice = true;
+          break;
+        }
+      }
+      if (!has_safe_choice) {
+        in[static_cast<std::size_t>(s)] = false;
+        changed = true;
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace
+
+StateSet prob0_max(const Mdp& m, const StateSet& goal) {
+  require_frozen(m);
+  StateSet can_reach = existential_reach(m, goal);
+  StateSet result(static_cast<std::size_t>(m.num_states()));
+  for (std::int32_t s = 0; s < m.num_states(); ++s) {
+    result[static_cast<std::size_t>(s)] = !can_reach[static_cast<std::size_t>(s)];
+  }
+  return result;
+}
+
+StateSet prob0_min(const Mdp& m, const StateSet& goal) {
+  require_frozen(m);
+  return sure_avoid(m, goal);
+}
+
+StateSet prob1_max(const Mdp& m, const StateSet& goal) {
+  require_frozen(m);
+  StateSet w(static_cast<std::size_t>(m.num_states()), true);
+  for (;;) {
+    // u := least fixpoint of states that can reach goal with one step while
+    // keeping all probability mass inside w.
+    StateSet u = goal;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (std::int32_t s = 0; s < m.num_states(); ++s) {
+        if (u[static_cast<std::size_t>(s)]) continue;
+        bool ok = false;
+        for (std::int64_t c = m.choice_begin(s); c < m.choice_end(s) && !ok; ++c) {
+          bool all_in_w = true;
+          bool some_in_u = false;
+          for (const Branch& b : m.branches_of(c)) {
+            if (!w[static_cast<std::size_t>(b.target)]) all_in_w = false;
+            if (u[static_cast<std::size_t>(b.target)]) some_in_u = true;
+          }
+          ok = all_in_w && some_in_u;
+        }
+        if (ok) {
+          u[static_cast<std::size_t>(s)] = true;
+          grew = true;
+        }
+      }
+    }
+    if (u == w) return w;
+    w = std::move(u);
+  }
+}
+
+StateSet prob1_min(const Mdp& m, const StateSet& goal) {
+  require_frozen(m);
+  // Pmin(F goal) < 1 iff the state can reach, through non-goal states, a
+  // region with a strategy to avoid goal surely. Compute that region, grow
+  // it backwards through non-goal states, and complement.
+  StateSet avoid_core = sure_avoid(m, goal);
+  StateSet bad = avoid_core;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::int32_t s = 0; s < m.num_states(); ++s) {
+      if (bad[static_cast<std::size_t>(s)] || goal[static_cast<std::size_t>(s)]) continue;
+      bool hit = false;
+      for (std::int64_t c = m.choice_begin(s); c < m.choice_end(s) && !hit; ++c) {
+        for (const Branch& b : m.branches_of(c)) {
+          if (bad[static_cast<std::size_t>(b.target)]) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit) {
+        bad[static_cast<std::size_t>(s)] = true;
+        changed = true;
+      }
+    }
+  }
+  StateSet result(static_cast<std::size_t>(m.num_states()));
+  for (std::int32_t s = 0; s < m.num_states(); ++s) {
+    result[static_cast<std::size_t>(s)] = !bad[static_cast<std::size_t>(s)];
+  }
+  return result;
+}
+
+}  // namespace quanta::mdp

@@ -1,0 +1,163 @@
+#include "mdp/value_iteration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace quanta::mdp {
+
+namespace {
+
+double choice_value(const Mdp& m, std::int64_t c, const std::vector<double>& v) {
+  double sum = 0.0;
+  for (const Branch& b : m.branches_of(c)) {
+    sum += b.prob * v[static_cast<std::size_t>(b.target)];
+  }
+  return sum;
+}
+
+}  // namespace
+
+ViResult reachability_probability(const Mdp& m, const StateSet& goal,
+                                  Objective obj, const ViOptions& opts) {
+  if (!m.frozen()) throw std::logic_error("value iteration requires frozen MDP");
+  const std::int32_t n = m.num_states();
+  if (static_cast<std::int32_t>(goal.size()) != n) {
+    throw std::invalid_argument("goal set size mismatch");
+  }
+
+  StateSet zero(static_cast<std::size_t>(n), false);
+  StateSet one = goal;
+  if (opts.use_precomputation) {
+    zero = (obj == Objective::kMax) ? prob0_max(m, goal) : prob0_min(m, goal);
+    one = (obj == Objective::kMax) ? prob1_max(m, goal) : prob1_min(m, goal);
+  }
+
+  ViResult result;
+  result.values.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<bool> fixed(static_cast<std::size_t>(n), false);
+  for (std::int32_t s = 0; s < n; ++s) {
+    if (one[static_cast<std::size_t>(s)]) {
+      result.values[static_cast<std::size_t>(s)] = 1.0;
+      fixed[static_cast<std::size_t>(s)] = true;
+    } else if (goal[static_cast<std::size_t>(s)]) {
+      result.values[static_cast<std::size_t>(s)] = 1.0;
+      fixed[static_cast<std::size_t>(s)] = true;
+    } else if (zero[static_cast<std::size_t>(s)]) {
+      fixed[static_cast<std::size_t>(s)] = true;
+    }
+  }
+
+  auto& v = result.values;
+  for (; result.iterations < opts.max_iterations; ++result.iterations) {
+    double max_diff = 0.0;
+    for (std::int32_t s = 0; s < n; ++s) {
+      if (fixed[static_cast<std::size_t>(s)]) continue;
+      double best = (obj == Objective::kMax) ? 0.0 : 1.0;
+      for (std::int64_t c = m.choice_begin(s); c < m.choice_end(s); ++c) {
+        double val = choice_value(m, c, v);
+        best = (obj == Objective::kMax) ? std::max(best, val)
+                                        : std::min(best, val);
+      }
+      max_diff = std::max(max_diff, std::fabs(best - v[static_cast<std::size_t>(s)]));
+      v[static_cast<std::size_t>(s)] = best;
+    }
+    if (max_diff < opts.epsilon) {
+      result.converged = true;
+      ++result.iterations;
+      break;
+    }
+  }
+  return result;
+}
+
+IntervalResult interval_iteration(const Mdp& m, const StateSet& goal,
+                                  Objective obj, double epsilon,
+                                  std::int64_t max_iterations) {
+  if (!m.frozen()) throw std::logic_error("interval iteration requires frozen MDP");
+  const std::int32_t n = m.num_states();
+  StateSet zero = (obj == Objective::kMax) ? prob0_max(m, goal) : prob0_min(m, goal);
+  StateSet one = (obj == Objective::kMax) ? prob1_max(m, goal) : prob1_min(m, goal);
+
+  IntervalResult result;
+  result.lower.assign(static_cast<std::size_t>(n), 0.0);
+  result.upper.assign(static_cast<std::size_t>(n), 1.0);
+  std::vector<bool> fixed(static_cast<std::size_t>(n), false);
+  for (std::int32_t s = 0; s < n; ++s) {
+    if (one[static_cast<std::size_t>(s)] || goal[static_cast<std::size_t>(s)]) {
+      result.lower[static_cast<std::size_t>(s)] = 1.0;
+      result.upper[static_cast<std::size_t>(s)] = 1.0;
+      fixed[static_cast<std::size_t>(s)] = true;
+    } else if (zero[static_cast<std::size_t>(s)]) {
+      result.upper[static_cast<std::size_t>(s)] = 0.0;
+      fixed[static_cast<std::size_t>(s)] = true;
+    }
+  }
+
+  auto bellman = [&](std::vector<double>& v, std::int32_t s) {
+    double best = (obj == Objective::kMax) ? 0.0 : 1.0;
+    for (std::int64_t c = m.choice_begin(s); c < m.choice_end(s); ++c) {
+      double val = choice_value(m, c, v);
+      best = (obj == Objective::kMax) ? std::max(best, val) : std::min(best, val);
+    }
+    return best;
+  };
+
+  for (; result.iterations < max_iterations; ++result.iterations) {
+    double gap = 0.0;
+    for (std::int32_t s = 0; s < n; ++s) {
+      if (fixed[static_cast<std::size_t>(s)]) continue;
+      // Monotone iterates: the lower sequence only grows, the upper only
+      // shrinks, so [lower, upper] always brackets the true probability.
+      double lo = std::max(result.lower[static_cast<std::size_t>(s)],
+                           bellman(result.lower, s));
+      double hi = std::min(result.upper[static_cast<std::size_t>(s)],
+                           bellman(result.upper, s));
+      result.lower[static_cast<std::size_t>(s)] = lo;
+      result.upper[static_cast<std::size_t>(s)] = hi;
+      gap = std::max(gap, hi - lo);
+    }
+    if (gap < epsilon) {
+      result.converged = true;
+      ++result.iterations;
+      break;
+    }
+  }
+  // Note: on MDPs with end components inside the "maybe" region the upper
+  // iterate can stall (the classic interval-iteration caveat); convergence
+  // is reported honestly via `converged`.
+  return result;
+}
+
+ViResult bounded_reachability(const Mdp& m, const StateSet& goal,
+                              std::int64_t steps, Objective obj) {
+  if (!m.frozen()) throw std::logic_error("value iteration requires frozen MDP");
+  const std::int32_t n = m.num_states();
+  ViResult result;
+  result.values.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+  for (std::int32_t s = 0; s < n; ++s) {
+    if (goal[static_cast<std::size_t>(s)]) result.values[static_cast<std::size_t>(s)] = 1.0;
+  }
+  for (std::int64_t k = 0; k < steps; ++k) {
+    for (std::int32_t s = 0; s < n; ++s) {
+      if (goal[static_cast<std::size_t>(s)]) {
+        next[static_cast<std::size_t>(s)] = 1.0;
+        continue;
+      }
+      double best = (obj == Objective::kMax) ? 0.0 : 1.0;
+      for (std::int64_t c = m.choice_begin(s); c < m.choice_end(s); ++c) {
+        double val = choice_value(m, c, result.values);
+        best = (obj == Objective::kMax) ? std::max(best, val)
+                                        : std::min(best, val);
+      }
+      next[static_cast<std::size_t>(s)] = best;
+    }
+    std::swap(result.values, next);
+    ++result.iterations;
+  }
+  result.converged = true;
+  return result;
+}
+
+}  // namespace quanta::mdp

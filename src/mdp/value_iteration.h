@@ -1,0 +1,60 @@
+// Value iteration for reachability probabilities on MDPs (Gauss-Seidel, with
+// PRISM-style qualitative precomputation so that 0/1 states are exact).
+#pragma once
+
+#include <cstdint>
+
+#include "mdp/graph_analysis.h"
+
+namespace quanta::mdp {
+
+enum class Objective { kMax, kMin };
+
+struct ViOptions {
+  double epsilon = 1e-10;  ///< max-norm convergence threshold
+  std::int64_t max_iterations = 1'000'000;
+  bool use_precomputation = true;
+};
+
+struct ViResult {
+  std::vector<double> values;  ///< per state
+  std::int64_t iterations = 0;
+  bool converged = false;
+
+  double at_initial(const Mdp& m) const {
+    return values[static_cast<std::size_t>(m.initial())];
+  }
+};
+
+/// P_opt(F goal) for every state.
+ViResult reachability_probability(const Mdp& m, const StateSet& goal,
+                                  Objective obj, const ViOptions& opts = {});
+
+/// P_opt(F^{<=steps} goal): probability of reaching goal within a bounded
+/// number of MDP steps (used for step-bounded queries and as an ablation).
+ViResult bounded_reachability(const Mdp& m, const StateSet& goal,
+                              std::int64_t steps, Objective obj);
+
+struct IntervalResult {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  std::int64_t iterations = 0;
+  bool converged = false;
+
+  double width_at_initial(const Mdp& m) const {
+    return upper[static_cast<std::size_t>(m.initial())] -
+           lower[static_cast<std::size_t>(m.initial())];
+  }
+};
+
+/// Interval iteration (Haddad-Monmege / sound value iteration): iterates a
+/// lower bound from 0 and an upper bound from 1 simultaneously; on
+/// termination the true probability is *certified* to lie within epsilon,
+/// unlike plain VI whose convergence test can stop early (see ablation A2).
+/// Requires the qualitative precomputation (always applied here) so that the
+/// upper iterate contracts.
+IntervalResult interval_iteration(const Mdp& m, const StateSet& goal,
+                                  Objective obj, double epsilon = 1e-6,
+                                  std::int64_t max_iterations = 1'000'000);
+
+}  // namespace quanta::mdp

@@ -1,0 +1,181 @@
+#include "models/brp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace quanta::models {
+
+using namespace quanta::ta;
+
+double Brp::analytic_p1() const {
+  double p = 1.0 - (1.0 - params.msg_loss) * (1.0 - params.ack_loss);
+  double frame_fail = std::pow(p, params.max_retrans + 1);
+  return 1.0 - std::pow(1.0 - frame_fail, params.frames);
+}
+
+double Brp::analytic_p2() const {
+  double p = 1.0 - (1.0 - params.msg_loss) * (1.0 - params.ack_loss);
+  double frame_fail = std::pow(p, params.max_retrans + 1);
+  return std::pow(1.0 - frame_fail, params.frames - 1) * frame_fail;
+}
+
+Brp make_brp(const BrpParams& params) {
+  if (params.frames < 1 || params.max_retrans < 0 || params.td < 1) {
+    throw std::invalid_argument("make_brp: bad parameters");
+  }
+  Brp brp;
+  brp.params = params;
+  System& sys = brp.system;
+  const int n = params.frames;
+  const int max_rc = params.max_retrans;
+  const int to = params.effective_timeout();
+
+  const int ch_put = sys.add_channel("put");
+  const int ch_get = sys.add_channel("get");
+  const int ch_pack = sys.add_channel("pack");
+  const int ch_gack = sys.add_channel("gack");
+
+  brp.clk_x = sys.add_clock("x");
+  brp.clk_k = sys.add_clock("ck");
+  brp.clk_l = sys.add_clock("cl");
+
+  brp.var_i = sys.vars().declare("i", 1, 1, static_cast<Value>(n));
+  brp.var_rc = sys.vars().declare("rc", 0, 0, static_cast<Value>(max_rc));
+  brp.var_ab = sys.vars().declare("ab", 0, 0, 1);
+  brp.var_exp = sys.vars().declare("exp", 0, 0, 1);
+  brp.var_rcv = sys.vars().declare("rcv", 0, 0, static_cast<Value>(n));
+
+  const int vi = brp.var_i, vrc = brp.var_rc, vab = brp.var_ab,
+            vexp = brp.var_exp, vrcv = brp.var_rcv;
+
+  // ---- Sender ------------------------------------------------------------
+  {
+    ProcessBuilder pb("Sender");
+    brp.s_send = pb.location("Send", {}, false, /*urgent=*/true);
+    brp.s_wait = pb.location("WaitAck", {cc_le(brp.clk_x, to)});
+    brp.s_success = pb.location("Success");
+    brp.s_fail_nok = pb.location("FailNok");
+    brp.s_fail_dk = pb.location("FailDk");
+    pb.set_initial(brp.s_send);
+
+    // Send --put!--> WaitAck, starting the retransmission timer.
+    pb.edge(brp.s_send, brp.s_wait, {}, ch_put, SyncKind::kSend,
+            {{brp.clk_x, 0}}, nullptr, nullptr, "put!");
+
+    // Ack for a non-final frame: advance to the next frame.
+    pb.edge(brp.s_wait, brp.s_send, {}, ch_gack, SyncKind::kReceive, {},
+            [vi, n](const Valuation& v) { return v[vi] < n; },
+            [vi, vrc, vab](Valuation& v) {
+              v[vi] += 1;
+              v[vrc] = 0;
+              v[vab] ^= 1;
+            },
+            "gack?(next)");
+    // Ack for the final frame: report success.
+    pb.edge(brp.s_wait, brp.s_success, {}, ch_gack, SyncKind::kReceive, {},
+            [vi, n](const Valuation& v) { return v[vi] == n; }, nullptr,
+            "gack?(last)");
+
+    // Timeout: retransmit while retries remain.
+    pb.edge(brp.s_wait, brp.s_send, {cc_ge(brp.clk_x, to)}, -1, SyncKind::kNone,
+            {},
+            [vrc, max_rc](const Valuation& v) { return v[vrc] < max_rc; },
+            [vrc](Valuation& v) { v[vrc] += 1; }, "timeout(retry)");
+    // Retries exhausted on a non-final frame: certain failure (NOK).
+    pb.edge(brp.s_wait, brp.s_fail_nok, {cc_ge(brp.clk_x, to)}, -1,
+            SyncKind::kNone, {},
+            [vrc, vi, max_rc, n](const Valuation& v) {
+              return v[vrc] == max_rc && v[vi] < n;
+            },
+            nullptr, "timeout(NOK)");
+    // Retries exhausted on the final frame: uncertain outcome (DK).
+    pb.edge(brp.s_wait, brp.s_fail_dk, {cc_ge(brp.clk_x, to)}, -1,
+            SyncKind::kNone, {},
+            [vrc, vi, max_rc, n](const Valuation& v) {
+              return v[vrc] == max_rc && v[vi] == n;
+            },
+            nullptr, "timeout(DK)");
+
+    brp.sender = sys.add_process(pb.build());
+  }
+
+  // ---- Channel K (messages; Fig. 5) ---------------------------------------
+  {
+    ProcessBuilder pb("ChanK");
+    brp.k_idle = pb.location("Idle");
+    brp.k_busy = pb.location("Busy", {cc_le(brp.clk_k, params.td)});
+    pb.set_initial(brp.k_idle);
+
+    int idx = pb.edge(brp.k_idle, brp.k_busy);
+    Edge& recv = pb.edge_ref(idx);
+    recv.channel = ch_put;
+    recv.sync = SyncKind::kReceive;
+    recv.label = "put?";
+    recv.branches = {
+        ProbBranch{1.0 - params.msg_loss, brp.k_busy, {{brp.clk_k, 0}}, nullptr,
+                   "deliver"},
+        ProbBranch{params.msg_loss, brp.k_idle, {}, nullptr, "lose"},
+    };
+
+    pb.edge(brp.k_busy, brp.k_idle, {}, ch_get, SyncKind::kSend, {}, nullptr,
+            nullptr, "get!");
+    brp.chan_k = sys.add_process(pb.build());
+  }
+
+  // ---- Channel L (acknowledgements) ---------------------------------------
+  {
+    ProcessBuilder pb("ChanL");
+    brp.l_idle = pb.location("Idle");
+    brp.l_busy = pb.location("Busy", {cc_le(brp.clk_l, params.td)});
+    pb.set_initial(brp.l_idle);
+
+    int idx = pb.edge(brp.l_idle, brp.l_busy);
+    Edge& recv = pb.edge_ref(idx);
+    recv.channel = ch_pack;
+    recv.sync = SyncKind::kReceive;
+    recv.label = "pack?";
+    recv.branches = {
+        ProbBranch{1.0 - params.ack_loss, brp.l_busy, {{brp.clk_l, 0}}, nullptr,
+                   "deliver"},
+        ProbBranch{params.ack_loss, brp.l_idle, {}, nullptr, "lose"},
+    };
+
+    pb.edge(brp.l_busy, brp.l_idle, {}, ch_gack, SyncKind::kSend, {}, nullptr,
+            nullptr, "gack!");
+    brp.chan_l = sys.add_process(pb.build());
+  }
+
+  // ---- Receiver ------------------------------------------------------------
+  {
+    ProcessBuilder pb("Receiver");
+    brp.r_wait = pb.location("Wait");
+    brp.r_proc = pb.location("Proc", {}, /*committed=*/true);
+    pb.set_initial(brp.r_wait);
+
+    pb.edge(brp.r_wait, brp.r_proc, {}, ch_get, SyncKind::kReceive, {}, nullptr,
+            nullptr, "get?");
+    // Fresh frame: deliver, flip the expected bit, acknowledge.
+    pb.edge(brp.r_proc, brp.r_wait, {}, ch_pack, SyncKind::kSend, {},
+            [vab, vexp](const Valuation& v) { return v[vab] == v[vexp]; },
+            [vrcv, vexp](Valuation& v) {
+              v[vrcv] += 1;
+              v[vexp] ^= 1;
+            },
+            "pack!(deliver)");
+    // Retransmission of a delivered frame: acknowledge without delivering.
+    pb.edge(brp.r_proc, brp.r_wait, {}, ch_pack, SyncKind::kSend, {},
+            [vab, vexp](const Valuation& v) { return v[vab] != v[vexp]; },
+            nullptr, "pack!(dup)");
+    brp.receiver = sys.add_process(pb.build());
+  }
+
+  if (params.global_clock) {
+    brp.clk_gt = sys.add_clock("gt");
+    sys.bump_max_constant(brp.clk_gt, params.global_clock_cap);
+  }
+
+  sys.validate();
+  return brp;
+}
+
+}  // namespace quanta::models

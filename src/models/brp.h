@@ -1,0 +1,92 @@
+// The Bounded Retransmission Protocol (§III.A of the paper): an
+// alternating-bit protocol with at most MAX retransmissions per frame, lossy
+// timed channels (Fig. 5), and the Table I property set. Modelled as a PTA
+// (ta::System with probabilistic branches):
+//
+//   Sender:   Send --put!--> WaitAck(x<=TO) --gack?--> next frame / Success
+//             WaitAck --x>=TO--> retransmit (rc<MAX) / FailNok / FailDk
+//   Chan K:   Idle --put?--> 0.98: Busy(ck<=TD) --get!--> Idle ; 0.02: lost
+//   Chan L:   Idle --pack?--> 0.99: Busy(cl<=TD) --gack!--> Idle; 0.01: lost
+//   Receiver: Wait --get?--> committed: deliver if bit fresh, always ack
+//
+// With frame loss 2% and ack loss 1% the per-attempt failure probability is
+// p = 1 - 0.98*0.99, giving analytically P1 = 1-(1-p^3)^16 ~ 4.233e-4 and
+// P2 = (1-p^3)^15 * p^3 ~ 2.645e-5 — the values of Table I.
+#pragma once
+
+#include "common/expr.h"
+#include "ta/model.h"
+
+namespace quanta::models {
+
+struct BrpParams {
+  int frames = 16;        ///< N
+  int max_retrans = 2;    ///< MAX
+  int td = 1;             ///< TD: maximal channel delay
+  int timeout = -1;       ///< sender timeout TO; -1 means 2*TD + 1
+  double msg_loss = 0.02;
+  double ack_loss = 0.01;
+  /// Adds a never-reset global clock (for time-bounded queries like Dmax);
+  /// its digital cap is `global_clock_cap`.
+  bool global_clock = false;
+  int global_clock_cap = 65;
+
+  int effective_timeout() const { return timeout < 0 ? 2 * td + 1 : timeout; }
+};
+
+struct Brp {
+  ta::System system;
+  BrpParams params;
+
+  // Process indices.
+  int sender = 0, chan_k = 0, chan_l = 0, receiver = 0;
+  // Clock ids (gt == -1 when absent).
+  int clk_x = 0, clk_k = 0, clk_l = 0, clk_gt = -1;
+  // Variable indices.
+  int var_i = 0, var_rc = 0, var_ab = 0, var_exp = 0, var_rcv = 0;
+  // Sender locations.
+  int s_send = 0, s_wait = 0, s_success = 0, s_fail_nok = 0, s_fail_dk = 0;
+  // Channel / receiver locations.
+  int k_idle = 0, k_busy = 0, l_idle = 0, l_busy = 0, r_wait = 0, r_proc = 0;
+
+  // ---- Discrete checks shared by all three analysis engines -------------
+  bool is_success(const std::vector<int>& locs) const {
+    return locs[static_cast<std::size_t>(sender)] == s_success;
+  }
+  bool is_fail_nok(const std::vector<int>& locs) const {
+    return locs[static_cast<std::size_t>(sender)] == s_fail_nok;
+  }
+  bool is_fail_dk(const std::vector<int>& locs) const {
+    return locs[static_cast<std::size_t>(sender)] == s_fail_dk;
+  }
+  bool is_done(const std::vector<int>& locs) const {
+    return is_success(locs) || is_fail_nok(locs) || is_fail_dk(locs);
+  }
+  bool no_success(const std::vector<int>& locs) const {
+    return is_fail_nok(locs) || is_fail_dk(locs);
+  }
+  bool sender_waiting(const std::vector<int>& locs) const {
+    return locs[static_cast<std::size_t>(sender)] == s_wait;
+  }
+  bool channels_busy(const std::vector<int>& locs) const {
+    return locs[static_cast<std::size_t>(chan_k)] == k_busy ||
+           locs[static_cast<std::size_t>(chan_l)] == l_busy;
+  }
+  bool complete_file(const common::Valuation& vars) const {
+    return vars[static_cast<std::size_t>(var_rcv)] == params.frames;
+  }
+  /// TA2: the receiver's delivered count tracks the sender's current frame.
+  bool ta2_ok(const common::Valuation& vars) const {
+    auto i = vars[static_cast<std::size_t>(var_i)];
+    auto rcv = vars[static_cast<std::size_t>(var_rcv)];
+    return rcv == i - 1 || rcv == i;
+  }
+
+  // Analytic reference values (see header comment).
+  double analytic_p1() const;
+  double analytic_p2() const;
+};
+
+Brp make_brp(const BrpParams& params = {});
+
+}  // namespace quanta::models

@@ -1,0 +1,221 @@
+#include "models/dala.h"
+
+namespace quanta::models {
+
+using namespace quanta::bip;
+
+Dala make_dala(const DalaOptions& options) {
+  Dala d;
+  d.options = options;
+  BipSystem& sys = d.system;
+
+  // ---- RFLEX: locomotion ---------------------------------------------------
+  int rflex_start, rflex_stop;
+  {
+    Component c("RFLEX");
+    int idle = c.add_place("Idle");
+    d.rflex_moving = c.add_place("Moving");
+    rflex_start = c.add_port("start_move");
+    rflex_stop = c.add_port("stop_move");
+    c.add_transition(idle, d.rflex_moving, rflex_start, nullptr, nullptr,
+                     "start");
+    c.add_transition(d.rflex_moving, idle, rflex_stop, nullptr, nullptr,
+                     "stop");
+    c.set_initial(idle);
+    d.rflex = sys.add_component(std::move(c));
+  }
+
+  // ---- NDD: navigation (plans, then commands a speed to RFLEX) -------------
+  int ndd_cmd, ndd_pos;
+  {
+    Component c("NDD");
+    int idle = c.add_place("Idle");
+    int planning = c.add_place("Planning");
+    int ready = c.add_place("Ready");
+    ndd_cmd = c.add_port("cmd_speed");
+    ndd_pos = c.add_port("pos_in");
+    int updates = c.declare_var("pos_updates", 0, 0, 3);  // saturating counter
+    c.add_transition(idle, planning, -1, nullptr, nullptr, "start_plan");
+    c.add_transition(planning, ready, -1, nullptr, nullptr, "plan_done");
+    c.add_transition(ready, idle, ndd_cmd, nullptr, nullptr, "send_speed");
+    c.add_transition(idle, idle, ndd_pos, nullptr,
+                     [updates](Valuation& v) {
+                       if (v[updates] < 3) v[updates] += 1;
+                     },
+                     "pos_update");
+    c.set_initial(idle);
+    d.ndd = sys.add_component(std::move(c));
+  }
+
+  // ---- POM: position manager (broadcasts pose estimates) --------------------
+  int pom_pos;
+  {
+    Component c("POM");
+    int run = c.add_place("Run");
+    pom_pos = c.add_port("pos");
+    c.add_transition(run, run, pom_pos, nullptr, nullptr, "publish");
+    c.set_initial(run);
+    d.pom = sys.add_component(std::move(c));
+  }
+
+  // ---- Antenna: communication ----------------------------------------------
+  int ant_start, ant_end;
+  {
+    Component c("Antenna");
+    int idle = c.add_place("Idle");
+    d.antenna_comm = c.add_place("Comm");
+    ant_start = c.add_port("start_comm");
+    ant_end = c.add_port("end_comm");
+    c.add_transition(idle, d.antenna_comm, ant_start, nullptr, nullptr,
+                     "start");
+    c.add_transition(d.antenna_comm, idle, ant_end, nullptr, nullptr, "end");
+    c.set_initial(idle);
+    d.antenna = sys.add_component(std::move(c));
+  }
+
+  // ---- Laser (Aspect): terrain scanning --------------------------------------
+  int laser_start, laser_end;
+  {
+    Component c("Laser");
+    int off = c.add_place("Off");
+    d.laser_scanning = c.add_place("Scanning");
+    laser_start = c.add_port("start_scan");
+    laser_end = c.add_port("end_scan");
+    c.add_transition(off, d.laser_scanning, laser_start, nullptr, nullptr,
+                     "start");
+    c.add_transition(d.laser_scanning, off, laser_end, nullptr, nullptr,
+                     "end");
+    c.set_initial(off);
+    d.laser = sys.add_component(std::move(c));
+  }
+
+  // ---- Platine: pan-tilt unit -------------------------------------------------
+  int plat_lock, plat_unlock;
+  {
+    Component c("Platine");
+    d.platine_unlocked = c.add_place("Unlocked");
+    int locked = c.add_place("Locked");
+    plat_lock = c.add_port("lock");
+    plat_unlock = c.add_port("unlock");
+    c.add_transition(d.platine_unlocked, locked, plat_lock, nullptr, nullptr,
+                     "lock");
+    c.add_transition(locked, d.platine_unlocked, plat_unlock, nullptr, nullptr,
+                     "unlock");
+    c.set_initial(d.platine_unlocked);
+    d.platine = sys.add_component(std::move(c));
+  }
+
+  // ---- Science payload ---------------------------------------------------------
+  int sci_pos;
+  {
+    Component c("Science");
+    int idle = c.add_place("Idle");
+    int measuring = c.add_place("Measuring");
+    sci_pos = c.add_port("pos_in");
+    c.add_transition(idle, measuring, -1, nullptr, nullptr, "start_meas");
+    c.add_transition(measuring, idle, -1, nullptr, nullptr, "end_meas");
+    c.add_transition(idle, idle, sci_pos, nullptr, nullptr, "pos_update");
+    c.set_initial(idle);
+    d.science = sys.add_component(std::move(c));
+  }
+
+  // ---- R2C execution controller ---------------------------------------------
+  int r2c_ok_move_s = -1, r2c_ok_move_e = -1, r2c_ok_comm_s = -1,
+      r2c_ok_comm_e = -1, r2c_ok_scan_s = -1, r2c_ok_scan_e = -1,
+      r2c_ok_lock = -1, r2c_ok_unlock = -1;
+  if (options.with_controller) {
+    Component c("R2C");
+    int run = c.add_place("Run");
+    int moving = c.declare_var("moving", 0, 0, 1);
+    int comm = c.declare_var("comm", 0, 0, 1);
+    int locked = c.declare_var("locked", 0, 0, 1);
+    int scanning = c.declare_var("scanning", 0, 0, 1);
+    r2c_ok_move_s = c.add_port("ok_move_start");
+    r2c_ok_move_e = c.add_port("ok_move_end");
+    r2c_ok_comm_s = c.add_port("ok_comm_start");
+    r2c_ok_comm_e = c.add_port("ok_comm_end");
+    r2c_ok_scan_s = c.add_port("ok_scan_start");
+    r2c_ok_scan_e = c.add_port("ok_scan_end");
+    r2c_ok_lock = c.add_port("ok_lock");
+    r2c_ok_unlock = c.add_port("ok_unlock");
+    // R1: movement and communication mutually exclusive.
+    c.add_transition(run, run, r2c_ok_move_s,
+                     [comm](const Valuation& v) { return v[comm] == 0; },
+                     [moving](Valuation& v) { v[moving] = 1; }, "grant move");
+    c.add_transition(run, run, r2c_ok_move_e, nullptr,
+                     [moving](Valuation& v) { v[moving] = 0; }, "end move");
+    c.add_transition(run, run, r2c_ok_comm_s,
+                     [moving](const Valuation& v) { return v[moving] == 0; },
+                     [comm](Valuation& v) { v[comm] = 1; }, "grant comm");
+    c.add_transition(run, run, r2c_ok_comm_e, nullptr,
+                     [comm](Valuation& v) { v[comm] = 0; }, "end comm");
+    // R2: scanning requires the platine to be locked; no unlock mid-scan.
+    c.add_transition(run, run, r2c_ok_scan_s,
+                     [locked](const Valuation& v) { return v[locked] == 1; },
+                     [scanning](Valuation& v) { v[scanning] = 1; },
+                     "grant scan");
+    c.add_transition(run, run, r2c_ok_scan_e, nullptr,
+                     [scanning](Valuation& v) { v[scanning] = 0; }, "end scan");
+    c.add_transition(run, run, r2c_ok_lock, nullptr,
+                     [locked](Valuation& v) { v[locked] = 1; }, "lock");
+    c.add_transition(run, run, r2c_ok_unlock,
+                     [scanning](const Valuation& v) { return v[scanning] == 0; },
+                     [locked](Valuation& v) { v[locked] = 0; }, "unlock");
+    c.set_initial(run);
+    d.r2c = sys.add_component(std::move(c));
+  }
+
+  // ---- Connectors ----------------------------------------------------------
+  auto rendezvous = [&sys](std::string name, std::vector<PortRef> ports) {
+    Connector conn;
+    conn.name = std::move(name);
+    conn.kind = ConnectorKind::kRendezvous;
+    conn.ports = std::move(ports);
+    return sys.add_connector(std::move(conn));
+  };
+
+  if (options.with_controller) {
+    d.c_move_start = rendezvous("move_start", {{d.ndd, ndd_cmd},
+                                               {d.rflex, rflex_start},
+                                               {d.r2c, r2c_ok_move_s}});
+    rendezvous("move_stop", {{d.rflex, rflex_stop}, {d.r2c, r2c_ok_move_e}});
+    d.c_comm_start =
+        rendezvous("comm_start", {{d.antenna, ant_start}, {d.r2c, r2c_ok_comm_s}});
+    rendezvous("comm_end", {{d.antenna, ant_end}, {d.r2c, r2c_ok_comm_e}});
+    d.c_scan_start =
+        rendezvous("scan_start", {{d.laser, laser_start}, {d.r2c, r2c_ok_scan_s}});
+    rendezvous("scan_end", {{d.laser, laser_end}, {d.r2c, r2c_ok_scan_e}});
+    rendezvous("platine_lock", {{d.platine, plat_lock}, {d.r2c, r2c_ok_lock}});
+    rendezvous("platine_unlock",
+               {{d.platine, plat_unlock}, {d.r2c, r2c_ok_unlock}});
+  } else {
+    // Faulty baseline: modules start/stop activities unconstrained.
+    d.c_move_start = rendezvous("move_start",
+                                {{d.ndd, ndd_cmd}, {d.rflex, rflex_start}});
+    rendezvous("move_stop", {{d.rflex, rflex_stop}});
+    d.c_comm_start = rendezvous("comm_start", {{d.antenna, ant_start}});
+    rendezvous("comm_end", {{d.antenna, ant_end}});
+    d.c_scan_start = rendezvous("scan_start", {{d.laser, laser_start}});
+    rendezvous("scan_end", {{d.laser, laser_end}});
+    rendezvous("platine_lock", {{d.platine, plat_lock}});
+    rendezvous("platine_unlock", {{d.platine, plat_unlock}});
+  }
+
+  // Position broadcast: POM triggers; NDD and Science join when able.
+  {
+    Connector conn;
+    conn.name = "pos_broadcast";
+    conn.kind = ConnectorKind::kBroadcast;
+    conn.ports = {{d.pom, pom_pos}, {d.ndd, ndd_pos}, {d.science, sci_pos}};
+    sys.add_connector(std::move(conn));
+  }
+
+  // Scheduling policy: when both a motion start and a communication start
+  // are possible, motion wins (communication is retried once stopped).
+  sys.add_priority(d.c_comm_start, d.c_move_start);
+
+  sys.validate();
+  return d;
+}
+
+}  // namespace quanta::models

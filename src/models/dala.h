@@ -1,0 +1,53 @@
+// A BIP model of the functional level of the DALA autonomous rover (paper
+// §IV, Fig. 6), in the spirit of the LAAS/Verimag case study: functional
+// modules (RFLEX locomotion, NDD navigation, POM position manager, Antenna
+// communication, Laser scanner, Platine pan-tilt unit, Science payload)
+// composed with an R2C-style execution controller that enforces the safety
+// rules by construction:
+//   R1: the antenna never transmits while the robot is moving;
+//   R2: the laser only scans while the platine is locked.
+//
+// Two variants are built: with the controller woven into every activity-
+// start connector (safe by construction), and without it (modules start
+// activities unconstrained — the faulty baseline used for the §IV fault-
+// injection experiment).
+#pragma once
+
+#include "bip/explore.h"
+#include "bip/system.h"
+
+namespace quanta::models {
+
+struct DalaOptions {
+  bool with_controller = true;
+};
+
+struct Dala {
+  bip::BipSystem system;
+  DalaOptions options;
+
+  // Component indices.
+  int rflex = 0, ndd = 0, pom = 0, antenna = 0, laser = 0, platine = 0,
+      science = 0, r2c = -1;
+  // Place indices used by the safety rules.
+  int rflex_moving = 0, antenna_comm = 0, laser_scanning = 0,
+      platine_unlocked = 0;
+  // Connector indices for the activity starts (for priorities/inspection).
+  int c_move_start = -1, c_comm_start = -1, c_scan_start = -1;
+
+  /// R1: no transmission while moving.
+  bool rule1_ok(const bip::BipState& s) const {
+    return !(s.places[static_cast<std::size_t>(rflex)] == rflex_moving &&
+             s.places[static_cast<std::size_t>(antenna)] == antenna_comm);
+  }
+  /// R2: no scanning while the platine is unlocked.
+  bool rule2_ok(const bip::BipState& s) const {
+    return !(s.places[static_cast<std::size_t>(laser)] == laser_scanning &&
+             s.places[static_cast<std::size_t>(platine)] == platine_unlocked);
+  }
+  bool safe(const bip::BipState& s) const { return rule1_ok(s) && rule2_ok(s); }
+};
+
+Dala make_dala(const DalaOptions& options = {});
+
+}  // namespace quanta::models

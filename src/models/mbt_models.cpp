@@ -1,0 +1,199 @@
+#include "models/mbt_models.h"
+
+namespace quanta::models {
+
+namespace {
+
+/// Declares the six software-bus labels in the canonical SwbLabels order.
+SwbLabels declare_labels(mbt::Lts& lts) {
+  SwbLabels l;
+  l.subscribe = lts.add_input("subscribe");
+  l.publish = lts.add_input("publish");
+  l.unsubscribe = lts.add_input("unsubscribe");
+  l.ack = lts.add_output("ack");
+  l.notify = lts.add_output("notify");
+  l.err = lts.add_output("err");
+  return l;
+}
+
+/// Adds self-loops for all inputs that are not otherwise enabled, making the
+/// LTS input-enabled (the ioco testing hypothesis for implementations).
+void make_input_enabled(mbt::Lts& lts) {
+  for (int s = 0; s < lts.state_count(); ++s) {
+    for (int l : lts.inputs()) {
+      if (lts.post(s, l).empty()) lts.add_transition(s, s, l);
+    }
+  }
+}
+
+}  // namespace
+
+mbt::Lts make_swb_spec() {
+  mbt::Lts lts;
+  SwbLabels l = declare_labels(lts);
+  int idle = lts.add_state("Idle");
+  int sub_ack = lts.add_state("SubAck");
+  int subbed = lts.add_state("Subscribed");
+  int pub_a = lts.add_state("PubAckFirst");
+  int pub_n = lts.add_state("PubNotifyFirst");
+  int pub_a2 = lts.add_state("PubThenNotify");
+  int pub_n2 = lts.add_state("PubThenAck");
+  int unsub_ack = lts.add_state("UnsubAck");
+  int idle_pub = lts.add_state("IdlePubAck");
+  lts.set_initial(idle);
+
+  // Subscription handshake.
+  lts.add_transition(idle, sub_ack, l.subscribe);
+  lts.add_transition(sub_ack, subbed, l.ack);
+  // Publish while subscribed: ack and notify in either order.
+  lts.add_transition(subbed, pub_a, l.publish);
+  lts.add_transition(pub_a, pub_a2, l.ack);
+  lts.add_transition(pub_a2, subbed, l.notify);
+  lts.add_transition(subbed, pub_n, l.publish);
+  lts.add_transition(pub_n, pub_n2, l.notify);
+  lts.add_transition(pub_n2, subbed, l.ack);
+  // Unsubscribe.
+  lts.add_transition(subbed, unsub_ack, l.unsubscribe);
+  lts.add_transition(unsub_ack, idle, l.ack);
+  // Publish while idle: just an ack, never a notify.
+  lts.add_transition(idle, idle_pub, l.publish);
+  lts.add_transition(idle_pub, idle, l.ack);
+  lts.validate();
+  return lts;
+}
+
+mbt::Lts make_swb_impl() {
+  mbt::Lts lts;
+  SwbLabels l = declare_labels(lts);
+  int idle = lts.add_state("Idle");
+  int sub_ack = lts.add_state("SubAck");
+  int subbed = lts.add_state("Subscribed");
+  int pub_a = lts.add_state("PubAck");
+  int pub_a2 = lts.add_state("PubNotify");
+  int unsub_ack = lts.add_state("UnsubAck");
+  int idle_pub = lts.add_state("IdlePubAck");
+  lts.set_initial(idle);
+  lts.add_transition(idle, sub_ack, l.subscribe);
+  lts.add_transition(sub_ack, subbed, l.ack);
+  lts.add_transition(subbed, pub_a, l.publish);
+  lts.add_transition(pub_a, pub_a2, l.ack);       // deterministic order
+  lts.add_transition(pub_a2, subbed, l.notify);
+  lts.add_transition(subbed, unsub_ack, l.unsubscribe);
+  lts.add_transition(unsub_ack, idle, l.ack);
+  lts.add_transition(idle, idle_pub, l.publish);
+  lts.add_transition(idle_pub, idle, l.ack);
+  make_input_enabled(lts);
+  lts.validate();
+  return lts;
+}
+
+namespace {
+
+/// The conforming implementation's skeleton with a hook for the subscribed
+/// publish response (the part the mutants break).
+enum class PublishBehaviour { kAckNotify, kAckErr, kAckOnly };
+
+mbt::Lts make_swb_variant(PublishBehaviour behaviour, bool unsolicited) {
+  mbt::Lts impl;
+  SwbLabels l = declare_labels(impl);
+  int idle = impl.add_state("Idle");
+  int sub_ack = impl.add_state("SubAck");
+  int subbed = impl.add_state("Subscribed");
+  int pub_a = impl.add_state("PubAck");
+  int unsub_ack = impl.add_state("UnsubAck");
+  int idle_pub = impl.add_state("IdlePubAck");
+  impl.set_initial(idle);
+  impl.add_transition(idle, sub_ack, l.subscribe);
+  impl.add_transition(sub_ack, subbed, l.ack);
+  impl.add_transition(subbed, pub_a, l.publish);
+  switch (behaviour) {
+    case PublishBehaviour::kAckNotify: {
+      int pub_a2 = impl.add_state("PubNotify");
+      impl.add_transition(pub_a, pub_a2, l.ack);
+      impl.add_transition(pub_a2, subbed, l.notify);
+      break;
+    }
+    case PublishBehaviour::kAckErr: {
+      int pub_a2 = impl.add_state("PubErr");
+      impl.add_transition(pub_a, pub_a2, l.ack);
+      impl.add_transition(pub_a2, subbed, l.err);  // wrong output
+      break;
+    }
+    case PublishBehaviour::kAckOnly:
+      impl.add_transition(pub_a, subbed, l.ack);  // notify silently dropped
+      break;
+  }
+  impl.add_transition(subbed, unsub_ack, l.unsubscribe);
+  impl.add_transition(unsub_ack, idle, l.ack);
+  impl.add_transition(idle, idle_pub, l.publish);
+  if (unsolicited) {
+    int idle_pub2 = impl.add_state("IdlePubNotify");
+    impl.add_transition(idle_pub, idle_pub2, l.ack);
+    impl.add_transition(idle_pub2, idle, l.notify);  // not allowed
+  } else {
+    impl.add_transition(idle_pub, idle, l.ack);
+  }
+  make_input_enabled(impl);
+  impl.validate();
+  return impl;
+}
+
+}  // namespace
+
+mbt::Lts make_swb_mutant_wrong_output() {
+  return make_swb_variant(PublishBehaviour::kAckErr, false);
+}
+
+mbt::Lts make_swb_mutant_missing_notify() {
+  return make_swb_variant(PublishBehaviour::kAckOnly, false);
+}
+
+mbt::Lts make_swb_mutant_unsolicited_notify() {
+  return make_swb_variant(PublishBehaviour::kAckNotify, true);
+}
+
+// ---- Timed models -----------------------------------------------------------
+
+namespace {
+
+mbt::TimedSpec make_light(int on_lo, int on_hi, bool wrong_second_action) {
+  mbt::TimedSpec spec;
+  ta::System& sys = spec.system;
+  int press = sys.add_channel("press");
+  int on = sys.add_channel("on");
+  int off = sys.add_channel("off");
+  spec.input_actions = {press};
+  int x = sys.add_clock("x");
+
+  ta::ProcessBuilder pb("Light");
+  int idle = pb.location("Idle");
+  int turning_on = pb.location("TurningOn", {ta::cc_le(x, on_hi)});
+  int lit = pb.location("Lit");
+  int turning_off = pb.location("TurningOff", {ta::cc_le(x, 2)});
+  pb.set_initial(idle);
+
+  pb.edge(idle, turning_on, {}, press, ta::SyncKind::kReceive, {{x, 0}},
+          nullptr, nullptr, "press?");
+  pb.edge(turning_on, lit, {ta::cc_ge(x, on_lo)}, on, ta::SyncKind::kSend, {},
+          nullptr, nullptr, "on!");
+  pb.edge(lit, turning_off, {}, press, ta::SyncKind::kReceive, {{x, 0}},
+          nullptr, nullptr, "press?");
+  pb.edge(turning_off, idle, {}, wrong_second_action ? on : off,
+          ta::SyncKind::kSend, {}, nullptr, nullptr,
+          wrong_second_action ? "on!(bug)" : "off!");
+  sys.add_process(pb.build());
+  sys.validate();
+  return spec;
+}
+
+}  // namespace
+
+mbt::TimedSpec make_timed_light_spec() { return make_light(1, 3, false); }
+
+mbt::TimedSpec make_timed_light_late_mutant() { return make_light(4, 6, false); }
+
+mbt::TimedSpec make_timed_light_wrong_action_mutant() {
+  return make_light(1, 3, true);
+}
+
+}  // namespace quanta::models

@@ -1,0 +1,51 @@
+// Specification and mutant models for the model-based-testing experiments
+// (§V): an untimed "software bus" publish/subscribe protocol in the spirit
+// of the paper's Neopost case study [30], plus a timed light-switch spec for
+// the UPPAAL-TRON-style online testing demo.
+#pragma once
+
+#include "mbt/lts.h"
+#include "mbt/rtioco.h"
+
+namespace quanta::models {
+
+/// Shared label ids across the software-bus spec and all its mutants (the
+/// builders declare labels in a fixed order).
+struct SwbLabels {
+  int subscribe = 0, publish = 1, unsubscribe = 2;  // inputs
+  int ack = 3, notify = 4, err = 5;                 // outputs
+};
+
+/// Specification: every request is acked; a publish additionally triggers a
+/// notify for subscribed clients, where ack/notify may arrive in either
+/// order (implementations may resolve this nondeterminism).
+mbt::Lts make_swb_spec();
+
+/// Conforming implementation: picks the ack-then-notify order (a valid
+/// reduction of the spec) and is input-enabled.
+mbt::Lts make_swb_impl();
+
+/// Mutant 1: emits `err` instead of `notify` after a subscribed publish.
+mbt::Lts make_swb_mutant_wrong_output();
+/// Mutant 2: silently drops the notify (fails by observed quiescence).
+mbt::Lts make_swb_mutant_missing_notify();
+/// Mutant 3: notifies even clients that never subscribed.
+mbt::Lts make_swb_mutant_unsolicited_notify();
+
+// ---- Timed (rtioco / TRON) models -----------------------------------------
+
+struct TimedLightActions {
+  int press = 0;  ///< input channel id
+  int on = 1;     ///< output channel id
+  int off = 2;    ///< output channel id
+};
+
+/// Spec: after `press?`, the light turns `on!` within [1,3] time units; a
+/// second `press?` turns it `off!` within [0,2].
+mbt::TimedSpec make_timed_light_spec();
+/// Mutant: turns on too late (within [4,6]) — a deadline violation.
+mbt::TimedSpec make_timed_light_late_mutant();
+/// Mutant: answers the second press with `on!` instead of `off!`.
+mbt::TimedSpec make_timed_light_wrong_action_mutant();
+
+}  // namespace quanta::models

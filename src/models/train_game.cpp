@@ -1,0 +1,84 @@
+#include "models/train_game.h"
+
+#include <string>
+
+namespace quanta::models {
+
+using namespace quanta::ta;
+
+TrainGame make_train_game(const TrainGameOptions& options) {
+  TrainGame tg;
+  tg.options = options;
+  System& sys = tg.system;
+  const int n = options.num_trains;
+
+  int appr_base = sys.add_channel_array("appr", n);
+  int stop_base = sys.add_channel_array("stop", n);
+  int go_base = sys.add_channel_array("go", n);
+  int leave_base = sys.add_channel_array("leave", n);
+
+  for (int id = 0; id < n; ++id) {
+    int x = sys.add_clock("x" + std::to_string(id));
+    tg.train_clock.push_back(x);
+
+    ProcessBuilder pb("Train(" + std::to_string(id) + ")");
+    int safe = pb.location("Safe");
+    int appr = pb.location("Appr", {cc_le(x, 20)});
+    int stop = pb.location("Stop");
+    int start = pb.location("Start", {cc_le(x, 30)});
+    int cross = pb.location("Cross", {cc_le(x, 5)});
+    tg.l_safe = safe;
+    tg.l_appr = appr;
+    tg.l_stop = stop;
+    tg.l_start = start;
+    tg.l_cross = cross;
+    pb.set_initial(id == 0 && options.first_train_approaching ? appr : safe);
+
+    // Environment-owned (dashed in Fig. 2).
+    int e = pb.edge(safe, appr, {}, appr_base + id, SyncKind::kSend, {{x, 0}},
+                    nullptr, nullptr, "appr!");
+    pb.edge_ref(e).controllable = false;
+    e = pb.edge(appr, cross, {cc_ge(x, 10)}, -1, SyncKind::kNone, {{x, 0}},
+                nullptr, nullptr, "cross");
+    pb.edge_ref(e).controllable = false;
+    e = pb.edge(start, cross, {cc_ge(x, 7)}, -1, SyncKind::kNone, {{x, 0}},
+                nullptr, nullptr, "restart-cross");
+    pb.edge_ref(e).controllable = false;
+    e = pb.edge(cross, safe, {cc_ge(x, 3)}, leave_base + id, SyncKind::kSend,
+                {}, nullptr, nullptr, "leave!");
+    pb.edge_ref(e).controllable = false;
+
+    // Controller-owned (solid): reactions to stop/go signals.
+    pb.edge(appr, stop, {cc_le(x, 10)}, stop_base + id, SyncKind::kReceive, {},
+            nullptr, nullptr, "stop?");
+    pb.edge(stop, start, {}, go_base + id, SyncKind::kReceive, {{x, 0}},
+            nullptr, nullptr, "go?");
+
+    tg.trains.push_back(sys.add_process(pb.build()));
+  }
+
+  // Fig. 3: the unconstrained controller — one location, all four actions.
+  {
+    ProcessBuilder pb("Controller");
+    int u = pb.location("U");
+    pb.set_initial(u);
+    for (int id = 0; id < n; ++id) {
+      int e = pb.edge(u, u, {}, appr_base + id, SyncKind::kReceive, {}, nullptr,
+                      nullptr, "appr?");
+      pb.edge_ref(e).controllable = false;
+      e = pb.edge(u, u, {}, leave_base + id, SyncKind::kReceive, {}, nullptr,
+                  nullptr, "leave?");
+      pb.edge_ref(e).controllable = false;
+      pb.edge(u, u, {}, stop_base + id, SyncKind::kSend, {}, nullptr, nullptr,
+              "stop!");
+      pb.edge(u, u, {}, go_base + id, SyncKind::kSend, {}, nullptr, nullptr,
+              "go!");
+    }
+    tg.controller = sys.add_process(pb.build());
+  }
+
+  sys.validate();
+  return tg;
+}
+
+}  // namespace quanta::models

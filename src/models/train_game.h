@@ -1,0 +1,44 @@
+// The timed-game version of the train example (paper Fig. 2 + Fig. 3):
+// trains whose arrival/crossing transitions are owned by the environment
+// (dashed in the figure), an unconstrained single-location controller that
+// may emit stop[e]!/go[e]! at any time, and stop/go reception owned by the
+// controller. UPPAAL-TIGA-style synthesis then has to *derive* the queueing
+// discipline that Fig. 1's hand-written controller hard-codes.
+#pragma once
+
+#include <vector>
+
+#include "ta/model.h"
+
+namespace quanta::models {
+
+struct TrainGameOptions {
+  int num_trains = 2;
+  /// Start train 0 in Appr (with its clock at 0) instead of Safe — used for
+  /// reachability objectives, which are unwinnable from Safe because the
+  /// environment may simply never let the train approach.
+  bool first_train_approaching = false;
+};
+
+struct TrainGame {
+  ta::System system;
+  TrainGameOptions options;
+  std::vector<int> trains;        ///< process indices
+  std::vector<int> train_clock;   ///< clock ids
+  int controller = 0;             ///< the Fig. 3 unconstrained automaton
+  // Train location indices (identical across train processes).
+  int l_safe = 0, l_appr = 0, l_stop = 0, l_start = 0, l_cross = 0;
+
+  /// "At most one train on the bridge" predicate over location vectors.
+  bool mutex_ok(const std::vector<int>& locs) const {
+    int crossing = 0;
+    for (int t : trains) {
+      if (locs[static_cast<std::size_t>(t)] == l_cross) ++crossing;
+    }
+    return crossing <= 1;
+  }
+};
+
+TrainGame make_train_game(const TrainGameOptions& options = {});
+
+}  // namespace quanta::models

@@ -1,0 +1,113 @@
+#include "pta/digital_clocks.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace quanta::pta {
+
+mdp::StateSet DigitalMdp::states_where(
+    const std::function<bool(const ta::DigitalState&)>& pred) const {
+  mdp::StateSet set(states.size(), false);
+  for (std::size_t i = 0; i < states.size(); ++i) set[i] = pred(states[i]);
+  return set;
+}
+
+namespace {
+
+/// Enumerates the product distribution over the participants' branch sets.
+/// Calls `emit(branch_choice, probability)` once per combination.
+void enumerate_branches(
+    const ta::System& sys, const ta::Move& move,
+    const std::function<void(const std::vector<int>&, double)>& emit) {
+  const std::size_t k = move.participants.size();
+  std::vector<const ta::Edge*> edges(k);
+  std::vector<double> weight_sum(k, 1.0);
+  std::vector<int> counts(k, 1);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& [p, e] = move.participants[i];
+    edges[i] = &sys.process(p).edges.at(static_cast<std::size_t>(e));
+    if (edges[i]->probabilistic()) {
+      counts[i] = static_cast<int>(edges[i]->branches.size());
+      double sum = 0.0;
+      for (const auto& b : edges[i]->branches) sum += b.weight;
+      weight_sum[i] = sum;
+    }
+  }
+  std::vector<int> choice(k, -1);
+  // Odometer over the branch indices (Dirac edges contribute one slot, -1).
+  std::vector<int> counter(k, 0);
+  for (;;) {
+    double prob = 1.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (edges[i]->probabilistic()) {
+        choice[i] = counter[i];
+        prob *= edges[i]->branches[static_cast<std::size_t>(counter[i])].weight /
+                weight_sum[i];
+      } else {
+        choice[i] = -1;
+      }
+    }
+    emit(choice, prob);
+    // Advance the odometer.
+    std::size_t pos = 0;
+    while (pos < k) {
+      if (++counter[pos] < counts[pos]) break;
+      counter[pos] = 0;
+      ++pos;
+    }
+    if (pos == k) break;
+  }
+}
+
+}  // namespace
+
+DigitalMdp build_digital_mdp(const ta::System& sys,
+                             const DigitalBuildOptions& opts) {
+  DigitalMdp out;
+  out.system = &sys;
+  ta::DigitalSemantics sem(sys);
+
+  std::unordered_map<ta::DigitalState, std::int32_t, ta::DigitalStateHash> index;
+  std::deque<std::int32_t> worklist;
+
+  auto intern = [&](ta::DigitalState s) -> std::int32_t {
+    auto [it, inserted] = index.try_emplace(std::move(s),
+                                            static_cast<std::int32_t>(out.states.size()));
+    if (inserted) {
+      out.states.push_back(it->first);
+      worklist.push_back(it->second);
+    }
+    return it->second;
+  };
+
+  std::int32_t init = intern(sem.initial());
+  out.mdp.set_initial(init);
+
+  while (!worklist.empty()) {
+    std::int32_t idx = worklist.front();
+    worklist.pop_front();
+    if (out.states.size() >= opts.max_states) {
+      out.truncated = true;
+      break;
+    }
+    const ta::DigitalState state = out.states[static_cast<std::size_t>(idx)];
+
+    for (const ta::Move& move : sem.enabled_moves(state)) {
+      std::vector<mdp::Branch> branches;
+      enumerate_branches(sys, move, [&](const std::vector<int>& choice, double p) {
+        ta::DigitalState next = sem.apply(state, move, choice);
+        branches.push_back(mdp::Branch{intern(std::move(next)), p});
+      });
+      out.mdp.add_choice(idx, std::move(branches), /*reward=*/0.0);
+    }
+
+    if (sem.can_delay(state)) {
+      std::int32_t next = intern(sem.delay_one(state));
+      out.mdp.add_choice(idx, {mdp::Branch{next, 1.0}}, /*reward=*/1.0);
+    }
+  }
+  out.mdp.freeze();
+  return out;
+}
+
+}  // namespace quanta::pta

@@ -1,0 +1,38 @@
+// Digital-clocks translation of a PTA (ta::System with probabilistic
+// branches) into an MDP — the engine room of the mcpta/PRISM column of the
+// paper's Table I. Clocks advance by unit "tick" actions (reward 1, so the
+// accumulated reward of a path is elapsed time); discrete moves become
+// probabilistic MDP actions. Exact for closed, diagonal-free PTA
+// (Kwiatkowska et al., digital clocks).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "mdp/mdp.h"
+#include "mdp/graph_analysis.h"
+#include "ta/digital.h"
+
+namespace quanta::pta {
+
+struct DigitalMdp {
+  mdp::Mdp mdp;
+  /// MDP state id -> digital TA state (for property predicates).
+  std::vector<ta::DigitalState> states;
+  const ta::System* system = nullptr;
+  bool truncated = false;
+
+  /// Goal-set construction from a predicate over digital states.
+  mdp::StateSet states_where(
+      const std::function<bool(const ta::DigitalState&)>& pred) const;
+};
+
+struct DigitalBuildOptions {
+  std::size_t max_states = 20'000'000;
+};
+
+/// Forward-explores the digital semantics and assembles the MDP (frozen).
+DigitalMdp build_digital_mdp(const ta::System& sys,
+                             const DigitalBuildOptions& opts = {});
+
+}  // namespace quanta::pta

@@ -1,0 +1,68 @@
+#include "pta/properties.h"
+
+#include <sstream>
+
+namespace quanta::pta {
+
+namespace {
+
+ProbResult from_vi(const mdp::ViResult& r, const mdp::Mdp& m) {
+  return ProbResult{r.at_initial(m), r.iterations, r.converged};
+}
+
+}  // namespace
+
+ProbResult pmax_reach(const DigitalMdp& dm, const DigitalPredicate& pred,
+                      const mdp::ViOptions& opts) {
+  auto goal = dm.states_where(pred);
+  return from_vi(
+      mdp::reachability_probability(dm.mdp, goal, mdp::Objective::kMax, opts),
+      dm.mdp);
+}
+
+ProbResult pmin_reach(const DigitalMdp& dm, const DigitalPredicate& pred,
+                      const mdp::ViOptions& opts) {
+  auto goal = dm.states_where(pred);
+  return from_vi(
+      mdp::reachability_probability(dm.mdp, goal, mdp::Objective::kMin, opts),
+      dm.mdp);
+}
+
+ProbResult emax_time(const DigitalMdp& dm, const DigitalPredicate& pred,
+                     const mdp::ViOptions& opts) {
+  auto goal = dm.states_where(pred);
+  auto r = mdp::expected_reward_to_goal(dm.mdp, goal, mdp::Objective::kMax, opts);
+  return ProbResult{r.at_initial(dm.mdp), r.iterations, r.converged};
+}
+
+ProbResult emin_time(const DigitalMdp& dm, const DigitalPredicate& pred,
+                     const mdp::ViOptions& opts) {
+  auto goal = dm.states_where(pred);
+  auto r = mdp::expected_reward_to_goal(dm.mdp, goal, mdp::Objective::kMin, opts);
+  return ProbResult{r.at_initial(dm.mdp), r.iterations, r.converged};
+}
+
+InvariantCheck check_invariant(const DigitalMdp& dm,
+                               const DigitalPredicate& pred) {
+  InvariantCheck result;
+  for (std::size_t i = 0; i < dm.states.size(); ++i) {
+    if (!pred(dm.states[i])) {
+      result.holds = false;
+      std::ostringstream os;
+      const auto& s = dm.states[i];
+      os << "state " << i << ": locs=[";
+      for (std::size_t p = 0; p < s.locs.size(); ++p) {
+        if (p) os << ",";
+        os << dm.system->process(static_cast<int>(p))
+                  .locations[static_cast<std::size_t>(s.locs[p])]
+                  .name;
+      }
+      os << "]";
+      result.violating_state = os.str();
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace quanta::pta

@@ -1,0 +1,45 @@
+// Property evaluation on digital-clock MDPs: the query forms used by the
+// paper's Table I — invariants (TA1/TA2), max/min reachability probabilities
+// (PA, PB, P1, P2, Dmax) and extremal expected times (Emax).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "mdp/expected_reward.h"
+#include "mdp/value_iteration.h"
+#include "pta/digital_clocks.h"
+
+namespace quanta::pta {
+
+using DigitalPredicate = std::function<bool(const ta::DigitalState&)>;
+
+struct ProbResult {
+  double value = 0.0;
+  std::int64_t iterations = 0;
+  bool converged = false;
+};
+
+/// Pmax(F pred) from the initial state.
+ProbResult pmax_reach(const DigitalMdp& dm, const DigitalPredicate& pred,
+                      const mdp::ViOptions& opts = {});
+/// Pmin(F pred) from the initial state.
+ProbResult pmin_reach(const DigitalMdp& dm, const DigitalPredicate& pred,
+                      const mdp::ViOptions& opts = {});
+
+/// Emax / Emin of accumulated time (tick rewards) until F pred.
+ProbResult emax_time(const DigitalMdp& dm, const DigitalPredicate& pred,
+                     const mdp::ViOptions& opts = {});
+ProbResult emin_time(const DigitalMdp& dm, const DigitalPredicate& pred,
+                     const mdp::ViOptions& opts = {});
+
+struct InvariantCheck {
+  bool holds = true;
+  std::string violating_state;  ///< printable, when !holds
+};
+
+/// A[] pred over all reachable digital states.
+InvariantCheck check_invariant(const DigitalMdp& dm,
+                               const DigitalPredicate& pred);
+
+}  // namespace quanta::pta

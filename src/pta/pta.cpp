@@ -1,0 +1,24 @@
+#include "pta/pta.h"
+
+#include <stdexcept>
+
+namespace quanta::pta {
+
+int add_prob_edge(ta::ProcessBuilder& pb, int source,
+                  std::vector<ta::ClockConstraint> guard, int channel,
+                  ta::SyncKind sync, std::vector<ta::ProbBranch> branches,
+                  std::string label) {
+  if (branches.empty()) {
+    throw std::invalid_argument("add_prob_edge: no branches");
+  }
+  int idx = pb.edge(source, branches.front().target);
+  ta::Edge& e = pb.edge_ref(idx);
+  e.guard = std::move(guard);
+  e.channel = channel;
+  e.sync = sync;
+  e.branches = std::move(branches);
+  e.label = std::move(label);
+  return idx;
+}
+
+}  // namespace quanta::pta

@@ -1,0 +1,20 @@
+// Probabilistic timed automata. A PTA in quanta is a ta::System whose edges
+// carry probabilistic branches (ta::ProbBranch) — mirroring how a MODEST
+// model is an STA whose syntactic restrictions determine the analysable
+// class. This header provides the PTA-side conveniences; the translation to
+// MDPs lives in digital_clocks.h.
+#pragma once
+
+#include "ta/model.h"
+
+namespace quanta::pta {
+
+/// Convenience for building `palt`-style probabilistic edges (cf. the
+/// paper's Fig. 5 channel): adds an edge with the given guard/sync whose
+/// outcome is distributed over `branches`. Returns the edge index.
+int add_prob_edge(ta::ProcessBuilder& pb, int source,
+                  std::vector<ta::ClockConstraint> guard, int channel,
+                  ta::SyncKind sync, std::vector<ta::ProbBranch> branches,
+                  std::string label = {});
+
+}  // namespace quanta::pta

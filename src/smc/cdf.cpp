@@ -1,0 +1,41 @@
+#include "smc/cdf.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace quanta::smc {
+
+std::vector<double> first_hit_times(const ta::System& sys,
+                                    const TimeBoundedReach& prop,
+                                    std::size_t runs, std::uint64_t seed) {
+  Simulator sim(sys, seed);
+  std::vector<double> times;
+  times.reserve(runs);
+  for (std::size_t i = 0; i < runs; ++i) {
+    RunResult r = sim.run(prop);
+    if (r.satisfied) times.push_back(r.hit_time);
+  }
+  return times;
+}
+
+CdfSeries empirical_cdf(const std::vector<double>& hit_times,
+                        std::size_t total_runs, double horizon, int points) {
+  if (points < 2 || horizon <= 0.0 || total_runs == 0) {
+    throw std::invalid_argument("empirical_cdf: bad parameters");
+  }
+  std::vector<double> sorted = hit_times;
+  std::sort(sorted.begin(), sorted.end());
+  CdfSeries series;
+  series.grid.reserve(static_cast<std::size_t>(points));
+  series.prob.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    double t = horizon * static_cast<double>(i) / static_cast<double>(points - 1);
+    auto it = std::upper_bound(sorted.begin(), sorted.end(), t);
+    series.grid.push_back(t);
+    series.prob.push_back(static_cast<double>(it - sorted.begin()) /
+                          static_cast<double>(total_runs));
+  }
+  return series;
+}
+
+}  // namespace quanta::smc

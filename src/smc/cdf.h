@@ -1,0 +1,30 @@
+// Empirical cumulative distribution of first-hit times — the machinery
+// behind the paper's Fig. 4 ("cumulative probability distribution for the
+// trains to cross in function of time").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smc/simulator.h"
+
+namespace quanta::smc {
+
+/// Runs `runs` simulations of Pr[<= prop.time_bound](<> prop.goal) and
+/// returns the hit time of every satisfied run (unsatisfied runs contribute
+/// nothing; the CDF treats them as "after the bound").
+std::vector<double> first_hit_times(const ta::System& sys,
+                                    const TimeBoundedReach& prop,
+                                    std::size_t runs, std::uint64_t seed);
+
+struct CdfSeries {
+  std::vector<double> grid;   ///< time points
+  std::vector<double> prob;   ///< P(hit time <= grid[i])
+};
+
+/// Empirical CDF of the hit times over `total_runs` runs, evaluated on a
+/// uniform grid of `points` values in [0, horizon].
+CdfSeries empirical_cdf(const std::vector<double>& hit_times,
+                        std::size_t total_runs, double horizon, int points);
+
+}  // namespace quanta::smc

@@ -1,0 +1,34 @@
+#include "smc/estimate.h"
+
+#include "common/stats.h"
+
+namespace quanta::smc {
+
+Estimate estimate_probability_runs(const ta::System& sys,
+                                   const TimeBoundedReach& prop,
+                                   std::size_t runs, double alpha,
+                                   std::uint64_t seed) {
+  Simulator sim(sys, seed);
+  Estimate est;
+  est.runs = runs;
+  for (std::size_t i = 0; i < runs; ++i) {
+    if (sim.run(prop).satisfied) ++est.hits;
+  }
+  est.p_hat = runs > 0 ? static_cast<double>(est.hits) / static_cast<double>(runs)
+                       : 0.0;
+  if (runs > 0) {
+    auto [lo, hi] = common::clopper_pearson(est.hits, runs, alpha);
+    est.ci_low = lo;
+    est.ci_high = hi;
+  }
+  return est;
+}
+
+Estimate estimate_probability(const ta::System& sys,
+                              const TimeBoundedReach& prop, double epsilon,
+                              double delta, std::uint64_t seed) {
+  std::size_t runs = common::chernoff_sample_count(epsilon, delta);
+  return estimate_probability_runs(sys, prop, runs, delta, seed);
+}
+
+}  // namespace quanta::smc

@@ -1,0 +1,33 @@
+// Monte-Carlo probability estimation for time-bounded reachability, with
+// Chernoff-Hoeffding sample-size selection and Clopper-Pearson confidence
+// intervals — the quantitative core of UPPAAL-SMC's Pr[<=T](<> goal) query.
+#pragma once
+
+#include <cstdint>
+
+#include "smc/simulator.h"
+
+namespace quanta::smc {
+
+struct Estimate {
+  double p_hat = 0.0;
+  double ci_low = 0.0;
+  double ci_high = 1.0;
+  std::size_t runs = 0;
+  std::size_t hits = 0;
+};
+
+/// Estimates Pr[<= T](<> goal) with `runs` simulations; the confidence
+/// interval is Clopper-Pearson at level 1 - alpha.
+Estimate estimate_probability_runs(const ta::System& sys,
+                                   const TimeBoundedReach& prop,
+                                   std::size_t runs, double alpha,
+                                   std::uint64_t seed);
+
+/// UPPAAL-SMC style: chooses the number of runs from the Chernoff-Hoeffding
+/// bound so that |p_hat - p| <= epsilon with probability >= 1 - delta.
+Estimate estimate_probability(const ta::System& sys,
+                              const TimeBoundedReach& prop, double epsilon,
+                              double delta, std::uint64_t seed);
+
+}  // namespace quanta::smc

@@ -1,0 +1,77 @@
+// Stochastic simulation of networks of timed automata following the
+// UPPAAL-SMC semantics (David et al., CAV'11 / FORMATS'11): components race
+// with independent delay distributions — uniform over the legal delay
+// interval when the location invariant bounds delay, exponential with the
+// location's exit rate otherwise — and the winner performs one of its
+// enabled internal/output actions, chosen uniformly; inputs are reactive.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "ta/concrete.h"
+
+namespace quanta::smc {
+
+/// Time-bounded reachability property  Pr[<= bound](<> goal).
+struct TimeBoundedReach {
+  double time_bound = 0.0;
+  std::function<bool(const ta::ConcreteState&)> goal;
+};
+
+struct RunResult {
+  bool satisfied = false;
+  /// Time at which the goal was first satisfied (only valid if satisfied).
+  double hit_time = 0.0;
+  std::size_t steps = 0;
+};
+
+class Simulator {
+ public:
+  struct Options {
+    std::size_t max_steps = 1'000'000;
+  };
+
+  Simulator(const ta::System& sys, std::uint64_t seed)
+      : Simulator(sys, seed, Options{}) {}
+  Simulator(const ta::System& sys, std::uint64_t seed, Options opts);
+
+  /// Simulates one run up to the property's time bound.
+  RunResult run(const TimeBoundedReach& prop);
+
+  /// Observer called on the initial state and after every discrete event
+  /// with the current model time (used by trajectory sampling).
+  using Observer = std::function<void(const ta::ConcreteState&, double)>;
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+  common::Rng& rng() { return rng_; }
+
+ private:
+  struct Bid {
+    double delay = 0.0;
+    int process = -1;
+  };
+
+  /// The delay bid of one process, or no bid if it has no (eventually)
+  /// enabled internal/output edge within its invariant window.
+  bool compute_bid(const ta::ConcreteState& s, int process, Bid* bid);
+
+  /// Executes one enabled internal/output edge of `process` (uniform choice),
+  /// pairing outputs with a uniformly chosen enabled receiver. Returns false
+  /// if nothing was executable.
+  bool fire_process(ta::ConcreteState& s, int process);
+
+  /// Fires one move from a zero-delay (committed/urgent) configuration.
+  bool fire_immediate(ta::ConcreteState& s);
+
+  /// Executes a move, sampling probabilistic branches by weight.
+  void execute_sampled(ta::ConcreteState& s, const ta::Move& m);
+
+  ta::ConcreteSemantics sem_;
+  Options opts_;
+  common::Rng rng_;
+  Observer observer_;
+};
+
+}  // namespace quanta::smc

@@ -1,0 +1,45 @@
+#include "smc/sprt.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace quanta::smc {
+
+SprtResult sprt_test(const ta::System& sys, const TimeBoundedReach& prop,
+                     double theta, const SprtOptions& opts,
+                     std::uint64_t seed) {
+  const double p0 = theta + opts.indifference;  // H0
+  const double p1 = theta - opts.indifference;  // H1
+  if (p1 <= 0.0 || p0 >= 1.0) {
+    throw std::invalid_argument("sprt_test: indifference region out of (0,1)");
+  }
+  // Wald boundaries on the log-likelihood ratio log(P[obs|H1]/P[obs|H0]).
+  const double log_a = std::log((1.0 - opts.beta) / opts.alpha);
+  const double log_b = std::log(opts.beta / (1.0 - opts.alpha));
+  const double inc_hit = std::log(p1 / p0);
+  const double inc_miss = std::log((1.0 - p1) / (1.0 - p0));
+
+  Simulator sim(sys, seed);
+  SprtResult result;
+  double llr = 0.0;
+  while (result.runs < opts.max_runs) {
+    ++result.runs;
+    if (sim.run(prop).satisfied) {
+      ++result.hits;
+      llr += inc_hit;
+    } else {
+      llr += inc_miss;
+    }
+    if (llr >= log_a) {
+      result.verdict = SprtVerdict::kRejected;  // evidence for H1: p < theta
+      return result;
+    }
+    if (llr <= log_b) {
+      result.verdict = SprtVerdict::kAccepted;  // evidence for H0: p > theta
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace quanta::smc

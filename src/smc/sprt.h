@@ -1,0 +1,34 @@
+// Wald's Sequential Probability Ratio Test for qualitative SMC queries
+// Pr[<=T](<> goal) >= theta, as used by UPPAAL-SMC for hypothesis testing.
+#pragma once
+
+#include <cstdint>
+
+#include "smc/simulator.h"
+
+namespace quanta::smc {
+
+enum class SprtVerdict {
+  kAccepted,      ///< H0: p >= theta + delta accepted
+  kRejected,      ///< H1: p <= theta - delta accepted
+  kInconclusive,  ///< max_runs exhausted without crossing a boundary
+};
+
+struct SprtResult {
+  SprtVerdict verdict = SprtVerdict::kInconclusive;
+  std::size_t runs = 0;
+  std::size_t hits = 0;
+};
+
+struct SprtOptions {
+  double alpha = 0.05;       ///< type-I error (false reject of H0)
+  double beta = 0.05;        ///< type-II error (false accept of H0)
+  double indifference = 0.01;  ///< half-width of the indifference region
+  std::size_t max_runs = 1'000'000;
+};
+
+/// Tests H0: p >= theta + indifference against H1: p <= theta - indifference.
+SprtResult sprt_test(const ta::System& sys, const TimeBoundedReach& prop,
+                     double theta, const SprtOptions& opts, std::uint64_t seed);
+
+}  // namespace quanta::smc

@@ -1,0 +1,51 @@
+#include "smc/trace.h"
+
+namespace quanta::smc {
+
+Observable var_observable(const ta::System& sys, const std::string& var) {
+  int idx = sys.vars().index_of(var);
+  return Observable{var, [idx](const ta::ConcreteState& s) {
+                      return static_cast<double>(
+                          s.vars[static_cast<std::size_t>(idx)]);
+                    }};
+}
+
+Observable loc_observable(const ta::System& sys, const std::string& process,
+                          const std::string& location) {
+  int p = sys.process_index(process);
+  int l = sys.process(p).location_index(location);
+  return Observable{process + "." + location,
+                    [p, l](const ta::ConcreteState& s) {
+                      return s.locs[static_cast<std::size_t>(p)] == l ? 1.0
+                                                                      : 0.0;
+                    }};
+}
+
+std::vector<Trajectory> simulate_traces(const ta::System& sys,
+                                        const std::vector<Observable>& obs,
+                                        double time_bound, std::size_t runs,
+                                        std::uint64_t seed) {
+  Simulator sim(sys, seed);
+  std::vector<Trajectory> result;
+  result.reserve(runs);
+  for (std::size_t r = 0; r < runs; ++r) {
+    Trajectory traj;
+    for (const auto& o : obs) traj.names.push_back(o.name);
+    sim.set_observer([&traj, &obs](const ta::ConcreteState& s, double t) {
+      TracePoint point;
+      point.time = t;
+      point.values.reserve(obs.size());
+      for (const auto& o : obs) point.values.push_back(o.value(s));
+      traj.points.push_back(std::move(point));
+    });
+    TimeBoundedReach prop;
+    prop.time_bound = time_bound;
+    prop.goal = [](const ta::ConcreteState&) { return false; };
+    sim.run(prop);
+    result.push_back(std::move(traj));
+  }
+  sim.set_observer(nullptr);
+  return result;
+}
+
+}  // namespace quanta::smc

@@ -1,0 +1,45 @@
+// Trajectory sampling — UPPAAL-SMC's `simulate` query: record the evolution
+// of selected observables (variables or location indicators) along random
+// runs, e.g. to plot Gantt charts or the trajectories behind Fig. 4.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "smc/simulator.h"
+
+namespace quanta::smc {
+
+/// An observable sampled along a run.
+struct Observable {
+  std::string name;
+  std::function<double(const ta::ConcreteState&)> value;
+};
+
+/// Builds an observable reading a discrete variable.
+Observable var_observable(const ta::System& sys, const std::string& var);
+/// Builds a 0/1 observable for "process is in location".
+Observable loc_observable(const ta::System& sys, const std::string& process,
+                          const std::string& location);
+
+struct TracePoint {
+  double time = 0.0;
+  std::vector<double> values;  ///< one per observable
+};
+
+/// One sampled trajectory: observables recorded after every discrete event
+/// (piecewise-constant interpretation between points).
+struct Trajectory {
+  std::vector<std::string> names;
+  std::vector<TracePoint> points;
+};
+
+/// Samples `runs` trajectories up to `time_bound`.
+std::vector<Trajectory> simulate_traces(const ta::System& sys,
+                                        const std::vector<Observable>& obs,
+                                        double time_bound, std::size_t runs,
+                                        std::uint64_t seed);
+
+}  // namespace quanta::smc

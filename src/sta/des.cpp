@@ -1,0 +1,168 @@
+#include "sta/des.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace quanta::sta {
+
+namespace {
+constexpr double kTimeEps = 1e-9;
+}
+
+const char* to_string(SchedulerPolicy p) {
+  switch (p) {
+    case SchedulerPolicy::kAsap:
+      return "ASAP";
+    case SchedulerPolicy::kAlap:
+      return "ALAP";
+    case SchedulerPolicy::kUniformRandom:
+      return "uniform";
+  }
+  return "?";
+}
+
+DesSimulator::DesSimulator(const ta::System& sys, std::uint64_t seed,
+                           const DesOptions& opts)
+    : sem_(sys), opts_(opts), rng_(seed) {}
+
+std::vector<DesSimulator::MoveWindow> DesSimulator::move_windows(
+    const ta::ConcreteState& s) const {
+  const double global_inv = sem_.invariant_max_delay(s);
+  std::vector<MoveWindow> windows;
+  for (ta::Move& m : sem_.symbolic().enabled_moves(s.locs, s.vars)) {
+    double lo = 0.0;
+    double hi = global_inv;
+    bool feasible = true;
+    for (const auto& [p, e] : m.participants) {
+      const ta::Edge& edge =
+          sem_.system().process(p).edges.at(static_cast<std::size_t>(e));
+      double d = sem_.min_enabling_delay(edge, s);
+      if (d >= ta::ConcreteSemantics::kInfDelay) {
+        feasible = false;
+        break;
+      }
+      lo = std::max(lo, d);
+      hi = std::min(hi, sem_.max_enabling_delay(edge, s));
+    }
+    if (!feasible || lo > hi + kTimeEps) continue;
+    windows.push_back(MoveWindow{std::move(m), lo, std::min(hi, global_inv)});
+  }
+  return windows;
+}
+
+void DesSimulator::fire(ta::ConcreteState& s, const ta::Move& m) {
+  std::vector<int> branch_choice(m.participants.size(), -1);
+  for (std::size_t k = 0; k < m.participants.size(); ++k) {
+    const auto& [p, e] = m.participants[k];
+    const ta::Edge& edge =
+        sem_.system().process(p).edges.at(static_cast<std::size_t>(e));
+    if (!edge.probabilistic()) continue;
+    std::vector<double> weights;
+    weights.reserve(edge.branches.size());
+    for (const auto& b : edge.branches) weights.push_back(b.weight);
+    branch_choice[k] = static_cast<int>(rng_.weighted_choice(weights));
+  }
+  sem_.execute(s, m, branch_choice);
+}
+
+DesRun DesSimulator::run(const DesPredicate& terminal,
+                         const std::vector<DesPredicate>& watch,
+                         const std::vector<DesPredicate>& monitors) {
+  ta::ConcreteState s = sem_.initial();
+  DesRun result;
+  result.first_hit.assign(watch.size(), -1.0);
+  result.monitor_ok.assign(monitors.size(), true);
+  double t = 0.0;
+
+  auto observe = [&]() {
+    for (std::size_t w = 0; w < watch.size(); ++w) {
+      if (result.first_hit[w] < 0.0 && watch[w](s)) result.first_hit[w] = t;
+    }
+    for (std::size_t mo = 0; mo < monitors.size(); ++mo) {
+      if (result.monitor_ok[mo] && !monitors[mo](s)) result.monitor_ok[mo] = false;
+    }
+  };
+
+  for (std::size_t step = 0; step < opts_.max_steps; ++step) {
+    observe();
+    if (terminal && terminal(s)) {
+      result.terminated = true;
+      result.end_time = t;
+      return result;
+    }
+
+    if (sem_.symbolic().delay_forbidden(s.locs, s.vars)) {
+      auto moves = sem_.enabled_moves_now(s);
+      if (moves.empty()) break;  // timelock
+      fire(s, moves[static_cast<std::size_t>(rng_.uniform_int(
+                  0, static_cast<int>(moves.size()) - 1))]);
+      continue;
+    }
+
+    auto windows = move_windows(s);
+    if (windows.empty()) break;  // nothing can ever happen: time diverges
+
+    double d = 0.0;
+    switch (opts_.policy) {
+      case SchedulerPolicy::kAsap: {
+        d = windows.front().lo;
+        for (const auto& w : windows) d = std::min(d, w.lo);
+        break;
+      }
+      case SchedulerPolicy::kAlap: {
+        d = 0.0;
+        for (const auto& w : windows) d = std::max(d, w.hi);
+        break;
+      }
+      case SchedulerPolicy::kUniformRandom: {
+        const auto& w = windows[static_cast<std::size_t>(rng_.uniform_int(
+            0, static_cast<int>(windows.size()) - 1))];
+        d = rng_.uniform(w.lo, w.hi);
+        break;
+      }
+    }
+    d = std::max(0.0, d);
+    if (t + d > opts_.time_limit) {
+      result.end_time = opts_.time_limit;
+      return result;
+    }
+    sem_.delay(s, d);
+    t += d;
+
+    auto moves = sem_.enabled_moves_now(s);
+    if (moves.empty()) break;  // numeric corner: treat as stalled
+    fire(s, moves[static_cast<std::size_t>(
+                rng_.uniform_int(0, static_cast<int>(moves.size()) - 1))]);
+  }
+  observe();
+  result.end_time = t;
+  return result;
+}
+
+DesEnsemble run_ensemble(const ta::System& sys, std::size_t runs,
+                         std::uint64_t seed, const DesOptions& opts,
+                         const DesPredicate& terminal,
+                         const std::vector<DesPredicate>& watch,
+                         const std::vector<DesPredicate>& monitors) {
+  DesEnsemble ens;
+  ens.runs = runs;
+  ens.watch_hits.assign(watch.size(), 0);
+  ens.monitor_violations.assign(monitors.size(), 0);
+  DesSimulator sim(sys, seed, opts);
+  for (std::size_t r = 0; r < runs; ++r) {
+    DesRun run = sim.run(terminal, watch, monitors);
+    if (run.terminated) {
+      ++ens.terminated;
+      ens.end_time.add(run.end_time);
+    }
+    for (std::size_t w = 0; w < watch.size(); ++w) {
+      if (run.first_hit[w] >= 0.0) ++ens.watch_hits[w];
+    }
+    for (std::size_t mo = 0; mo < monitors.size(); ++mo) {
+      if (!run.monitor_ok[mo]) ++ens.monitor_violations[mo];
+    }
+  }
+  return ens;
+}
+
+}  // namespace quanta::sta

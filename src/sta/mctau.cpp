@@ -1,0 +1,65 @@
+#include "sta/mctau.h"
+
+#include <sstream>
+
+namespace quanta::sta {
+
+ta::System strip_probabilities(const ta::System& sys) {
+  ta::System stripped = sys;
+  for (int p = 0; p < stripped.process_count(); ++p) {
+    ta::Process& proc = stripped.process_mut(p);
+    std::vector<ta::Edge> edges;
+    edges.reserve(proc.edges.size());
+    for (const ta::Edge& e : proc.edges) {
+      if (!e.probabilistic()) {
+        edges.push_back(e);
+        continue;
+      }
+      for (const ta::ProbBranch& b : e.branches) {
+        ta::Edge ne = e;
+        ne.branches.clear();
+        ne.target = b.target;
+        ne.resets = b.resets;
+        ne.update = b.update;
+        if (!b.label.empty()) ne.label = e.label + "/" + b.label;
+        edges.push_back(std::move(ne));
+      }
+    }
+    proc.edges = std::move(edges);
+  }
+  stripped.validate();
+  return stripped;
+}
+
+std::string ProbabilityBound::to_string() const {
+  if (exact) {
+    std::ostringstream os;
+    os << *exact;
+    return os.str();
+  }
+  std::ostringstream os;
+  os << "[" << lo << ", " << hi << "]";
+  return os.str();
+}
+
+ProbabilityBound mctau_reach_probability(const ta::System& pta_model,
+                                         const mc::StatePredicate& bad,
+                                         const mc::ReachOptions& opts) {
+  ta::System stripped = strip_probabilities(pta_model);
+  mc::ReachResult r = mc::reachable(stripped, bad, opts);
+  ProbabilityBound bound;
+  if (!r.reachable && !r.stats.truncated) {
+    bound.lo = bound.hi = 0.0;
+    bound.exact = 0.0;
+  }
+  return bound;
+}
+
+bool mctau_invariant(const ta::System& pta_model,
+                     const mc::StatePredicate& safe,
+                     const mc::ReachOptions& opts) {
+  ta::System stripped = strip_probabilities(pta_model);
+  return mc::check_invariant(stripped, safe, opts).holds;
+}
+
+}  // namespace quanta::sta

@@ -1,0 +1,46 @@
+// The mctau bridge (§III): analyse MODEST-style models with the UPPAAL-like
+// timed engine. Probabilistic branches are overapproximated by
+// nondeterministic edges; consequently
+//   - invariants and unreachability verdicts transfer exactly ("true"/"0"),
+//   - quantitative probabilities collapse to the trivial interval [0,1],
+//   - expected values are not expressible (n/a),
+// which is precisely the mctau column of the paper's Table I.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "mc/query.h"
+#include "ta/model.h"
+
+namespace quanta::sta {
+
+/// Replaces every probabilistic edge by one ordinary edge per branch.
+/// Process and location indices are preserved, so state predicates written
+/// for the original model remain valid.
+ta::System strip_probabilities(const ta::System& sys);
+
+/// A probability that mctau could only bound. `exact` is set when the
+/// overapproximation is conclusive (bad states unreachable -> 0, or goal
+/// states unavoidable -> 1); otherwise the interval is [lo, hi] = [0, 1].
+struct ProbabilityBound {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::optional<double> exact;
+
+  std::string to_string() const;
+};
+
+/// Evaluates "Pmax(F bad)" on the TA overapproximation: 0 if bad is
+/// unreachable even nondeterministically, [0,1] otherwise.
+ProbabilityBound mctau_reach_probability(const ta::System& pta_model,
+                                         const mc::StatePredicate& bad,
+                                         const mc::ReachOptions& opts = {});
+
+/// Evaluates "A[] safe" exactly on the TA overapproximation (sound for the
+/// PTA: more behaviour, so "true" transfers).
+bool mctau_invariant(const ta::System& pta_model,
+                     const mc::StatePredicate& safe,
+                     const mc::ReachOptions& opts = {});
+
+}  // namespace quanta::sta

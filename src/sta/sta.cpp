@@ -1,0 +1,29 @@
+#include "sta/sta.h"
+
+namespace quanta::sta {
+
+ModelClass classify(const ta::System& sys) {
+  bool stochastic_rates = false;
+  for (int p = 0; p < sys.process_count(); ++p) {
+    for (const auto& loc : sys.process(p).locations) {
+      if (loc.exit_rate != 1.0) stochastic_rates = true;
+    }
+  }
+  if (stochastic_rates) return ModelClass::kSta;
+  if (sys.has_probabilistic()) return ModelClass::kPta;
+  return ModelClass::kTa;
+}
+
+const char* to_string(ModelClass c) {
+  switch (c) {
+    case ModelClass::kTa:
+      return "TA";
+    case ModelClass::kPta:
+      return "PTA";
+    case ModelClass::kSta:
+      return "STA";
+  }
+  return "?";
+}
+
+}  // namespace quanta::sta

@@ -1,0 +1,30 @@
+// The MODEST single-formalism, multi-solution idea (§III of the paper):
+// one model — a ta::System, optionally with probabilistic branches and
+// stochastic exit rates — analysed by different engines according to the
+// syntactic class it falls into:
+//
+//   TA   (no probabilistic constructs)  -> mctau  -> UPPAAL-style engine (mc)
+//   PTA  (discrete probabilistic)       -> mcpta  -> digital clocks + MDP (pta/mdp)
+//   STA  (continuous stochastic rates)  -> modes  -> discrete-event simulation (des)
+//
+// PTA models can additionally be *overapproximated* as TA (mctau bridge) and
+// *simulated* (modes), exactly as Table I does for the BRP.
+#pragma once
+
+#include "ta/model.h"
+
+namespace quanta::sta {
+
+enum class ModelClass {
+  kTa,   ///< plain timed automaton: no probabilistic constructs
+  kPta,  ///< discrete probability distributions on edges
+  kSta,  ///< stochastic delays (non-default exit rates) as well
+};
+
+/// Syntactic classification of a model, mirroring how the MODEST toolset
+/// decides which backends apply.
+ModelClass classify(const ta::System& sys);
+
+const char* to_string(ModelClass c);
+
+}  // namespace quanta::sta

@@ -1,0 +1,196 @@
+#include "ta/export.h"
+
+#include <sstream>
+
+namespace quanta::ta {
+
+namespace {
+
+std::string constraint_str(const System& sys, const ClockConstraint& c) {
+  auto name = [&sys](int clock) {
+    return clock == 0 ? std::string("0") : sys.clock_name(clock);
+  };
+  std::ostringstream os;
+  if (c.j == 0) {
+    os << name(c.i);
+  } else if (c.i == 0) {
+    // 0 - x_j <= m  <=>  x_j >= -m
+    os << name(c.j) << (dbm::bound_is_strict(c.bound) ? " > " : " >= ")
+       << -dbm::bound_value(c.bound);
+    return os.str();
+  } else {
+    os << name(c.i) << " - " << name(c.j);
+  }
+  os << (dbm::bound_is_strict(c.bound) ? " < " : " <= ")
+     << dbm::bound_value(c.bound);
+  return os.str();
+}
+
+std::string conjunction_str(const System& sys,
+                            const std::vector<ClockConstraint>& ccs) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < ccs.size(); ++i) {
+    if (i) os << " && ";
+    os << constraint_str(sys, ccs[i]);
+  }
+  return os.str();
+}
+
+std::string sync_str(const System& sys, const Edge& e) {
+  if (e.sync == SyncKind::kNone) return {};
+  std::string ch = e.channel_fn
+                       ? "<dynamic>"
+                       : (e.channel >= 0 ? sys.channel(e.channel).name : "?");
+  return ch + (e.sync == SyncKind::kSend ? "!" : "?");
+}
+
+std::string reset_str(const System& sys, const Edge& e) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [clock, value] : e.resets) {
+    if (!first) os << ", ";
+    os << sys.clock_name(clock) << " := " << value;
+    first = false;
+  }
+  if (e.update) {
+    if (!first) os << ", ";
+    os << "<update>";
+  }
+  return os.str();
+}
+
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const System& sys) {
+  std::ostringstream os;
+  os << "digraph system {\n  rankdir=LR;\n";
+  for (int p = 0; p < sys.process_count(); ++p) {
+    const Process& proc = sys.process(p);
+    os << "  subgraph cluster_" << p << " {\n";
+    os << "    label=\"" << proc.name << "\";\n";
+    for (std::size_t l = 0; l < proc.locations.size(); ++l) {
+      const Location& loc = proc.locations[l];
+      os << "    p" << p << "_" << l << " [label=\"" << loc.name;
+      if (!loc.invariant.empty()) {
+        os << "\\n" << conjunction_str(sys, loc.invariant);
+      }
+      os << "\"";
+      if (static_cast<int>(l) == proc.initial) os << ", peripheries=2";
+      if (loc.committed) os << ", style=filled, fillcolor=lightpink";
+      if (loc.urgent) os << ", style=filled, fillcolor=lightyellow";
+      os << "];\n";
+    }
+    for (const Edge& e : proc.edges) {
+      os << "    p" << p << "_" << e.source << " -> p" << p << "_";
+      if (e.probabilistic()) {
+        // Show a fan-out through an intermediate point per branch.
+        os << e.branches.front().target;
+      } else {
+        os << e.target;
+      }
+      std::string label;
+      std::string g = conjunction_str(sys, e.guard);
+      std::string s = sync_str(sys, e);
+      std::string r = reset_str(sys, e);
+      if (!g.empty()) label += g;
+      if (!s.empty()) label += (label.empty() ? "" : "\\n") + s;
+      if (!r.empty()) label += (label.empty() ? "" : "\\n") + r;
+      if (e.probabilistic()) label += "\\n<prob>";
+      os << " [label=\"" << label << "\"";
+      if (!e.controllable) os << ", style=dashed";
+      os << "];\n";
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_uppaal_xml(const System& sys) {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n";
+  os << "<nta>\n  <declaration>";
+  for (int c = 1; c <= sys.clock_count(); ++c) {
+    os << "clock " << sys.clock_name(c) << "; ";
+  }
+  for (int c = 0; c < sys.channel_count(); ++c) {
+    const Channel& ch = sys.channel(c);
+    if (ch.broadcast) os << "broadcast ";
+    if (ch.urgent) os << "urgent ";
+    os << "chan " << ch.name << "; ";
+  }
+  for (const auto& d : sys.vars().decls()) {
+    os << "int[" << d.min << "," << d.max << "] " << d.name << " = " << d.init
+       << "; ";
+  }
+  os << "</declaration>\n";
+
+  for (int p = 0; p < sys.process_count(); ++p) {
+    const Process& proc = sys.process(p);
+    os << "  <template>\n    <name>" << xml_escape(proc.name) << "</name>\n";
+    for (std::size_t l = 0; l < proc.locations.size(); ++l) {
+      const Location& loc = proc.locations[l];
+      // Simple grid layout (the "automatic layout" role of mctau).
+      int x = static_cast<int>(l % 4) * 200;
+      int y = static_cast<int>(l / 4) * 150;
+      os << "    <location id=\"id" << p << "_" << l << "\" x=\"" << x
+         << "\" y=\"" << y << "\">\n";
+      os << "      <name>" << xml_escape(loc.name) << "</name>\n";
+      if (!loc.invariant.empty()) {
+        os << "      <label kind=\"invariant\">"
+           << xml_escape(conjunction_str(sys, loc.invariant)) << "</label>\n";
+      }
+      if (loc.committed) os << "      <committed/>\n";
+      if (loc.urgent) os << "      <urgent/>\n";
+      os << "    </location>\n";
+    }
+    os << "    <init ref=\"id" << p << "_" << proc.initial << "\"/>\n";
+    for (const Edge& e : proc.edges) {
+      os << "    <transition>\n";
+      os << "      <source ref=\"id" << p << "_" << e.source << "\"/>\n";
+      os << "      <target ref=\"id" << p << "_" << e.target << "\"/>\n";
+      if (!e.guard.empty()) {
+        os << "      <label kind=\"guard\">"
+           << xml_escape(conjunction_str(sys, e.guard)) << "</label>\n";
+      }
+      std::string s = sync_str(sys, e);
+      if (!s.empty()) {
+        os << "      <label kind=\"synchronisation\">" << xml_escape(s)
+           << "</label>\n";
+      }
+      std::string r = reset_str(sys, e);
+      if (!r.empty()) {
+        os << "      <label kind=\"assignment\">" << xml_escape(r)
+           << "</label>\n";
+      }
+      if (e.probabilistic()) {
+        os << "      <!-- probabilistic edge overapproximated: "
+           << e.branches.size() << " branches -->\n";
+      }
+      os << "    </transition>\n";
+    }
+    os << "  </template>\n";
+  }
+  os << "  <system>system ";
+  for (int p = 0; p < sys.process_count(); ++p) {
+    os << (p ? ", " : "") << sys.process(p).name;
+  }
+  os << ";</system>\n</nta>\n";
+  return os.str();
+}
+
+}  // namespace quanta::ta

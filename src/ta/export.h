@@ -1,0 +1,21 @@
+// Model exporters: Graphviz DOT for documentation/debugging and an
+// UPPAAL-XML-shaped export mirroring mctau's bridge to the UPPAAL GUI
+// (§III: "export to UPPAAL XML, including automatic layout"). Data guards
+// and updates are opaque callables, so they are exported as opaque labels;
+// clock constraints, synchronisations and structure are exported faithfully.
+#pragma once
+
+#include <string>
+
+#include "ta/model.h"
+
+namespace quanta::ta {
+
+/// One DOT digraph per process, concatenated (clusters).
+std::string to_dot(const System& sys);
+
+/// UPPAAL 4.x XML document (templates, locations with invariants, edges with
+/// guards/syncs/resets, system instantiation) with a simple grid layout.
+std::string to_uppaal_xml(const System& sys);
+
+}  // namespace quanta::ta

@@ -1,0 +1,203 @@
+#include "ta/model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace quanta::ta {
+
+EdgeEffect resolve_effect(const Edge& e, int branch) {
+  if (branch < 0) {
+    if (e.probabilistic()) {
+      throw std::logic_error("resolve_effect: probabilistic edge needs branch");
+    }
+    return EdgeEffect{e.target, &e.resets, &e.update};
+  }
+  const ProbBranch& b = e.branches.at(static_cast<std::size_t>(branch));
+  return EdgeEffect{b.target, &b.resets, &b.update};
+}
+
+int Process::location_index(const std::string& name) const {
+  for (std::size_t i = 0; i < locations.size(); ++i) {
+    if (locations[i].name == name) return static_cast<int>(i);
+  }
+  throw std::out_of_range("Process " + this->name + ": unknown location " + name);
+}
+
+int ProcessBuilder::location(std::string name,
+                             std::vector<ClockConstraint> invariant,
+                             bool committed, bool urgent, double exit_rate) {
+  p_.locations.push_back(Location{std::move(name), std::move(invariant),
+                                  committed, urgent, exit_rate});
+  return static_cast<int>(p_.locations.size()) - 1;
+}
+
+int ProcessBuilder::edge(int source, int target) {
+  Edge e;
+  e.source = source;
+  e.target = target;
+  p_.edges.push_back(std::move(e));
+  return static_cast<int>(p_.edges.size()) - 1;
+}
+
+int ProcessBuilder::edge(int source, int target,
+                         std::vector<ClockConstraint> guard, int channel,
+                         SyncKind sync, std::vector<std::pair<int, Value>> resets,
+                         DataGuard data_guard, DataUpdate update,
+                         std::string label) {
+  Edge e;
+  e.source = source;
+  e.target = target;
+  e.guard = std::move(guard);
+  e.channel = channel;
+  e.sync = sync;
+  e.resets = std::move(resets);
+  e.data_guard = std::move(data_guard);
+  e.update = std::move(update);
+  e.label = std::move(label);
+  p_.edges.push_back(std::move(e));
+  return static_cast<int>(p_.edges.size()) - 1;
+}
+
+int System::add_clock(std::string name) {
+  clock_names_.push_back(std::move(name));
+  return static_cast<int>(clock_names_.size());  // ids start at 1
+}
+
+int System::add_channel(std::string name, bool broadcast, bool urgent) {
+  channels_.push_back(Channel{std::move(name), broadcast, urgent});
+  return static_cast<int>(channels_.size()) - 1;
+}
+
+int System::add_channel_array(const std::string& name, int count,
+                              bool broadcast, bool urgent) {
+  if (count <= 0) throw std::invalid_argument("add_channel_array: count");
+  int base = channel_count();
+  for (int i = 0; i < count; ++i) {
+    add_channel(name + "[" + std::to_string(i) + "]", broadcast, urgent);
+  }
+  return base;
+}
+
+int System::add_process(Process p) {
+  if (p.locations.empty()) {
+    throw std::invalid_argument("add_process: process has no locations");
+  }
+  processes_.push_back(std::move(p));
+  return static_cast<int>(processes_.size()) - 1;
+}
+
+int System::process_index(const std::string& name) const {
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    if (processes_[i].name == name) return static_cast<int>(i);
+  }
+  throw std::out_of_range("System: unknown process " + name);
+}
+
+bool System::has_probabilistic() const {
+  for (const auto& p : processes_) {
+    for (const auto& e : p.edges) {
+      if (e.probabilistic()) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::int32_t> System::max_constants() const {
+  std::vector<std::int32_t> k(static_cast<std::size_t>(dim()), 0);
+  auto scan = [&k](const std::vector<ClockConstraint>& ccs) {
+    for (const auto& c : ccs) {
+      if (c.bound >= dbm::kInf) continue;
+      std::int32_t v = dbm::bound_value(c.bound);
+      // x_i - x_j <= v constrains clock i from above by |v| and clock j from
+      // below by |v|; take absolute values conservatively for both.
+      std::int32_t a = std::abs(v);
+      if (c.i != 0) k[static_cast<std::size_t>(c.i)] = std::max(k[c.i], a);
+      if (c.j != 0) k[static_cast<std::size_t>(c.j)] = std::max(k[c.j], a);
+    }
+  };
+  for (const auto& p : processes_) {
+    for (const auto& l : p.locations) scan(l.invariant);
+    for (const auto& e : p.edges) scan(e.guard);
+  }
+  for (const auto& [clock, value] : max_const_hints_) {
+    k[static_cast<std::size_t>(clock)] =
+        std::max(k[static_cast<std::size_t>(clock)], value);
+  }
+  return k;
+}
+
+void System::bump_max_constant(int clock, std::int32_t value) {
+  if (clock < 1 || clock >= dim() || value < 0) {
+    throw std::invalid_argument("bump_max_constant: bad arguments");
+  }
+  max_const_hints_.emplace_back(clock, value);
+}
+
+void System::validate() const {
+  for (const auto& p : processes_) {
+    int nloc = static_cast<int>(p.locations.size());
+    if (p.initial < 0 || p.initial >= nloc) {
+      throw std::invalid_argument("process " + p.name + ": bad initial location");
+    }
+    for (const auto& e : p.edges) {
+      if (e.source < 0 || e.source >= nloc || e.target < 0 || e.target >= nloc) {
+        throw std::invalid_argument("process " + p.name + ": edge endpoint out of range");
+      }
+      if (e.sync != SyncKind::kNone && e.channel < 0 && !e.channel_fn) {
+        throw std::invalid_argument("process " + p.name +
+                                    ": synchronising edge without channel");
+      }
+      if (e.sync == SyncKind::kNone && (e.channel >= 0 || e.channel_fn)) {
+        throw std::invalid_argument("process " + p.name +
+                                    ": channel set on non-synchronising edge");
+      }
+      if (e.channel >= channel_count()) {
+        throw std::invalid_argument("process " + p.name + ": undeclared channel");
+      }
+      for (const auto& [clock, value] : e.resets) {
+        if (clock < 1 || clock >= dim() || value < 0) {
+          throw std::invalid_argument("process " + p.name + ": bad reset");
+        }
+      }
+      for (const auto& b : e.branches) {
+        if (b.weight <= 0.0) {
+          throw std::invalid_argument("process " + p.name +
+                                      ": non-positive branch weight");
+        }
+        if (b.target < 0 || b.target >= nloc) {
+          throw std::invalid_argument("process " + p.name +
+                                      ": branch target out of range");
+        }
+        for (const auto& [clock, value] : b.resets) {
+          if (clock < 1 || clock >= dim() || value < 0) {
+            throw std::invalid_argument("process " + p.name +
+                                        ": bad branch reset");
+          }
+        }
+      }
+      auto check_ccs = [this, &p](const std::vector<ClockConstraint>& ccs) {
+        for (const auto& c : ccs) {
+          if (c.i < 0 || c.i >= dim() || c.j < 0 || c.j >= dim() || c.i == c.j) {
+            throw std::invalid_argument("process " + p.name +
+                                        ": clock constraint out of range");
+          }
+        }
+      };
+      check_ccs(e.guard);
+    }
+    for (const auto& l : p.locations) {
+      for (const auto& c : l.invariant) {
+        if (c.i < 0 || c.i >= dim() || c.j < 0 || c.j >= dim()) {
+          throw std::invalid_argument("location " + l.name +
+                                      ": invariant clock out of range");
+        }
+      }
+      if (l.committed && l.urgent) {
+        throw std::invalid_argument("location " + l.name +
+                                    ": cannot be both committed and urgent");
+      }
+    }
+  }
+}
+
+}  // namespace quanta::ta

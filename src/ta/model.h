@@ -1,0 +1,219 @@
+// Networks of timed automata in the style of UPPAAL: processes with
+// locations (invariants, committed/urgent flags), edges (clock guards, data
+// guards, channel synchronisation, resets, data updates), binary/broadcast
+// channels, bounded integer variables and C-like update functions.
+//
+// Models are built programmatically through the builder methods on System /
+// ProcessBuilder; the paper's models (Fig. 1 train-gate, BRP, timed game
+// variants) are transcribed this way in src/models.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/expr.h"
+#include "dbm/dbm.h"
+
+namespace quanta::ta {
+
+using common::DataGuard;
+using common::DataUpdate;
+using common::Valuation;
+using common::Value;
+using common::VarTable;
+
+/// Atomic clock constraint x_i - x_j <= / < value over *global* clock ids
+/// (0 is the constant reference clock).
+struct ClockConstraint {
+  int i = 0;
+  int j = 0;
+  dbm::raw_t bound = dbm::kInf;
+};
+
+/// x <= c
+inline ClockConstraint cc_le(int clock, std::int32_t c) {
+  return {clock, 0, dbm::bound_le(c)};
+}
+/// x < c
+inline ClockConstraint cc_lt(int clock, std::int32_t c) {
+  return {clock, 0, dbm::bound_lt(c)};
+}
+/// x >= c
+inline ClockConstraint cc_ge(int clock, std::int32_t c) {
+  return {0, clock, dbm::bound_le(-c)};
+}
+/// x > c
+inline ClockConstraint cc_gt(int clock, std::int32_t c) {
+  return {0, clock, dbm::bound_lt(-c)};
+}
+/// x - y <= c
+inline ClockConstraint cc_diff_le(int x, int y, std::int32_t c) {
+  return {x, y, dbm::bound_le(c)};
+}
+
+enum class SyncKind { kNone, kSend, kReceive };
+
+/// Probabilistic alternative of an edge (PTA extension, MODEST `palt`): when
+/// an edge carries branches, taking it resolves to one branch according to
+/// the normalised weights, applying that branch's target/resets/update
+/// instead of the edge's own.
+struct ProbBranch {
+  double weight = 1.0;
+  int target = 0;
+  std::vector<std::pair<int, Value>> resets;
+  DataUpdate update;
+  std::string label;
+};
+
+struct Edge {
+  int source = 0;
+  int target = 0;
+  std::vector<ClockConstraint> guard;
+  DataGuard data_guard;  ///< null means true
+  /// Channel id; -1 for internal edges. If channel_fn is set it overrides
+  /// the static id (used for channel arrays like appr[front()]).
+  int channel = -1;
+  std::function<int(const Valuation&)> channel_fn;
+  SyncKind sync = SyncKind::kNone;
+  std::vector<std::pair<int, Value>> resets;  ///< clock := value
+  DataUpdate update;                          ///< null means identity
+  /// Probabilistic branches; empty for ordinary (Dirac) edges.
+  std::vector<ProbBranch> branches;
+  /// For timed games (UPPAAL-TIGA): whether the controller owns this edge.
+  bool controllable = true;
+  std::string label;
+
+  int channel_id(const Valuation& vars) const {
+    return channel_fn ? channel_fn(vars) : channel;
+  }
+  bool probabilistic() const { return !branches.empty(); }
+};
+
+/// The effect of taking `e` resolved to branch `branch` (-1 for the edge's
+/// own Dirac effect). Pointers refer into the edge; they stay valid as long
+/// as the edge does.
+struct EdgeEffect {
+  int target = 0;
+  const std::vector<std::pair<int, Value>>* resets = nullptr;
+  const DataUpdate* update = nullptr;
+};
+
+EdgeEffect resolve_effect(const Edge& e, int branch);
+
+struct Location {
+  std::string name;
+  std::vector<ClockConstraint> invariant;
+  bool committed = false;
+  bool urgent = false;
+  /// SMC stochastic semantics: rate of the exponential delay distribution
+  /// used when the location has no invariant upper bound on the next delay.
+  double exit_rate = 1.0;
+};
+
+struct Process {
+  std::string name;
+  std::vector<Location> locations;
+  std::vector<Edge> edges;
+  int initial = 0;
+
+  int location_index(const std::string& name) const;
+};
+
+struct Channel {
+  std::string name;
+  bool broadcast = false;
+  bool urgent = false;
+};
+
+/// Fluent helper for assembling a Process.
+class ProcessBuilder {
+ public:
+  explicit ProcessBuilder(std::string name) { p_.name = std::move(name); }
+
+  /// Adds a location and returns its index.
+  int location(std::string name, std::vector<ClockConstraint> invariant = {},
+               bool committed = false, bool urgent = false,
+               double exit_rate = 1.0);
+
+  /// Starts a new edge between two locations; returns a reference that can be
+  /// tweaked before the next call (stable because edges live in a deque-like
+  /// usage pattern: we return by index through edge()).
+  int edge(int source, int target);
+  Edge& edge_ref(int index) { return p_.edges.at(index); }
+
+  /// Convenience: fully-specified edge.
+  int edge(int source, int target, std::vector<ClockConstraint> guard,
+           int channel, SyncKind sync,
+           std::vector<std::pair<int, Value>> resets,
+           DataGuard data_guard = nullptr, DataUpdate update = nullptr,
+           std::string label = {});
+
+  void set_initial(int loc) { p_.initial = loc; }
+
+  Process build() { return std::move(p_); }
+
+ private:
+  Process p_;
+};
+
+/// A network of timed automata with shared clocks, variables and channels.
+class System {
+ public:
+  /// Declares a clock; returns its global id (>= 1; 0 is the reference).
+  int add_clock(std::string name);
+  /// Declares a channel; returns its id.
+  int add_channel(std::string name, bool broadcast = false,
+                  bool urgent = false);
+  /// Declares `count` channels name[0..count-1]; returns the id of name[0].
+  int add_channel_array(const std::string& name, int count,
+                        bool broadcast = false, bool urgent = false);
+
+  int add_process(Process p);
+
+  VarTable& vars() { return vars_; }
+  const VarTable& vars() const { return vars_; }
+
+  int clock_count() const { return static_cast<int>(clock_names_.size()); }
+  /// DBM dimension: clocks + reference clock.
+  int dim() const { return clock_count() + 1; }
+  const std::string& clock_name(int id) const { return clock_names_.at(id - 1); }
+
+  int channel_count() const { return static_cast<int>(channels_.size()); }
+  const Channel& channel(int id) const { return channels_.at(id); }
+
+  int process_count() const { return static_cast<int>(processes_.size()); }
+  const Process& process(int id) const { return processes_.at(id); }
+  /// Mutable access for model-to-model transformations (mctau stripping,
+  /// game construction); call validate() again after structural changes.
+  Process& process_mut(int id) { return processes_.at(id); }
+  int process_index(const std::string& name) const;
+
+  /// Maximal constants per clock (index 0..dim-1, entry 0 is 0) for
+  /// extrapolation; computed from all guards and invariants plus any hints.
+  std::vector<std::int32_t> max_constants() const;
+
+  /// Raises the maximal constant of a clock beyond what the constraints
+  /// imply. Needed when a *property* compares the clock against a bound the
+  /// model itself never mentions (e.g. the global clock of a time-bounded
+  /// reachability query): the digital-clock cap must exceed that bound.
+  void bump_max_constant(int clock, std::int32_t value);
+
+  /// True iff any edge carries probabilistic branches (the model is a PTA
+  /// rather than a plain TA).
+  bool has_probabilistic() const;
+
+  /// Validates structural well-formedness (edge indices in range, receive
+  /// edges on declared channels, ...). Throws std::invalid_argument.
+  void validate() const;
+
+ private:
+  std::vector<std::string> clock_names_;
+  std::vector<Channel> channels_;
+  std::vector<Process> processes_;
+  std::vector<std::pair<int, std::int32_t>> max_const_hints_;
+  VarTable vars_;
+};
+
+}  // namespace quanta::ta

@@ -1,0 +1,101 @@
+// Symbolic (zone-based) semantics of a network of timed automata: the
+// transition system over (location vector, variable valuation, zone) explored
+// by the model-checking engines. Zones are stored delay-closed and
+// invariant-constrained, with optional max-bounds extrapolation to guarantee
+// a finite zone graph.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dbm/dbm.h"
+#include "ta/model.h"
+
+namespace quanta::ta {
+
+struct SymState {
+  std::vector<int> locs;
+  Valuation vars;
+  dbm::Dbm zone{1};
+
+  /// Hash of the discrete part only (location vector + variables); zones are
+  /// compared via inclusion inside each discrete bucket.
+  std::size_t discrete_hash() const;
+  bool same_discrete(const SymState& other) const {
+    return locs == other.locs && vars == other.vars;
+  }
+};
+
+/// A global discrete move: one internal edge, a binary sender/receiver pair,
+/// or a broadcast sender with its (possibly empty) receiver set. Each entry
+/// is (process index, edge index); the sender/internal edge comes first.
+struct Move {
+  std::vector<std::pair<int, int>> participants;
+
+  std::string describe(const System& sys) const;
+};
+
+struct SymTransition {
+  Move move;
+  SymState state;
+};
+
+class SymbolicSemantics {
+ public:
+  struct Options {
+    bool extrapolate = true;
+  };
+
+  explicit SymbolicSemantics(const System& sys)
+      : SymbolicSemantics(sys, Options{}) {}
+  SymbolicSemantics(const System& sys, Options opts);
+
+  const System& system() const { return *sys_; }
+
+  SymState initial() const;
+
+  /// All discrete successors (each already delay-closed / extrapolated).
+  std::vector<SymTransition> successors(const SymState& s) const;
+
+  /// Discrete moves enabled at the data level (guards over variables,
+  /// committed-location filtering, sync matching). Zone-level enabledness is
+  /// checked when the move is applied.
+  std::vector<Move> enabled_moves(const std::vector<int>& locs,
+                                  const Valuation& vars) const;
+
+  /// Applies a move; returns nullopt if the zone becomes empty.
+  std::optional<SymState> apply_move(const SymState& s, const Move& m) const;
+
+  /// The conjunction of location invariants as a zone constraint applied to z.
+  bool constrain_invariant(const std::vector<int>& locs, dbm::Dbm& z) const;
+
+  /// Conjoins an edge guard onto z; returns false if empty.
+  static bool constrain_guard(const Edge& e, dbm::Dbm& z);
+
+  bool any_committed(const std::vector<int>& locs) const;
+  bool any_urgent(const std::vector<int>& locs) const;
+  /// True iff a synchronisation on an urgent channel is enabled (data level).
+  bool urgent_sync_enabled(const std::vector<int>& locs,
+                           const Valuation& vars) const;
+
+  /// True iff delay is forbidden in the given discrete configuration.
+  bool delay_forbidden(const std::vector<int>& locs,
+                       const Valuation& vars) const;
+
+  const std::vector<std::int32_t>& max_constants() const { return max_k_; }
+
+  std::string state_to_string(const SymState& s) const;
+
+ private:
+  void apply_edge_effect(const Edge& e, Valuation& vars, dbm::Dbm& z) const;
+
+  const System* sys_;
+  Options opts_;
+  std::vector<std::int32_t> max_k_;
+  /// edges_from_[p][loc]: indices of process p's edges leaving location loc.
+  std::vector<std::vector<std::vector<int>>> edges_from_;
+  bool has_urgent_channel_ = false;
+};
+
+}  // namespace quanta::ta

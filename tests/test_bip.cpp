@@ -1,0 +1,266 @@
+// Tests for the BIP framework: engine semantics (rendezvous, broadcast,
+// priorities), exact exploration, D-Finder, and flattening.
+#include "bip/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "bip/dfinder.h"
+#include "bip/explore.h"
+#include "bip/flatten.h"
+
+namespace {
+
+using namespace quanta::bip;
+
+/// Two components handshaking: P: A --sync--> B; Q: X --sync--> Y.
+BipSystem handshake() {
+  BipSystem sys;
+  {
+    Component c("P");
+    int a = c.add_place("A");
+    int b = c.add_place("B");
+    int port = c.add_port("p");
+    c.add_transition(a, b, port);
+    c.set_initial(a);
+    sys.add_component(std::move(c));
+  }
+  {
+    Component c("Q");
+    int x = c.add_place("X");
+    int y = c.add_place("Y");
+    int port = c.add_port("q");
+    c.add_transition(x, y, port);
+    c.set_initial(x);
+    sys.add_component(std::move(c));
+  }
+  Connector conn;
+  conn.name = "hs";
+  conn.ports = {{0, 0}, {1, 0}};
+  sys.add_connector(std::move(conn));
+  return sys;
+}
+
+TEST(BipEngine, RendezvousFiresJointly) {
+  BipSystem sys = handshake();
+  Engine engine(sys);
+  auto enabled = engine.enabled(engine.initial());
+  ASSERT_EQ(enabled.size(), 1u);
+  EXPECT_EQ(enabled[0].participants.size(), 2u);
+  BipState next = engine.apply(engine.initial(), enabled[0]);
+  EXPECT_EQ(next.places, (std::vector<int>{1, 1}));
+  // Afterwards nothing is enabled: a (terminal) deadlock.
+  EXPECT_TRUE(engine.enabled(next).empty());
+}
+
+TEST(BipEngine, RendezvousBlocksWhenOneSideNotReady) {
+  BipSystem sys = handshake();
+  // Move Q's transition guard to false: the handshake must vanish.
+  BipSystem sys2 = handshake();
+  Engine engine(sys2);
+  BipState s = engine.initial();
+  s.places[1] = 1;  // Q already in Y: no q-labelled transition enabled
+  EXPECT_TRUE(engine.enabled(s).empty());
+}
+
+TEST(BipEngine, GuardsGateInteractions) {
+  BipSystem sys;
+  Component c("P");
+  int a = c.add_place("A");
+  int b = c.add_place("B");
+  int port = c.add_port("p");
+  int flag = c.declare_var("flag", 0, 0, 1);
+  c.add_transition(a, b, port,
+                   [flag](const Valuation& v) { return v[flag] == 1; });
+  c.add_transition(a, a, -1, nullptr, [flag](Valuation& v) { v[flag] = 1; },
+                   "set");
+  c.set_initial(a);
+  sys.add_component(std::move(c));
+  Connector conn;
+  conn.name = "solo";
+  conn.ports = {{0, port}};
+  sys.add_connector(std::move(conn));
+
+  Engine engine(sys);
+  auto first = engine.enabled(engine.initial());
+  ASSERT_EQ(first.size(), 1u);  // only the internal "set" step
+  EXPECT_EQ(first[0].connector, -1);
+  BipState after = engine.apply(engine.initial(), first[0]);
+  auto second = engine.enabled(after);
+  ASSERT_EQ(second.size(), 2u);  // set again + the now-unlocked interaction
+}
+
+/// Broadcast: trigger T plus two receivers; receiver R1 is only sometimes
+/// ready.
+BipSystem broadcast_system() {
+  BipSystem sys;
+  {
+    Component c("T");
+    int run = c.add_place("Run");
+    int port = c.add_port("t");
+    c.add_transition(run, run, port);
+    c.set_initial(run);
+    sys.add_component(std::move(c));
+  }
+  for (int r = 0; r < 2; ++r) {
+    Component c("R" + std::to_string(r));
+    int ready = c.add_place("Ready");
+    int done = c.add_place("Done");
+    int port = c.add_port("r");
+    c.add_transition(ready, done, port);
+    c.set_initial(ready);
+    sys.add_component(std::move(c));
+  }
+  Connector conn;
+  conn.name = "bc";
+  conn.kind = ConnectorKind::kBroadcast;
+  conn.ports = {{0, 0}, {1, 0}, {2, 0}};
+  sys.add_connector(std::move(conn));
+  return sys;
+}
+
+TEST(BipEngine, BroadcastEnumeratesSubsets) {
+  BipSystem sys = broadcast_system();
+  Engine engine(sys);
+  // Subsets: {}, {R0}, {R1}, {R0,R1} -> 4 instances.
+  EXPECT_EQ(engine.enabled(engine.initial()).size(), 4u);
+  // Maximal progress keeps only the full instance.
+  auto maximal = engine.enabled_maximal(engine.initial());
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal[0].participants.size(), 3u);
+  BipState next = engine.apply(engine.initial(), maximal[0]);
+  EXPECT_EQ(next.places, (std::vector<int>{0, 1, 1}));
+  // Once both receivers are Done, only the bare trigger remains.
+  auto later = engine.enabled_maximal(next);
+  ASSERT_EQ(later.size(), 1u);
+  EXPECT_EQ(later[0].participants.size(), 1u);
+}
+
+TEST(BipEngine, PrioritySuppressesLowInteraction) {
+  BipSystem sys;
+  Component c("P");
+  int a = c.add_place("A");
+  int b = c.add_place("B");
+  int cc = c.add_place("C");
+  int p_low = c.add_port("low");
+  int p_high = c.add_port("high");
+  c.add_transition(a, b, p_low);
+  c.add_transition(a, cc, p_high);
+  c.set_initial(a);
+  sys.add_component(std::move(c));
+  Connector low;
+  low.name = "low";
+  low.ports = {{0, p_low}};
+  int low_id = sys.add_connector(std::move(low));
+  Connector high;
+  high.name = "high";
+  high.ports = {{0, p_high}};
+  int high_id = sys.add_connector(std::move(high));
+  sys.add_priority(low_id, high_id);
+
+  Engine engine(sys);
+  EXPECT_EQ(engine.enabled(engine.initial()).size(), 2u);
+  auto maximal = engine.enabled_maximal(engine.initial());
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal[0].connector, high_id);
+
+  // From a state where only `low` is enabled, it is not suppressed.
+  BipState s = engine.initial();
+  BipState at_b = engine.apply(s, maximal[0]);
+  EXPECT_TRUE(engine.enabled_maximal(at_b).empty());
+}
+
+TEST(BipExplore, CountsStatesAndFindsDeadlock) {
+  BipSystem sys = handshake();
+  auto r = explore(sys);
+  EXPECT_EQ(r.states, 2u);
+  EXPECT_TRUE(r.deadlock_found);  // after the handshake nothing can move
+  EXPECT_NE(r.deadlock_state.find("P.B"), std::string::npos);
+}
+
+TEST(BipExplore, SafetyMonitor) {
+  BipSystem sys = handshake();
+  auto r = explore(sys, ExploreOptions{},
+                   [](const BipState& s) { return s.places[0] != 1; });
+  EXPECT_TRUE(r.violation_found);
+  EXPECT_TRUE(reachable(sys, [](const BipState& s) { return s.places[0] == 1; }));
+  EXPECT_FALSE(reachable(sys, [](const BipState& s) { return s.places[0] == 7; }));
+}
+
+TEST(BipDFinder, ProvesDeadlockFreedomOfLivelySystem) {
+  // A single component with a self-loop can always move.
+  BipSystem sys;
+  Component c("P");
+  int run = c.add_place("Run");
+  c.add_transition(run, run, -1);
+  c.set_initial(run);
+  sys.add_component(std::move(c));
+  auto r = dfinder_deadlock_check(sys);
+  EXPECT_TRUE(r.deadlock_free);
+  EXPECT_EQ(r.candidates, 0u);
+}
+
+TEST(BipDFinder, FlagsRealDeadlockCandidates) {
+  BipSystem sys = handshake();
+  auto r = dfinder_deadlock_check(sys);
+  EXPECT_FALSE(r.deadlock_free);
+  EXPECT_GE(r.candidates, 1u);
+  ASSERT_FALSE(r.examples.empty());
+}
+
+TEST(BipDFinder, TrapInvariantPrunesSpuriousCandidates) {
+  // Cross-waiting ring that is actually live: P: A<->B on two connectors
+  // with Q moving in lockstep. The trap invariants must rule out the
+  // off-diagonal (unreachable) combination A/Y, B/X.
+  BipSystem sys;
+  for (int i = 0; i < 2; ++i) {
+    Component c(i == 0 ? "P" : "Q");
+    int a = c.add_place(i == 0 ? "A" : "X");
+    int b = c.add_place(i == 0 ? "B" : "Y");
+    int fwd = c.add_port("fwd");
+    int back = c.add_port("back");
+    c.add_transition(a, b, fwd);
+    c.add_transition(b, a, back);
+    c.set_initial(a);
+    sys.add_component(std::move(c));
+  }
+  Connector fwd;
+  fwd.name = "fwd";
+  fwd.ports = {{0, 0}, {1, 0}};
+  sys.add_connector(std::move(fwd));
+  Connector back;
+  back.name = "back";
+  back.ports = {{0, 1}, {1, 1}};
+  sys.add_connector(std::move(back));
+
+  auto r = dfinder_deadlock_check(sys);
+  EXPECT_TRUE(r.deadlock_free) << (r.examples.empty() ? "" : r.examples[0]);
+  // Exact exploration agrees.
+  EXPECT_FALSE(explore(sys).deadlock_found);
+}
+
+TEST(BipFlatten, PreservesReachableStateCount) {
+  BipSystem sys = broadcast_system();
+  auto exact = explore(sys);
+  auto flat = flatten(sys);
+  EXPECT_FALSE(flat.truncated);
+  EXPECT_EQ(static_cast<std::size_t>(flat.flat.place_count()), exact.states);
+  // The flat component is a valid, purely-internal component.
+  for (const auto& t : flat.flat.transitions()) {
+    EXPECT_EQ(t.port, -1);
+  }
+}
+
+TEST(BipEngine, RunObserverAndDeadlockStop) {
+  BipSystem sys = handshake();
+  Engine engine(sys);
+  quanta::common::Rng rng(1);
+  std::size_t seen = 0;
+  std::size_t steps = engine.run(10, rng, [&seen](const BipState&) {
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(steps, 1u);  // one handshake, then deadlock
+  EXPECT_EQ(seen, 2u);   // initial + successor
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Integration tests for the DALA rover experiment (E6): safety by
+// construction with the R2C controller, violations without it, deadlock
+// freedom via exact search and D-Finder, and randomized fault-injection runs.
+#include "models/dala.h"
+
+#include <gtest/gtest.h>
+
+#include "bip/dfinder.h"
+#include "bip/flatten.h"
+
+namespace {
+
+using namespace quanta;
+
+TEST(Dala, ControlledSystemIsSafeEverywhere) {
+  auto d = models::make_dala({.with_controller = true});
+  auto r = bip::explore(d.system, bip::ExploreOptions{},
+                        [&d](const bip::BipState& s) { return d.safe(s); });
+  EXPECT_FALSE(r.violation_found) << r.violating_state;
+  EXPECT_FALSE(r.deadlock_found) << r.deadlock_state;
+  EXPECT_GT(r.states, 10u);
+}
+
+TEST(Dala, UnprotectedSystemViolatesBothRules) {
+  auto d = models::make_dala({.with_controller = false});
+  EXPECT_TRUE(bip::reachable(d.system, [&d](const bip::BipState& s) {
+    return !d.rule1_ok(s);
+  })) << "moving+transmitting must be reachable without the controller";
+  EXPECT_TRUE(bip::reachable(d.system, [&d](const bip::BipState& s) {
+    return !d.rule2_ok(s);
+  })) << "scan with unlocked platine must be reachable without the controller";
+}
+
+TEST(Dala, ControllerPermitsAllActivities) {
+  // The controller must not be over-restrictive: every activity remains
+  // individually reachable.
+  auto d = models::make_dala({.with_controller = true});
+  EXPECT_TRUE(bip::reachable(d.system, [&d](const bip::BipState& s) {
+    return s.places[static_cast<std::size_t>(d.rflex)] == d.rflex_moving;
+  }));
+  EXPECT_TRUE(bip::reachable(d.system, [&d](const bip::BipState& s) {
+    return s.places[static_cast<std::size_t>(d.antenna)] == d.antenna_comm;
+  }));
+  EXPECT_TRUE(bip::reachable(d.system, [&d](const bip::BipState& s) {
+    return s.places[static_cast<std::size_t>(d.laser)] == d.laser_scanning;
+  }));
+}
+
+TEST(Dala, DFinderProvesControlledDeadlockFreedom) {
+  auto d = models::make_dala({.with_controller = true});
+  auto r = bip::dfinder_deadlock_check(d.system);
+  EXPECT_TRUE(r.deadlock_free)
+      << r.candidates << " candidates, e.g. "
+      << (r.examples.empty() ? "-" : r.examples[0]);
+}
+
+TEST(Dala, FaultInjectionRunsNeverGoUnsafe) {
+  auto d = models::make_dala({.with_controller = true});
+  bip::Engine engine(d.system);
+  common::Rng rng(2024);
+  std::size_t unsafe = 0;
+  for (int run = 0; run < 50; ++run) {
+    engine.reset();
+    engine.run(200, rng, [&d, &unsafe](const bip::BipState& s) {
+      if (!d.safe(s)) ++unsafe;
+      return true;
+    });
+  }
+  EXPECT_EQ(unsafe, 0u);
+}
+
+TEST(Dala, FaultInjectionTriggersWithoutController) {
+  auto d = models::make_dala({.with_controller = false});
+  bip::Engine engine(d.system);
+  common::Rng rng(2024);
+  std::size_t unsafe = 0;
+  for (int run = 0; run < 50; ++run) {
+    engine.reset();
+    engine.run(200, rng, [&d, &unsafe](const bip::BipState& s) {
+      if (!d.safe(s)) ++unsafe;
+      return true;
+    });
+  }
+  EXPECT_GT(unsafe, 0u);
+}
+
+TEST(Dala, PriorityPrefersMotionOverComm) {
+  // Drive the system to a state where both comm_start and move_start are
+  // enabled; the priority layer must keep only motion.
+  auto d = models::make_dala({.with_controller = true});
+  bip::Engine engine(d.system);
+  // NDD: Idle -> Planning -> Ready (internal steps) so move_start is ready.
+  bip::BipState s = engine.initial();
+  for (int step = 0; step < 2; ++step) {
+    bool advanced = false;
+    for (const auto& i : engine.enabled(s)) {
+      if (i.connector == -1 &&
+          i.participants[0].component == d.ndd) {
+        s = engine.apply(s, i);
+        advanced = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(advanced);
+  }
+  bool comm_enabled_raw = false;
+  bool move_enabled_raw = false;
+  for (const auto& i : engine.enabled(s)) {
+    if (i.connector == d.c_comm_start) comm_enabled_raw = true;
+    if (i.connector == d.c_move_start) move_enabled_raw = true;
+  }
+  ASSERT_TRUE(comm_enabled_raw);
+  ASSERT_TRUE(move_enabled_raw);
+  for (const auto& i : engine.enabled_maximal(s)) {
+    EXPECT_NE(i.connector, d.c_comm_start)
+        << "comm_start must be suppressed while move_start is enabled";
+  }
+}
+
+TEST(Dala, FlattenedControlledSystemMatchesExploration) {
+  auto d = models::make_dala({.with_controller = true});
+  auto exact = bip::explore(d.system);
+  auto flat = bip::flatten(d.system);
+  EXPECT_FALSE(flat.truncated);
+  EXPECT_EQ(static_cast<std::size_t>(flat.flat.place_count()), exact.states);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Tests for the ECDAR specification theory: consistency and refinement
+// between timed I/O specifications (experiment E9).
+#include "ecdar/refinement.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace quanta;
+using ta::cc_ge;
+using ta::cc_le;
+using ta::ProcessBuilder;
+using ta::SyncKind;
+
+/// Spec: on input `req`, emit `grant` within [lo, hi] time units.
+ecdar::Tioa responder(int lo, int hi, const std::string& name = "Resp") {
+  ecdar::Tioa spec;
+  int req = spec.system.add_channel("req");
+  int grant = spec.system.add_channel("grant");
+  spec.inputs = {req};
+  int x = spec.system.add_clock("x");
+  ProcessBuilder pb(name);
+  int idle = pb.location("Idle");
+  int busy = pb.location("Busy", {cc_le(x, hi)});
+  pb.set_initial(idle);
+  pb.edge(idle, busy, {}, req, SyncKind::kReceive, {{x, 0}}, nullptr, nullptr,
+          "req?");
+  pb.edge(busy, idle, {cc_ge(x, lo)}, grant, SyncKind::kSend, {}, nullptr,
+          nullptr, "grant!");
+  spec.system.add_process(pb.build());
+  return spec;
+}
+
+TEST(Ecdar, ValidateRejectsPolarityMismatch) {
+  ecdar::Tioa bad = responder(1, 3);
+  bad.inputs.clear();  // now req? edges contradict the (empty) input set
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Ecdar, ConsistencyOfWellFormedSpec) {
+  auto spec = responder(1, 3);
+  auto r = ecdar::check_consistency(spec);
+  EXPECT_TRUE(r.consistent) << r.error_state;
+}
+
+TEST(Ecdar, InconsistentSpecHasTimelock) {
+  // Busy has invariant x<=2 but grant requires x>=5: timelocked at x==2.
+  ecdar::Tioa spec;
+  int req = spec.system.add_channel("req");
+  int grant = spec.system.add_channel("grant");
+  spec.inputs = {req};
+  int x = spec.system.add_clock("x");
+  ProcessBuilder pb("Broken");
+  int idle = pb.location("Idle");
+  int busy = pb.location("Busy", {cc_le(x, 2)});
+  pb.set_initial(idle);
+  pb.edge(idle, busy, {}, req, SyncKind::kReceive, {{x, 0}});
+  pb.edge(busy, idle, {cc_ge(x, 5)}, grant, SyncKind::kSend, {});
+  spec.system.add_process(pb.build());
+
+  auto r = ecdar::check_consistency(spec);
+  EXPECT_FALSE(r.consistent);
+  EXPECT_NE(r.error_state.find("Busy"), std::string::npos);
+}
+
+TEST(Ecdar, RefinementIsReflexive) {
+  auto spec = responder(1, 5);
+  auto r = ecdar::check_refinement(spec, spec);
+  EXPECT_TRUE(r.refines) << r.reason;
+  EXPECT_GT(r.pairs_explored, 0u);
+}
+
+TEST(Ecdar, TighterDeadlineRefinesLooser) {
+  // Responding within [1,3] refines "within [1,5]" (outputs are a subset of
+  // allowed behaviour at every instant).
+  auto tight = responder(1, 3, "Tight");
+  auto loose = responder(1, 5, "Loose");
+  EXPECT_TRUE(ecdar::check_refinement(tight, loose).refines);
+  // The converse fails: the loose spec may grant at time 4.
+  auto r = ecdar::check_refinement(loose, tight);
+  EXPECT_FALSE(r.refines);
+  EXPECT_NE(r.reason.find("delays"), std::string::npos) << r.reason;
+}
+
+TEST(Ecdar, EarlyOutputBreaksRefinement) {
+  // Granting possibly at time 0 is not allowed by a spec requiring >=2.
+  auto eager = responder(0, 3, "Eager");
+  auto patient = responder(2, 3, "Patient");
+  auto r = ecdar::check_refinement(eager, patient);
+  EXPECT_FALSE(r.refines);
+  EXPECT_NE(r.reason.find("grant"), std::string::npos) << r.reason;
+  EXPECT_TRUE(ecdar::check_refinement(patient, eager).refines);
+}
+
+TEST(Ecdar, MissingInputBreaksRefinement) {
+  // A spec that ignores `req` cannot refine one that accepts it.
+  ecdar::Tioa deaf;
+  int req = deaf.system.add_channel("req");
+  deaf.system.add_channel("grant");
+  deaf.inputs = {req};
+  ProcessBuilder pb("Deaf");
+  pb.location("Idle");
+  deaf.system.add_process(pb.build());
+
+  auto spec = responder(1, 3);
+  auto r = ecdar::check_refinement(deaf, spec);
+  EXPECT_FALSE(r.refines);
+  EXPECT_NE(r.reason.find("req"), std::string::npos) << r.reason;
+}
+
+TEST(Ecdar, NondeterministicSpecIsRejected) {
+  ecdar::Tioa spec = responder(1, 3);
+  // Duplicate the grant edge to introduce nondeterminism.
+  ta::Process& proc = spec.system.process_mut(0);
+  proc.edges.push_back(proc.edges[1]);
+  EXPECT_THROW(ecdar::check_refinement(spec, spec), std::invalid_argument);
+}
+
+}  // namespace

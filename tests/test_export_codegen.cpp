@@ -1,0 +1,207 @@
+// Tests for the model exporters (DOT, UPPAAL XML — the mctau bridge), BIP
+// code generation (compiled and executed as part of the test), and ECDAR
+// composition.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "bip/codegen.h"
+#include "ecdar/compose.h"
+#include "ecdar/refinement.h"
+#include "models/brp.h"
+#include "models/train_gate.h"
+#include "ta/export.h"
+
+namespace {
+
+using namespace quanta;
+
+TEST(Export, DotContainsStructure) {
+  auto tg = models::make_train_gate(2);
+  std::string dot = ta::to_dot(tg.system);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("Train(0)"), std::string::npos);
+  EXPECT_NE(dot.find("Gate"), std::string::npos);
+  EXPECT_NE(dot.find("x0 <= 20"), std::string::npos);  // Appr invariant
+  EXPECT_NE(dot.find("appr[1]!"), std::string::npos);  // sync label
+  // The committed controller location is highlighted.
+  EXPECT_NE(dot.find("lightpink"), std::string::npos);
+}
+
+TEST(Export, UppaalXmlIsWellFormedEnough) {
+  auto tg = models::make_train_gate(2);
+  std::string xml = ta::to_uppaal_xml(tg.system);
+  EXPECT_EQ(xml.find("<?xml"), 0u);
+  EXPECT_NE(xml.find("<nta>"), std::string::npos);
+  EXPECT_NE(xml.find("</nta>"), std::string::npos);
+  // Declarations: clocks, channels, queue variables.
+  EXPECT_NE(xml.find("clock x0;"), std::string::npos);
+  EXPECT_NE(xml.find("chan appr[0];"), std::string::npos);
+  EXPECT_NE(xml.find("int[0,2] len = 0;"), std::string::npos);
+  // Templates with invariants and syncs.
+  EXPECT_NE(xml.find("<template>"), std::string::npos);
+  EXPECT_NE(xml.find("kind=\"invariant\""), std::string::npos);
+  EXPECT_NE(xml.find("kind=\"synchronisation\""), std::string::npos);
+  EXPECT_NE(xml.find("<committed/>"), std::string::npos);
+  // Guard operators must be escaped.
+  EXPECT_EQ(xml.find("x0 >="), std::string::npos);
+  EXPECT_NE(xml.find("&gt;="), std::string::npos);
+  // System instantiation line.
+  EXPECT_NE(xml.find("<system>system Train(0), Train(1), Gate;</system>"),
+            std::string::npos);
+}
+
+TEST(Export, ProbabilisticEdgesAreMarked) {
+  auto brp = models::make_brp();
+  std::string xml = ta::to_uppaal_xml(brp.system);
+  EXPECT_NE(xml.find("probabilistic edge overapproximated"), std::string::npos);
+}
+
+TEST(Codegen, EmitsSelfContainedProgram) {
+  bip::BipSystem sys;
+  bip::Component c("Ping");
+  int a = c.add_place("A");
+  int b = c.add_place("B");
+  c.add_transition(a, b, -1, nullptr, nullptr, "go");
+  c.add_transition(b, a, -1, nullptr, nullptr, "back");
+  c.set_initial(a);
+  sys.add_component(std::move(c));
+
+  std::string code = bip::generate_code(sys);
+  EXPECT_NE(code.find("kNumStates = 2"), std::string::npos);
+  EXPECT_NE(code.find("int main"), std::string::npos);
+  EXPECT_NE(code.find("Ping:go"), std::string::npos);
+  EXPECT_EQ(code.find("quanta::"), code.find("quanta::bip::generate_code"))
+      << "generated code must not depend on the library";
+}
+
+TEST(Codegen, GeneratedCodeCompilesAndRuns) {
+  bip::BipSystem sys;
+  for (int i = 0; i < 2; ++i) {
+    bip::Component c("C" + std::to_string(i));
+    int p0 = c.add_place("P0");
+    int p1 = c.add_place("P1");
+    int port = c.add_port("sync");
+    c.add_transition(p0, p1, port);
+    c.add_transition(p1, p0, port);
+    c.set_initial(p0);
+    sys.add_component(std::move(c));
+  }
+  bip::Connector conn;
+  conn.name = "lockstep";
+  conn.ports = {{0, 0}, {1, 0}};
+  sys.add_connector(std::move(conn));
+
+  bip::CodegenOptions opts;
+  opts.run_steps = 50;
+  std::string code = bip::generate_code(sys, opts);
+
+  const char* src = "/tmp/quanta_codegen_test.cpp";
+  const char* bin = "/tmp/quanta_codegen_test";
+  {
+    std::ofstream out(src);
+    out << code;
+  }
+  std::string compile = std::string("g++ -std=c++17 -O1 -o ") + bin + " " + src +
+                        " 2>/tmp/quanta_codegen_test.err";
+  ASSERT_EQ(std::system(compile.c_str()), 0) << "generated code must compile";
+  std::string run = std::string(bin) + " 3 > /tmp/quanta_codegen_test.out";
+  ASSERT_EQ(std::system(run.c_str()), 0);
+  std::ifstream in("/tmp/quanta_codegen_test.out");
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_NE(first_line.find("lockstep"), std::string::npos)
+      << "the generated scheduler must fire the rendezvous";
+}
+
+TEST(Codegen, RefusesHugeSystems) {
+  bip::BipSystem sys;
+  bip::Component c("Counter");
+  int p = c.add_place("P");
+  int v = c.declare_var("v", 0, 0, 1000);
+  c.add_transition(p, p, -1, nullptr, [v](common::Valuation& vars) {
+    if (vars[v] < 1000) vars[v] += 1;
+  });
+  c.set_initial(p);
+  sys.add_component(std::move(c));
+  bip::CodegenOptions opts;
+  opts.max_states = 10;
+  EXPECT_THROW(bip::generate_code(sys, opts), std::invalid_argument);
+}
+
+// ---- ECDAR composition ------------------------------------------------------
+
+ecdar::Tioa grant_responder(int lo, int hi) {
+  ecdar::Tioa spec;
+  int req = spec.system.add_channel("req");
+  int grant = spec.system.add_channel("grant");
+  spec.inputs = {req};
+  int x = spec.system.add_clock("x");
+  ta::ProcessBuilder pb("Resp");
+  int idle = pb.location("Idle");
+  int busy = pb.location("Busy", {ta::cc_le(x, hi)});
+  pb.set_initial(idle);
+  pb.edge(idle, busy, {}, req, ta::SyncKind::kReceive, {{x, 0}});
+  pb.edge(busy, idle, {ta::cc_ge(x, lo)}, grant, ta::SyncKind::kSend, {});
+  spec.system.add_process(pb.build());
+  return spec;
+}
+
+/// User: sends req every >= 4 time units, consumes grant.
+ecdar::Tioa grant_user() {
+  ecdar::Tioa spec;
+  int req = spec.system.add_channel("req");
+  int grant = spec.system.add_channel("grant");
+  spec.inputs = {grant};
+  int y = spec.system.add_clock("y");
+  ta::ProcessBuilder pb("User");
+  int think = pb.location("Think");
+  int wait = pb.location("Wait");
+  pb.set_initial(think);
+  pb.edge(think, wait, {ta::cc_ge(y, 4)}, req, ta::SyncKind::kSend, {{y, 0}});
+  pb.edge(wait, think, {}, grant, ta::SyncKind::kReceive, {});
+  spec.system.add_process(pb.build());
+  return spec;
+}
+
+TEST(EcdarCompose, ProductStructure) {
+  auto composite = ecdar::compose(grant_responder(1, 3), grant_user());
+  // 2 x 2 product locations, shared actions become outputs of the composite.
+  EXPECT_EQ(composite.system.process(0).locations.size(), 4u);
+  EXPECT_TRUE(composite.inputs.empty())
+      << "req and grant are each an output on one side";
+  // Both clocks survive.
+  EXPECT_EQ(composite.system.clock_count(), 2);
+}
+
+TEST(EcdarCompose, CompositeIsConsistentAndRefinesItself) {
+  auto composite = ecdar::compose(grant_responder(1, 3), grant_user());
+  EXPECT_TRUE(ecdar::check_consistency(composite).consistent);
+  EXPECT_TRUE(ecdar::check_refinement(composite, composite).refines);
+}
+
+TEST(EcdarCompose, RefinementIsPreservedUnderComposition) {
+  // tight <= loose implies tight||user <= loose||user (ECDAR's independent
+  // implementability property, checked on this instance).
+  auto tight = ecdar::compose(grant_responder(1, 3), grant_user());
+  auto loose = ecdar::compose(grant_responder(1, 5), grant_user());
+  EXPECT_TRUE(ecdar::check_refinement(tight, loose).refines);
+  EXPECT_FALSE(ecdar::check_refinement(loose, tight).refines);
+}
+
+TEST(EcdarCompose, OutputOutputClashRejected) {
+  auto a = grant_responder(1, 3);
+  auto b = grant_responder(1, 3);  // both emit grant!
+  EXPECT_THROW(ecdar::compose(a, b), std::invalid_argument);
+}
+
+TEST(EcdarCompose, RejectsDataVariables) {
+  auto a = grant_responder(1, 3);
+  auto b = grant_user();
+  b.system.vars().declare("v", 0, 0, 1);
+  EXPECT_THROW(ecdar::compose(a, b), std::invalid_argument);
+}
+
+}  // namespace

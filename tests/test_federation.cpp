@@ -1,0 +1,131 @@
+// Tests for zone federations and exact DBM subtraction.
+#include "dbm/federation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace {
+
+using namespace quanta::dbm;
+
+Dbm interval(int lo, int hi) {
+  Dbm z = Dbm::universal(2);
+  z.constrain(1, 0, bound_le(hi));
+  z.constrain(0, 1, bound_le(-lo));
+  EXPECT_EQ(z.is_empty(), lo > hi);
+  return z;
+}
+
+TEST(Subtract, DisjointZonesUnchanged) {
+  Dbm a = interval(0, 3);
+  Dbm b = interval(5, 8);
+  auto diff = subtract(a, b);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].relation(a), Relation::kEqual);
+}
+
+TEST(Subtract, FullCoverGivesEmpty) {
+  Dbm a = interval(2, 4);
+  Dbm b = interval(0, 10);
+  EXPECT_TRUE(subtract(a, b).empty());
+}
+
+TEST(Subtract, MiddleCutLeavesTwoPieces) {
+  Dbm a = interval(0, 10);
+  Dbm b = interval(4, 6);
+  auto diff = subtract(a, b);
+  ASSERT_FALSE(diff.empty());
+  // The pieces together contain exactly [0,4) and (6,10].
+  auto member = [&diff](double x) {
+    for (const Dbm& z : diff) {
+      if (z.contains_point({0.0, x})) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(member(1.0));
+  EXPECT_TRUE(member(3.9));
+  EXPECT_FALSE(member(5.0));
+  EXPECT_TRUE(member(7.0));
+  EXPECT_TRUE(member(10.0));
+  EXPECT_FALSE(member(11.0));
+}
+
+TEST(Federation, AddDeduplicates) {
+  Federation f(2);
+  f.add(interval(0, 5));
+  f.add(interval(1, 3));  // included
+  EXPECT_EQ(f.size(), 1u);
+  f.add(interval(0, 10));  // covers the stored zone
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_TRUE(f.intersects(interval(9, 9)));
+}
+
+TEST(Federation, SubtractThenContains) {
+  Federation f(2);
+  f.add(interval(0, 10));
+  f.subtract(interval(4, 6));
+  EXPECT_FALSE(f.contains(interval(4, 6)));
+  EXPECT_FALSE(f.contains(interval(0, 10)));
+  EXPECT_TRUE(f.contains(interval(0, 3)));
+  EXPECT_TRUE(f.contains(interval(7, 10)));
+}
+
+TEST(Federation, ContainsRequiresFullCover) {
+  Federation f(2);
+  f.add(interval(0, 4));
+  f.add(interval(4, 9));
+  EXPECT_TRUE(f.contains(interval(2, 8)));  // covered by the union
+  EXPECT_FALSE(f.contains(interval(8, 12)));
+}
+
+TEST(Federation, EmptyBehaviour) {
+  Federation f(2);
+  EXPECT_TRUE(f.is_empty());
+  EXPECT_FALSE(f.intersects(interval(0, 1)));
+  Dbm never = interval(3, 2);  // empty zone
+  EXPECT_TRUE(never.is_empty());
+  f.add(never);
+  EXPECT_TRUE(f.is_empty());
+  EXPECT_TRUE(f.contains(never));
+}
+
+// Property: for random zones, subtraction is sound and complete w.r.t.
+// sampled points: x in A\B iff x in A and not in B.
+class SubtractProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubtractProperty, PointwiseSemantics) {
+  quanta::common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 17);
+  auto rand_zone = [&rng]() {
+    Dbm z = Dbm::universal(3);
+    for (int c = 0; c < 4; ++c) {
+      int i = rng.uniform_int(0, 2);
+      int j = rng.uniform_int(0, 2);
+      if (i == j) continue;
+      z.constrain(i, j, rng.bernoulli(0.5) ? bound_le(rng.uniform_int(-8, 8))
+                                           : bound_lt(rng.uniform_int(-8, 8)));
+    }
+    return z;
+  };
+  Dbm a = rand_zone();
+  Dbm b = rand_zone();
+  auto diff = subtract(a, b);
+  for (int t = 0; t < 300; ++t) {
+    std::vector<double> p{0.0, rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)};
+    bool in_diff = false;
+    int hits = 0;
+    for (const Dbm& z : diff) {
+      if (z.contains_point(p)) {
+        in_diff = true;
+        ++hits;
+      }
+    }
+    bool expected = a.contains_point(p) && !b.contains_point(p);
+    EXPECT_EQ(in_diff, expected) << "point (" << p[1] << "," << p[2] << ")";
+    EXPECT_LE(hits, 1) << "subtraction pieces must be disjoint";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, SubtractProperty, ::testing::Range(0, 30));
+
+}  // namespace

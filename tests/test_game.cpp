@@ -1,0 +1,165 @@
+// Tests for the timed-game solver: hand-built games with known winners,
+// plus the paper's train-game synthesis (experiment E2).
+#include "game/tiga.h"
+
+#include <gtest/gtest.h>
+
+#include "models/train_game.h"
+
+namespace {
+
+using namespace quanta;
+using ta::cc_ge;
+using ta::cc_le;
+using ta::ProcessBuilder;
+using ta::SyncKind;
+
+// A race: controller can move A->Goal while x<=2; environment can move
+// A->Bad when x>=4. Controller wins reach(Goal) by acting early.
+ta::System race_game(int ctrl_deadline, int env_start) {
+  ta::System sys;
+  int x = sys.add_clock("x");
+  ProcessBuilder pb("P");
+  int a = pb.location("A");
+  int goal = pb.location("Goal");
+  int bad = pb.location("Bad");
+  int e = pb.edge(a, goal, {cc_le(x, ctrl_deadline)}, -1, SyncKind::kNone, {},
+                  nullptr, nullptr, "win");
+  pb.edge_ref(e).controllable = true;
+  e = pb.edge(a, bad, {cc_ge(x, env_start)}, -1, SyncKind::kNone, {}, nullptr,
+              nullptr, "lose");
+  pb.edge_ref(e).controllable = false;
+  sys.add_process(pb.build());
+  return sys;
+}
+
+TEST(TimedGame, ControllerWinsWhenFasterThanEnvironment) {
+  ta::System sys = race_game(/*ctrl_deadline=*/2, /*env_start=*/4);
+  game::TimedGame g(sys);
+  auto goal = [](const ta::DigitalState& s) { return s.locs[0] == 1; };
+  auto result = g.solve_reachability(goal);
+  EXPECT_TRUE(result.controller_wins);
+  EXPECT_GT(result.winning_states, 0u);
+  EXPECT_TRUE(game::verify_reach_strategy(sys, result.strategy, goal));
+}
+
+TEST(TimedGame, EnvironmentPreemptionBlocksLateController) {
+  // Controller can only act from x>=4, environment from x>=0: the
+  // environment can always preempt into Bad, so (conservatively) the
+  // controller cannot force Goal.
+  ta::System sys = race_game(/*ctrl_deadline=*/10, /*env_start=*/0);
+  // make the controller edge only available late:
+  // rebuild with a lower bound instead.
+  ta::System sys2;
+  int x = sys2.add_clock("x");
+  ProcessBuilder pb("P");
+  int a = pb.location("A");
+  int goal_l = pb.location("Goal");
+  int bad = pb.location("Bad");
+  int e = pb.edge(a, goal_l, {cc_ge(x, 4)}, -1, SyncKind::kNone, {});
+  pb.edge_ref(e).controllable = true;
+  e = pb.edge(a, bad, {}, -1, SyncKind::kNone, {});
+  pb.edge_ref(e).controllable = false;
+  sys2.add_process(pb.build());
+
+  game::TimedGame g(sys2);
+  auto result = g.solve_reachability(
+      [goal_l](const ta::DigitalState& s) { return s.locs[0] == goal_l; });
+  EXPECT_FALSE(result.controller_wins);
+}
+
+TEST(TimedGame, SafetyByRefusingToAct) {
+  // Controller's only move leads to Bad; doing nothing is safe forever.
+  ta::System sys;
+  sys.add_clock("x");
+  ProcessBuilder pb("P");
+  int a = pb.location("A");
+  int bad = pb.location("Bad");
+  int e = pb.edge(a, bad, {}, -1, SyncKind::kNone, {});
+  pb.edge_ref(e).controllable = true;
+  sys.add_process(pb.build());
+  game::TimedGame g(sys);
+  auto safe = [bad](const ta::DigitalState& s) { return s.locs[0] != bad; };
+  auto result = g.solve_safety(safe);
+  EXPECT_TRUE(result.controller_wins);
+  EXPECT_TRUE(game::verify_safety_strategy(sys, result.strategy, safe));
+}
+
+TEST(TimedGame, SafetyLostWhenInvariantForcesBadMove) {
+  // A(x<=3) with only edge A->Bad: time forces the controller into Bad.
+  ta::System sys;
+  int x = sys.add_clock("x");
+  ProcessBuilder pb("P");
+  int a = pb.location("A", {cc_le(x, 3)});
+  int bad = pb.location("Bad");
+  int e = pb.edge(a, bad, {}, -1, SyncKind::kNone, {});
+  pb.edge_ref(e).controllable = false;  // environment will fire it
+  sys.add_process(pb.build());
+  game::TimedGame g(sys);
+  auto result = g.solve_safety(
+      [bad](const ta::DigitalState& s) { return s.locs[0] != bad; });
+  EXPECT_FALSE(result.controller_wins);
+}
+
+// ---- Paper experiment E2: train-game synthesis ---------------------------
+
+TEST(TrainGameSynthesis, SafetyControllerExistsForTwoTrains) {
+  auto tg = models::make_train_game({.num_trains = 2});
+  game::TimedGame g(tg.system);
+  auto safe = [&tg](const ta::DigitalState& s) { return tg.mutex_ok(s.locs); };
+  auto result = g.solve_safety(safe);
+  EXPECT_TRUE(result.controller_wins);
+  EXPECT_TRUE(game::verify_safety_strategy(tg.system, result.strategy, safe));
+}
+
+TEST(TrainGameSynthesis, WithoutControlSafetyFails) {
+  // If all stop/go edges are uncontrollable (environment owns everything),
+  // the controller cannot prevent two simultaneous crossings.
+  auto tg = models::make_train_game({.num_trains = 2});
+  for (int t : tg.trains) {
+    for (auto& e : tg.system.process_mut(t).edges) e.controllable = false;
+  }
+  for (auto& e : tg.system.process_mut(tg.controller).edges) {
+    e.controllable = false;
+  }
+  game::TimedGame g(tg.system);
+  auto result = g.solve_safety(
+      [&tg](const ta::DigitalState& s) { return tg.mutex_ok(s.locs); });
+  EXPECT_FALSE(result.controller_wins);
+}
+
+TEST(TrainGameSynthesis, ReachabilityNeedsAnApproachingTrain) {
+  // From all-Safe the environment may never send a train: not winnable.
+  auto tg = models::make_train_game({.num_trains = 1});
+  game::TimedGame g(tg.system);
+  auto goal = [&tg](const ta::DigitalState& s) {
+    return s.locs[static_cast<std::size_t>(tg.trains[0])] == tg.l_cross;
+  };
+  EXPECT_FALSE(g.solve_reachability(goal).controller_wins);
+
+  // With train 0 already approaching, its invariant forces progress and the
+  // controller can simply let it cross.
+  auto tg2 = models::make_train_game(
+      {.num_trains = 1, .first_train_approaching = true});
+  game::TimedGame g2(tg2.system);
+  auto goal2 = [&tg2](const ta::DigitalState& s) {
+    return s.locs[static_cast<std::size_t>(tg2.trains[0])] == tg2.l_cross;
+  };
+  auto result = g2.solve_reachability(goal2);
+  EXPECT_TRUE(result.controller_wins);
+  EXPECT_TRUE(game::verify_reach_strategy(tg2.system, result.strategy, goal2));
+}
+
+TEST(TrainGameSynthesis, ReachabilityWithInterferingSecondTrain) {
+  auto tg = models::make_train_game(
+      {.num_trains = 2, .first_train_approaching = true});
+  game::TimedGame g(tg.system);
+  auto goal = [&tg](const ta::DigitalState& s) {
+    return s.locs[static_cast<std::size_t>(tg.trains[0])] == tg.l_cross;
+  };
+  auto result = g.solve_reachability(goal);
+  EXPECT_TRUE(result.controller_wins);
+  EXPECT_TRUE(game::verify_reach_strategy(tg.system, result.strategy, goal));
+}
+
+}  // namespace

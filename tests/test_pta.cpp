@@ -1,0 +1,186 @@
+// Tests for the PTA layer: probabilistic edges, the digital-clocks MDP
+// translation, and property evaluation on small hand-computable PTAs.
+#include "pta/digital_clocks.h"
+
+#include <gtest/gtest.h>
+
+#include "pta/properties.h"
+#include "pta/pta.h"
+
+namespace {
+
+using namespace quanta;
+using ta::cc_ge;
+using ta::cc_le;
+using ta::ProbBranch;
+using ta::ProcessBuilder;
+using ta::SyncKind;
+
+TEST(Pta, ResolveEffectPicksBranch) {
+  ta::Edge e;
+  e.target = 1;
+  e.branches = {ProbBranch{0.5, 2, {{1, 0}}, nullptr, "a"},
+                ProbBranch{0.5, 3, {}, nullptr, "b"}};
+  auto eff = ta::resolve_effect(e, 1);
+  EXPECT_EQ(eff.target, 3);
+  EXPECT_THROW(ta::resolve_effect(e, -1), std::logic_error);
+  ta::Edge plain;
+  plain.target = 7;
+  EXPECT_EQ(ta::resolve_effect(plain, -1).target, 7);
+}
+
+TEST(Pta, ValidateRejectsBadBranches) {
+  ta::System sys;
+  ProcessBuilder pb("P");
+  int a = pb.location("A");
+  int idx = pb.edge(a, a);
+  pb.edge_ref(idx).branches = {ProbBranch{0.0, 0, {}, nullptr, ""}};
+  sys.add_process(pb.build());
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+}
+
+// Urgent retry loop: A --(0.3 Goal | 0.7 A)--> ; no time passes.
+TEST(DigitalClocks, UntimedRetryLoop) {
+  ta::System sys;
+  ProcessBuilder pb("P");
+  int a = pb.location("A", {}, false, /*urgent=*/true);
+  int goal = pb.location("Goal");
+  pta::add_prob_edge(pb, a, {}, -1, SyncKind::kNone,
+                     {ProbBranch{0.3, goal, {}, nullptr, "win"},
+                      ProbBranch{0.7, a, {}, nullptr, "retry"}},
+                     "try");
+  sys.add_process(pb.build());
+
+  auto dm = pta::build_digital_mdp(sys);
+  int pidx = sys.process_index("P");
+  auto at_goal = [pidx, goal](const ta::DigitalState& s) {
+    return s.locs[static_cast<std::size_t>(pidx)] == goal;
+  };
+  EXPECT_NEAR(pta::pmax_reach(dm, at_goal).value, 1.0, 1e-9);
+  EXPECT_NEAR(pta::pmin_reach(dm, at_goal).value, 1.0, 1e-9);
+  // Urgent location: no tick choices anywhere before Goal, so time is 0.
+  EXPECT_NEAR(pta::emax_time(dm, at_goal).value, 0.0, 1e-9);
+}
+
+// Timed branch: A(x<=1) --x>=1--> {0.5 Goal, 0.5 B}; B(x<=2) --x>=2--> Goal.
+// Expected time to Goal = 0.5*1 + 0.5*2 = 1.5 under any scheduler.
+TEST(DigitalClocks, TimedBranchingExpectedTime) {
+  ta::System sys;
+  int x = sys.add_clock("x");
+  ProcessBuilder pb("P");
+  int a = pb.location("A", {cc_le(x, 1)});
+  int goal = pb.location("Goal");
+  int b = pb.location("B", {cc_le(x, 2)});
+  pta::add_prob_edge(pb, a, {cc_ge(x, 1)}, -1, SyncKind::kNone,
+                     {ProbBranch{0.5, goal, {}, nullptr, "fast"},
+                      ProbBranch{0.5, b, {}, nullptr, "slow"}},
+                     "split");
+  pb.edge(b, goal, {cc_ge(x, 2)}, -1, SyncKind::kNone, {});
+  sys.add_process(pb.build());
+
+  auto dm = pta::build_digital_mdp(sys);
+  int pidx = sys.process_index("P");
+  auto at_goal = [pidx, goal](const ta::DigitalState& s) {
+    return s.locs[static_cast<std::size_t>(pidx)] == goal;
+  };
+  EXPECT_NEAR(pta::pmax_reach(dm, at_goal).value, 1.0, 1e-9);
+  EXPECT_NEAR(pta::emax_time(dm, at_goal).value, 1.5, 1e-9);
+  EXPECT_NEAR(pta::emin_time(dm, at_goal).value, 1.5, 1e-9);
+}
+
+// Scheduler-dependent timing: delay window [0,3] before the move, so Emin=0
+// (take it immediately) and Emax=3 (wait to the invariant boundary).
+TEST(DigitalClocks, SchedulerControlsDelayWindow) {
+  ta::System sys;
+  int x = sys.add_clock("x");
+  ProcessBuilder pb("P");
+  int a = pb.location("A", {cc_le(x, 3)});
+  int goal = pb.location("Goal");
+  pb.edge(a, goal, {}, -1, SyncKind::kNone, {});
+  sys.add_process(pb.build());
+
+  auto dm = pta::build_digital_mdp(sys);
+  int pidx = sys.process_index("P");
+  auto at_goal = [pidx, goal](const ta::DigitalState& s) {
+    return s.locs[static_cast<std::size_t>(pidx)] == goal;
+  };
+  EXPECT_NEAR(pta::emin_time(dm, at_goal).value, 0.0, 1e-9);
+  EXPECT_NEAR(pta::emax_time(dm, at_goal).value, 3.0, 1e-9);
+}
+
+// Probability depends on scheduler: choosing between a fair and a biased
+// coin gives Pmax = 0.7, Pmin = 0.3.
+TEST(DigitalClocks, PmaxPminDiffer) {
+  ta::System sys;
+  ProcessBuilder pb("P");
+  int a = pb.location("A", {}, false, true);
+  int goal = pb.location("Goal");
+  int sink = pb.location("Sink");
+  pta::add_prob_edge(pb, a, {}, -1, SyncKind::kNone,
+                     {ProbBranch{0.3, goal, {}, nullptr, ""},
+                      ProbBranch{0.7, sink, {}, nullptr, ""}},
+                     "biased-lose");
+  pta::add_prob_edge(pb, a, {}, -1, SyncKind::kNone,
+                     {ProbBranch{0.7, goal, {}, nullptr, ""},
+                      ProbBranch{0.3, sink, {}, nullptr, ""}},
+                     "biased-win");
+  sys.add_process(pb.build());
+
+  auto dm = pta::build_digital_mdp(sys);
+  int pidx = sys.process_index("P");
+  auto at_goal = [pidx, goal](const ta::DigitalState& s) {
+    return s.locs[static_cast<std::size_t>(pidx)] == goal;
+  };
+  EXPECT_NEAR(pta::pmax_reach(dm, at_goal).value, 0.7, 1e-9);
+  EXPECT_NEAR(pta::pmin_reach(dm, at_goal).value, 0.3, 1e-9);
+}
+
+// Synchronised probabilistic branches multiply: sender loses with 0.2,
+// receiver side loses with 0.5 -> both-succeed probability 0.4.
+TEST(DigitalClocks, ProductDistributionOnSync) {
+  ta::System sys;
+  int ch = sys.add_channel("c");
+  ProcessBuilder sb("S");
+  int s0 = sb.location("S0", {}, false, true);
+  int s_ok = sb.location("SOk");
+  int s_bad = sb.location("SBad");
+  pta::add_prob_edge(sb, s0, {}, ch, SyncKind::kSend,
+                     {ProbBranch{0.8, s_ok, {}, nullptr, ""},
+                      ProbBranch{0.2, s_bad, {}, nullptr, ""}},
+                     "send");
+  sys.add_process(sb.build());
+  ProcessBuilder rb("R");
+  int r0 = rb.location("R0");
+  int r_ok = rb.location("ROk");
+  int r_bad = rb.location("RBad");
+  pta::add_prob_edge(rb, r0, {}, ch, SyncKind::kReceive,
+                     {ProbBranch{0.5, r_ok, {}, nullptr, ""},
+                      ProbBranch{0.5, r_bad, {}, nullptr, ""}},
+                     "recv");
+  sys.add_process(rb.build());
+
+  auto dm = pta::build_digital_mdp(sys);
+  auto both_ok = [s_ok, r_ok](const ta::DigitalState& s) {
+    return s.locs[0] == s_ok && s.locs[1] == r_ok;
+  };
+  EXPECT_NEAR(pta::pmax_reach(dm, both_ok).value, 0.4, 1e-9);
+}
+
+TEST(DigitalClocks, InvariantCheckFindsViolations) {
+  ta::System sys;
+  ProcessBuilder pb("P");
+  int a = pb.location("A");
+  int b = pb.location("Bad");
+  pb.edge(a, b, {}, -1, SyncKind::kNone, {});
+  sys.add_process(pb.build());
+  auto dm = pta::build_digital_mdp(sys);
+  auto ok = pta::check_invariant(
+      dm, [](const ta::DigitalState& s) { return s.locs[0] == 0; });
+  EXPECT_FALSE(ok.holds);
+  EXPECT_NE(ok.violating_state.find("Bad"), std::string::npos);
+  auto trivially = pta::check_invariant(
+      dm, [](const ta::DigitalState&) { return true; });
+  EXPECT_TRUE(trivially.holds);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Tests for the statistical primitives (Welford moments, Clopper-Pearson
+// intervals, Chernoff bounds, RNG sampling).
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace {
+
+using namespace quanta::common;
+
+TEST(RunningStats, MomentsMatchClosedForm) {
+  RunningStats st;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats st;
+  EXPECT_EQ(st.mean(), 0.0);
+  EXPECT_EQ(st.variance(), 0.0);
+  st.add(3.5);
+  EXPECT_DOUBLE_EQ(st.mean(), 3.5);
+  EXPECT_EQ(st.variance(), 0.0);
+}
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(1,1) = x (uniform CDF).
+  EXPECT_NEAR(incomplete_beta(1, 1, 0.3), 0.3, 1e-9);
+  // I_x(2,1) = x^2.
+  EXPECT_NEAR(incomplete_beta(2, 1, 0.5), 0.25, 1e-9);
+  // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+  EXPECT_NEAR(incomplete_beta(3.0, 7.0, 0.2),
+              1.0 - incomplete_beta(7.0, 3.0, 0.8), 1e-9);
+  EXPECT_EQ(incomplete_beta(2, 3, 0.0), 0.0);
+  EXPECT_EQ(incomplete_beta(2, 3, 1.0), 1.0);
+}
+
+TEST(ClopperPearson, DegenerateCounts) {
+  auto [lo0, hi0] = clopper_pearson(0, 100, 0.05);
+  EXPECT_EQ(lo0, 0.0);
+  EXPECT_NEAR(hi0, 1.0 - std::pow(0.025, 1.0 / 100.0), 1e-6);
+  auto [lo1, hi1] = clopper_pearson(100, 100, 0.05);
+  EXPECT_EQ(hi1, 1.0);
+  EXPECT_NEAR(lo1, std::pow(0.025, 1.0 / 100.0), 1e-6);
+}
+
+TEST(ClopperPearson, CoversPointEstimate) {
+  auto [lo, hi] = clopper_pearson(30, 100, 0.05);
+  EXPECT_LT(lo, 0.3);
+  EXPECT_GT(hi, 0.3);
+  EXPECT_GT(lo, 0.2);
+  EXPECT_LT(hi, 0.41);
+}
+
+TEST(ClopperPearson, IntervalShrinksWithSamples) {
+  auto [lo1, hi1] = clopper_pearson(30, 100, 0.05);
+  auto [lo2, hi2] = clopper_pearson(300, 1000, 0.05);
+  EXPECT_LT(hi2 - lo2, hi1 - lo1);
+}
+
+TEST(Chernoff, MatchesFormula) {
+  // n >= ln(2/delta) / (2 eps^2)
+  EXPECT_EQ(chernoff_sample_count(0.05, 0.05),
+            static_cast<std::size_t>(std::ceil(std::log(40.0) / 0.005)));
+  EXPECT_GT(chernoff_sample_count(0.01, 0.05), chernoff_sample_count(0.05, 0.05));
+}
+
+TEST(Chernoff, RejectsBadParameters) {
+  EXPECT_THROW(chernoff_sample_count(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(chernoff_sample_count(0.1, 1.5), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanAndReproducibility) {
+  Rng rng(42);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(Rng, WeightedChoiceDistribution) {
+  Rng rng(3);
+  double weights[] = {1.0, 3.0, 0.0, 6.0};
+  std::size_t counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 20000; ++i) counts[rng.weighted_choice(weights)]++;
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 20000.0, 0.1, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 20000.0, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / 20000.0, 0.6, 0.02);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+}  // namespace
