@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mc"
+  "../bench/bench_ablation_mc.pdb"
+  "CMakeFiles/bench_ablation_mc.dir/bench_ablation_mc.cpp.o"
+  "CMakeFiles/bench_ablation_mc.dir/bench_ablation_mc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

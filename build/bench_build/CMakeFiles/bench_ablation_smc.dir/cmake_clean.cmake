@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_smc"
+  "../bench/bench_ablation_smc.pdb"
+  "CMakeFiles/bench_ablation_smc.dir/bench_ablation_smc.cpp.o"
+  "CMakeFiles/bench_ablation_smc.dir/bench_ablation_smc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_smc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

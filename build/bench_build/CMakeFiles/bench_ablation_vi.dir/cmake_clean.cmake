@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_vi"
+  "../bench/bench_ablation_vi.pdb"
+  "CMakeFiles/bench_ablation_vi.dir/bench_ablation_vi.cpp.o"
+  "CMakeFiles/bench_ablation_vi.dir/bench_ablation_vi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

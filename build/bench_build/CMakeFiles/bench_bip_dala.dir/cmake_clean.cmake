@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bip_dala"
+  "../bench/bench_bip_dala.pdb"
+  "CMakeFiles/bench_bip_dala.dir/bench_bip_dala.cpp.o"
+  "CMakeFiles/bench_bip_dala.dir/bench_bip_dala.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bip_dala.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

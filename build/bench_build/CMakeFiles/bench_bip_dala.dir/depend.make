@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_bip_dala.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_brp_sweep"
+  "../bench/bench_brp_sweep.pdb"
+  "CMakeFiles/bench_brp_sweep.dir/bench_brp_sweep.cpp.o"
+  "CMakeFiles/bench_brp_sweep.dir/bench_brp_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_brp_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

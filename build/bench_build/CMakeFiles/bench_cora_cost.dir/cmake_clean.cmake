@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cora_cost"
+  "../bench/bench_cora_cost.pdb"
+  "CMakeFiles/bench_cora_cost.dir/bench_cora_cost.cpp.o"
+  "CMakeFiles/bench_cora_cost.dir/bench_cora_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cora_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ecdar"
+  "../bench/bench_ecdar.pdb"
+  "CMakeFiles/bench_ecdar.dir/bench_ecdar.cpp.o"
+  "CMakeFiles/bench_ecdar.dir/bench_ecdar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ecdar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

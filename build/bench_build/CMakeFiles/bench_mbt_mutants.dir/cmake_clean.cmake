@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mbt_mutants"
+  "../bench/bench_mbt_mutants.pdb"
+  "CMakeFiles/bench_mbt_mutants.dir/bench_mbt_mutants.cpp.o"
+  "CMakeFiles/bench_mbt_mutants.dir/bench_mbt_mutants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mbt_mutants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_trains_mc"
+  "../bench/bench_trains_mc.pdb"
+  "CMakeFiles/bench_trains_mc.dir/bench_trains_mc.cpp.o"
+  "CMakeFiles/bench_trains_mc.dir/bench_trains_mc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trains_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

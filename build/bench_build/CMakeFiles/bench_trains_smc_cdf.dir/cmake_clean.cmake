@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_trains_smc_cdf"
+  "../bench/bench_trains_smc_cdf.pdb"
+  "CMakeFiles/bench_trains_smc_cdf.dir/bench_trains_smc_cdf.cpp.o"
+  "CMakeFiles/bench_trains_smc_cdf.dir/bench_trains_smc_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trains_smc_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

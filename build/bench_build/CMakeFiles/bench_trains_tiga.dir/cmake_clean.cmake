@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_trains_tiga"
+  "../bench/bench_trains_tiga.pdb"
+  "CMakeFiles/bench_trains_tiga.dir/bench_trains_tiga.cpp.o"
+  "CMakeFiles/bench_trains_tiga.dir/bench_trains_tiga.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trains_tiga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brp_analysis.dir/brp_analysis.cpp.o"
+  "CMakeFiles/brp_analysis.dir/brp_analysis.cpp.o.d"
+  "brp_analysis"
+  "brp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_synthesis.dir/controller_synthesis.cpp.o"
+  "CMakeFiles/controller_synthesis.dir/controller_synthesis.cpp.o.d"
+  "controller_synthesis"
+  "controller_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_controller.dir/robot_controller.cpp.o"
+  "CMakeFiles/robot_controller.dir/robot_controller.cpp.o.d"
+  "robot_controller"
+  "robot_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bip/codegen.cpp" "src/CMakeFiles/quanta_bip.dir/bip/codegen.cpp.o" "gcc" "src/CMakeFiles/quanta_bip.dir/bip/codegen.cpp.o.d"
+  "/root/repo/src/bip/component.cpp" "src/CMakeFiles/quanta_bip.dir/bip/component.cpp.o" "gcc" "src/CMakeFiles/quanta_bip.dir/bip/component.cpp.o.d"
+  "/root/repo/src/bip/dfinder.cpp" "src/CMakeFiles/quanta_bip.dir/bip/dfinder.cpp.o" "gcc" "src/CMakeFiles/quanta_bip.dir/bip/dfinder.cpp.o.d"
+  "/root/repo/src/bip/engine.cpp" "src/CMakeFiles/quanta_bip.dir/bip/engine.cpp.o" "gcc" "src/CMakeFiles/quanta_bip.dir/bip/engine.cpp.o.d"
+  "/root/repo/src/bip/explore.cpp" "src/CMakeFiles/quanta_bip.dir/bip/explore.cpp.o" "gcc" "src/CMakeFiles/quanta_bip.dir/bip/explore.cpp.o.d"
+  "/root/repo/src/bip/flatten.cpp" "src/CMakeFiles/quanta_bip.dir/bip/flatten.cpp.o" "gcc" "src/CMakeFiles/quanta_bip.dir/bip/flatten.cpp.o.d"
+  "/root/repo/src/bip/system.cpp" "src/CMakeFiles/quanta_bip.dir/bip/system.cpp.o" "gcc" "src/CMakeFiles/quanta_bip.dir/bip/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quanta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quanta_bip.dir/bip/codegen.cpp.o"
+  "CMakeFiles/quanta_bip.dir/bip/codegen.cpp.o.d"
+  "CMakeFiles/quanta_bip.dir/bip/component.cpp.o"
+  "CMakeFiles/quanta_bip.dir/bip/component.cpp.o.d"
+  "CMakeFiles/quanta_bip.dir/bip/dfinder.cpp.o"
+  "CMakeFiles/quanta_bip.dir/bip/dfinder.cpp.o.d"
+  "CMakeFiles/quanta_bip.dir/bip/engine.cpp.o"
+  "CMakeFiles/quanta_bip.dir/bip/engine.cpp.o.d"
+  "CMakeFiles/quanta_bip.dir/bip/explore.cpp.o"
+  "CMakeFiles/quanta_bip.dir/bip/explore.cpp.o.d"
+  "CMakeFiles/quanta_bip.dir/bip/flatten.cpp.o"
+  "CMakeFiles/quanta_bip.dir/bip/flatten.cpp.o.d"
+  "CMakeFiles/quanta_bip.dir/bip/system.cpp.o"
+  "CMakeFiles/quanta_bip.dir/bip/system.cpp.o.d"
+  "libquanta_bip.a"
+  "libquanta_bip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quanta_bip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

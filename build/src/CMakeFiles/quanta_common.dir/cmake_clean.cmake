@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quanta_common.dir/common/expr.cpp.o"
+  "CMakeFiles/quanta_common.dir/common/expr.cpp.o.d"
+  "CMakeFiles/quanta_common.dir/common/rng.cpp.o"
+  "CMakeFiles/quanta_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/quanta_common.dir/common/stats.cpp.o"
+  "CMakeFiles/quanta_common.dir/common/stats.cpp.o.d"
+  "libquanta_common.a"
+  "libquanta_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quanta_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quanta_cora.dir/cora/priced.cpp.o"
+  "CMakeFiles/quanta_cora.dir/cora/priced.cpp.o.d"
+  "libquanta_cora.a"
+  "libquanta_cora.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quanta_cora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

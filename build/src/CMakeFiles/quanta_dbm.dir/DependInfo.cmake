@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbm/dbm.cpp" "src/CMakeFiles/quanta_dbm.dir/dbm/dbm.cpp.o" "gcc" "src/CMakeFiles/quanta_dbm.dir/dbm/dbm.cpp.o.d"
+  "/root/repo/src/dbm/federation.cpp" "src/CMakeFiles/quanta_dbm.dir/dbm/federation.cpp.o" "gcc" "src/CMakeFiles/quanta_dbm.dir/dbm/federation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quanta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

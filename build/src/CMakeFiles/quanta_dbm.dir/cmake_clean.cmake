@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quanta_dbm.dir/dbm/dbm.cpp.o"
+  "CMakeFiles/quanta_dbm.dir/dbm/dbm.cpp.o.d"
+  "CMakeFiles/quanta_dbm.dir/dbm/federation.cpp.o"
+  "CMakeFiles/quanta_dbm.dir/dbm/federation.cpp.o.d"
+  "libquanta_dbm.a"
+  "libquanta_dbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quanta_dbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

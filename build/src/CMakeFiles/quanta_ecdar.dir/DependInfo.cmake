@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecdar/compose.cpp" "src/CMakeFiles/quanta_ecdar.dir/ecdar/compose.cpp.o" "gcc" "src/CMakeFiles/quanta_ecdar.dir/ecdar/compose.cpp.o.d"
+  "/root/repo/src/ecdar/refinement.cpp" "src/CMakeFiles/quanta_ecdar.dir/ecdar/refinement.cpp.o" "gcc" "src/CMakeFiles/quanta_ecdar.dir/ecdar/refinement.cpp.o.d"
+  "/root/repo/src/ecdar/tioa.cpp" "src/CMakeFiles/quanta_ecdar.dir/ecdar/tioa.cpp.o" "gcc" "src/CMakeFiles/quanta_ecdar.dir/ecdar/tioa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quanta_ta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_dbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

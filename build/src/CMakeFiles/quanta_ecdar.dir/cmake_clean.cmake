@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quanta_ecdar.dir/ecdar/compose.cpp.o"
+  "CMakeFiles/quanta_ecdar.dir/ecdar/compose.cpp.o.d"
+  "CMakeFiles/quanta_ecdar.dir/ecdar/refinement.cpp.o"
+  "CMakeFiles/quanta_ecdar.dir/ecdar/refinement.cpp.o.d"
+  "CMakeFiles/quanta_ecdar.dir/ecdar/tioa.cpp.o"
+  "CMakeFiles/quanta_ecdar.dir/ecdar/tioa.cpp.o.d"
+  "libquanta_ecdar.a"
+  "libquanta_ecdar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quanta_ecdar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

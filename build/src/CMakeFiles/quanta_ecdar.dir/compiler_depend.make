@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for quanta_ecdar.
+# This may be replaced when dependencies are built.

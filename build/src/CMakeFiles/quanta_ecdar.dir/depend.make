@@ -1,0 +1,2 @@
+# Empty dependencies file for quanta_ecdar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quanta_game.dir/game/tiga.cpp.o"
+  "CMakeFiles/quanta_game.dir/game/tiga.cpp.o.d"
+  "libquanta_game.a"
+  "libquanta_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quanta_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

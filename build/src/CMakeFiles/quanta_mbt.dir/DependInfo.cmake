@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mbt/execute.cpp" "src/CMakeFiles/quanta_mbt.dir/mbt/execute.cpp.o" "gcc" "src/CMakeFiles/quanta_mbt.dir/mbt/execute.cpp.o.d"
+  "/root/repo/src/mbt/ioco.cpp" "src/CMakeFiles/quanta_mbt.dir/mbt/ioco.cpp.o" "gcc" "src/CMakeFiles/quanta_mbt.dir/mbt/ioco.cpp.o.d"
+  "/root/repo/src/mbt/lts.cpp" "src/CMakeFiles/quanta_mbt.dir/mbt/lts.cpp.o" "gcc" "src/CMakeFiles/quanta_mbt.dir/mbt/lts.cpp.o.d"
+  "/root/repo/src/mbt/rtioco.cpp" "src/CMakeFiles/quanta_mbt.dir/mbt/rtioco.cpp.o" "gcc" "src/CMakeFiles/quanta_mbt.dir/mbt/rtioco.cpp.o.d"
+  "/root/repo/src/mbt/suspension.cpp" "src/CMakeFiles/quanta_mbt.dir/mbt/suspension.cpp.o" "gcc" "src/CMakeFiles/quanta_mbt.dir/mbt/suspension.cpp.o.d"
+  "/root/repo/src/mbt/testgen.cpp" "src/CMakeFiles/quanta_mbt.dir/mbt/testgen.cpp.o" "gcc" "src/CMakeFiles/quanta_mbt.dir/mbt/testgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quanta_ta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_dbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

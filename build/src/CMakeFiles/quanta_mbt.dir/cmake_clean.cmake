@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quanta_mbt.dir/mbt/execute.cpp.o"
+  "CMakeFiles/quanta_mbt.dir/mbt/execute.cpp.o.d"
+  "CMakeFiles/quanta_mbt.dir/mbt/ioco.cpp.o"
+  "CMakeFiles/quanta_mbt.dir/mbt/ioco.cpp.o.d"
+  "CMakeFiles/quanta_mbt.dir/mbt/lts.cpp.o"
+  "CMakeFiles/quanta_mbt.dir/mbt/lts.cpp.o.d"
+  "CMakeFiles/quanta_mbt.dir/mbt/rtioco.cpp.o"
+  "CMakeFiles/quanta_mbt.dir/mbt/rtioco.cpp.o.d"
+  "CMakeFiles/quanta_mbt.dir/mbt/suspension.cpp.o"
+  "CMakeFiles/quanta_mbt.dir/mbt/suspension.cpp.o.d"
+  "CMakeFiles/quanta_mbt.dir/mbt/testgen.cpp.o"
+  "CMakeFiles/quanta_mbt.dir/mbt/testgen.cpp.o.d"
+  "libquanta_mbt.a"
+  "libquanta_mbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quanta_mbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

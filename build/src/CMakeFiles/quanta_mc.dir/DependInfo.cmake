@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/deadlock.cpp" "src/CMakeFiles/quanta_mc.dir/mc/deadlock.cpp.o" "gcc" "src/CMakeFiles/quanta_mc.dir/mc/deadlock.cpp.o.d"
+  "/root/repo/src/mc/liveness.cpp" "src/CMakeFiles/quanta_mc.dir/mc/liveness.cpp.o" "gcc" "src/CMakeFiles/quanta_mc.dir/mc/liveness.cpp.o.d"
+  "/root/repo/src/mc/query.cpp" "src/CMakeFiles/quanta_mc.dir/mc/query.cpp.o" "gcc" "src/CMakeFiles/quanta_mc.dir/mc/query.cpp.o.d"
+  "/root/repo/src/mc/reachability.cpp" "src/CMakeFiles/quanta_mc.dir/mc/reachability.cpp.o" "gcc" "src/CMakeFiles/quanta_mc.dir/mc/reachability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quanta_ta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_dbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quanta_mc.dir/mc/deadlock.cpp.o"
+  "CMakeFiles/quanta_mc.dir/mc/deadlock.cpp.o.d"
+  "CMakeFiles/quanta_mc.dir/mc/liveness.cpp.o"
+  "CMakeFiles/quanta_mc.dir/mc/liveness.cpp.o.d"
+  "CMakeFiles/quanta_mc.dir/mc/query.cpp.o"
+  "CMakeFiles/quanta_mc.dir/mc/query.cpp.o.d"
+  "CMakeFiles/quanta_mc.dir/mc/reachability.cpp.o"
+  "CMakeFiles/quanta_mc.dir/mc/reachability.cpp.o.d"
+  "libquanta_mc.a"
+  "libquanta_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quanta_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

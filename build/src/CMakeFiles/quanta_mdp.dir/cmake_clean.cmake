@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quanta_mdp.dir/mdp/expected_reward.cpp.o"
+  "CMakeFiles/quanta_mdp.dir/mdp/expected_reward.cpp.o.d"
+  "CMakeFiles/quanta_mdp.dir/mdp/graph_analysis.cpp.o"
+  "CMakeFiles/quanta_mdp.dir/mdp/graph_analysis.cpp.o.d"
+  "CMakeFiles/quanta_mdp.dir/mdp/mdp.cpp.o"
+  "CMakeFiles/quanta_mdp.dir/mdp/mdp.cpp.o.d"
+  "CMakeFiles/quanta_mdp.dir/mdp/value_iteration.cpp.o"
+  "CMakeFiles/quanta_mdp.dir/mdp/value_iteration.cpp.o.d"
+  "libquanta_mdp.a"
+  "libquanta_mdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quanta_mdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

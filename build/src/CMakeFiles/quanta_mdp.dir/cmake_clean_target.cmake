@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libquanta_mdp.a"
+)

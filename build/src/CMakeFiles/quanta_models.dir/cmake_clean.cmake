@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quanta_models.dir/models/brp.cpp.o"
+  "CMakeFiles/quanta_models.dir/models/brp.cpp.o.d"
+  "CMakeFiles/quanta_models.dir/models/dala.cpp.o"
+  "CMakeFiles/quanta_models.dir/models/dala.cpp.o.d"
+  "CMakeFiles/quanta_models.dir/models/mbt_models.cpp.o"
+  "CMakeFiles/quanta_models.dir/models/mbt_models.cpp.o.d"
+  "CMakeFiles/quanta_models.dir/models/train_game.cpp.o"
+  "CMakeFiles/quanta_models.dir/models/train_game.cpp.o.d"
+  "CMakeFiles/quanta_models.dir/models/train_gate.cpp.o"
+  "CMakeFiles/quanta_models.dir/models/train_gate.cpp.o.d"
+  "libquanta_models.a"
+  "libquanta_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quanta_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

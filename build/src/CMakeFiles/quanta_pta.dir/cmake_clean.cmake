@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quanta_pta.dir/pta/digital_clocks.cpp.o"
+  "CMakeFiles/quanta_pta.dir/pta/digital_clocks.cpp.o.d"
+  "CMakeFiles/quanta_pta.dir/pta/properties.cpp.o"
+  "CMakeFiles/quanta_pta.dir/pta/properties.cpp.o.d"
+  "CMakeFiles/quanta_pta.dir/pta/pta.cpp.o"
+  "CMakeFiles/quanta_pta.dir/pta/pta.cpp.o.d"
+  "libquanta_pta.a"
+  "libquanta_pta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quanta_pta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

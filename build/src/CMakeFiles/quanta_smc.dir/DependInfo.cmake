@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smc/cdf.cpp" "src/CMakeFiles/quanta_smc.dir/smc/cdf.cpp.o" "gcc" "src/CMakeFiles/quanta_smc.dir/smc/cdf.cpp.o.d"
+  "/root/repo/src/smc/estimate.cpp" "src/CMakeFiles/quanta_smc.dir/smc/estimate.cpp.o" "gcc" "src/CMakeFiles/quanta_smc.dir/smc/estimate.cpp.o.d"
+  "/root/repo/src/smc/simulator.cpp" "src/CMakeFiles/quanta_smc.dir/smc/simulator.cpp.o" "gcc" "src/CMakeFiles/quanta_smc.dir/smc/simulator.cpp.o.d"
+  "/root/repo/src/smc/sprt.cpp" "src/CMakeFiles/quanta_smc.dir/smc/sprt.cpp.o" "gcc" "src/CMakeFiles/quanta_smc.dir/smc/sprt.cpp.o.d"
+  "/root/repo/src/smc/trace.cpp" "src/CMakeFiles/quanta_smc.dir/smc/trace.cpp.o" "gcc" "src/CMakeFiles/quanta_smc.dir/smc/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quanta_ta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_dbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

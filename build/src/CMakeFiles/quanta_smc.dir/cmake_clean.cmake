@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quanta_smc.dir/smc/cdf.cpp.o"
+  "CMakeFiles/quanta_smc.dir/smc/cdf.cpp.o.d"
+  "CMakeFiles/quanta_smc.dir/smc/estimate.cpp.o"
+  "CMakeFiles/quanta_smc.dir/smc/estimate.cpp.o.d"
+  "CMakeFiles/quanta_smc.dir/smc/simulator.cpp.o"
+  "CMakeFiles/quanta_smc.dir/smc/simulator.cpp.o.d"
+  "CMakeFiles/quanta_smc.dir/smc/sprt.cpp.o"
+  "CMakeFiles/quanta_smc.dir/smc/sprt.cpp.o.d"
+  "CMakeFiles/quanta_smc.dir/smc/trace.cpp.o"
+  "CMakeFiles/quanta_smc.dir/smc/trace.cpp.o.d"
+  "libquanta_smc.a"
+  "libquanta_smc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quanta_smc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

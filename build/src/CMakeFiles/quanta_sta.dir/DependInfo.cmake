@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sta/des.cpp" "src/CMakeFiles/quanta_sta.dir/sta/des.cpp.o" "gcc" "src/CMakeFiles/quanta_sta.dir/sta/des.cpp.o.d"
+  "/root/repo/src/sta/mctau.cpp" "src/CMakeFiles/quanta_sta.dir/sta/mctau.cpp.o" "gcc" "src/CMakeFiles/quanta_sta.dir/sta/mctau.cpp.o.d"
+  "/root/repo/src/sta/sta.cpp" "src/CMakeFiles/quanta_sta.dir/sta/sta.cpp.o" "gcc" "src/CMakeFiles/quanta_sta.dir/sta/sta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quanta_pta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_mdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_ta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_dbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

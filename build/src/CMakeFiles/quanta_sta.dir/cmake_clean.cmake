@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quanta_sta.dir/sta/des.cpp.o"
+  "CMakeFiles/quanta_sta.dir/sta/des.cpp.o.d"
+  "CMakeFiles/quanta_sta.dir/sta/mctau.cpp.o"
+  "CMakeFiles/quanta_sta.dir/sta/mctau.cpp.o.d"
+  "CMakeFiles/quanta_sta.dir/sta/sta.cpp.o"
+  "CMakeFiles/quanta_sta.dir/sta/sta.cpp.o.d"
+  "libquanta_sta.a"
+  "libquanta_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quanta_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

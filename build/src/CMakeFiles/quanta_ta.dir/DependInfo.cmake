@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ta/concrete.cpp" "src/CMakeFiles/quanta_ta.dir/ta/concrete.cpp.o" "gcc" "src/CMakeFiles/quanta_ta.dir/ta/concrete.cpp.o.d"
+  "/root/repo/src/ta/digital.cpp" "src/CMakeFiles/quanta_ta.dir/ta/digital.cpp.o" "gcc" "src/CMakeFiles/quanta_ta.dir/ta/digital.cpp.o.d"
+  "/root/repo/src/ta/export.cpp" "src/CMakeFiles/quanta_ta.dir/ta/export.cpp.o" "gcc" "src/CMakeFiles/quanta_ta.dir/ta/export.cpp.o.d"
+  "/root/repo/src/ta/model.cpp" "src/CMakeFiles/quanta_ta.dir/ta/model.cpp.o" "gcc" "src/CMakeFiles/quanta_ta.dir/ta/model.cpp.o.d"
+  "/root/repo/src/ta/symbolic.cpp" "src/CMakeFiles/quanta_ta.dir/ta/symbolic.cpp.o" "gcc" "src/CMakeFiles/quanta_ta.dir/ta/symbolic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quanta_dbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quanta_ta.dir/ta/concrete.cpp.o"
+  "CMakeFiles/quanta_ta.dir/ta/concrete.cpp.o.d"
+  "CMakeFiles/quanta_ta.dir/ta/digital.cpp.o"
+  "CMakeFiles/quanta_ta.dir/ta/digital.cpp.o.d"
+  "CMakeFiles/quanta_ta.dir/ta/export.cpp.o"
+  "CMakeFiles/quanta_ta.dir/ta/export.cpp.o.d"
+  "CMakeFiles/quanta_ta.dir/ta/model.cpp.o"
+  "CMakeFiles/quanta_ta.dir/ta/model.cpp.o.d"
+  "CMakeFiles/quanta_ta.dir/ta/symbolic.cpp.o"
+  "CMakeFiles/quanta_ta.dir/ta/symbolic.cpp.o.d"
+  "libquanta_ta.a"
+  "libquanta_ta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quanta_ta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

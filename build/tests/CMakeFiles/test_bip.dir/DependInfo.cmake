@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bip.cpp" "tests/CMakeFiles/test_bip.dir/test_bip.cpp.o" "gcc" "tests/CMakeFiles/test_bip.dir/test_bip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quanta_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_smc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_pta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_mdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_cora.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_bip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_mbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_ecdar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_ta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_dbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quanta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

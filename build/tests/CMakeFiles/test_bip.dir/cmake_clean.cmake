@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bip.dir/test_bip.cpp.o"
+  "CMakeFiles/test_bip.dir/test_bip.cpp.o.d"
+  "test_bip"
+  "test_bip.pdb"
+  "test_bip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

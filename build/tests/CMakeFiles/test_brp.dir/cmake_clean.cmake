@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_brp.dir/test_brp.cpp.o"
+  "CMakeFiles/test_brp.dir/test_brp.cpp.o.d"
+  "test_brp"
+  "test_brp.pdb"
+  "test_brp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_brp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cora.dir/test_cora.cpp.o"
+  "CMakeFiles/test_cora.dir/test_cora.cpp.o.d"
+  "test_cora"
+  "test_cora.pdb"
+  "test_cora[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dala.dir/test_dala.cpp.o"
+  "CMakeFiles/test_dala.dir/test_dala.cpp.o.d"
+  "test_dala"
+  "test_dala.pdb"
+  "test_dala[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dala.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dbm.dir/test_dbm.cpp.o"
+  "CMakeFiles/test_dbm.dir/test_dbm.cpp.o.d"
+  "test_dbm"
+  "test_dbm.pdb"
+  "test_dbm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecdar.dir/test_ecdar.cpp.o"
+  "CMakeFiles/test_ecdar.dir/test_ecdar.cpp.o.d"
+  "test_ecdar"
+  "test_ecdar.pdb"
+  "test_ecdar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecdar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_export_codegen.dir/test_export_codegen.cpp.o"
+  "CMakeFiles/test_export_codegen.dir/test_export_codegen.cpp.o.d"
+  "test_export_codegen"
+  "test_export_codegen.pdb"
+  "test_export_codegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_export_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

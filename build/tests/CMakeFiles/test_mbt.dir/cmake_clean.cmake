@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mbt.dir/test_mbt.cpp.o"
+  "CMakeFiles/test_mbt.dir/test_mbt.cpp.o.d"
+  "test_mbt"
+  "test_mbt.pdb"
+  "test_mbt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc_traingate.dir/test_mc_traingate.cpp.o"
+  "CMakeFiles/test_mc_traingate.dir/test_mc_traingate.cpp.o.d"
+  "test_mc_traingate"
+  "test_mc_traingate.pdb"
+  "test_mc_traingate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc_traingate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_mc_traingate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smc.dir/test_smc.cpp.o"
+  "CMakeFiles/test_smc.dir/test_smc.cpp.o.d"
+  "test_smc"
+  "test_smc.pdb"
+  "test_smc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ta.dir/test_ta.cpp.o"
+  "CMakeFiles/test_ta.dir/test_ta.cpp.o.d"
+  "test_ta"
+  "test_ta.pdb"
+  "test_ta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_dbm[1]_include.cmake")
+include("/root/repo/build/tests/test_federation[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_ta[1]_include.cmake")
+include("/root/repo/build/tests/test_mc_traingate[1]_include.cmake")
+include("/root/repo/build/tests/test_smc[1]_include.cmake")
+include("/root/repo/build/tests/test_mdp[1]_include.cmake")
+include("/root/repo/build/tests/test_pta[1]_include.cmake")
+include("/root/repo/build/tests/test_sta[1]_include.cmake")
+include("/root/repo/build/tests/test_brp[1]_include.cmake")
+include("/root/repo/build/tests/test_game[1]_include.cmake")
+include("/root/repo/build/tests/test_cora[1]_include.cmake")
+include("/root/repo/build/tests/test_bip[1]_include.cmake")
+include("/root/repo/build/tests/test_dala[1]_include.cmake")
+include("/root/repo/build/tests/test_mbt[1]_include.cmake")
+include("/root/repo/build/tests/test_ecdar[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_export_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_edges[1]_include.cmake")
