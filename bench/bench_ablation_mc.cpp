@@ -44,7 +44,7 @@ int main() {
         // Without extrapolation the zone graph of this model is still finite
         // (all clocks are bounded by invariants along cycles), but larger;
         // cap the exploration defensively.
-        opts.max_states = 2'000'000;
+        opts.limits.max_states = 2'000'000;
         bench::Stopwatch sw;
         auto r = mc::check_invariant(tg.system, pred, opts);
         table.row({std::to_string(n), extrapolate ? "on" : "off",

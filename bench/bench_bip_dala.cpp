@@ -54,7 +54,7 @@ int main() {
                               [&d](const bip::BipState& s) { return d.safe(s); });
     auto df = bip::dfinder_deadlock_check(d.system);
     table.row({with_controller ? "with R2C controller" : "unprotected",
-               std::to_string(exact.states),
+               std::to_string(exact.stats.states_stored),
                exact.violation_found ? "VIOLATED" : "yes",
                exact.deadlock_found ? "NO" : "yes",
                df.deadlock_free

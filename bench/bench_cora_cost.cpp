@@ -43,7 +43,7 @@ int main() {
     auto r = train_cost(n, 1, 1, 0);
     table.row({std::to_string(n), "1", "1", "Train(0).Cross",
                r.reachable ? std::to_string(r.cost) : "unreachable",
-               std::to_string(r.states_explored),
+               std::to_string(r.stats.states_explored),
                bench::fmt(sw.seconds(), "%.2f")});
   }
   // Rate sweep: pricier waiting in Appr does not change the optimal plan
@@ -53,7 +53,7 @@ int main() {
     auto r = train_cost(2, rate, 1, 0);
     table.row({"2", std::to_string(rate), "1", "Train(0).Cross",
                r.reachable ? std::to_string(r.cost) : "unreachable",
-               std::to_string(r.states_explored),
+               std::to_string(r.stats.states_explored),
                bench::fmt(sw.seconds(), "%.2f")});
   }
   // Forced-waiting query: train 0 must have sat in Stop for at least 8 time
@@ -79,7 +79,7 @@ int main() {
         });
     table.row({"2", "1", "1", "T0 stopped >= 8",
                r.reachable ? std::to_string(r.cost) : "unreachable",
-               std::to_string(r.states_explored),
+               std::to_string(r.stats.states_explored),
                bench::fmt(sw.seconds(), "%.2f")});
   }
   table.print();

@@ -35,7 +35,8 @@ int main() {
                               return controlled.safe(s);
                             });
   std::printf("\n  exhaustive search : %zu states, safety %s, %s\n",
-              exact.states, exact.violation_found ? "VIOLATED" : "holds",
+              exact.stats.states_stored,
+              exact.violation_found ? "VIOLATED" : "holds",
               exact.deadlock_found ? "DEADLOCK found" : "deadlock-free");
   auto df = bip::dfinder_deadlock_check(controlled.system);
   std::printf("  D-Finder          : %s (%zu interaction invariants)\n",

@@ -10,11 +10,12 @@
 #include <string>
 
 #include "bip/flatten.h"
+#include "core/search.h"
 
 namespace quanta::bip {
 
 struct CodegenOptions {
-  std::size_t max_states = 100'000;
+  core::SearchLimits limits{100'000};
   /// Steps the generated main() executes before reporting success.
   std::size_t run_steps = 1000;
 };

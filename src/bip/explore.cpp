@@ -1,8 +1,11 @@
 #include "bip/explore.h"
 
-#include <deque>
 #include <sstream>
-#include <unordered_map>
+
+#include "bip/traits.h"
+#include "core/explore.h"
+#include "core/state_store.h"
+#include "core/worklist.h"
 
 namespace quanta::bip {
 
@@ -24,43 +27,43 @@ ExploreResult explore_impl(const BipSystem& sys, const ExploreOptions& opts,
                            const BipPredicate& safety,
                            const BipPredicate& target, bool* target_found) {
   Engine engine(sys);
-  std::unordered_map<BipState, int, BipStateHash> index;
-  std::deque<BipState> work;
+  core::StateStore<BipState> store;
+  core::Worklist work(core::SearchOrder::kBfs);
   ExploreResult result;
 
   auto intern = [&](BipState s) {
-    auto [it, ins] = index.try_emplace(std::move(s), static_cast<int>(index.size()));
-    if (ins) work.push_back(it->first);
+    auto [id, inserted] = store.intern(std::move(s));
+    if (inserted) work.push(id);
   };
 
   intern(engine.initial());
-  while (!work.empty()) {
-    BipState s = std::move(work.front());
-    work.pop_front();
-    if (safety && !safety(s)) {
-      result.violation_found = true;
-      result.violating_state = describe_state(sys, s);
-    }
-    if (target && target(s)) {
-      *target_found = true;
-      break;
-    }
-    if (index.size() >= opts.max_states) {
-      result.truncated = true;
-      break;
-    }
-    auto interactions =
-        opts.use_priorities ? engine.enabled_maximal(s) : engine.enabled(s);
-    if (interactions.empty() && !result.deadlock_found) {
-      result.deadlock_found = true;
-      result.deadlock_state = describe_state(sys, s);
-    }
-    for (const Interaction& i : interactions) {
-      ++result.transitions;
-      intern(engine.apply(s, i));
-    }
-  }
-  result.states = index.size();
+  result.stats = core::explore(
+      store, work, opts.limits,
+      [&](const core::Worklist::Entry& e) {
+        const BipState& s = store.state(e.id);
+        if (safety && !safety(s)) {
+          result.violation_found = true;
+          result.violating_state = describe_state(sys, s);
+        }
+        if (target && target(s)) {
+          *target_found = true;
+          return core::Visit::kStop;
+        }
+        return core::Visit::kContinue;
+      },
+      [&](const core::Worklist::Entry& e) -> std::size_t {
+        const BipState s = store.state(e.id);
+        auto interactions =
+            opts.use_priorities ? engine.enabled_maximal(s) : engine.enabled(s);
+        if (interactions.empty() && !result.deadlock_found) {
+          result.deadlock_found = true;
+          result.deadlock_state = describe_state(sys, s);
+        }
+        for (const Interaction& i : interactions) {
+          intern(engine.apply(s, i));
+        }
+        return interactions.size();
+      });
   return result;
 }
 

@@ -1,29 +1,29 @@
 // Exact state-space exploration of a BIP system (through the engine's
-// semantics): reachability of predicates, global deadlock detection, and
-// safety monitoring. Serves as the ground truth that the compositional
-// D-Finder analysis is compared against.
+// semantics) on the shared exploration core: reachability of predicates,
+// global deadlock detection, and safety monitoring. Serves as the ground
+// truth that the compositional D-Finder analysis is compared against.
 #pragma once
 
 #include <functional>
 #include <string>
 
 #include "bip/engine.h"
+#include "core/search.h"
 
 namespace quanta::bip {
 
 using BipPredicate = std::function<bool(const BipState&)>;
 
 struct ExploreOptions {
-  std::size_t max_states = 5'000'000;
+  core::SearchLimits limits{5'000'000};
   /// Explore under the priority layer (true) or the unrestricted interaction
   /// semantics (false). Deadlock-freedom is priority-sensitive in BIP.
   bool use_priorities = true;
 };
 
 struct ExploreResult {
-  std::size_t states = 0;
-  std::size_t transitions = 0;
-  bool truncated = false;
+  /// The core's uniform counters: states_stored / transitions / truncated.
+  core::SearchStats stats;
 
   bool deadlock_found = false;
   std::string deadlock_state;

@@ -1,9 +1,10 @@
 #include "bip/flatten.h"
 
-#include <deque>
-#include <unordered_map>
-
 #include "bip/explore.h"
+#include "bip/traits.h"
+#include "core/explore.h"
+#include "core/state_store.h"
+#include "core/worklist.h"
 
 namespace quanta::bip {
 
@@ -13,35 +14,33 @@ FlattenResult flatten(const BipSystem& sys, const FlattenOptions& opts) {
   result.flat = Component("flat(" + std::to_string(sys.component_count()) +
                           " components)");
 
-  std::unordered_map<BipState, int, BipStateHash> index;
-  std::vector<BipState> states;
-  auto intern2 = [&](BipState s) -> int {
-    auto [it, ins] = index.try_emplace(std::move(s), static_cast<int>(states.size()));
-    if (ins) {
-      states.push_back(it->first);
-      result.flat.add_place(describe_state(sys, it->first));
+  core::StateStore<BipState> store;
+  core::Worklist work(core::SearchOrder::kBfs);
+  auto intern = [&](BipState s) -> std::int32_t {
+    auto [id, inserted] = store.intern(std::move(s));
+    if (inserted) {
+      result.flat.add_place(describe_state(sys, store.state(id)));
+      work.push(id);
     }
-    return it->second;
+    return id;
   };
 
-  int init = intern2(engine.initial());
+  std::int32_t init = intern(engine.initial());
   result.flat.set_initial(init);
-  std::size_t done = 0;
-  while (done < states.size()) {
-    if (states.size() >= opts.max_states) {
-      result.truncated = true;
-      break;
-    }
-    int idx = static_cast<int>(done++);
-    const BipState state = states[static_cast<std::size_t>(idx)];
-    auto interactions = opts.use_priorities ? engine.enabled_maximal(state)
-                                            : engine.enabled(state);
-    for (const Interaction& i : interactions) {
-      int to = intern2(engine.apply(state, i));
-      result.flat.add_transition(idx, to, -1, nullptr, nullptr,
-                                 i.describe(sys));
-    }
-  }
+  result.stats = core::explore(
+      store, work, opts.limits,
+      [](const core::Worklist::Entry&) { return core::Visit::kContinue; },
+      [&](const core::Worklist::Entry& e) -> std::size_t {
+        const BipState state = store.state(e.id);
+        auto interactions = opts.use_priorities ? engine.enabled_maximal(state)
+                                                : engine.enabled(state);
+        for (const Interaction& i : interactions) {
+          std::int32_t to = intern(engine.apply(state, i));
+          result.flat.add_transition(e.id, to, -1, nullptr, nullptr,
+                                     i.describe(sys));
+        }
+        return interactions.size();
+      });
   result.flat.validate();
   return result;
 }

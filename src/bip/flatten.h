@@ -7,17 +7,18 @@
 #pragma once
 
 #include "bip/engine.h"
+#include "core/search.h"
 
 namespace quanta::bip {
 
 struct FlattenOptions {
-  std::size_t max_states = 1'000'000;
+  core::SearchLimits limits{1'000'000};
   bool use_priorities = true;
 };
 
 struct FlattenResult {
-  Component flat;        ///< one place per reachable global state
-  bool truncated = false;
+  Component flat;  ///< one place per reachable global state
+  core::SearchStats stats;
 
   FlattenResult() : flat("flat") {}
 };

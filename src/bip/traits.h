@@ -1,0 +1,20 @@
+// core::StateTraits specialization plugging BIP global states into the
+// shared exploration core (exact interning; BIP has no continuous part).
+#pragma once
+
+#include "bip/engine.h"
+#include "core/traits.h"
+
+namespace quanta::core {
+
+template <>
+struct StateTraits<bip::BipState> {
+  static constexpr bool kSupportsInclusion = false;
+
+  static std::size_t hash(const bip::BipState& s) { return s.hash(); }
+  static bool equal(const bip::BipState& a, const bip::BipState& b) {
+    return a == b;
+  }
+};
+
+}  // namespace quanta::core

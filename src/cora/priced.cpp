@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 #include <stdexcept>
-#include <unordered_map>
+
+#include "core/explore.h"
+#include "core/state_store.h"
+#include "core/worklist.h"
+#include "ta/traits.h"
 
 namespace quanta::cora {
 
@@ -49,30 +52,24 @@ MinCostResult min_cost_reachability(
     const MinCostOptions& opts) {
   ta::DigitalSemantics sem(sys);
 
-  struct Entry {
-    std::int64_t cost;
-    std::int32_t node;
-    bool operator>(const Entry& o) const { return cost > o.cost; }
-  };
   struct NodeInfo {
     std::int64_t best;
     std::int32_t parent;
     std::string action;
   };
 
-  std::vector<ta::DigitalState> states;
+  core::StateStore<ta::DigitalState> store;
+  // Dijkstra = the core loop with a cost-ordered worklist and lazy
+  // decrease-key: stale queue entries are skipped on pop.
+  core::Worklist queue(core::SearchOrder::kPriority);
   std::vector<NodeInfo> info;
-  std::unordered_map<ta::DigitalState, std::int32_t, ta::DigitalStateHash> index;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
 
   auto intern = [&](ta::DigitalState s) -> std::int32_t {
-    auto [it, ins] = index.try_emplace(std::move(s),
-                                       static_cast<std::int32_t>(states.size()));
-    if (ins) {
-      states.push_back(it->first);
+    auto [id, inserted] = store.intern(std::move(s));
+    if (inserted) {
       info.push_back(NodeInfo{std::numeric_limits<std::int64_t>::max(), -1, {}});
     }
-    return it->second;
+    return id;
   };
 
   auto relax = [&](std::int32_t to, std::int64_t cost, std::int32_t from,
@@ -80,7 +77,7 @@ MinCostResult min_cost_reachability(
     if (cost < info[static_cast<std::size_t>(to)].best) {
       info[static_cast<std::size_t>(to)] =
           NodeInfo{cost, from, opts.record_trace ? std::move(action) : std::string{}};
-      queue.push(Entry{cost, to});
+      queue.push(to, cost);
     }
   };
 
@@ -88,36 +85,44 @@ MinCostResult min_cost_reachability(
   relax(init, 0, -1, "init");
 
   MinCostResult result;
-  while (!queue.empty()) {
-    auto [cost, node] = queue.top();
-    queue.pop();
-    if (cost > info[static_cast<std::size_t>(node)].best) continue;  // stale
-    ++result.states_explored;
-    const ta::DigitalState state = states[static_cast<std::size_t>(node)];
-    if (goal(state)) {
-      result.reachable = true;
-      result.cost = cost;
-      if (opts.record_trace) {
-        for (std::int32_t cur = node; cur >= 0;
-             cur = info[static_cast<std::size_t>(cur)].parent) {
-          result.trace.push_back(info[static_cast<std::size_t>(cur)].action);
+  std::int32_t goal_node = -1;
+  result.stats = core::explore(
+      store, queue, opts.limits,
+      [&](const core::Worklist::Entry& e) {
+        if (e.key > info[static_cast<std::size_t>(e.id)].best) {
+          return core::Visit::kSkip;  // stale entry
         }
-        std::reverse(result.trace.begin(), result.trace.end());
-      }
-      return result;
+        if (goal(store.state(e.id))) {
+          goal_node = e.id;
+          result.reachable = true;
+          result.cost = e.key;
+          return core::Visit::kStop;
+        }
+        return core::Visit::kContinue;
+      },
+      [&](const core::Worklist::Entry& e) -> std::size_t {
+        const ta::DigitalState state = store.state(e.id);
+        std::size_t taken = 0;
+        for (ta::Move& m : sem.enabled_moves(state)) {
+          ++taken;
+          std::int64_t c = e.key + prices.move_cost(m);
+          std::string label =
+              opts.record_trace ? m.describe(sys) : std::string{};
+          relax(intern(sem.apply(state, m)), c, e.id, std::move(label));
+        }
+        if (sem.can_delay(state)) {
+          ++taken;
+          std::int64_t c = e.key + prices.delay_rate(state.locs);
+          relax(intern(sem.delay_one(state)), c, e.id, "tick");
+        }
+        return taken;
+      });
+  if (goal_node >= 0 && opts.record_trace) {
+    for (std::int32_t cur = goal_node; cur >= 0;
+         cur = info[static_cast<std::size_t>(cur)].parent) {
+      result.trace.push_back(info[static_cast<std::size_t>(cur)].action);
     }
-    if (states.size() >= opts.max_states) break;
-
-    for (ta::Move& m : sem.enabled_moves(state)) {
-      std::int64_t c = cost + prices.move_cost(m);
-      std::string label =
-          opts.record_trace ? m.describe(sys) : std::string{};
-      relax(intern(sem.apply(state, m)), c, node, std::move(label));
-    }
-    if (sem.can_delay(state)) {
-      std::int64_t c = cost + prices.delay_rate(state.locs);
-      relax(intern(sem.delay_one(state)), c, node, "tick");
-    }
+    std::reverse(result.trace.begin(), result.trace.end());
   }
   return result;
 }

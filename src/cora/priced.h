@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/search.h"
 #include "ta/digital.h"
 
 namespace quanta::cora {
@@ -46,13 +47,13 @@ class PriceModel {
 struct MinCostResult {
   bool reachable = false;
   std::int64_t cost = 0;
-  std::size_t states_explored = 0;
+  core::SearchStats stats;
   /// Action labels along one cheapest path ("tick" for unit delays).
   std::vector<std::string> trace;
 };
 
 struct MinCostOptions {
-  std::size_t max_states = 10'000'000;
+  core::SearchLimits limits{10'000'000};
   bool record_trace = false;
 };
 

@@ -1,0 +1,58 @@
+// core::explore — the one passed/waiting loop behind every symbolic engine.
+//
+// The engine supplies two callbacks over Worklist entries:
+//   visit(entry)  -> Visit   goal tests / stale-entry filtering;
+//   expand(entry) -> size_t  generates successors (interning them into the
+//                            store and pushing fresh ones onto the worklist),
+//                            returning the number of transitions taken.
+//
+// The loop owns the uniform semantics all engines share:
+//   pop -> skip covered (subsumed) states -> visit -> count explored ->
+//   stop on kStop -> truncate when SearchLimits::reached(store.size()) ->
+//   expand.
+// In particular the truncation check sits after the visit of the popped
+// state and before its expansion, so every engine reports `truncated`
+// identically and never half-expands a state.
+#pragma once
+
+#include <utility>
+
+#include "core/observer.h"
+#include "core/search.h"
+#include "core/state_store.h"
+#include "core/worklist.h"
+
+namespace quanta::core {
+
+/// Verdict of the visit callback for the state just popped.
+enum class Visit {
+  kContinue,  ///< keep exploring: expand this state
+  kSkip,      ///< drop silently (stale priority entry); not counted explored
+  kStop,      ///< search done (goal found / violation): counted, not expanded
+};
+
+template <typename Store, typename VisitFn, typename ExpandFn>
+SearchStats explore(Store& store, Worklist& work, const SearchLimits& limits,
+                    VisitFn&& visit, ExpandFn&& expand,
+                    ExplorationObserver* observer = nullptr) {
+  SearchStats stats;
+  while (!work.empty()) {
+    const Worklist::Entry entry = work.pop();
+    if (store.covered(entry.id)) continue;
+    const Visit verdict = visit(entry);
+    if (verdict == Visit::kSkip) continue;
+    ++stats.states_explored;
+    if (observer != nullptr) observer->on_state_explored(entry.id);
+    if (verdict == Visit::kStop) break;
+    if (limits.reached(store.size())) {
+      stats.truncated = true;
+      break;
+    }
+    stats.transitions += expand(entry);
+  }
+  stats.states_stored = store.size();
+  if (observer != nullptr) observer->on_search_done(stats, store.metrics());
+  return stats;
+}
+
+}  // namespace quanta::core

@@ -1,0 +1,38 @@
+#include "core/observer.h"
+
+#include <cstdio>
+
+namespace quanta::core {
+
+void StatsObserver::on_state_stored(std::int32_t /*id*/,
+                                    std::size_t total_stored) {
+  if (total_stored > peak_stored_) peak_stored_ = total_stored;
+}
+
+void StatsObserver::on_state_explored(std::int32_t /*id*/) { ++explored_; }
+
+void StatsObserver::on_search_done(const SearchStats& stats,
+                                   const StoreMetrics& metrics) {
+  stats_ = stats;
+  metrics_ = metrics;
+  elapsed_ = std::chrono::duration<double>(Clock::now() - start_).count();
+  if (stats_.states_stored > peak_stored_) peak_stored_ = stats_.states_stored;
+}
+
+double StatsObserver::states_per_second() const {
+  if (elapsed_ <= 0.0) return 0.0;
+  return static_cast<double>(explored_) / elapsed_;
+}
+
+std::string StatsObserver::summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%zu stored (peak %zu, %zu covered), %zu explored, "
+                "%.0f states/s, table %zu/%zu slots (max chain %zu)",
+                stats_.states_stored, peak_stored_, metrics_.covered, explored_,
+                states_per_second(), metrics_.occupied, metrics_.slots,
+                metrics_.max_chain);
+  return buf;
+}
+
+}  // namespace quanta::core

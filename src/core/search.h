@@ -1,0 +1,37 @@
+// Shared search vocabulary of the exploration core: every symbolic engine
+// (mc reachability/liveness, TIGA, CORA, BIP, ECDAR, the digital-MDP builder)
+// expresses its passed/waiting loop with these types so that limits,
+// statistics and truncation semantics are uniform across the toolkit.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace quanta::core {
+
+/// Order in which waiting states are expanded. All orders visit the same
+/// state space; verdicts of order-insensitive analyses must not change.
+enum class SearchOrder { kBfs, kDfs, kPriority };
+
+/// Resource bounds on an exploration. A search that stops because of a limit
+/// reports `SearchStats::truncated` — never a definite verdict.
+struct SearchLimits {
+  std::size_t max_states = std::numeric_limits<std::size_t>::max();
+
+  /// The uniform truncation rule: the search stops (truncated) when the
+  /// number of *stored* states reaches the limit, checked after the popped
+  /// state has been visited (goal-tested) but before it is expanded.
+  bool reached(std::size_t states_stored) const {
+    return states_stored >= max_states;
+  }
+};
+
+/// Counters every engine reports identically.
+struct SearchStats {
+  std::size_t states_stored = 0;    ///< interned states (incl. covered ones)
+  std::size_t states_explored = 0;  ///< states popped and visited
+  std::size_t transitions = 0;      ///< successor edges generated
+  bool truncated = false;           ///< a SearchLimits bound was hit
+};
+
+}  // namespace quanta::core

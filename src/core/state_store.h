@@ -1,0 +1,193 @@
+// StateStore<S>: the interning substrate shared by all exploration engines.
+//
+// States are stored once, in insertion order, and addressed by dense int32
+// ids — engines attach per-state payload (parents, successor lists, costs)
+// as parallel vectors indexed by id. Lookup goes through an open-addressed
+// hash table whose slots point at chains of states with equal key hash.
+//
+// Two dedup policies, selected per store at construction:
+//   * exact      — full-state hash/equality (liveness zone graph, digital
+//                  engines, BIP, ECDAR pairs);
+//   * inclusion  — states are bucketed by their discrete partition and the
+//                  continuous parts are compared by set inclusion: an
+//                  incoming state covered by a stored one is dropped, and
+//                  (optionally) a stored state strictly covered by the
+//                  incoming one is tombstoned ("covered") so the search can
+//                  skip it. This is UPPAAL-style zone-inclusion subsumption,
+//                  available to every engine whose StateTraits support it.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/traits.h"
+
+namespace quanta::core {
+
+/// Occupancy snapshot of a store, for instrumentation (ExplorationObserver).
+struct StoreMetrics {
+  std::size_t stored = 0;     ///< interned states, including covered ones
+  std::size_t covered = 0;    ///< tombstoned (subsumed) states
+  std::size_t slots = 0;      ///< hash-table capacity
+  std::size_t occupied = 0;   ///< slots in use (= distinct key hashes)
+  std::size_t max_chain = 0;  ///< longest same-hash chain
+
+  double load_factor() const {
+    return slots == 0 ? 0.0
+                      : static_cast<double>(occupied) / static_cast<double>(slots);
+  }
+};
+
+template <typename S, typename Traits = StateTraits<S>>
+class StateStore {
+ public:
+  struct Options {
+    /// Dedup by partition + inclusion instead of full-state equality.
+    /// Requires Traits::kSupportsInclusion.
+    bool inclusion = false;
+    /// With inclusion: tombstone stored states strictly covered by a new
+    /// one. Turning this off (ablation A1) keeps dominated states live.
+    bool tombstone_covered = true;
+  };
+
+  struct Interned {
+    std::int32_t id;
+    bool inserted;  ///< false: deduplicated/subsumed by a stored state
+  };
+
+  explicit StateStore(Options opts = {}) : opts_(opts) {
+    if constexpr (!Traits::kSupportsInclusion) {
+      assert(!opts_.inclusion && "state type has no inclusion support");
+    }
+    slots_.assign(kInitialSlots, kEmpty);
+  }
+
+  /// Interns a state. Returns the id of the representative state: the new
+  /// id if inserted, or the id of the stored state that deduplicates /
+  /// subsumes `s` otherwise.
+  Interned intern(S s) {
+    const std::size_t h = key_hash(s);
+    std::size_t slot = probe_slot(h);
+    std::int32_t tail = kEmpty;
+    if (slots_[slot] != kEmpty) {
+      // Walk the chain of states with this key hash, oldest first — the
+      // scan order determines which stored zone subsumes first, so keep it
+      // deterministic and identical to the historical per-engine buckets.
+      for (std::int32_t id = slots_[slot]; id != kEmpty; id = next_[toIdx(id)]) {
+        tail = id;
+        if (opts_.inclusion) {
+          if constexpr (Traits::kSupportsInclusion) {
+            if (covered_[toIdx(id)] ||
+                !Traits::same_partition(states_[toIdx(id)], s)) {
+              continue;
+            }
+            switch (Traits::compare(states_[toIdx(id)], s)) {
+              case Subsumes::kStored:
+                return {id, false};
+              case Subsumes::kIncoming:
+                if (opts_.tombstone_covered) {
+                  covered_[toIdx(id)] = 1;
+                  ++covered_count_;
+                }
+                break;
+              case Subsumes::kNone:
+                break;
+            }
+          }
+        } else {
+          if (Traits::equal(states_[toIdx(id)], s)) return {id, false};
+        }
+      }
+    }
+    const std::int32_t id = static_cast<std::int32_t>(states_.size());
+    states_.push_back(std::move(s));
+    hashes_.push_back(h);
+    next_.push_back(kEmpty);
+    covered_.push_back(0);
+    if (tail != kEmpty) {
+      next_[toIdx(tail)] = id;
+    } else {
+      slots_[slot] = id;
+      ++occupied_;
+      if (occupied_ * 2 >= slots_.size()) rehash(slots_.size() * 2);
+    }
+    return {id, true};
+  }
+
+  const S& state(std::int32_t id) const { return states_[toIdx(id)]; }
+  bool covered(std::int32_t id) const { return covered_[toIdx(id)] != 0; }
+
+  /// Number of interned states (covered tombstones included).
+  std::size_t size() const { return states_.size(); }
+
+  const Options& options() const { return opts_; }
+
+  StoreMetrics metrics() const {
+    StoreMetrics m;
+    m.stored = states_.size();
+    m.covered = covered_count_;
+    m.slots = slots_.size();
+    m.occupied = occupied_;
+    for (std::int32_t head : slots_) {
+      if (head == kEmpty) continue;
+      std::size_t chain = 0;
+      for (std::int32_t id = head; id != kEmpty; id = next_[toIdx(id)]) ++chain;
+      if (chain > m.max_chain) m.max_chain = chain;
+    }
+    return m;
+  }
+
+ private:
+  static constexpr std::int32_t kEmpty = -1;
+  static constexpr std::size_t kInitialSlots = 1u << 10;
+
+  static std::size_t toIdx(std::int32_t id) {
+    return static_cast<std::size_t>(id);
+  }
+
+  std::size_t key_hash(const S& s) const {
+    if constexpr (Traits::kSupportsInclusion) {
+      if (opts_.inclusion) return Traits::partition_hash(s);
+    }
+    return Traits::hash(s);
+  }
+
+  /// Linear probing; returns the slot holding the chain for `h`, or the
+  /// first empty slot of its probe sequence.
+  std::size_t probe_slot(std::size_t h) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = h & mask;
+    while (slots_[i] != kEmpty && hashes_[toIdx(slots_[i])] != h) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void rehash(std::size_t new_slots) {
+    std::vector<std::int32_t> heads;
+    heads.reserve(occupied_);
+    for (std::int32_t head : slots_) {
+      if (head != kEmpty) heads.push_back(head);
+    }
+    slots_.assign(new_slots, kEmpty);
+    const std::size_t mask = slots_.size() - 1;
+    for (std::int32_t head : heads) {
+      std::size_t i = hashes_[toIdx(head)] & mask;
+      while (slots_[i] != kEmpty) i = (i + 1) & mask;
+      slots_[i] = head;
+    }
+  }
+
+  Options opts_;
+  std::vector<S> states_;
+  std::vector<std::size_t> hashes_;   ///< key hash per state
+  std::vector<std::int32_t> next_;    ///< same-hash chain links
+  std::vector<std::uint8_t> covered_;
+  std::vector<std::int32_t> slots_;   ///< open-addressed table of chain heads
+  std::size_t occupied_ = 0;
+  std::size_t covered_count_ = 0;
+};
+
+}  // namespace quanta::core

@@ -1,0 +1,36 @@
+// StateTraits<S>: the hashing/equality/subsumption policy that plugs a state
+// type into core::StateStore. Each state-carrying layer specializes the
+// template next to its state type (ta/traits.h, bip/traits.h, ...), so the
+// core stays independent of every concrete semantics.
+#pragma once
+
+#include <cstddef>
+
+namespace quanta::core {
+
+/// Outcome of comparing an incoming state against a stored one in a store
+/// that supports inclusion subsumption (zone-based engines).
+enum class Subsumes {
+  kNone,      ///< incomparable: both states must be kept
+  kStored,    ///< the stored state covers the incoming one (drop incoming)
+  kIncoming,  ///< the incoming state strictly covers the stored one
+};
+
+/// Primary template; never defined. Specializations must provide:
+///
+///   static constexpr bool kSupportsInclusion;
+///   static std::size_t hash(const S&);            // full-state hash
+///   static bool equal(const S&, const S&);        // full-state equality
+///
+/// and, when kSupportsInclusion is true (zone-semantics states):
+///
+///   static std::size_t partition_hash(const S&);  // discrete part only
+///   static bool same_partition(const S&, const S&);
+///   static Subsumes compare(const S& stored, const S& incoming);
+///
+/// `compare` is only called on states of the same partition and decides the
+/// set-inclusion relation of their continuous parts (zones).
+template <typename S>
+struct StateTraits;
+
+}  // namespace quanta::core

@@ -1,0 +1,59 @@
+#include "core/worklist.h"
+
+#include <algorithm>
+
+namespace quanta::core {
+
+namespace {
+
+/// std::push_heap/pop_heap build a max-heap; invert the comparison to pop
+/// the smallest key first. Ties broken by id for deterministic order.
+struct KeyGreater {
+  bool operator()(const Worklist::Entry& a, const Worklist::Entry& b) const {
+    if (a.key != b.key) return a.key > b.key;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace
+
+bool Worklist::empty() const {
+  return order_ == SearchOrder::kPriority ? heap_.empty() : fifo_.empty();
+}
+
+std::size_t Worklist::pending() const {
+  return order_ == SearchOrder::kPriority ? heap_.size() : fifo_.size();
+}
+
+void Worklist::push(std::int32_t id, std::int64_t key) {
+  if (order_ == SearchOrder::kPriority) {
+    heap_.push_back(Entry{id, key});
+    std::push_heap(heap_.begin(), heap_.end(), KeyGreater{});
+  } else {
+    fifo_.push_back(Entry{id, key});
+  }
+}
+
+Worklist::Entry Worklist::pop() {
+  switch (order_) {
+    case SearchOrder::kBfs: {
+      Entry e = fifo_.front();
+      fifo_.pop_front();
+      return e;
+    }
+    case SearchOrder::kDfs: {
+      Entry e = fifo_.back();
+      fifo_.pop_back();
+      return e;
+    }
+    case SearchOrder::kPriority: {
+      std::pop_heap(heap_.begin(), heap_.end(), KeyGreater{});
+      Entry e = heap_.back();
+      heap_.pop_back();
+      return e;
+    }
+  }
+  return Entry{};
+}
+
+}  // namespace quanta::core

@@ -1,0 +1,43 @@
+// Worklist: the waiting list of the exploration core, with a pluggable
+// search order — FIFO (breadth-first), LIFO (depth-first) or a min-heap on a
+// caller-supplied key (priced search / Dijkstra). Holds state-store ids, not
+// states, so it stays cheap regardless of the state type.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/search.h"
+
+namespace quanta::core {
+
+class Worklist {
+ public:
+  struct Entry {
+    std::int32_t id = -1;
+    std::int64_t key = 0;  ///< priority key (cost); 0 under BFS/DFS
+  };
+
+  explicit Worklist(SearchOrder order = SearchOrder::kBfs) : order_(order) {}
+
+  SearchOrder order() const { return order_; }
+  bool empty() const;
+  std::size_t pending() const;
+
+  /// Enqueues a state id. `key` orders kPriority worklists (smallest first);
+  /// re-pushing an id with a better key is allowed — stale entries are
+  /// expected to be skipped by the engine (lazy decrease-key).
+  void push(std::int32_t id, std::int64_t key = 0);
+
+  /// Removes and returns the next entry according to the search order.
+  /// Precondition: !empty().
+  Entry pop();
+
+ private:
+  SearchOrder order_;
+  std::deque<Entry> fifo_;   ///< BFS pops the front, DFS pops the back
+  std::vector<Entry> heap_;  ///< min-heap on Entry::key
+};
+
+}  // namespace quanta::core

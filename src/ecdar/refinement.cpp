@@ -1,17 +1,49 @@
 #include "ecdar/refinement.h"
 
-#include <deque>
-#include <map>
-#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
+#include "common/hash.h"
+#include "core/state_store.h"
+#include "core/worklist.h"
 #include "ecdar/internal.h"
 
 namespace quanta::ecdar {
 
 using internal::OpenTioaStepper;
 using internal::TioaState;
+
+namespace {
+
+/// An alternating-simulation obligation: a pair of (refining, refined)
+/// states, interned exactly into the shared exploration core.
+struct PairState {
+  TioaState s;
+  TioaState t;
+
+  bool operator==(const PairState&) const = default;
+};
+
+std::size_t tioa_hash(const TioaState& s) {
+  std::size_t seed = common::hash_vector(s.vars);
+  common::hash_combine(seed, common::hash_vector(s.clocks));
+  common::hash_combine(seed, static_cast<std::size_t>(s.loc));
+  return seed;
+}
+
+struct PairTraits {
+  static constexpr bool kSupportsInclusion = false;
+
+  static std::size_t hash(const PairState& p) {
+    std::size_t seed = tioa_hash(p.s);
+    common::hash_combine(seed, tioa_hash(p.t));
+    return seed;
+  }
+  static bool equal(const PairState& a, const PairState& b) { return a == b; }
+};
+
+}  // namespace
 
 RefinementResult check_refinement(const Tioa& s_spec, const Tioa& t_spec) {
   OpenTioaStepper s(s_spec);
@@ -25,11 +57,11 @@ RefinementResult check_refinement(const Tioa& s_spec, const Tioa& t_spec) {
   // relation holds, explore obligations, and fail on the first pair where an
   // alternating-simulation condition breaks. Sound for finite digital state
   // spaces because every reachable obligation is eventually checked.
-  std::set<std::pair<TioaState, TioaState>> seen;
-  std::deque<std::pair<TioaState, TioaState>> work;
+  core::StateStore<PairState, PairTraits> seen;
+  core::Worklist work(core::SearchOrder::kBfs);
   auto push = [&](TioaState a, TioaState b) {
-    auto key = std::make_pair(std::move(a), std::move(b));
-    if (seen.insert(key).second) work.push_back(std::move(key));
+    auto [id, inserted] = seen.intern(PairState{std::move(a), std::move(b)});
+    if (inserted) work.push(id);
   };
   push(s.initial(), t.initial());
 
@@ -44,8 +76,10 @@ RefinementResult check_refinement(const Tioa& s_spec, const Tioa& t_spec) {
   };
 
   while (!work.empty()) {
-    auto [ss, ts] = work.front();
-    work.pop_front();
+    // Copy: the store may grow while this pair's obligations are pushed.
+    const PairState pair = seen.state(work.pop().id);
+    const TioaState& ss = pair.s;
+    const TioaState& ts = pair.t;
     ++result.pairs_explored;
 
     // (i) Inputs offered by T must be accepted by S.

@@ -1,6 +1,7 @@
 #include "game/tiga.h"
 
-#include <deque>
+#include "core/explore.h"
+#include "core/worklist.h"
 
 namespace quanta::game {
 
@@ -25,40 +26,43 @@ std::optional<StrategyAction> Strategy::action(const ta::DigitalState& s) const 
 
 TimedGame::TimedGame(const ta::System& sys) : sem_(sys) {}
 
-std::int32_t TimedGame::intern(ta::DigitalState s) {
-  auto [it, inserted] =
-      index_.try_emplace(std::move(s), static_cast<std::int32_t>(nodes_.size()));
-  if (inserted) {
-    nodes_.push_back(Node{it->first, {}, {}, -1});
-  }
-  return it->second;
-}
-
 void TimedGame::build_graph() {
   if (built_) return;
-  std::deque<std::int32_t> work;
-  work.push_back(intern(sem_.initial()));
-  std::size_t done = 0;
-  while (done < nodes_.size()) {
-    std::int32_t idx = static_cast<std::int32_t>(done++);
-    const ta::DigitalState state = nodes_[static_cast<std::size_t>(idx)].state;
-    std::vector<std::pair<std::int32_t, ta::Move>> ctrl;
-    std::vector<std::int32_t> unctrl;
-    std::int32_t tick = -1;
-    for (ta::Move& m : sem_.enabled_moves(state)) {
-      std::int32_t to = intern(sem_.apply(state, m));
-      if (move_controllable(sem_.system(), m)) {
-        ctrl.emplace_back(to, std::move(m));
-      } else {
-        unctrl.push_back(to);
-      }
+  core::Worklist work(core::SearchOrder::kBfs);
+
+  auto intern = [&](ta::DigitalState s) -> std::int32_t {
+    auto [id, inserted] = store_.intern(std::move(s));
+    if (inserted) {
+      nodes_.emplace_back();
+      work.push(id);
     }
-    if (sem_.can_delay(state)) tick = intern(sem_.delay_one(state));
-    Node& node = nodes_[static_cast<std::size_t>(idx)];
-    node.ctrl = std::move(ctrl);
-    node.unctrl = std::move(unctrl);
-    node.tick = tick;
-  }
+    return id;
+  };
+
+  intern(sem_.initial());
+  core::explore(
+      store_, work, core::SearchLimits{},
+      [](const core::Worklist::Entry&) { return core::Visit::kContinue; },
+      [&](const core::Worklist::Entry& e) -> std::size_t {
+        const ta::DigitalState state = store_.state(e.id);
+        Node node;
+        std::size_t taken = 0;
+        for (ta::Move& m : sem_.enabled_moves(state)) {
+          ++taken;
+          std::int32_t to = intern(sem_.apply(state, m));
+          if (move_controllable(sem_.system(), m)) {
+            node.ctrl.emplace_back(to, std::move(m));
+          } else {
+            node.unctrl.push_back(to);
+          }
+        }
+        if (sem_.can_delay(state)) {
+          node.tick = intern(sem_.delay_one(state));
+          ++taken;
+        }
+        nodes_[static_cast<std::size_t>(e.id)] = std::move(node);
+        return taken;
+      });
   built_ = true;
 }
 
@@ -68,7 +72,7 @@ GameResult TimedGame::solve_reachability(const GamePredicate& goal) {
   std::vector<char> win(n, 0);
   std::vector<StrategyAction> act(n);
   for (std::size_t i = 0; i < n; ++i) {
-    if (goal(nodes_[i].state)) win[i] = 1;
+    if (goal(store_.state(static_cast<std::int32_t>(i)))) win[i] = 1;
   }
   // Least fixpoint of the controllable predecessor (environment preempts).
   bool changed = true;
@@ -115,7 +119,8 @@ GameResult TimedGame::solve_reachability(const GamePredicate& goal) {
   for (std::size_t i = 0; i < n; ++i) {
     if (!win[i]) continue;
     ++result.winning_states;
-    result.strategy.actions_.emplace(nodes_[i].state, act[i]);
+    result.strategy.actions_.emplace(store_.state(static_cast<std::int32_t>(i)),
+                                     act[i]);
   }
   result.controller_wins = !nodes_.empty() && win[0];
   return result;
@@ -126,7 +131,7 @@ GameResult TimedGame::solve_safety(const GamePredicate& safe) {
   const std::size_t n = nodes_.size();
   std::vector<char> win(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    if (safe(nodes_[i].state)) win[i] = 1;
+    if (safe(store_.state(static_cast<std::int32_t>(i)))) win[i] = 1;
   }
   // Greatest fixpoint: prune states the controller cannot keep safe.
   bool changed = true;
@@ -174,7 +179,8 @@ GameResult TimedGame::solve_safety(const GamePredicate& safe) {
         }
       }
     }
-    result.strategy.actions_.emplace(node.state, action);
+    result.strategy.actions_.emplace(store_.state(static_cast<std::int32_t>(i)),
+                                     action);
   }
   result.controller_wins = !nodes_.empty() && win[0];
   return result;
@@ -191,46 +197,60 @@ bool closed_loop_explore(
     std::vector<ta::DigitalState>* out_states,
     std::vector<std::vector<std::int32_t>>* out_succ) {
   ta::DigitalSemantics sem(sys);
-  std::unordered_map<ta::DigitalState, std::int32_t, ta::DigitalStateHash> index;
-  std::vector<ta::DigitalState> states;
-  std::deque<std::int32_t> work;
+  core::StateStore<ta::DigitalState> store;
+  core::Worklist work(core::SearchOrder::kBfs);
+  std::vector<std::vector<std::int32_t>> succ;
 
   auto intern = [&](ta::DigitalState s) -> std::int32_t {
-    auto [it, ins] = index.try_emplace(std::move(s),
-                                       static_cast<std::int32_t>(states.size()));
-    if (ins) {
-      states.push_back(it->first);
-      work.push_back(it->second);
+    auto [id, inserted] = store.intern(std::move(s));
+    if (inserted) {
+      succ.emplace_back();
+      work.push(id);
     }
-    return it->second;
+    return id;
   };
 
   intern(sem.initial());
-  std::vector<std::vector<std::int32_t>> succ;
-  while (!work.empty()) {
-    std::int32_t idx = work.front();
-    work.pop_front();
-    const ta::DigitalState state = states[static_cast<std::size_t>(idx)];
-    if (!visit(state)) return false;
-    succ.resize(states.size());
-    if (prune(state)) continue;  // no expansion beyond pruned states
-    auto action = strategy.action(state);
-    std::vector<std::int32_t> next;
-    // Environment may always act.
-    for (ta::Move& m : sem.enabled_moves(state)) {
-      if (!move_controllable(sys, m)) next.push_back(intern(sem.apply(state, m)));
+  bool ok = true;
+  core::explore(
+      store, work, core::SearchLimits{},
+      [&](const core::Worklist::Entry& e) {
+        if (!visit(store.state(e.id))) {
+          ok = false;
+          return core::Visit::kStop;
+        }
+        return core::Visit::kContinue;
+      },
+      [&](const core::Worklist::Entry& e) -> std::size_t {
+        const ta::DigitalState state = store.state(e.id);
+        if (prune(state)) return 0;  // no expansion beyond pruned states
+        auto action = strategy.action(state);
+        std::vector<std::int32_t> next;
+        // Environment may always act.
+        for (ta::Move& m : sem.enabled_moves(state)) {
+          if (!move_controllable(sys, m)) {
+            next.push_back(intern(sem.apply(state, m)));
+          }
+        }
+        if (action && action->kind == ActionKind::kMove) {
+          next.push_back(intern(sem.apply(state, action->move)));
+        } else {
+          // Strategy waits (or state is outside the winning region): time may
+          // pass if permitted.
+          if (sem.can_delay(state)) next.push_back(intern(sem.delay_one(state)));
+        }
+        const std::size_t taken = next.size();
+        succ[static_cast<std::size_t>(e.id)] = std::move(next);
+        return taken;
+      });
+  if (!ok) return false;
+  if (out_states) {
+    out_states->clear();
+    out_states->reserve(store.size());
+    for (std::size_t i = 0; i < store.size(); ++i) {
+      out_states->push_back(store.state(static_cast<std::int32_t>(i)));
     }
-    if (action && action->kind == ActionKind::kMove) {
-      next.push_back(intern(sem.apply(state, action->move)));
-    } else {
-      // Strategy waits (or state is outside the winning region): time may
-      // pass if permitted.
-      if (sem.can_delay(state)) next.push_back(intern(sem.delay_one(state)));
-    }
-    succ[static_cast<std::size_t>(idx)] = std::move(next);
   }
-  succ.resize(states.size());
-  if (out_states) *out_states = std::move(states);
   if (out_succ) *out_succ = std::move(succ);
   return true;
 }

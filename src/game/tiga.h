@@ -19,7 +19,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/state_store.h"
 #include "ta/digital.h"
+#include "ta/traits.h"
 
 namespace quanta::game {
 
@@ -69,19 +71,19 @@ class TimedGame {
   const ta::DigitalSemantics& semantics() const { return sem_; }
 
  private:
+  /// Per-state game edges; states themselves live in the store, indexed by
+  /// the same dense ids.
   struct Node {
-    ta::DigitalState state;
     std::vector<std::pair<std::int32_t, ta::Move>> ctrl;  ///< (succ, move)
     std::vector<std::int32_t> unctrl;
     std::int32_t tick = -1;
   };
 
   void build_graph();
-  std::int32_t intern(ta::DigitalState s);
 
   ta::DigitalSemantics sem_;
+  core::StateStore<ta::DigitalState> store_;
   std::vector<Node> nodes_;
-  std::unordered_map<ta::DigitalState, std::int32_t, ta::DigitalStateHash> index_;
   bool built_ = false;
 };
 

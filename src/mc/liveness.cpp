@@ -1,59 +1,59 @@
 #include "mc/liveness.h"
 
-#include <unordered_map>
-
-#include "common/hash.h"
+#include "core/explore.h"
+#include "core/state_store.h"
+#include "core/worklist.h"
+#include "ta/traits.h"
 
 namespace quanta::mc {
 
 namespace {
 
+/// The zone graph with exact-equality interning: liveness needs the full
+/// successor structure, so subsumption is off and states dedup on
+/// (discrete, zone) identity via the exploration core's exact policy.
 struct Graph {
-  std::vector<ta::SymState> states;
-  std::vector<std::vector<int>> succ;
+  core::StateStore<ta::SymState> store;
+  std::vector<std::vector<std::int32_t>> succ;
+
+  std::size_t size() const { return store.size(); }
+  const ta::SymState& state(std::size_t i) const {
+    return store.state(static_cast<std::int32_t>(i));
+  }
 };
 
-Graph build_zone_graph(const ta::SymbolicSemantics& sem, SearchStats& stats,
-                       std::size_t max_states, bool* truncated) {
+Graph build_zone_graph(const ta::SymbolicSemantics& sem,
+                       const ReachOptions& opts, SearchStats& stats) {
   Graph g;
-  std::unordered_map<std::size_t, std::vector<int>> index;
-  std::vector<int> worklist;
+  core::Worklist work(core::SearchOrder::kDfs);
 
-  auto intern = [&](ta::SymState s) -> int {
-    std::size_t key = s.discrete_hash();
-    common::hash_combine(key, s.zone.hash());
-    auto& bucket = index[key];
-    for (int n : bucket) {
-      if (g.states[static_cast<std::size_t>(n)].same_discrete(s) &&
-          g.states[static_cast<std::size_t>(n)].zone == s.zone) {
-        return n;
+  auto intern = [&](ta::SymState s) -> std::int32_t {
+    auto [id, inserted] = g.store.intern(std::move(s));
+    if (inserted) {
+      g.succ.emplace_back();
+      work.push(id);
+      if (opts.observer != nullptr) {
+        opts.observer->on_state_stored(id, g.store.size());
       }
     }
-    int idx = static_cast<int>(g.states.size());
-    g.states.push_back(std::move(s));
-    g.succ.emplace_back();
-    bucket.push_back(idx);
-    worklist.push_back(idx);
-    return idx;
+    return id;
   };
 
   intern(sem.initial());
-  while (!worklist.empty()) {
-    int idx = worklist.back();
-    worklist.pop_back();
-    ++stats.states_explored;
-    if (g.states.size() >= max_states) {
-      *truncated = true;
-      break;
-    }
-    const ta::SymState state = g.states[static_cast<std::size_t>(idx)];
-    for (auto& tr : sem.successors(state)) {
-      ++stats.transitions;
-      int to = intern(std::move(tr.state));
-      g.succ[static_cast<std::size_t>(idx)].push_back(to);
-    }
-  }
-  stats.states_stored = g.states.size();
+  stats = core::explore(
+      g.store, work, opts.limits,
+      [](const core::Worklist::Entry&) { return core::Visit::kContinue; },
+      [&](const core::Worklist::Entry& e) -> std::size_t {
+        const ta::SymState state = g.store.state(e.id);
+        std::vector<std::int32_t> next;
+        for (auto& tr : sem.successors(state)) {
+          next.push_back(intern(std::move(tr.state)));
+        }
+        const std::size_t taken = next.size();
+        g.succ[static_cast<std::size_t>(e.id)] = std::move(next);
+        return taken;
+      },
+      opts.observer);
   return g;
 }
 
@@ -62,7 +62,7 @@ Graph build_zone_graph(const ta::SymbolicSemantics& sem, SearchStats& stats,
 /// empty if the obligation holds.
 std::string find_violation(const Graph& g, const std::vector<bool>& is_psi,
                            const std::vector<int>& roots) {
-  const int n = static_cast<int>(g.states.size());
+  const int n = static_cast<int>(g.size());
   // Colors: 0 = unvisited, 1 = on stack, 2 = done.
   std::vector<char> color(static_cast<std::size_t>(n), 0);
   struct Frame {
@@ -108,19 +108,19 @@ LeadsToResult check_leads_to(const ta::System& sys, const StatePredicate& phi,
                              const ReachOptions& opts) {
   ta::SymbolicSemantics sem(sys, ta::SymbolicSemantics::Options{opts.extrapolate});
   LeadsToResult result;
-  bool truncated = false;
-  Graph g = build_zone_graph(sem, result.stats, opts.max_states, &truncated);
-  if (truncated) {
-    result.stats.truncated = true;
+  Graph g = build_zone_graph(sem, opts, result.stats);
+  if (result.stats.truncated) {
+    // Unexpanded frontier states would read as stuck runs; a truncated
+    // graph supports no verdict at all.
     result.holds = false;
     result.reason = "state space truncated";
     return result;
   }
-  std::vector<bool> is_psi(g.states.size());
+  std::vector<bool> is_psi(g.size());
   std::vector<int> roots;
-  for (std::size_t i = 0; i < g.states.size(); ++i) {
-    is_psi[i] = psi(g.states[i]);
-    if (!is_psi[i] && phi(g.states[i])) roots.push_back(static_cast<int>(i));
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    is_psi[i] = psi(g.state(i));
+    if (!is_psi[i] && phi(g.state(i))) roots.push_back(static_cast<int>(i));
   }
   result.reason = find_violation(g, is_psi, roots);
   result.holds = result.reason.empty();

@@ -1,7 +1,11 @@
 #include "mc/reachability.h"
 
-#include <deque>
-#include <unordered_map>
+#include <algorithm>
+
+#include "core/explore.h"
+#include "core/state_store.h"
+#include "core/worklist.h"
+#include "ta/traits.h"
 
 namespace quanta::mc {
 
@@ -30,91 +34,82 @@ StatePredicate pred_not(StatePredicate a) {
 
 namespace {
 
-struct Node {
-  ta::SymState state;
-  int parent = -1;
-  ta::Move move;         ///< move that produced this node (described lazily)
-  bool covered = false;  ///< subsumed by a later, larger zone
-};
+using SymStore = core::StateStore<ta::SymState>;
 
 class Explorer {
  public:
   Explorer(const ta::System& sys, const ReachOptions& opts)
       : sem_(sys, ta::SymbolicSemantics::Options{opts.extrapolate}),
-        opts_(opts) {}
+        opts_(opts),
+        // The passed list always deduplicates covered zones; the ablation
+        // flag only controls tombstoning of strictly-covered stored states.
+        store_(SymStore::Options{/*inclusion=*/true,
+                                 /*tombstone_covered=*/opts.inclusion_subsumption}),
+        waiting_(opts.order) {}
 
   /// Runs the search; returns the index of a goal node or -1.
-  int run(const StatePredicate& goal, SearchStats& stats) {
+  std::int32_t run(const StatePredicate& goal, SearchStats& stats) {
     add_state(sem_.initial(), -1, ta::Move{});
-    int goal_node = -1;
-    while (!waiting_.empty()) {
-      int idx = waiting_.front();
-      waiting_.pop_front();
-      if (nodes_[static_cast<std::size_t>(idx)].covered) continue;
-      // Copy out what we need: nodes_ may reallocate during expansion.
-      const ta::SymState state = nodes_[static_cast<std::size_t>(idx)].state;
-      ++stats.states_explored;
-      if (goal(state)) {
-        goal_node = idx;
-        break;
-      }
-      if (nodes_.size() >= opts_.max_states) {
-        stats.truncated = true;
-        break;
-      }
-      for (auto& tr : sem_.successors(state)) {
-        ++stats.transitions;
-        add_state(std::move(tr.state), idx, std::move(tr.move));
-      }
-    }
-    stats.states_stored = nodes_.size();
+    std::int32_t goal_node = -1;
+    stats = core::explore(
+        store_, waiting_, opts_.limits,
+        [&](const core::Worklist::Entry& e) {
+          if (goal(store_.state(e.id))) {
+            goal_node = e.id;
+            return core::Visit::kStop;
+          }
+          return core::Visit::kContinue;
+        },
+        [&](const core::Worklist::Entry& e) -> std::size_t {
+          // Copy: the store's state vector may reallocate during expansion.
+          const ta::SymState state = store_.state(e.id);
+          std::size_t taken = 0;
+          for (auto& tr : sem_.successors(state)) {
+            ++taken;
+            add_state(std::move(tr.state), e.id, std::move(tr.move));
+          }
+          return taken;
+        },
+        opts_.observer);
     return goal_node;
   }
 
-  std::vector<std::string> trace_to(int idx) const {
+  std::vector<std::string> trace_to(std::int32_t idx) const {
     std::vector<std::string> trace;
-    for (int cur = idx; cur >= 0;
-         cur = nodes_[static_cast<std::size_t>(cur)].parent) {
-      const Node& node = nodes_[static_cast<std::size_t>(cur)];
-      trace.push_back(node.parent < 0 ? "init"
-                                      : node.move.describe(sem_.system()));
+    for (std::int32_t cur = idx; cur >= 0;
+         cur = parents_[static_cast<std::size_t>(cur)]) {
+      trace.push_back(parents_[static_cast<std::size_t>(cur)] < 0
+                          ? "init"
+                          : moves_[static_cast<std::size_t>(cur)].describe(
+                                sem_.system()));
     }
     std::reverse(trace.begin(), trace.end());
     return trace;
   }
 
-  std::string describe(int idx) const {
-    return sem_.state_to_string(nodes_[static_cast<std::size_t>(idx)].state);
+  std::string describe(std::int32_t idx) const {
+    return sem_.state_to_string(store_.state(idx));
   }
 
  private:
-  void add_state(ta::SymState s, int parent, ta::Move move) {
-    std::size_t key = s.discrete_hash();
-    auto& bucket = buckets_[key];
-    for (int n : bucket) {
-      Node& node = nodes_[static_cast<std::size_t>(n)];
-      if (node.covered || !node.state.same_discrete(s)) continue;
-      dbm::Relation r = s.zone.relation(node.state.zone);
-      if (r == dbm::Relation::kEqual || r == dbm::Relation::kSubset) {
-        return;  // already covered by a stored zone
-      }
-      if (opts_.inclusion_subsumption && r == dbm::Relation::kSuperset) {
-        node.covered = true;  // the new zone strictly covers this one
-      }
+  void add_state(ta::SymState s, std::int32_t parent, ta::Move move) {
+    auto [id, inserted] = store_.intern(std::move(s));
+    if (!inserted) return;  // covered by a stored zone
+    parents_.push_back(parent);
+    moves_.push_back(opts_.record_trace ? std::move(move) : ta::Move{});
+    waiting_.push(id);
+    if (opts_.observer != nullptr) {
+      opts_.observer->on_state_stored(id, store_.size());
     }
-    int idx = static_cast<int>(nodes_.size());
-    nodes_.push_back(Node{std::move(s), parent,
-                          opts_.record_trace ? std::move(move) : ta::Move{},
-                          false});
-    bucket.push_back(idx);
-    waiting_.push_back(idx);
   }
 
   ta::SymbolicSemantics sem_;
   ReachOptions opts_;
-  std::vector<Node> nodes_;
-  std::unordered_map<std::size_t, std::vector<int>> buckets_;
-  std::deque<int> waiting_;
+  SymStore store_;
+  core::Worklist waiting_;
+  // Per-state payload, indexed by the store's dense ids.
+  std::vector<std::int32_t> parents_;
+  std::vector<ta::Move> moves_;  ///< move that produced the state
 };
 
 }  // namespace
@@ -123,7 +118,7 @@ ReachResult reachable(const ta::System& sys, const StatePredicate& goal,
                       const ReachOptions& opts) {
   Explorer explorer(sys, opts);
   ReachResult result;
-  int idx = explorer.run(goal, result.stats);
+  std::int32_t idx = explorer.run(goal, result.stats);
   result.reachable = idx >= 0;
   if (idx >= 0) {
     result.witness = explorer.describe(idx);

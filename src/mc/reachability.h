@@ -1,13 +1,15 @@
 // UPPAAL-style symbolic reachability: forward exploration of the zone graph
 // with a passed/waiting list, discrete-state bucketing and zone-inclusion
-// subsumption. Answers E<> goal and (by negation) A[] safe queries.
+// subsumption, all provided by the shared exploration core (src/core).
+// Answers E<> goal and (by negation) A[] safe queries.
 #pragma once
 
 #include <functional>
-#include <limits>
 #include <string>
 #include <vector>
 
+#include "core/observer.h"
+#include "core/search.h"
 #include "ta/symbolic.h"
 
 namespace quanta::mc {
@@ -25,12 +27,8 @@ StatePredicate pred_and(StatePredicate a, StatePredicate b);
 StatePredicate pred_or(StatePredicate a, StatePredicate b);
 StatePredicate pred_not(StatePredicate a);
 
-struct SearchStats {
-  std::size_t states_stored = 0;
-  std::size_t states_explored = 0;
-  std::size_t transitions = 0;
-  bool truncated = false;  ///< hit the max_states limit
-};
+/// All mc engines report the core's uniform counters.
+using SearchStats = core::SearchStats;
 
 struct ReachOptions {
   bool extrapolate = true;
@@ -38,7 +36,12 @@ struct ReachOptions {
   /// this off).
   bool inclusion_subsumption = true;
   bool record_trace = true;
-  std::size_t max_states = std::numeric_limits<std::size_t>::max();
+  /// Expansion order of the waiting list. Verdicts are order-independent;
+  /// witness traces and stored-state counts may differ.
+  core::SearchOrder order = core::SearchOrder::kBfs;
+  core::SearchLimits limits;
+  /// Optional instrumentation hook (not owned; may be nullptr).
+  core::ExplorationObserver* observer = nullptr;
 };
 
 struct ReachResult {

@@ -1,7 +1,9 @@
 #include "pta/digital_clocks.h"
 
-#include <deque>
-#include <unordered_map>
+#include "core/explore.h"
+#include "core/state_store.h"
+#include "core/worklist.h"
+#include "ta/traits.h"
 
 namespace quanta::pta {
 
@@ -67,44 +69,47 @@ DigitalMdp build_digital_mdp(const ta::System& sys,
   out.system = &sys;
   ta::DigitalSemantics sem(sys);
 
-  std::unordered_map<ta::DigitalState, std::int32_t, ta::DigitalStateHash> index;
-  std::deque<std::int32_t> worklist;
+  core::StateStore<ta::DigitalState> store;
+  core::Worklist work(core::SearchOrder::kBfs);
 
   auto intern = [&](ta::DigitalState s) -> std::int32_t {
-    auto [it, inserted] = index.try_emplace(std::move(s),
-                                            static_cast<std::int32_t>(out.states.size()));
-    if (inserted) {
-      out.states.push_back(it->first);
-      worklist.push_back(it->second);
-    }
-    return it->second;
+    auto [id, inserted] = store.intern(std::move(s));
+    if (inserted) work.push(id);
+    return id;
   };
 
   std::int32_t init = intern(sem.initial());
   out.mdp.set_initial(init);
 
-  while (!worklist.empty()) {
-    std::int32_t idx = worklist.front();
-    worklist.pop_front();
-    if (out.states.size() >= opts.max_states) {
-      out.truncated = true;
-      break;
-    }
-    const ta::DigitalState state = out.states[static_cast<std::size_t>(idx)];
+  core::SearchStats stats = core::explore(
+      store, work, opts.limits,
+      [](const core::Worklist::Entry&) { return core::Visit::kContinue; },
+      [&](const core::Worklist::Entry& e) -> std::size_t {
+        const ta::DigitalState state = store.state(e.id);
+        std::size_t taken = 0;
 
-    for (const ta::Move& move : sem.enabled_moves(state)) {
-      std::vector<mdp::Branch> branches;
-      enumerate_branches(sys, move, [&](const std::vector<int>& choice, double p) {
-        ta::DigitalState next = sem.apply(state, move, choice);
-        branches.push_back(mdp::Branch{intern(std::move(next)), p});
+        for (const ta::Move& move : sem.enabled_moves(state)) {
+          ++taken;
+          std::vector<mdp::Branch> branches;
+          enumerate_branches(sys, move,
+                             [&](const std::vector<int>& choice, double p) {
+                               ta::DigitalState next = sem.apply(state, move, choice);
+                               branches.push_back(mdp::Branch{intern(std::move(next)), p});
+                             });
+          out.mdp.add_choice(e.id, std::move(branches), /*reward=*/0.0);
+        }
+
+        if (sem.can_delay(state)) {
+          ++taken;
+          std::int32_t next = intern(sem.delay_one(state));
+          out.mdp.add_choice(e.id, {mdp::Branch{next, 1.0}}, /*reward=*/1.0);
+        }
+        return taken;
       });
-      out.mdp.add_choice(idx, std::move(branches), /*reward=*/0.0);
-    }
-
-    if (sem.can_delay(state)) {
-      std::int32_t next = intern(sem.delay_one(state));
-      out.mdp.add_choice(idx, {mdp::Branch{next, 1.0}}, /*reward=*/1.0);
-    }
+  out.truncated = stats.truncated;
+  out.states.reserve(store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    out.states.push_back(store.state(static_cast<std::int32_t>(i)));
   }
   out.mdp.freeze();
   return out;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "core/search.h"
 #include "mdp/mdp.h"
 #include "mdp/graph_analysis.h"
 #include "ta/digital.h"
@@ -28,7 +29,7 @@ struct DigitalMdp {
 };
 
 struct DigitalBuildOptions {
-  std::size_t max_states = 20'000'000;
+  core::SearchLimits limits{20'000'000};
 };
 
 /// Forward-explores the digital semantics and assembles the MDP (frozen).

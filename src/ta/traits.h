@@ -1,0 +1,60 @@
+// core::StateTraits specializations for the timed-automata state types,
+// plugging both semantics into the shared exploration core:
+//   * ta::SymState  — zone states; partitioned by the discrete part with
+//     DBM set-inclusion subsumption, so UPPAAL-style covered-state
+//     tombstoning is available to every zone-based engine;
+//   * ta::DigitalState — integer-time states; exact interning.
+#pragma once
+
+#include "common/hash.h"
+#include "core/traits.h"
+#include "ta/digital.h"
+#include "ta/symbolic.h"
+
+namespace quanta::core {
+
+template <>
+struct StateTraits<ta::SymState> {
+  static constexpr bool kSupportsInclusion = true;
+
+  static std::size_t hash(const ta::SymState& s) {
+    std::size_t seed = s.discrete_hash();
+    common::hash_combine(seed, s.zone.hash());
+    return seed;
+  }
+  static bool equal(const ta::SymState& a, const ta::SymState& b) {
+    return a.same_discrete(b) && a.zone == b.zone;
+  }
+
+  static std::size_t partition_hash(const ta::SymState& s) {
+    return s.discrete_hash();
+  }
+  static bool same_partition(const ta::SymState& a, const ta::SymState& b) {
+    return a.same_discrete(b);
+  }
+  static Subsumes compare(const ta::SymState& stored,
+                          const ta::SymState& incoming) {
+    switch (incoming.zone.relation(stored.zone)) {
+      case dbm::Relation::kEqual:
+      case dbm::Relation::kSubset:
+        return Subsumes::kStored;
+      case dbm::Relation::kSuperset:
+        return Subsumes::kIncoming;
+      case dbm::Relation::kDifferent:
+        break;
+    }
+    return Subsumes::kNone;
+  }
+};
+
+template <>
+struct StateTraits<ta::DigitalState> {
+  static constexpr bool kSupportsInclusion = false;
+
+  static std::size_t hash(const ta::DigitalState& s) { return s.hash(); }
+  static bool equal(const ta::DigitalState& a, const ta::DigitalState& b) {
+    return a == b;
+  }
+};
+
+}  // namespace quanta::core

@@ -172,7 +172,7 @@ TEST(BipEngine, PrioritySuppressesLowInteraction) {
 TEST(BipExplore, CountsStatesAndFindsDeadlock) {
   BipSystem sys = handshake();
   auto r = explore(sys);
-  EXPECT_EQ(r.states, 2u);
+  EXPECT_EQ(r.stats.states_stored, 2u);
   EXPECT_TRUE(r.deadlock_found);  // after the handshake nothing can move
   EXPECT_NE(r.deadlock_state.find("P.B"), std::string::npos);
 }
@@ -242,8 +242,9 @@ TEST(BipFlatten, PreservesReachableStateCount) {
   BipSystem sys = broadcast_system();
   auto exact = explore(sys);
   auto flat = flatten(sys);
-  EXPECT_FALSE(flat.truncated);
-  EXPECT_EQ(static_cast<std::size_t>(flat.flat.place_count()), exact.states);
+  EXPECT_FALSE(flat.stats.truncated);
+  EXPECT_EQ(static_cast<std::size_t>(flat.flat.place_count()),
+            exact.stats.states_stored);
   // The flat component is a valid, purely-internal component.
   for (const auto& t : flat.flat.transitions()) {
     EXPECT_EQ(t.port, -1);

@@ -1,0 +1,202 @@
+// Tests for the shared exploration core (src/core): StateStore dedup and
+// zone-inclusion subsumption with covered-node tombstoning, Worklist search
+// orders, uniform truncation semantics, and the ExplorationObserver hook.
+#include "core/state_store.h"
+
+#include <gtest/gtest.h>
+
+#include "core/observer.h"
+#include "core/worklist.h"
+#include "mc/reachability.h"
+#include "models/train_gate.h"
+#include "ta/traits.h"
+
+namespace {
+
+using namespace quanta;
+using core::SearchOrder;
+using core::StateStore;
+using core::Worklist;
+
+/// A one-clock symbolic state 0 <= x <= ub in discrete partition `loc`.
+ta::SymState zone_state(int loc, int ub) {
+  ta::SymState s;
+  s.locs = {loc};
+  s.zone = dbm::Dbm::universal(2);
+  EXPECT_TRUE(s.zone.constrain_le(1, 0, ub));
+  return s;
+}
+
+using SymStore = StateStore<ta::SymState>;
+
+TEST(StateStore, ExactModeDistinguishesZones) {
+  SymStore store;  // default: exact full-state equality
+  EXPECT_TRUE(store.intern(zone_state(0, 5)).inserted);
+  // A strictly included zone is a *different* state under exact equality.
+  auto b = store.intern(zone_state(0, 3));
+  EXPECT_TRUE(b.inserted);
+  EXPECT_EQ(b.id, 1);
+  // Re-inserting an equal state dedups to the original id.
+  auto again = store.intern(zone_state(0, 5));
+  EXPECT_FALSE(again.inserted);
+  EXPECT_EQ(again.id, 0);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(StateStore, InclusionDropsCoveredIncomingState) {
+  SymStore store({.inclusion = true});
+  ASSERT_TRUE(store.intern(zone_state(0, 5)).inserted);
+  // x <= 3 is inside x <= 5: subsumed, no new state.
+  auto b = store.intern(zone_state(0, 3));
+  EXPECT_FALSE(b.inserted);
+  EXPECT_EQ(b.id, 0);
+  EXPECT_EQ(store.size(), 1u);
+  // An equal zone is subsumed too.
+  EXPECT_FALSE(store.intern(zone_state(0, 5)).inserted);
+}
+
+TEST(StateStore, InclusionTombstonesStrictlyCoveredStoredState) {
+  SymStore store({.inclusion = true, .tombstone_covered = true});
+  ASSERT_TRUE(store.intern(zone_state(0, 5)).inserted);
+  // x <= 8 strictly covers the stored x <= 5: the old node is tombstoned
+  // and the larger zone becomes the live representative.
+  auto c = store.intern(zone_state(0, 8));
+  EXPECT_TRUE(c.inserted);
+  EXPECT_EQ(c.id, 1);
+  EXPECT_TRUE(store.covered(0));
+  EXPECT_FALSE(store.covered(1));
+  EXPECT_EQ(store.metrics().covered, 1u);
+
+  // Re-inserting the previously covered zone dedups against the live
+  // coverer — tombstoned nodes are skipped, the state is NOT resurrected.
+  auto again = store.intern(zone_state(0, 5));
+  EXPECT_FALSE(again.inserted);
+  EXPECT_EQ(again.id, 1);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(StateStore, TombstoningOffKeepsDominatedStatesLive) {
+  // Ablation A1: inclusion dedup of incoming states still applies, but
+  // stored states are never marked covered.
+  SymStore store({.inclusion = true, .tombstone_covered = false});
+  ASSERT_TRUE(store.intern(zone_state(0, 5)).inserted);
+  auto c = store.intern(zone_state(0, 8));
+  EXPECT_TRUE(c.inserted);
+  EXPECT_FALSE(store.covered(0));
+  EXPECT_EQ(store.metrics().covered, 0u);
+  // Covered *incoming* states are still dropped.
+  EXPECT_FALSE(store.intern(zone_state(0, 3)).inserted);
+}
+
+TEST(StateStore, InclusionComparesOnlyWithinDiscretePartition) {
+  SymStore store({.inclusion = true});
+  ASSERT_TRUE(store.intern(zone_state(0, 3)).inserted);
+  // Same zone, different location vector: a separate partition, stored as a
+  // distinct state even though the zones are comparable.
+  auto other = store.intern(zone_state(1, 8));
+  EXPECT_TRUE(other.inserted);
+  EXPECT_FALSE(store.covered(0));
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(StateStore, MetricsReportOccupancy) {
+  SymStore store;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store.intern(zone_state(i, i + 1)).inserted);
+  }
+  auto m = store.metrics();
+  EXPECT_EQ(m.stored, 100u);
+  EXPECT_EQ(m.covered, 0u);
+  EXPECT_GE(m.slots, 1024u);
+  EXPECT_GT(m.occupied, 0u);
+  EXPECT_GE(m.max_chain, 1u);
+  EXPECT_GT(m.load_factor(), 0.0);
+  EXPECT_LT(m.load_factor(), 0.5 + 1e-9);  // rehash keeps occupancy < 50%
+}
+
+TEST(Worklist, BfsIsFifo) {
+  Worklist w(SearchOrder::kBfs);
+  EXPECT_TRUE(w.empty());
+  w.push(1);
+  w.push(2);
+  w.push(3);
+  EXPECT_EQ(w.pending(), 3u);
+  EXPECT_EQ(w.pop().id, 1);
+  EXPECT_EQ(w.pop().id, 2);
+  EXPECT_EQ(w.pop().id, 3);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(Worklist, DfsIsLifo) {
+  Worklist w(SearchOrder::kDfs);
+  w.push(1);
+  w.push(2);
+  w.push(3);
+  EXPECT_EQ(w.pop().id, 3);
+  w.push(4);
+  EXPECT_EQ(w.pop().id, 4);
+  EXPECT_EQ(w.pop().id, 2);
+  EXPECT_EQ(w.pop().id, 1);
+}
+
+TEST(Worklist, PriorityPopsSmallestKey) {
+  Worklist w(SearchOrder::kPriority);
+  w.push(1, 30);
+  w.push(2, 10);
+  w.push(3, 20);
+  EXPECT_EQ(w.pop().id, 2);
+  // Lazy decrease-key: re-push id 1 with a better cost; the stale entry
+  // stays behind and is popped later.
+  w.push(1, 5);
+  auto e = w.pop();
+  EXPECT_EQ(e.id, 1);
+  EXPECT_EQ(e.key, 5);
+  EXPECT_EQ(w.pop().id, 3);
+  EXPECT_EQ(w.pop().key, 30);  // the stale duplicate of id 1
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(ExplorationCore, StatsObserverCollectsThroughputAndOccupancy) {
+  auto tg = models::make_train_gate(2);
+  core::StatsObserver obs;
+  mc::ReachOptions opts;
+  opts.observer = &obs;
+  auto r = mc::reachable(
+      tg.system, [](const ta::SymState&) { return false; }, opts);
+  EXPECT_FALSE(r.reachable);
+  EXPECT_FALSE(r.stats.truncated);
+  EXPECT_EQ(obs.stats().states_stored, r.stats.states_stored);
+  EXPECT_EQ(obs.stats().states_explored, r.stats.states_explored);
+  EXPECT_EQ(obs.explored(), r.stats.states_explored);
+  EXPECT_EQ(obs.peak_stored(), r.stats.states_stored);
+  EXPECT_EQ(obs.store_metrics().stored, r.stats.states_stored);
+  EXPECT_GT(obs.store_metrics().occupied, 0u);
+  EXPECT_GT(obs.elapsed_seconds(), 0.0);
+  EXPECT_GT(obs.states_per_second(), 0.0);
+  EXPECT_NE(obs.summary().find("states"), std::string::npos);
+}
+
+TEST(ExplorationCore, TruncationIsUniformAcrossEngines) {
+  auto tg = models::make_train_gate(3);
+  mc::ReachOptions opts;
+  opts.limits.max_states = 10;
+  // Unreachable goal + tiny limit: the search must report truncation, not a
+  // definite negative verdict.
+  auto r = mc::reachable(
+      tg.system, [](const ta::SymState&) { return false; }, opts);
+  EXPECT_FALSE(r.reachable);
+  EXPECT_TRUE(r.stats.truncated);
+  EXPECT_GE(r.stats.states_stored, 10u);
+
+  auto inv = mc::check_invariant(
+      tg.system, [](const ta::SymState&) { return true; }, opts);
+  EXPECT_TRUE(inv.stats.truncated);
+
+  // A limit the state space never reaches: no truncation.
+  opts.limits.max_states = 1'000'000;
+  auto full = mc::reachable(
+      tg.system, [](const ta::SymState&) { return false; }, opts);
+  EXPECT_FALSE(full.stats.truncated);
+}
+
+}  // namespace

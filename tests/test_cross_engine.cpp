@@ -13,9 +13,11 @@
 #include "common/rng.h"
 #include "mc/reachability.h"
 #include "models/brp.h"
+#include "models/train_gate.h"
 #include "pta/digital_clocks.h"
 #include "pta/properties.h"
 #include "smc/estimate.h"
+#include "sta/mctau.h"
 #include "ta/digital.h"
 
 namespace {
@@ -199,8 +201,9 @@ TEST_P(BipFlattenProperty, FlatteningPreservesBehaviour) {
 
   auto exact = bip::explore(sys);
   auto flat = bip::flatten(sys);
-  ASSERT_FALSE(flat.truncated);
-  EXPECT_EQ(static_cast<std::size_t>(flat.flat.place_count()), exact.states);
+  ASSERT_FALSE(flat.stats.truncated);
+  EXPECT_EQ(static_cast<std::size_t>(flat.flat.place_count()),
+            exact.stats.states_stored);
 
   // Deadlock in the original iff some flat place has no outgoing transition.
   std::vector<bool> has_succ(static_cast<std::size_t>(flat.flat.place_count()),
@@ -242,5 +245,78 @@ TEST_P(BrpFamily, P1MatchesClosedForm) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomParams, BrpFamily, ::testing::Range(0, 15));
+
+/// The shared exploration core makes the waiting-list order a one-line
+/// option; verdicts (reachability, invariants) must be identical under BFS
+/// and DFS even though witness traces and stored-state counts may differ.
+TEST(SearchOrder, BfsAndDfsAgreeOnTrainGate) {
+  auto tg = models::make_train_gate(3);
+  std::vector<int> cross_loc;
+  for (int i = 0; i < tg.num_trains; ++i) {
+    cross_loc.push_back(
+        tg.system.process(tg.trains[i]).location_index("Cross"));
+  }
+  auto trains = tg.trains;
+  auto mutex = [trains, cross_loc](const ta::SymState& s) {
+    int crossing = 0;
+    for (std::size_t i = 0; i < trains.size(); ++i) {
+      if (s.locs[static_cast<std::size_t>(trains[i])] == cross_loc[i]) {
+        ++crossing;
+      }
+    }
+    return crossing <= 1;
+  };
+
+  mc::ReachOptions bfs;
+  bfs.order = core::SearchOrder::kBfs;
+  mc::ReachOptions dfs;
+  dfs.order = core::SearchOrder::kDfs;
+
+  auto inv_bfs = mc::check_invariant(tg.system, mutex, bfs);
+  auto inv_dfs = mc::check_invariant(tg.system, mutex, dfs);
+  EXPECT_TRUE(inv_bfs.holds);
+  EXPECT_EQ(inv_bfs.holds, inv_dfs.holds);
+
+  for (int i = 0; i < tg.num_trains; ++i) {
+    auto goal = mc::loc_pred(tg.system, "Train(" + std::to_string(i) + ")",
+                             "Cross");
+    auto r_bfs = mc::reachable(tg.system, goal, bfs);
+    auto r_dfs = mc::reachable(tg.system, goal, dfs);
+    EXPECT_TRUE(r_bfs.reachable);
+    EXPECT_EQ(r_bfs.reachable, r_dfs.reachable);
+  }
+}
+
+TEST(SearchOrder, BfsAndDfsAgreeOnBrp) {
+  // The BRP is probabilistic; strip the branch distributions to obtain the
+  // underlying TA for symbolic reachability.
+  auto brp = models::make_brp();
+  ta::System sys = sta::strip_probabilities(brp.system);
+
+  mc::ReachOptions bfs;
+  bfs.order = core::SearchOrder::kBfs;
+  mc::ReachOptions dfs;
+  dfs.order = core::SearchOrder::kDfs;
+
+  auto success = [&brp](const ta::SymState& s) {
+    return brp.is_success(s.locs);
+  };
+  auto r_bfs = mc::reachable(sys, success, bfs);
+  auto r_dfs = mc::reachable(sys, success, dfs);
+  EXPECT_TRUE(r_bfs.reachable);
+  EXPECT_EQ(r_bfs.reachable, r_dfs.reachable);
+  EXPECT_FALSE(r_bfs.stats.truncated);
+  EXPECT_FALSE(r_dfs.stats.truncated);
+
+  // A[] "the sender is never in both failure modes at once" — trivially
+  // true, forcing both orders to exhaust the same state space.
+  auto inv = [&brp](const ta::SymState& s) {
+    return !(brp.is_fail_nok(s.locs) && brp.is_fail_dk(s.locs));
+  };
+  auto inv_bfs = mc::check_invariant(sys, inv, bfs);
+  auto inv_dfs = mc::check_invariant(sys, inv, dfs);
+  EXPECT_TRUE(inv_bfs.holds);
+  EXPECT_EQ(inv_bfs.holds, inv_dfs.holds);
+}
 
 }  // namespace

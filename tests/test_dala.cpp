@@ -18,7 +18,7 @@ TEST(Dala, ControlledSystemIsSafeEverywhere) {
                         [&d](const bip::BipState& s) { return d.safe(s); });
   EXPECT_FALSE(r.violation_found) << r.violating_state;
   EXPECT_FALSE(r.deadlock_found) << r.deadlock_state;
-  EXPECT_GT(r.states, 10u);
+  EXPECT_GT(r.stats.states_stored, 10u);
 }
 
 TEST(Dala, UnprotectedSystemViolatesBothRules) {
@@ -121,8 +121,9 @@ TEST(Dala, FlattenedControlledSystemMatchesExploration) {
   auto d = models::make_dala({.with_controller = true});
   auto exact = bip::explore(d.system);
   auto flat = bip::flatten(d.system);
-  EXPECT_FALSE(flat.truncated);
-  EXPECT_EQ(static_cast<std::size_t>(flat.flat.place_count()), exact.states);
+  EXPECT_FALSE(flat.stats.truncated);
+  EXPECT_EQ(static_cast<std::size_t>(flat.flat.place_count()),
+            exact.stats.states_stored);
 }
 
 }  // namespace

@@ -21,7 +21,7 @@ using ta::SyncKind;
 TEST(McEdges, TruncationIsReportedAndNotClaimedSafe) {
   auto tg = models::make_train_gate(4);
   mc::ReachOptions opts;
-  opts.max_states = 50;  // far too small
+  opts.limits.max_states = 50;  // far too small
   auto r = mc::check_invariant(
       tg.system, [](const ta::SymState&) { return true; }, opts);
   EXPECT_TRUE(r.stats.truncated);

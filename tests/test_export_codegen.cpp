@@ -127,7 +127,7 @@ TEST(Codegen, RefusesHugeSystems) {
   c.set_initial(p);
   sys.add_component(std::move(c));
   bip::CodegenOptions opts;
-  opts.max_states = 10;
+  opts.limits.max_states = 10;
   EXPECT_THROW(bip::generate_code(sys, opts), std::invalid_argument);
 }
 
