@@ -40,4 +40,33 @@ class Rng {
   std::uniform_real_distribution<double> uniform_{0.0, 1.0};
 };
 
+/// Counter-based splittable seeding: `RngStream(master).seed_for(i)` is the
+/// (i+1)-th output of SplitMix64 seeded with `master`, so run i always draws
+/// from the same stream regardless of chunking, thread count, or execution
+/// order — the keystone of the parallel/sequential bit-identity of the
+/// statistical engines (src/exec). Streams of distinct indices are
+/// decorrelated by the SplitMix64 finalizer (an avalanching bijection).
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t master_seed) : master_(master_seed) {}
+
+  /// Stateless SplitMix64 output for the given (seed, counter) pair.
+  static std::uint64_t mix(std::uint64_t seed, std::uint64_t counter) {
+    std::uint64_t z = seed + (counter + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t master_seed() const { return master_; }
+  std::uint64_t seed_for(std::uint64_t index) const {
+    return mix(master_, index);
+  }
+  /// The independent generator of run `index`.
+  Rng rng(std::uint64_t index) const { return Rng(seed_for(index)); }
+
+ private:
+  std::uint64_t master_;
+};
+
 }  // namespace quanta::common

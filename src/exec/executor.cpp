@@ -1,0 +1,59 @@
+#include "exec/executor.h"
+
+#include <chrono>
+
+namespace quanta::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+void Executor::for_each(std::uint64_t begin, std::uint64_t end,
+                        const RunFn& body, CancellationToken* cancel,
+                        RunTelemetry* telemetry) {
+  if (begin >= end) return;
+  // One cache-line-padded slot per worker: the hot path increments plain
+  // integers, and the slots are only read after the pool quiesced.
+  struct Slot {
+    alignas(64) WorkerTelemetry t;
+  };
+  std::vector<Slot> slots(pool_.worker_count());
+  const Clock::time_point wall0 = Clock::now();
+
+  ThreadPool::ChunkFn chunk = [&](std::uint64_t b, std::uint64_t e,
+                                  unsigned worker) {
+    WorkerTelemetry& t = slots[worker].t;
+    const Clock::time_point t0 = Clock::now();
+    const double cpu0 = thread_cpu_seconds();
+    WorkerContext ctx{worker, &t, cancel};
+    for (std::uint64_t i = b; i < e; ++i) {
+      if (cancel && cancel->cancelled()) break;
+      ++t.runs_started;
+      body(i, ctx);
+      ++t.runs_completed;
+    }
+    t.cpu_seconds += thread_cpu_seconds() - cpu0;
+    t.busy_seconds += seconds_since(t0);
+  };
+  pool_.parallel_chunks(begin, end, chunk, cancel);
+
+  if (telemetry) {
+    std::vector<WorkerTelemetry> out;
+    out.reserve(slots.size());
+    for (Slot& s : slots) out.push_back(s.t);
+    telemetry->accumulate(out, seconds_since(wall0));
+  }
+}
+
+Executor& global_executor() {
+  static Executor ex;
+  return ex;
+}
+
+}  // namespace quanta::exec

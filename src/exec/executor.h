@@ -1,0 +1,80 @@
+// Executor: the engine-facing layer of the parallel statistical runtime. It
+// owns a ThreadPool, hands each run index of [begin, end) to a body exactly
+// once, fills per-worker telemetry slots, and polls cancellation between
+// runs. Engines pair it with common::RngStream so run i draws the same
+// random stream regardless of chunking, worker count or execution order —
+// parallel and sequential results are bit-identical by construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "exec/telemetry.h"
+#include "exec/thread_pool.h"
+
+namespace quanta::exec {
+
+class Executor {
+ public:
+  /// What a run body sees besides its index: the worker it landed on, that
+  /// worker's private telemetry slot, and the job's cancellation token (null
+  /// when the caller passed none).
+  struct WorkerContext {
+    unsigned worker_id = 0;
+    WorkerTelemetry* telemetry = nullptr;
+    CancellationToken* cancel = nullptr;
+  };
+
+  using RunFn = std::function<void(std::uint64_t, WorkerContext&)>;
+
+  /// 0 workers means default_worker_count() (QUANTA_JOBS env override). A
+  /// 1-worker executor runs everything inline on the calling thread.
+  explicit Executor(unsigned workers = 0) : pool_(workers) {}
+
+  unsigned workers() const { return pool_.worker_count(); }
+
+  /// Runs body(i, ctx) for each i in [begin, end). Telemetry (when non-null)
+  /// is *accumulated*, so one RunTelemetry can span several jobs (e.g. all
+  /// batches of an SPRT test). Exceptions from the body propagate to the
+  /// caller; cancellation stops workers at the next run boundary.
+  void for_each(std::uint64_t begin, std::uint64_t end, const RunFn& body,
+                CancellationToken* cancel = nullptr,
+                RunTelemetry* telemetry = nullptr);
+
+ private:
+  ThreadPool pool_;
+};
+
+/// Process-wide executor shared by engine entry points that were not handed
+/// an explicit one; sized by QUANTA_JOBS / hardware_concurrency.
+Executor& global_executor();
+
+/// Map-reduce over run indices: each worker folds its runs into a private
+/// accumulator (seeded with a copy of `init`), and the per-worker
+/// accumulators are merged in worker-id order after the job. The merged
+/// result is bit-stable for a fixed worker count; it is independent of the
+/// worker count only when `merge` is commutative and associative (integer
+/// tallies are — prefer index-keyed output when it is not).
+template <typename Acc, typename Body, typename Merge>
+Acc parallel_reduce(Executor& ex, std::uint64_t begin, std::uint64_t end,
+                    Acc init, Body&& body, Merge&& merge,
+                    CancellationToken* cancel = nullptr,
+                    RunTelemetry* telemetry = nullptr) {
+  struct Slot {
+    alignas(64) Acc acc;
+  };
+  std::vector<Slot> slots(ex.workers(), Slot{init});
+  ex.for_each(
+      begin, end,
+      [&](std::uint64_t i, Executor::WorkerContext& ctx) {
+        body(slots[ctx.worker_id].acc, i, ctx);
+      },
+      cancel, telemetry);
+  Acc out = std::move(init);
+  for (Slot& s : slots) merge(out, std::move(s.acc));
+  return out;
+}
+
+}  // namespace quanta::exec

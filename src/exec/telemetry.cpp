@@ -1,0 +1,102 @@
+#include "exec/telemetry.h"
+
+#include <ctime>
+#include <sstream>
+
+namespace quanta::exec {
+
+double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return 0.0;
+}
+
+void WorkerTelemetry::add(const WorkerTelemetry& o) {
+  runs_started += o.runs_started;
+  runs_completed += o.runs_completed;
+  hits += o.hits;
+  sim_steps += o.sim_steps;
+  busy_seconds += o.busy_seconds;
+  cpu_seconds += o.cpu_seconds;
+}
+
+namespace {
+
+template <typename F>
+auto sum_over(const std::vector<WorkerTelemetry>& ws, F field)
+    -> decltype(field(ws[0])) {
+  decltype(field(ws[0])) total{};
+  for (const WorkerTelemetry& w : ws) total += field(w);
+  return total;
+}
+
+}  // namespace
+
+std::uint64_t RunTelemetry::runs_started() const {
+  return workers.empty() ? 0 : sum_over(workers, [](const WorkerTelemetry& w) {
+    return w.runs_started;
+  });
+}
+
+std::uint64_t RunTelemetry::runs_completed() const {
+  return workers.empty() ? 0 : sum_over(workers, [](const WorkerTelemetry& w) {
+    return w.runs_completed;
+  });
+}
+
+std::uint64_t RunTelemetry::hits() const {
+  return workers.empty() ? 0 : sum_over(workers, [](const WorkerTelemetry& w) {
+    return w.hits;
+  });
+}
+
+std::uint64_t RunTelemetry::sim_steps() const {
+  return workers.empty() ? 0 : sum_over(workers, [](const WorkerTelemetry& w) {
+    return w.sim_steps;
+  });
+}
+
+double RunTelemetry::busy_seconds() const {
+  return workers.empty() ? 0.0 : sum_over(workers, [](const WorkerTelemetry& w) {
+    return w.busy_seconds;
+  });
+}
+
+double RunTelemetry::cpu_seconds() const {
+  return workers.empty() ? 0.0 : sum_over(workers, [](const WorkerTelemetry& w) {
+    return w.cpu_seconds;
+  });
+}
+
+double RunTelemetry::runs_per_second() const {
+  return wall_seconds > 0.0
+             ? static_cast<double>(runs_completed()) / wall_seconds
+             : 0.0;
+}
+
+double RunTelemetry::parallelism() const {
+  return wall_seconds > 0.0 ? cpu_seconds() / wall_seconds : 0.0;
+}
+
+void RunTelemetry::accumulate(const std::vector<WorkerTelemetry>& slots,
+                              double job_wall_seconds) {
+  if (workers.size() < slots.size()) workers.resize(slots.size());
+  for (std::size_t w = 0; w < slots.size(); ++w) workers[w].add(slots[w]);
+  wall_seconds += job_wall_seconds;
+}
+
+std::string RunTelemetry::summary() const {
+  std::ostringstream os;
+  os << runs_completed() << " runs (" << hits() << " hits, " << sim_steps()
+     << " steps) on " << workers.size() << " workers in " << wall_seconds
+     << "s = " << static_cast<std::uint64_t>(runs_per_second())
+     << " runs/s, parallelism " << parallelism();
+  return os.str();
+}
+
+}  // namespace quanta::exec

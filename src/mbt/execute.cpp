@@ -88,15 +88,22 @@ Verdict execute_test(const TestCase& test, Iut& iut) {
 }
 
 CampaignResult run_campaign(const Lts& spec, Iut& iut, std::size_t n,
-                            std::uint64_t seed, const TestGenOptions& opts) {
-  TestGenerator gen(spec, seed, opts);
+                            std::uint64_t seed, const TestGenOptions& opts,
+                            exec::Executor& ex) {
+  // Generation is embarrassingly parallel (test i depends only on (seed, i));
+  // execution stays sequential because the IUT is a single stateful box.
+  std::vector<TestCase> suite = generate_suite(spec, n, seed, ex, opts);
   CampaignResult result;
-  for (std::size_t i = 0; i < n; ++i) {
-    TestCase tc = gen.generate();
+  for (const TestCase& tc : suite) {
     ++result.tests;
     if (execute_test(tc, iut) == Verdict::kFail) ++result.failures;
   }
   return result;
+}
+
+CampaignResult run_campaign(const Lts& spec, Iut& iut, std::size_t n,
+                            std::uint64_t seed, const TestGenOptions& opts) {
+  return run_campaign(spec, iut, n, seed, opts, exec::global_executor());
 }
 
 }  // namespace quanta::mbt

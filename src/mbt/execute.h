@@ -53,7 +53,12 @@ struct CampaignResult {
   bool passed() const { return failures == 0; }
 };
 
-/// Generates and executes `n` randomized tests from the spec.
+/// Generates and executes `n` randomized tests from the spec. The suite is
+/// generated in parallel (see generate_suite); execution against the single
+/// stateful IUT is sequential.
+CampaignResult run_campaign(const Lts& spec, Iut& iut, std::size_t n,
+                            std::uint64_t seed, const TestGenOptions& opts,
+                            exec::Executor& ex);
 CampaignResult run_campaign(const Lts& spec, Iut& iut, std::size_t n,
                             std::uint64_t seed, const TestGenOptions& opts = {});
 

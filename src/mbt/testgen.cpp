@@ -1,5 +1,7 @@
 #include "mbt/testgen.h"
 
+#include <optional>
+
 namespace quanta::mbt {
 
 TestGenerator::TestGenerator(const Lts& spec, std::uint64_t seed,
@@ -49,6 +51,35 @@ int TestGenerator::build(TestCase& tc, int spec_state, int depth) {
   }
   tc.nodes[static_cast<std::size_t>(idx)] = std::move(node);
   return idx;
+}
+
+std::vector<TestCase> generate_suite(const Lts& spec, std::size_t n,
+                                     std::uint64_t seed, exec::Executor& ex,
+                                     const TestGenOptions& opts,
+                                     exec::RunTelemetry* telemetry) {
+  const common::RngStream streams(seed);
+  // One generator per worker (each owns the determinized suspension
+  // automaton); each slot is only touched by its own worker.
+  std::vector<std::optional<TestGenerator>> gens(ex.workers());
+  std::vector<TestCase> suite(n);
+  ex.for_each(
+      0, n,
+      [&](std::uint64_t i, exec::Executor::WorkerContext& ctx) {
+        std::optional<TestGenerator>& gen = gens[ctx.worker_id];
+        if (!gen) gen.emplace(spec, 0, opts);
+        gen->reseed(streams.seed_for(i));
+        TestCase tc = gen->generate();
+        ctx.telemetry->sim_steps += tc.nodes.size();
+        suite[static_cast<std::size_t>(i)] = std::move(tc);
+      },
+      /*cancel=*/nullptr, telemetry);
+  return suite;
+}
+
+std::vector<TestCase> generate_suite(const Lts& spec, std::size_t n,
+                                     std::uint64_t seed,
+                                     const TestGenOptions& opts) {
+  return generate_suite(spec, n, seed, exec::global_executor(), opts);
 }
 
 }  // namespace quanta::mbt

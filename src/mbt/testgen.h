@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "exec/executor.h"
 #include "mbt/suspension.h"
 
 namespace quanta::mbt {
@@ -50,6 +51,11 @@ class TestGenerator {
   /// Generates one randomized test case from the specification.
   TestCase generate();
 
+  /// Restarts the random stream (used by the parallel suite generator to
+  /// derive test i from RngStream(seed).seed_for(i) while reusing one
+  /// generator — and its suspension automaton — per worker).
+  void reseed(std::uint64_t seed) { rng_ = common::Rng(seed); }
+
   const SuspensionAutomaton& suspension() const { return sa_; }
 
  private:
@@ -59,5 +65,18 @@ class TestGenerator {
   TestGenOptions opts_;
   common::Rng rng_;
 };
+
+/// Generates `n` randomized test cases in parallel on the executor. Test i
+/// depends only on (spec, seed, i, opts) — the suite is bit-identical for
+/// every worker count, and each worker builds the suspension automaton once.
+std::vector<TestCase> generate_suite(const Lts& spec, std::size_t n,
+                                     std::uint64_t seed, exec::Executor& ex,
+                                     const TestGenOptions& opts = {},
+                                     exec::RunTelemetry* telemetry = nullptr);
+
+/// Same, on the process-wide executor (QUANTA_JOBS workers).
+std::vector<TestCase> generate_suite(const Lts& spec, std::size_t n,
+                                     std::uint64_t seed,
+                                     const TestGenOptions& opts = {});
 
 }  // namespace quanta::mbt

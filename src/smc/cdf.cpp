@@ -3,19 +3,48 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "smc/worker_sim.h"
+
 namespace quanta::smc {
 
 std::vector<double> first_hit_times(const ta::System& sys,
                                     const TimeBoundedReach& prop,
-                                    std::size_t runs, std::uint64_t seed) {
-  Simulator sim(sys, seed);
+                                    std::size_t runs, std::uint64_t seed,
+                                    exec::Executor& ex,
+                                    exec::RunTelemetry* telemetry) {
+  const common::RngStream streams(seed);
+  internal::WorkerSims sims(sys, ex.workers());
+
+  // Keyed by run index (each slot written by exactly one worker), then
+  // compacted in index order: the series is identical for every worker count.
+  constexpr double kMiss = -1.0;
+  std::vector<double> per_run(runs, kMiss);
+  ex.for_each(
+      0, runs,
+      [&](std::uint64_t i, exec::Executor::WorkerContext& ctx) {
+        Simulator& sim = sims.at(ctx.worker_id);
+        sim.reseed(streams.seed_for(i));
+        RunResult r = sim.run(prop);
+        ctx.telemetry->sim_steps += r.steps;
+        if (r.satisfied) {
+          ++ctx.telemetry->hits;
+          per_run[static_cast<std::size_t>(i)] = r.hit_time;
+        }
+      },
+      /*cancel=*/nullptr, telemetry);
+
   std::vector<double> times;
   times.reserve(runs);
-  for (std::size_t i = 0; i < runs; ++i) {
-    RunResult r = sim.run(prop);
-    if (r.satisfied) times.push_back(r.hit_time);
+  for (double t : per_run) {
+    if (t != kMiss) times.push_back(t);
   }
   return times;
+}
+
+std::vector<double> first_hit_times(const ta::System& sys,
+                                    const TimeBoundedReach& prop,
+                                    std::size_t runs, std::uint64_t seed) {
+  return first_hit_times(sys, prop, runs, seed, exec::global_executor());
 }
 
 CdfSeries empirical_cdf(const std::vector<double>& hit_times,

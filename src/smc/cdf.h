@@ -6,13 +6,23 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/executor.h"
 #include "smc/simulator.h"
 
 namespace quanta::smc {
 
 /// Runs `runs` simulations of Pr[<= prop.time_bound](<> prop.goal) and
-/// returns the hit time of every satisfied run (unsatisfied runs contribute
-/// nothing; the CDF treats them as "after the bound").
+/// returns the hit time of every satisfied run, ordered by run index
+/// (unsatisfied runs contribute nothing; the CDF treats them as "after the
+/// bound"). Run i draws from RngStream(seed).rng(i), so the returned series
+/// is bit-identical for every worker count.
+std::vector<double> first_hit_times(const ta::System& sys,
+                                    const TimeBoundedReach& prop,
+                                    std::size_t runs, std::uint64_t seed,
+                                    exec::Executor& ex,
+                                    exec::RunTelemetry* telemetry = nullptr);
+
+/// Same, on the process-wide executor (QUANTA_JOBS workers).
 std::vector<double> first_hit_times(const ta::System& sys,
                                     const TimeBoundedReach& prop,
                                     std::size_t runs, std::uint64_t seed);

@@ -1,19 +1,39 @@
 #include "smc/estimate.h"
 
 #include "common/stats.h"
+#include "smc/worker_sim.h"
 
 namespace quanta::smc {
 
 Estimate estimate_probability_runs(const ta::System& sys,
                                    const TimeBoundedReach& prop,
                                    std::size_t runs, double alpha,
-                                   std::uint64_t seed) {
-  Simulator sim(sys, seed);
+                                   std::uint64_t seed, exec::Executor& ex,
+                                   exec::RunTelemetry* telemetry) {
+  const common::RngStream streams(seed);
+  internal::WorkerSims sims(sys, ex.workers());
+
+  struct Tally {
+    std::uint64_t hits = 0;
+  };
+  Tally total = exec::parallel_reduce(
+      ex, 0, runs, Tally{},
+      [&](Tally& acc, std::uint64_t i, exec::Executor::WorkerContext& ctx) {
+        Simulator& sim = sims.at(ctx.worker_id);
+        sim.reseed(streams.seed_for(i));
+        RunResult r = sim.run(prop);
+        ctx.telemetry->sim_steps += r.steps;
+        if (r.satisfied) {
+          ++acc.hits;
+          ++ctx.telemetry->hits;
+        }
+      },
+      [](Tally& out, Tally&& in) { out.hits += in.hits; },
+      /*cancel=*/nullptr, telemetry);
+
   Estimate est;
   est.runs = runs;
-  for (std::size_t i = 0; i < runs; ++i) {
-    if (sim.run(prop).satisfied) ++est.hits;
-  }
+  est.hits = total.hits;
   est.p_hat = runs > 0 ? static_cast<double>(est.hits) / static_cast<double>(runs)
                        : 0.0;
   if (runs > 0) {
@@ -24,11 +44,28 @@ Estimate estimate_probability_runs(const ta::System& sys,
   return est;
 }
 
+Estimate estimate_probability_runs(const ta::System& sys,
+                                   const TimeBoundedReach& prop,
+                                   std::size_t runs, double alpha,
+                                   std::uint64_t seed) {
+  return estimate_probability_runs(sys, prop, runs, alpha, seed,
+                                   exec::global_executor());
+}
+
+Estimate estimate_probability(const ta::System& sys,
+                              const TimeBoundedReach& prop, double epsilon,
+                              double delta, std::uint64_t seed,
+                              exec::Executor& ex,
+                              exec::RunTelemetry* telemetry) {
+  std::size_t runs = common::chernoff_sample_count(epsilon, delta);
+  return estimate_probability_runs(sys, prop, runs, delta, seed, ex, telemetry);
+}
+
 Estimate estimate_probability(const ta::System& sys,
                               const TimeBoundedReach& prop, double epsilon,
                               double delta, std::uint64_t seed) {
-  std::size_t runs = common::chernoff_sample_count(epsilon, delta);
-  return estimate_probability_runs(sys, prop, runs, delta, seed);
+  return estimate_probability(sys, prop, epsilon, delta, seed,
+                              exec::global_executor());
 }
 
 }  // namespace quanta::smc

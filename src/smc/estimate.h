@@ -1,10 +1,14 @@
 // Monte-Carlo probability estimation for time-bounded reachability, with
 // Chernoff-Hoeffding sample-size selection and Clopper-Pearson confidence
 // intervals — the quantitative core of UPPAAL-SMC's Pr[<=T](<> goal) query.
+// Runs execute on an exec::Executor with one common::RngStream seed per run
+// index, so the estimate is bit-identical for every worker count (the
+// sequential path is just a 1-worker executor).
 #pragma once
 
 #include <cstdint>
 
+#include "exec/executor.h"
 #include "smc/simulator.h"
 
 namespace quanta::smc {
@@ -18,7 +22,16 @@ struct Estimate {
 };
 
 /// Estimates Pr[<= T](<> goal) with `runs` simulations; the confidence
-/// interval is Clopper-Pearson at level 1 - alpha.
+/// interval is Clopper-Pearson at level 1 - alpha. Run i draws from
+/// RngStream(seed).rng(i); hits are tallied per worker and merged, so the
+/// result does not depend on `ex.workers()`.
+Estimate estimate_probability_runs(const ta::System& sys,
+                                   const TimeBoundedReach& prop,
+                                   std::size_t runs, double alpha,
+                                   std::uint64_t seed, exec::Executor& ex,
+                                   exec::RunTelemetry* telemetry = nullptr);
+
+/// Same, on the process-wide executor (QUANTA_JOBS workers).
 Estimate estimate_probability_runs(const ta::System& sys,
                                    const TimeBoundedReach& prop,
                                    std::size_t runs, double alpha,
@@ -26,6 +39,11 @@ Estimate estimate_probability_runs(const ta::System& sys,
 
 /// UPPAAL-SMC style: chooses the number of runs from the Chernoff-Hoeffding
 /// bound so that |p_hat - p| <= epsilon with probability >= 1 - delta.
+Estimate estimate_probability(const ta::System& sys,
+                              const TimeBoundedReach& prop, double epsilon,
+                              double delta, std::uint64_t seed,
+                              exec::Executor& ex,
+                              exec::RunTelemetry* telemetry = nullptr);
 Estimate estimate_probability(const ta::System& sys,
                               const TimeBoundedReach& prop, double epsilon,
                               double delta, std::uint64_t seed);

@@ -47,6 +47,11 @@ class Simulator {
 
   common::Rng& rng() { return rng_; }
 
+  /// Restarts the random stream (used by the parallel runtime to give every
+  /// run its own common::RngStream seed while reusing one Simulator — and
+  /// with it the concrete-semantics setup — per worker).
+  void reseed(std::uint64_t seed) { rng_ = common::Rng(seed); }
+
  private:
   struct Bid {
     double delay = 0.0;

@@ -1,13 +1,17 @@
 #include "smc/sprt.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
+
+#include "smc/worker_sim.h"
 
 namespace quanta::smc {
 
 SprtResult sprt_test(const ta::System& sys, const TimeBoundedReach& prop,
-                     double theta, const SprtOptions& opts,
-                     std::uint64_t seed) {
+                     double theta, const SprtOptions& opts, std::uint64_t seed,
+                     exec::Executor& ex, exec::RunTelemetry* telemetry) {
   const double p0 = theta + opts.indifference;  // H0
   const double p1 = theta - opts.indifference;  // H1
   if (p1 <= 0.0 || p0 >= 1.0) {
@@ -19,27 +23,61 @@ SprtResult sprt_test(const ta::System& sys, const TimeBoundedReach& prop,
   const double inc_hit = std::log(p1 / p0);
   const double inc_miss = std::log((1.0 - p1) / (1.0 - p0));
 
-  Simulator sim(sys, seed);
+  const std::size_t batch = opts.batch_size > 0 ? opts.batch_size : 128;
+  const common::RngStream streams(seed);
+  internal::WorkerSims sims(sys, ex.workers());
+  exec::CancellationToken cancel;
+
   SprtResult result;
   double llr = 0.0;
-  while (result.runs < opts.max_runs) {
-    ++result.runs;
-    if (sim.run(prop).satisfied) {
-      ++result.hits;
-      llr += inc_hit;
-    } else {
-      llr += inc_miss;
-    }
-    if (llr >= log_a) {
-      result.verdict = SprtVerdict::kRejected;  // evidence for H1: p < theta
-      return result;
-    }
-    if (llr <= log_b) {
-      result.verdict = SprtVerdict::kAccepted;  // evidence for H0: p > theta
-      return result;
+  std::vector<std::uint8_t> outcome;
+  for (std::uint64_t base = 0; base < opts.max_runs; base += batch) {
+    const std::uint64_t n =
+        std::min<std::uint64_t>(batch, opts.max_runs - base);
+    outcome.assign(static_cast<std::size_t>(n), 0);
+    // Simulate the batch in parallel; outcome[k] is keyed by run index, so
+    // the merged batch is independent of scheduling.
+    ex.for_each(
+        base, base + n,
+        [&](std::uint64_t i, exec::Executor::WorkerContext& ctx) {
+          Simulator& sim = sims.at(ctx.worker_id);
+          sim.reseed(streams.seed_for(i));
+          RunResult r = sim.run(prop);
+          ctx.telemetry->sim_steps += r.steps;
+          if (r.satisfied) {
+            ++ctx.telemetry->hits;
+            outcome[static_cast<std::size_t>(i - base)] = 1;
+          }
+        },
+        &cancel, telemetry);
+    // Walk the merged batch in run order — exactly the sequential SPRT.
+    for (std::uint64_t k = 0; k < n; ++k) {
+      ++result.runs;
+      if (outcome[static_cast<std::size_t>(k)]) {
+        ++result.hits;
+        llr += inc_hit;
+      } else {
+        llr += inc_miss;
+      }
+      if (llr >= log_a) {
+        result.verdict = SprtVerdict::kRejected;  // evidence for H1: p < theta
+      } else if (llr <= log_b) {
+        result.verdict = SprtVerdict::kAccepted;  // evidence for H0: p > theta
+      }
+      if (result.verdict != SprtVerdict::kInconclusive) {
+        // Early stop: cancel outstanding work instead of running to the cap.
+        cancel.cancel();
+        return result;
+      }
     }
   }
   return result;
+}
+
+SprtResult sprt_test(const ta::System& sys, const TimeBoundedReach& prop,
+                     double theta, const SprtOptions& opts,
+                     std::uint64_t seed) {
+  return sprt_test(sys, prop, theta, opts, seed, exec::global_executor());
 }
 
 }  // namespace quanta::smc

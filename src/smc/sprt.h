@@ -1,9 +1,19 @@
 // Wald's Sequential Probability Ratio Test for qualitative SMC queries
 // Pr[<=T](<> goal) >= theta, as used by UPPAAL-SMC for hypothesis testing.
+//
+// Parallelisation follows the batched-Wald scheme of multi-core SMC tools
+// (modes): runs are simulated in batches of `batch_size` on the executor,
+// each batch's per-run outcomes are merged in run-index order, and the
+// log-likelihood ratio is walked run by run — so the verdict AND the number
+// of runs consumed are bit-identical to the fully sequential test for every
+// worker count. On a verdict the remaining batches (the outstanding work)
+// are cancelled; runs of the final batch beyond the crossing point were
+// simulated but are not consumed (they only show up in the telemetry).
 #pragma once
 
 #include <cstdint>
 
+#include "exec/executor.h"
 #include "smc/simulator.h"
 
 namespace quanta::smc {
@@ -25,9 +35,19 @@ struct SprtOptions {
   double beta = 0.05;        ///< type-II error (false accept of H0)
   double indifference = 0.01;  ///< half-width of the indifference region
   std::size_t max_runs = 1'000'000;
+  /// Runs simulated per parallel batch before the Wald boundaries are
+  /// re-checked. Must not depend on the worker count (it is part of the
+  /// deterministic schedule); 0 means the default of 128.
+  std::size_t batch_size = 0;
 };
 
 /// Tests H0: p >= theta + indifference against H1: p <= theta - indifference.
+SprtResult sprt_test(const ta::System& sys, const TimeBoundedReach& prop,
+                     double theta, const SprtOptions& opts, std::uint64_t seed,
+                     exec::Executor& ex,
+                     exec::RunTelemetry* telemetry = nullptr);
+
+/// Same, on the process-wide executor (QUANTA_JOBS workers).
 SprtResult sprt_test(const ta::System& sys, const TimeBoundedReach& prop,
                      double theta, const SprtOptions& opts, std::uint64_t seed);
 

@@ -1,0 +1,30 @@
+// Internal helper of the parallel SMC entry points: one lazily-constructed
+// Simulator per executor worker. Each slot is only ever touched by its own
+// worker (worker ids are stable within a job), so no locking is needed; the
+// simulator's RNG is reseeded per run from a common::RngStream.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "smc/simulator.h"
+
+namespace quanta::smc::internal {
+
+class WorkerSims {
+ public:
+  WorkerSims(const ta::System& sys, unsigned workers)
+      : sys_(&sys), sims_(workers) {}
+
+  Simulator& at(unsigned worker) {
+    std::optional<Simulator>& slot = sims_[worker];
+    if (!slot) slot.emplace(*sys_, 0);
+    return *slot;
+  }
+
+ private:
+  const ta::System* sys_;
+  std::vector<std::optional<Simulator>> sims_;
+};
+
+}  // namespace quanta::smc::internal

@@ -98,6 +98,53 @@ TEST(Rng, WeightedChoiceDistribution) {
   EXPECT_NEAR(static_cast<double>(counts[3]) / 20000.0, 0.6, 0.02);
 }
 
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(5);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1e300), std::invalid_argument);
+  // The generator stays usable after a rejected call.
+  EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, WeightedChoiceErrorPaths) {
+  Rng rng(6);
+  double negative[] = {1.0, -0.5, 2.0};
+  EXPECT_THROW(rng.weighted_choice(negative), std::invalid_argument);
+  double zeros[] = {0.0, 0.0, 0.0};
+  EXPECT_THROW(rng.weighted_choice(zeros), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_choice({}), std::invalid_argument)
+      << "an empty weight list has no positive weight";
+  // A single positive weight is always chosen, whatever surrounds it.
+  double lone[] = {0.0, 3.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.weighted_choice(lone), 1u);
+}
+
+TEST(RngStream, MixMatchesSplitMix64Reference) {
+  // Reference values of the SplitMix64 stream seeded with 0 (Vigna's
+  // splitmix64.c): mix(0, i) is the (i+1)-th output.
+  EXPECT_EQ(RngStream::mix(0, 0), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(RngStream::mix(0, 1), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(RngStream::mix(0, 2), 0x06c45d188009454fULL);
+  EXPECT_EQ(RngStream(0).seed_for(0), RngStream::mix(0, 0));
+}
+
+TEST(RngStream, StreamsAreStatisticallyIndependent) {
+  // The first draw of many consecutive run streams must look uniform — this
+  // is what decorrelates parallel runs that share a master seed.
+  RngStream streams(0xabcdefULL);
+  double sum = 0.0;
+  int below_half = 0;
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    Rng rng = streams.rng(i);
+    double u = rng.uniform01();
+    sum += u;
+    if (u < 0.5) ++below_half;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+  EXPECT_NEAR(below_half / 20000.0, 0.5, 0.01);
+}
+
 TEST(Rng, UniformIntBounds) {
   Rng rng(11);
   for (int i = 0; i < 1000; ++i) {
