@@ -49,7 +49,7 @@ int main() {
         auto r = mc::check_invariant(tg.system, pred, opts);
         table.row({std::to_string(n), extrapolate ? "on" : "off",
                    subsumption ? "on" : "off",
-                   r.stats.truncated ? "truncated" : (r.holds ? "true" : "FALSE"),
+                   r.stats.truncated ? "truncated" : (r.holds() ? "true" : "FALSE"),
                    std::to_string(r.stats.states_stored),
                    bench::fmt(sw.seconds(), "%.2f")});
       }

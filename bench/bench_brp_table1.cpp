@@ -73,11 +73,11 @@ int main() {
             brp.sender_waiting(s.locs) &&
             s.clocks[static_cast<std::size_t>(brp.clk_x)] >= to;
         return !(timer_expired && brp.channels_busy(s.locs));
-      }).holds;
+      }).holds();
   bool ta2_mcpta =
       pta::check_invariant(dm, [&brp](const ta::DigitalState& s) {
         return brp.ta2_ok(s.vars);
-      }).holds;
+      }).holds();
   double pa_mcpta =
       pta::pmax_reach(dm, [&brp](const ta::DigitalState& s) {
         return brp.is_fail_nok(s.locs) && brp.complete_file(s.vars);

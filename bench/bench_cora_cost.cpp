@@ -42,7 +42,7 @@ int main() {
     bench::Stopwatch sw;
     auto r = train_cost(n, 1, 1, 0);
     table.row({std::to_string(n), "1", "1", "Train(0).Cross",
-               r.reachable ? std::to_string(r.cost) : "unreachable",
+               r.reachable() ? std::to_string(r.cost) : "unreachable",
                std::to_string(r.stats.states_explored),
                bench::fmt(sw.seconds(), "%.2f")});
   }
@@ -52,7 +52,7 @@ int main() {
     bench::Stopwatch sw;
     auto r = train_cost(2, rate, 1, 0);
     table.row({"2", std::to_string(rate), "1", "Train(0).Cross",
-               r.reachable ? std::to_string(r.cost) : "unreachable",
+               r.reachable() ? std::to_string(r.cost) : "unreachable",
                std::to_string(r.stats.states_explored),
                bench::fmt(sw.seconds(), "%.2f")});
   }
@@ -78,7 +78,7 @@ int main() {
                  s.clocks[static_cast<std::size_t>(x0)] >= 8;
         });
     table.row({"2", "1", "1", "T0 stopped >= 8",
-               r.reachable ? std::to_string(r.cost) : "unreachable",
+               r.reachable() ? std::to_string(r.cost) : "unreachable",
                std::to_string(r.stats.states_explored),
                bench::fmt(sw.seconds(), "%.2f")});
   }

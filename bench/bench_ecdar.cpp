@@ -58,7 +58,7 @@ int main() {
     for (std::size_t j = 0; j < specs.size(); ++j) {
       auto r = ecdar::check_refinement(specs[i], specs[j]);
       total_pairs += r.pairs_explored;
-      row.push_back(r.refines ? "yes" : "no");
+      row.push_back(r.refines() ? "yes" : "no");
     }
     matrix.row(std::move(row));
   }

@@ -50,19 +50,19 @@ int main() {
         auto r = mc::check_leads_to(tg.system,
                                     mc::loc_pred(tg.system, name, "Appr"),
                                     mc::loc_pred(tg.system, name, "Cross"));
-        holds = r.holds;
+        holds = r.holds();
       }
       liveness = holds ? "true" : "FALSE";
     }
 
     std::string deadlock = "-";
     if (n <= 5) {
-      deadlock = mc::check_deadlock_freedom(tg.system).deadlock_free
+      deadlock = mc::check_deadlock_freedom(tg.system).deadlock_free()
                      ? "true"
                      : "FALSE";
     }
 
-    table.row({std::to_string(n), safety.holds ? "true" : "FALSE", liveness,
+    table.row({std::to_string(n), safety.holds() ? "true" : "FALSE", liveness,
                deadlock, std::to_string(safety.stats.states_stored),
                bench::fmt(sw.seconds(), "%.2f")});
   }

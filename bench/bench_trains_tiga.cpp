@@ -26,10 +26,10 @@ int main() {
       auto safe = [&tg](const ta::DigitalState& s) { return tg.mutex_ok(s.locs); };
       auto result = g.solve_safety(safe);
       bool verified =
-          result.controller_wins &&
+          result.controller_wins() &&
           game::verify_safety_strategy(tg.system, result.strategy, safe);
       table.row({std::to_string(n) + " train(s)", "safety (mutex)",
-                 result.controller_wins ? "yes" : "no",
+                 result.controller_wins() ? "yes" : "no",
                  std::to_string(result.states_explored),
                  std::to_string(result.winning_states),
                  verified ? "yes" : "NO", bench::fmt(sw.seconds(), "%.2f")});
@@ -45,10 +45,10 @@ int main() {
       };
       auto result = g.solve_reachability(goal);
       bool verified =
-          result.controller_wins &&
+          result.controller_wins() &&
           game::verify_reach_strategy(tg.system, result.strategy, goal);
       table.row({std::to_string(n) + " train(s)", "reach (T0 crosses)",
-                 result.controller_wins ? "yes" : "no",
+                 result.controller_wins() ? "yes" : "no",
                  std::to_string(result.states_explored),
                  std::to_string(result.winning_states),
                  verified ? "yes" : "NO", bench::fmt(sw.seconds(), "%.2f")});
@@ -63,7 +63,7 @@ int main() {
       return s.locs[static_cast<std::size_t>(tg.trains[0])] == tg.l_cross;
     });
     table.row({"1 train, from Safe", "reach (T0 crosses)",
-               result.controller_wins ? "YES (unexpected)" : "no (env may idle)",
+               result.controller_wins() ? "YES (unexpected)" : "no (env may idle)",
                std::to_string(result.states_explored),
                std::to_string(result.winning_states), "-", "-"});
   }
@@ -79,7 +79,7 @@ int main() {
     auto result = g.solve_safety(
         [&tg](const ta::DigitalState& s) { return tg.mutex_ok(s.locs); });
     table.row({"2 trains, no control", "safety (mutex)",
-               result.controller_wins ? "YES (unexpected)" : "no",
+               result.controller_wins() ? "YES (unexpected)" : "no",
                std::to_string(result.states_explored),
                std::to_string(result.winning_states), "-", "-"});
   }

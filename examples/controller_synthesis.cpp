@@ -20,7 +20,7 @@ int main() {
   std::printf("\n[safety game] %zu game states, %zu winning\n",
               result.states_explored, result.winning_states);
   std::printf("  controller %s from the initial state\n",
-              result.controller_wins ? "WINS" : "loses");
+              result.controller_wins() ? "WINS" : "loses");
 
   // ---- Inspect the strategy on a few reachable states ---------------------
   ta::DigitalSemantics sem(tg.system);
@@ -67,7 +67,7 @@ int main() {
   auto reach = game2.solve_reachability(goal);
   std::printf("\n[reachability game] force train 0 across the bridge: %s "
               "(%zu winning states)\n",
-              reach.controller_wins ? "winnable" : "not winnable",
+              reach.controller_wins() ? "winnable" : "not winnable",
               reach.winning_states);
   std::printf("  strategy verified in closed loop: %s\n",
               game::verify_reach_strategy(tg2.system, reach.strategy, goal)

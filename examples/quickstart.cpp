@@ -42,7 +42,7 @@ int main() {
       sys, mc::leads_to("Busy --> Idle", busy, mc::loc_pred(sys, "Worker", "Idle")));
   for (const auto& r : {r1, r2, r3}) {
     std::printf("  %-22s : %s   (%zu states)\n", r.name.c_str(),
-                r.holds ? "satisfied" : "NOT satisfied",
+                r.holds() ? "satisfied" : "NOT satisfied",
                 r.stats.states_stored);
   }
 

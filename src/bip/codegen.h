@@ -15,7 +15,7 @@
 namespace quanta::bip {
 
 struct CodegenOptions {
-  core::SearchLimits limits{100'000};
+  core::SearchLimits limits{.max_states = 100'000, .budget = {}};
   /// Steps the generated main() executes before reporting success.
   std::size_t run_steps = 1000;
 };

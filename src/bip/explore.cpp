@@ -71,15 +71,37 @@ ExploreResult explore_impl(const BipSystem& sys, const ExploreOptions& opts,
 
 ExploreResult explore(const BipSystem& sys, const ExploreOptions& opts,
                       const BipPredicate& safety) {
-  bool unused = false;
-  return explore_impl(sys, opts, safety, {}, &unused);
+  opts.limits.validate("bip.explore");
+  return common::governed(
+      [&] {
+        bool unused = false;
+        ExploreResult r = explore_impl(sys, opts, safety, {}, &unused);
+        if (r.deadlock_found || r.violation_found) {
+          r.verdict = common::Verdict::kViolated;
+        } else if (!r.stats.truncated) {
+          r.verdict = common::Verdict::kHolds;
+        }
+        return r;
+      },
+      [](common::StopReason reason) {
+        ExploreResult r;
+        r.stats.stop_for(reason);
+        return r;
+      });
 }
 
-bool reachable(const BipSystem& sys, const BipPredicate& pred,
-               const ExploreOptions& opts) {
-  bool found = false;
-  explore_impl(sys, opts, {}, pred, &found);
-  return found;
+common::Verdict reachable(const BipSystem& sys, const BipPredicate& pred,
+                          const ExploreOptions& opts) {
+  opts.limits.validate("bip.reachable");
+  return common::governed(
+      [&]() -> common::Verdict {
+        bool found = false;
+        ExploreResult r = explore_impl(sys, opts, {}, pred, &found);
+        if (found) return common::Verdict::kHolds;
+        return r.stats.truncated ? common::Verdict::kUnknown
+                                 : common::Verdict::kViolated;
+      },
+      [](common::StopReason) { return common::Verdict::kUnknown; });
 }
 
 }  // namespace quanta::bip

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "bip/engine.h"
+#include "common/verdict.h"
 #include "core/search.h"
 
 namespace quanta::bip {
@@ -15,13 +16,19 @@ namespace quanta::bip {
 using BipPredicate = std::function<bool(const BipState&)>;
 
 struct ExploreOptions {
-  core::SearchLimits limits{5'000'000};
+  core::SearchLimits limits{.max_states = 5'000'000, .budget = {}};
   /// Explore under the priority layer (true) or the unrestricted interaction
   /// semantics (false). Deadlock-freedom is priority-sensitive in BIP.
   bool use_priorities = true;
 };
 
 struct ExploreResult {
+  /// Three-valued answer to "the system is deadlock-free and safe":
+  /// kViolated on a concrete deadlock or safety violation (definite even
+  /// under a budget), kHolds only after exhausting the reachable states,
+  /// kUnknown when the search was truncated without finding either.
+  common::Verdict verdict = common::Verdict::kUnknown;
+
   /// The core's uniform counters: states_stored / transitions / truncated.
   core::SearchStats stats;
 
@@ -30,6 +37,8 @@ struct ExploreResult {
 
   bool violation_found = false;
   std::string violating_state;
+
+  common::StopReason stop() const { return stats.stop; }
 };
 
 std::string describe_state(const BipSystem& sys, const BipState& s);
@@ -39,8 +48,9 @@ std::string describe_state(const BipSystem& sys, const BipState& s);
 ExploreResult explore(const BipSystem& sys, const ExploreOptions& opts = {},
                       const BipPredicate& safety = {});
 
-/// E<> pred over the reachable states.
-bool reachable(const BipSystem& sys, const BipPredicate& pred,
-               const ExploreOptions& opts = {});
+/// E<> pred over the reachable states: kHolds with a witness, kViolated
+/// after exhausting the reachable states, kUnknown when truncated first.
+common::Verdict reachable(const BipSystem& sys, const BipPredicate& pred,
+                          const ExploreOptions& opts = {});
 
 }  // namespace quanta::bip

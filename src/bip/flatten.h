@@ -12,7 +12,7 @@
 namespace quanta::bip {
 
 struct FlattenOptions {
-  core::SearchLimits limits{1'000'000};
+  core::SearchLimits limits{.max_states = 1'000'000, .budget = {}};
   bool use_priorities = true;
 };
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/error.h"
+
 namespace quanta::bip {
 
 int BipSystem::add_component(Component c) {
@@ -63,7 +65,10 @@ void BipSystem::validate() const {
   for (const auto& rule : priorities_) {
     if (rule.low < 0 || rule.low >= connector_count() || rule.high < 0 ||
         rule.high >= connector_count() || rule.low == rule.high) {
-      throw std::invalid_argument("invalid priority rule");
+      throw std::invalid_argument(quanta::context(
+          "bip.system", "priority rule (low=", rule.low, ", high=",
+          rule.high, ") references invalid or identical connectors (",
+          connector_count(), " connectors declared)"));
     }
   }
 }

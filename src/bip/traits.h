@@ -15,6 +15,15 @@ struct StateTraits<bip::BipState> {
   static bool equal(const bip::BipState& a, const bip::BipState& b) {
     return a == b;
   }
+
+  static std::size_t memory_bytes(const bip::BipState& s) {
+    std::size_t n = s.places.capacity() * sizeof(int) +
+                    s.vars.capacity() * sizeof(common::Valuation);
+    for (const common::Valuation& v : s.vars) {
+      n += v.capacity() * sizeof(common::Valuation::value_type);
+    }
+    return n;
+  }
 };
 
 }  // namespace quanta::core

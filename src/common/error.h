@@ -1,0 +1,67 @@
+// quanta::Error — the common base of runtime failures raised by this
+// toolkit. Every message carries the raising subsystem plus enough context
+// (automaton / process name, offending value) to diagnose the failure
+// without a debugger; context() is the one formatter all throw sites share.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace quanta {
+
+namespace detail {
+
+inline void context_append(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void context_append(std::ostringstream& os, const T& part, const Rest&... rest) {
+  os << part;
+  context_append(os, rest...);
+}
+
+}  // namespace detail
+
+/// Formats "subsystem: part0part1..." — the uniform shape of every quanta
+/// diagnostic. Use it for std:: exception types that must keep their class
+/// (std::invalid_argument at validated entry points) as well as for Error.
+template <typename... Parts>
+std::string context(std::string_view subsystem, const Parts&... parts) {
+  std::ostringstream os;
+  os << subsystem << ": ";
+  detail::context_append(os, parts...);
+  return os.str();
+}
+
+/// Base of quanta-raised runtime failures. what() == context(subsystem, ...).
+class Error : public std::runtime_error {
+ public:
+  template <typename... Parts>
+  Error(std::string_view subsystem, const Parts&... parts)
+      : std::runtime_error(context(subsystem, parts...)),
+        subsystem_(subsystem) {}
+
+  const std::string& subsystem() const noexcept { return subsystem_; }
+
+ private:
+  std::string subsystem_;
+};
+
+/// A resource gave out (memory accounting tripped, a worker died of
+/// exhaustion). Engine entry points absorb this class — and std::bad_alloc —
+/// into a kUnknown verdict instead of crashing (see common/budget.h).
+class ResourceError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised by common::FaultInjector at an armed site (QUANTA_FAULT). Derived
+/// from ResourceError so the graceful-degradation path treats an injected
+/// fault exactly like a real resource failure.
+class FaultError : public ResourceError {
+ public:
+  using ResourceError::ResourceError;
+};
+
+}  // namespace quanta

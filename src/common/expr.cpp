@@ -1,5 +1,7 @@
 #include "common/expr.h"
 
+#include "common/error.h"
+
 namespace quanta::common {
 
 int VarTable::declare(std::string name, Value init, Value min, Value max) {
@@ -27,12 +29,16 @@ Valuation VarTable::initial() const {
 
 void VarTable::check_bounds(const Valuation& v) const {
   if (v.size() != decls_.size()) {
-    throw std::out_of_range("VarTable::check_bounds: arity mismatch");
+    throw std::out_of_range(quanta::context(
+        "common.expr", "VarTable::check_bounds: valuation has ", v.size(),
+        " entries but ", decls_.size(), " variables are declared"));
   }
   for (std::size_t i = 0; i < decls_.size(); ++i) {
     if (v[i] < decls_[i].min || v[i] > decls_[i].max) {
-      throw std::out_of_range("variable " + decls_[i].name +
-                              " out of declared range");
+      throw std::out_of_range(quanta::context(
+          "common.expr", "variable ", decls_[i].name, " = ", v[i],
+          " outside its declared range [", decls_[i].min, ", ",
+          decls_[i].max, "]"));
     }
   }
 }

@@ -3,11 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/error.h"
+
 namespace quanta::common {
 
 double Rng::exponential(double rate) {
   if (rate <= 0.0) {
-    throw std::invalid_argument("Rng::exponential: rate must be positive");
+    throw std::invalid_argument(quanta::context(
+        "common.rng", "Rng::exponential: rate must be positive, got ", rate));
   }
   // Inverse transform sampling; guard against log(0).
   double u = uniform01();
@@ -17,7 +20,8 @@ double Rng::exponential(double rate) {
 
 int Rng::uniform_int(int lo, int hi) {
   if (lo > hi) {
-    throw std::invalid_argument("Rng::uniform_int: empty range");
+    throw std::invalid_argument(quanta::context(
+        "common.rng", "Rng::uniform_int: empty range [", lo, ", ", hi, "]"));
   }
   std::uniform_int_distribution<int> dist(lo, hi);
   return dist(engine_);
@@ -26,11 +30,16 @@ int Rng::uniform_int(int lo, int hi) {
 std::size_t Rng::weighted_choice(std::span<const double> weights) {
   double total = 0.0;
   for (double w : weights) {
-    if (w < 0.0) throw std::invalid_argument("Rng::weighted_choice: negative weight");
+    if (w < 0.0) {
+      throw std::invalid_argument(quanta::context(
+          "common.rng", "Rng::weighted_choice: negative weight ", w));
+    }
     total += w;
   }
   if (total <= 0.0) {
-    throw std::invalid_argument("Rng::weighted_choice: all weights zero");
+    throw std::invalid_argument(quanta::context(
+        "common.rng", "Rng::weighted_choice: all ", weights.size(),
+        " weights are zero"));
   }
   double target = uniform01() * total;
   double acc = 0.0;

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/error.h"
+
 namespace quanta::common {
 
 void RunningStats::add(double x) {
@@ -99,9 +101,14 @@ double beta_quantile(double a, double b, double p) {
 
 std::pair<double, double> clopper_pearson(std::size_t successes,
                                           std::size_t trials, double alpha) {
-  if (trials == 0) throw std::invalid_argument("clopper_pearson: no trials");
+  if (trials == 0) {
+    throw std::invalid_argument(quanta::context(
+        "common.stats", "clopper_pearson: trials must be positive"));
+  }
   if (successes > trials) {
-    throw std::invalid_argument("clopper_pearson: successes > trials");
+    throw std::invalid_argument(quanta::context(
+        "common.stats", "clopper_pearson: successes (", successes,
+        ") exceed trials (", trials, ")"));
   }
   double k = static_cast<double>(successes);
   double n = static_cast<double>(trials);
@@ -117,7 +124,9 @@ std::pair<double, double> clopper_pearson(std::size_t successes,
 
 std::size_t chernoff_sample_count(double epsilon, double delta) {
   if (epsilon <= 0.0 || epsilon >= 1.0 || delta <= 0.0 || delta >= 1.0) {
-    throw std::invalid_argument("chernoff_sample_count: parameters in (0,1)");
+    throw std::invalid_argument(quanta::context(
+        "common.stats", "chernoff_sample_count: epsilon and delta must lie ",
+        "in (0, 1), got epsilon=", epsilon, ", delta=", delta));
   }
   double n = std::log(2.0 / delta) / (2.0 * epsilon * epsilon);
   return static_cast<std::size_t>(std::ceil(n));

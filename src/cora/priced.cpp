@@ -46,7 +46,9 @@ std::int64_t PriceModel::move_cost(const ta::Move& m) const {
   return total;
 }
 
-MinCostResult min_cost_reachability(
+namespace {
+
+MinCostResult min_cost_impl(
     const ta::System& sys, const PriceModel& prices,
     const std::function<bool(const ta::DigitalState&)>& goal,
     const MinCostOptions& opts) {
@@ -94,7 +96,7 @@ MinCostResult min_cost_reachability(
         }
         if (goal(store.state(e.id))) {
           goal_node = e.id;
-          result.reachable = true;
+          result.verdict = common::Verdict::kHolds;
           result.cost = e.key;
           return core::Visit::kStop;
         }
@@ -117,6 +119,9 @@ MinCostResult min_cost_reachability(
         }
         return taken;
       });
+  if (goal_node < 0 && !result.stats.truncated) {
+    result.verdict = common::Verdict::kViolated;
+  }
   if (goal_node >= 0 && opts.record_trace) {
     for (std::int32_t cur = goal_node; cur >= 0;
          cur = info[static_cast<std::size_t>(cur)].parent) {
@@ -125,6 +130,22 @@ MinCostResult min_cost_reachability(
     std::reverse(result.trace.begin(), result.trace.end());
   }
   return result;
+}
+
+}  // namespace
+
+MinCostResult min_cost_reachability(
+    const ta::System& sys, const PriceModel& prices,
+    const std::function<bool(const ta::DigitalState&)>& goal,
+    const MinCostOptions& opts) {
+  opts.limits.validate("cora.min_cost_reachability");
+  return common::governed(
+      [&] { return min_cost_impl(sys, prices, goal, opts); },
+      [](common::StopReason r) {
+        MinCostResult result;
+        result.stats.stop_for(r);
+        return result;
+      });
 }
 
 }  // namespace quanta::cora

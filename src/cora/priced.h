@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/verdict.h"
 #include "core/search.h"
 #include "ta/digital.h"
 
@@ -45,15 +46,22 @@ class PriceModel {
 };
 
 struct MinCostResult {
-  bool reachable = false;
+  /// kHolds = the goal was popped from the cost-ordered queue, so `cost` is
+  /// the exact optimum (Dijkstra invariant — sound even if a budget would
+  /// have tripped later); kViolated = the goal is unreachable (queue
+  /// exhausted); kUnknown = search truncated before either.
+  common::Verdict verdict = common::Verdict::kUnknown;
   std::int64_t cost = 0;
   core::SearchStats stats;
   /// Action labels along one cheapest path ("tick" for unit delays).
   std::vector<std::string> trace;
+
+  bool reachable() const { return verdict == common::Verdict::kHolds; }
+  common::StopReason stop() const { return stats.stop; }
 };
 
 struct MinCostOptions {
-  core::SearchLimits limits{10'000'000};
+  core::SearchLimits limits{.max_states = 10'000'000, .budget = {}};
   bool record_trace = false;
 };
 

@@ -8,11 +8,14 @@
 //
 // The loop owns the uniform semantics all engines share:
 //   pop -> skip covered (subsumed) states -> visit -> count explored ->
-//   stop on kStop -> truncate when SearchLimits::reached(store.size()) ->
-//   expand.
+//   stop on kStop -> truncate when SearchLimits::reached(store.size()) or
+//   the Budget gives out -> expand.
 // In particular the truncation check sits after the visit of the popped
-// state and before its expansion, so every engine reports `truncated`
-// identically and never half-expands a state.
+// state and before its expansion, so every engine reports its StopReason
+// identically and never half-expands a state. Budget polling (the only
+// clock read) is amortized to every kBudgetPollStride expansions — except
+// the very first, which polls immediately so an already-expired deadline is
+// detected deterministically even on tiny models.
 #pragma once
 
 #include <utility>
@@ -31,11 +34,19 @@ enum class Visit {
   kStop,      ///< search done (goal found / violation): counted, not expanded
 };
 
+/// Expansions between two Budget polls. One steady_clock read per stride
+/// keeps the deadline/memory-check overhead on the hot loop under the noise
+/// floor (bench/bench_budget_overhead.cpp).
+inline constexpr std::size_t kBudgetPollStride = 64;
+
 template <typename Store, typename VisitFn, typename ExpandFn>
 SearchStats explore(Store& store, Worklist& work, const SearchLimits& limits,
                     VisitFn&& visit, ExpandFn&& expand,
                     ExplorationObserver* observer = nullptr) {
   SearchStats stats;
+  const common::Budget& budget = limits.budget;
+  const bool governed = budget.active();
+  std::size_t poll_in = 1;  // first expansion polls; then every stride
   while (!work.empty()) {
     const Worklist::Entry entry = work.pop();
     if (store.covered(entry.id)) continue;
@@ -45,8 +56,16 @@ SearchStats explore(Store& store, Worklist& work, const SearchLimits& limits,
     if (observer != nullptr) observer->on_state_explored(entry.id);
     if (verdict == Visit::kStop) break;
     if (limits.reached(store.size())) {
-      stats.truncated = true;
+      stats.stop_for(common::StopReason::kStateLimit);
       break;
+    }
+    if (governed && --poll_in == 0) {
+      poll_in = kBudgetPollStride;
+      const common::StopReason r = budget.poll(store.memory_bytes());
+      if (r != common::StopReason::kCompleted) {
+        stats.stop_for(r);
+        break;
+      }
     }
     stats.transitions += expand(entry);
   }

@@ -1,11 +1,19 @@
 // Shared search vocabulary of the exploration core: every symbolic engine
 // (mc reachability/liveness, TIGA, CORA, BIP, ECDAR, the digital-MDP builder)
 // expresses its passed/waiting loop with these types so that limits,
-// statistics and truncation semantics are uniform across the toolkit.
+// statistics, budgets and truncation semantics are uniform across the
+// toolkit. A search that stops for any resource reason reports the
+// common::StopReason in its stats — never a definite verdict.
 #pragma once
 
 #include <cstddef>
 #include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "common/budget.h"
+#include "common/error.h"
+#include "common/verdict.h"
 
 namespace quanta::core {
 
@@ -13,16 +21,31 @@ namespace quanta::core {
 /// state space; verdicts of order-insensitive analyses must not change.
 enum class SearchOrder { kBfs, kDfs, kPriority };
 
-/// Resource bounds on an exploration. A search that stops because of a limit
-/// reports `SearchStats::truncated` — never a definite verdict.
+/// Resource bounds on an exploration: the classic stored-state cap plus the
+/// shared resource envelope (wall-clock deadline, memory ceiling,
+/// cancellation token) of common::Budget.
 struct SearchLimits {
   std::size_t max_states = std::numeric_limits<std::size_t>::max();
+
+  /// Deadline / memory ceiling / cancel token; polled amortized by
+  /// core::explore so the hot loop stays flat when the budget is inactive.
+  common::Budget budget;
 
   /// The uniform truncation rule: the search stops (truncated) when the
   /// number of *stored* states reaches the limit, checked after the popped
   /// state has been visited (goal-tested) but before it is expanded.
   bool reached(std::size_t states_stored) const {
     return states_stored >= max_states;
+  }
+
+  /// Entry-point argument validation: a zero state bound silently explores
+  /// nothing and would masquerade as an exhaustive "no"; reject it loudly.
+  void validate(const char* subsystem) const {
+    if (max_states == 0) {
+      throw std::invalid_argument(quanta::context(
+          subsystem, "SearchLimits.max_states must be positive (a zero bound ",
+          "would truncate before the initial state)"));
+    }
   }
 };
 
@@ -31,7 +54,17 @@ struct SearchStats {
   std::size_t states_stored = 0;    ///< interned states (incl. covered ones)
   std::size_t states_explored = 0;  ///< states popped and visited
   std::size_t transitions = 0;      ///< successor edges generated
-  bool truncated = false;           ///< a SearchLimits bound was hit
+  bool truncated = false;           ///< a SearchLimits/Budget bound was hit
+  /// Why the search ended; truncated == (stop != kCompleted). A definite
+  /// engine verdict is only ever derived from a kCompleted search (or from
+  /// a witness found before any bound was hit).
+  common::StopReason stop = common::StopReason::kCompleted;
+
+  /// Marks the search as stopped by a resource bound.
+  void stop_for(common::StopReason reason) {
+    stop = reason;
+    truncated = true;
+  }
 };
 
 }  // namespace quanta::core

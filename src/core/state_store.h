@@ -18,10 +18,12 @@
 #pragma once
 
 #include <cassert>
+#include <concepts>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "core/traits.h"
 
 namespace quanta::core {
@@ -68,6 +70,7 @@ class StateStore {
   /// id if inserted, or the id of the stored state that deduplicates /
   /// subsumes `s` otherwise.
   Interned intern(S s) {
+    common::FaultInjector::site("core.state_store.intern");
     const std::size_t h = key_hash(s);
     std::size_t slot = probe_slot(h);
     std::int32_t tail = kEmpty;
@@ -102,6 +105,7 @@ class StateStore {
       }
     }
     const std::int32_t id = static_cast<std::int32_t>(states_.size());
+    bytes_ += state_bytes(s);
     states_.push_back(std::move(s));
     hashes_.push_back(h);
     next_.push_back(kEmpty);
@@ -121,6 +125,14 @@ class StateStore {
 
   /// Number of interned states (covered tombstones included).
   std::size_t size() const { return states_.size(); }
+
+  /// Approximate bytes held by the store: per-state payload (including the
+  /// heap behind each state when the traits provide memory_bytes) plus the
+  /// interning bookkeeping and the hash table. Feeds the memory ceiling of
+  /// common::Budget; maintained incrementally so reading it is free.
+  std::size_t memory_bytes() const {
+    return bytes_ + slots_.size() * sizeof(std::int32_t);
+  }
 
   const Options& options() const { return opts_; }
 
@@ -145,6 +157,17 @@ class StateStore {
 
   static std::size_t toIdx(std::int32_t id) {
     return static_cast<std::size_t>(id);
+  }
+
+  /// Bytes one interned state adds to the store: the in-place object, its
+  /// traits-reported heap payload, and the per-state bookkeeping columns.
+  static std::size_t state_bytes(const S& s) {
+    std::size_t n = sizeof(S) + sizeof(std::size_t) + sizeof(std::int32_t) +
+                    sizeof(std::uint8_t);
+    if constexpr (requires { { Traits::memory_bytes(s) } -> std::convertible_to<std::size_t>; }) {
+      n += Traits::memory_bytes(s);
+    }
+    return n;
   }
 
   std::size_t key_hash(const S& s) const {
@@ -188,6 +211,7 @@ class StateStore {
   std::vector<std::int32_t> slots_;   ///< open-addressed table of chain heads
   std::size_t occupied_ = 0;
   std::size_t covered_count_ = 0;
+  std::size_t bytes_ = 0;  ///< accumulated per-state bytes (see state_bytes)
 };
 
 }  // namespace quanta::core

@@ -6,6 +6,8 @@
 
 #include "common/hash.h"
 
+#include "common/error.h"
+
 namespace quanta::dbm {
 
 std::string bound_to_string(raw_t raw) {
@@ -16,7 +18,11 @@ std::string bound_to_string(raw_t raw) {
 }
 
 Dbm::Dbm(int dim) : dim_(dim), m_(static_cast<std::size_t>(dim) * dim, kLeZero) {
-  if (dim < 1) throw std::invalid_argument("Dbm: dimension must be >= 1");
+  if (dim < 1) {
+    throw std::invalid_argument(quanta::context(
+        "dbm", "dimension must be >= 1 (clock 0 is the reference), got ",
+        dim));
+  }
 }
 
 Dbm Dbm::zero(int dim) {
@@ -137,7 +143,11 @@ void Dbm::copy_clock(int dst, int src) {
 }
 
 Relation Dbm::relation(const Dbm& other) const {
-  if (dim_ != other.dim_) throw std::invalid_argument("Dbm::relation: dim mismatch");
+  if (dim_ != other.dim_) {
+    throw std::invalid_argument(quanta::context(
+        "dbm", "Dbm::relation: dimension mismatch (", dim_, " vs ",
+        other.dim_, ")"));
+  }
   bool this_empty = is_empty();
   bool other_empty = other.is_empty();
   if (this_empty && other_empty) return Relation::kEqual;
@@ -164,7 +174,11 @@ bool Dbm::intersects(const Dbm& other) const {
 }
 
 bool Dbm::intersect(const Dbm& other) {
-  if (dim_ != other.dim_) throw std::invalid_argument("Dbm::intersect: dim mismatch");
+  if (dim_ != other.dim_) {
+    throw std::invalid_argument(quanta::context(
+        "dbm", "Dbm::intersect: dimension mismatch (", dim_, " vs ",
+        other.dim_, ")"));
+  }
   if (is_empty()) return false;
   if (other.is_empty()) {
     set(0, 0, bound_lt(-1));
@@ -183,7 +197,9 @@ bool Dbm::intersect(const Dbm& other) {
 void Dbm::extrapolate_max_bounds(const std::vector<std::int32_t>& k) {
   if (is_empty()) return;
   if (static_cast<int>(k.size()) != dim_) {
-    throw std::invalid_argument("extrapolate_max_bounds: bad constants vector");
+    throw std::invalid_argument(quanta::context(
+        "dbm", "extrapolate_max_bounds: expected ", dim_,
+        " constants (one per clock incl. the reference), got ", k.size()));
   }
   bool changed = false;
   for (int i = 0; i < dim_; ++i) {
@@ -206,7 +222,9 @@ void Dbm::extrapolate_max_bounds(const std::vector<std::int32_t>& k) {
 bool Dbm::contains_point(const std::vector<double>& v) const {
   if (is_empty()) return false;
   if (static_cast<int>(v.size()) != dim_) {
-    throw std::invalid_argument("contains_point: arity mismatch");
+    throw std::invalid_argument(quanta::context(
+        "dbm", "contains_point: point has ", v.size(),
+        " coordinates but the DBM has ", dim_, " clocks"));
   }
   constexpr double kTol = 1e-9;
   for (int i = 0; i < dim_; ++i) {

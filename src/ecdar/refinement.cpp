@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/hash.h"
+#include "core/explore.h"
 #include "core/state_store.h"
 #include "core/worklist.h"
 #include "ecdar/internal.h"
@@ -32,6 +33,11 @@ std::size_t tioa_hash(const TioaState& s) {
   return seed;
 }
 
+std::size_t tioa_bytes(const TioaState& s) {
+  return s.vars.capacity() * sizeof(decltype(s.vars)::value_type) +
+         s.clocks.capacity() * sizeof(decltype(s.clocks)::value_type);
+}
+
 struct PairTraits {
   static constexpr bool kSupportsInclusion = false;
 
@@ -41,16 +47,21 @@ struct PairTraits {
     return seed;
   }
   static bool equal(const PairState& a, const PairState& b) { return a == b; }
+  static std::size_t memory_bytes(const PairState& p) {
+    return tioa_bytes(p.s) + tioa_bytes(p.t);
+  }
 };
 
-}  // namespace
-
-RefinementResult check_refinement(const Tioa& s_spec, const Tioa& t_spec) {
+RefinementResult check_refinement_impl(const Tioa& s_spec,
+                                       const Tioa& t_spec,
+                                       const core::SearchLimits& limits) {
   OpenTioaStepper s(s_spec);
   OpenTioaStepper t(t_spec);
   if (s_spec.inputs != t_spec.inputs) {
-    throw std::invalid_argument(
-        "check_refinement: specifications must share the input alphabet");
+    throw std::invalid_argument(quanta::context(
+        "ecdar.check_refinement",
+        "specifications must share the input alphabet (got ",
+        s_spec.inputs.size(), " vs ", t_spec.inputs.size(), " inputs)"));
   }
 
   // Co-inductive check by on-the-fly exploration of state pairs: assume the
@@ -68,19 +79,36 @@ RefinementResult check_refinement(const Tioa& s_spec, const Tioa& t_spec) {
   RefinementResult result;
   auto fail = [&](const TioaState& ss, const TioaState& ts,
                   const std::string& why) {
-    result.refines = false;
+    result.verdict = common::Verdict::kViolated;
     std::ostringstream os;
     os << why << " at pair (" << s.describe(ss) << ", " << t.describe(ts) << ")";
     result.reason = os.str();
+    result.stats.states_stored = seen.size();
     return result;
   };
 
+  const common::Budget& budget = limits.budget;
+  const bool governed_run = budget.active();
+  std::size_t poll_in = 1;
   while (!work.empty()) {
     // Copy: the store may grow while this pair's obligations are pushed.
     const PairState pair = seen.state(work.pop().id);
     const TioaState& ss = pair.s;
     const TioaState& ts = pair.t;
     ++result.pairs_explored;
+    ++result.stats.states_explored;
+    if (limits.reached(seen.size())) {
+      result.stats.stop_for(common::StopReason::kStateLimit);
+      break;
+    }
+    if (governed_run && --poll_in == 0) {
+      poll_in = core::kBudgetPollStride;
+      const common::StopReason r = budget.poll(seen.memory_bytes());
+      if (r != common::StopReason::kCompleted) {
+        result.stats.stop_for(r);
+        break;
+      }
+    }
 
     // (i) Inputs offered by T must be accepted by S.
     for (const auto& e : t.process().edges) {
@@ -116,8 +144,23 @@ RefinementResult check_refinement(const Tioa& s_spec, const Tioa& t_spec) {
       push(s.delay(ss), t.delay(ts));
     }
   }
-  result.refines = true;
+  result.stats.states_stored = seen.size();
+  if (!result.stats.truncated) result.verdict = common::Verdict::kHolds;
   return result;
+}
+
+}  // namespace
+
+RefinementResult check_refinement(const Tioa& s_spec, const Tioa& t_spec,
+                                  const core::SearchLimits& limits) {
+  limits.validate("ecdar.check_refinement");
+  return common::governed(
+      [&] { return check_refinement_impl(s_spec, t_spec, limits); },
+      [](common::StopReason r) {
+        RefinementResult result;
+        result.stats.stop_for(r);
+        return result;
+      });
 }
 
 }  // namespace quanta::ecdar

@@ -4,20 +4,31 @@
 // allowed by T, and S's delays must be matched by T.
 #pragma once
 
+#include "common/verdict.h"
+#include "core/search.h"
 #include "ecdar/tioa.h"
 
 namespace quanta::ecdar {
 
 struct RefinementResult {
-  bool refines = false;
+  /// kHolds = every alternating-simulation obligation was discharged;
+  /// kViolated = a failing pair was found (see reason — sound even under a
+  /// budget, the counterexample is concrete); kUnknown = the obligation
+  /// space was truncated by a SearchLimits/Budget bound.
+  common::Verdict verdict = common::Verdict::kUnknown;
   std::size_t pairs_explored = 0;
-  /// When !refines: a printable reason for the first failing pair.
+  core::SearchStats stats;
+  /// When violated: a printable reason for the first failing pair.
   std::string reason;
+
+  bool refines() const { return verdict == common::Verdict::kHolds; }
+  common::StopReason stop() const { return stats.stop; }
 };
 
 /// Checks S <= T (S refines T). Both specifications must be deterministic
 /// (at most one enabled edge per action per state) and share action ids and
 /// input/output polarity; throws std::invalid_argument otherwise.
-RefinementResult check_refinement(const Tioa& s, const Tioa& t);
+RefinementResult check_refinement(const Tioa& s, const Tioa& t,
+                                  const core::SearchLimits& limits = {});
 
 }  // namespace quanta::ecdar

@@ -76,6 +76,7 @@ void ThreadPool::drain(unsigned id) {
     std::uint64_t b, e;
     if (!claim(&b, &e)) return;
     try {
+      common::FaultInjector::site("exec.thread_pool.chunk");
       body(b, e, id);
     } catch (...) {
       abort_.store(true, std::memory_order_relaxed);

@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/budget.h"
+
 namespace quanta::exec {
 
 /// Cooperative cancellation flag shared between the scheduler and its
@@ -24,17 +26,11 @@ namespace quanta::exec {
 /// individual runs); outstanding chunks that were never claimed are simply
 /// abandoned. Cancellation is advisory: work already inside the body runs to
 /// the next poll point.
-class CancellationToken {
- public:
-  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
-  bool cancelled() const noexcept {
-    return flag_.load(std::memory_order_relaxed);
-  }
-  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
-
- private:
-  std::atomic<bool> flag_{false};
-};
+///
+/// This is the one cancellation type of the whole toolkit: the same token
+/// lives inside common::Budget, so a watchdog (exec/watchdog.h) or a user
+/// cancels a symbolic search and a statistical executor job alike.
+using CancellationToken = common::CancelToken;
 
 /// Worker count picked by the QUANTA_JOBS environment variable when set (>= 1),
 /// otherwise std::thread::hardware_concurrency() (>= 1).

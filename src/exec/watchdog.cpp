@@ -1,0 +1,46 @@
+#include "exec/watchdog.h"
+
+#include <chrono>
+
+namespace quanta::exec {
+
+namespace {
+// Poll cadence. Short enough that a deadline overshoots by at most ~5ms,
+// long enough that the watchdog thread is asleep essentially always.
+constexpr std::chrono::milliseconds kPollSlice{5};
+}  // namespace
+
+Watchdog::Watchdog(const common::Budget& budget, common::CancelToken& target)
+    : budget_(budget), target_(target) {
+  if (!budget_.active()) return;  // nothing to watch; stay threadless
+  thread_ = std::thread([this] { run(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::run() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    // Poll before the first sleep: a budget that is already tripped when the
+    // watchdog starts (expired deadline, pre-cancelled token) fires within
+    // microseconds instead of one full slice later.
+    // The watchdog has no view of engine memory, so it polls deadline /
+    // cancel / forced-deadline only (memory_bytes_in_use = 0).
+    const common::StopReason r = budget_.poll(0);
+    if (r != common::StopReason::kCompleted) {
+      reason_.store(r, std::memory_order_release);
+      target_.cancel();
+      return;
+    }
+    if (cv_.wait_for(lk, kPollSlice, [&] { return stop_; })) return;
+  }
+}
+
+}  // namespace quanta::exec

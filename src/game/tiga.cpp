@@ -24,7 +24,10 @@ std::optional<StrategyAction> Strategy::action(const ta::DigitalState& s) const 
   return it->second;
 }
 
-TimedGame::TimedGame(const ta::System& sys) : sem_(sys) {}
+TimedGame::TimedGame(const ta::System& sys, core::SearchLimits limits)
+    : sem_(sys), limits_(std::move(limits)) {
+  limits_.validate("game.tiga");
+}
 
 void TimedGame::build_graph() {
   if (built_) return;
@@ -40,8 +43,8 @@ void TimedGame::build_graph() {
   };
 
   intern(sem_.initial());
-  core::explore(
-      store_, work, core::SearchLimits{},
+  build_stats_ = core::explore(
+      store_, work, limits_,
       [](const core::Worklist::Entry&) { return core::Visit::kContinue; },
       [&](const core::Worklist::Entry& e) -> std::size_t {
         const ta::DigitalState state = store_.state(e.id);
@@ -67,6 +70,16 @@ void TimedGame::build_graph() {
 }
 
 GameResult TimedGame::solve_reachability(const GamePredicate& goal) {
+  return common::governed(
+      [&] { return solve_reachability_impl(goal); },
+      [](common::StopReason r) {
+        GameResult res;
+        res.stats.stop_for(r);
+        return res;
+      });
+}
+
+GameResult TimedGame::solve_reachability_impl(const GamePredicate& goal) {
   build_graph();
   const std::size_t n = nodes_.size();
   std::vector<char> win(n, 0);
@@ -115,6 +128,7 @@ GameResult TimedGame::solve_reachability(const GamePredicate& goal) {
   }
 
   GameResult result;
+  result.stats = build_stats_;
   result.states_explored = n;
   for (std::size_t i = 0; i < n; ++i) {
     if (!win[i]) continue;
@@ -122,11 +136,28 @@ GameResult TimedGame::solve_reachability(const GamePredicate& goal) {
     result.strategy.actions_.emplace(store_.state(static_cast<std::int32_t>(i)),
                                      act[i]);
   }
-  result.controller_wins = !nodes_.empty() && win[0];
+  // A fixpoint over a truncated graph is unsound in both directions (missing
+  // winning paths and missing environment threats alike).
+  if (build_stats_.truncated) {
+    result.verdict = common::Verdict::kUnknown;
+  } else {
+    result.verdict = (!nodes_.empty() && win[0]) ? common::Verdict::kHolds
+                                                 : common::Verdict::kViolated;
+  }
   return result;
 }
 
 GameResult TimedGame::solve_safety(const GamePredicate& safe) {
+  return common::governed(
+      [&] { return solve_safety_impl(safe); },
+      [](common::StopReason r) {
+        GameResult res;
+        res.stats.stop_for(r);
+        return res;
+      });
+}
+
+GameResult TimedGame::solve_safety_impl(const GamePredicate& safe) {
   build_graph();
   const std::size_t n = nodes_.size();
   std::vector<char> win(n, 0);
@@ -165,6 +196,7 @@ GameResult TimedGame::solve_safety(const GamePredicate& safe) {
   }
 
   GameResult result;
+  result.stats = build_stats_;
   result.states_explored = n;
   for (std::size_t i = 0; i < n; ++i) {
     if (!win[i]) continue;
@@ -182,7 +214,12 @@ GameResult TimedGame::solve_safety(const GamePredicate& safe) {
     result.strategy.actions_.emplace(store_.state(static_cast<std::int32_t>(i)),
                                      action);
   }
-  result.controller_wins = !nodes_.empty() && win[0];
+  if (build_stats_.truncated) {
+    result.verdict = common::Verdict::kUnknown;
+  } else {
+    result.verdict = (!nodes_.empty() && win[0]) ? common::Verdict::kHolds
+                                                 : common::Verdict::kViolated;
+  }
   return result;
 }
 

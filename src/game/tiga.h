@@ -19,6 +19,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/verdict.h"
+#include "core/search.h"
 #include "core/state_store.h"
 #include "ta/digital.h"
 #include "ta/traits.h"
@@ -51,15 +53,24 @@ class Strategy {
 };
 
 struct GameResult {
-  bool controller_wins = false;  ///< initial state is in the winning region
+  /// kHolds = the initial state is in the controller's winning region,
+  /// kViolated = it provably is not, kUnknown = the game graph was
+  /// truncated (a fixpoint on a partial graph is unsound both ways).
+  common::Verdict verdict = common::Verdict::kUnknown;
+  core::SearchStats stats;  ///< of the game-graph construction
   std::size_t states_explored = 0;
   std::size_t winning_states = 0;
   Strategy strategy;
+
+  bool controller_wins() const { return verdict == common::Verdict::kHolds; }
+  common::StopReason stop() const { return stats.stop; }
 };
 
 class TimedGame {
  public:
-  explicit TimedGame(const ta::System& sys);
+  /// `limits` bounds the game-graph construction (states, deadline, memory,
+  /// cancellation); a truncated build yields kUnknown results.
+  explicit TimedGame(const ta::System& sys, core::SearchLimits limits = {});
 
   /// Controller objective: eventually reach `goal`, whatever the
   /// environment does.
@@ -80,8 +91,12 @@ class TimedGame {
   };
 
   void build_graph();
+  GameResult solve_reachability_impl(const GamePredicate& goal);
+  GameResult solve_safety_impl(const GamePredicate& safe);
 
   ta::DigitalSemantics sem_;
+  core::SearchLimits limits_;
+  core::SearchStats build_stats_;
   core::StateStore<ta::DigitalState> store_;
   std::vector<Node> nodes_;
   bool built_ = false;

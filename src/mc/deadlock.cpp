@@ -58,7 +58,7 @@ DeadlockResult check_deadlock_freedom(const ta::System& sys,
   };
   ReachResult r = reachable(sys, has_deadlock, opts);
   DeadlockResult result;
-  result.deadlock_free = !r.reachable && !r.stats.truncated;
+  result.verdict = common::negate(r.verdict);
   result.stats = r.stats;
   result.trace = std::move(r.trace);
   result.deadlocked_state = std::move(r.witness);

@@ -10,10 +10,15 @@
 namespace quanta::mc {
 
 struct DeadlockResult {
-  bool deadlock_free = false;
+  /// kHolds = deadlock-free over the fully explored state space; kViolated
+  /// = a deadlocked state was found (see trace); kUnknown = truncated.
+  common::Verdict verdict = common::Verdict::kUnknown;
   SearchStats stats;
   std::vector<std::string> trace;     ///< path to a deadlocked state
   std::string deadlocked_state;
+
+  bool deadlock_free() const { return verdict == common::Verdict::kHolds; }
+  common::StopReason stop() const { return stats.stop; }
 };
 
 DeadlockResult check_deadlock_freedom(const ta::System& sys,

@@ -106,25 +106,41 @@ std::string find_violation(const Graph& g, const std::vector<bool>& is_psi,
 LeadsToResult check_leads_to(const ta::System& sys, const StatePredicate& phi,
                              const StatePredicate& psi,
                              const ReachOptions& opts) {
-  ta::SymbolicSemantics sem(sys, ta::SymbolicSemantics::Options{opts.extrapolate});
-  LeadsToResult result;
-  Graph g = build_zone_graph(sem, opts, result.stats);
-  if (result.stats.truncated) {
-    // Unexpanded frontier states would read as stuck runs; a truncated
-    // graph supports no verdict at all.
-    result.holds = false;
-    result.reason = "state space truncated";
-    return result;
-  }
-  std::vector<bool> is_psi(g.size());
-  std::vector<int> roots;
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    is_psi[i] = psi(g.state(i));
-    if (!is_psi[i] && phi(g.state(i))) roots.push_back(static_cast<int>(i));
-  }
-  result.reason = find_violation(g, is_psi, roots);
-  result.holds = result.reason.empty();
-  return result;
+  opts.limits.validate("mc.liveness");
+  return common::governed(
+      [&] {
+        ta::SymbolicSemantics sem(
+            sys, ta::SymbolicSemantics::Options{opts.extrapolate});
+        LeadsToResult result;
+        Graph g = build_zone_graph(sem, opts, result.stats);
+        if (result.stats.truncated) {
+          // Unexpanded frontier states would read as stuck runs; a truncated
+          // graph supports no verdict at all.
+          result.verdict = common::Verdict::kUnknown;
+          result.reason = std::string("state space truncated (") +
+                          common::to_string(result.stats.stop) + ")";
+          return result;
+        }
+        std::vector<bool> is_psi(g.size());
+        std::vector<int> roots;
+        for (std::size_t i = 0; i < g.size(); ++i) {
+          is_psi[i] = psi(g.state(i));
+          if (!is_psi[i] && phi(g.state(i))) {
+            roots.push_back(static_cast<int>(i));
+          }
+        }
+        result.reason = find_violation(g, is_psi, roots);
+        result.verdict = result.reason.empty() ? common::Verdict::kHolds
+                                               : common::Verdict::kViolated;
+        return result;
+      },
+      [](common::StopReason r) {
+        LeadsToResult result;
+        result.stats.stop_for(r);
+        result.reason = std::string("analysis aborted (") +
+                        common::to_string(r) + ")";
+        return result;
+      });
 }
 
 LeadsToResult check_eventually(const ta::System& sys,
@@ -145,7 +161,7 @@ PossiblyAlwaysResult check_possibly_always(const ta::System& sys,
   LeadsToResult dual = check_eventually(sys, pred_not(psi), opts);
   PossiblyAlwaysResult result;
   result.stats = dual.stats;
-  result.holds = !dual.holds && !dual.stats.truncated;
+  result.verdict = common::negate(dual.verdict);
   return result;
 }
 

@@ -16,9 +16,14 @@
 namespace quanta::mc {
 
 struct LeadsToResult {
-  bool holds = false;
+  /// kUnknown whenever the zone graph was truncated — unexpanded frontier
+  /// states would read as stuck runs, so no verdict is supported at all.
+  common::Verdict verdict = common::Verdict::kUnknown;
   SearchStats stats;
-  std::string reason;  ///< human-readable explanation when it fails
+  std::string reason;  ///< human-readable explanation when not kHolds
+
+  bool holds() const { return verdict == common::Verdict::kHolds; }
+  common::StopReason stop() const { return stats.stop; }
 };
 
 LeadsToResult check_leads_to(const ta::System& sys, const StatePredicate& phi,
@@ -34,8 +39,11 @@ LeadsToResult check_eventually(const ta::System& sys,
 /// E[] psi ("psi can hold forever"): some run stays inside psi states —
 /// the dual of A<> (not psi).
 struct PossiblyAlwaysResult {
-  bool holds = false;
+  common::Verdict verdict = common::Verdict::kUnknown;
   SearchStats stats;
+
+  bool holds() const { return verdict == common::Verdict::kHolds; }
+  common::StopReason stop() const { return stats.stop; }
 };
 PossiblyAlwaysResult check_possibly_always(const ta::System& sys,
                                            const StatePredicate& psi,

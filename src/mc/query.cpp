@@ -9,32 +9,40 @@ QueryResult run_query(const ta::System& sys, const Query& query,
   switch (query.kind) {
     case QueryKind::kInvariant: {
       InvariantResult r = check_invariant(sys, query.p, opts);
-      result.holds = r.holds;
+      result.verdict = r.verdict;
       result.stats = r.stats;
-      if (!r.holds) result.details = "violated at " + r.violating_state;
+      if (r.verdict == common::Verdict::kViolated) {
+        result.details = "violated at " + r.violating_state;
+      }
       break;
     }
     case QueryKind::kReachability: {
       ReachResult r = reachable(sys, query.p, opts);
-      result.holds = r.reachable;
+      result.verdict = r.verdict;
       result.stats = r.stats;
-      if (r.reachable) result.details = "witness: " + r.witness;
+      if (r.reachable()) result.details = "witness: " + r.witness;
       break;
     }
     case QueryKind::kLeadsTo: {
       LeadsToResult r = check_leads_to(sys, query.p, query.q, opts);
-      result.holds = r.holds;
+      result.verdict = r.verdict;
       result.stats = r.stats;
       result.details = r.reason;
       break;
     }
     case QueryKind::kDeadlockFree: {
       DeadlockResult r = check_deadlock_freedom(sys, opts);
-      result.holds = r.deadlock_free;
+      result.verdict = r.verdict;
       result.stats = r.stats;
-      if (!r.deadlock_free) result.details = "deadlock at " + r.deadlocked_state;
+      if (r.verdict == common::Verdict::kViolated) {
+        result.details = "deadlock at " + r.deadlocked_state;
+      }
       break;
     }
+  }
+  if (result.verdict == common::Verdict::kUnknown && result.details.empty()) {
+    result.details = std::string("inconclusive (") +
+                     common::to_string(result.stats.stop) + ")";
   }
   return result;
 }

@@ -36,9 +36,12 @@ inline Query deadlock_free(std::string name) {
 
 struct QueryResult {
   std::string name;
-  bool holds = false;
+  common::Verdict verdict = common::Verdict::kUnknown;
   SearchStats stats;
   std::string details;
+
+  bool holds() const { return verdict == common::Verdict::kHolds; }
+  common::StopReason stop() const { return stats.stop; }
 };
 
 QueryResult run_query(const ta::System& sys, const Query& query,

@@ -116,15 +116,30 @@ class Explorer {
 
 ReachResult reachable(const ta::System& sys, const StatePredicate& goal,
                       const ReachOptions& opts) {
-  Explorer explorer(sys, opts);
-  ReachResult result;
-  std::int32_t idx = explorer.run(goal, result.stats);
-  result.reachable = idx >= 0;
-  if (idx >= 0) {
-    result.witness = explorer.describe(idx);
-    if (opts.record_trace) result.trace = explorer.trace_to(idx);
-  }
-  return result;
+  opts.limits.validate("mc.reachability");
+  return common::governed(
+      [&] {
+        Explorer explorer(sys, opts);
+        ReachResult result;
+        std::int32_t idx = explorer.run(goal, result.stats);
+        if (idx >= 0) {
+          // A witness is sound no matter what budget would have tripped
+          // next: the search stopped with kCompleted before any check.
+          result.verdict = common::Verdict::kHolds;
+          result.witness = explorer.describe(idx);
+          if (opts.record_trace) result.trace = explorer.trace_to(idx);
+        } else {
+          result.verdict = result.stats.truncated
+                               ? common::Verdict::kUnknown
+                               : common::Verdict::kViolated;
+        }
+        return result;
+      },
+      [](common::StopReason r) {
+        ReachResult result;
+        result.stats.stop_for(r);
+        return result;
+      });
 }
 
 InvariantResult check_invariant(const ta::System& sys,
@@ -132,7 +147,7 @@ InvariantResult check_invariant(const ta::System& sys,
                                 const ReachOptions& opts) {
   ReachResult r = reachable(sys, pred_not(safe), opts);
   InvariantResult inv;
-  inv.holds = !r.reachable && !r.stats.truncated;
+  inv.verdict = common::negate(r.verdict);
   inv.stats = r.stats;
   inv.counterexample = std::move(r.trace);
   inv.violating_state = std::move(r.witness);

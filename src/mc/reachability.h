@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/verdict.h"
 #include "core/observer.h"
 #include "core/search.h"
 #include "ta/symbolic.h"
@@ -45,12 +46,20 @@ struct ReachOptions {
 };
 
 struct ReachResult {
-  bool reachable = false;
+  /// Three-valued answer to "E<> goal": kHolds with a witness, kViolated
+  /// only after exhausting the full state space, kUnknown whenever the
+  /// search was truncated (state/time/memory limit, cancellation, fault).
+  common::Verdict verdict = common::Verdict::kUnknown;
   SearchStats stats;
   /// Action labels along a witness path (empty if not recorded/reachable).
   std::vector<std::string> trace;
   /// Printable form of the witness state.
   std::string witness;
+
+  /// Definitely reachable (a witness state was found).
+  bool reachable() const { return verdict == common::Verdict::kHolds; }
+  /// Why the search ended; kCompleted iff the verdict is definite.
+  common::StopReason stop() const { return stats.stop; }
 };
 
 /// E<> goal.
@@ -58,10 +67,15 @@ ReachResult reachable(const ta::System& sys, const StatePredicate& goal,
                       const ReachOptions& opts = {});
 
 struct InvariantResult {
-  bool holds = false;
+  /// Three-valued answer to "A[] safe". A truncated search is never a
+  /// definite yes: kUnknown carries the stop reason in stats.stop.
+  common::Verdict verdict = common::Verdict::kUnknown;
   SearchStats stats;
   std::vector<std::string> counterexample;
   std::string violating_state;
+
+  bool holds() const { return verdict == common::Verdict::kHolds; }
+  common::StopReason stop() const { return stats.stop; }
 };
 
 /// A[] safe  ==  not E<> (not safe).

@@ -4,12 +4,24 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/error.h"
+
 namespace quanta::mdp {
 
 RewardResult expected_reward_to_goal(const Mdp& m, const StateSet& goal,
                                      Objective obj, const ViOptions& opts) {
-  if (!m.frozen()) throw std::logic_error("expected reward requires frozen MDP");
+  opts.validate("mdp.expected_reward_to_goal");
+  if (!m.frozen()) {
+    throw std::logic_error(quanta::context(
+        "mdp.expected_reward_to_goal",
+        "expected reward requires a frozen MDP (call Mdp::freeze() first)"));
+  }
   const std::int32_t n = m.num_states();
+  if (static_cast<std::int32_t>(goal.size()) != n) {
+    throw std::invalid_argument(quanta::context(
+        "mdp.expected_reward_to_goal", "goal set has ", goal.size(),
+        " entries but the MDP has ", n, " states"));
+  }
 
   // Divergence analysis: the expected total reward is finite only where the
   // goal is reached almost surely (under every scheduler for kMax, under the
@@ -26,7 +38,15 @@ RewardResult expected_reward_to_goal(const Mdp& m, const StateSet& goal,
   }
 
   auto& v = result.values;
+  const bool governed_run = opts.budget.active();
   for (; result.iterations < opts.max_iterations; ++result.iterations) {
+    if (governed_run) {
+      const common::StopReason r = opts.budget.poll(0);
+      if (r != common::StopReason::kCompleted) {
+        result.stop = r;
+        break;
+      }
+    }
     double max_diff = 0.0;
     for (std::int32_t s = 0; s < n; ++s) {
       if (goal[static_cast<std::size_t>(s)]) continue;
@@ -68,6 +88,11 @@ RewardResult expected_reward_to_goal(const Mdp& m, const StateSet& goal,
       ++result.iterations;
       break;
     }
+  }
+  if (result.converged) {
+    result.verdict = common::Verdict::kHolds;
+  } else if (result.stop == common::StopReason::kCompleted) {
+    result.stop = common::StopReason::kStateLimit;
   }
   return result;
 }

@@ -16,6 +16,8 @@ struct RewardResult {
   std::vector<double> values;  ///< per state; kInfiniteReward where divergent
   std::int64_t iterations = 0;
   bool converged = false;
+  common::Verdict verdict = common::Verdict::kUnknown;
+  common::StopReason stop = common::StopReason::kCompleted;
 
   double at_initial(const Mdp& m) const {
     return values[static_cast<std::size_t>(m.initial())];

@@ -4,19 +4,27 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/error.h"
+
 namespace quanta::mdp {
 
 void Mdp::add_choice(std::int32_t state, std::vector<Branch> branches,
                      double reward) {
   if (frozen_) throw std::logic_error("Mdp::add_choice after freeze()");
-  if (state < 0) throw std::invalid_argument("Mdp::add_choice: bad state");
+  if (state < 0) {
+    throw std::invalid_argument(quanta::context(
+        "mdp", "Mdp::add_choice: state must be non-negative, got ", state));
+  }
   if (branches.empty()) {
     throw std::invalid_argument("Mdp::add_choice: empty distribution");
   }
   num_states_ = std::max(num_states_, state + 1);
   for (const Branch& b : branches) {
     if (b.target < 0 || b.prob < 0.0) {
-      throw std::invalid_argument("Mdp::add_choice: bad branch");
+      throw std::invalid_argument(quanta::context(
+          "mdp", "Mdp::add_choice: bad branch (target=", b.target,
+          ", prob=", b.prob,
+          "): target must be >= 0 and probability non-negative"));
     }
     num_states_ = std::max(num_states_, b.target + 1);
   }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/error.h"
+
 namespace quanta::mdp {
 
 namespace {
@@ -16,15 +18,45 @@ double choice_value(const Mdp& m, std::int64_t c, const std::vector<double>& v) 
   return sum;
 }
 
+void validate_vi_args(const char* subsystem, double epsilon,
+                      std::int64_t max_iterations) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    throw std::invalid_argument(quanta::context(
+        subsystem, "epsilon must be a positive finite number, got ", epsilon));
+  }
+  if (max_iterations <= 0) {
+    throw std::invalid_argument(quanta::context(
+        subsystem, "max_iterations must be positive, got ", max_iterations));
+  }
+}
+
+void check_goal_size(const char* subsystem, const Mdp& m,
+                     const StateSet& goal) {
+  if (static_cast<std::int32_t>(goal.size()) != m.num_states()) {
+    throw std::invalid_argument(
+        quanta::context(subsystem, "goal set has ", goal.size(),
+                        " entries but the MDP has ", m.num_states(),
+                        " states (build the set with states_where / resize "
+                        "to num_states)"));
+  }
+}
+
 }  // namespace
+
+void ViOptions::validate(const char* subsystem) const {
+  validate_vi_args(subsystem, epsilon, max_iterations);
+}
 
 ViResult reachability_probability(const Mdp& m, const StateSet& goal,
                                   Objective obj, const ViOptions& opts) {
-  if (!m.frozen()) throw std::logic_error("value iteration requires frozen MDP");
-  const std::int32_t n = m.num_states();
-  if (static_cast<std::int32_t>(goal.size()) != n) {
-    throw std::invalid_argument("goal set size mismatch");
+  opts.validate("mdp.reachability_probability");
+  if (!m.frozen()) {
+    throw std::logic_error(quanta::context(
+        "mdp.reachability_probability",
+        "value iteration requires a frozen MDP (call Mdp::freeze() first)"));
   }
+  check_goal_size("mdp.reachability_probability", m, goal);
+  const std::int32_t n = m.num_states();
 
   StateSet zero(static_cast<std::size_t>(n), false);
   StateSet one = goal;
@@ -49,7 +81,15 @@ ViResult reachability_probability(const Mdp& m, const StateSet& goal,
   }
 
   auto& v = result.values;
+  const bool governed_run = opts.budget.active();
   for (; result.iterations < opts.max_iterations; ++result.iterations) {
+    if (governed_run) {
+      const common::StopReason r = opts.budget.poll(0);
+      if (r != common::StopReason::kCompleted) {
+        result.stop = r;
+        break;
+      }
+    }
     double max_diff = 0.0;
     for (std::int32_t s = 0; s < n; ++s) {
       if (fixed[static_cast<std::size_t>(s)]) continue;
@@ -68,13 +108,25 @@ ViResult reachability_probability(const Mdp& m, const StateSet& goal,
       break;
     }
   }
+  if (result.converged) {
+    result.verdict = common::Verdict::kHolds;
+  } else if (result.stop == common::StopReason::kCompleted) {
+    // Ran out of the iteration bound — a count limit, like kStateLimit.
+    result.stop = common::StopReason::kStateLimit;
+  }
   return result;
 }
 
 IntervalResult interval_iteration(const Mdp& m, const StateSet& goal,
                                   Objective obj, double epsilon,
                                   std::int64_t max_iterations) {
-  if (!m.frozen()) throw std::logic_error("interval iteration requires frozen MDP");
+  validate_vi_args("mdp.interval_iteration", epsilon, max_iterations);
+  if (!m.frozen()) {
+    throw std::logic_error(quanta::context(
+        "mdp.interval_iteration",
+        "interval iteration requires a frozen MDP (call Mdp::freeze() first)"));
+  }
+  check_goal_size("mdp.interval_iteration", m, goal);
   const std::int32_t n = m.num_states();
   StateSet zero = (obj == Objective::kMax) ? prob0_max(m, goal) : prob0_min(m, goal);
   StateSet one = (obj == Objective::kMax) ? prob1_max(m, goal) : prob1_min(m, goal);
@@ -126,12 +178,26 @@ IntervalResult interval_iteration(const Mdp& m, const StateSet& goal,
   // Note: on MDPs with end components inside the "maybe" region the upper
   // iterate can stall (the classic interval-iteration caveat); convergence
   // is reported honestly via `converged`.
+  if (result.converged) {
+    result.verdict = common::Verdict::kHolds;
+  } else {
+    result.stop = common::StopReason::kStateLimit;
+  }
   return result;
 }
 
 ViResult bounded_reachability(const Mdp& m, const StateSet& goal,
                               std::int64_t steps, Objective obj) {
-  if (!m.frozen()) throw std::logic_error("value iteration requires frozen MDP");
+  if (steps < 0) {
+    throw std::invalid_argument(quanta::context(
+        "mdp.bounded_reachability", "steps must be non-negative, got ", steps));
+  }
+  if (!m.frozen()) {
+    throw std::logic_error(quanta::context(
+        "mdp.bounded_reachability",
+        "value iteration requires a frozen MDP (call Mdp::freeze() first)"));
+  }
+  check_goal_size("mdp.bounded_reachability", m, goal);
   const std::int32_t n = m.num_states();
   ViResult result;
   result.values.assign(static_cast<std::size_t>(n), 0.0);
@@ -157,6 +223,7 @@ ViResult bounded_reachability(const Mdp& m, const StateSet& goal,
     ++result.iterations;
   }
   result.converged = true;
+  result.verdict = common::Verdict::kHolds;
   return result;
 }
 

@@ -4,6 +4,8 @@
 
 #include <cstdint>
 
+#include "common/budget.h"
+#include "common/verdict.h"
 #include "mdp/graph_analysis.h"
 
 namespace quanta::mdp {
@@ -14,12 +16,23 @@ struct ViOptions {
   double epsilon = 1e-10;  ///< max-norm convergence threshold
   std::int64_t max_iterations = 1'000'000;
   bool use_precomputation = true;
+  /// Deadline / cancellation for the iteration loop (polled once per sweep).
+  common::Budget budget;
+
+  /// Rejects non-positive / non-finite epsilon and a non-positive iteration
+  /// bound with std::invalid_argument naming the offending parameter.
+  void validate(const char* subsystem) const;
 };
 
 struct ViResult {
   std::vector<double> values;  ///< per state
   std::int64_t iterations = 0;
   bool converged = false;
+  /// kHolds iff the iteration converged to the requested epsilon; kUnknown
+  /// when it ran out of iterations (stop = kStateLimit), hit the budget, or
+  /// was aborted — `values` then holds the last (unconverged) iterate.
+  common::Verdict verdict = common::Verdict::kUnknown;
+  common::StopReason stop = common::StopReason::kCompleted;
 
   double at_initial(const Mdp& m) const {
     return values[static_cast<std::size_t>(m.initial())];
@@ -40,6 +53,8 @@ struct IntervalResult {
   std::vector<double> upper;
   std::int64_t iterations = 0;
   bool converged = false;
+  common::Verdict verdict = common::Verdict::kUnknown;
+  common::StopReason stop = common::StopReason::kCompleted;
 
   double width_at_initial(const Mdp& m) const {
     return upper[static_cast<std::size_t>(m.initial())] -

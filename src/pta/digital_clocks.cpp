@@ -63,8 +63,10 @@ void enumerate_branches(
 
 }  // namespace
 
-DigitalMdp build_digital_mdp(const ta::System& sys,
-                             const DigitalBuildOptions& opts) {
+namespace {
+
+DigitalMdp build_digital_mdp_impl(const ta::System& sys,
+                                  const DigitalBuildOptions& opts) {
   DigitalMdp out;
   out.system = &sys;
   ta::DigitalSemantics sem(sys);
@@ -107,12 +109,34 @@ DigitalMdp build_digital_mdp(const ta::System& sys,
         return taken;
       });
   out.truncated = stats.truncated;
+  out.stop = stats.stop;
+  out.stats = stats;
   out.states.reserve(store.size());
   for (std::size_t i = 0; i < store.size(); ++i) {
     out.states.push_back(store.state(static_cast<std::int32_t>(i)));
   }
   out.mdp.freeze();
   return out;
+}
+
+}  // namespace
+
+DigitalMdp build_digital_mdp(const ta::System& sys,
+                             const DigitalBuildOptions& opts) {
+  opts.limits.validate("pta.build_digital_mdp");
+  return common::governed(
+      [&] { return build_digital_mdp_impl(sys, opts); },
+      [&sys](common::StopReason r) {
+        // Degraded result: an empty, truncated MDP. Callers must check
+        // `truncated` before trusting any probability computed on it; the
+        // contained mdp is left unfrozen (it has no states at all).
+        DigitalMdp out;
+        out.system = &sys;
+        out.truncated = true;
+        out.stop = r;
+        out.stats.stop_for(r);
+        return out;
+      });
 }
 
 }  // namespace quanta::pta

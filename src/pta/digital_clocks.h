@@ -22,6 +22,10 @@ struct DigitalMdp {
   std::vector<ta::DigitalState> states;
   const ta::System* system = nullptr;
   bool truncated = false;
+  /// Why the exploration ended; kCompleted iff !truncated. Probabilities
+  /// computed on a truncated MDP are not exact — treat them as kUnknown.
+  common::StopReason stop = common::StopReason::kCompleted;
+  core::SearchStats stats;
 
   /// Goal-set construction from a predicate over digital states.
   mdp::StateSet states_where(
@@ -29,7 +33,7 @@ struct DigitalMdp {
 };
 
 struct DigitalBuildOptions {
-  core::SearchLimits limits{20'000'000};
+  core::SearchLimits limits{.max_states = 20'000'000, .budget = {}};
 };
 
 /// Forward-explores the digital semantics and assembles the MDP (frozen).

@@ -6,8 +6,19 @@ namespace quanta::pta {
 
 namespace {
 
-ProbResult from_vi(const mdp::ViResult& r, const mdp::Mdp& m) {
-  return ProbResult{r.at_initial(m), r.iterations, r.converged};
+/// A probability / expected value computed on a truncated digital MDP is a
+/// number over a partial state space — never certified, whatever the VI said.
+template <typename R>
+ProbResult from_numeric(const DigitalMdp& dm, const R& r) {
+  ProbResult out{r.at_initial(dm.mdp), r.iterations, r.converged};
+  if (dm.truncated) {
+    out.verdict = common::Verdict::kUnknown;
+    out.stop = dm.stop;
+  } else {
+    out.verdict = r.verdict;
+    out.stop = r.stop;
+  }
+  return out;
 }
 
 }  // namespace
@@ -15,39 +26,43 @@ ProbResult from_vi(const mdp::ViResult& r, const mdp::Mdp& m) {
 ProbResult pmax_reach(const DigitalMdp& dm, const DigitalPredicate& pred,
                       const mdp::ViOptions& opts) {
   auto goal = dm.states_where(pred);
-  return from_vi(
-      mdp::reachability_probability(dm.mdp, goal, mdp::Objective::kMax, opts),
-      dm.mdp);
+  return from_numeric(
+      dm, mdp::reachability_probability(dm.mdp, goal, mdp::Objective::kMax, opts));
 }
 
 ProbResult pmin_reach(const DigitalMdp& dm, const DigitalPredicate& pred,
                       const mdp::ViOptions& opts) {
   auto goal = dm.states_where(pred);
-  return from_vi(
-      mdp::reachability_probability(dm.mdp, goal, mdp::Objective::kMin, opts),
-      dm.mdp);
+  return from_numeric(
+      dm, mdp::reachability_probability(dm.mdp, goal, mdp::Objective::kMin, opts));
 }
 
 ProbResult emax_time(const DigitalMdp& dm, const DigitalPredicate& pred,
                      const mdp::ViOptions& opts) {
   auto goal = dm.states_where(pred);
   auto r = mdp::expected_reward_to_goal(dm.mdp, goal, mdp::Objective::kMax, opts);
-  return ProbResult{r.at_initial(dm.mdp), r.iterations, r.converged};
+  return from_numeric(dm, r);
 }
 
 ProbResult emin_time(const DigitalMdp& dm, const DigitalPredicate& pred,
                      const mdp::ViOptions& opts) {
   auto goal = dm.states_where(pred);
   auto r = mdp::expected_reward_to_goal(dm.mdp, goal, mdp::Objective::kMin, opts);
-  return ProbResult{r.at_initial(dm.mdp), r.iterations, r.converged};
+  return from_numeric(dm, r);
 }
 
 InvariantCheck check_invariant(const DigitalMdp& dm,
                                const DigitalPredicate& pred) {
   InvariantCheck result;
+  // A violation inside the explored prefix is definite regardless of
+  // truncation; absence of one only proves the invariant when the builder
+  // enumerated every reachable state.
+  result.verdict = dm.truncated ? common::Verdict::kUnknown
+                                : common::Verdict::kHolds;
+  result.stop = dm.stop;
   for (std::size_t i = 0; i < dm.states.size(); ++i) {
     if (!pred(dm.states[i])) {
-      result.holds = false;
+      result.verdict = common::Verdict::kViolated;
       std::ostringstream os;
       const auto& s = dm.states[i];
       os << "state " << i << ": locs=[";

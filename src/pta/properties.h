@@ -18,6 +18,13 @@ struct ProbResult {
   double value = 0.0;
   std::int64_t iterations = 0;
   bool converged = false;
+  /// Forwarded from the underlying value iteration: kHolds iff the fixpoint
+  /// converged to epsilon; kUnknown when the iteration was cut short — the
+  /// `value` is then the last iterate, not a certified probability. A result
+  /// computed on a *truncated* digital MDP is additionally downgraded to
+  /// kUnknown (probabilities over a partial state space certify nothing).
+  common::Verdict verdict = common::Verdict::kUnknown;
+  common::StopReason stop = common::StopReason::kCompleted;
 };
 
 /// Pmax(F pred) from the initial state.
@@ -34,8 +41,14 @@ ProbResult emin_time(const DigitalMdp& dm, const DigitalPredicate& pred,
                      const mdp::ViOptions& opts = {});
 
 struct InvariantCheck {
-  bool holds = true;
-  std::string violating_state;  ///< printable, when !holds
+  /// kViolated on a concrete bad state (sound even on a truncated MDP),
+  /// kHolds only when every reachable digital state was enumerated and
+  /// passed, kUnknown when the builder truncated without finding a violation.
+  common::Verdict verdict = common::Verdict::kUnknown;
+  std::string violating_state;  ///< printable, when violated
+  common::StopReason stop = common::StopReason::kCompleted;
+
+  bool holds() const { return verdict == common::Verdict::kHolds; }
 };
 
 /// A[] pred over all reachable digital states.

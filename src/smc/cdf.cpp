@@ -3,42 +3,80 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/watchdog.h"
+#include "smc/validate.h"
 #include "smc/worker_sim.h"
 
 namespace quanta::smc {
+
+HitTimesResult sample_hit_times(const ta::System& sys,
+                                const TimeBoundedReach& prop,
+                                std::size_t runs, std::uint64_t seed,
+                                exec::Executor& ex,
+                                const common::Budget& budget,
+                                exec::RunTelemetry* telemetry) {
+  internal::require_positive("smc.sample_hit_times", "runs", runs);
+  return common::governed(
+      [&] {
+        const common::RngStream streams(seed);
+        internal::WorkerSims sims(sys, ex.workers());
+        exec::CancellationToken cancel;
+        exec::Watchdog watchdog(budget, cancel);
+
+        // Keyed by run index (each slot written by exactly one worker), then
+        // compacted in index order: the series is identical for every worker
+        // count. kSkipped marks runs the executor never reached after a
+        // cancellation — distinct from kMiss, a completed unsatisfied run.
+        constexpr double kMiss = -1.0;
+        constexpr double kSkipped = -2.0;
+        std::vector<double> per_run(runs, kSkipped);
+        ex.for_each(
+            0, runs,
+            [&](std::uint64_t i, exec::Executor::WorkerContext& ctx) {
+              Simulator& sim = sims.at(ctx.worker_id);
+              sim.reseed(streams.seed_for(i));
+              RunResult r = sim.run(prop);
+              ctx.telemetry->sim_steps += r.steps;
+              if (r.satisfied) {
+                ++ctx.telemetry->hits;
+                per_run[static_cast<std::size_t>(i)] = r.hit_time;
+              } else {
+                per_run[static_cast<std::size_t>(i)] = kMiss;
+              }
+            },
+            &cancel, telemetry);
+
+        HitTimesResult result;
+        result.runs = runs;
+        result.times.reserve(runs);
+        for (double t : per_run) {
+          if (t == kSkipped) continue;
+          ++result.completed;
+          if (t != kMiss) result.times.push_back(t);
+        }
+        if (result.completed == runs) {
+          result.verdict = common::Verdict::kHolds;
+        } else {
+          result.stop = watchdog.fired_reason();
+        }
+        return result;
+      },
+      [runs](common::StopReason r) {
+        HitTimesResult result;
+        result.runs = runs;
+        result.stop = r;
+        return result;
+      });
+}
 
 std::vector<double> first_hit_times(const ta::System& sys,
                                     const TimeBoundedReach& prop,
                                     std::size_t runs, std::uint64_t seed,
                                     exec::Executor& ex,
                                     exec::RunTelemetry* telemetry) {
-  const common::RngStream streams(seed);
-  internal::WorkerSims sims(sys, ex.workers());
-
-  // Keyed by run index (each slot written by exactly one worker), then
-  // compacted in index order: the series is identical for every worker count.
-  constexpr double kMiss = -1.0;
-  std::vector<double> per_run(runs, kMiss);
-  ex.for_each(
-      0, runs,
-      [&](std::uint64_t i, exec::Executor::WorkerContext& ctx) {
-        Simulator& sim = sims.at(ctx.worker_id);
-        sim.reseed(streams.seed_for(i));
-        RunResult r = sim.run(prop);
-        ctx.telemetry->sim_steps += r.steps;
-        if (r.satisfied) {
-          ++ctx.telemetry->hits;
-          per_run[static_cast<std::size_t>(i)] = r.hit_time;
-        }
-      },
-      /*cancel=*/nullptr, telemetry);
-
-  std::vector<double> times;
-  times.reserve(runs);
-  for (double t : per_run) {
-    if (t != kMiss) times.push_back(t);
-  }
-  return times;
+  return sample_hit_times(sys, prop, runs, seed, ex, common::Budget{},
+                          telemetry)
+      .times;
 }
 
 std::vector<double> first_hit_times(const ta::System& sys,
@@ -49,8 +87,17 @@ std::vector<double> first_hit_times(const ta::System& sys,
 
 CdfSeries empirical_cdf(const std::vector<double>& hit_times,
                         std::size_t total_runs, double horizon, int points) {
-  if (points < 2 || horizon <= 0.0 || total_runs == 0) {
-    throw std::invalid_argument("empirical_cdf: bad parameters");
+  if (points < 2) {
+    throw std::invalid_argument(quanta::context(
+        "smc.empirical_cdf", "points must be at least 2, got ", points));
+  }
+  if (!(horizon > 0.0)) {
+    throw std::invalid_argument(quanta::context(
+        "smc.empirical_cdf", "horizon must be positive, got ", horizon));
+  }
+  if (total_runs == 0) {
+    throw std::invalid_argument(
+        quanta::context("smc.empirical_cdf", "total_runs must be positive"));
   }
   std::vector<double> sorted = hit_times;
   std::sort(sorted.begin(), sorted.end());

@@ -6,10 +6,35 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/budget.h"
+#include "common/verdict.h"
 #include "exec/executor.h"
 #include "smc/simulator.h"
 
 namespace quanta::smc {
+
+/// Hit-time series with degradation metadata: the budget-governed variant of
+/// first_hit_times. `times` holds the hit times of the satisfied *completed*
+/// runs in run-index order; runs the budget skipped contribute nothing and
+/// are counted out of `completed`.
+struct HitTimesResult {
+  std::vector<double> times;
+  std::size_t runs = 0;       ///< requested
+  std::size_t completed = 0;  ///< actually simulated
+  /// kHolds = all requested runs were simulated (the series is
+  /// bit-identical for every worker count); kUnknown = the budget cut the
+  /// sample short (the surviving subset depends on scheduling).
+  common::Verdict verdict = common::Verdict::kUnknown;
+  common::StopReason stop = common::StopReason::kCompleted;
+};
+
+/// Budget-governed sampling of first-hit times; see first_hit_times.
+HitTimesResult sample_hit_times(const ta::System& sys,
+                                const TimeBoundedReach& prop,
+                                std::size_t runs, std::uint64_t seed,
+                                exec::Executor& ex,
+                                const common::Budget& budget,
+                                exec::RunTelemetry* telemetry = nullptr);
 
 /// Runs `runs` simulations of Pr[<= prop.time_bound](<> prop.goal) and
 /// returns the hit time of every satisfied run, ordered by run index

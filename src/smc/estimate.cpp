@@ -1,6 +1,8 @@
 #include "smc/estimate.h"
 
 #include "common/stats.h"
+#include "exec/watchdog.h"
+#include "smc/validate.h"
 #include "smc/worker_sim.h"
 
 namespace quanta::smc {
@@ -9,63 +11,98 @@ Estimate estimate_probability_runs(const ta::System& sys,
                                    const TimeBoundedReach& prop,
                                    std::size_t runs, double alpha,
                                    std::uint64_t seed, exec::Executor& ex,
-                                   exec::RunTelemetry* telemetry) {
-  const common::RngStream streams(seed);
-  internal::WorkerSims sims(sys, ex.workers());
+                                   exec::RunTelemetry* telemetry,
+                                   const common::Budget& budget) {
+  internal::require_unit_open("smc.estimate_probability_runs", "alpha", alpha);
+  internal::require_positive("smc.estimate_probability_runs", "runs", runs);
+  return common::governed(
+      [&] {
+        const common::RngStream streams(seed);
+        internal::WorkerSims sims(sys, ex.workers());
+        // The watchdog turns the passive budget into cancellation: it fires
+        // this internal token, which the executor polls between runs.
+        exec::CancellationToken cancel;
+        exec::Watchdog watchdog(budget, cancel);
 
-  struct Tally {
-    std::uint64_t hits = 0;
-  };
-  Tally total = exec::parallel_reduce(
-      ex, 0, runs, Tally{},
-      [&](Tally& acc, std::uint64_t i, exec::Executor::WorkerContext& ctx) {
-        Simulator& sim = sims.at(ctx.worker_id);
-        sim.reseed(streams.seed_for(i));
-        RunResult r = sim.run(prop);
-        ctx.telemetry->sim_steps += r.steps;
-        if (r.satisfied) {
-          ++acc.hits;
-          ++ctx.telemetry->hits;
+        struct Tally {
+          std::uint64_t hits = 0;
+          std::uint64_t completed = 0;
+        };
+        Tally total = exec::parallel_reduce(
+            ex, 0, runs, Tally{},
+            [&](Tally& acc, std::uint64_t i,
+                exec::Executor::WorkerContext& ctx) {
+              Simulator& sim = sims.at(ctx.worker_id);
+              sim.reseed(streams.seed_for(i));
+              RunResult r = sim.run(prop);
+              ++acc.completed;
+              ctx.telemetry->sim_steps += r.steps;
+              if (r.satisfied) {
+                ++acc.hits;
+                ++ctx.telemetry->hits;
+              }
+            },
+            [](Tally& out, Tally&& in) {
+              out.hits += in.hits;
+              out.completed += in.completed;
+            },
+            &cancel, telemetry);
+
+        Estimate est;
+        est.runs = runs;
+        est.completed = total.completed;
+        est.hits = total.hits;
+        if (est.completed == runs) {
+          est.verdict = common::Verdict::kHolds;
+        } else {
+          est.stop = watchdog.fired_reason();
         }
+        if (est.completed > 0) {
+          est.p_hat = static_cast<double>(est.hits) /
+                      static_cast<double>(est.completed);
+          auto [lo, hi] =
+              common::clopper_pearson(est.hits, est.completed, alpha);
+          est.ci_low = lo;
+          est.ci_high = hi;
+        }
+        return est;
       },
-      [](Tally& out, Tally&& in) { out.hits += in.hits; },
-      /*cancel=*/nullptr, telemetry);
-
-  Estimate est;
-  est.runs = runs;
-  est.hits = total.hits;
-  est.p_hat = runs > 0 ? static_cast<double>(est.hits) / static_cast<double>(runs)
-                       : 0.0;
-  if (runs > 0) {
-    auto [lo, hi] = common::clopper_pearson(est.hits, runs, alpha);
-    est.ci_low = lo;
-    est.ci_high = hi;
-  }
-  return est;
+      [runs](common::StopReason r) {
+        Estimate est;
+        est.runs = runs;
+        est.stop = r;
+        return est;
+      });
 }
 
 Estimate estimate_probability_runs(const ta::System& sys,
                                    const TimeBoundedReach& prop,
                                    std::size_t runs, double alpha,
-                                   std::uint64_t seed) {
+                                   std::uint64_t seed,
+                                   const common::Budget& budget) {
   return estimate_probability_runs(sys, prop, runs, alpha, seed,
-                                   exec::global_executor());
+                                   exec::global_executor(), nullptr, budget);
 }
 
 Estimate estimate_probability(const ta::System& sys,
                               const TimeBoundedReach& prop, double epsilon,
                               double delta, std::uint64_t seed,
                               exec::Executor& ex,
-                              exec::RunTelemetry* telemetry) {
+                              exec::RunTelemetry* telemetry,
+                              const common::Budget& budget) {
+  internal::require_unit_open("smc.estimate_probability", "epsilon", epsilon);
+  internal::require_unit_open("smc.estimate_probability", "delta", delta);
   std::size_t runs = common::chernoff_sample_count(epsilon, delta);
-  return estimate_probability_runs(sys, prop, runs, delta, seed, ex, telemetry);
+  return estimate_probability_runs(sys, prop, runs, delta, seed, ex, telemetry,
+                                   budget);
 }
 
 Estimate estimate_probability(const ta::System& sys,
                               const TimeBoundedReach& prop, double epsilon,
-                              double delta, std::uint64_t seed) {
+                              double delta, std::uint64_t seed,
+                              const common::Budget& budget) {
   return estimate_probability(sys, prop, epsilon, delta, seed,
-                              exec::global_executor());
+                              exec::global_executor(), nullptr, budget);
 }
 
 }  // namespace quanta::smc

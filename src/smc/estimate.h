@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "common/budget.h"
+#include "common/verdict.h"
 #include "exec/executor.h"
 #include "smc/simulator.h"
 
@@ -17,8 +19,17 @@ struct Estimate {
   double p_hat = 0.0;
   double ci_low = 0.0;
   double ci_high = 1.0;
-  std::size_t runs = 0;
+  std::size_t runs = 0;       ///< requested sample size
+  std::size_t completed = 0;  ///< runs actually simulated before a stop
   std::size_t hits = 0;
+  /// kHolds = the full sample was collected, so p_hat / the CI carry the
+  /// requested statistical guarantee. kUnknown = the budget (deadline,
+  /// cancellation, fault) cut the sample short; p_hat and the CI are then
+  /// computed over the `completed` runs only, and — unlike a completed
+  /// estimate — WHICH runs completed depends on scheduling, so a partial
+  /// estimate is not bit-reproducible across worker counts.
+  common::Verdict verdict = common::Verdict::kUnknown;
+  common::StopReason stop = common::StopReason::kCompleted;
 };
 
 /// Estimates Pr[<= T](<> goal) with `runs` simulations; the confidence
@@ -29,13 +40,15 @@ Estimate estimate_probability_runs(const ta::System& sys,
                                    const TimeBoundedReach& prop,
                                    std::size_t runs, double alpha,
                                    std::uint64_t seed, exec::Executor& ex,
-                                   exec::RunTelemetry* telemetry = nullptr);
+                                   exec::RunTelemetry* telemetry = nullptr,
+                                   const common::Budget& budget = {});
 
 /// Same, on the process-wide executor (QUANTA_JOBS workers).
 Estimate estimate_probability_runs(const ta::System& sys,
                                    const TimeBoundedReach& prop,
                                    std::size_t runs, double alpha,
-                                   std::uint64_t seed);
+                                   std::uint64_t seed,
+                                   const common::Budget& budget = {});
 
 /// UPPAAL-SMC style: chooses the number of runs from the Chernoff-Hoeffding
 /// bound so that |p_hat - p| <= epsilon with probability >= 1 - delta.
@@ -43,9 +56,11 @@ Estimate estimate_probability(const ta::System& sys,
                               const TimeBoundedReach& prop, double epsilon,
                               double delta, std::uint64_t seed,
                               exec::Executor& ex,
-                              exec::RunTelemetry* telemetry = nullptr);
+                              exec::RunTelemetry* telemetry = nullptr,
+                              const common::Budget& budget = {});
 Estimate estimate_probability(const ta::System& sys,
                               const TimeBoundedReach& prop, double epsilon,
-                              double delta, std::uint64_t seed);
+                              double delta, std::uint64_t seed,
+                              const common::Budget& budget = {});
 
 }  // namespace quanta::smc

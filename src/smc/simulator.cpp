@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/error.h"
+#include "common/fault.h"
+
 namespace quanta::smc {
 
 using ta::ConcreteState;
@@ -134,13 +137,17 @@ bool Simulator::fire_immediate(ConcreteState& s) {
 }
 
 RunResult Simulator::run(const TimeBoundedReach& prop) {
-  if (!prop.goal) throw std::invalid_argument("Simulator::run: missing goal");
+  if (!prop.goal) {
+    throw std::invalid_argument(quanta::context(
+        "smc.simulator", "TimeBoundedReach.goal predicate must be set"));
+  }
   ConcreteState s = sem_.initial();
   RunResult result;
   double t = 0.0;
   if (observer_) observer_(s, t);
 
   while (result.steps < opts_.max_steps) {
+    common::FaultInjector::site("smc.simulator.step");
     if (prop.goal(s)) {
       result.satisfied = true;
       result.hit_time = t;

@@ -5,18 +5,36 @@
 #include <stdexcept>
 #include <vector>
 
+#include "exec/watchdog.h"
+#include "smc/validate.h"
 #include "smc/worker_sim.h"
 
 namespace quanta::smc {
 
-SprtResult sprt_test(const ta::System& sys, const TimeBoundedReach& prop,
-                     double theta, const SprtOptions& opts, std::uint64_t seed,
-                     exec::Executor& ex, exec::RunTelemetry* telemetry) {
+void SprtOptions::validate(double theta) const {
+  internal::require_unit_open("smc.sprt_test", "alpha", alpha);
+  internal::require_unit_open("smc.sprt_test", "beta", beta);
+  internal::require_unit_open("smc.sprt_test", "indifference", indifference);
+  internal::require_positive("smc.sprt_test", "max_runs", max_runs);
+  const double p0 = theta + indifference;
+  const double p1 = theta - indifference;
+  if (p1 <= 0.0 || p0 >= 1.0) {
+    throw std::invalid_argument(quanta::context(
+        "smc.sprt_test", "the indifference region [theta - delta, theta + "
+        "delta] = [", p1, ", ", p0, "] must lie inside (0, 1); shrink "
+        "indifference or move theta away from the boundary"));
+  }
+}
+
+namespace {
+
+SprtResult sprt_test_impl(const ta::System& sys, const TimeBoundedReach& prop,
+                          double theta, const SprtOptions& opts,
+                          std::uint64_t seed, exec::Executor& ex,
+                          exec::RunTelemetry* telemetry,
+                          const common::Budget& budget) {
   const double p0 = theta + opts.indifference;  // H0
   const double p1 = theta - opts.indifference;  // H1
-  if (p1 <= 0.0 || p0 >= 1.0) {
-    throw std::invalid_argument("sprt_test: indifference region out of (0,1)");
-  }
   // Wald boundaries on the log-likelihood ratio log(P[obs|H1]/P[obs|H0]).
   const double log_a = std::log((1.0 - opts.beta) / opts.alpha);
   const double log_b = std::log(opts.beta / (1.0 - opts.alpha));
@@ -27,6 +45,13 @@ SprtResult sprt_test(const ta::System& sys, const TimeBoundedReach& prop,
   const common::RngStream streams(seed);
   internal::WorkerSims sims(sys, ex.workers());
   exec::CancellationToken cancel;
+  exec::Watchdog watchdog(budget, cancel);
+
+  // Outcome slots per batch, keyed by run index. kNotRun marks runs the
+  // executor skipped after a budget cancellation — they must not enter the
+  // log-likelihood walk (an unwritten slot read as a miss would silently
+  // push the walk toward rejection).
+  constexpr std::uint8_t kNotRun = 2;
 
   SprtResult result;
   double llr = 0.0;
@@ -34,7 +59,7 @@ SprtResult sprt_test(const ta::System& sys, const TimeBoundedReach& prop,
   for (std::uint64_t base = 0; base < opts.max_runs; base += batch) {
     const std::uint64_t n =
         std::min<std::uint64_t>(batch, opts.max_runs - base);
-    outcome.assign(static_cast<std::size_t>(n), 0);
+    outcome.assign(static_cast<std::size_t>(n), kNotRun);
     // Simulate the batch in parallel; outcome[k] is keyed by run index, so
     // the merged batch is independent of scheduling.
     ex.for_each(
@@ -44,14 +69,17 @@ SprtResult sprt_test(const ta::System& sys, const TimeBoundedReach& prop,
           sim.reseed(streams.seed_for(i));
           RunResult r = sim.run(prop);
           ctx.telemetry->sim_steps += r.steps;
-          if (r.satisfied) {
-            ++ctx.telemetry->hits;
-            outcome[static_cast<std::size_t>(i - base)] = 1;
-          }
+          if (r.satisfied) ++ctx.telemetry->hits;
+          outcome[static_cast<std::size_t>(i - base)] = r.satisfied ? 1 : 0;
         },
         &cancel, telemetry);
     // Walk the merged batch in run order — exactly the sequential SPRT.
     for (std::uint64_t k = 0; k < n; ++k) {
+      if (outcome[static_cast<std::size_t>(k)] == kNotRun) {
+        // The budget fired mid-batch; everything from here on was skipped.
+        result.stop = watchdog.fired_reason();
+        return result;
+      }
       ++result.runs;
       if (outcome[static_cast<std::size_t>(k)]) {
         ++result.hits;
@@ -70,14 +98,41 @@ SprtResult sprt_test(const ta::System& sys, const TimeBoundedReach& prop,
         return result;
       }
     }
+    if (cancel.cancelled()) {
+      // The whole batch completed but the watchdog fired during or after it;
+      // stop before paying for another batch.
+      result.stop = watchdog.fired_reason();
+      return result;
+    }
   }
+  result.stop = common::StopReason::kStateLimit;  // max_runs exhausted
   return result;
 }
 
+}  // namespace
+
 SprtResult sprt_test(const ta::System& sys, const TimeBoundedReach& prop,
-                     double theta, const SprtOptions& opts,
-                     std::uint64_t seed) {
-  return sprt_test(sys, prop, theta, opts, seed, exec::global_executor());
+                     double theta, const SprtOptions& opts, std::uint64_t seed,
+                     exec::Executor& ex, exec::RunTelemetry* telemetry,
+                     const common::Budget& budget) {
+  opts.validate(theta);
+  return common::governed(
+      [&] {
+        return sprt_test_impl(sys, prop, theta, opts, seed, ex, telemetry,
+                              budget);
+      },
+      [](common::StopReason r) {
+        SprtResult result;
+        result.stop = r;
+        return result;
+      });
+}
+
+SprtResult sprt_test(const ta::System& sys, const TimeBoundedReach& prop,
+                     double theta, const SprtOptions& opts, std::uint64_t seed,
+                     const common::Budget& budget) {
+  return sprt_test(sys, prop, theta, opts, seed, exec::global_executor(),
+                   nullptr, budget);
 }
 
 }  // namespace quanta::smc

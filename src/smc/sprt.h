@@ -13,6 +13,8 @@
 
 #include <cstdint>
 
+#include "common/budget.h"
+#include "common/verdict.h"
 #include "exec/executor.h"
 #include "smc/simulator.h"
 
@@ -28,6 +30,22 @@ struct SprtResult {
   SprtVerdict verdict = SprtVerdict::kInconclusive;
   std::size_t runs = 0;
   std::size_t hits = 0;
+  /// Why an inconclusive test stopped: kStateLimit = max_runs exhausted,
+  /// kTimeLimit/kCancelled/kFault = the budget cut the test short.
+  /// kCompleted whenever a boundary was crossed (verdict != inconclusive).
+  common::StopReason stop = common::StopReason::kCompleted;
+
+  /// The test outcome as the toolkit-wide three-valued verdict on
+  /// "Pr[<=T](<> goal) >= theta": accepted H0 = kHolds, accepted H1 =
+  /// kViolated, inconclusive = kUnknown.
+  common::Verdict as_verdict() const {
+    switch (verdict) {
+      case SprtVerdict::kAccepted: return common::Verdict::kHolds;
+      case SprtVerdict::kRejected: return common::Verdict::kViolated;
+      case SprtVerdict::kInconclusive: break;
+    }
+    return common::Verdict::kUnknown;
+  }
 };
 
 struct SprtOptions {
@@ -39,16 +57,22 @@ struct SprtOptions {
   /// re-checked. Must not depend on the worker count (it is part of the
   /// deterministic schedule); 0 means the default of 128.
   std::size_t batch_size = 0;
+
+  /// Rejects error probabilities / indifference outside (0, 1) and a zero
+  /// run cap, naming the offending parameter.
+  void validate(double theta) const;
 };
 
 /// Tests H0: p >= theta + indifference against H1: p <= theta - indifference.
 SprtResult sprt_test(const ta::System& sys, const TimeBoundedReach& prop,
                      double theta, const SprtOptions& opts, std::uint64_t seed,
                      exec::Executor& ex,
-                     exec::RunTelemetry* telemetry = nullptr);
+                     exec::RunTelemetry* telemetry = nullptr,
+                     const common::Budget& budget = {});
 
 /// Same, on the process-wide executor (QUANTA_JOBS workers).
 SprtResult sprt_test(const ta::System& sys, const TimeBoundedReach& prop,
-                     double theta, const SprtOptions& opts, std::uint64_t seed);
+                     double theta, const SprtOptions& opts, std::uint64_t seed,
+                     const common::Budget& budget = {});
 
 }  // namespace quanta::smc

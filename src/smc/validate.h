@@ -1,0 +1,32 @@
+// Argument validation shared by the statistical entry points: statistical
+// parameters outside their domain silently destroy every guarantee the
+// Chernoff / Clopper-Pearson / Wald machinery provides, so they are rejected
+// loudly with the offending parameter named.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+#include "common/error.h"
+
+namespace quanta::smc::internal {
+
+/// Requires v in the open interval (0, 1) (NaN rejected too).
+inline void require_unit_open(const char* subsystem, const char* name,
+                              double v) {
+  if (!(v > 0.0) || !(v < 1.0)) {
+    throw std::invalid_argument(quanta::context(
+        subsystem, name, " must lie in the open interval (0, 1), got ", v));
+  }
+}
+
+inline void require_positive(const char* subsystem, const char* name,
+                             std::size_t v) {
+  if (v == 0) {
+    throw std::invalid_argument(
+        quanta::context(subsystem, name, " must be positive"));
+  }
+}
+
+}  // namespace quanta::smc::internal

@@ -48,7 +48,9 @@ ProbabilityBound mctau_reach_probability(const ta::System& pta_model,
   ta::System stripped = strip_probabilities(pta_model);
   mc::ReachResult r = mc::reachable(stripped, bad, opts);
   ProbabilityBound bound;
-  if (!r.reachable && !r.stats.truncated) {
+  if (r.verdict == common::Verdict::kViolated) {
+    // Unreachable in the stripped system — probability is exactly 0. A
+    // truncated search (kUnknown) keeps the trivial [0, 1] bound.
     bound.lo = bound.hi = 0.0;
     bound.exact = 0.0;
   }
@@ -59,7 +61,7 @@ bool mctau_invariant(const ta::System& pta_model,
                      const mc::StatePredicate& safe,
                      const mc::ReachOptions& opts) {
   ta::System stripped = strip_probabilities(pta_model);
-  return mc::check_invariant(stripped, safe, opts).holds;
+  return mc::check_invariant(stripped, safe, opts).holds();
 }
 
 }  // namespace quanta::sta

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/error.h"
+
 namespace quanta::ta {
 
 EdgeEffect resolve_effect(const Edge& e, int branch) {
@@ -70,7 +72,9 @@ int System::add_channel(std::string name, bool broadcast, bool urgent) {
 
 int System::add_channel_array(const std::string& name, int count,
                               bool broadcast, bool urgent) {
-  if (count <= 0) throw std::invalid_argument("add_channel_array: count");
+  if (count <= 0) throw std::invalid_argument(quanta::context(
+        "ta.model", "add_channel_array(", name,
+        "): count must be positive, got ", count));
   int base = channel_count();
   for (int i = 0; i < count; ++i) {
     add_channel(name + "[" + std::to_string(i) + "]", broadcast, urgent);
@@ -128,7 +132,10 @@ std::vector<std::int32_t> System::max_constants() const {
 
 void System::bump_max_constant(int clock, std::int32_t value) {
   if (clock < 1 || clock >= dim() || value < 0) {
-    throw std::invalid_argument("bump_max_constant: bad arguments");
+    throw std::invalid_argument(quanta::context(
+        "ta.model", "bump_max_constant: clock index ", clock,
+        " must lie in [1, ", dim() - 1, "] and value ", value,
+        " must be non-negative"));
   }
   max_const_hints_.emplace_back(clock, value);
 }

@@ -45,6 +45,15 @@ struct StateTraits<ta::SymState> {
     }
     return Subsumes::kNone;
   }
+
+  /// Heap bytes behind one zone state (discrete vectors + DBM matrix) — the
+  /// per-state contribution to StateStore byte accounting (common::Budget).
+  static std::size_t memory_bytes(const ta::SymState& s) {
+    const std::size_t dim = static_cast<std::size_t>(s.zone.dim());
+    return s.locs.capacity() * sizeof(int) +
+           s.vars.capacity() * sizeof(decltype(s.vars)::value_type) +
+           dim * dim * sizeof(dbm::raw_t);
+  }
 };
 
 template <>
@@ -54,6 +63,12 @@ struct StateTraits<ta::DigitalState> {
   static std::size_t hash(const ta::DigitalState& s) { return s.hash(); }
   static bool equal(const ta::DigitalState& a, const ta::DigitalState& b) {
     return a == b;
+  }
+
+  static std::size_t memory_bytes(const ta::DigitalState& s) {
+    return s.locs.capacity() * sizeof(int) +
+           s.vars.capacity() * sizeof(decltype(s.vars)::value_type) +
+           s.clocks.capacity() * sizeof(std::int32_t);
   }
 };
 

@@ -182,8 +182,10 @@ TEST(BipExplore, SafetyMonitor) {
   auto r = explore(sys, ExploreOptions{},
                    [](const BipState& s) { return s.places[0] != 1; });
   EXPECT_TRUE(r.violation_found);
-  EXPECT_TRUE(reachable(sys, [](const BipState& s) { return s.places[0] == 1; }));
-  EXPECT_FALSE(reachable(sys, [](const BipState& s) { return s.places[0] == 7; }));
+  EXPECT_EQ(reachable(sys, [](const BipState& s) { return s.places[0] == 1; }),
+            quanta::common::Verdict::kHolds);
+  EXPECT_EQ(reachable(sys, [](const BipState& s) { return s.places[0] == 7; }),
+            quanta::common::Verdict::kViolated);
 }
 
 TEST(BipDFinder, ProvesDeadlockFreedomOfLivelySystem) {

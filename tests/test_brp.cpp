@@ -64,13 +64,13 @@ TEST_F(BrpMcpta, Ta1NoPrematureTimeouts) {
                          s.clocks[static_cast<std::size_t>(brp_->clk_x)] >= to;
     return !(timer_expired && brp_->channels_busy(s.locs));
   });
-  EXPECT_TRUE(r.holds) << r.violating_state;
+  EXPECT_TRUE(r.holds()) << r.violating_state;
 }
 
 TEST_F(BrpMcpta, Ta2FailureHandling) {
   auto r = pta::check_invariant(
       *dm_, [](const ta::DigitalState& s) { return brp_->ta2_ok(s.vars); });
-  EXPECT_TRUE(r.holds) << r.violating_state;
+  EXPECT_TRUE(r.holds()) << r.violating_state;
 }
 
 TEST_F(BrpMcpta, EmaxNearPaperValue) {

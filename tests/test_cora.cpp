@@ -27,7 +27,7 @@ TEST(Cora, DelayCostAccumulatesAtLocationRate) {
   prices.set_location_rate(0, a, 2);
   auto r = cora::min_cost_reachability(
       sys, prices, [b](const ta::DigitalState& s) { return s.locs[0] == b; });
-  EXPECT_TRUE(r.reachable);
+  EXPECT_TRUE(r.reachable());
   EXPECT_EQ(r.cost, 6);
 }
 
@@ -54,7 +54,7 @@ TEST(Cora, PicksCheaperOfTwoRoutes) {
   auto r = cora::min_cost_reachability(
       sys, prices, [goal](const ta::DigitalState& s) { return s.locs[0] == goal; },
       opts);
-  EXPECT_TRUE(r.reachable);
+  EXPECT_TRUE(r.reachable());
   EXPECT_EQ(r.cost, 8);
   ASSERT_FALSE(r.trace.empty());
   EXPECT_NE(r.trace.back().find("slow"), std::string::npos);
@@ -78,7 +78,7 @@ TEST(Cora, UnreachableGoal) {
   cora::PriceModel prices(sys);
   auto r = cora::min_cost_reachability(
       sys, prices, [b](const ta::DigitalState& s) { return s.locs[0] == b; });
-  EXPECT_FALSE(r.reachable);
+  EXPECT_FALSE(r.reachable());
 }
 
 TEST(Cora, ZeroCostModelActsLikeReachability) {
@@ -89,7 +89,7 @@ TEST(Cora, ZeroCostModelActsLikeReachability) {
       tg.system, prices, [&tg, cross](const ta::DigitalState& s) {
         return s.locs[static_cast<std::size_t>(tg.trains[0])] == cross;
       });
-  EXPECT_TRUE(r.reachable);
+  EXPECT_TRUE(r.reachable());
   EXPECT_EQ(r.cost, 0);
 }
 
@@ -109,7 +109,7 @@ TEST(Cora, TrainGateMinimumWaitingCost) {
       tg.system, prices, [&tg, cross](const ta::DigitalState& s) {
         return s.locs[static_cast<std::size_t>(tg.trains[0])] == cross;
       });
-  EXPECT_TRUE(r.reachable);
+  EXPECT_TRUE(r.reachable());
   // Train 0 can approach alone: 10 units in Appr at rate 1, nobody queues.
   EXPECT_EQ(r.cost, 10);
 }

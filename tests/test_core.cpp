@@ -163,7 +163,7 @@ TEST(ExplorationCore, StatsObserverCollectsThroughputAndOccupancy) {
   opts.observer = &obs;
   auto r = mc::reachable(
       tg.system, [](const ta::SymState&) { return false; }, opts);
-  EXPECT_FALSE(r.reachable);
+  EXPECT_FALSE(r.reachable());
   EXPECT_FALSE(r.stats.truncated);
   EXPECT_EQ(obs.stats().states_stored, r.stats.states_stored);
   EXPECT_EQ(obs.stats().states_explored, r.stats.states_explored);
@@ -184,7 +184,7 @@ TEST(ExplorationCore, TruncationIsUniformAcrossEngines) {
   // definite negative verdict.
   auto r = mc::reachable(
       tg.system, [](const ta::SymState&) { return false; }, opts);
-  EXPECT_FALSE(r.reachable);
+  EXPECT_FALSE(r.reachable());
   EXPECT_TRUE(r.stats.truncated);
   EXPECT_GE(r.stats.states_stored, 10u);
 

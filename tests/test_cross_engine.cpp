@@ -274,16 +274,16 @@ TEST(SearchOrder, BfsAndDfsAgreeOnTrainGate) {
 
   auto inv_bfs = mc::check_invariant(tg.system, mutex, bfs);
   auto inv_dfs = mc::check_invariant(tg.system, mutex, dfs);
-  EXPECT_TRUE(inv_bfs.holds);
-  EXPECT_EQ(inv_bfs.holds, inv_dfs.holds);
+  EXPECT_TRUE(inv_bfs.holds());
+  EXPECT_EQ(inv_bfs.holds(), inv_dfs.holds());
 
   for (int i = 0; i < tg.num_trains; ++i) {
     auto goal = mc::loc_pred(tg.system, "Train(" + std::to_string(i) + ")",
                              "Cross");
     auto r_bfs = mc::reachable(tg.system, goal, bfs);
     auto r_dfs = mc::reachable(tg.system, goal, dfs);
-    EXPECT_TRUE(r_bfs.reachable);
-    EXPECT_EQ(r_bfs.reachable, r_dfs.reachable);
+    EXPECT_TRUE(r_bfs.reachable());
+    EXPECT_EQ(r_bfs.reachable(), r_dfs.reachable());
   }
 }
 
@@ -303,8 +303,8 @@ TEST(SearchOrder, BfsAndDfsAgreeOnBrp) {
   };
   auto r_bfs = mc::reachable(sys, success, bfs);
   auto r_dfs = mc::reachable(sys, success, dfs);
-  EXPECT_TRUE(r_bfs.reachable);
-  EXPECT_EQ(r_bfs.reachable, r_dfs.reachable);
+  EXPECT_TRUE(r_bfs.reachable());
+  EXPECT_EQ(r_bfs.reachable(), r_dfs.reachable());
   EXPECT_FALSE(r_bfs.stats.truncated);
   EXPECT_FALSE(r_dfs.stats.truncated);
 
@@ -315,8 +315,8 @@ TEST(SearchOrder, BfsAndDfsAgreeOnBrp) {
   };
   auto inv_bfs = mc::check_invariant(sys, inv, bfs);
   auto inv_dfs = mc::check_invariant(sys, inv, dfs);
-  EXPECT_TRUE(inv_bfs.holds);
-  EXPECT_EQ(inv_bfs.holds, inv_dfs.holds);
+  EXPECT_TRUE(inv_bfs.holds());
+  EXPECT_EQ(inv_bfs.holds(), inv_dfs.holds());
 }
 
 }  // namespace

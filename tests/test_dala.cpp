@@ -23,27 +23,27 @@ TEST(Dala, ControlledSystemIsSafeEverywhere) {
 
 TEST(Dala, UnprotectedSystemViolatesBothRules) {
   auto d = models::make_dala({.with_controller = false});
-  EXPECT_TRUE(bip::reachable(d.system, [&d](const bip::BipState& s) {
+  EXPECT_EQ(bip::reachable(d.system, [&d](const bip::BipState& s) {
     return !d.rule1_ok(s);
-  })) << "moving+transmitting must be reachable without the controller";
-  EXPECT_TRUE(bip::reachable(d.system, [&d](const bip::BipState& s) {
+  }), common::Verdict::kHolds) << "moving+transmitting must be reachable without the controller";
+  EXPECT_EQ(bip::reachable(d.system, [&d](const bip::BipState& s) {
     return !d.rule2_ok(s);
-  })) << "scan with unlocked platine must be reachable without the controller";
+  }), common::Verdict::kHolds) << "scan with unlocked platine must be reachable without the controller";
 }
 
 TEST(Dala, ControllerPermitsAllActivities) {
   // The controller must not be over-restrictive: every activity remains
   // individually reachable.
   auto d = models::make_dala({.with_controller = true});
-  EXPECT_TRUE(bip::reachable(d.system, [&d](const bip::BipState& s) {
+  EXPECT_EQ(bip::reachable(d.system, [&d](const bip::BipState& s) {
     return s.places[static_cast<std::size_t>(d.rflex)] == d.rflex_moving;
-  }));
-  EXPECT_TRUE(bip::reachable(d.system, [&d](const bip::BipState& s) {
+  }), common::Verdict::kHolds);
+  EXPECT_EQ(bip::reachable(d.system, [&d](const bip::BipState& s) {
     return s.places[static_cast<std::size_t>(d.antenna)] == d.antenna_comm;
-  }));
-  EXPECT_TRUE(bip::reachable(d.system, [&d](const bip::BipState& s) {
+  }), common::Verdict::kHolds);
+  EXPECT_EQ(bip::reachable(d.system, [&d](const bip::BipState& s) {
     return s.places[static_cast<std::size_t>(d.laser)] == d.laser_scanning;
-  }));
+  }), common::Verdict::kHolds);
 }
 
 TEST(Dala, DFinderProvesControlledDeadlockFreedom) {

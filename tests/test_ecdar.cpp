@@ -66,7 +66,7 @@ TEST(Ecdar, InconsistentSpecHasTimelock) {
 TEST(Ecdar, RefinementIsReflexive) {
   auto spec = responder(1, 5);
   auto r = ecdar::check_refinement(spec, spec);
-  EXPECT_TRUE(r.refines) << r.reason;
+  EXPECT_TRUE(r.refines()) << r.reason;
   EXPECT_GT(r.pairs_explored, 0u);
 }
 
@@ -75,10 +75,10 @@ TEST(Ecdar, TighterDeadlineRefinesLooser) {
   // allowed behaviour at every instant).
   auto tight = responder(1, 3, "Tight");
   auto loose = responder(1, 5, "Loose");
-  EXPECT_TRUE(ecdar::check_refinement(tight, loose).refines);
+  EXPECT_TRUE(ecdar::check_refinement(tight, loose).refines());
   // The converse fails: the loose spec may grant at time 4.
   auto r = ecdar::check_refinement(loose, tight);
-  EXPECT_FALSE(r.refines);
+  EXPECT_FALSE(r.refines());
   EXPECT_NE(r.reason.find("delays"), std::string::npos) << r.reason;
 }
 
@@ -87,9 +87,9 @@ TEST(Ecdar, EarlyOutputBreaksRefinement) {
   auto eager = responder(0, 3, "Eager");
   auto patient = responder(2, 3, "Patient");
   auto r = ecdar::check_refinement(eager, patient);
-  EXPECT_FALSE(r.refines);
+  EXPECT_FALSE(r.refines());
   EXPECT_NE(r.reason.find("grant"), std::string::npos) << r.reason;
-  EXPECT_TRUE(ecdar::check_refinement(patient, eager).refines);
+  EXPECT_TRUE(ecdar::check_refinement(patient, eager).refines());
 }
 
 TEST(Ecdar, MissingInputBreaksRefinement) {
@@ -104,7 +104,7 @@ TEST(Ecdar, MissingInputBreaksRefinement) {
 
   auto spec = responder(1, 3);
   auto r = ecdar::check_refinement(deaf, spec);
-  EXPECT_FALSE(r.refines);
+  EXPECT_FALSE(r.refines());
   EXPECT_NE(r.reason.find("req"), std::string::npos) << r.reason;
 }
 

@@ -25,14 +25,14 @@ TEST(McEdges, TruncationIsReportedAndNotClaimedSafe) {
   auto r = mc::check_invariant(
       tg.system, [](const ta::SymState&) { return true; }, opts);
   EXPECT_TRUE(r.stats.truncated);
-  EXPECT_FALSE(r.holds) << "a truncated search must not claim the invariant";
+  EXPECT_FALSE(r.holds()) << "a truncated search must not claim the invariant";
 }
 
 TEST(McEdges, WitnessTraceEndsAtGoal) {
   auto tg = models::make_train_gate(2);
   auto r = mc::reachable(tg.system,
                          mc::loc_pred(tg.system, "Train(1)", "Cross"));
-  ASSERT_TRUE(r.reachable);
+  ASSERT_TRUE(r.reachable());
   ASSERT_GE(r.trace.size(), 2u);
   EXPECT_EQ(r.trace.front(), "init");
   EXPECT_NE(r.witness.find("Train(1).Cross"), std::string::npos);
@@ -50,7 +50,7 @@ TEST(McEdges, LeadsToStuckReason) {
   sys.add_process(pb.build());
   auto r = mc::check_leads_to(sys, mc::loc_pred(sys, "P", "A"),
                               mc::loc_pred(sys, "P", "B"));
-  EXPECT_FALSE(r.holds);
+  EXPECT_FALSE(r.holds());
   EXPECT_NE(r.reason.find("no successors"), std::string::npos);
 }
 
@@ -67,7 +67,7 @@ TEST(McEdges, LeadsToCycleReason) {
   sys.add_process(pb.build());
   auto r = mc::check_leads_to(sys, mc::loc_pred(sys, "P", "A"),
                               mc::loc_pred(sys, "P", "B"));
-  EXPECT_FALSE(r.holds);
+  EXPECT_FALSE(r.holds());
   EXPECT_NE(r.reason.find("cycle"), std::string::npos);
 }
 
@@ -82,7 +82,7 @@ TEST(McEdges, DeadlockWitnessFound) {
   (void)x;
   sys.add_process(pb.build());
   auto r = mc::check_deadlock_freedom(sys);
-  EXPECT_FALSE(r.deadlock_free);
+  EXPECT_FALSE(r.deadlock_free());
   EXPECT_NE(r.deadlocked_state.find("Trap"), std::string::npos);
 }
 
@@ -94,7 +94,7 @@ TEST(McEdges, TimeDivergentWaitIsNotDeadlock) {
   int a = pb.location("A");
   pb.edge(a, a, {cc_ge(x, 1)}, -1, SyncKind::kNone, {{x, 0}});
   sys.add_process(pb.build());
-  EXPECT_TRUE(mc::check_deadlock_freedom(sys).deadlock_free);
+  EXPECT_TRUE(mc::check_deadlock_freedom(sys).deadlock_free());
 }
 
 TEST(McEdges, PartialDeadlockInsideZoneIsDetected) {
@@ -108,7 +108,7 @@ TEST(McEdges, PartialDeadlockInsideZoneIsDetected) {
   pb.edge(a, b, {cc_le(x, 3)}, -1, SyncKind::kNone, {});
   sys.add_process(pb.build());
   auto r = mc::check_deadlock_freedom(sys);
-  EXPECT_FALSE(r.deadlock_free)
+  EXPECT_FALSE(r.deadlock_free())
       << "waiting past the guard window must count as a deadlock";
 }
 
@@ -116,26 +116,26 @@ TEST(McEdges, QueryFacadeCoversAllKinds) {
   auto tg = models::make_train_gate(2);
   auto q1 = mc::run_query(
       tg.system, mc::reach("reach", mc::loc_pred(tg.system, "Train(0)", "Cross")));
-  EXPECT_TRUE(q1.holds);
+  EXPECT_TRUE(q1.holds());
   EXPECT_NE(q1.details.find("witness"), std::string::npos);
   auto q2 = mc::run_query(
       tg.system,
       mc::invariant("inv", [](const ta::SymState&) { return true; }));
-  EXPECT_TRUE(q2.holds);
+  EXPECT_TRUE(q2.holds());
   auto q3 = mc::run_query(tg.system, mc::deadlock_free("df"));
-  EXPECT_TRUE(q3.holds);
+  EXPECT_TRUE(q3.holds());
   auto q4 = mc::run_query(
       tg.system,
       mc::leads_to("lt", mc::loc_pred(tg.system, "Train(0)", "Appr"),
                    mc::loc_pred(tg.system, "Train(0)", "Cross")));
-  EXPECT_TRUE(q4.holds);
+  EXPECT_TRUE(q4.holds());
   // A failing invariant reports the violating state.
   auto q5 = mc::run_query(
       tg.system, mc::invariant("bad", [&tg](const ta::SymState& s) {
         return s.locs[static_cast<std::size_t>(tg.trains[0])] ==
                tg.system.process(tg.trains[0]).initial;
       }));
-  EXPECT_FALSE(q5.holds);
+  EXPECT_FALSE(q5.holds());
   EXPECT_NE(q5.details.find("violated"), std::string::npos);
 }
 
@@ -273,9 +273,9 @@ TEST(TemporalOperators, InevitabilityHoldsWhenForced) {
   pb.edge(a, b, {ta::cc_ge(x, 1)}, -1, ta::SyncKind::kNone, {});
   sys.add_process(pb.build());
   auto r = mc::check_eventually(sys, mc::loc_pred(sys, "P", "B"));
-  EXPECT_TRUE(r.holds) << r.reason;
+  EXPECT_TRUE(r.holds()) << r.reason;
   // E[] P.A is the dual: it must fail (A cannot be held forever).
-  EXPECT_FALSE(mc::check_possibly_always(sys, mc::loc_pred(sys, "P", "A")).holds);
+  EXPECT_FALSE(mc::check_possibly_always(sys, mc::loc_pred(sys, "P", "A")).holds());
 }
 
 TEST(TemporalOperators, InevitabilityFailsWithEscape) {
@@ -288,8 +288,8 @@ TEST(TemporalOperators, InevitabilityFailsWithEscape) {
   pb.edge(a, b, {ta::cc_ge(x, 1)}, -1, ta::SyncKind::kNone, {});
   pb.edge(a, a, {ta::cc_ge(x, 1)}, -1, ta::SyncKind::kNone, {{x, 0}});
   sys.add_process(pb.build());
-  EXPECT_FALSE(mc::check_eventually(sys, mc::loc_pred(sys, "P", "B")).holds);
-  EXPECT_TRUE(mc::check_possibly_always(sys, mc::loc_pred(sys, "P", "A")).holds);
+  EXPECT_FALSE(mc::check_eventually(sys, mc::loc_pred(sys, "P", "B")).holds());
+  EXPECT_TRUE(mc::check_possibly_always(sys, mc::loc_pred(sys, "P", "A")).holds());
 }
 
 TEST(TemporalOperators, HoldsImmediatelyAtInitial) {
@@ -297,7 +297,7 @@ TEST(TemporalOperators, HoldsImmediatelyAtInitial) {
   ta::ProcessBuilder pb("P");
   pb.location("A");
   sys.add_process(pb.build());
-  EXPECT_TRUE(mc::check_eventually(sys, mc::loc_pred(sys, "P", "A")).holds);
+  EXPECT_TRUE(mc::check_eventually(sys, mc::loc_pred(sys, "P", "A")).holds());
 }
 
 TEST(TemporalOperators, TrainGateInevitability) {
@@ -307,11 +307,11 @@ TEST(TemporalOperators, TrainGateInevitability) {
   EXPECT_FALSE(
       mc::check_eventually(tg.system,
                            mc::loc_pred(tg.system, "Train(0)", "Cross"))
-          .holds);
+          .holds());
   EXPECT_TRUE(mc::check_possibly_always(
                   tg.system,
                   mc::pred_not(mc::loc_pred(tg.system, "Train(0)", "Cross")))
-                  .holds);
+                  .holds());
 }
 
 }  // namespace

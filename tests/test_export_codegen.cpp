@@ -179,7 +179,7 @@ TEST(EcdarCompose, ProductStructure) {
 TEST(EcdarCompose, CompositeIsConsistentAndRefinesItself) {
   auto composite = ecdar::compose(grant_responder(1, 3), grant_user());
   EXPECT_TRUE(ecdar::check_consistency(composite).consistent);
-  EXPECT_TRUE(ecdar::check_refinement(composite, composite).refines);
+  EXPECT_TRUE(ecdar::check_refinement(composite, composite).refines());
 }
 
 TEST(EcdarCompose, RefinementIsPreservedUnderComposition) {
@@ -187,8 +187,8 @@ TEST(EcdarCompose, RefinementIsPreservedUnderComposition) {
   // implementability property, checked on this instance).
   auto tight = ecdar::compose(grant_responder(1, 3), grant_user());
   auto loose = ecdar::compose(grant_responder(1, 5), grant_user());
-  EXPECT_TRUE(ecdar::check_refinement(tight, loose).refines);
-  EXPECT_FALSE(ecdar::check_refinement(loose, tight).refines);
+  EXPECT_TRUE(ecdar::check_refinement(tight, loose).refines());
+  EXPECT_FALSE(ecdar::check_refinement(loose, tight).refines());
 }
 
 TEST(EcdarCompose, OutputOutputClashRejected) {

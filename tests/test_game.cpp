@@ -38,7 +38,7 @@ TEST(TimedGame, ControllerWinsWhenFasterThanEnvironment) {
   game::TimedGame g(sys);
   auto goal = [](const ta::DigitalState& s) { return s.locs[0] == 1; };
   auto result = g.solve_reachability(goal);
-  EXPECT_TRUE(result.controller_wins);
+  EXPECT_TRUE(result.controller_wins());
   EXPECT_GT(result.winning_states, 0u);
   EXPECT_TRUE(game::verify_reach_strategy(sys, result.strategy, goal));
 }
@@ -65,7 +65,7 @@ TEST(TimedGame, EnvironmentPreemptionBlocksLateController) {
   game::TimedGame g(sys2);
   auto result = g.solve_reachability(
       [goal_l](const ta::DigitalState& s) { return s.locs[0] == goal_l; });
-  EXPECT_FALSE(result.controller_wins);
+  EXPECT_FALSE(result.controller_wins());
 }
 
 TEST(TimedGame, SafetyByRefusingToAct) {
@@ -81,7 +81,7 @@ TEST(TimedGame, SafetyByRefusingToAct) {
   game::TimedGame g(sys);
   auto safe = [bad](const ta::DigitalState& s) { return s.locs[0] != bad; };
   auto result = g.solve_safety(safe);
-  EXPECT_TRUE(result.controller_wins);
+  EXPECT_TRUE(result.controller_wins());
   EXPECT_TRUE(game::verify_safety_strategy(sys, result.strategy, safe));
 }
 
@@ -98,7 +98,7 @@ TEST(TimedGame, SafetyLostWhenInvariantForcesBadMove) {
   game::TimedGame g(sys);
   auto result = g.solve_safety(
       [bad](const ta::DigitalState& s) { return s.locs[0] != bad; });
-  EXPECT_FALSE(result.controller_wins);
+  EXPECT_FALSE(result.controller_wins());
 }
 
 // ---- Paper experiment E2: train-game synthesis ---------------------------
@@ -108,7 +108,7 @@ TEST(TrainGameSynthesis, SafetyControllerExistsForTwoTrains) {
   game::TimedGame g(tg.system);
   auto safe = [&tg](const ta::DigitalState& s) { return tg.mutex_ok(s.locs); };
   auto result = g.solve_safety(safe);
-  EXPECT_TRUE(result.controller_wins);
+  EXPECT_TRUE(result.controller_wins());
   EXPECT_TRUE(game::verify_safety_strategy(tg.system, result.strategy, safe));
 }
 
@@ -125,7 +125,7 @@ TEST(TrainGameSynthesis, WithoutControlSafetyFails) {
   game::TimedGame g(tg.system);
   auto result = g.solve_safety(
       [&tg](const ta::DigitalState& s) { return tg.mutex_ok(s.locs); });
-  EXPECT_FALSE(result.controller_wins);
+  EXPECT_FALSE(result.controller_wins());
 }
 
 TEST(TrainGameSynthesis, ReachabilityNeedsAnApproachingTrain) {
@@ -135,7 +135,7 @@ TEST(TrainGameSynthesis, ReachabilityNeedsAnApproachingTrain) {
   auto goal = [&tg](const ta::DigitalState& s) {
     return s.locs[static_cast<std::size_t>(tg.trains[0])] == tg.l_cross;
   };
-  EXPECT_FALSE(g.solve_reachability(goal).controller_wins);
+  EXPECT_FALSE(g.solve_reachability(goal).controller_wins());
 
   // With train 0 already approaching, its invariant forces progress and the
   // controller can simply let it cross.
@@ -146,7 +146,7 @@ TEST(TrainGameSynthesis, ReachabilityNeedsAnApproachingTrain) {
     return s.locs[static_cast<std::size_t>(tg2.trains[0])] == tg2.l_cross;
   };
   auto result = g2.solve_reachability(goal2);
-  EXPECT_TRUE(result.controller_wins);
+  EXPECT_TRUE(result.controller_wins());
   EXPECT_TRUE(game::verify_reach_strategy(tg2.system, result.strategy, goal2));
 }
 
@@ -158,7 +158,7 @@ TEST(TrainGameSynthesis, ReachabilityWithInterferingSecondTrain) {
     return s.locs[static_cast<std::size_t>(tg.trains[0])] == tg.l_cross;
   };
   auto result = g.solve_reachability(goal);
-  EXPECT_TRUE(result.controller_wins);
+  EXPECT_TRUE(result.controller_wins());
   EXPECT_TRUE(game::verify_reach_strategy(tg.system, result.strategy, goal));
 }
 

@@ -33,7 +33,7 @@ StatePredicate mutual_exclusion(const models::TrainGate& tg) {
 TEST(TrainGate, SafetyMutualExclusion) {
   auto tg = models::make_train_gate(3);
   auto result = mc::check_invariant(tg.system, mutual_exclusion(tg));
-  EXPECT_TRUE(result.holds) << result.violating_state;
+  EXPECT_TRUE(result.holds()) << result.violating_state;
   EXPECT_GT(result.stats.states_stored, 10u);
 }
 
@@ -43,7 +43,7 @@ TEST(TrainGate, CrossIsActuallyReachable) {
     auto r = mc::reachable(
         tg.system,
         mc::loc_pred(tg.system, "Train(" + std::to_string(i) + ")", "Cross"));
-    EXPECT_TRUE(r.reachable) << "train " << i << " can never cross";
+    EXPECT_TRUE(r.reachable()) << "train " << i << " can never cross";
     EXPECT_FALSE(r.trace.empty());
   }
 }
@@ -52,11 +52,11 @@ TEST(TrainGate, StopIsReachableOnlyWithTwoTrains) {
   // With a single train the bridge is always free, so Stop is unreachable.
   auto tg1 = models::make_train_gate(1);
   auto r1 = mc::reachable(tg1.system, mc::loc_pred(tg1.system, "Train(0)", "Stop"));
-  EXPECT_FALSE(r1.reachable);
+  EXPECT_FALSE(r1.reachable());
 
   auto tg2 = models::make_train_gate(2);
   auto r2 = mc::reachable(tg2.system, mc::loc_pred(tg2.system, "Train(0)", "Stop"));
-  EXPECT_TRUE(r2.reachable);
+  EXPECT_TRUE(r2.reachable());
 }
 
 TEST(TrainGate, LivenessApprLeadsToCross) {
@@ -66,7 +66,7 @@ TEST(TrainGate, LivenessApprLeadsToCross) {
     auto r = mc::check_leads_to(tg.system,
                                 mc::loc_pred(tg.system, name, "Appr"),
                                 mc::loc_pred(tg.system, name, "Cross"));
-    EXPECT_TRUE(r.holds) << name << ".Appr --> " << name
+    EXPECT_TRUE(r.holds()) << name << ".Appr --> " << name
                          << ".Cross failed: " << r.reason;
   }
 }
@@ -74,7 +74,7 @@ TEST(TrainGate, LivenessApprLeadsToCross) {
 TEST(TrainGate, DeadlockFree) {
   auto tg = models::make_train_gate(3);
   auto r = mc::check_deadlock_freedom(tg.system);
-  EXPECT_TRUE(r.deadlock_free) << r.deadlocked_state;
+  EXPECT_TRUE(r.deadlock_free()) << r.deadlocked_state;
 }
 
 TEST(TrainGate, QueueNeverOverflows) {
@@ -84,7 +84,7 @@ TEST(TrainGate, QueueNeverOverflows) {
   auto r = mc::check_invariant(tg.system, [len, n](const ta::SymState& s) {
     return s.vars[static_cast<std::size_t>(len)] <= n;
   });
-  EXPECT_TRUE(r.holds);
+  EXPECT_TRUE(r.holds());
 }
 
 TEST(TrainGate, SafetyViolatedInSabotagedModel) {
@@ -105,7 +105,7 @@ TEST(TrainGate, SafetyViolatedInSabotagedModel) {
   // Two trains *can* be approaching at once, so this pseudo-safety property
   // must be reported violated, with a trace.
   auto r = mc::check_invariant(tg.system, never_two_in_appr);
-  EXPECT_FALSE(r.holds);
+  EXPECT_FALSE(r.holds());
   EXPECT_FALSE(r.counterexample.empty());
 }
 
@@ -117,8 +117,8 @@ TEST(TrainGate, SubsumptionReducesStateCount) {
   auto pred = mutual_exclusion(tg);
   auto r1 = mc::check_invariant(tg.system, pred, with);
   auto r2 = mc::check_invariant(tg.system, pred, without);
-  EXPECT_TRUE(r1.holds);
-  EXPECT_TRUE(r2.holds);
+  EXPECT_TRUE(r1.holds());
+  EXPECT_TRUE(r2.holds());
   EXPECT_LE(r1.stats.states_stored, r2.stats.states_stored);
 }
 
@@ -127,7 +127,7 @@ TEST(TrainGate, ScalesToFiveTrains) {
   // keeps the test suite fast while still covering a non-trivial queue.
   auto tg = models::make_train_gate(5);
   auto result = mc::check_invariant(tg.system, mutual_exclusion(tg));
-  EXPECT_TRUE(result.holds);
+  EXPECT_TRUE(result.holds());
   EXPECT_GT(result.stats.states_stored, 10000u);
 }
 

@@ -176,11 +176,11 @@ TEST(DigitalClocks, InvariantCheckFindsViolations) {
   auto dm = pta::build_digital_mdp(sys);
   auto ok = pta::check_invariant(
       dm, [](const ta::DigitalState& s) { return s.locs[0] == 0; });
-  EXPECT_FALSE(ok.holds);
+  EXPECT_FALSE(ok.holds());
   EXPECT_NE(ok.violating_state.find("Bad"), std::string::npos);
   auto trivially = pta::check_invariant(
       dm, [](const ta::DigitalState&) { return true; });
-  EXPECT_TRUE(trivially.holds);
+  EXPECT_TRUE(trivially.holds());
 }
 
 }  // namespace
