@@ -1,0 +1,104 @@
+// Overhead of crash-safe checkpointing (src/ckpt) on the symbolic hot path:
+// train-gate full exploration with (a) no checkpointing, (b) checkpointing
+// enabled at budget-trip granularity (snapshot only when a bound stops the
+// run — the CheckpointHook is armed but never fires on a completed search),
+// and (c) periodic snapshots every K explored states (each one serializes
+// the full store + worklist and rewrites the file atomically).
+// Acceptance (EXPERIMENTS.md): (b) stays within 5% of (a); (c) is the knob
+// trading crash-window size against throughput.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/budget.h"
+#include "mc/reachability.h"
+#include "models/train_gate.h"
+
+using namespace quanta;
+
+namespace {
+
+mc::StatePredicate all_crossing(const models::TrainGate& tg) {
+  std::vector<int> cross;
+  for (int t : tg.trains) {
+    cross.push_back(tg.system.process(t).location_index("Cross"));
+  }
+  auto trains = tg.trains;
+  return [trains, cross](const ta::SymState& s) {
+    for (std::size_t i = 0; i < trains.size(); ++i) {
+      if (s.locs[static_cast<std::size_t>(trains[i])] != cross[i]) return false;
+    }
+    return true;  // unreachable for N >= 2: forces a full exploration
+  };
+}
+
+double run_once(const models::TrainGate& tg, const mc::StatePredicate& pred,
+                const std::string& ckpt_path, std::uint64_t interval,
+                std::size_t* states) {
+  mc::ReachOptions opts;
+  opts.record_trace = false;
+  opts.limits.budget = common::Budget::deadline_after(std::chrono::hours(1));
+  opts.checkpoint.path = ckpt_path;
+  opts.checkpoint.resume = false;  // measure the forward path, not a resume
+  opts.checkpoint.interval = interval;
+  bench::Stopwatch sw;
+  auto r = mc::reachable(tg.system, pred, opts);
+  *states = r.stats.states_stored;
+  if (r.verdict != common::Verdict::kViolated) {
+    std::fprintf(stderr, "unexpected verdict under a generous budget\n");
+  }
+  return sw.seconds();
+}
+
+double best_of(int reps, const models::TrainGate& tg,
+               const mc::StatePredicate& pred, const std::string& ckpt_path,
+               std::uint64_t interval, std::size_t* states) {
+  double best = 1e9;
+  for (int i = 0; i < reps; ++i) {
+    double t = run_once(tg, pred, ckpt_path, interval, states);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::section("checkpoint overhead: governed train-gate search");
+
+  const std::string path = "/tmp/quanta_bench_ckpt_overhead.qckpt";
+  bench::Table table({"N", "checkpointing", "states", "time [s]", "overhead"});
+  constexpr int kReps = 5;
+  for (int n = 4; n <= 5; ++n) {
+    auto tg = models::make_train_gate(n);
+    auto pred = all_crossing(tg);
+
+    std::size_t states = 0;
+    // Baseline: governed but no checkpoint path (hook never installed).
+    const double base = best_of(kReps, tg, pred, "", 0, &states);
+    table.row({std::to_string(n), "off", std::to_string(states),
+               bench::fmt(base, "%.3f"), "1.00x (baseline)"});
+
+    // Budget-trip granularity: the hook is armed, but a completed search
+    // never snapshots — this is the always-on configuration.
+    const double armed = best_of(kReps, tg, pred, path, 0, &states);
+    table.row({std::to_string(n), "on stop only", std::to_string(states),
+               bench::fmt(armed, "%.3f"),
+               bench::fmt(armed / base, "%.2f") + "x"});
+
+    // Periodic snapshots: every 2000 explored states the full store +
+    // worklist is serialized, CRC'd and atomically rewritten.
+    const double periodic = best_of(kReps, tg, pred, path, 2000, &states);
+    table.row({std::to_string(n), "every 2000", std::to_string(states),
+               bench::fmt(periodic, "%.3f"),
+               bench::fmt(periodic / base, "%.2f") + "x"});
+  }
+  table.print();
+  std::remove("/tmp/quanta_bench_ckpt_overhead.qckpt");
+  std::printf(
+      "\n  acceptance: 'on stop only' within 5%% of baseline (the hook adds\n"
+      "  one branch per pop; snapshots are written only when a bound trips).\n"
+      "  'every K' prices the SIGKILL window: smaller K, smaller loss,\n"
+      "  more serialization.\n");
+  return 0;
+}

@@ -1,0 +1,192 @@
+#include "ckpt/checkpoint.h"
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "ckpt/crc32.h"
+#include "common/fault.h"
+
+namespace quanta::ckpt {
+
+namespace {
+
+constexpr char kMagic[8] = {'Q', 'C', 'K', 'P', 'T', '1', '\r', '\n'};
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8 + 4 + 4;
+
+/// RAII FILE* that also unlinks the path unless release()d — the temp file
+/// never survives a failed save.
+class TempFile {
+ public:
+  TempFile(std::string path) : path_(std::move(path)) {
+    f_ = std::fopen(path_.c_str(), "wb");
+  }
+  ~TempFile() {
+    if (f_ != nullptr) std::fclose(f_);
+    if (!released_ && !path_.empty()) std::remove(path_.c_str());
+  }
+  std::FILE* get() { return f_; }
+  /// Closes (flushing) and keeps the file; returns false if the flush fails.
+  bool close_keep() {
+    if (f_ == nullptr) return false;
+    const bool ok = std::fclose(f_) == 0;
+    f_ = nullptr;
+    released_ = ok;
+    return ok;
+  }
+
+ private:
+  std::string path_;
+  std::FILE* f_ = nullptr;
+  bool released_ = false;
+};
+
+}  // namespace
+
+const char* to_string(LoadStatus s) {
+  switch (s) {
+    case LoadStatus::kOk: return "ok";
+    case LoadStatus::kNoFile: return "no-file";
+    case LoadStatus::kIoError: return "io-error";
+    case LoadStatus::kBadMagic: return "bad-magic";
+    case LoadStatus::kBadVersion: return "bad-version";
+    case LoadStatus::kBadProvider: return "bad-provider";
+    case LoadStatus::kBadFingerprint: return "bad-fingerprint";
+    case LoadStatus::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+const Section* Snapshot::find(std::uint32_t id) const {
+  for (const Section& s : sections) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+Fingerprint& Fingerprint::mix_f64(double v) {
+  return mix(std::bit_cast<std::uint64_t>(v));
+}
+
+Fingerprint& Fingerprint::mix_str(const std::string& s) {
+  mix(s.size());
+  for (char c : s) {
+    h_ ^= static_cast<std::uint8_t>(c);
+    h_ *= 0x100000001B3ull;
+  }
+  return *this;
+}
+
+bool save(const std::string& path, const Snapshot& snap) {
+  if (path.empty()) return false;
+  // Serialize the whole file into memory first: the on-disk write is then
+  // two plain fwrite calls with nothing data-dependent between them.
+  io::Writer w;
+  w.bytes(kMagic, sizeof(kMagic));
+  w.u32(kFormatVersion);
+  w.u32(static_cast<std::uint32_t>(snap.provider));
+  w.u64(snap.fingerprint);
+  w.u32(static_cast<std::uint32_t>(snap.sections.size()));
+  w.u32(crc32(w.buffer().data(), w.size()));
+  for (const Section& s : snap.sections) {
+    w.u32(s.id);
+    w.u64(s.payload.size());
+    w.u32(crc32(s.payload.data(), s.payload.size()));
+    w.bytes(s.payload.data(), s.payload.size());
+  }
+  const std::vector<std::uint8_t>& buf = w.buffer();
+
+  const std::string tmp = path + ".tmp";
+  try {
+    TempFile file(tmp);
+    if (file.get() == nullptr) return false;
+    // Two half-writes around the fault-injection site model a crash
+    // mid-write: the torn prefix only ever lands in the temp file, which is
+    // removed (or, after SIGKILL, ignored — it is never renamed into place).
+    const std::size_t half = buf.size() / 2;
+    if (std::fwrite(buf.data(), 1, half, file.get()) != half) return false;
+    common::FaultInjector::site("ckpt.file.write");
+    const std::size_t rest = buf.size() - half;
+    if (rest > 0 &&
+        std::fwrite(buf.data() + half, 1, rest, file.get()) != rest) {
+      return false;
+    }
+    if (!file.close_keep()) return false;
+  } catch (...) {
+    // Injected fault (or allocation failure) mid-write: TempFile already
+    // removed the torn temp; the previous checkpoint at `path` is intact.
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+LoadStatus load(const std::string& path, std::uint64_t expected_fingerprint,
+                Provider expected_provider, Snapshot* out) {
+  if (path.empty()) return LoadStatus::kNoFile;
+  std::vector<std::uint8_t> buf;
+  try {
+    common::FaultInjector::site("ckpt.file.read");
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return errno == ENOENT ? LoadStatus::kNoFile : LoadStatus::kIoError;
+    }
+    std::uint8_t chunk[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      buf.insert(buf.end(), chunk, chunk + n);
+    }
+    const bool read_ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!read_ok) return LoadStatus::kIoError;
+  } catch (...) {
+    return LoadStatus::kIoError;
+  }
+
+  if (buf.size() < kHeaderSize) return LoadStatus::kCorrupt;
+  if (std::memcmp(buf.data(), kMagic, sizeof(kMagic)) != 0) {
+    return LoadStatus::kBadMagic;
+  }
+  const std::uint32_t computed_header_crc = crc32(buf.data(), kHeaderSize - 4);
+  io::Reader r(buf.data() + sizeof(kMagic), buf.size() - sizeof(kMagic));
+  const std::uint32_t version = r.u32();
+  const std::uint32_t provider = r.u32();
+  const std::uint64_t fingerprint = r.u64();
+  const std::uint32_t section_count = r.u32();
+  const std::uint32_t header_crc = r.u32();
+  if (header_crc != computed_header_crc) return LoadStatus::kCorrupt;
+  if (version != kFormatVersion) return LoadStatus::kBadVersion;
+  if (provider != static_cast<std::uint32_t>(expected_provider)) {
+    return LoadStatus::kBadProvider;
+  }
+  if (fingerprint != expected_fingerprint) return LoadStatus::kBadFingerprint;
+
+  Snapshot snap;
+  snap.provider = expected_provider;
+  snap.fingerprint = fingerprint;
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const std::uint32_t id = r.u32();
+    const std::uint64_t size = r.u64();
+    const std::uint32_t payload_crc = r.u32();
+    if (!r.ok() || !r.fits(size, 1)) return LoadStatus::kCorrupt;
+    Section sec;
+    sec.id = id;
+    sec.payload.resize(static_cast<std::size_t>(size));
+    if (!r.bytes(sec.payload.data(), sec.payload.size())) {
+      return LoadStatus::kCorrupt;
+    }
+    if (crc32(sec.payload.data(), sec.payload.size()) != payload_crc) {
+      return LoadStatus::kCorrupt;
+    }
+    snap.sections.push_back(std::move(sec));
+  }
+  if (!r.ok()) return LoadStatus::kCorrupt;
+  *out = std::move(snap);
+  return LoadStatus::kOk;
+}
+
+}  // namespace quanta::ckpt

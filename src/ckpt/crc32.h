@@ -1,0 +1,27 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte ranges —
+// the per-section integrity check of the checkpoint format. A flipped bit
+// anywhere in a section payload makes the stored and recomputed checksums
+// disagree, so a corrupted checkpoint is rejected at load instead of being
+// parsed into tainted engine state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace quanta::ckpt {
+
+/// Incremental CRC32: feed `crc32_update` successive chunks starting from
+/// `kCrc32Init`, finish with `crc32_final`. One-shot helper below.
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t size);
+
+inline std::uint32_t crc32_final(std::uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+/// CRC32 of one contiguous buffer.
+inline std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_final(crc32_update(kCrc32Init, data, size));
+}
+
+}  // namespace quanta::ckpt

@@ -1,0 +1,107 @@
+// Byte-level serialization primitives of the checkpoint format: a growing
+// little-endian Writer and a bounds-checked Reader. Integers are written
+// byte-by-byte (fixed little-endian layout, no struct dumps), so checkpoint
+// files are portable across compilers and architectures; doubles travel as
+// their IEEE-754 bit pattern.
+//
+// The Reader never throws and never reads out of bounds: any short read
+// flips a sticky `ok()` flag and yields zeros from then on. Callers parse
+// the whole section and check ok() once at the end — corrupted input
+// degrades to a failed load, not UB. (Sections are CRC-checked before they
+// reach a Reader, so ok() failing indicates a logic or version mismatch.)
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace quanta::ckpt::io {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    buf_.insert(buf_.end(), p, p + size);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+  explicit Reader(const std::vector<std::uint8_t>& buf)
+      : Reader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    take(&v, 1);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint8_t b[4] = {};
+    take(b, 4);
+    return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+           (static_cast<std::uint32_t>(b[2]) << 16) | (static_cast<std::uint32_t>(b[3]) << 24);
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool bytes(void* out, std::size_t size) { return take(out, size); }
+
+  /// A `count` prefix for `elem_size`-byte elements is plausible only when
+  /// that many bytes actually remain — guards vector reserves against
+  /// nonsense sizes from malformed input.
+  bool fits(std::uint64_t count, std::size_t elem_size) {
+    if (elem_size != 0 && count > remaining() / elem_size) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool take(void* out, std::size_t size) {
+    if (remaining() < size) {
+      ok_ = false;
+      std::memset(out, 0, size);
+      p_ = end_;
+      return false;
+    }
+    std::memcpy(out, p_, size);
+    p_ += size;
+    return true;
+  }
+
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+  bool ok_ = true;
+};
+
+}  // namespace quanta::ckpt::io

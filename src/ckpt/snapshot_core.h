@@ -1,0 +1,130 @@
+// Snapshot codec for the shared exploration core: serializes a
+// core::StateStore (with covered/tombstone bits), a core::Worklist and the
+// running SearchStats counters into checkpoint sections, and rebuilds them
+// on resume. The store section persists states in insertion order only —
+// StateStore::restore re-derives the hash table deterministically, so the
+// resumed search is bit-identical to the uninterrupted one.
+//
+// Engines plug in a state codec (write_state / read_state callables) for
+// their state type; ckpt/snapshot_ta.h provides the zone-state codec.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/io.h"
+#include "core/state_store.h"
+#include "core/worklist.h"
+
+namespace quanta::ckpt {
+
+/// Section ids of the Provider::kExplore layout. Engine payload (parents,
+/// moves, costs, ...) rides in kSecEnginePayload, opaque to this layer.
+inline constexpr std::uint32_t kSecStore = 1;
+inline constexpr std::uint32_t kSecWorklist = 2;
+inline constexpr std::uint32_t kSecSearchStats = 3;
+inline constexpr std::uint32_t kSecEnginePayload = 4;
+
+template <typename S, typename Traits, typename WriteState>
+void write_store(io::Writer& w, const core::StateStore<S, Traits>& store,
+                 WriteState&& write_state) {
+  w.u8(store.options().inclusion ? 1 : 0);
+  w.u8(store.options().tombstone_covered ? 1 : 0);
+  const std::size_t n = store.size();
+  w.u64(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    write_state(w, store.state(static_cast<std::int32_t>(id)));
+  }
+  for (std::size_t id = 0; id < n; ++id) {
+    w.u8(store.covered(static_cast<std::int32_t>(id)) ? 1 : 0);
+  }
+}
+
+/// Rebuilds a store snapshotted with write_store. `opts` must match the
+/// serialized options (they are derived from the same engine options that
+/// feed the fingerprint); returns false on any mismatch or malformed data.
+template <typename S, typename Traits, typename ReadState>
+bool read_store(io::Reader& r, typename core::StateStore<S, Traits>::Options opts,
+                ReadState&& read_state, core::StateStore<S, Traits>* out) {
+  const bool inclusion = r.u8() != 0;
+  const bool tombstone = r.u8() != 0;
+  if (inclusion != opts.inclusion || tombstone != opts.tombstone_covered) {
+    return false;
+  }
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || !r.fits(n, 1)) return false;
+  std::vector<S> states;
+  states.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    S s;
+    if (!read_state(r, &s)) return false;
+    states.push_back(std::move(s));
+  }
+  std::vector<std::uint8_t> covered(static_cast<std::size_t>(n), 0);
+  for (std::uint64_t i = 0; i < n; ++i) covered[i] = r.u8();
+  if (!r.ok()) return false;
+  *out = core::StateStore<S, Traits>::restore(opts, std::move(states),
+                                              std::move(covered));
+  return true;
+}
+
+/// Serializes the pending worklist entries. `pending_first` / `pending_last`
+/// re-queue the popped-but-unexpanded entry of an interrupted search at the
+/// position the order pops next (front for BFS, back for DFS; a kPriority
+/// restore re-heapifies, so position is irrelevant there).
+inline void write_worklist(io::Writer& w, const core::Worklist& work,
+                           const core::Worklist::Entry* pending_front,
+                           const core::Worklist::Entry* pending_back) {
+  w.u8(static_cast<std::uint8_t>(work.order()));
+  const std::vector<core::Worklist::Entry> entries = work.snapshot();
+  std::uint64_t count = entries.size();
+  if (pending_front != nullptr) ++count;
+  if (pending_back != nullptr) ++count;
+  w.u64(count);
+  auto put = [&w](const core::Worklist::Entry& e) {
+    w.i32(e.id);
+    w.i64(e.key);
+  };
+  if (pending_front != nullptr) put(*pending_front);
+  for (const core::Worklist::Entry& e : entries) put(e);
+  if (pending_back != nullptr) put(*pending_back);
+}
+
+inline bool read_worklist(io::Reader& r, core::Worklist* work) {
+  const std::uint8_t order = r.u8();
+  if (order != static_cast<std::uint8_t>(work->order())) return false;
+  const std::uint64_t count = r.u64();
+  if (!r.ok() || !r.fits(count, 4 + 8)) return false;
+  std::vector<core::Worklist::Entry> entries;
+  entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    core::Worklist::Entry e;
+    e.id = r.i32();
+    e.key = r.i64();
+    entries.push_back(e);
+  }
+  if (!r.ok()) return false;
+  work->restore(std::move(entries));
+  return true;
+}
+
+/// The resumable counters of SearchStats. `states_explored` must already
+/// exclude the pending entry's visit (core::CheckpointHook contract);
+/// states_stored is derived from the store and stop/truncated reset to
+/// running on resume.
+inline void write_search_stats(io::Writer& w, std::uint64_t states_explored,
+                               std::uint64_t transitions) {
+  w.u64(states_explored);
+  w.u64(transitions);
+}
+
+inline bool read_search_stats(io::Reader& r, std::uint64_t* states_explored,
+                              std::uint64_t* transitions) {
+  *states_explored = r.u64();
+  *transitions = r.u64();
+  return r.ok();
+}
+
+}  // namespace quanta::ckpt

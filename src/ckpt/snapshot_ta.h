@@ -1,0 +1,138 @@
+// Zone-state codec and timed-automata model fingerprint for the checkpoint
+// subsystem. Header-only: included by the engines that link both quanta_ta
+// and quanta_ckpt (mc reachability today; any zone-based engine can reuse
+// it), keeping the ckpt library itself free of model dependencies.
+#pragma once
+
+#include <cstdint>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/io.h"
+#include "dbm/dbm.h"
+#include "ta/model.h"
+#include "ta/symbolic.h"
+
+namespace quanta::ckpt {
+
+inline void write_sym_state(io::Writer& w, const ta::SymState& s) {
+  w.u32(static_cast<std::uint32_t>(s.locs.size()));
+  for (int l : s.locs) w.i32(l);
+  w.u32(static_cast<std::uint32_t>(s.vars.size()));
+  for (auto v : s.vars) w.i32(v);
+  const int dim = s.zone.dim();
+  w.u32(static_cast<std::uint32_t>(dim));
+  for (int i = 0; i < dim; ++i) {
+    for (int j = 0; j < dim; ++j) w.i32(s.zone.at(i, j));
+  }
+}
+
+inline bool read_sym_state(io::Reader& r, ta::SymState* out) {
+  const std::uint32_t nl = r.u32();
+  if (!r.fits(nl, 4)) return false;
+  out->locs.resize(nl);
+  for (std::uint32_t i = 0; i < nl; ++i) out->locs[i] = r.i32();
+  const std::uint32_t nv = r.u32();
+  if (!r.fits(nv, 4)) return false;
+  out->vars.resize(nv);
+  for (std::uint32_t i = 0; i < nv; ++i) out->vars[i] = r.i32();
+  const std::uint32_t dim = r.u32();
+  if (dim == 0 || !r.fits(static_cast<std::uint64_t>(dim) * dim, 4)) {
+    return false;
+  }
+  out->zone = dbm::Dbm(static_cast<int>(dim));
+  for (std::uint32_t i = 0; i < dim; ++i) {
+    for (std::uint32_t j = 0; j < dim; ++j) {
+      out->zone.set(static_cast<int>(i), static_cast<int>(j), r.i32());
+    }
+  }
+  return r.ok();
+}
+
+inline void write_move(io::Writer& w, const ta::Move& m) {
+  w.u32(static_cast<std::uint32_t>(m.participants.size()));
+  for (const auto& [process, edge] : m.participants) {
+    w.i32(process);
+    w.i32(edge);
+  }
+}
+
+inline bool read_move(io::Reader& r, ta::Move* out) {
+  const std::uint32_t n = r.u32();
+  if (!r.fits(n, 8)) return false;
+  out->participants.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out->participants[i].first = r.i32();
+    out->participants[i].second = r.i32();
+  }
+  return r.ok();
+}
+
+/// Structural fingerprint of a timed-automata network: locations (names,
+/// invariants, flags, rates), edges (endpoints, clock guards, channels,
+/// sync, resets, probabilistic branches), channels, clocks and variable
+/// declarations. Opaque callables (data guards/updates, channel functions)
+/// contribute only their presence bit — analyses that differ solely inside
+/// such callables must be distinguished via ckpt::Options::property_tag.
+inline std::uint64_t fingerprint(const ta::System& sys) {
+  Fingerprint fp;
+  fp.mix(0x7A5EED00u).mix(static_cast<std::uint64_t>(sys.clock_count()));
+  for (int c = 1; c <= sys.clock_count(); ++c) fp.mix_str(sys.clock_name(c));
+  fp.mix(static_cast<std::uint64_t>(sys.channel_count()));
+  for (int c = 0; c < sys.channel_count(); ++c) {
+    const ta::Channel& ch = sys.channel(c);
+    fp.mix_str(ch.name).mix((ch.broadcast ? 2u : 0u) | (ch.urgent ? 1u : 0u));
+  }
+  const auto& vars = sys.vars();
+  fp.mix(vars.size());
+  for (const common::VarDecl& d : vars.decls()) {
+    fp.mix_str(d.name)
+        .mix_i64(d.init)
+        .mix_i64(d.min)
+        .mix_i64(d.max);
+  }
+  auto mix_constraints = [&fp](const std::vector<ta::ClockConstraint>& cs) {
+    fp.mix(cs.size());
+    for (const ta::ClockConstraint& cc : cs) {
+      fp.mix_i64(cc.i).mix_i64(cc.j).mix_i64(cc.bound);
+    }
+  };
+  fp.mix(static_cast<std::uint64_t>(sys.process_count()));
+  for (int p = 0; p < sys.process_count(); ++p) {
+    const ta::Process& proc = sys.process(p);
+    fp.mix_str(proc.name).mix_i64(proc.initial);
+    fp.mix(proc.locations.size());
+    for (const ta::Location& loc : proc.locations) {
+      fp.mix_str(loc.name);
+      mix_constraints(loc.invariant);
+      fp.mix((loc.committed ? 2u : 0u) | (loc.urgent ? 1u : 0u));
+      fp.mix_f64(loc.exit_rate);
+    }
+    fp.mix(proc.edges.size());
+    for (const ta::Edge& e : proc.edges) {
+      fp.mix_i64(e.source).mix_i64(e.target);
+      mix_constraints(e.guard);
+      fp.mix_i64(e.channel)
+          .mix(e.channel_fn ? 1u : 0u)
+          .mix(static_cast<std::uint64_t>(e.sync))
+          .mix(e.data_guard ? 1u : 0u)
+          .mix(e.update ? 1u : 0u)
+          .mix(e.controllable ? 1u : 0u);
+      fp.mix_str(e.label);
+      fp.mix(e.resets.size());
+      for (const auto& [clock, value] : e.resets) {
+        fp.mix_i64(clock).mix_i64(value);
+      }
+      fp.mix(e.branches.size());
+      for (const ta::ProbBranch& b : e.branches) {
+        fp.mix_f64(b.weight).mix_i64(b.target).mix_str(b.label);
+        fp.mix(b.resets.size());
+        for (const auto& [clock, value] : b.resets) {
+          fp.mix_i64(clock).mix_i64(value);
+        }
+      }
+    }
+  }
+  return fp.digest();
+}
+
+}  // namespace quanta::ckpt

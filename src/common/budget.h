@@ -27,6 +27,15 @@ namespace quanta::common {
 /// a unit runs to the next poll point. exec::CancellationToken is an alias
 /// of this class, so one token cancels a symbolic search and a statistical
 /// executor job alike.
+///
+/// Ownership: the token belongs to whoever created it, and it is sticky —
+/// nothing in the toolkit ever resets a caller's token (engines and
+/// exec::Watchdog only read or set it). A token left cancelled by run N
+/// therefore stops run N+1 at its very first poll; callers reusing a token
+/// across governed runs (e.g. a checkpoint/resume pair) must reset() it
+/// between runs. Engines that need an internal cancellation source (the
+/// watchdog's firing target in src/smc) create a fresh token per call
+/// precisely so that this footgun cannot arise internally.
 class CancelToken {
  public:
   void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }

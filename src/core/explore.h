@@ -18,6 +18,7 @@
 // detected deterministically even on tiny models.
 #pragma once
 
+#include <functional>
 #include <utility>
 
 #include "core/observer.h"
@@ -39,14 +40,31 @@ enum class Visit {
 /// floor (bench/bench_budget_overhead.cpp).
 inline constexpr std::size_t kBudgetPollStride = 64;
 
+/// Engine-supplied snapshot hook (src/ckpt). The sink fires when a resource
+/// bound (state limit or Budget) stops the search, and — when `interval` is
+/// non-zero — every `interval` explored states, so even a SIGKILL loses at
+/// most one interval of work. It always fires at the one consistent point
+/// of the loop: `pending` has been popped and goal-tested but NOT expanded,
+/// and `stats.states_explored` already counts its visit. A resumable
+/// snapshot must therefore re-queue `pending` as the next state to pop and
+/// record `states_explored - 1`, so the resumed run re-visits it exactly
+/// once and interrupted + resumed totals equal an uninterrupted run's.
+struct CheckpointHook {
+  std::size_t interval = 0;
+  std::function<void(const SearchStats&, const Worklist::Entry& pending)> sink;
+};
+
 template <typename Store, typename VisitFn, typename ExpandFn>
 SearchStats explore(Store& store, Worklist& work, const SearchLimits& limits,
                     VisitFn&& visit, ExpandFn&& expand,
-                    ExplorationObserver* observer = nullptr) {
+                    ExplorationObserver* observer = nullptr,
+                    const CheckpointHook* checkpoint = nullptr) {
   SearchStats stats;
   const common::Budget& budget = limits.budget;
   const bool governed = budget.active();
+  const bool snapshotting = checkpoint != nullptr && checkpoint->sink;
   std::size_t poll_in = 1;  // first expansion polls; then every stride
+  std::size_t snap_in = snapshotting ? checkpoint->interval : 0;
   while (!work.empty()) {
     const Worklist::Entry entry = work.pop();
     if (store.covered(entry.id)) continue;
@@ -57,6 +75,7 @@ SearchStats explore(Store& store, Worklist& work, const SearchLimits& limits,
     if (verdict == Visit::kStop) break;
     if (limits.reached(store.size())) {
       stats.stop_for(common::StopReason::kStateLimit);
+      if (snapshotting) checkpoint->sink(stats, entry);
       break;
     }
     if (governed && --poll_in == 0) {
@@ -64,8 +83,13 @@ SearchStats explore(Store& store, Worklist& work, const SearchLimits& limits,
       const common::StopReason r = budget.poll(store.memory_bytes());
       if (r != common::StopReason::kCompleted) {
         stats.stop_for(r);
+        if (snapshotting) checkpoint->sink(stats, entry);
         break;
       }
+    }
+    if (snap_in != 0 && --snap_in == 0) {
+      snap_in = checkpoint->interval;
+      checkpoint->sink(stats, entry);
     }
     stats.transitions += expand(entry);
   }

@@ -136,6 +136,47 @@ class StateStore {
 
   const Options& options() const { return opts_; }
 
+  /// Rebuilds a store from snapshot data (src/ckpt): the states in their
+  /// original insertion order plus the covered/tombstone bits. The hash
+  /// table is re-derived rather than persisted — chain membership and order
+  /// depend only on (key hash, insertion order), and the rehash trajectory
+  /// only on the sequence of distinct key hashes, so the rebuilt store is
+  /// structurally identical to the one that was snapshotted and every
+  /// subsequent intern() behaves bit-identically to the uninterrupted run.
+  static StateStore restore(Options opts, std::vector<S> states,
+                            std::vector<std::uint8_t> covered) {
+    assert(states.size() == covered.size());
+    StateStore store(opts);
+    store.states_ = std::move(states);
+    store.covered_ = std::move(covered);
+    const std::size_t n = store.states_.size();
+    store.hashes_.reserve(n);
+    store.next_.assign(n, kEmpty);
+    for (std::size_t i = 0; i < n; ++i) {
+      const S& s = store.states_[i];
+      store.bytes_ += state_bytes(s);
+      if (store.covered_[i] != 0) ++store.covered_count_;
+      const std::size_t h = store.key_hash(s);
+      store.hashes_.push_back(h);
+      const std::size_t slot = store.probe_slot(h);
+      const std::int32_t id = static_cast<std::int32_t>(i);
+      if (store.slots_[slot] == kEmpty) {
+        store.slots_[slot] = id;
+        ++store.occupied_;
+        if (store.occupied_ * 2 >= store.slots_.size()) {
+          store.rehash(store.slots_.size() * 2);
+        }
+      } else {
+        std::int32_t tail = store.slots_[slot];
+        while (store.next_[toIdx(tail)] != kEmpty) {
+          tail = store.next_[toIdx(tail)];
+        }
+        store.next_[toIdx(tail)] = id;
+      }
+    }
+    return store;
+  }
+
   StoreMetrics metrics() const {
     StoreMetrics m;
     m.stored = states_.size();

@@ -34,6 +34,20 @@ void Worklist::push(std::int32_t id, std::int64_t key) {
   }
 }
 
+std::vector<Worklist::Entry> Worklist::snapshot() const {
+  if (order_ == SearchOrder::kPriority) return heap_;
+  return std::vector<Entry>(fifo_.begin(), fifo_.end());
+}
+
+void Worklist::restore(std::vector<Entry> entries) {
+  if (order_ == SearchOrder::kPriority) {
+    heap_ = std::move(entries);
+    std::make_heap(heap_.begin(), heap_.end(), KeyGreater{});
+  } else {
+    fifo_.assign(entries.begin(), entries.end());
+  }
+}
+
 Worklist::Entry Worklist::pop() {
   switch (order_) {
     case SearchOrder::kBfs: {

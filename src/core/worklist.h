@@ -34,6 +34,18 @@ class Worklist {
   /// Precondition: !empty().
   Entry pop();
 
+  /// Pending entries for snapshotting (src/ckpt), in internal storage order
+  /// (deque front-to-back, or the raw heap array). Feeding the result to
+  /// restore() on a worklist of the same order reproduces the exact pop
+  /// sequence: the deque is copied verbatim, and heap pops follow the total
+  /// (key, id) order regardless of array layout.
+  std::vector<Entry> snapshot() const;
+
+  /// Replaces the pending entries wholesale (resume path). The vector may
+  /// carry extra entries prepended/appended by the engine (e.g. the popped-
+  /// but-unexpanded state of an interrupted search); kPriority re-heapifies.
+  void restore(std::vector<Entry> entries);
+
  private:
   SearchOrder order_;
   std::deque<Entry> fifo_;   ///< BFS pops the front, DFS pops the back

@@ -1,6 +1,7 @@
 #include "exec/thread_pool.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 namespace quanta::exec {
@@ -8,8 +9,12 @@ namespace quanta::exec {
 unsigned default_worker_count() {
   if (const char* env = std::getenv("QUANTA_JOBS")) {
     char* endp = nullptr;
+    errno = 0;
     long v = std::strtol(env, &endp, 10);
-    if (endp != env && v >= 1) {
+    // The whole value must be a positive decimal number: trailing garbage
+    // ("4x"), empty strings, zero/negative counts and out-of-range values all
+    // fall back to hardware_concurrency rather than half-parsing.
+    if (errno == 0 && endp != env && *endp == '\0' && v >= 1) {
       return static_cast<unsigned>(std::min(v, 1024L));
     }
   }

@@ -32,8 +32,10 @@ namespace quanta::exec {
 /// cancels a symbolic search and a statistical executor job alike.
 using CancellationToken = common::CancelToken;
 
-/// Worker count picked by the QUANTA_JOBS environment variable when set (>= 1),
-/// otherwise std::thread::hardware_concurrency() (>= 1).
+/// Worker count picked by the QUANTA_JOBS environment variable when it holds
+/// a whole positive decimal number (clamped to 1024); anything else — unset,
+/// empty, non-numeric, zero/negative, trailing garbage like "4x", or
+/// out-of-range — falls back to std::thread::hardware_concurrency() (>= 1).
 unsigned default_worker_count();
 
 class ThreadPool {

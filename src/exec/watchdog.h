@@ -7,6 +7,14 @@
 // Executor's chunk loop already observes between runs. The reason the
 // watchdog fired with is recorded so the caller can map cancellation back to
 // a common::StopReason (kTimeLimit vs kCancelled vs kFault).
+//
+// Token ownership: the watchdog only ever *sets* `target`; it never resets
+// it, not even in its destructor. A fired target is sticky, so engines must
+// hand the watchdog a token scoped to a single run (src/smc creates a fresh
+// internal token per estimate/SPRT call). Handing it a long-lived token and
+// reusing that token for the next run — e.g. when resuming from a checkpoint
+// after a budget stop — would silently abort the resumed run at its first
+// poll; see ExecTest.WatchdogDoesNotResetTargetAcrossRuns.
 #pragma once
 
 #include <atomic>

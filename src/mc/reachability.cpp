@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ckpt/snapshot_core.h"
+#include "ckpt/snapshot_ta.h"
 #include "core/explore.h"
 #include "core/state_store.h"
 #include "core/worklist.h"
@@ -47,10 +49,134 @@ class Explorer {
                                  /*tombstone_covered=*/opts.inclusion_subsumption}),
         waiting_(opts.order) {}
 
-  /// Runs the search; returns the index of a goal node or -1.
-  std::int32_t run(const StatePredicate& goal, SearchStats& stats) {
-    add_state(sem_.initial(), -1, ta::Move{});
+  /// What this search's checkpoints must match to be resumed: the model
+  /// skeleton plus every option that steers the exploration. The goal
+  /// predicate is opaque — ReachOptions::checkpoint documents the tag.
+  std::uint64_t snapshot_fingerprint() const {
+    ckpt::Fingerprint fp;
+    fp.mix(ckpt::fingerprint(sem_.system()))
+        .mix(opts_.extrapolate ? 1u : 0u)
+        .mix(opts_.inclusion_subsumption ? 1u : 0u)
+        .mix(static_cast<std::uint64_t>(opts_.order))
+        .mix(opts_.record_trace ? 1u : 0u)
+        .mix_str(opts_.checkpoint.property_tag);
+    return fp.digest();
+  }
+
+  /// Rebuilds store/worklist/payload/counters from a validated snapshot.
+  /// All-or-nothing: returns false (leaving the explorer fresh) when any
+  /// section is missing or internally inconsistent.
+  bool restore_from(const ckpt::Snapshot& snap) {
+    const ckpt::Section* sec_store = snap.find(ckpt::kSecStore);
+    const ckpt::Section* sec_work = snap.find(ckpt::kSecWorklist);
+    const ckpt::Section* sec_stats = snap.find(ckpt::kSecSearchStats);
+    const ckpt::Section* sec_payload = snap.find(ckpt::kSecEnginePayload);
+    if (sec_store == nullptr || sec_work == nullptr || sec_stats == nullptr ||
+        sec_payload == nullptr) {
+      return false;
+    }
+    SymStore store(store_.options());
+    {
+      ckpt::io::Reader r(sec_store->payload);
+      if (!ckpt::read_store<ta::SymState, core::StateTraits<ta::SymState>>(
+              r, store_.options(), ckpt::read_sym_state, &store)) {
+        return false;
+      }
+    }
+    core::Worklist waiting(opts_.order);
+    {
+      ckpt::io::Reader r(sec_work->payload);
+      if (!ckpt::read_worklist(r, &waiting)) return false;
+    }
+    std::uint64_t explored = 0;
+    std::uint64_t transitions = 0;
+    {
+      ckpt::io::Reader r(sec_stats->payload);
+      if (!ckpt::read_search_stats(r, &explored, &transitions)) return false;
+    }
+    std::vector<std::int32_t> parents;
+    std::vector<ta::Move> moves;
+    {
+      ckpt::io::Reader r(sec_payload->payload);
+      const std::uint64_t n = r.u64();
+      if (n != store.size() || !r.fits(n, 4)) return false;
+      parents.resize(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) parents[i] = r.i32();
+      moves.resize(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        if (!ckpt::read_move(r, &moves[i])) return false;
+      }
+      if (!r.ok()) return false;
+    }
+    store_ = std::move(store);
+    waiting_ = std::move(waiting);
+    parents_ = std::move(parents);
+    moves_ = std::move(moves);
+    baseline_explored_ = explored;
+    baseline_transitions_ = transitions;
+    return true;
+  }
+
+  /// Serializes the search at the CheckpointHook's consistent point: the
+  /// pending entry goes back into the worklist section and its visit is
+  /// subtracted from the explored counter, so the resumed run re-visits and
+  /// expands it exactly once.
+  bool save_snapshot(const SearchStats& stats,
+                     const core::Worklist::Entry& pending) const {
+    ckpt::Snapshot snap;
+    snap.provider = ckpt::Provider::kExplore;
+    snap.fingerprint = snapshot_fingerprint();
+    {
+      ckpt::io::Writer w;
+      ckpt::write_store(w, store_, ckpt::write_sym_state);
+      snap.add_section(ckpt::kSecStore, std::move(w));
+    }
+    {
+      ckpt::io::Writer w;
+      const bool front = opts_.order != core::SearchOrder::kDfs;
+      ckpt::write_worklist(w, waiting_, front ? &pending : nullptr,
+                           front ? nullptr : &pending);
+      snap.add_section(ckpt::kSecWorklist, std::move(w));
+    }
+    {
+      ckpt::io::Writer w;
+      ckpt::write_search_stats(
+          w, baseline_explored_ + stats.states_explored - 1,
+          baseline_transitions_ + stats.transitions);
+      snap.add_section(ckpt::kSecSearchStats, std::move(w));
+    }
+    {
+      ckpt::io::Writer w;
+      w.u64(store_.size());
+      for (std::int32_t p : parents_) w.i32(p);
+      for (const ta::Move& m : moves_) ckpt::write_move(w, m);
+      snap.add_section(ckpt::kSecEnginePayload, std::move(w));
+    }
+    return ckpt::save(opts_.checkpoint.path, snap);
+  }
+
+  /// Runs the search; returns the index of a goal node or -1. With
+  /// `resumed` the initial state is already interned (restore_from).
+  std::int32_t run(const StatePredicate& goal, SearchStats& stats,
+                   bool resumed, ckpt::ResumeInfo* resume) {
+    if (!resumed) add_state(sem_.initial(), -1, ta::Move{});
     std::int32_t goal_node = -1;
+    core::CheckpointHook hook;
+    const core::CheckpointHook* hook_ptr = nullptr;
+    if (opts_.checkpoint.enabled() &&
+        (opts_.checkpoint.save_on_stop || opts_.checkpoint.interval != 0)) {
+      hook.interval = opts_.checkpoint.interval;
+      hook.sink = [this, resume](const SearchStats& s,
+                                 const core::Worklist::Entry& pending) {
+        if (s.stop != common::StopReason::kCompleted &&
+            !opts_.checkpoint.save_on_stop) {
+          return;
+        }
+        const bool ok = save_snapshot(s, pending);
+        if (resume != nullptr && ok) resume->saved = true;
+      };
+      hook_ptr = &hook;
+    }
     stats = core::explore(
         store_, waiting_, opts_.limits,
         [&](const core::Worklist::Entry& e) {
@@ -70,7 +196,9 @@ class Explorer {
           }
           return taken;
         },
-        opts_.observer);
+        opts_.observer, hook_ptr);
+    stats.states_explored += static_cast<std::size_t>(baseline_explored_);
+    stats.transitions += static_cast<std::size_t>(baseline_transitions_);
     return goal_node;
   }
 
@@ -110,6 +238,9 @@ class Explorer {
   // Per-state payload, indexed by the store's dense ids.
   std::vector<std::int32_t> parents_;
   std::vector<ta::Move> moves_;  ///< move that produced the state
+  // Counters carried over from the interrupted run when resuming.
+  std::uint64_t baseline_explored_ = 0;
+  std::uint64_t baseline_transitions_ = 0;
 };
 
 }  // namespace
@@ -121,7 +252,26 @@ ReachResult reachable(const ta::System& sys, const StatePredicate& goal,
       [&] {
         Explorer explorer(sys, opts);
         ReachResult result;
-        std::int32_t idx = explorer.run(goal, result.stats);
+        bool resumed = false;
+        if (opts.checkpoint.enabled()) {
+          result.resume.path = opts.checkpoint.path;
+          if (opts.checkpoint.resume) {
+            ckpt::Snapshot snap;
+            result.resume.load =
+                ckpt::load(opts.checkpoint.path,
+                           explorer.snapshot_fingerprint(),
+                           ckpt::Provider::kExplore, &snap);
+            if (result.resume.load == ckpt::LoadStatus::kOk) {
+              resumed = explorer.restore_from(snap);
+              // Validated but not reconstructible (section layout drift):
+              // degrade to a fresh start, reported as corruption.
+              if (!resumed) result.resume.load = ckpt::LoadStatus::kCorrupt;
+            }
+            result.resume.resumed = resumed;
+          }
+        }
+        std::int32_t idx =
+            explorer.run(goal, result.stats, resumed, &result.resume);
         if (idx >= 0) {
           // A witness is sound no matter what budget would have tripped
           // next: the search stopped with kCompleted before any check.
@@ -135,9 +285,10 @@ ReachResult reachable(const ta::System& sys, const StatePredicate& goal,
         }
         return result;
       },
-      [](common::StopReason r) {
+      [&opts](common::StopReason r) {
         ReachResult result;
         result.stats.stop_for(r);
+        result.resume.path = opts.checkpoint.path;
         return result;
       });
 }
@@ -151,6 +302,7 @@ InvariantResult check_invariant(const ta::System& sys,
   inv.stats = r.stats;
   inv.counterexample = std::move(r.trace);
   inv.violating_state = std::move(r.witness);
+  inv.resume = std::move(r.resume);
   return inv;
 }
 

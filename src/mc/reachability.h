@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "common/verdict.h"
 #include "core/observer.h"
 #include "core/search.h"
@@ -43,6 +44,15 @@ struct ReachOptions {
   core::SearchLimits limits;
   /// Optional instrumentation hook (not owned; may be nullptr).
   core::ExplorationObserver* observer = nullptr;
+  /// Crash-safe checkpoint/resume policy (src/ckpt): with a path set, the
+  /// search resumes from a validated snapshot at that path, snapshots when a
+  /// resource bound stops it (and every `interval` explored states), and the
+  /// kUnknown verdict then carries the resume handle in ReachResult::resume.
+  /// Interrupt-at-any-point + resume is bit-identical to an uninterrupted
+  /// run. The checkpoint fingerprint covers the model and these options but
+  /// NOT the goal predicate (an opaque callable) — reuse one path per
+  /// (model, property) pair or set checkpoint.property_tag.
+  ckpt::Options checkpoint;
 };
 
 struct ReachResult {
@@ -55,6 +65,8 @@ struct ReachResult {
   std::vector<std::string> trace;
   /// Printable form of the witness state.
   std::string witness;
+  /// Checkpoint/resume outcome of this run (ReachOptions::checkpoint).
+  ckpt::ResumeInfo resume;
 
   /// Definitely reachable (a witness state was found).
   bool reachable() const { return verdict == common::Verdict::kHolds; }
@@ -73,6 +85,8 @@ struct InvariantResult {
   SearchStats stats;
   std::vector<std::string> counterexample;
   std::string violating_state;
+  /// Checkpoint/resume outcome of this run (ReachOptions::checkpoint).
+  ckpt::ResumeInfo resume;
 
   bool holds() const { return verdict == common::Verdict::kHolds; }
   common::StopReason stop() const { return stats.stop; }

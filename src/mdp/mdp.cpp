@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ckpt/checkpoint.h"
 #include "common/error.h"
 
 namespace quanta::mdp {
@@ -82,6 +83,24 @@ void Mdp::freeze() {
   pending_.clear();
   pending_.shrink_to_fit();
   frozen_ = true;
+}
+
+std::uint64_t Mdp::fingerprint() const {
+  if (!frozen_) {
+    throw std::logic_error(quanta::context(
+        "mdp.fingerprint", "fingerprint requires a frozen MDP"));
+  }
+  ckpt::Fingerprint fp;
+  fp.mix(0x4D445000u)
+      .mix_i64(num_states_)
+      .mix_i64(initial_);
+  for (std::int64_t off : state_offset_) fp.mix_i64(off);
+  for (std::int64_t off : choice_offset_) fp.mix_i64(off);
+  for (double r : choice_reward_) fp.mix_f64(r);
+  for (const Branch& b : branches_) {
+    fp.mix_i64(b.target).mix_f64(b.prob);
+  }
+  return fp.digest();
 }
 
 }  // namespace quanta::mdp

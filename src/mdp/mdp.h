@@ -50,6 +50,12 @@ class Mdp {
     return choice_reward_[static_cast<std::size_t>(choice)];
   }
 
+  /// Structural fingerprint of the frozen CSR form (states, choice layout,
+  /// branch targets/probabilities, rewards, initial state) — the model half
+  /// of a value-iteration checkpoint's identity (src/ckpt). Requires
+  /// frozen().
+  std::uint64_t fingerprint() const;
+
  private:
   struct PendingChoice {
     std::int32_t state;

@@ -4,11 +4,58 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ckpt/io.h"
 #include "common/error.h"
+#include "common/fault.h"
 
 namespace quanta::mdp {
 
 namespace {
+
+/// Section of a Provider::kValueIteration checkpoint: the sweep index plus
+/// the full value vector (IEEE-754 bit patterns, so resume is bit-exact).
+constexpr std::uint32_t kSecViState = 1;
+
+std::uint64_t vi_fingerprint(const Mdp& m, const StateSet& goal, Objective obj,
+                             const ViOptions& opts) {
+  ckpt::Fingerprint fp;
+  fp.mix(0x56495F00u).mix(m.fingerprint());
+  fp.mix(goal.size());
+  // Pack the goal set; the fingerprint must not depend on vector<bool>
+  // internals, so mix one bit at a time through a 64-bit shift register.
+  std::uint64_t word = 0;
+  std::size_t bits = 0;
+  for (bool b : goal) {
+    word = (word << 1) | (b ? 1u : 0u);
+    if (++bits == 64) {
+      fp.mix(word);
+      word = 0;
+      bits = 0;
+    }
+  }
+  if (bits > 0) fp.mix(word);
+  fp.mix(static_cast<std::uint64_t>(obj))
+      .mix_f64(opts.epsilon)
+      .mix(opts.use_precomputation ? 1u : 0u)
+      .mix_str(opts.checkpoint.property_tag);
+  return fp.digest();
+}
+
+bool restore_vi(const ckpt::Snapshot& snap, std::size_t num_states,
+                std::int64_t* iterations, std::vector<double>* values) {
+  const ckpt::Section* sec = snap.find(kSecViState);
+  if (sec == nullptr) return false;
+  ckpt::io::Reader r(sec->payload);
+  const std::int64_t it = r.i64();
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || it < 0 || n != num_states || !r.fits(n, 8)) return false;
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v[i] = r.f64();
+  if (!r.ok()) return false;
+  *iterations = it;
+  *values = std::move(v);
+  return true;
+}
 
 double choice_value(const Mdp& m, std::int64_t c, const std::vector<double>& v) {
   double sum = 0.0;
@@ -81,12 +128,56 @@ ViResult reachability_probability(const Mdp& m, const StateSet& goal,
   }
 
   auto& v = result.values;
+
+  const bool snapshotting = opts.checkpoint.enabled();
+  std::uint64_t fp = 0;
+  if (snapshotting) {
+    fp = vi_fingerprint(m, goal, obj, opts);
+    result.resume.path = opts.checkpoint.path;
+    if (opts.checkpoint.resume) {
+      ckpt::Snapshot snap;
+      result.resume.load = ckpt::load(opts.checkpoint.path, fp,
+                                      ckpt::Provider::kValueIteration, &snap);
+      if (result.resume.load == ckpt::LoadStatus::kOk) {
+        std::int64_t it = 0;
+        std::vector<double> loaded;
+        if (restore_vi(snap, static_cast<std::size_t>(n), &it, &loaded)) {
+          result.iterations = it;
+          v = std::move(loaded);
+          result.resume.resumed = true;
+        } else {
+          // Well-formed file, wrong shape for this MDP: treat as corrupt and
+          // fall through to a fresh start.
+          result.resume.load = ckpt::LoadStatus::kCorrupt;
+        }
+      }
+    }
+  }
+  auto save_ckpt = [&](std::int64_t completed_sweeps) {
+    ckpt::Snapshot snap;
+    snap.provider = ckpt::Provider::kValueIteration;
+    snap.fingerprint = fp;
+    ckpt::io::Writer w;
+    w.i64(completed_sweeps);
+    w.u64(v.size());
+    for (double d : v) w.f64(d);
+    snap.add_section(kSecViState, std::move(w));
+    if (ckpt::save(opts.checkpoint.path, snap)) result.resume.saved = true;
+  };
+
   const bool governed_run = opts.budget.active();
+  std::size_t sweeps_until_save =
+      (snapshotting && opts.checkpoint.interval > 0) ? opts.checkpoint.interval
+                                                     : 0;
   for (; result.iterations < opts.max_iterations; ++result.iterations) {
+    common::FaultInjector::site("mdp.value_iteration.sweep");
     if (governed_run) {
       const common::StopReason r = opts.budget.poll(0);
       if (r != common::StopReason::kCompleted) {
         result.stop = r;
+        if (snapshotting && opts.checkpoint.save_on_stop) {
+          save_ckpt(result.iterations);
+        }
         break;
       }
     }
@@ -107,12 +198,21 @@ ViResult reachability_probability(const Mdp& m, const StateSet& goal,
       ++result.iterations;
       break;
     }
+    if (sweeps_until_save != 0 && --sweeps_until_save == 0) {
+      sweeps_until_save = opts.checkpoint.interval;
+      // The loop counter is bumped by the for-statement, so this sweep is not
+      // yet reflected in result.iterations.
+      save_ckpt(result.iterations + 1);
+    }
   }
   if (result.converged) {
     result.verdict = common::Verdict::kHolds;
   } else if (result.stop == common::StopReason::kCompleted) {
     // Ran out of the iteration bound — a count limit, like kStateLimit.
     result.stop = common::StopReason::kStateLimit;
+    if (snapshotting && opts.checkpoint.save_on_stop) {
+      save_ckpt(result.iterations);
+    }
   }
   return result;
 }

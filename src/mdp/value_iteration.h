@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "ckpt/checkpoint.h"
 #include "common/budget.h"
 #include "common/verdict.h"
 #include "mdp/graph_analysis.h"
@@ -18,6 +19,13 @@ struct ViOptions {
   bool use_precomputation = true;
   /// Deadline / cancellation for the iteration loop (polled once per sweep).
   common::Budget budget;
+  /// Crash-safe checkpoint/resume (src/ckpt): snapshots the value vector
+  /// plus the sweep index when a bound stops the iteration (and every
+  /// `interval` sweeps), and resumes bit-identically — Gauss-Seidel sweeps
+  /// are deterministic, and the 0/1 precomputation is re-derived on resume.
+  /// The fingerprint covers the frozen MDP, the goal set, the objective and
+  /// epsilon.
+  ckpt::Options checkpoint;
 
   /// Rejects non-positive / non-finite epsilon and a non-positive iteration
   /// bound with std::invalid_argument naming the offending parameter.
@@ -33,6 +41,8 @@ struct ViResult {
   /// was aborted — `values` then holds the last (unconverged) iterate.
   common::Verdict verdict = common::Verdict::kUnknown;
   common::StopReason stop = common::StopReason::kCompleted;
+  /// Checkpoint/resume outcome of this run (ViOptions::checkpoint).
+  ckpt::ResumeInfo resume;
 
   double at_initial(const Mdp& m) const {
     return values[static_cast<std::size_t>(m.initial())];

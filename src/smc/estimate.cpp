@@ -1,5 +1,10 @@
 #include "smc/estimate.h"
 
+#include <algorithm>
+
+#include "ckpt/io.h"
+#include "ckpt/snapshot_ta.h"
+#include "common/fault.h"
 #include "common/stats.h"
 #include "exec/watchdog.h"
 #include "smc/validate.h"
@@ -7,14 +12,186 @@
 
 namespace quanta::smc {
 
+namespace {
+
+/// Section of a Provider::kStatistical checkpoint: the prefix-contiguous
+/// tally (requested runs, completed runs, hits).
+constexpr std::uint32_t kSecSmcTally = 1;
+
+/// Batch granularity of the checkpointing path. Batches bound both how much
+/// work a crash can lose and how stale a budget stop can be (the budget is
+/// polled between batches in addition to the watchdog).
+constexpr std::size_t kCkptBatch = 1024;
+
+std::uint64_t estimate_fingerprint(const ta::System& sys,
+                                   const TimeBoundedReach& prop,
+                                   std::size_t runs, double alpha,
+                                   std::uint64_t seed,
+                                   const ckpt::Options& checkpoint) {
+  ckpt::Fingerprint fp;
+  fp.mix(0x534D4300u)
+      .mix(ckpt::fingerprint(sys))
+      .mix_f64(prop.time_bound)
+      .mix(runs)
+      .mix_f64(alpha)
+      .mix(seed)
+      .mix(prop.goal ? 1u : 0u)
+      .mix_str(checkpoint.property_tag);
+  return fp.digest();
+}
+
+void finish_estimate(Estimate* est, double alpha) {
+  if (est->completed == est->runs) {
+    est->verdict = common::Verdict::kHolds;
+    est->stop = common::StopReason::kCompleted;
+  }
+  if (est->completed > 0) {
+    est->p_hat = static_cast<double>(est->hits) /
+                 static_cast<double>(est->completed);
+    auto [lo, hi] = common::clopper_pearson(est->hits, est->completed, alpha);
+    est->ci_low = lo;
+    est->ci_high = hi;
+  }
+}
+
+/// The checkpointing path: simulate in fixed batches of consecutive run
+/// indices so that any stop leaves a prefix-contiguous tally. A batch the
+/// watchdog cancelled mid-air is discarded (re-simulated on resume) —
+/// partial batches would record "which runs finished", which depends on
+/// scheduling and would break bit-reproducibility.
+Estimate estimate_batched(const ta::System& sys, const TimeBoundedReach& prop,
+                          std::size_t runs, double alpha, std::uint64_t seed,
+                          exec::Executor& ex, exec::RunTelemetry* telemetry,
+                          const common::Budget& budget,
+                          const ckpt::Options& checkpoint) {
+  const common::RngStream streams(seed);
+  internal::WorkerSims sims(sys, ex.workers());
+  exec::CancellationToken cancel;
+  exec::Watchdog watchdog(budget, cancel);
+
+  Estimate est;
+  est.runs = runs;
+  est.resume.path = checkpoint.path;
+  const std::uint64_t fp =
+      estimate_fingerprint(sys, prop, runs, alpha, seed, checkpoint);
+
+  std::uint64_t done = 0;
+  std::uint64_t hits = 0;
+  if (checkpoint.resume) {
+    ckpt::Snapshot snap;
+    est.resume.load = ckpt::load(checkpoint.path, fp,
+                                 ckpt::Provider::kStatistical, &snap);
+    if (est.resume.load == ckpt::LoadStatus::kOk) {
+      const ckpt::Section* sec = snap.find(kSecSmcTally);
+      bool ok = false;
+      if (sec != nullptr) {
+        ckpt::io::Reader r(sec->payload);
+        const std::uint64_t saved_runs = r.u64();
+        const std::uint64_t saved_done = r.u64();
+        const std::uint64_t saved_hits = r.u64();
+        if (r.ok() && saved_runs == runs && saved_done <= runs &&
+            saved_hits <= saved_done) {
+          done = saved_done;
+          hits = saved_hits;
+          est.resume.resumed = true;
+          ok = true;
+        }
+      }
+      if (!ok) est.resume.load = ckpt::LoadStatus::kCorrupt;
+    }
+  }
+
+  auto save_ckpt = [&]() {
+    ckpt::Snapshot snap;
+    snap.provider = ckpt::Provider::kStatistical;
+    snap.fingerprint = fp;
+    ckpt::io::Writer w;
+    w.u64(runs);
+    w.u64(done);
+    w.u64(hits);
+    snap.add_section(kSecSmcTally, std::move(w));
+    if (ckpt::save(checkpoint.path, snap)) est.resume.saved = true;
+  };
+
+  struct Tally {
+    std::uint64_t hits = 0;
+    std::uint64_t completed = 0;
+  };
+  std::uint64_t runs_since_save = 0;
+  while (done < runs) {
+    common::FaultInjector::site("smc.estimate.batch");
+    const common::StopReason boundary = budget.poll(0);
+    if (boundary != common::StopReason::kCompleted) {
+      est.stop = boundary;
+      break;
+    }
+    const std::uint64_t batch = std::min<std::uint64_t>(kCkptBatch, runs - done);
+    Tally t = exec::parallel_reduce(
+        ex, done, done + batch, Tally{},
+        [&](Tally& acc, std::uint64_t i, exec::Executor::WorkerContext& ctx) {
+          Simulator& sim = sims.at(ctx.worker_id);
+          sim.reseed(streams.seed_for(i));
+          RunResult r = sim.run(prop);
+          ++acc.completed;
+          ctx.telemetry->sim_steps += r.steps;
+          if (r.satisfied) {
+            ++acc.hits;
+            ++ctx.telemetry->hits;
+          }
+        },
+        [](Tally& out, Tally&& in) {
+          out.hits += in.hits;
+          out.completed += in.completed;
+        },
+        &cancel, telemetry);
+    if (t.completed < batch) {
+      // Cancelled mid-batch: drop the partial tally, keep the prefix.
+      est.stop = watchdog.fired_reason();
+      break;
+    }
+    done += batch;
+    hits += t.hits;
+    if (checkpoint.interval > 0) {
+      runs_since_save += batch;
+      if (runs_since_save >= checkpoint.interval) {
+        runs_since_save = 0;
+        save_ckpt();
+      }
+    }
+  }
+
+  est.completed = done;
+  est.hits = hits;
+  if (done < runs && checkpoint.save_on_stop) save_ckpt();
+  finish_estimate(&est, alpha);
+  return est;
+}
+
+}  // namespace
+
 Estimate estimate_probability_runs(const ta::System& sys,
                                    const TimeBoundedReach& prop,
                                    std::size_t runs, double alpha,
                                    std::uint64_t seed, exec::Executor& ex,
                                    exec::RunTelemetry* telemetry,
-                                   const common::Budget& budget) {
+                                   const common::Budget& budget,
+                                   const ckpt::Options& checkpoint) {
   internal::require_unit_open("smc.estimate_probability_runs", "alpha", alpha);
   internal::require_positive("smc.estimate_probability_runs", "runs", runs);
+  if (checkpoint.enabled()) {
+    return common::governed(
+        [&] {
+          return estimate_batched(sys, prop, runs, alpha, seed, ex, telemetry,
+                                  budget, checkpoint);
+        },
+        [runs, &checkpoint](common::StopReason r) {
+          Estimate est;
+          est.runs = runs;
+          est.stop = r;
+          est.resume.path = checkpoint.path;
+          return est;
+        });
+  }
   return common::governed(
       [&] {
         const common::RngStream streams(seed);
@@ -79,9 +256,11 @@ Estimate estimate_probability_runs(const ta::System& sys,
                                    const TimeBoundedReach& prop,
                                    std::size_t runs, double alpha,
                                    std::uint64_t seed,
-                                   const common::Budget& budget) {
+                                   const common::Budget& budget,
+                                   const ckpt::Options& checkpoint) {
   return estimate_probability_runs(sys, prop, runs, alpha, seed,
-                                   exec::global_executor(), nullptr, budget);
+                                   exec::global_executor(), nullptr, budget,
+                                   checkpoint);
 }
 
 Estimate estimate_probability(const ta::System& sys,

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "ckpt/checkpoint.h"
 #include "common/budget.h"
 #include "common/verdict.h"
 #include "exec/executor.h"
@@ -27,28 +28,45 @@ struct Estimate {
   /// cancellation, fault) cut the sample short; p_hat and the CI are then
   /// computed over the `completed` runs only, and — unlike a completed
   /// estimate — WHICH runs completed depends on scheduling, so a partial
-  /// estimate is not bit-reproducible across worker counts.
+  /// estimate is not bit-reproducible across worker counts. Exception: with
+  /// checkpointing enabled the engine runs in fixed batches and a partial
+  /// estimate covers exactly the run indices [0, completed), which IS
+  /// reproducible (run i is a pure function of the seed and i).
   common::Verdict verdict = common::Verdict::kUnknown;
   common::StopReason stop = common::StopReason::kCompleted;
+  /// Checkpoint/resume outcome of this run (see the `checkpoint` parameter).
+  ckpt::ResumeInfo resume;
 };
 
 /// Estimates Pr[<= T](<> goal) with `runs` simulations; the confidence
 /// interval is Clopper-Pearson at level 1 - alpha. Run i draws from
 /// RngStream(seed).rng(i); hits are tallied per worker and merged, so the
 /// result does not depend on `ex.workers()`.
+///
+/// With `checkpoint` enabled (src/ckpt) the sample is collected in fixed
+/// batches; on a budget stop the prefix-contiguous tally (completed runs,
+/// hits) is snapshotted and a later call resumes at the next run index.
+/// Because run i is deterministic given (seed, i), the resumed estimate is
+/// bit-identical to an uninterrupted one. A batch that was cut short mid-air
+/// by the watchdog is discarded (those runs are re-simulated on resume), so
+/// checkpoints only ever describe run prefixes. The checkpoint fingerprint
+/// covers the system, the time bound, runs, alpha and seed — the goal
+/// predicate is opaque, so distinguish goals via Options::property_tag.
 Estimate estimate_probability_runs(const ta::System& sys,
                                    const TimeBoundedReach& prop,
                                    std::size_t runs, double alpha,
                                    std::uint64_t seed, exec::Executor& ex,
                                    exec::RunTelemetry* telemetry = nullptr,
-                                   const common::Budget& budget = {});
+                                   const common::Budget& budget = {},
+                                   const ckpt::Options& checkpoint = {});
 
 /// Same, on the process-wide executor (QUANTA_JOBS workers).
 Estimate estimate_probability_runs(const ta::System& sys,
                                    const TimeBoundedReach& prop,
                                    std::size_t runs, double alpha,
                                    std::uint64_t seed,
-                                   const common::Budget& budget = {});
+                                   const common::Budget& budget = {},
+                                   const ckpt::Options& checkpoint = {});
 
 /// UPPAAL-SMC style: chooses the number of runs from the Chernoff-Hoeffding
 /// bound so that |p_hat - p| <= epsilon with probability >= 1 - delta.

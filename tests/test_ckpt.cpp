@@ -1,0 +1,741 @@
+// Crash-safe checkpoint/resume (src/ckpt): format-layer validation, the
+// torn-write / corruption suite, and the headline end-to-end invariant —
+// interrupt-at-any-point + resume produces bit-identical verdicts and
+// statistics versus an uninterrupted run, for all three snapshot providers
+// (symbolic reachability, value iteration, statistical estimation).
+#include "ckpt/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/crc32.h"
+#include "common/budget.h"
+#include "common/fault.h"
+#include "exec/executor.h"
+#include "mc/reachability.h"
+#include "mdp/value_iteration.h"
+#include "models/train_gate.h"
+#include "smc/estimate.h"
+
+namespace {
+
+using namespace quanta;
+namespace fs = std::filesystem;
+
+// ---- plumbing -------------------------------------------------------------
+
+/// Fresh checkpoint path per test; removes leftovers from earlier runs.
+std::string ckpt_path(const std::string& name) {
+  std::string p = ::testing::TempDir() + "quanta_ckpt_" + name + ".qckpt";
+  fs::remove(p);
+  fs::remove(p + ".tmp");
+  return p;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+}
+
+/// RAII: whatever happens in a test, leave the process-wide injector clean.
+struct ScopedFault {
+  ScopedFault(const char* site, common::FaultKind kind, std::uint64_t after) {
+    common::FaultInjector::instance().arm(site, kind, after);
+  }
+  ~ScopedFault() { common::FaultInjector::instance().disarm(); }
+};
+
+ckpt::Snapshot make_snapshot(std::uint64_t fingerprint) {
+  ckpt::Snapshot snap;
+  snap.provider = ckpt::Provider::kExplore;
+  snap.fingerprint = fingerprint;
+  ckpt::io::Writer a;
+  a.u64(0xDEADBEEFCAFEF00Dull);
+  a.u32(7);
+  snap.add_section(1, std::move(a));
+  ckpt::io::Writer b;
+  for (int i = 0; i < 100; ++i) b.f64(i * 0.25);
+  snap.add_section(2, std::move(b));
+  return snap;
+}
+
+// ---- format layer ---------------------------------------------------------
+
+TEST(CkptFormat, SaveLoadRoundTrip) {
+  const std::string path = ckpt_path("roundtrip");
+  const auto snap = make_snapshot(42);
+  ASSERT_TRUE(ckpt::save(path, snap));
+
+  ckpt::Snapshot back;
+  ASSERT_EQ(ckpt::load(path, 42, ckpt::Provider::kExplore, &back),
+            ckpt::LoadStatus::kOk);
+  EXPECT_EQ(back.fingerprint, 42u);
+  ASSERT_EQ(back.sections.size(), 2u);
+  ASSERT_NE(back.find(1), nullptr);
+  ASSERT_NE(back.find(2), nullptr);
+  EXPECT_EQ(back.find(1)->payload, snap.sections[0].payload);
+  EXPECT_EQ(back.find(2)->payload, snap.sections[1].payload);
+  EXPECT_EQ(back.find(3), nullptr);
+  // The temp file never survives a successful save.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(CkptFormat, MissingFileIsNoFile) {
+  ckpt::Snapshot out;
+  EXPECT_EQ(ckpt::load(ckpt_path("missing"), 1, ckpt::Provider::kExplore, &out),
+            ckpt::LoadStatus::kNoFile);
+}
+
+TEST(CkptFormat, ValidationOrderAndMismatches) {
+  const std::string path = ckpt_path("mismatch");
+  ASSERT_TRUE(ckpt::save(path, make_snapshot(42)));
+  ckpt::Snapshot out;
+  EXPECT_EQ(ckpt::load(path, 43, ckpt::Provider::kExplore, &out),
+            ckpt::LoadStatus::kBadFingerprint);
+  EXPECT_EQ(ckpt::load(path, 42, ckpt::Provider::kValueIteration, &out),
+            ckpt::LoadStatus::kBadProvider);
+  // On failure the output snapshot is untouched.
+  EXPECT_TRUE(out.sections.empty());
+}
+
+TEST(CkptFormat, BadMagicRejected) {
+  const std::string path = ckpt_path("magic");
+  ASSERT_TRUE(ckpt::save(path, make_snapshot(42)));
+  auto bytes = read_file(path);
+  bytes[0] ^= 0xFF;
+  write_file(path, bytes);
+  ckpt::Snapshot out;
+  EXPECT_EQ(ckpt::load(path, 42, ckpt::Provider::kExplore, &out),
+            ckpt::LoadStatus::kBadMagic);
+}
+
+TEST(CkptFormat, FutureFormatVersionRejected) {
+  const std::string path = ckpt_path("version");
+  ASSERT_TRUE(ckpt::save(path, make_snapshot(42)));
+  auto bytes = read_file(path);
+  // Patch the format-version field (offset 8) and re-seal the header CRC
+  // (computed over the first 28 bytes, stored at offset 28) so only the
+  // version check can object.
+  bytes[8] = static_cast<std::uint8_t>(ckpt::kFormatVersion + 1);
+  const std::uint32_t crc = ckpt::crc32(bytes.data(), 28);
+  for (int i = 0; i < 4; ++i) {
+    bytes[28 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+  write_file(path, bytes);
+  ckpt::Snapshot out;
+  EXPECT_EQ(ckpt::load(path, 42, ckpt::Provider::kExplore, &out),
+            ckpt::LoadStatus::kBadVersion);
+}
+
+TEST(CkptFormat, TruncationAndBitFlipsAreCorrupt) {
+  const std::string path = ckpt_path("corrupt");
+  ASSERT_TRUE(ckpt::save(path, make_snapshot(42)));
+  const auto pristine = read_file(path);
+  ckpt::Snapshot out;
+
+  // Truncated mid-section.
+  auto half = pristine;
+  half.resize(pristine.size() / 2);
+  write_file(path, half);
+  EXPECT_EQ(ckpt::load(path, 42, ckpt::Provider::kExplore, &out),
+            ckpt::LoadStatus::kCorrupt);
+
+  // A single flipped byte anywhere past the magic must be caught by a CRC —
+  // sample the header CRC itself, a section CRC and payload bytes.
+  for (std::size_t pos : {std::size_t{28}, std::size_t{40},
+                          pristine.size() / 2, pristine.size() - 1}) {
+    auto flipped = pristine;
+    flipped[pos] ^= 0x01;
+    write_file(path, flipped);
+    EXPECT_EQ(ckpt::load(path, 42, ckpt::Provider::kExplore, &out),
+              ckpt::LoadStatus::kCorrupt)
+        << "flipped byte at offset " << pos;
+  }
+}
+
+TEST(CkptFormat, KilledWriteLeavesPreviousCheckpointIntact) {
+  const std::string path = ckpt_path("torn");
+  ASSERT_TRUE(ckpt::save(path, make_snapshot(42)));
+
+  // The injected fault fires mid-write of the temp file — the moral
+  // equivalent of a SIGKILL between the two halves of the payload.
+  {
+    ScopedFault fault("ckpt.file.write", common::FaultKind::kException, 1);
+    ckpt::Snapshot replacement = make_snapshot(42);
+    replacement.sections[0].payload.assign(64, 0xAB);
+    EXPECT_FALSE(ckpt::save(path, replacement));
+  }
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+
+  // The previous checkpoint still validates and still has the old payload.
+  ckpt::Snapshot back;
+  ASSERT_EQ(ckpt::load(path, 42, ckpt::Provider::kExplore, &back),
+            ckpt::LoadStatus::kOk);
+  EXPECT_EQ(back.find(1)->payload, make_snapshot(42).sections[0].payload);
+}
+
+TEST(CkptFormat, FirstSaveKilledLeavesNoFile) {
+  const std::string path = ckpt_path("torn_first");
+  ScopedFault fault("ckpt.file.write", common::FaultKind::kException, 1);
+  EXPECT_FALSE(ckpt::save(path, make_snapshot(1)));
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+// ---- provider 1: symbolic reachability (core::explore snapshot) -----------
+
+mc::StatePredicate mutual_exclusion(const models::TrainGate& tg) {
+  std::vector<int> cross_loc;
+  for (int i = 0; i < tg.num_trains; ++i) {
+    cross_loc.push_back(
+        tg.system.process(tg.trains[static_cast<std::size_t>(i)])
+            .location_index("Cross"));
+  }
+  auto trains = tg.trains;
+  return [trains, cross_loc](const ta::SymState& s) {
+    int crossing = 0;
+    for (std::size_t i = 0; i < trains.size(); ++i) {
+      if (s.locs[static_cast<std::size_t>(trains[i])] ==
+          static_cast<int>(cross_loc[i])) {
+        ++crossing;
+      }
+    }
+    return crossing <= 1;
+  };
+}
+
+void expect_same_stats(const mc::SearchStats& got, const mc::SearchStats& want,
+                       const char* what) {
+  EXPECT_EQ(got.states_stored, want.states_stored) << what;
+  EXPECT_EQ(got.states_explored, want.states_explored) << what;
+  EXPECT_EQ(got.transitions, want.transitions) << what;
+}
+
+TEST(CkptReachability, InterruptAnywhereThenResumeIsBitIdentical) {
+  auto tg = models::make_train_gate(3);
+  const auto safe = mutual_exclusion(tg);
+
+  for (core::SearchOrder order : {core::SearchOrder::kBfs,
+                                  core::SearchOrder::kDfs}) {
+    mc::ReachOptions base;
+    base.order = order;
+    const auto reference = mc::check_invariant(tg.system, safe, base);
+    ASSERT_TRUE(reference.holds());
+    ASSERT_GT(reference.stats.states_stored, 100u);
+
+    // Interrupt at several depths: near the start, mid-flight, and deep in
+    // the search. The fault forces the deadline at the K-th intern; the
+    // budget poll then stops the search at the next stride boundary.
+    for (std::size_t k : {std::size_t{3}, reference.stats.states_stored / 4,
+                          reference.stats.states_stored / 2}) {
+      const std::string path = ckpt_path(
+          "mc_resume_" + std::to_string(static_cast<int>(order)) + "_" +
+          std::to_string(k));
+      mc::ReachOptions opts = base;
+      opts.checkpoint.path = path;
+      opts.limits.budget = common::Budget::deadline_after(std::chrono::hours(1));
+      mc::InvariantResult interrupted;
+      {
+        ScopedFault fault("core.state_store.intern",
+                          common::FaultKind::kDeadline, k);
+        interrupted = mc::check_invariant(tg.system, safe, opts);
+      }
+      ASSERT_EQ(interrupted.verdict, common::Verdict::kUnknown) << "k=" << k;
+      ASSERT_EQ(interrupted.stop(), common::StopReason::kTimeLimit);
+      ASSERT_TRUE(interrupted.resume.saved) << "k=" << k;
+      ASSERT_LT(interrupted.stats.states_explored,
+                reference.stats.states_explored);
+
+      // Resume with the fault gone: the verdict and every counter must be
+      // exactly what the uninterrupted run reported.
+      const auto resumed = mc::check_invariant(tg.system, safe, opts);
+      EXPECT_EQ(resumed.resume.load, ckpt::LoadStatus::kOk) << "k=" << k;
+      EXPECT_TRUE(resumed.resume.resumed);
+      EXPECT_TRUE(resumed.holds()) << "k=" << k;
+      expect_same_stats(resumed.stats, reference.stats, "resumed invariant");
+    }
+  }
+}
+
+TEST(CkptReachability, StateLimitStopIsResumable) {
+  auto tg = models::make_train_gate(3);
+  const auto safe = mutual_exclusion(tg);
+  const auto reference = mc::check_invariant(tg.system, safe);
+  ASSERT_TRUE(reference.holds());
+
+  const std::string path = ckpt_path("mc_statelimit");
+  mc::ReachOptions opts;
+  opts.checkpoint.path = path;
+  opts.limits.max_states = reference.stats.states_stored / 3;
+  const auto truncated = mc::check_invariant(tg.system, safe, opts);
+  ASSERT_EQ(truncated.verdict, common::Verdict::kUnknown);
+  ASSERT_EQ(truncated.stop(), common::StopReason::kStateLimit);
+  ASSERT_TRUE(truncated.resume.saved);
+
+  mc::ReachOptions full;
+  full.checkpoint.path = path;
+  const auto resumed = mc::check_invariant(tg.system, safe, full);
+  EXPECT_TRUE(resumed.resume.resumed);
+  EXPECT_TRUE(resumed.holds());
+  expect_same_stats(resumed.stats, reference.stats, "after state limit");
+}
+
+TEST(CkptReachability, WitnessSearchResumesToIdenticalTrace) {
+  auto tg = models::make_train_gate(2);
+  const auto goal = mc::loc_pred(tg.system, "Train(0)", "Stop");
+  const auto reference = mc::reachable(tg.system, goal);
+  ASSERT_TRUE(reference.reachable());
+
+  // Interrupt via the state bound (checked every pop, so it trips before the
+  // witness even on models too small for the amortized deadline poll).
+  const std::string path = ckpt_path("mc_witness");
+  mc::ReachOptions opts;
+  opts.checkpoint.path = path;
+  opts.limits.max_states = reference.stats.states_stored / 2;
+  const auto interrupted = mc::reachable(tg.system, goal, opts);
+  ASSERT_EQ(interrupted.verdict, common::Verdict::kUnknown);
+  ASSERT_EQ(interrupted.stop(), common::StopReason::kStateLimit);
+  ASSERT_TRUE(interrupted.resume.saved);
+
+  mc::ReachOptions full;
+  full.checkpoint.path = path;
+  const auto resumed = mc::reachable(tg.system, goal, full);
+  EXPECT_TRUE(resumed.resume.resumed);
+  ASSERT_TRUE(resumed.reachable());
+  expect_same_stats(resumed.stats, reference.stats, "witness search");
+  EXPECT_EQ(resumed.trace, reference.trace);
+  EXPECT_EQ(resumed.witness, reference.witness);
+}
+
+TEST(CkptReachability, PeriodicSnapshotsSurviveAnUnsavedStop) {
+  // save_on_stop off: only the periodic snapshots exist — the SIGKILL story,
+  // where the stop itself never gets to write anything.
+  auto tg = models::make_train_gate(3);
+  const auto safe = mutual_exclusion(tg);
+  const auto reference = mc::check_invariant(tg.system, safe);
+
+  const std::string path = ckpt_path("mc_periodic");
+  mc::ReachOptions opts;
+  opts.checkpoint.path = path;
+  opts.checkpoint.interval = 50;
+  opts.checkpoint.save_on_stop = false;
+  opts.limits.max_states = reference.stats.states_stored / 2;
+  const auto truncated = mc::check_invariant(tg.system, safe, opts);
+  ASSERT_EQ(truncated.verdict, common::Verdict::kUnknown);
+  ASSERT_TRUE(truncated.resume.saved);  // periodic, not stop-triggered
+
+  mc::ReachOptions full;
+  full.checkpoint.path = path;
+  const auto resumed = mc::check_invariant(tg.system, safe, full);
+  EXPECT_TRUE(resumed.resume.resumed);
+  EXPECT_TRUE(resumed.holds());
+  expect_same_stats(resumed.stats, reference.stats, "periodic resume");
+}
+
+TEST(CkptReachability, CorruptCheckpointDegradesToFreshStart) {
+  auto tg = models::make_train_gate(3);
+  const auto safe = mutual_exclusion(tg);
+  const auto reference = mc::check_invariant(tg.system, safe);
+
+  const std::string path = ckpt_path("mc_corrupt");
+  mc::ReachOptions opts;
+  opts.checkpoint.path = path;
+  opts.limits.max_states = reference.stats.states_stored / 2;
+  ASSERT_TRUE(mc::check_invariant(tg.system, safe, opts).resume.saved);
+  const auto pristine = read_file(path);
+
+  struct Case {
+    const char* name;
+    std::vector<std::uint8_t> bytes;
+    ckpt::LoadStatus want;
+  };
+  auto flipped = pristine;
+  flipped[pristine.size() / 2] ^= 0x20;
+  auto crc_flip = pristine;
+  crc_flip[28] ^= 0x01;  // header CRC byte
+  auto truncated = pristine;
+  truncated.resize(pristine.size() - 7);
+  const std::vector<Case> cases = {
+      {"bit flip mid-payload", flipped, ckpt::LoadStatus::kCorrupt},
+      {"flipped CRC byte", crc_flip, ckpt::LoadStatus::kCorrupt},
+      {"truncated tail", truncated, ckpt::LoadStatus::kCorrupt},
+  };
+  for (const Case& c : cases) {
+    write_file(path, c.bytes);
+    mc::ReachOptions full;
+    full.checkpoint.path = path;
+    const auto r = mc::check_invariant(tg.system, safe, full);
+    EXPECT_EQ(r.resume.load, c.want) << c.name;
+    EXPECT_FALSE(r.resume.resumed) << c.name;
+    // Degraded to a fresh start — and the fresh start is still right.
+    EXPECT_TRUE(r.holds()) << c.name;
+    expect_same_stats(r.stats, reference.stats, c.name);
+  }
+}
+
+TEST(CkptReachability, PropertyTagSeparatesQueriesSharingAPath) {
+  auto tg = models::make_train_gate(3);
+  const auto safe = mutual_exclusion(tg);
+  const auto reference = mc::check_invariant(tg.system, safe);
+
+  const std::string path = ckpt_path("mc_tag");
+  mc::ReachOptions opts;
+  opts.checkpoint.path = path;
+  opts.checkpoint.property_tag = "mutex";
+  opts.limits.max_states = reference.stats.states_stored / 2;
+  ASSERT_TRUE(mc::check_invariant(tg.system, safe, opts).resume.saved);
+
+  // A different property tag must refuse the snapshot (fingerprint) and
+  // fall back to a fresh, still-correct run.
+  mc::ReachOptions other;
+  other.checkpoint.path = path;
+  other.checkpoint.property_tag = "different-query";
+  const auto r = mc::check_invariant(tg.system, safe, other);
+  EXPECT_EQ(r.resume.load, ckpt::LoadStatus::kBadFingerprint);
+  EXPECT_FALSE(r.resume.resumed);
+  EXPECT_TRUE(r.holds());
+}
+
+TEST(CkptReachability, DifferentModelRefusesTheSnapshot) {
+  auto tg2 = models::make_train_gate(2);
+  auto tg3 = models::make_train_gate(3);
+  const std::string path = ckpt_path("mc_model");
+  mc::ReachOptions opts;
+  opts.checkpoint.path = path;
+  opts.limits.max_states = 40;
+  ASSERT_TRUE(
+      mc::check_invariant(tg3.system, mutual_exclusion(tg3), opts).resume.saved);
+
+  mc::ReachOptions full;
+  full.checkpoint.path = path;
+  const auto r = mc::check_invariant(tg2.system, mutual_exclusion(tg2), full);
+  EXPECT_EQ(r.resume.load, ckpt::LoadStatus::kBadFingerprint);
+  EXPECT_TRUE(r.holds());
+}
+
+TEST(CkptReachability, FailedSnapshotWriteNeverAffectsTheVerdict) {
+  auto tg = models::make_train_gate(3);
+  const auto safe = mutual_exclusion(tg);
+  const std::string path = ckpt_path("mc_failed_write");
+
+  mc::ReachOptions opts;
+  opts.checkpoint.path = path;
+  opts.limits.max_states = 60;
+  mc::InvariantResult truncated;
+  {
+    ScopedFault fault("ckpt.file.write", common::FaultKind::kException, 1);
+    truncated = mc::check_invariant(tg.system, safe, opts);
+  }
+  EXPECT_EQ(truncated.verdict, common::Verdict::kUnknown);
+  EXPECT_EQ(truncated.stop(), common::StopReason::kStateLimit);
+  EXPECT_FALSE(truncated.resume.saved);
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+
+  // Next invocation finds nothing and simply starts fresh.
+  mc::ReachOptions full;
+  full.checkpoint.path = path;
+  const auto r = mc::check_invariant(tg.system, safe, full);
+  EXPECT_EQ(r.resume.load, ckpt::LoadStatus::kNoFile);
+  EXPECT_TRUE(r.holds());
+}
+
+// ---- provider 2: value iteration ------------------------------------------
+
+/// A slow-converging chain: from state i move forward with p = 0.05 or stay.
+/// Without precomputation the values crawl toward 1, giving value iteration
+/// hundreds of sweeps to interrupt.
+mdp::Mdp slow_chain(std::int32_t n) {
+  mdp::Mdp m;
+  for (std::int32_t i = 0; i < n; ++i) {
+    m.add_choice(i, {{i + 1, 0.05}, {i, 0.95}});
+  }
+  m.add_choice(n, {{n, 1.0}});
+  m.set_initial(0);
+  m.freeze();
+  return m;
+}
+
+mdp::StateSet chain_goal(const mdp::Mdp& m) {
+  mdp::StateSet goal(static_cast<std::size_t>(m.num_states()), false);
+  goal[static_cast<std::size_t>(m.num_states() - 1)] = true;
+  return goal;
+}
+
+TEST(CkptValueIteration, InterruptedSweepsResumeBitIdentically) {
+  const auto m = slow_chain(20);
+  const auto goal = chain_goal(m);
+  mdp::ViOptions base;
+  base.use_precomputation = false;  // keep the fixpoint genuinely iterative
+  const auto reference =
+      mdp::reachability_probability(m, goal, mdp::Objective::kMax, base);
+  ASSERT_TRUE(reference.converged);
+  ASSERT_GT(reference.iterations, 100);
+
+  for (std::uint64_t k : {std::uint64_t{2}, std::uint64_t{60},
+                          static_cast<std::uint64_t>(reference.iterations) - 5}) {
+    const std::string path = ckpt_path("vi_resume_" + std::to_string(k));
+    mdp::ViOptions opts = base;
+    opts.checkpoint.path = path;
+    opts.budget = common::Budget::deadline_after(std::chrono::hours(1));
+    mdp::ViResult interrupted;
+    {
+      ScopedFault fault("mdp.value_iteration.sweep",
+                        common::FaultKind::kDeadline, k);
+      interrupted =
+          mdp::reachability_probability(m, goal, mdp::Objective::kMax, opts);
+    }
+    ASSERT_EQ(interrupted.verdict, common::Verdict::kUnknown) << "k=" << k;
+    ASSERT_EQ(interrupted.stop, common::StopReason::kTimeLimit);
+    ASSERT_TRUE(interrupted.resume.saved);
+    ASSERT_LT(interrupted.iterations, reference.iterations);
+
+    mdp::ViOptions resume = base;
+    resume.checkpoint.path = path;
+    const auto resumed =
+        mdp::reachability_probability(m, goal, mdp::Objective::kMax, resume);
+    EXPECT_TRUE(resumed.resume.resumed) << "k=" << k;
+    EXPECT_TRUE(resumed.converged);
+    EXPECT_EQ(resumed.iterations, reference.iterations) << "k=" << k;
+    ASSERT_EQ(resumed.values.size(), reference.values.size());
+    for (std::size_t i = 0; i < reference.values.size(); ++i) {
+      EXPECT_EQ(resumed.values[i], reference.values[i])
+          << "value " << i << " diverged after resume at sweep " << k;
+    }
+  }
+}
+
+TEST(CkptValueIteration, IterationBoundStopIsResumable) {
+  const auto m = slow_chain(20);
+  const auto goal = chain_goal(m);
+  mdp::ViOptions base;
+  base.use_precomputation = false;
+  const auto reference =
+      mdp::reachability_probability(m, goal, mdp::Objective::kMax, base);
+
+  const std::string path = ckpt_path("vi_bound");
+  mdp::ViOptions opts = base;
+  opts.checkpoint.path = path;
+  opts.max_iterations = reference.iterations / 2;
+  const auto truncated =
+      mdp::reachability_probability(m, goal, mdp::Objective::kMax, opts);
+  ASSERT_FALSE(truncated.converged);
+  ASSERT_EQ(truncated.stop, common::StopReason::kStateLimit);
+  ASSERT_TRUE(truncated.resume.saved);
+
+  mdp::ViOptions resume = base;
+  resume.checkpoint.path = path;
+  const auto resumed =
+      mdp::reachability_probability(m, goal, mdp::Objective::kMax, resume);
+  EXPECT_TRUE(resumed.resume.resumed);
+  EXPECT_TRUE(resumed.converged);
+  EXPECT_EQ(resumed.iterations, reference.iterations);
+  EXPECT_EQ(resumed.at_initial(m), reference.at_initial(m));
+}
+
+TEST(CkptValueIteration, PeriodicSnapshotsCoverSigkill) {
+  const auto m = slow_chain(20);
+  const auto goal = chain_goal(m);
+  mdp::ViOptions base;
+  base.use_precomputation = false;
+  const auto reference =
+      mdp::reachability_probability(m, goal, mdp::Objective::kMax, base);
+
+  const std::string path = ckpt_path("vi_periodic");
+  mdp::ViOptions opts = base;
+  opts.checkpoint.path = path;
+  opts.checkpoint.interval = 25;
+  opts.checkpoint.save_on_stop = false;  // only periodic snapshots exist
+  opts.max_iterations = 120;
+  const auto truncated =
+      mdp::reachability_probability(m, goal, mdp::Objective::kMax, opts);
+  ASSERT_FALSE(truncated.converged);
+  ASSERT_TRUE(truncated.resume.saved);
+
+  mdp::ViOptions resume = base;
+  resume.checkpoint.path = path;
+  const auto resumed =
+      mdp::reachability_probability(m, goal, mdp::Objective::kMax, resume);
+  EXPECT_TRUE(resumed.resume.resumed);
+  EXPECT_TRUE(resumed.converged);
+  EXPECT_EQ(resumed.iterations, reference.iterations);
+  for (std::size_t i = 0; i < reference.values.size(); ++i) {
+    EXPECT_EQ(resumed.values[i], reference.values[i]) << "value " << i;
+  }
+}
+
+TEST(CkptValueIteration, WrongMdpOrEpsilonRefusesTheSnapshot) {
+  const auto m = slow_chain(20);
+  const auto goal = chain_goal(m);
+  const std::string path = ckpt_path("vi_fingerprint");
+  mdp::ViOptions opts;
+  opts.use_precomputation = false;
+  opts.checkpoint.path = path;
+  opts.max_iterations = 40;
+  ASSERT_TRUE(mdp::reachability_probability(m, goal, mdp::Objective::kMax, opts)
+                  .resume.saved);
+
+  // Different epsilon => different fingerprint => fresh start.
+  mdp::ViOptions other = opts;
+  other.max_iterations = 1'000'000;
+  other.epsilon = 1e-6;
+  const auto r =
+      mdp::reachability_probability(m, goal, mdp::Objective::kMax, other);
+  EXPECT_EQ(r.resume.load, ckpt::LoadStatus::kBadFingerprint);
+  EXPECT_FALSE(r.resume.resumed);
+  EXPECT_TRUE(r.converged);
+
+  // Different MDP shape => fresh start as well.
+  const auto m2 = slow_chain(21);
+  const auto goal2 = chain_goal(m2);
+  mdp::ViOptions full = opts;
+  full.max_iterations = 1'000'000;
+  const auto r2 =
+      mdp::reachability_probability(m2, goal2, mdp::Objective::kMax, full);
+  EXPECT_EQ(r2.resume.load, ckpt::LoadStatus::kBadFingerprint);
+  EXPECT_TRUE(r2.converged);
+}
+
+// ---- provider 3: statistical estimation -----------------------------------
+
+smc::TimeBoundedReach train_crosses(const models::TrainGate& tg,
+                                    double bound) {
+  const int p = tg.trains[0];
+  const int cross = tg.system.process(p).location_index("Cross");
+  smc::TimeBoundedReach prop;
+  prop.time_bound = bound;
+  prop.goal = [p, cross](const ta::ConcreteState& s) {
+    return s.locs[static_cast<std::size_t>(p)] == cross;
+  };
+  return prop;
+}
+
+TEST(CkptStatistical, CheckpointingPathMatchesThePlainPath) {
+  auto tg = models::make_train_gate(2);
+  const auto prop = train_crosses(tg, 30.0);
+  exec::Executor ex(4);
+  const auto reference =
+      smc::estimate_probability_runs(tg.system, prop, 2500, 0.05, 11, ex);
+  ASSERT_EQ(reference.verdict, common::Verdict::kHolds);
+
+  ckpt::Options ck;
+  ck.path = ckpt_path("smc_plain");
+  const auto batched = smc::estimate_probability_runs(
+      tg.system, prop, 2500, 0.05, 11, ex, nullptr, {}, ck);
+  EXPECT_EQ(batched.verdict, common::Verdict::kHolds);
+  EXPECT_EQ(batched.hits, reference.hits);
+  EXPECT_EQ(batched.p_hat, reference.p_hat);
+  EXPECT_EQ(batched.ci_low, reference.ci_low);
+  EXPECT_EQ(batched.ci_high, reference.ci_high);
+  // A completed estimate leaves no checkpoint behind to confuse reruns with.
+  EXPECT_FALSE(batched.resume.saved);
+}
+
+TEST(CkptStatistical, InterruptedSampleResumesToIdenticalEstimate) {
+  auto tg = models::make_train_gate(2);
+  const auto prop = train_crosses(tg, 30.0);
+  exec::Executor ex(4);
+  const auto reference =
+      smc::estimate_probability_runs(tg.system, prop, 2500, 0.05, 11, ex);
+
+  const std::string path = ckpt_path("smc_resume");
+  ckpt::Options ck;
+  ck.path = path;
+  const auto budget = common::Budget::deadline_after(std::chrono::hours(1));
+  smc::Estimate interrupted;
+  {
+    // Force the deadline at the second batch boundary: exactly one batch
+    // (1024 runs) completes — a deterministic, prefix-contiguous partial.
+    ScopedFault fault("smc.estimate.batch", common::FaultKind::kDeadline, 2);
+    interrupted = smc::estimate_probability_runs(tg.system, prop, 2500, 0.05,
+                                                 11, ex, nullptr, budget, ck);
+  }
+  ASSERT_EQ(interrupted.verdict, common::Verdict::kUnknown);
+  ASSERT_EQ(interrupted.stop, common::StopReason::kTimeLimit);
+  ASSERT_EQ(interrupted.completed, 1024u);
+  ASSERT_TRUE(interrupted.resume.saved);
+
+  // Resume on a different worker count — still bit-identical, because run i
+  // is a pure function of (seed, i) and the tally is a prefix.
+  exec::Executor ex2(2);
+  const auto resumed = smc::estimate_probability_runs(tg.system, prop, 2500,
+                                                      0.05, 11, ex2, nullptr,
+                                                      {}, ck);
+  EXPECT_TRUE(resumed.resume.resumed);
+  EXPECT_EQ(resumed.verdict, common::Verdict::kHolds);
+  EXPECT_EQ(resumed.completed, 2500u);
+  EXPECT_EQ(resumed.hits, reference.hits);
+  EXPECT_EQ(resumed.p_hat, reference.p_hat);
+  EXPECT_EQ(resumed.ci_low, reference.ci_low);
+  EXPECT_EQ(resumed.ci_high, reference.ci_high);
+}
+
+TEST(CkptStatistical, MidBatchCancellationDiscardsThePartialBatch) {
+  auto tg = models::make_train_gate(2);
+  const auto prop = train_crosses(tg, 30.0);
+  exec::Executor ex(4);
+
+  const std::string path = ckpt_path("smc_midbatch");
+  ckpt::Options ck;
+  ck.path = path;
+  common::CancelToken cancel;
+  cancel.cancel();  // watchdog fires before the first batch finishes
+  common::Budget budget;
+  budget.with_cancel(&cancel);
+  const auto interrupted = smc::estimate_probability_runs(
+      tg.system, prop, 2500, 0.05, 11, ex, nullptr, budget, ck);
+  ASSERT_EQ(interrupted.verdict, common::Verdict::kUnknown);
+  EXPECT_EQ(interrupted.stop, common::StopReason::kCancelled);
+  // Nothing torn: the tally is a whole number of batches (here: zero).
+  EXPECT_EQ(interrupted.completed % 1024, 0u);
+
+  cancel.reset();
+  const auto resumed = smc::estimate_probability_runs(tg.system, prop, 2500,
+                                                      0.05, 11, ex, nullptr,
+                                                      {}, ck);
+  const auto reference =
+      smc::estimate_probability_runs(tg.system, prop, 2500, 0.05, 11, ex);
+  EXPECT_EQ(resumed.verdict, common::Verdict::kHolds);
+  EXPECT_EQ(resumed.hits, reference.hits);
+  EXPECT_EQ(resumed.p_hat, reference.p_hat);
+}
+
+TEST(CkptStatistical, DifferentSeedOrRunsRefusesTheSnapshot) {
+  auto tg = models::make_train_gate(2);
+  const auto prop = train_crosses(tg, 30.0);
+  exec::Executor ex(4);
+
+  const std::string path = ckpt_path("smc_fingerprint");
+  ckpt::Options ck;
+  ck.path = path;
+  const auto budget = common::Budget::deadline_after(std::chrono::hours(1));
+  {
+    ScopedFault fault("smc.estimate.batch", common::FaultKind::kDeadline, 2);
+    ASSERT_TRUE(smc::estimate_probability_runs(tg.system, prop, 2500, 0.05, 11,
+                                               ex, nullptr, budget, ck)
+                    .resume.saved);
+  }
+
+  // Same path, different seed: the snapshot must not be resumed.
+  const auto other = smc::estimate_probability_runs(tg.system, prop, 2500,
+                                                    0.05, 12, ex, nullptr, {},
+                                                    ck);
+  EXPECT_EQ(other.resume.load, ckpt::LoadStatus::kBadFingerprint);
+  EXPECT_FALSE(other.resume.resumed);
+  EXPECT_EQ(other.verdict, common::Verdict::kHolds);
+}
+
+}  // namespace

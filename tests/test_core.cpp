@@ -114,6 +114,93 @@ TEST(StateStore, MetricsReportOccupancy) {
   EXPECT_LT(m.load_factor(), 0.5 + 1e-9);  // rehash keeps occupancy < 50%
 }
 
+TEST(StateStore, MetricsTrackChainsAndCoveredCounts) {
+  // All states share one discrete partition under inclusion hashing, so they
+  // land in a single hash chain — max_chain must see the pile-up, and each
+  // strictly-covering insert tombstones its predecessor.
+  SymStore store({.inclusion = true, .tombstone_covered = true});
+  constexpr int kN = 8;
+  for (int ub = 1; ub <= kN; ++ub) {
+    ASSERT_TRUE(store.intern(zone_state(0, ub)).inserted);
+  }
+  auto m = store.metrics();
+  EXPECT_EQ(m.stored, static_cast<std::size_t>(kN));
+  EXPECT_EQ(m.covered, static_cast<std::size_t>(kN - 1));  // only x<=kN live
+  EXPECT_EQ(m.max_chain, static_cast<std::size_t>(kN));
+  EXPECT_EQ(m.occupied, 1u);  // one partition = one occupied slot
+  EXPECT_DOUBLE_EQ(m.load_factor(),
+                   1.0 / static_cast<double>(m.slots));
+  // Covered tombstones still count as stored states.
+  for (int id = 0; id < kN - 1; ++id) EXPECT_TRUE(store.covered(id));
+  EXPECT_FALSE(store.covered(kN - 1));
+}
+
+TEST(StateStore, MetricsLoadFactorMatchesOccupancy) {
+  SymStore store;
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(store.intern(zone_state(i, i + 1)).inserted);
+  }
+  auto m = store.metrics();
+  EXPECT_EQ(m.occupied, 600u);  // exact mode, distinct partitions
+  EXPECT_DOUBLE_EQ(m.load_factor(), static_cast<double>(m.occupied) /
+                                        static_cast<double>(m.slots));
+  // 600 distinct keys force at least one rehash past the initial 1024 slots
+  // (rehash keeps occupancy strictly below 50%).
+  EXPECT_GE(m.slots, 2048u);
+  EXPECT_LT(m.load_factor(), 0.5);
+}
+
+TEST(StateStore, RestoreRebuildsTombstonedStoreStructurallyIdentically) {
+  SymStore store({.inclusion = true, .tombstone_covered = true});
+  // A mix of partitions, some with tombstoned ancestors.
+  for (int loc = 0; loc < 40; ++loc) {
+    ASSERT_TRUE(store.intern(zone_state(loc, 2)).inserted);
+  }
+  for (int loc = 0; loc < 40; loc += 2) {
+    ASSERT_TRUE(store.intern(zone_state(loc, 9)).inserted);  // tombstones
+  }
+  const auto before = store.metrics();
+  ASSERT_EQ(before.covered, 20u);
+
+  // Round-trip the snapshot data: insertion-ordered states + covered bits.
+  std::vector<ta::SymState> states;
+  std::vector<std::uint8_t> covered;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const auto id = static_cast<std::int32_t>(i);
+    states.push_back(store.state(id));
+    covered.push_back(store.covered(id) ? 1 : 0);
+  }
+  auto rebuilt = SymStore::restore(store.options(), std::move(states),
+                                   std::move(covered));
+
+  // Structural identity: same table shape, same tombstones, same memory.
+  const auto after = rebuilt.metrics();
+  EXPECT_EQ(after.stored, before.stored);
+  EXPECT_EQ(after.covered, before.covered);
+  EXPECT_EQ(after.slots, before.slots);
+  EXPECT_EQ(after.occupied, before.occupied);
+  EXPECT_EQ(after.max_chain, before.max_chain);
+  EXPECT_EQ(rebuilt.memory_bytes(), store.memory_bytes());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const auto id = static_cast<std::int32_t>(i);
+    EXPECT_EQ(rebuilt.covered(id), store.covered(id)) << "state " << i;
+  }
+
+  // Behavioral identity: interning continues exactly as in the original —
+  // dedup against live representatives, tombstoned states stay dead, and a
+  // genuinely new state gets the next id in both stores.
+  auto dup_orig = store.intern(zone_state(0, 9));
+  auto dup_rebuilt = rebuilt.intern(zone_state(0, 9));
+  EXPECT_FALSE(dup_orig.inserted);
+  EXPECT_FALSE(dup_rebuilt.inserted);
+  EXPECT_EQ(dup_rebuilt.id, dup_orig.id);
+  auto fresh_orig = store.intern(zone_state(1000, 1));
+  auto fresh_rebuilt = rebuilt.intern(zone_state(1000, 1));
+  EXPECT_TRUE(fresh_orig.inserted);
+  EXPECT_TRUE(fresh_rebuilt.inserted);
+  EXPECT_EQ(fresh_rebuilt.id, fresh_orig.id);
+}
+
 TEST(Worklist, BfsIsFifo) {
   Worklist w(SearchOrder::kBfs);
   EXPECT_TRUE(w.empty());

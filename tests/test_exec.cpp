@@ -9,11 +9,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <stdexcept>
 #include <vector>
+
+#include "exec/watchdog.h"
 
 #include "common/rng.h"
 #include "mbt/testgen.h"
@@ -374,6 +379,131 @@ TEST(RunTelemetry, AccumulatesAcrossSprtBatches) {
   EXPECT_GE(tel.runs_completed(), r.runs);
   EXPECT_GE(tel.hits(), r.hits);
   EXPECT_GT(tel.wall_seconds, 0.0);
+}
+
+// ---- QUANTA_JOBS parsing --------------------------------------------------
+
+/// Sets (or unsets, for nullptr) an environment variable for one scope and
+/// restores the previous state on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+unsigned hardware_fallback() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+TEST(ThreadPool, QuantaJobsWholePositiveNumberIsUsed) {
+  ScopedEnv env("QUANTA_JOBS", "3");
+  EXPECT_EQ(exec::default_worker_count(), 3u);
+}
+
+TEST(ThreadPool, QuantaJobsIsClampedTo1024) {
+  ScopedEnv env("QUANTA_JOBS", "99999");
+  EXPECT_EQ(exec::default_worker_count(), 1024u);
+}
+
+TEST(ThreadPool, QuantaJobsMalformedValuesFallBackToHardwareConcurrency) {
+  const unsigned hw = hardware_fallback();
+  // Non-numeric, empty, zero, negative, trailing garbage and out-of-range
+  // values must all be rejected as a whole, never half-parsed.
+  for (const char* bad : {"", "abc", "0", "-4", "4x", "2.5", "0x10",
+                          "999999999999999999999999"}) {
+    ScopedEnv env("QUANTA_JOBS", bad);
+    EXPECT_EQ(exec::default_worker_count(), hw) << "value: \"" << bad << '"';
+  }
+}
+
+TEST(ThreadPool, QuantaJobsUnsetFallsBackToHardwareConcurrency) {
+  ScopedEnv env("QUANTA_JOBS", nullptr);
+  EXPECT_EQ(exec::default_worker_count(), hardware_fallback());
+}
+
+// ---- watchdog / cancel-token ownership ------------------------------------
+
+// Regression: the watchdog must never reset its target, and a token left
+// cancelled by run N must be reset by its owner or it stops run N+1 at the
+// very first poll. (Engines avoid this internally by creating a fresh
+// watchdog target per call — see the next test.)
+TEST(ExecWatchdog, WatchdogDoesNotResetTargetAcrossRuns) {
+  common::CancelToken external;
+  common::CancelToken target;
+  common::Budget watched;
+  watched.with_cancel(&external);
+  {
+    exec::Watchdog wd(watched, target);
+    external.cancel();
+    for (int i = 0; i < 2000 && !target.cancelled(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(target.cancelled());
+    EXPECT_EQ(wd.fired_reason(), common::StopReason::kCancelled);
+  }
+  // The destructor joined the poll thread but left the target fired.
+  EXPECT_TRUE(target.cancelled());
+
+  // Run N+1 reusing the fired token is dead on arrival until reset().
+  common::Budget next;
+  next.with_cancel(&target);
+  EXPECT_EQ(next.poll(0), common::StopReason::kCancelled);
+  target.reset();
+  EXPECT_EQ(next.poll(0), common::StopReason::kCompleted);
+}
+
+// Regression: a cancelled estimate must not poison the next estimate on the
+// same executor — the internal watchdog target is per-call, so after the
+// caller resets their own token the resumed run N+1 completes normally.
+TEST(ExecWatchdog, CancelledRunDoesNotPoisonTheNextRun) {
+  auto tg = models::make_train_gate(2);
+  auto prop = train_crosses(tg, 0, 30.0);
+  exec::Executor ex(2);
+
+  common::CancelToken user;
+  user.cancel();  // run N: cancelled before it can complete the sample
+  common::Budget b;
+  b.with_cancel(&user);
+  auto aborted =
+      smc::estimate_probability_runs(tg.system, prop, 400, 0.05, 7, ex,
+                                     nullptr, b);
+  EXPECT_EQ(aborted.verdict, common::Verdict::kUnknown);
+  EXPECT_EQ(aborted.stop, common::StopReason::kCancelled);
+  EXPECT_LT(aborted.completed, 400u);
+
+  user.reset();  // owner's duty between runs
+  auto resumed =
+      smc::estimate_probability_runs(tg.system, prop, 400, 0.05, 7, ex,
+                                     nullptr, b);
+  EXPECT_EQ(resumed.verdict, common::Verdict::kHolds);
+  EXPECT_EQ(resumed.completed, 400u);
+
+  // And an ungoverned run on the same executor is equally unaffected.
+  auto clean = smc::estimate_probability_runs(tg.system, prop, 400, 0.05, 7,
+                                              ex);
+  EXPECT_EQ(clean.hits, resumed.hits);
 }
 
 }  // namespace

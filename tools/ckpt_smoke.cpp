@@ -1,0 +1,131 @@
+// Crash/resume smoke driver for CI: runs the train-gate mutual-exclusion
+// invariant check with periodic checkpointing and prints a one-line
+// machine-readable result. The CI job SIGKILLs a throttled run mid-flight,
+// asserts the checkpoint file exists, reruns to completion and compares the
+// verdict + statistics against an uninterrupted reference run.
+//
+//   ckpt_smoke [--checkpoint PATH] [--trains N] [--interval K]
+//              [--throttle-us U] [--no-resume]
+//
+//   --checkpoint PATH  checkpoint file ("" disables checkpointing)
+//   --trains N         train-gate size (default 4)
+//   --interval K       periodic snapshot cadence in explored states (def. 200)
+//   --throttle-us U    sleep U microseconds per explored state, stretching
+//                      the run so a signal can land mid-flight (default 0)
+//   --no-resume        ignore any existing checkpoint (reference mode)
+//
+// Output: "resumed=<0|1> load=<status> verdict=<v> stored=<n> explored=<n>
+// transitions=<n>" on stdout; exit 0 on a definite verdict, 3 on kUnknown,
+// 1 on usage errors.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/budget.h"
+#include "core/observer.h"
+#include "mc/reachability.h"
+#include "models/train_gate.h"
+
+using namespace quanta;
+
+namespace {
+
+mc::StatePredicate mutual_exclusion(const models::TrainGate& tg) {
+  std::vector<int> cross_loc;
+  for (int i = 0; i < tg.num_trains; ++i) {
+    cross_loc.push_back(
+        tg.system.process(tg.trains[static_cast<std::size_t>(i)])
+            .location_index("Cross"));
+  }
+  auto trains = tg.trains;
+  return [trains, cross_loc](const ta::SymState& s) {
+    int crossing = 0;
+    for (std::size_t i = 0; i < trains.size(); ++i) {
+      if (s.locs[static_cast<std::size_t>(trains[i])] == cross_loc[i]) {
+        ++crossing;
+      }
+    }
+    return crossing <= 1;
+  };
+}
+
+/// Slows the search down to human/CI timescales so a SIGKILL lands mid-run.
+class Throttle final : public core::ExplorationObserver {
+ public:
+  explicit Throttle(long us) : us_(us) {}
+  void on_state_explored(std::int32_t) override {
+    if (us_ > 0) std::this_thread::sleep_for(std::chrono::microseconds(us_));
+  }
+
+ private:
+  long us_;
+};
+
+const char* verdict_name(common::Verdict v) {
+  switch (v) {
+    case common::Verdict::kHolds: return "holds";
+    case common::Verdict::kViolated: return "violated";
+    case common::Verdict::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  int trains = 4;
+  std::uint64_t interval = 200;
+  long throttle_us = 0;
+  bool resume = true;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ckpt_smoke: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--checkpoint") == 0) {
+      path = need("--checkpoint");
+    } else if (std::strcmp(argv[i], "--trains") == 0) {
+      trains = std::atoi(need("--trains"));
+    } else if (std::strcmp(argv[i], "--interval") == 0) {
+      interval = static_cast<std::uint64_t>(std::atoll(need("--interval")));
+    } else if (std::strcmp(argv[i], "--throttle-us") == 0) {
+      throttle_us = std::atol(need("--throttle-us"));
+    } else if (std::strcmp(argv[i], "--no-resume") == 0) {
+      resume = false;
+    } else {
+      std::fprintf(stderr, "ckpt_smoke: unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (trains < 2) {
+    std::fprintf(stderr, "ckpt_smoke: --trains must be >= 2\n");
+    return 1;
+  }
+
+  auto tg = models::make_train_gate(trains);
+  Throttle throttle(throttle_us);
+  mc::ReachOptions opts;
+  opts.record_trace = false;
+  opts.observer = &throttle;
+  opts.limits.budget = common::Budget::deadline_after(std::chrono::hours(1));
+  opts.checkpoint.path = path;
+  opts.checkpoint.resume = resume;
+  opts.checkpoint.interval = interval;
+  opts.checkpoint.property_tag = "train-gate-mutex";
+
+  const auto r = mc::check_invariant(tg.system, mutual_exclusion(tg), opts);
+  std::printf("resumed=%d load=%s verdict=%s stored=%zu explored=%zu "
+              "transitions=%zu\n",
+              r.resume.resumed ? 1 : 0, ckpt::to_string(r.resume.load),
+              verdict_name(r.verdict), r.stats.states_stored,
+              r.stats.states_explored, r.stats.transitions);
+  return r.verdict == common::Verdict::kUnknown ? 3 : 0;
+}
