@@ -1,0 +1,26 @@
+// Internal file-I/O helpers shared by the base-snapshot and delta-record
+// writers: atomic temp-then-rename whole-file writes (with a FaultInjector
+// site in the middle of the write, modelling a crash that tears the temp
+// file) and whole-file reads. Not part of the public ckpt API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace quanta::ckpt::internal {
+
+/// Writes `buf` to <path>.tmp and renames it over <path>. Returns false on
+/// any failure — the previous file at `path`, if any, is untouched and the
+/// torn temp file is removed. `fault_site` is visited between two half-
+/// writes (an injected exception there models SIGKILL mid-write).
+bool write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& buf,
+                       const char* fault_site);
+
+enum class ReadFile { kOk, kNoFile, kIoError };
+
+/// Reads the whole file into `out`. Never throws.
+ReadFile read_file(const std::string& path, std::vector<std::uint8_t>* out);
+
+}  // namespace quanta::ckpt::internal

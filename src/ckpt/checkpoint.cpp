@@ -3,17 +3,18 @@
 #include <bit>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
+#include "ckpt/atomic_file.h"
 #include "ckpt/crc32.h"
 #include "common/fault.h"
 
 namespace quanta::ckpt {
 
-namespace {
+namespace internal {
 
-constexpr char kMagic[8] = {'Q', 'C', 'K', 'P', 'T', '1', '\r', '\n'};
-constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8 + 4 + 4;
+namespace {
 
 /// RAII FILE* that also unlinks the path unless release()d — the temp file
 /// never survives a failed save.
@@ -44,6 +45,66 @@ class TempFile {
 
 }  // namespace
 
+bool write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& buf,
+                       const char* fault_site) {
+  const std::string tmp = path + ".tmp";
+  try {
+    TempFile file(tmp);
+    if (file.get() == nullptr) return false;
+    // Two half-writes around the fault-injection site model a crash
+    // mid-write: the torn prefix only ever lands in the temp file, which is
+    // removed (or, after SIGKILL, ignored — it is never renamed into place).
+    const std::size_t half = buf.size() / 2;
+    if (std::fwrite(buf.data(), 1, half, file.get()) != half) return false;
+    common::FaultInjector::site(fault_site);
+    const std::size_t rest = buf.size() - half;
+    if (rest > 0 &&
+        std::fwrite(buf.data() + half, 1, rest, file.get()) != rest) {
+      return false;
+    }
+    if (!file.close_keep()) return false;
+  } catch (...) {
+    // Injected fault (or allocation failure) mid-write: TempFile already
+    // removed the torn temp; the previous file at `path` is intact.
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+ReadFile read_file(const std::string& path, std::vector<std::uint8_t>* out) {
+  try {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return errno == ENOENT ? ReadFile::kNoFile : ReadFile::kIoError;
+    }
+    std::uint8_t chunk[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      out->insert(out->end(), chunk, chunk + n);
+    }
+    const bool read_ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!read_ok) return ReadFile::kIoError;
+  } catch (...) {
+    return ReadFile::kIoError;
+  }
+  return ReadFile::kOk;
+}
+
+}  // namespace internal
+
+namespace {
+
+constexpr char kMagic[8] = {'Q', 'C', 'K', 'P', 'T', '1', '\r', '\n'};
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8 + 4 + 4;
+
+}  // namespace
+
 const char* to_string(LoadStatus s) {
   switch (s) {
     case LoadStatus::kOk: return "ok";
@@ -56,6 +117,24 @@ const char* to_string(LoadStatus s) {
     case LoadStatus::kCorrupt: return "corrupt";
   }
   return "?";
+}
+
+std::uint64_t Options::effective_interval() const {
+  // Mirrors the strict QUANTA_JOBS rules (exec/thread_pool.cpp): the whole
+  // string must be a positive decimal number — "12abc", "1e3", "-5", "0" and
+  // "" all fall back to the programmatic interval rather than silently
+  // disabling or misreading the cadence.
+  if (const char* env = std::getenv("QUANTA_CKPT_INTERVAL")) {
+    char* endp = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(env, &endp, 10);
+    // strtoull silently wraps negative input; refuse any minus sign.
+    if (errno == 0 && endp != env && *endp == '\0' && v >= 1 &&
+        std::strchr(env, '-') == nullptr) {
+      return v > kMaxInterval ? kMaxInterval : v;
+    }
+  }
+  return interval;
 }
 
 const Section* Snapshot::find(std::uint32_t id) const {
@@ -78,6 +157,15 @@ Fingerprint& Fingerprint::mix_str(const std::string& s) {
   return *this;
 }
 
+Fingerprint& Fingerprint::mix_bytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h_ ^= p[i];
+    h_ *= 0x100000001B3ull;
+  }
+  return *this;
+}
+
 bool save(const std::string& path, const Snapshot& snap) {
   if (path.empty()) return false;
   // Serialize the whole file into memory first: the on-disk write is then
@@ -95,34 +183,7 @@ bool save(const std::string& path, const Snapshot& snap) {
     w.u32(crc32(s.payload.data(), s.payload.size()));
     w.bytes(s.payload.data(), s.payload.size());
   }
-  const std::vector<std::uint8_t>& buf = w.buffer();
-
-  const std::string tmp = path + ".tmp";
-  try {
-    TempFile file(tmp);
-    if (file.get() == nullptr) return false;
-    // Two half-writes around the fault-injection site model a crash
-    // mid-write: the torn prefix only ever lands in the temp file, which is
-    // removed (or, after SIGKILL, ignored — it is never renamed into place).
-    const std::size_t half = buf.size() / 2;
-    if (std::fwrite(buf.data(), 1, half, file.get()) != half) return false;
-    common::FaultInjector::site("ckpt.file.write");
-    const std::size_t rest = buf.size() - half;
-    if (rest > 0 &&
-        std::fwrite(buf.data() + half, 1, rest, file.get()) != rest) {
-      return false;
-    }
-    if (!file.close_keep()) return false;
-  } catch (...) {
-    // Injected fault (or allocation failure) mid-write: TempFile already
-    // removed the torn temp; the previous checkpoint at `path` is intact.
-    return false;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  return internal::write_file_atomic(path, w.buffer(), "ckpt.file.write");
 }
 
 LoadStatus load(const std::string& path, std::uint64_t expected_fingerprint,
@@ -131,18 +192,11 @@ LoadStatus load(const std::string& path, std::uint64_t expected_fingerprint,
   std::vector<std::uint8_t> buf;
   try {
     common::FaultInjector::site("ckpt.file.read");
-    std::FILE* f = std::fopen(path.c_str(), "rb");
-    if (f == nullptr) {
-      return errno == ENOENT ? LoadStatus::kNoFile : LoadStatus::kIoError;
+    switch (internal::read_file(path, &buf)) {
+      case internal::ReadFile::kNoFile: return LoadStatus::kNoFile;
+      case internal::ReadFile::kIoError: return LoadStatus::kIoError;
+      case internal::ReadFile::kOk: break;
     }
-    std::uint8_t chunk[1 << 16];
-    std::size_t n;
-    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
-      buf.insert(buf.end(), chunk, chunk + n);
-    }
-    const bool read_ok = std::ferror(f) == 0;
-    std::fclose(f);
-    if (!read_ok) return LoadStatus::kIoError;
   } catch (...) {
     return LoadStatus::kIoError;
   }

@@ -43,6 +43,10 @@ enum class Provider : std::uint32_t {
   kExplore = 1,         ///< core::explore store/worklist/payload snapshot
   kValueIteration = 2,  ///< mdp/pta value vectors + sweep index
   kStatistical = 3,     ///< smc/mbt completed-run prefix + statistics
+  kLiveness = 4,        ///< mc leads-to zone graph + successor lists
+  kGame = 5,            ///< timed-game graph + attractor fixpoint state
+  kPriced = 6,          ///< CORA min-cost search (priority worklist + costs)
+  kSprt = 7,            ///< SPRT in-order LLR walk position
 };
 
 /// Outcome of a resume attempt. Everything except kOk means "start fresh";
@@ -88,10 +92,12 @@ LoadStatus load(const std::string& path, std::uint64_t expected_fingerprint,
                 Provider expected_provider, Snapshot* out);
 
 /// FNV-1a accumulator for model/query fingerprints. Engines mix every
-/// structural feature of the model plus the analysis parameters that affect
-/// the computation, so a checkpoint is only ever resumed against the same
-/// (model, query) pair. Opaque callables (data guards, goal predicates)
-/// cannot be hashed — callers distinguish them via Options::property_tag.
+/// structural feature of the model, the canonical serialization of the
+/// query predicate AST (common::Predicate::canonical) and the analysis
+/// parameters that affect the computation, so a checkpoint is only ever
+/// resumed against the same (model, query) pair. Closures that bypass the
+/// structural builders canonicalize as an indistinct "opaque" leaf — wrap
+/// them in labeled_pred when one path serves several such queries.
 class Fingerprint {
  public:
   Fingerprint& mix(std::uint64_t v) {
@@ -104,6 +110,7 @@ class Fingerprint {
   Fingerprint& mix_i64(std::int64_t v) { return mix(static_cast<std::uint64_t>(v)); }
   Fingerprint& mix_f64(double v);
   Fingerprint& mix_str(const std::string& s);
+  Fingerprint& mix_bytes(const void* data, std::size_t size);
 
   std::uint64_t digest() const { return h_; }
 
@@ -125,14 +132,25 @@ struct Options {
   /// Periodic snapshot cadence in the engine's own progress unit (explored
   /// states for core::explore, sweeps for value iteration, completed runs
   /// for the statistical engines); 0 = snapshot only on stop. Periodic
-  /// snapshots are what make an outright SIGKILL resumable.
+  /// snapshots are what make an outright SIGKILL resumable. The
+  /// QUANTA_CKPT_INTERVAL environment variable, when it parses as a whole
+  /// positive decimal, overrides this value (effective_interval()).
   std::uint64_t interval = 0;
-  /// Mixed into the fingerprint: distinguishes analyses whose difference
-  /// lives in an opaque callable (goal predicate) the fingerprint cannot
-  /// see. Callers reusing one path for different properties must tag them.
-  std::string property_tag;
+  /// Periodic snapshots of the store-based providers append incremental
+  /// QCKPD1 delta records (src/ckpt/delta.h) instead of rewriting the full
+  /// base snapshot; after this many deltas the chain is compacted into a
+  /// fresh base. 0 disables deltas (every periodic snapshot is a full base).
+  std::uint32_t max_deltas = 64;
 
   bool enabled() const { return !path.empty(); }
+
+  /// `interval`, unless QUANTA_CKPT_INTERVAL holds a valid override — the
+  /// same strict rules as QUANTA_JOBS: whole positive decimals only,
+  /// clamped to kMaxInterval; garbage/empty/zero falls back to `interval`.
+  std::uint64_t effective_interval() const;
+
+  /// Upper clamp of the QUANTA_CKPT_INTERVAL override.
+  static constexpr std::uint64_t kMaxInterval = 1'000'000'000'000ull;
 };
 
 /// How checkpointing went for one analysis run; carried by the engine's

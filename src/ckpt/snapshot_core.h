@@ -27,6 +27,13 @@ inline constexpr std::uint32_t kSecWorklist = 2;
 inline constexpr std::uint32_t kSecSearchStats = 3;
 inline constexpr std::uint32_t kSecEnginePayload = 4;
 
+/// Delta-record sections (src/ckpt/delta.h). A QCKPD1 record carries the
+/// store/worklist *changes* since the previous chain link plus full rewrites
+/// of the small sections (stats, engine payload suffix inside
+/// kSecEnginePayload with an engine-chosen base-count prefix).
+inline constexpr std::uint32_t kSecStoreDelta = 11;
+inline constexpr std::uint32_t kSecWorklistDelta = 12;
+
 template <typename S, typename Traits, typename WriteState>
 void write_store(io::Writer& w, const core::StateStore<S, Traits>& store,
                  WriteState&& write_state) {
@@ -42,38 +49,107 @@ void write_store(io::Writer& w, const core::StateStore<S, Traits>& store,
   }
 }
 
+/// Reads a write_store section into raw (states, covered) vectors — the
+/// accumulator a delta chain replays into before the final
+/// StateStore::restore. Returns false on option mismatch or malformed data.
+template <typename S, typename ReadState>
+bool read_store_vectors(io::Reader& r, bool inclusion, bool tombstone_covered,
+                        ReadState&& read_state, std::vector<S>* states,
+                        std::vector<std::uint8_t>* covered) {
+  const bool file_inclusion = r.u8() != 0;
+  const bool file_tombstone = r.u8() != 0;
+  if (file_inclusion != inclusion || file_tombstone != tombstone_covered) {
+    return false;
+  }
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || !r.fits(n, 1)) return false;
+  states->clear();
+  states->reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    S s;
+    if (!read_state(r, &s)) return false;
+    states->push_back(std::move(s));
+  }
+  covered->assign(static_cast<std::size_t>(n), 0);
+  for (std::uint64_t i = 0; i < n; ++i) (*covered)[i] = r.u8();
+  return r.ok();
+}
+
 /// Rebuilds a store snapshotted with write_store. `opts` must match the
 /// serialized options (they are derived from the same engine options that
 /// feed the fingerprint); returns false on any mismatch or malformed data.
 template <typename S, typename Traits, typename ReadState>
 bool read_store(io::Reader& r, typename core::StateStore<S, Traits>::Options opts,
                 ReadState&& read_state, core::StateStore<S, Traits>* out) {
-  const bool inclusion = r.u8() != 0;
-  const bool tombstone = r.u8() != 0;
-  if (inclusion != opts.inclusion || tombstone != opts.tombstone_covered) {
+  std::vector<S> states;
+  std::vector<std::uint8_t> covered;
+  if (!read_store_vectors<S>(r, opts.inclusion, opts.tombstone_covered,
+                             read_state, &states, &covered)) {
     return false;
   }
-  const std::uint64_t n = r.u64();
-  if (!r.ok() || !r.fits(n, 1)) return false;
-  std::vector<S> states;
-  states.reserve(static_cast<std::size_t>(n));
-  for (std::uint64_t i = 0; i < n; ++i) {
-    S s;
-    if (!read_state(r, &s)) return false;
-    states.push_back(std::move(s));
-  }
-  std::vector<std::uint8_t> covered(static_cast<std::size_t>(n), 0);
-  for (std::uint64_t i = 0; i < n; ++i) covered[i] = r.u8();
-  if (!r.ok()) return false;
   *out = core::StateStore<S, Traits>::restore(opts, std::move(states),
                                               std::move(covered));
   return true;
 }
 
+/// Store changes since the previous chain link: the states appended beyond
+/// `base_states` and the covered-journal suffix beyond `base_journal`.
+/// States are append-only and covered bits only flip 0 -> 1, so this is a
+/// complete diff (StateStore::covered_journal).
+template <typename S, typename Traits, typename WriteState>
+void write_store_delta(io::Writer& w, const core::StateStore<S, Traits>& store,
+                       std::size_t base_states, std::size_t base_journal,
+                       WriteState&& write_state) {
+  const std::size_t n = store.size();
+  w.u64(base_states);
+  w.u64(n - base_states);
+  for (std::size_t id = base_states; id < n; ++id) {
+    write_state(w, store.state(static_cast<std::int32_t>(id)));
+  }
+  const std::vector<std::int32_t>& journal = store.covered_journal();
+  w.u64(base_journal);
+  w.u64(journal.size() - base_journal);
+  for (std::size_t i = base_journal; i < journal.size(); ++i) {
+    w.i32(journal[i]);
+  }
+}
+
+/// Applies one write_store_delta record to the (states, covered) accumulator.
+/// `journal_len` tracks the covered-flip count across the chain; both base
+/// positions are validated against it so a delta never applies out of order.
+template <typename S, typename ReadState>
+bool apply_store_delta(io::Reader& r, ReadState&& read_state,
+                       std::vector<S>* states,
+                       std::vector<std::uint8_t>* covered,
+                       std::uint64_t* journal_len) {
+  const std::uint64_t base_states = r.u64();
+  if (!r.ok() || base_states != states->size()) return false;
+  const std::uint64_t appended = r.u64();
+  if (!r.ok() || !r.fits(appended, 1)) return false;
+  for (std::uint64_t i = 0; i < appended; ++i) {
+    S s;
+    if (!read_state(r, &s)) return false;
+    states->push_back(std::move(s));
+    covered->push_back(0);
+  }
+  const std::uint64_t base_journal = r.u64();
+  if (!r.ok() || base_journal != *journal_len) return false;
+  const std::uint64_t flips = r.u64();
+  if (!r.ok() || !r.fits(flips, 4)) return false;
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    const std::int32_t id = r.i32();
+    if (id < 0 || static_cast<std::size_t>(id) >= covered->size()) return false;
+    (*covered)[static_cast<std::size_t>(id)] = 1;
+  }
+  *journal_len += flips;
+  return r.ok();
+}
+
 /// Serializes the pending worklist entries. `pending_first` / `pending_last`
 /// re-queue the popped-but-unexpanded entry of an interrupted search at the
 /// position the order pops next (front for BFS, back for DFS; a kPriority
-/// restore re-heapifies, so position is irrelevant there).
+/// restore adopts the serialized heap array verbatim and sifts a single
+/// trailing pending entry into place, keeping delta chains byte-stable).
 inline void write_worklist(io::Writer& w, const core::Worklist& work,
                            const core::Worklist::Entry* pending_front,
                            const core::Worklist::Entry* pending_back) {
@@ -92,20 +168,87 @@ inline void write_worklist(io::Writer& w, const core::Worklist& work,
   if (pending_back != nullptr) put(*pending_back);
 }
 
-inline bool read_worklist(io::Reader& r, core::Worklist* work) {
-  const std::uint8_t order = r.u8();
-  if (order != static_cast<std::uint8_t>(work->order())) return false;
+/// Worklist changes since the previous link, as a splice against the
+/// previously serialized entry list: cur == prev[drop .. drop+keep) ++
+/// appended. The matcher finds the first occurrence of cur's head in prev
+/// and extends the common run — BFS turns into "drop the popped front, keep
+/// the rest", DFS into "keep the untouched prefix", and a priority heap into
+/// a moderate splice; any mismatch just lands in `appended`, so the encoding
+/// is always exact. `prev` and `cur` are the caller-built full entry lists
+/// (pending entry already positioned, per write_worklist).
+inline void write_worklist_delta(io::Writer& w,
+                                 const std::vector<core::Worklist::Entry>& prev,
+                                 const std::vector<core::Worklist::Entry>& cur) {
+  std::size_t drop = 0;
+  std::size_t keep = 0;
+  if (!cur.empty()) {
+    for (std::size_t i = 0; i < prev.size(); ++i) {
+      if (prev[i].id == cur[0].id && prev[i].key == cur[0].key) {
+        std::size_t k = 0;
+        while (i + k < prev.size() && k < cur.size() &&
+               prev[i + k].id == cur[k].id && prev[i + k].key == cur[k].key) {
+          ++k;
+        }
+        drop = i;
+        keep = k;
+        break;
+      }
+    }
+  }
+  w.u64(drop);
+  w.u64(keep);
+  w.u64(cur.size() - keep);
+  for (std::size_t i = keep; i < cur.size(); ++i) {
+    w.i32(cur[i].id);
+    w.i64(cur[i].key);
+  }
+}
+
+/// Applies one write_worklist_delta record to the entry-list accumulator.
+inline bool apply_worklist_delta(io::Reader& r,
+                                 std::vector<core::Worklist::Entry>* entries) {
+  const std::uint64_t drop = r.u64();
+  const std::uint64_t keep = r.u64();
+  if (!r.ok() || drop + keep < keep || drop + keep > entries->size()) {
+    return false;
+  }
+  entries->erase(entries->begin(),
+                 entries->begin() + static_cast<std::ptrdiff_t>(drop));
+  entries->resize(static_cast<std::size_t>(keep));
+  const std::uint64_t appended = r.u64();
+  if (!r.ok() || !r.fits(appended, 4 + 8)) return false;
+  entries->reserve(entries->size() + static_cast<std::size_t>(appended));
+  for (std::uint64_t i = 0; i < appended; ++i) {
+    core::Worklist::Entry e;
+    e.id = r.i32();
+    e.key = r.i64();
+    entries->push_back(e);
+  }
+  return r.ok();
+}
+
+/// Reads a write_worklist section into a raw entry list — the accumulator a
+/// delta chain splices into before the final Worklist::restore.
+inline bool read_worklist_entries(io::Reader& r, core::SearchOrder order,
+                                  std::vector<core::Worklist::Entry>* out) {
+  const std::uint8_t file_order = r.u8();
+  if (file_order != static_cast<std::uint8_t>(order)) return false;
   const std::uint64_t count = r.u64();
   if (!r.ok() || !r.fits(count, 4 + 8)) return false;
-  std::vector<core::Worklist::Entry> entries;
-  entries.reserve(static_cast<std::size_t>(count));
+  out->clear();
+  out->reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i) {
     core::Worklist::Entry e;
     e.id = r.i32();
     e.key = r.i64();
-    entries.push_back(e);
+    out->push_back(e);
   }
-  if (!r.ok()) return false;
+  return r.ok();
+}
+
+inline bool read_worklist(io::Reader& r, core::Worklist* work) {
+  std::vector<core::Worklist::Entry> entries;
+  if (!read_worklist_entries(r, work->order(), &entries)) return false;
   work->restore(std::move(entries));
   return true;
 }

@@ -9,6 +9,7 @@
 #include "ckpt/checkpoint.h"
 #include "ckpt/io.h"
 #include "dbm/dbm.h"
+#include "ta/digital.h"
 #include "ta/model.h"
 #include "ta/symbolic.h"
 
@@ -48,6 +49,31 @@ inline bool read_sym_state(io::Reader& r, ta::SymState* out) {
   return r.ok();
 }
 
+inline void write_digital_state(io::Writer& w, const ta::DigitalState& s) {
+  w.u32(static_cast<std::uint32_t>(s.locs.size()));
+  for (int l : s.locs) w.i32(l);
+  w.u32(static_cast<std::uint32_t>(s.vars.size()));
+  for (auto v : s.vars) w.i32(v);
+  w.u32(static_cast<std::uint32_t>(s.clocks.size()));
+  for (std::int32_t c : s.clocks) w.i32(c);
+}
+
+inline bool read_digital_state(io::Reader& r, ta::DigitalState* out) {
+  const std::uint32_t nl = r.u32();
+  if (!r.fits(nl, 4)) return false;
+  out->locs.resize(nl);
+  for (std::uint32_t i = 0; i < nl; ++i) out->locs[i] = r.i32();
+  const std::uint32_t nv = r.u32();
+  if (!r.fits(nv, 4)) return false;
+  out->vars.resize(nv);
+  for (std::uint32_t i = 0; i < nv; ++i) out->vars[i] = r.i32();
+  const std::uint32_t nc = r.u32();
+  if (!r.fits(nc, 4)) return false;
+  out->clocks.resize(nc);
+  for (std::uint32_t i = 0; i < nc; ++i) out->clocks[i] = r.i32();
+  return r.ok();
+}
+
 inline void write_move(io::Writer& w, const ta::Move& m) {
   w.u32(static_cast<std::uint32_t>(m.participants.size()));
   for (const auto& [process, edge] : m.participants) {
@@ -72,7 +98,8 @@ inline bool read_move(io::Reader& r, ta::Move* out) {
 /// sync, resets, probabilistic branches), channels, clocks and variable
 /// declarations. Opaque callables (data guards/updates, channel functions)
 /// contribute only their presence bit — analyses that differ solely inside
-/// such callables must be distinguished via ckpt::Options::property_tag.
+/// such callables must be distinguished through the query predicate's
+/// canonical form (common::Predicate, e.g. via labeled_pred).
 inline std::uint64_t fingerprint(const ta::System& sys) {
   Fingerprint fp;
   fp.mix(0x7A5EED00u).mix(static_cast<std::uint64_t>(sys.clock_count()));

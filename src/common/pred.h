@@ -1,0 +1,104 @@
+// Structural state predicates: a callable paired with a canonical textual
+// form of its AST, shared by every engine that takes a goal/safety/liveness
+// predicate (mc over SymState, game/cora over DigitalState, smc over
+// ConcreteState).
+//
+// The canonical form is what the checkpoint subsystem fingerprints: two
+// analyses whose queries differ structurally produce different canonical
+// strings, so a checkpoint written for one refuses to resume under the other
+// — without callers hand-picking tags. Builders (loc_pred, pred_and/or/not,
+// labeled_pred) compose canonical forms; a predicate constructed directly
+// from a lambda keeps working but canonicalizes to the indistinct "opaque"
+// leaf, and labeled_pred is the escape hatch that makes such a closure
+// fingerprint-distinguishable ("opaque[label]").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace quanta::common {
+
+template <typename S>
+class Predicate {
+ public:
+  using Fn = std::function<bool(const S&)>;
+
+  Predicate() = default;
+  Predicate(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit from any callable: evaluates it, canonicalizes as "opaque".
+  /// Prefer the structural builders (or labeled_pred) wherever a checkpoint
+  /// fingerprint must tell predicates apart.
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, Predicate> &&
+             std::is_invocable_r_v<bool, F, const S&>)
+  Predicate(F fn)  // NOLINT(google-explicit-constructor)
+      : fn_(std::move(fn)), canon_("opaque") {}
+
+  Predicate(Fn fn, std::string canonical)
+      : fn_(std::move(fn)), canon_(std::move(canonical)) {}
+
+  bool operator()(const S& s) const { return fn_(s); }
+  explicit operator bool() const { return static_cast<bool>(fn_); }
+
+  /// Canonical serialization of the predicate AST, e.g.
+  /// "and(loc(2,1),not(loc(0,3)))". Mixed into checkpoint fingerprints.
+  const std::string& canonical() const { return canon_; }
+
+  /// True when no "opaque" leaf occurs: the canonical form then pins down
+  /// the predicate completely and fingerprint collisions are impossible.
+  bool structural() const { return canon_.find("opaque") == std::string::npos; }
+
+ private:
+  Fn fn_;
+  std::string canon_ = "none";
+};
+
+/// Wraps an opaque closure with a caller-chosen label so its canonical form
+/// ("opaque[label]") distinguishes it from other closures. The replacement
+/// for the retired ckpt::Options::property_tag, attached to the predicate
+/// itself instead of the checkpoint policy.
+template <typename S>
+Predicate<S> labeled_pred(std::string label,
+                          std::function<bool(const S&)> fn) {
+  return Predicate<S>(std::move(fn), "opaque[" + std::move(label) + "]");
+}
+
+template <typename S>
+Predicate<S> pred_and(Predicate<S> a, Predicate<S> b) {
+  std::string canon = "and(" + a.canonical() + "," + b.canonical() + ")";
+  return Predicate<S>([a = std::move(a), b = std::move(b)](const S& s) {
+    return a(s) && b(s);
+  }, std::move(canon));
+}
+
+template <typename S>
+Predicate<S> pred_or(Predicate<S> a, Predicate<S> b) {
+  std::string canon = "or(" + a.canonical() + "," + b.canonical() + ")";
+  return Predicate<S>([a = std::move(a), b = std::move(b)](const S& s) {
+    return a(s) || b(s);
+  }, std::move(canon));
+}
+
+template <typename S>
+Predicate<S> pred_not(Predicate<S> a) {
+  std::string canon = "not(" + a.canonical() + ")";
+  return Predicate<S>([a = std::move(a)](const S& s) { return !a(s); },
+                      std::move(canon));
+}
+
+/// "Process p is in location l" over any state type with a `locs` vector
+/// (SymState, DigitalState). The canonical form uses the resolved indices —
+/// stable under renaming, distinct across structurally different targets.
+template <typename S>
+Predicate<S> loc_index_pred(int process, int location) {
+  std::string canon = "loc(" + std::to_string(process) + "," +
+                      std::to_string(location) + ")";
+  return Predicate<S>([process, location](const S& s) {
+    return s.locs[static_cast<std::size_t>(process)] == location;
+  }, std::move(canon));
+}
+
+}  // namespace quanta::common

@@ -6,15 +6,22 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
+#include "common/pred.h"
 #include "common/verdict.h"
+#include "core/observer.h"
 #include "core/search.h"
 #include "ta/digital.h"
 
 namespace quanta::cora {
+
+/// Structural predicate over digital states; build with
+/// common::loc_index_pred / pred_and / pred_or / pred_not (or labeled_pred
+/// for closures) so checkpoint fingerprints can tell goals apart.
+using CostPredicate = common::Predicate<ta::DigitalState>;
 
 /// Cost annotations for a ta::System. Indices follow the system's process /
 /// location / edge numbering; missing entries default to 0.
@@ -55,6 +62,8 @@ struct MinCostResult {
   core::SearchStats stats;
   /// Action labels along one cheapest path ("tick" for unit delays).
   std::vector<std::string> trace;
+  /// Checkpoint/resume outcome of this run (MinCostOptions::checkpoint).
+  ckpt::ResumeInfo resume;
 
   bool reachable() const { return verdict == common::Verdict::kHolds; }
   common::StopReason stop() const { return stats.stop; }
@@ -63,12 +72,25 @@ struct MinCostResult {
 struct MinCostOptions {
   core::SearchLimits limits{.max_states = 10'000'000, .budget = {}};
   bool record_trace = false;
+  /// Crash-safe checkpoint/resume policy (src/ckpt), Provider::kPriced. A
+  /// snapshot captures the store, the cost-ordered worklist (restored with
+  /// its heap layout intact, so pop order is bit-identical) and the per-node
+  /// tentative costs / predecessors; deltas (QCKPD1) record only appended
+  /// states plus the nodes whose tentative cost changed since the last save
+  /// — Dijkstra relaxations mutate in place, so changed nodes are tracked in
+  /// a dirty journal rather than assumed append-only. The fingerprint covers
+  /// the system, every price rate and edge cost, record_trace and the goal
+  /// predicate's canonical AST.
+  ckpt::Options checkpoint;
+  /// Instrumentation for the underlying search (also drives the throttling
+  /// observers of tools/ckpt_smoke).
+  core::ExplorationObserver* observer = nullptr;
 };
 
 /// Minimum accumulated cost over all runs reaching `goal`.
-MinCostResult min_cost_reachability(
-    const ta::System& sys, const PriceModel& prices,
-    const std::function<bool(const ta::DigitalState&)>& goal,
-    const MinCostOptions& opts = {});
+MinCostResult min_cost_reachability(const ta::System& sys,
+                                    const PriceModel& prices,
+                                    const CostPredicate& goal,
+                                    const MinCostOptions& opts = {});
 
 }  // namespace quanta::cora

@@ -93,6 +93,7 @@ class StateStore {
                 if (opts_.tombstone_covered) {
                   covered_[toIdx(id)] = 1;
                   ++covered_count_;
+                  covered_journal_.push_back(id);
                 }
                 break;
               case Subsumes::kNone:
@@ -122,6 +123,16 @@ class StateStore {
 
   const S& state(std::int32_t id) const { return states_[toIdx(id)]; }
   bool covered(std::int32_t id) const { return covered_[toIdx(id)] != 0; }
+
+  /// Ids tombstoned so far, in the order their covered bit flipped. States
+  /// are append-only and covered bits only ever flip 0 -> 1, so (appended
+  /// states, journal suffix) is a complete diff between two points in time —
+  /// the basis of incremental delta snapshots (src/ckpt/delta.h). A restored
+  /// store lists its already-covered ids in index order; only the suffix
+  /// beyond a remembered position is ever re-serialized.
+  const std::vector<std::int32_t>& covered_journal() const {
+    return covered_journal_;
+  }
 
   /// Number of interned states (covered tombstones included).
   std::size_t size() const { return states_.size(); }
@@ -155,7 +166,10 @@ class StateStore {
     for (std::size_t i = 0; i < n; ++i) {
       const S& s = store.states_[i];
       store.bytes_ += state_bytes(s);
-      if (store.covered_[i] != 0) ++store.covered_count_;
+      if (store.covered_[i] != 0) {
+        ++store.covered_count_;
+        store.covered_journal_.push_back(static_cast<std::int32_t>(i));
+      }
       const std::size_t h = store.key_hash(s);
       store.hashes_.push_back(h);
       const std::size_t slot = store.probe_slot(h);
@@ -249,6 +263,7 @@ class StateStore {
   std::vector<std::size_t> hashes_;   ///< key hash per state
   std::vector<std::int32_t> next_;    ///< same-hash chain links
   std::vector<std::uint8_t> covered_;
+  std::vector<std::int32_t> covered_journal_;  ///< tombstones in flip order
   std::vector<std::int32_t> slots_;   ///< open-addressed table of chain heads
   std::size_t occupied_ = 0;
   std::size_t covered_count_ = 0;

@@ -42,7 +42,22 @@ std::vector<Worklist::Entry> Worklist::snapshot() const {
 void Worklist::restore(std::vector<Entry> entries) {
   if (order_ == SearchOrder::kPriority) {
     heap_ = std::move(entries);
-    std::make_heap(heap_.begin(), heap_.end(), KeyGreater{});
+    // Heap-order-preserving restore: snapshot() emits the raw heap array, so
+    // adopting it verbatim reproduces the exact internal layout of the
+    // interrupted run — which keeps subsequent snapshots (and the delta
+    // chains diffed against them) byte-stable, not just the pop sequence.
+    // The engine may have appended one extra entry (the popped-but-
+    // unexpanded state of an interrupted search); sift just that one up.
+    // Anything else falls back to a full re-heapify, which still yields the
+    // correct total (key, id) pop order.
+    if (!std::is_heap(heap_.begin(), heap_.end(), KeyGreater{})) {
+      if (heap_.size() > 1 &&
+          std::is_heap(heap_.begin(), heap_.end() - 1, KeyGreater{})) {
+        std::push_heap(heap_.begin(), heap_.end(), KeyGreater{});
+      } else {
+        std::make_heap(heap_.begin(), heap_.end(), KeyGreater{});
+      }
+    }
   } else {
     fifo_.assign(entries.begin(), entries.end());
   }

@@ -43,7 +43,13 @@ class Worklist {
 
   /// Replaces the pending entries wholesale (resume path). The vector may
   /// carry extra entries prepended/appended by the engine (e.g. the popped-
-  /// but-unexpanded state of an interrupted search); kPriority re-heapifies.
+  /// but-unexpanded state of an interrupted search). A kPriority restore is
+  /// heap-order-preserving: a vector that already satisfies the heap
+  /// property (the raw array snapshot() emitted) is adopted verbatim, one
+  /// trailing appended entry is sifted up, and only an arbitrary vector
+  /// falls back to make_heap — pop order is the total (key, id) order in
+  /// every case, but verbatim adoption also keeps the internal layout (and
+  /// with it delta-snapshot diffs) identical to the interrupted run.
   void restore(std::vector<Entry> entries);
 
  private:

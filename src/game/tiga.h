@@ -14,20 +14,27 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/delta.h"
+#include "common/pred.h"
 #include "common/verdict.h"
+#include "core/observer.h"
 #include "core/search.h"
 #include "core/state_store.h"
+#include "core/worklist.h"
 #include "ta/digital.h"
 #include "ta/traits.h"
 
 namespace quanta::game {
 
-using GamePredicate = std::function<bool(const ta::DigitalState&)>;
+/// Structural predicate over digital game states; build with
+/// common::loc_index_pred / pred_and / pred_or / pred_not (or labeled_pred
+/// for closures) so checkpoint fingerprints can tell objectives apart.
+using GamePredicate = common::Predicate<ta::DigitalState>;
 
 enum class ActionKind { kWait, kMove };
 
@@ -55,22 +62,37 @@ class Strategy {
 struct GameResult {
   /// kHolds = the initial state is in the controller's winning region,
   /// kViolated = it provably is not, kUnknown = the game graph was
-  /// truncated (a fixpoint on a partial graph is unsound both ways).
+  /// truncated (a fixpoint on a partial graph is unsound both ways) or the
+  /// budget fired during the fixpoint itself.
   common::Verdict verdict = common::Verdict::kUnknown;
   core::SearchStats stats;  ///< of the game-graph construction
   std::size_t states_explored = 0;
   std::size_t winning_states = 0;
   Strategy strategy;
+  /// Checkpoint/resume outcome of this solve (TimedGame's ckpt::Options).
+  ckpt::ResumeInfo resume;
 
   bool controller_wins() const { return verdict == common::Verdict::kHolds; }
   common::StopReason stop() const { return stats.stop; }
 };
 
+/// With `checkpoint` enabled the whole solve is crash-safe under
+/// Provider::kGame: the game-graph construction checkpoints its store, BFS
+/// worklist and the per-node edge table (incrementally, as QCKPD1 deltas),
+/// and the attractor fixpoint snapshots its winning set after every sweep —
+/// an interrupted solve resumed at any point yields the bit-identical
+/// verdict, winning region and strategy. The fingerprint mixes the system,
+/// the objective kind and the canonical AST of the objective predicate, so
+/// a checkpoint never resumes under a structurally different query.
 class TimedGame {
  public:
   /// `limits` bounds the game-graph construction (states, deadline, memory,
-  /// cancellation); a truncated build yields kUnknown results.
-  explicit TimedGame(const ta::System& sys, core::SearchLimits limits = {});
+  /// cancellation); a truncated build yields kUnknown results. The budget is
+  /// also polled once per fixpoint sweep, so a deadline interrupts the
+  /// solving phase too (stop reason in GameResult::stats).
+  explicit TimedGame(const ta::System& sys, core::SearchLimits limits = {},
+                     ckpt::Options checkpoint = {},
+                     core::ExplorationObserver* observer = nullptr);
 
   /// Controller objective: eventually reach `goal`, whatever the
   /// environment does.
@@ -90,16 +112,53 @@ class TimedGame {
     std::int32_t tick = -1;
   };
 
-  void build_graph();
+  /// Fixpoint progress carried across an interrupt: the winning flags, the
+  /// reach-attractor's witness actions and the number of completed sweeps.
+  struct FixpointState {
+    bool restored = false;
+    std::uint64_t sweeps = 0;
+    std::vector<char> win;
+    std::vector<StrategyAction> act;
+  };
+
+  std::uint64_t solve_fingerprint(std::uint32_t objective,
+                                  const GamePredicate& pred) const;
+  bool restore_from(const ckpt::Chain& chain, std::uint32_t objective,
+                    FixpointState* fix);
+  bool save_snapshot(std::uint64_t explored, std::uint64_t transitions,
+                     const core::Worklist::Entry* pending,
+                     std::uint32_t objective, const FixpointState* fix);
+  void build_graph(bool resumed, std::uint32_t objective,
+                   ckpt::ResumeInfo* resume);
+  /// Chain setup + optional resume + (checkpointed) graph build. Returns
+  /// false when the build truncated — the result then already carries the
+  /// kUnknown verdict and stop reason.
+  bool prepare(std::uint32_t objective, const GamePredicate& pred,
+               GameResult* result, FixpointState* fix);
   GameResult solve_reachability_impl(const GamePredicate& goal);
   GameResult solve_safety_impl(const GamePredicate& safe);
 
   ta::DigitalSemantics sem_;
   core::SearchLimits limits_;
+  ckpt::Options checkpoint_;
+  core::ExplorationObserver* observer_ = nullptr;
   core::SearchStats build_stats_;
   core::StateStore<ta::DigitalState> store_;
+  core::Worklist work_{core::SearchOrder::kBfs};
   std::vector<Node> nodes_;
+  /// Nodes [0, expanded_) have their edge table assigned — BFS pops in id
+  /// order, so the expanded prefix is contiguous and a checkpoint delta is
+  /// just the new suffix.
+  std::size_t expanded_ = 0;
   bool built_ = false;
+  // Counters carried over from the interrupted run when resuming.
+  std::uint64_t baseline_explored_ = 0;
+  std::uint64_t baseline_transitions_ = 0;
+  // Delta-snapshot bookkeeping (per solve; reset in prepare()).
+  std::optional<ckpt::ChainWriter> chain_;
+  std::size_t saved_states_ = 0;
+  std::size_t saved_expanded_ = 0;
+  std::vector<core::Worklist::Entry> prev_entries_;
 };
 
 /// Exhaustively verifies a reachability strategy in closed loop: from the

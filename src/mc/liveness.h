@@ -21,11 +21,21 @@ struct LeadsToResult {
   common::Verdict verdict = common::Verdict::kUnknown;
   SearchStats stats;
   std::string reason;  ///< human-readable explanation when not kHolds
+  /// Checkpoint/resume outcome of this run (ReachOptions::checkpoint).
+  ckpt::ResumeInfo resume;
 
   bool holds() const { return verdict == common::Verdict::kHolds; }
   common::StopReason stop() const { return stats.stop; }
 };
 
+/// With ReachOptions::checkpoint enabled, the zone-graph construction is
+/// checkpointed under Provider::kLiveness (store + DFS worklist + the
+/// successor lists of expanded nodes, incrementally as QCKPD1 deltas); a
+/// resumed build is bit-identical to an uninterrupted one. Once the graph
+/// completes it is snapshotted whole (empty worklist), so an interrupt
+/// during the violation search resumes without rebuilding — the search
+/// itself is a deterministic function of the complete graph. The
+/// fingerprint mixes the canonical ASTs of phi and psi.
 LeadsToResult check_leads_to(const ta::System& sys, const StatePredicate& phi,
                              const StatePredicate& psi,
                              const ReachOptions& opts = {});
@@ -41,6 +51,8 @@ LeadsToResult check_eventually(const ta::System& sys,
 struct PossiblyAlwaysResult {
   common::Verdict verdict = common::Verdict::kUnknown;
   SearchStats stats;
+  /// Checkpoint/resume outcome of this run (ReachOptions::checkpoint).
+  ckpt::ResumeInfo resume;
 
   bool holds() const { return verdict == common::Verdict::kHolds; }
   common::StopReason stop() const { return stats.stop; }

@@ -4,11 +4,12 @@
 // Answers E<> goal and (by negation) A[] safe queries.
 #pragma once
 
-#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ckpt/checkpoint.h"
+#include "common/pred.h"
 #include "common/verdict.h"
 #include "core/observer.h"
 #include "core/search.h"
@@ -16,18 +17,29 @@
 
 namespace quanta::mc {
 
-/// Predicate over symbolic states. For clock-constrained goals, check
-/// non-emptiness of the intersection with the state's zone inside the
-/// predicate (helpers below).
-using StatePredicate = std::function<bool(const ta::SymState&)>;
+/// Predicate over symbolic states, carrying the canonical form of its AST
+/// (fingerprinted by the checkpoint subsystem). Plain lambdas still convert
+/// implicitly but canonicalize as "opaque" — prefer the builders below, or
+/// common::labeled_pred for closures that must stay distinguishable. For
+/// clock-constrained goals, check non-emptiness of the intersection with the
+/// state's zone inside the predicate.
+using StatePredicate = common::Predicate<ta::SymState>;
 
-/// Predicate "process is in location" (by name).
+/// Predicate "process is in location" (by name); canonicalizes to the
+/// resolved indices, "loc(p,l)".
 StatePredicate loc_pred(const ta::System& sys, const std::string& process,
                         const std::string& location);
-/// Conjunction / disjunction / negation of predicates.
-StatePredicate pred_and(StatePredicate a, StatePredicate b);
-StatePredicate pred_or(StatePredicate a, StatePredicate b);
-StatePredicate pred_not(StatePredicate a);
+/// Conjunction / disjunction / negation of predicates (canonical forms
+/// compose structurally).
+inline StatePredicate pred_and(StatePredicate a, StatePredicate b) {
+  return common::pred_and(std::move(a), std::move(b));
+}
+inline StatePredicate pred_or(StatePredicate a, StatePredicate b) {
+  return common::pred_or(std::move(a), std::move(b));
+}
+inline StatePredicate pred_not(StatePredicate a) {
+  return common::pred_not(std::move(a));
+}
 
 /// All mc engines report the core's uniform counters.
 using SearchStats = core::SearchStats;
@@ -45,13 +57,14 @@ struct ReachOptions {
   /// Optional instrumentation hook (not owned; may be nullptr).
   core::ExplorationObserver* observer = nullptr;
   /// Crash-safe checkpoint/resume policy (src/ckpt): with a path set, the
-  /// search resumes from a validated snapshot at that path, snapshots when a
-  /// resource bound stops it (and every `interval` explored states), and the
-  /// kUnknown verdict then carries the resume handle in ReachResult::resume.
-  /// Interrupt-at-any-point + resume is bit-identical to an uninterrupted
-  /// run. The checkpoint fingerprint covers the model and these options but
-  /// NOT the goal predicate (an opaque callable) — reuse one path per
-  /// (model, property) pair or set checkpoint.property_tag.
+  /// search resumes from a validated snapshot chain at that path, snapshots
+  /// when a resource bound stops it (and every `interval` explored states,
+  /// writing incremental QCKPD1 deltas), and the kUnknown verdict then
+  /// carries the resume handle in ReachResult::resume. Interrupt-at-any-
+  /// point + resume is bit-identical to an uninterrupted run. The checkpoint
+  /// fingerprint covers the model, these options and the goal predicate's
+  /// canonical AST — structurally different queries refuse each other's
+  /// checkpoints.
   ckpt::Options checkpoint;
 };
 

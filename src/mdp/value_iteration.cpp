@@ -34,10 +34,11 @@ std::uint64_t vi_fingerprint(const Mdp& m, const StateSet& goal, Objective obj,
     }
   }
   if (bits > 0) fp.mix(word);
+  // The goal StateSet is mixed bit-for-bit above — unlike an opaque
+  // predicate it pins the query down completely, so no extra tag is needed.
   fp.mix(static_cast<std::uint64_t>(obj))
       .mix_f64(opts.epsilon)
-      .mix(opts.use_precomputation ? 1u : 0u)
-      .mix_str(opts.checkpoint.property_tag);
+      .mix(opts.use_precomputation ? 1u : 0u);
   return fp.digest();
 }
 

@@ -26,8 +26,7 @@ constexpr std::size_t kCkptBatch = 1024;
 std::uint64_t estimate_fingerprint(const ta::System& sys,
                                    const TimeBoundedReach& prop,
                                    std::size_t runs, double alpha,
-                                   std::uint64_t seed,
-                                   const ckpt::Options& checkpoint) {
+                                   std::uint64_t seed) {
   ckpt::Fingerprint fp;
   fp.mix(0x534D4300u)
       .mix(ckpt::fingerprint(sys))
@@ -35,8 +34,7 @@ std::uint64_t estimate_fingerprint(const ta::System& sys,
       .mix(runs)
       .mix_f64(alpha)
       .mix(seed)
-      .mix(prop.goal ? 1u : 0u)
-      .mix_str(checkpoint.property_tag);
+      .mix_str(prop.goal.canonical());
   return fp.digest();
 }
 
@@ -72,8 +70,7 @@ Estimate estimate_batched(const ta::System& sys, const TimeBoundedReach& prop,
   Estimate est;
   est.runs = runs;
   est.resume.path = checkpoint.path;
-  const std::uint64_t fp =
-      estimate_fingerprint(sys, prop, runs, alpha, seed, checkpoint);
+  const std::uint64_t fp = estimate_fingerprint(sys, prop, runs, alpha, seed);
 
   std::uint64_t done = 0;
   std::uint64_t hits = 0;
@@ -117,6 +114,7 @@ Estimate estimate_batched(const ta::System& sys, const TimeBoundedReach& prop,
     std::uint64_t hits = 0;
     std::uint64_t completed = 0;
   };
+  const std::uint64_t interval = checkpoint.effective_interval();
   std::uint64_t runs_since_save = 0;
   while (done < runs) {
     common::FaultInjector::site("smc.estimate.batch");
@@ -151,9 +149,9 @@ Estimate estimate_batched(const ta::System& sys, const TimeBoundedReach& prop,
     }
     done += batch;
     hits += t.hits;
-    if (checkpoint.interval > 0) {
+    if (interval > 0) {
       runs_since_save += batch;
-      if (runs_since_save >= checkpoint.interval) {
+      if (runs_since_save >= interval) {
         runs_since_save = 0;
         save_ckpt();
       }

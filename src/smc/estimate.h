@@ -50,8 +50,9 @@ struct Estimate {
 /// bit-identical to an uninterrupted one. A batch that was cut short mid-air
 /// by the watchdog is discarded (those runs are re-simulated on resume), so
 /// checkpoints only ever describe run prefixes. The checkpoint fingerprint
-/// covers the system, the time bound, runs, alpha and seed — the goal
-/// predicate is opaque, so distinguish goals via Options::property_tag.
+/// covers the system, the time bound, runs, alpha, seed and the canonical
+/// AST of the goal predicate (common::Predicate) — goals built from plain
+/// closures canonicalize alike, so wrap those in common::labeled_pred.
 Estimate estimate_probability_runs(const ta::System& sys,
                                    const TimeBoundedReach& prop,
                                    std::size_t runs, double alpha,

@@ -9,15 +9,21 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/pred.h"
 #include "common/rng.h"
 #include "ta/concrete.h"
 
 namespace quanta::smc {
 
-/// Time-bounded reachability property  Pr[<= bound](<> goal).
+/// Time-bounded reachability property  Pr[<= bound](<> goal). The goal
+/// carries its canonical AST (common::Predicate) — the statistical engines'
+/// checkpoint fingerprints mix it, so structurally different properties
+/// refuse each other's checkpoints. Plain lambdas still convert implicitly
+/// (canonicalizing as "opaque"); use common::labeled_pred to keep several
+/// such closures distinguishable.
 struct TimeBoundedReach {
   double time_bound = 0.0;
-  std::function<bool(const ta::ConcreteState&)> goal;
+  common::Predicate<ta::ConcreteState> goal;
 };
 
 struct RunResult {

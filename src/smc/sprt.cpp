@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "ckpt/io.h"
+#include "ckpt/snapshot_ta.h"
+#include "common/fault.h"
 #include "exec/watchdog.h"
 #include "smc/validate.h"
 #include "smc/worker_sim.h"
@@ -27,6 +30,31 @@ void SprtOptions::validate(double theta) const {
 }
 
 namespace {
+
+/// Section of a Provider::kSprt checkpoint: the exact position of the
+/// in-order LLR walk — (max_runs, runs consumed, hits, LLR bit pattern).
+/// Persisting the LLR as its IEEE-754 bits (not re-accumulating it from the
+/// tally) keeps the resumed walk's floating-point trajectory identical to
+/// the uninterrupted one.
+constexpr std::uint32_t kSecSprtWalk = 1;
+
+std::uint64_t sprt_fingerprint(const ta::System& sys,
+                               const TimeBoundedReach& prop, double theta,
+                               const SprtOptions& opts, std::uint64_t seed) {
+  ckpt::Fingerprint fp;
+  fp.mix(0x53505254u)  // "SPRT"
+      .mix(ckpt::fingerprint(sys))
+      .mix_f64(prop.time_bound)
+      .mix_f64(theta)
+      .mix_f64(opts.alpha)
+      .mix_f64(opts.beta)
+      .mix_f64(opts.indifference)
+      .mix(opts.max_runs)
+      .mix(opts.batch_size)
+      .mix(seed)
+      .mix_str(prop.goal.canonical());
+  return fp.digest();
+}
 
 SprtResult sprt_test_impl(const ta::System& sys, const TimeBoundedReach& prop,
                           double theta, const SprtOptions& opts,
@@ -54,9 +82,65 @@ SprtResult sprt_test_impl(const ta::System& sys, const TimeBoundedReach& prop,
   constexpr std::uint8_t kNotRun = 2;
 
   SprtResult result;
+  result.resume.path = opts.checkpoint.path;
   double llr = 0.0;
+  const std::uint64_t fp =
+      opts.checkpoint.enabled()
+          ? sprt_fingerprint(sys, prop, theta, opts, seed)
+          : 0;
+  // Resume restarts the batch grid at the saved walk position. Run i is a
+  // pure function of (seed, i) and the LLR walk consumes runs strictly in
+  // order, so the position alone — regardless of where inside a batch the
+  // interrupted test stopped — reproduces the uninterrupted trajectory.
+  if (opts.checkpoint.enabled() && opts.checkpoint.resume) {
+    ckpt::Snapshot snap;
+    result.resume.load = ckpt::load(opts.checkpoint.path, fp,
+                                    ckpt::Provider::kSprt, &snap);
+    if (result.resume.load == ckpt::LoadStatus::kOk) {
+      bool ok = false;
+      if (const ckpt::Section* sec = snap.find(kSecSprtWalk)) {
+        ckpt::io::Reader r(sec->payload);
+        const std::uint64_t saved_cap = r.u64();
+        const std::uint64_t saved_runs = r.u64();
+        const std::uint64_t saved_hits = r.u64();
+        const double saved_llr = r.f64();
+        if (r.ok() && saved_cap == opts.max_runs &&
+            saved_runs <= opts.max_runs && saved_hits <= saved_runs) {
+          result.runs = static_cast<std::size_t>(saved_runs);
+          result.hits = static_cast<std::size_t>(saved_hits);
+          llr = saved_llr;
+          result.resume.resumed = true;
+          ok = true;
+        }
+      }
+      if (!ok) result.resume.load = ckpt::LoadStatus::kCorrupt;
+    }
+  }
+
+  auto save_walk = [&]() {
+    ckpt::Snapshot snap;
+    snap.provider = ckpt::Provider::kSprt;
+    snap.fingerprint = fp;
+    ckpt::io::Writer w;
+    w.u64(opts.max_runs);
+    w.u64(result.runs);
+    w.u64(result.hits);
+    w.f64(llr);
+    snap.add_section(kSecSprtWalk, std::move(w));
+    if (ckpt::save(opts.checkpoint.path, snap)) result.resume.saved = true;
+  };
+  const bool save_on_stop =
+      opts.checkpoint.enabled() && opts.checkpoint.save_on_stop;
+  const std::uint64_t interval =
+      opts.checkpoint.enabled() ? opts.checkpoint.effective_interval() : 0;
+  std::uint64_t since_save = 0;
+
   std::vector<std::uint8_t> outcome;
-  for (std::uint64_t base = 0; base < opts.max_runs; base += batch) {
+  for (std::uint64_t base = result.runs; base < opts.max_runs;
+       base += outcome.size()) {
+    // Fault-injection site: a kDeadline fault here forces the watchdog's
+    // next budget poll to fire, interrupting the test at a batch boundary.
+    common::FaultInjector::site("smc.sprt.batch");
     const std::uint64_t n =
         std::min<std::uint64_t>(batch, opts.max_runs - base);
     outcome.assign(static_cast<std::size_t>(n), kNotRun);
@@ -78,6 +162,7 @@ SprtResult sprt_test_impl(const ta::System& sys, const TimeBoundedReach& prop,
       if (outcome[static_cast<std::size_t>(k)] == kNotRun) {
         // The budget fired mid-batch; everything from here on was skipped.
         result.stop = watchdog.fired_reason();
+        if (save_on_stop) save_walk();
         return result;
       }
       ++result.runs;
@@ -97,15 +182,21 @@ SprtResult sprt_test_impl(const ta::System& sys, const TimeBoundedReach& prop,
         cancel.cancel();
         return result;
       }
+      if (interval != 0 && ++since_save >= interval) {
+        since_save = 0;
+        save_walk();
+      }
     }
     if (cancel.cancelled()) {
       // The whole batch completed but the watchdog fired during or after it;
       // stop before paying for another batch.
       result.stop = watchdog.fired_reason();
+      if (save_on_stop) save_walk();
       return result;
     }
   }
-  result.stop = common::StopReason::kStateLimit;  // max_runs exhausted
+  // max_runs exhausted: the test is over (inconclusive), nothing to resume.
+  result.stop = common::StopReason::kStateLimit;
   return result;
 }
 
@@ -121,9 +212,10 @@ SprtResult sprt_test(const ta::System& sys, const TimeBoundedReach& prop,
         return sprt_test_impl(sys, prop, theta, opts, seed, ex, telemetry,
                               budget);
       },
-      [](common::StopReason r) {
+      [&opts](common::StopReason r) {
         SprtResult result;
         result.stop = r;
+        result.resume.path = opts.checkpoint.path;
         return result;
       });
 }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "ckpt/checkpoint.h"
 #include "common/budget.h"
 #include "common/verdict.h"
 #include "exec/executor.h"
@@ -34,6 +35,8 @@ struct SprtResult {
   /// kTimeLimit/kCancelled/kFault = the budget cut the test short.
   /// kCompleted whenever a boundary was crossed (verdict != inconclusive).
   common::StopReason stop = common::StopReason::kCompleted;
+  /// Checkpoint/resume outcome of this run (SprtOptions::checkpoint).
+  ckpt::ResumeInfo resume;
 
   /// The test outcome as the toolkit-wide three-valued verdict on
   /// "Pr[<=T](<> goal) >= theta": accepted H0 = kHolds, accepted H1 =
@@ -57,6 +60,15 @@ struct SprtOptions {
   /// re-checked. Must not depend on the worker count (it is part of the
   /// deterministic schedule); 0 means the default of 128.
   std::size_t batch_size = 0;
+  /// Crash-safe checkpoint/resume policy (src/ckpt). A snapshot records the
+  /// exact position of the in-order LLR walk (runs consumed, hits, the LLR
+  /// as its IEEE-754 bit pattern); because run i is a pure function of
+  /// (seed, i) via common::RngStream, a test resumed from ANY walk position
+  /// consumes the same runs and reaches the same verdict bit-identically —
+  /// batch boundaries only schedule work, they never affect outcomes. The
+  /// interval counts completed runs; the fingerprint covers the system, all
+  /// test parameters, the seed and the goal predicate's canonical AST.
+  ckpt::Options checkpoint;
 
   /// Rejects error probabilities / indifference outside (0, 1) and a zero
   /// run cap, naming the offending parameter.

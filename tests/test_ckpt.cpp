@@ -1,27 +1,36 @@
 // Crash-safe checkpoint/resume (src/ckpt): format-layer validation, the
-// torn-write / corruption suite, and the headline end-to-end invariant —
-// interrupt-at-any-point + resume produces bit-identical verdicts and
-// statistics versus an uninterrupted run, for all three snapshot providers
-// (symbolic reachability, value iteration, statistical estimation).
+// torn-write / corruption suite (base snapshots AND QCKPD1 delta chains),
+// and the headline end-to-end invariant — interrupt-at-any-point + resume
+// produces bit-identical verdicts and statistics versus an uninterrupted
+// run, for every snapshot provider: symbolic reachability, value iteration,
+// statistical estimation, leads-to liveness, SPRT hypothesis testing,
+// timed-game solving and priced (min-cost) search.
 #include "ckpt/checkpoint.h"
 
 #include <gtest/gtest.h>
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "ckpt/crc32.h"
+#include "ckpt/delta.h"
 #include "common/budget.h"
 #include "common/fault.h"
+#include "cora/priced.h"
 #include "exec/executor.h"
+#include "game/tiga.h"
+#include "mc/liveness.h"
 #include "mc/reachability.h"
 #include "mdp/value_iteration.h"
+#include "models/train_game.h"
 #include "models/train_gate.h"
 #include "smc/estimate.h"
+#include "smc/sprt.h"
 
 namespace {
 
@@ -30,11 +39,27 @@ namespace fs = std::filesystem;
 
 // ---- plumbing -------------------------------------------------------------
 
-/// Fresh checkpoint path per test; removes leftovers from earlier runs.
+/// The CI fault matrix sets QUANTA_FAULT for the whole test process, which
+/// arms the injector at startup. Disarm before any test runs: this suite's
+/// bit-identity and corruption tests arm their own deterministic faults via
+/// ScopedFault, and FaultInjection.EnvSpecDegradesGracefully (test_robustness)
+/// replays the env spec against a checkpointed round-trip.
+[[maybe_unused]] const bool kEnvFaultDisarmed = [] {
+  common::FaultInjector::instance().disarm();
+  return true;
+}();
+
+/// Fresh checkpoint path per test; removes leftovers from earlier runs,
+/// including any QCKPD1 delta files of a previous chain.
 std::string ckpt_path(const std::string& name) {
   std::string p = ::testing::TempDir() + "quanta_ckpt_" + name + ".qckpt";
   fs::remove(p);
   fs::remove(p + ".tmp");
+  for (std::uint32_t seq = 1; seq <= 256; ++seq) {
+    const std::string d = ckpt::delta_path(p, seq);
+    fs::remove(d);
+    fs::remove(d + ".tmp");
+  }
   return p;
 }
 
@@ -205,16 +230,19 @@ mc::StatePredicate mutual_exclusion(const models::TrainGate& tg) {
             .location_index("Cross"));
   }
   auto trains = tg.trains;
-  return [trains, cross_loc](const ta::SymState& s) {
-    int crossing = 0;
-    for (std::size_t i = 0; i < trains.size(); ++i) {
-      if (s.locs[static_cast<std::size_t>(trains[i])] ==
-          static_cast<int>(cross_loc[i])) {
-        ++crossing;
-      }
-    }
-    return crossing <= 1;
-  };
+  // labeled_pred: the closure stays fingerprint-distinguishable from other
+  // opaque queries sharing a checkpoint path (canonical "opaque[...]").
+  return common::labeled_pred<ta::SymState>(
+      "train-gate-mutex", [trains, cross_loc](const ta::SymState& s) {
+        int crossing = 0;
+        for (std::size_t i = 0; i < trains.size(); ++i) {
+          if (s.locs[static_cast<std::size_t>(trains[i])] ==
+              static_cast<int>(cross_loc[i])) {
+            ++crossing;
+          }
+        }
+        return crossing <= 1;
+      });
 }
 
 void expect_same_stats(const mc::SearchStats& got, const mc::SearchStats& want,
@@ -386,27 +414,51 @@ TEST(CkptReachability, CorruptCheckpointDegradesToFreshStart) {
   }
 }
 
-TEST(CkptReachability, PropertyTagSeparatesQueriesSharingAPath) {
-  auto tg = models::make_train_gate(3);
-  const auto safe = mutual_exclusion(tg);
-  const auto reference = mc::check_invariant(tg.system, safe);
+TEST(CkptReachability, StructuralFingerprintSeparatesQueriesSharingAPath) {
+  // The retired property_tag knob is replaced by the canonical AST of the
+  // query predicate itself: queries that differ structurally refuse each
+  // other's snapshots with no caller-side tagging.
+  auto tg = models::make_train_gate(2);
+  const auto goal0 = mc::loc_pred(tg.system, "Train(0)", "Stop");
+  const auto goal1 = mc::loc_pred(tg.system, "Train(1)", "Stop");
+  ASSERT_NE(goal0.canonical(), goal1.canonical());
+  ASSERT_TRUE(goal0.structural());
 
-  const std::string path = ckpt_path("mc_tag");
+  const std::string path = ckpt_path("mc_ast");
+  const auto reference = mc::reachable(tg.system, goal0);
   mc::ReachOptions opts;
   opts.checkpoint.path = path;
-  opts.checkpoint.property_tag = "mutex";
   opts.limits.max_states = reference.stats.states_stored / 2;
-  ASSERT_TRUE(mc::check_invariant(tg.system, safe, opts).resume.saved);
+  ASSERT_TRUE(mc::reachable(tg.system, goal0, opts).resume.saved);
 
-  // A different property tag must refuse the snapshot (fingerprint) and
-  // fall back to a fresh, still-correct run.
-  mc::ReachOptions other;
-  other.checkpoint.path = path;
-  other.checkpoint.property_tag = "different-query";
-  const auto r = mc::check_invariant(tg.system, safe, other);
-  EXPECT_EQ(r.resume.load, ckpt::LoadStatus::kBadFingerprint);
-  EXPECT_FALSE(r.resume.resumed);
-  EXPECT_TRUE(r.holds());
+  // Same path, structurally different goal: refused, fresh run correct.
+  mc::ReachOptions full;
+  full.checkpoint.path = path;
+  const auto other = mc::reachable(tg.system, goal1, full);
+  EXPECT_EQ(other.resume.load, ckpt::LoadStatus::kBadFingerprint);
+  EXPECT_FALSE(other.resume.resumed);
+
+  // A composed AST ("not(loc(...))") is also distinct from its leaf.
+  const auto composed = mc::check_invariant(tg.system, mc::pred_not(goal0), full);
+  EXPECT_EQ(composed.resume.load, ckpt::LoadStatus::kBadFingerprint);
+
+  // And two labeled closures are told apart by their labels alone — the
+  // drop-in migration for callers that used property_tag.
+  const auto fn = [](const ta::SymState&) { return true; };
+  mc::ReachOptions tagged;
+  tagged.checkpoint.path = ckpt_path("mc_ast_label");
+  tagged.limits.max_states = 10;
+  ASSERT_TRUE(mc::check_invariant(
+                  tg.system,
+                  common::labeled_pred<ta::SymState>("query-a", fn), tagged)
+                  .resume.saved);
+  mc::ReachOptions tagged_full;
+  tagged_full.checkpoint.path = tagged.checkpoint.path;
+  const auto relabeled = mc::check_invariant(
+      tg.system, common::labeled_pred<ta::SymState>("query-b", fn),
+      tagged_full);
+  EXPECT_EQ(relabeled.resume.load, ckpt::LoadStatus::kBadFingerprint);
+  EXPECT_TRUE(relabeled.holds());
 }
 
 TEST(CkptReachability, DifferentModelRefusesTheSnapshot) {
@@ -711,6 +763,781 @@ TEST(CkptStatistical, MidBatchCancellationDiscardsThePartialBatch) {
   EXPECT_EQ(resumed.verdict, common::Verdict::kHolds);
   EXPECT_EQ(resumed.hits, reference.hits);
   EXPECT_EQ(resumed.p_hat, reference.p_hat);
+}
+
+// ---- QCKPD1 delta chains ---------------------------------------------------
+
+// QCKPD1 header layout (ckpt/delta.h): magic 8B, version u32 @8, provider
+// u32 @12, fingerprint u64 @16, parent chain id u64 @24, seq u32 @32,
+// section count u32 @36, header crc32 u32 @40 (over the first 40 bytes).
+constexpr std::size_t kDeltaParentOffset = 24;
+constexpr std::size_t kDeltaCrcOffset = 40;
+
+/// Re-seals a delta header CRC after a deliberate semantic patch, so only
+/// the patched field — not the CRC — can cause the refusal under test.
+void reseal_delta_header(std::vector<std::uint8_t>* bytes) {
+  const std::uint32_t crc = ckpt::crc32(bytes->data(), kDeltaCrcOffset);
+  for (int i = 0; i < 4; ++i) {
+    (*bytes)[kDeltaCrcOffset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+}
+
+/// A truncated train-gate run whose periodic snapshots build a base + delta
+/// chain at `path`. Returns the uninterrupted reference for comparison.
+mc::InvariantResult build_delta_chain(const models::TrainGate& tg,
+                                      const mc::StatePredicate& safe,
+                                      const std::string& path) {
+  const auto reference = mc::check_invariant(tg.system, safe);
+  mc::ReachOptions opts;
+  opts.checkpoint.path = path;
+  opts.checkpoint.interval = 20;
+  opts.limits.max_states = reference.stats.states_stored / 2;
+  const auto truncated = mc::check_invariant(tg.system, safe, opts);
+  EXPECT_EQ(truncated.verdict, common::Verdict::kUnknown);
+  EXPECT_TRUE(truncated.resume.saved);
+  EXPECT_TRUE(fs::exists(path)) << "base snapshot missing";
+  EXPECT_TRUE(fs::exists(ckpt::delta_path(path, 1)))
+      << "interval 20 over " << opts.limits.max_states
+      << " states wrote no delta";
+  return reference;
+}
+
+TEST(CkptDeltaChain, PeriodicDeltasResumeBitIdentically) {
+  auto tg = models::make_train_gate(3);
+  const auto safe = mutual_exclusion(tg);
+  const std::string path = ckpt_path("chain_resume");
+  const auto reference = build_delta_chain(tg, safe, path);
+
+  mc::ReachOptions full;
+  full.checkpoint.path = path;
+  const auto resumed = mc::check_invariant(tg.system, safe, full);
+  EXPECT_EQ(resumed.resume.load, ckpt::LoadStatus::kOk);
+  EXPECT_TRUE(resumed.resume.resumed);
+  EXPECT_TRUE(resumed.holds());
+  expect_same_stats(resumed.stats, reference.stats, "delta-chain resume");
+}
+
+TEST(CkptDeltaChain, FullSnapshotModeWritesNoDeltas) {
+  // max_deltas = 0: every periodic snapshot rewrites the base, the legacy
+  // (pre-delta) behaviour.
+  auto tg = models::make_train_gate(3);
+  const auto safe = mutual_exclusion(tg);
+  const auto reference = mc::check_invariant(tg.system, safe);
+
+  const std::string path = ckpt_path("chain_fullmode");
+  mc::ReachOptions opts;
+  opts.checkpoint.path = path;
+  opts.checkpoint.interval = 20;
+  opts.checkpoint.max_deltas = 0;
+  opts.limits.max_states = reference.stats.states_stored / 2;
+  ASSERT_TRUE(mc::check_invariant(tg.system, safe, opts).resume.saved);
+  EXPECT_FALSE(fs::exists(ckpt::delta_path(path, 1)));
+
+  mc::ReachOptions full;
+  full.checkpoint.path = path;
+  const auto resumed = mc::check_invariant(tg.system, safe, full);
+  EXPECT_TRUE(resumed.resume.resumed);
+  expect_same_stats(resumed.stats, reference.stats, "full-snapshot resume");
+}
+
+TEST(CkptDeltaChain, MissingBaseFileStartsFresh) {
+  auto tg = models::make_train_gate(3);
+  const auto safe = mutual_exclusion(tg);
+  const std::string path = ckpt_path("chain_nobase");
+  const auto reference = build_delta_chain(tg, safe, path);
+
+  // Deltas without their base are worthless: fresh start, still correct.
+  fs::remove(path);
+  mc::ReachOptions full;
+  full.checkpoint.path = path;
+  const auto r = mc::check_invariant(tg.system, safe, full);
+  EXPECT_EQ(r.resume.load, ckpt::LoadStatus::kNoFile);
+  EXPECT_FALSE(r.resume.resumed);
+  EXPECT_TRUE(r.holds());
+  expect_same_stats(r.stats, reference.stats, "fresh after missing base");
+}
+
+TEST(CkptDeltaChain, DeltaAgainstMismatchedBaseStartsFresh) {
+  auto tg = models::make_train_gate(3);
+  const auto safe = mutual_exclusion(tg);
+  const std::string path = ckpt_path("chain_badparent");
+  const auto reference = build_delta_chain(tg, safe, path);
+
+  // Patch the delta's parent chain id and re-seal the header CRC: the delta
+  // now claims descent from a different base. The link check must refuse it
+  // and poison the whole chain.
+  const std::string d1 = ckpt::delta_path(path, 1);
+  auto bytes = read_file(d1);
+  bytes[kDeltaParentOffset] ^= 0xFF;
+  reseal_delta_header(&bytes);
+  write_file(d1, bytes);
+
+  mc::ReachOptions full;
+  full.checkpoint.path = path;
+  const auto r = mc::check_invariant(tg.system, safe, full);
+  EXPECT_EQ(r.resume.load, ckpt::LoadStatus::kCorrupt);
+  EXPECT_FALSE(r.resume.resumed);
+  EXPECT_TRUE(r.holds());
+  expect_same_stats(r.stats, reference.stats, "fresh after parent mismatch");
+}
+
+TEST(CkptDeltaChain, BitFlipInsideADeltaStartsFresh) {
+  auto tg = models::make_train_gate(3);
+  const auto safe = mutual_exclusion(tg);
+  const std::string path = ckpt_path("chain_bitflip");
+  const auto reference = build_delta_chain(tg, safe, path);
+
+  const std::string d1 = ckpt::delta_path(path, 1);
+  const auto pristine = read_file(d1);
+  ASSERT_GT(pristine.size(), std::size_t{48});
+
+  // A flip in the header CRC region and one deep in a section payload both
+  // poison the chain; a truncated tail (a torn non-atomic write, the
+  // on-disk shape of a SIGKILL mid-delta on filesystems without atomic
+  // rename) is refused the same way.
+  struct Case {
+    const char* name;
+    std::vector<std::uint8_t> bytes;
+  };
+  auto header_flip = pristine;
+  header_flip[kDeltaCrcOffset] ^= 0x01;
+  auto payload_flip = pristine;
+  payload_flip[pristine.size() - 3] ^= 0x10;
+  auto torn = pristine;
+  torn.resize(pristine.size() - 5);
+  const std::vector<Case> cases = {{"header CRC flip", header_flip},
+                                   {"payload bit flip", payload_flip},
+                                   {"torn tail", torn}};
+  for (const Case& c : cases) {
+    write_file(d1, c.bytes);
+    mc::ReachOptions full;
+    full.checkpoint.path = path;
+    const auto r = mc::check_invariant(tg.system, safe, full);
+    EXPECT_EQ(r.resume.load, ckpt::LoadStatus::kCorrupt) << c.name;
+    EXPECT_FALSE(r.resume.resumed) << c.name;
+    EXPECT_TRUE(r.holds()) << c.name;
+    expect_same_stats(r.stats, reference.stats, c.name);
+  }
+}
+
+TEST(CkptDeltaChain, KilledDeltaWriteEndsTheChainAtThePreviousLink) {
+  // save_delta writes <path>.dN.tmp and renames: a kill mid-write leaves at
+  // most a stray temp, never a torn delta, so the chain simply ends at the
+  // previous validated link and the resume replays that prefix.
+  auto tg = models::make_train_gate(3);
+  const auto safe = mutual_exclusion(tg);
+  const auto reference = mc::check_invariant(tg.system, safe);
+
+  const std::string path = ckpt_path("chain_torn_write");
+  mc::ReachOptions opts;
+  opts.checkpoint.path = path;
+  opts.checkpoint.interval = 20;
+  opts.limits.max_states = reference.stats.states_stored / 2;
+  {
+    ScopedFault fault("ckpt.delta.write", common::FaultKind::kException, 2);
+    ASSERT_TRUE(mc::check_invariant(tg.system, safe, opts).resume.saved);
+  }
+  EXPECT_FALSE(fs::exists(ckpt::delta_path(path, 1) + ".tmp"));
+  EXPECT_FALSE(fs::exists(ckpt::delta_path(path, 2) + ".tmp"));
+
+  mc::ReachOptions full;
+  full.checkpoint.path = path;
+  const auto resumed = mc::check_invariant(tg.system, safe, full);
+  EXPECT_TRUE(resumed.resume.resumed);
+  EXPECT_TRUE(resumed.holds());
+  expect_same_stats(resumed.stats, reference.stats, "resume past torn write");
+}
+
+TEST(CkptDeltaChain, FaultDuringDeltaApplyStartsFresh) {
+  auto tg = models::make_train_gate(3);
+  const auto safe = mutual_exclusion(tg);
+  const std::string path = ckpt_path("chain_apply_fault");
+  const auto reference = build_delta_chain(tg, safe, path);
+
+  // An I/O failure while reading a delta (injected at ckpt.delta.apply)
+  // poisons the chain exactly like corruption: fresh start, correct result.
+  mc::ReachOptions full;
+  full.checkpoint.path = path;
+  mc::InvariantResult r;
+  {
+    ScopedFault fault("ckpt.delta.apply", common::FaultKind::kException, 1);
+    r = mc::check_invariant(tg.system, safe, full);
+  }
+  EXPECT_EQ(r.resume.load, ckpt::LoadStatus::kIoError);
+  EXPECT_FALSE(r.resume.resumed);
+  EXPECT_TRUE(r.holds());
+  expect_same_stats(r.stats, reference.stats, "fresh after apply fault");
+}
+
+// ---- QUANTA_CKPT_INTERVAL --------------------------------------------------
+
+/// Scoped environment override; restores the previous value on destruction.
+struct ScopedEnv {
+  ScopedEnv(const char* key, const char* value) : key_(key) {
+    if (const char* old = std::getenv(key)) {
+      saved_ = old;
+      had_ = true;
+    }
+    if (value != nullptr) {
+      ::setenv(key, value, 1);
+    } else {
+      ::unsetenv(key);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(key_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(key_);
+    }
+  }
+  const char* key_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(CkptInterval, EnvOverrideParsesStrictly) {
+  // Mirrors the QUANTA_JOBS rules: the whole string must be a positive
+  // decimal; anything else falls back to the programmatic interval.
+  ckpt::Options opts;
+  opts.interval = 7;
+
+  {
+    ScopedEnv env("QUANTA_CKPT_INTERVAL", nullptr);
+    EXPECT_EQ(opts.effective_interval(), 7u) << "unset";
+  }
+  for (const char* valid : {"1", "3", "250"}) {
+    ScopedEnv env("QUANTA_CKPT_INTERVAL", valid);
+    EXPECT_EQ(opts.effective_interval(),
+              static_cast<std::uint64_t>(std::atoll(valid)))
+        << valid;
+  }
+  for (const char* garbage :
+       {"", "abc", "12abc", "1e3", "0", "-5", "0x10", "  ",
+        "18446744073709551616" /* 2^64: overflow */}) {
+    ScopedEnv env("QUANTA_CKPT_INTERVAL", garbage);
+    EXPECT_EQ(opts.effective_interval(), 7u) << "\"" << garbage << "\"";
+  }
+  {
+    // In range but above the clamp: pinned to kMaxInterval, not rejected.
+    ScopedEnv env("QUANTA_CKPT_INTERVAL", "999999999999999");
+    EXPECT_EQ(opts.effective_interval(), ckpt::Options::kMaxInterval);
+  }
+  {
+    ScopedEnv env("QUANTA_CKPT_INTERVAL", "1000000000000");
+    EXPECT_EQ(opts.effective_interval(), ckpt::Options::kMaxInterval);
+  }
+}
+
+TEST(CkptInterval, EnvOverrideDrivesPeriodicSnapshots) {
+  // End to end: interval 0 + save_on_stop off writes nothing — unless the
+  // environment supplies the cadence.
+  auto tg = models::make_train_gate(3);
+  const auto safe = mutual_exclusion(tg);
+  const auto reference = mc::check_invariant(tg.system, safe);
+
+  const std::string path = ckpt_path("env_interval");
+  mc::ReachOptions opts;
+  opts.checkpoint.path = path;
+  opts.checkpoint.interval = 0;
+  opts.checkpoint.save_on_stop = false;
+  opts.limits.max_states = reference.stats.states_stored / 2;
+  {
+    ScopedEnv env("QUANTA_CKPT_INTERVAL", "not-a-number");
+    EXPECT_FALSE(mc::check_invariant(tg.system, safe, opts).resume.saved);
+  }
+  {
+    ScopedEnv env("QUANTA_CKPT_INTERVAL", "40");
+    ASSERT_TRUE(mc::check_invariant(tg.system, safe, opts).resume.saved);
+  }
+  mc::ReachOptions full;
+  full.checkpoint.path = path;
+  const auto resumed = mc::check_invariant(tg.system, safe, full);
+  EXPECT_TRUE(resumed.resume.resumed);
+  EXPECT_TRUE(resumed.holds());
+  expect_same_stats(resumed.stats, reference.stats, "env-driven periodic");
+}
+
+// ---- provider 4: leads-to liveness -----------------------------------------
+
+TEST(CkptLiveness, InterruptAnywhereThenResumeIsBitIdentical) {
+  auto tg = models::make_train_gate(3);
+  const auto phi = mc::loc_pred(tg.system, "Train(0)", "Appr");
+  const auto psi = mc::loc_pred(tg.system, "Train(0)", "Cross");
+  const auto reference = mc::check_leads_to(tg.system, phi, psi);
+  ASSERT_TRUE(reference.holds()) << reference.reason;
+  ASSERT_GT(reference.stats.states_stored, 100u);
+
+  for (std::size_t k : {std::size_t{3}, reference.stats.states_stored / 4,
+                        reference.stats.states_stored / 2}) {
+    const std::string path = ckpt_path("live_resume_" + std::to_string(k));
+    mc::ReachOptions opts;
+    opts.checkpoint.path = path;
+    opts.checkpoint.interval = 30;
+    opts.limits.budget = common::Budget::deadline_after(std::chrono::hours(1));
+    mc::LeadsToResult interrupted;
+    {
+      ScopedFault fault("core.state_store.intern",
+                        common::FaultKind::kDeadline, k);
+      interrupted = mc::check_leads_to(tg.system, phi, psi, opts);
+    }
+    ASSERT_EQ(interrupted.verdict, common::Verdict::kUnknown) << "k=" << k;
+    ASSERT_EQ(interrupted.stop(), common::StopReason::kTimeLimit);
+    ASSERT_TRUE(interrupted.resume.saved) << "k=" << k;
+
+    const auto resumed = mc::check_leads_to(tg.system, phi, psi, opts);
+    EXPECT_EQ(resumed.resume.load, ckpt::LoadStatus::kOk) << "k=" << k;
+    EXPECT_TRUE(resumed.resume.resumed);
+    EXPECT_TRUE(resumed.holds()) << "k=" << k << ": " << resumed.reason;
+    expect_same_stats(resumed.stats, reference.stats, "resumed leads-to");
+  }
+}
+
+TEST(CkptLiveness, CompletedGraphSnapshotSkipsTheRebuild) {
+  // Once the zone graph completes, the final whole-graph snapshot (empty
+  // worklist) lets a crash during the violation search resume without
+  // re-expanding anything.
+  auto tg = models::make_train_gate(2);
+  const auto phi = mc::loc_pred(tg.system, "Train(0)", "Appr");
+  const auto psi = mc::loc_pred(tg.system, "Train(0)", "Cross");
+  const auto reference = mc::check_leads_to(tg.system, phi, psi);
+  ASSERT_TRUE(reference.holds());
+
+  const std::string path = ckpt_path("live_complete");
+  mc::ReachOptions opts;
+  opts.checkpoint.path = path;
+  opts.checkpoint.interval = 30;
+  const auto first = mc::check_leads_to(tg.system, phi, psi, opts);
+  ASSERT_TRUE(first.holds());
+  ASSERT_TRUE(first.resume.saved);
+
+  const auto again = mc::check_leads_to(tg.system, phi, psi, opts);
+  EXPECT_EQ(again.resume.load, ckpt::LoadStatus::kOk);
+  EXPECT_TRUE(again.resume.resumed);
+  EXPECT_TRUE(again.holds());
+  expect_same_stats(again.stats, reference.stats, "complete-graph resume");
+}
+
+TEST(CkptLiveness, EventuallyIsResumableAndDistinctFromLeadsTo) {
+  auto tg = models::make_train_gate(2);
+  const auto psi = mc::loc_pred(tg.system, "Train(0)", "Cross");
+  const auto reference = mc::check_eventually(tg.system, psi);
+  // (Not necessarily kHolds — a train may idle forever; the verdict just
+  // has to be reproduced bit-identically by the resumed run.)
+
+  const std::string path = ckpt_path("live_eventually");
+  mc::ReachOptions opts;
+  opts.checkpoint.path = path;
+  opts.limits.max_states = reference.stats.states_stored / 2;
+  const auto truncated = mc::check_eventually(tg.system, psi, opts);
+  ASSERT_EQ(truncated.verdict, common::Verdict::kUnknown);
+  ASSERT_TRUE(truncated.resume.saved);
+
+  mc::ReachOptions full;
+  full.checkpoint.path = path;
+  const auto resumed = mc::check_eventually(tg.system, psi, full);
+  EXPECT_TRUE(resumed.resume.resumed);
+  EXPECT_EQ(resumed.verdict, reference.verdict);
+  expect_same_stats(resumed.stats, reference.stats, "resumed eventually");
+
+  // A leads-to with a different phi must refuse the eventually snapshot.
+  const auto other = mc::check_leads_to(
+      tg.system, mc::loc_pred(tg.system, "Train(1)", "Appr"), psi, full);
+  EXPECT_EQ(other.resume.load, ckpt::LoadStatus::kBadFingerprint);
+  EXPECT_FALSE(other.resume.resumed);
+}
+
+// ---- provider 5: SPRT hypothesis testing -----------------------------------
+
+/// One process, exponential rate `rate` in Init, single edge to Done; the
+/// first-hit time is Exp(rate), so P(hit <= T) = 1 - exp(-rate*T).
+ta::System exp_system(double rate) {
+  ta::System sys;
+  ta::ProcessBuilder pb("P");
+  int init = pb.location("Init", {}, false, false, rate);
+  int done = pb.location("Done");
+  pb.edge(init, done, {}, -1, ta::SyncKind::kNone, {}, nullptr, nullptr,
+          "fire");
+  sys.add_process(pb.build());
+  return sys;
+}
+
+smc::TimeBoundedReach exp_done_within(double bound) {
+  smc::TimeBoundedReach prop;
+  prop.time_bound = bound;
+  prop.goal = common::labeled_pred<ta::ConcreteState>(
+      "p-done", [](const ta::ConcreteState& s) { return s.locs[0] == 1; });
+  return prop;
+}
+
+TEST(CkptSprt, StaleMidWalkSnapshotResumesToTheIdenticalVerdict) {
+  // p = 1 - exp(-1) ~ 0.632 against theta 0.55 +- 0.02: a few hundred runs
+  // to accept H0. The periodic snapshots leave a mid-walk position behind
+  // (a verdict stops the test between intervals); resuming from that stale
+  // position must replay the identical LLR walk.
+  ta::System sys = exp_system(0.5);
+  const auto prop = exp_done_within(2.0);
+  exec::Executor ex(4);
+  smc::SprtOptions opts;
+  opts.indifference = 0.02;
+  const auto reference = smc::sprt_test(sys, prop, 0.55, opts, 7, ex);
+  ASSERT_EQ(reference.verdict, smc::SprtVerdict::kAccepted);
+  ASSERT_GT(reference.runs, 60u);
+
+  smc::SprtOptions ck = opts;
+  ck.checkpoint.path = ckpt_path("sprt_stale");
+  ck.checkpoint.interval = 40;
+  const auto first = smc::sprt_test(sys, prop, 0.55, ck, 7, ex);
+  EXPECT_EQ(first.verdict, reference.verdict);
+  EXPECT_EQ(first.runs, reference.runs);
+  EXPECT_EQ(first.hits, reference.hits);
+  ASSERT_TRUE(first.resume.saved);
+
+  // Different worker count on resume: run i is a pure function of (seed, i)
+  // and the walk consumes runs in order, so nothing may change.
+  exec::Executor ex2(2);
+  const auto resumed = smc::sprt_test(sys, prop, 0.55, ck, 7, ex2);
+  EXPECT_EQ(resumed.resume.load, ckpt::LoadStatus::kOk);
+  EXPECT_TRUE(resumed.resume.resumed);
+  EXPECT_EQ(resumed.verdict, reference.verdict);
+  EXPECT_EQ(resumed.runs, reference.runs);
+  EXPECT_EQ(resumed.hits, reference.hits);
+}
+
+/// SPRT parameters under which the test provably cannot decide: theta sits
+/// at the true probability (near-zero LLR drift) and the Wald boundaries are
+/// ~20.7 wide (alpha = beta = 1e-9), hundreds of standard deviations beyond
+/// the walk's reach — so an injected interrupt always lands mid-test, and
+/// the uninterrupted reference deterministically exhausts max_runs.
+smc::SprtOptions undecidable_sprt() {
+  smc::SprtOptions opts;
+  opts.alpha = 1e-9;
+  opts.beta = 1e-9;
+  opts.indifference = 0.005;
+  opts.max_runs = 200'000;
+  return opts;
+}
+
+TEST(CkptSprt, CancelledTestSavesTheWalkAndResumesBitIdentically) {
+  ta::System sys = exp_system(0.5);
+  const auto prop = exp_done_within(2.0);
+  exec::Executor ex(4);
+  smc::SprtOptions opts = undecidable_sprt();
+  const auto reference = smc::sprt_test(sys, prop, 0.63, opts, 7, ex);
+  ASSERT_EQ(reference.verdict, smc::SprtVerdict::kInconclusive);
+  ASSERT_EQ(reference.runs, opts.max_runs);
+
+  smc::SprtOptions ck = opts;
+  ck.checkpoint.path = ckpt_path("sprt_cancel");
+  common::CancelToken cancel;
+  cancel.cancel();
+  common::Budget budget;
+  budget.with_cancel(&cancel);
+  const auto interrupted =
+      smc::sprt_test(sys, prop, 0.63, ck, 7, ex, nullptr, budget);
+  ASSERT_EQ(interrupted.verdict, smc::SprtVerdict::kInconclusive);
+  EXPECT_EQ(interrupted.stop, common::StopReason::kCancelled);
+  ASSERT_TRUE(interrupted.resume.saved);
+
+  cancel.reset();
+  const auto resumed = smc::sprt_test(sys, prop, 0.63, ck, 7, ex);
+  EXPECT_TRUE(resumed.resume.resumed);
+  EXPECT_EQ(resumed.verdict, reference.verdict);
+  EXPECT_EQ(resumed.runs, reference.runs);
+  EXPECT_EQ(resumed.hits, reference.hits);
+  EXPECT_EQ(resumed.stop, reference.stop);
+}
+
+TEST(CkptSprt, ForcedDeadlineInterruptsAtABatchBoundary) {
+  // The smc.sprt.batch fault site forces the watchdog's deadline mid-test;
+  // wherever the walk stops, the resumed test reproduces the reference.
+  ta::System sys = exp_system(0.5);
+  const auto prop = exp_done_within(2.0);
+  exec::Executor ex(4);
+  smc::SprtOptions opts = undecidable_sprt();
+  opts.batch_size = 64;
+  const auto reference = smc::sprt_test(sys, prop, 0.63, opts, 9, ex);
+
+  smc::SprtOptions ck = opts;
+  ck.checkpoint.path = ckpt_path("sprt_deadline");
+  const auto budget = common::Budget::deadline_after(std::chrono::hours(1));
+  smc::SprtResult interrupted;
+  {
+    ScopedFault fault("smc.sprt.batch", common::FaultKind::kDeadline, 2);
+    interrupted = smc::sprt_test(sys, prop, 0.63, ck, 9, ex, nullptr, budget);
+  }
+  ASSERT_EQ(interrupted.verdict, smc::SprtVerdict::kInconclusive);
+  EXPECT_EQ(interrupted.stop, common::StopReason::kTimeLimit);
+  ASSERT_TRUE(interrupted.resume.saved);
+  ASSERT_LT(interrupted.runs, reference.runs);
+
+  const auto resumed = smc::sprt_test(sys, prop, 0.63, ck, 9, ex);
+  EXPECT_TRUE(resumed.resume.resumed);
+  EXPECT_EQ(resumed.verdict, reference.verdict);
+  EXPECT_EQ(resumed.runs, reference.runs);
+  EXPECT_EQ(resumed.hits, reference.hits);
+}
+
+TEST(CkptSprt, DifferentThetaRefusesTheSnapshot) {
+  ta::System sys = exp_system(0.5);
+  const auto prop = exp_done_within(2.0);
+  exec::Executor ex(4);
+  smc::SprtOptions ck = undecidable_sprt();
+  ck.checkpoint.path = ckpt_path("sprt_theta");
+  common::CancelToken cancel;
+  cancel.cancel();
+  common::Budget budget;
+  budget.with_cancel(&cancel);
+  ASSERT_TRUE(smc::sprt_test(sys, prop, 0.63, ck, 7, ex, nullptr, budget)
+                  .resume.saved);
+
+  cancel.reset();
+  const auto other = smc::sprt_test(sys, prop, 0.5, ck, 7, ex);
+  EXPECT_EQ(other.resume.load, ckpt::LoadStatus::kBadFingerprint);
+  EXPECT_FALSE(other.resume.resumed);
+}
+
+// ---- provider 6: timed-game solving ----------------------------------------
+
+game::GamePredicate train0_crosses(const models::TrainGame& tg) {
+  return common::loc_index_pred<ta::DigitalState>(tg.trains[0], tg.l_cross);
+}
+
+game::GamePredicate game_mutex(const models::TrainGame& tg) {
+  return common::labeled_pred<ta::DigitalState>(
+      "train-game-mutex",
+      [&tg](const ta::DigitalState& s) { return tg.mutex_ok(s.locs); });
+}
+
+void expect_same_game(const game::GameResult& got,
+                      const game::GameResult& want, const char* what) {
+  EXPECT_EQ(got.verdict, want.verdict) << what;
+  EXPECT_EQ(got.winning_states, want.winning_states) << what;
+  EXPECT_EQ(got.stats.states_stored, want.stats.states_stored) << what;
+  EXPECT_EQ(got.stats.states_explored, want.stats.states_explored) << what;
+  EXPECT_EQ(got.stats.transitions, want.stats.transitions) << what;
+}
+
+TEST(CkptGame, InterruptedBuildResumesToIdenticalSolve) {
+  auto tg = models::make_train_game(
+      {.num_trains = 2, .first_train_approaching = true});
+  const auto goal = train0_crosses(tg);
+  const auto reference = game::TimedGame(tg.system).solve_reachability(goal);
+  ASSERT_TRUE(reference.controller_wins());
+  ASSERT_GT(reference.stats.states_stored, 50u);
+
+  for (std::size_t k : {std::size_t{3}, reference.stats.states_stored / 3,
+                        (2 * reference.stats.states_stored) / 3}) {
+    const std::string path = ckpt_path("game_build_" + std::to_string(k));
+    core::SearchLimits limits;
+    limits.budget = common::Budget::deadline_after(std::chrono::hours(1));
+    ckpt::Options ck;
+    ck.path = path;
+    ck.interval = 25;
+    game::GameResult interrupted;
+    {
+      ScopedFault fault("core.state_store.intern",
+                        common::FaultKind::kDeadline, k);
+      interrupted =
+          game::TimedGame(tg.system, limits, ck).solve_reachability(goal);
+    }
+    ASSERT_EQ(interrupted.verdict, common::Verdict::kUnknown) << "k=" << k;
+    ASSERT_EQ(interrupted.stop(), common::StopReason::kTimeLimit);
+    ASSERT_TRUE(interrupted.resume.saved) << "k=" << k;
+
+    auto resumed = game::TimedGame(tg.system, {}, ck).solve_reachability(goal);
+    EXPECT_EQ(resumed.resume.load, ckpt::LoadStatus::kOk) << "k=" << k;
+    EXPECT_TRUE(resumed.resume.resumed);
+    expect_same_game(resumed, reference, "resumed reach solve");
+    EXPECT_TRUE(game::verify_reach_strategy(tg.system, resumed.strategy, goal));
+  }
+}
+
+TEST(CkptGame, InterruptedFixpointResumesToIdenticalSolve) {
+  auto tg = models::make_train_game(
+      {.num_trains = 2, .first_train_approaching = true});
+  const auto goal = train0_crosses(tg);
+  const auto reference = game::TimedGame(tg.system).solve_reachability(goal);
+  ASSERT_TRUE(reference.controller_wins());
+
+  // k = 1 interrupts before the first sweep, k = 2 after one full sweep —
+  // both at a sweep boundary, where the (win, act, sweeps) snapshot pins
+  // down the remainder of the attractor computation exactly.
+  for (std::uint64_t k : {std::uint64_t{1}, std::uint64_t{2}}) {
+    const std::string path = ckpt_path("game_fix_" + std::to_string(k));
+    core::SearchLimits limits;
+    limits.budget = common::Budget::deadline_after(std::chrono::hours(1));
+    ckpt::Options ck;
+    ck.path = path;
+    game::GameResult interrupted;
+    {
+      ScopedFault fault("game.tiga.sweep", common::FaultKind::kDeadline, k);
+      interrupted =
+          game::TimedGame(tg.system, limits, ck).solve_reachability(goal);
+    }
+    ASSERT_EQ(interrupted.verdict, common::Verdict::kUnknown) << "k=" << k;
+    ASSERT_EQ(interrupted.stop(), common::StopReason::kTimeLimit);
+    ASSERT_TRUE(interrupted.resume.saved) << "k=" << k;
+
+    auto resumed = game::TimedGame(tg.system, {}, ck).solve_reachability(goal);
+    EXPECT_TRUE(resumed.resume.resumed) << "k=" << k;
+    expect_same_game(resumed, reference, "resumed fixpoint");
+    EXPECT_TRUE(game::verify_reach_strategy(tg.system, resumed.strategy, goal));
+  }
+}
+
+TEST(CkptGame, InterruptedSafetyFixpointResumes) {
+  auto tg = models::make_train_game({.num_trains = 2});
+  const auto safe = game_mutex(tg);
+  const auto reference = game::TimedGame(tg.system).solve_safety(safe);
+  ASSERT_TRUE(reference.controller_wins());
+
+  const std::string path = ckpt_path("game_safety");
+  core::SearchLimits limits;
+  limits.budget = common::Budget::deadline_after(std::chrono::hours(1));
+  ckpt::Options ck;
+  ck.path = path;
+  game::GameResult interrupted;
+  {
+    ScopedFault fault("game.tiga.sweep", common::FaultKind::kDeadline, 1);
+    interrupted = game::TimedGame(tg.system, limits, ck).solve_safety(safe);
+  }
+  ASSERT_EQ(interrupted.verdict, common::Verdict::kUnknown);
+  ASSERT_TRUE(interrupted.resume.saved);
+
+  auto resumed = game::TimedGame(tg.system, {}, ck).solve_safety(safe);
+  EXPECT_TRUE(resumed.resume.resumed);
+  expect_same_game(resumed, reference, "resumed safety fixpoint");
+  EXPECT_TRUE(game::verify_safety_strategy(tg.system, resumed.strategy, safe));
+}
+
+TEST(CkptGame, ObjectiveIsPartOfTheFingerprint) {
+  auto tg = models::make_train_game(
+      {.num_trains = 2, .first_train_approaching = true});
+  const auto pred = train0_crosses(tg);
+  const std::string path = ckpt_path("game_objective");
+  core::SearchLimits limits;
+  limits.max_states = 30;
+  ckpt::Options ck;
+  ck.path = path;
+  ASSERT_TRUE(game::TimedGame(tg.system, limits, ck)
+                  .solve_reachability(pred)
+                  .resume.saved);
+
+  // Same predicate AST, same path — but a safety objective: refused.
+  auto r = game::TimedGame(tg.system, {}, ck).solve_safety(pred);
+  EXPECT_EQ(r.resume.load, ckpt::LoadStatus::kBadFingerprint);
+  EXPECT_FALSE(r.resume.resumed);
+}
+
+// ---- provider 7: priced (min-cost) search ----------------------------------
+
+TEST(CkptCora, InterruptAnywhereThenResumeIsBitIdentical) {
+  auto tg = models::make_train_gate(2);
+  cora::PriceModel prices(tg.system);
+  for (int t : tg.trains) {
+    const auto& proc = tg.system.process(t);
+    prices.set_location_rate(t, proc.location_index("Appr"), 1);
+    prices.set_location_rate(t, proc.location_index("Stop"), 1);
+  }
+  const int cross = tg.system.process(tg.trains[0]).location_index("Cross");
+  const auto goal =
+      common::loc_index_pred<ta::DigitalState>(tg.trains[0], cross);
+
+  cora::MinCostOptions base;
+  base.record_trace = true;
+  const auto reference =
+      cora::min_cost_reachability(tg.system, prices, goal, base);
+  ASSERT_TRUE(reference.reachable());
+  ASSERT_EQ(reference.cost, 10);
+  ASSERT_GT(reference.stats.states_stored, 50u);
+
+  for (std::size_t k : {std::size_t{3}, reference.stats.states_stored / 3,
+                        (2 * reference.stats.states_stored) / 3}) {
+    const std::string path = ckpt_path("cora_resume_" + std::to_string(k));
+    cora::MinCostOptions opts = base;
+    opts.checkpoint.path = path;
+    opts.checkpoint.interval = 25;
+    opts.limits.budget = common::Budget::deadline_after(std::chrono::hours(1));
+    cora::MinCostResult interrupted;
+    {
+      ScopedFault fault("core.state_store.intern",
+                        common::FaultKind::kDeadline, k);
+      interrupted = cora::min_cost_reachability(tg.system, prices, goal, opts);
+    }
+    ASSERT_EQ(interrupted.verdict, common::Verdict::kUnknown) << "k=" << k;
+    ASSERT_EQ(interrupted.stop(), common::StopReason::kTimeLimit);
+    ASSERT_TRUE(interrupted.resume.saved) << "k=" << k;
+
+    cora::MinCostOptions full = base;
+    full.checkpoint.path = path;
+    const auto resumed =
+        cora::min_cost_reachability(tg.system, prices, goal, full);
+    EXPECT_EQ(resumed.resume.load, ckpt::LoadStatus::kOk) << "k=" << k;
+    EXPECT_TRUE(resumed.resume.resumed);
+    EXPECT_TRUE(resumed.reachable()) << "k=" << k;
+    EXPECT_EQ(resumed.cost, reference.cost) << "k=" << k;
+    expect_same_stats(resumed.stats, reference.stats, "resumed min-cost");
+    EXPECT_EQ(resumed.trace, reference.trace) << "k=" << k;
+  }
+}
+
+TEST(CkptCora, StateLimitStopIsResumable) {
+  auto tg = models::make_train_gate(2);
+  cora::PriceModel prices(tg.system);
+  const int cross = tg.system.process(tg.trains[0]).location_index("Cross");
+  const auto goal =
+      common::loc_index_pred<ta::DigitalState>(tg.trains[0], cross);
+  const auto reference = cora::min_cost_reachability(tg.system, prices, goal);
+  ASSERT_TRUE(reference.reachable());
+
+  const std::string path = ckpt_path("cora_statelimit");
+  cora::MinCostOptions opts;
+  opts.checkpoint.path = path;
+  opts.limits.max_states = reference.stats.states_stored / 2;
+  const auto truncated =
+      cora::min_cost_reachability(tg.system, prices, goal, opts);
+  ASSERT_EQ(truncated.verdict, common::Verdict::kUnknown);
+  ASSERT_EQ(truncated.stop(), common::StopReason::kStateLimit);
+  ASSERT_TRUE(truncated.resume.saved);
+
+  cora::MinCostOptions full;
+  full.checkpoint.path = path;
+  const auto resumed =
+      cora::min_cost_reachability(tg.system, prices, goal, full);
+  EXPECT_TRUE(resumed.resume.resumed);
+  EXPECT_TRUE(resumed.reachable());
+  EXPECT_EQ(resumed.cost, reference.cost);
+  expect_same_stats(resumed.stats, reference.stats, "after state limit");
+}
+
+TEST(CkptCora, PriceChangeRefusesTheSnapshot) {
+  auto tg = models::make_train_gate(2);
+  cora::PriceModel prices(tg.system);
+  const int cross = tg.system.process(tg.trains[0]).location_index("Cross");
+  const auto goal =
+      common::loc_index_pred<ta::DigitalState>(tg.trains[0], cross);
+
+  const std::string path = ckpt_path("cora_prices");
+  cora::MinCostOptions opts;
+  opts.checkpoint.path = path;
+  opts.limits.max_states = 40;
+  ASSERT_TRUE(cora::min_cost_reachability(tg.system, prices, goal, opts)
+                  .resume.saved);
+
+  // Different cost structure => different optimum => the snapshot must not
+  // be resumed, even though model and goal are unchanged.
+  cora::PriceModel dearer(tg.system);
+  dearer.set_location_rate(tg.trains[0],
+                           tg.system.process(tg.trains[0]).location_index("Appr"),
+                           5);
+  cora::MinCostOptions full;
+  full.checkpoint.path = path;
+  const auto r = cora::min_cost_reachability(tg.system, dearer, goal, full);
+  EXPECT_EQ(r.resume.load, ckpt::LoadStatus::kBadFingerprint);
+  EXPECT_FALSE(r.resume.resumed);
+  EXPECT_TRUE(r.reachable());
 }
 
 TEST(CkptStatistical, DifferentSeedOrRunsRefusesTheSnapshot) {

@@ -20,6 +20,7 @@
 
 #include "exec/watchdog.h"
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "mbt/testgen.h"
 #include "models/brp.h"
@@ -32,6 +33,17 @@
 namespace {
 
 using namespace quanta;
+
+/// The CI fault matrix sets QUANTA_FAULT for the whole test process, which
+/// arms the injector at startup. Disarm before any test runs: this suite's
+/// determinism tests match the matrix filters by name only ("Verdict",
+/// "Watchdog") and would be poisoned by an arbitrary env-armed fault —
+/// FaultInjection.EnvSpecDegradesGracefully (test_robustness) is the test
+/// that replays the spec against real engine runs.
+[[maybe_unused]] const bool kEnvFaultDisarmed = [] {
+  common::FaultInjector::instance().disarm();
+  return true;
+}();
 
 // ---- scheduling substrate -------------------------------------------------
 

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <limits>
@@ -16,6 +17,7 @@
 #include <thread>
 
 #include "bip/explore.h"
+#include "ckpt/delta.h"
 #include "common/budget.h"
 #include "common/fault.h"
 #include "common/verdict.h"
@@ -686,6 +688,31 @@ TEST(FaultInjection, EnvSpecDegradesGracefully) {
   auto est = smc::estimate_probability_runs(sys, done_within(sys, 2.0), 2'000,
                                             0.05, 1, budget);
   expect_consistent(est.verdict, est.stop);
+
+  // Checkpoint round-trip so the ckpt.delta.* sites are reachable from the
+  // spec: the first run writes a base snapshot plus periodic deltas
+  // (ckpt.delta.write), the second resumes by replaying the chain
+  // (ckpt.delta.apply). A write fault must end the chain at the previous
+  // link and an apply fault must degrade the load to a fresh start — either
+  // way both runs stay sound.
+  const std::string ckpt_path = ::testing::TempDir() + "env_spec_fault.qckpt";
+  std::remove(ckpt_path.c_str());
+  for (std::uint32_t seq = 1; seq <= 256; ++seq) {
+    std::remove(ckpt::delta_path(ckpt_path, seq).c_str());
+  }
+  mc::ReachOptions copts;
+  copts.record_trace = false;
+  copts.limits.budget = Budget::deadline_after(std::chrono::hours(24));
+  copts.checkpoint.path = ckpt_path;
+  copts.checkpoint.interval = 25;
+  auto c1 = mc::reachable(tg.system, never(), copts);
+  expect_consistent(c1.verdict, c1.stop());
+  auto c2 = mc::reachable(tg.system, never(), copts);
+  expect_consistent(c2.verdict, c2.stop());
+  std::remove(ckpt_path.c_str());
+  for (std::uint32_t seq = 1; seq <= 256; ++seq) {
+    std::remove(ckpt::delta_path(ckpt_path, seq).c_str());
+  }
 
   EXPECT_TRUE(FaultInjector::instance().fired())
       << "spec " << kEnvFaultSpec << " never fired; site unreachable?";

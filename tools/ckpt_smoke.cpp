@@ -1,22 +1,27 @@
-// Crash/resume smoke driver for CI: runs the train-gate mutual-exclusion
-// invariant check with periodic checkpointing and prints a one-line
-// machine-readable result. The CI job SIGKILLs a throttled run mid-flight,
-// asserts the checkpoint file exists, reruns to completion and compares the
-// verdict + statistics against an uninterrupted reference run.
+// Crash/resume smoke driver for CI: runs one long-running engine with
+// periodic (delta) checkpointing and prints a one-line machine-readable
+// result. The CI job SIGKILLs a throttled run mid-flight, asserts the
+// checkpoint file exists, reruns to completion and compares the verdict +
+// statistics against an uninterrupted reference run.
 //
-//   ckpt_smoke [--checkpoint PATH] [--trains N] [--interval K]
-//              [--throttle-us U] [--no-resume]
+//   ckpt_smoke [--engine mc|game|cora] [--checkpoint PATH] [--trains N]
+//              [--interval K] [--throttle-us U] [--no-resume]
 //
+//   --engine E         which engine to drive (default mc):
+//                        mc    train-gate mutual-exclusion invariant
+//                        game  train-game reachability synthesis (TIGA)
+//                        cora  train-gate min-cost reachability (CORA)
 //   --checkpoint PATH  checkpoint file ("" disables checkpointing)
-//   --trains N         train-gate size (default 4)
+//   --trains N         model size in trains (default 4; game defaults to 2)
 //   --interval K       periodic snapshot cadence in explored states (def. 200)
 //   --throttle-us U    sleep U microseconds per explored state, stretching
 //                      the run so a signal can land mid-flight (default 0)
 //   --no-resume        ignore any existing checkpoint (reference mode)
 //
 // Output: "resumed=<0|1> load=<status> verdict=<v> stored=<n> explored=<n>
-// transitions=<n>" on stdout; exit 0 on a definite verdict, 3 on kUnknown,
-// 1 on usage errors.
+// transitions=<n> extra=<n>" on stdout; `extra` is engine-specific (winning
+// states for game, optimal cost for cora, 0 for mc). Exit 0 on a definite
+// verdict, 3 on kUnknown, 1 on usage errors.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -26,8 +31,12 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "common/pred.h"
 #include "core/observer.h"
+#include "cora/priced.h"
+#include "game/tiga.h"
 #include "mc/reachability.h"
+#include "models/train_game.h"
 #include "models/train_gate.h"
 
 using namespace quanta;
@@ -42,15 +51,18 @@ mc::StatePredicate mutual_exclusion(const models::TrainGate& tg) {
             .location_index("Cross"));
   }
   auto trains = tg.trains;
-  return [trains, cross_loc](const ta::SymState& s) {
-    int crossing = 0;
-    for (std::size_t i = 0; i < trains.size(); ++i) {
-      if (s.locs[static_cast<std::size_t>(trains[i])] == cross_loc[i]) {
-        ++crossing;
-      }
-    }
-    return crossing <= 1;
-  };
+  // Labeled so the closure stays fingerprint-distinguishable (the canonical
+  // AST replaces the retired property_tag knob).
+  return common::labeled_pred<ta::SymState>(
+      "train-gate-mutex", [trains, cross_loc](const ta::SymState& s) {
+        int crossing = 0;
+        for (std::size_t i = 0; i < trains.size(); ++i) {
+          if (s.locs[static_cast<std::size_t>(trains[i])] == cross_loc[i]) {
+            ++crossing;
+          }
+        }
+        return crossing <= 1;
+      });
 }
 
 /// Slows the search down to human/CI timescales so a SIGKILL lands mid-run.
@@ -74,9 +86,26 @@ const char* verdict_name(common::Verdict v) {
   return "?";
 }
 
+struct Line {
+  ckpt::ResumeInfo resume;
+  common::Verdict verdict = common::Verdict::kUnknown;
+  core::SearchStats stats;
+  long long extra = 0;
+};
+
+int report(const Line& l) {
+  std::printf("resumed=%d load=%s verdict=%s stored=%zu explored=%zu "
+              "transitions=%zu extra=%lld\n",
+              l.resume.resumed ? 1 : 0, ckpt::to_string(l.resume.load),
+              verdict_name(l.verdict), l.stats.states_stored,
+              l.stats.states_explored, l.stats.transitions, l.extra);
+  return l.verdict == common::Verdict::kUnknown ? 3 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string engine = "mc";
   std::string path;
   int trains = 4;
   std::uint64_t interval = 200;
@@ -90,7 +119,9 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (std::strcmp(argv[i], "--checkpoint") == 0) {
+    if (std::strcmp(argv[i], "--engine") == 0) {
+      engine = need("--engine");
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
       path = need("--checkpoint");
     } else if (std::strcmp(argv[i], "--trains") == 0) {
       trains = std::atoi(need("--trains"));
@@ -105,27 +136,63 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (engine != "mc" && engine != "game" && engine != "cora") {
+    std::fprintf(stderr, "ckpt_smoke: --engine must be mc, game or cora\n");
+    return 1;
+  }
   if (trains < 2) {
     std::fprintf(stderr, "ckpt_smoke: --trains must be >= 2\n");
     return 1;
   }
 
-  auto tg = models::make_train_gate(trains);
   Throttle throttle(throttle_us);
-  mc::ReachOptions opts;
-  opts.record_trace = false;
-  opts.observer = &throttle;
-  opts.limits.budget = common::Budget::deadline_after(std::chrono::hours(1));
-  opts.checkpoint.path = path;
-  opts.checkpoint.resume = resume;
-  opts.checkpoint.interval = interval;
-  opts.checkpoint.property_tag = "train-gate-mutex";
+  ckpt::Options checkpoint;
+  checkpoint.path = path;
+  checkpoint.resume = resume;
+  checkpoint.interval = interval;
+  const auto budget = common::Budget::deadline_after(std::chrono::hours(1));
+  Line line;
 
-  const auto r = mc::check_invariant(tg.system, mutual_exclusion(tg), opts);
-  std::printf("resumed=%d load=%s verdict=%s stored=%zu explored=%zu "
-              "transitions=%zu\n",
-              r.resume.resumed ? 1 : 0, ckpt::to_string(r.resume.load),
-              verdict_name(r.verdict), r.stats.states_stored,
-              r.stats.states_explored, r.stats.transitions);
-  return r.verdict == common::Verdict::kUnknown ? 3 : 0;
+  if (engine == "mc") {
+    auto tg = models::make_train_gate(trains);
+    mc::ReachOptions opts;
+    opts.record_trace = false;
+    opts.observer = &throttle;
+    opts.limits.budget = budget;
+    opts.checkpoint = checkpoint;
+    const auto r = mc::check_invariant(tg.system, mutual_exclusion(tg), opts);
+    line = {r.resume, r.verdict, r.stats, 0};
+  } else if (engine == "game") {
+    // Reachability objectives need train 0 already approaching (from all-Safe
+    // the environment may simply never send a train); 2 trains keeps the
+    // digital-clocks game graph at CI-smoke scale.
+    auto tg = models::make_train_game(
+        {.num_trains = std::min(trains, 2), .first_train_approaching = true});
+    const auto goal =
+        common::loc_index_pred<ta::DigitalState>(tg.trains[0], tg.l_cross);
+    core::SearchLimits limits;
+    limits.budget = budget;
+    game::TimedGame g(tg.system, limits, checkpoint, &throttle);
+    const auto r = g.solve_reachability(goal);
+    line = {r.resume, r.verdict, r.stats,
+            static_cast<long long>(r.winning_states)};
+  } else {
+    auto tg = models::make_train_gate(trains);
+    cora::PriceModel prices(tg.system);
+    for (int t : tg.trains) {
+      const auto& proc = tg.system.process(t);
+      prices.set_location_rate(t, proc.location_index("Appr"), 1);
+      prices.set_location_rate(t, proc.location_index("Stop"), 1);
+    }
+    const int cross = tg.system.process(tg.trains[0]).location_index("Cross");
+    const auto goal =
+        common::loc_index_pred<ta::DigitalState>(tg.trains[0], cross);
+    cora::MinCostOptions opts;
+    opts.limits.budget = budget;
+    opts.checkpoint = checkpoint;
+    opts.observer = &throttle;
+    const auto r = cora::min_cost_reachability(tg.system, prices, goal, opts);
+    line = {r.resume, r.verdict, r.stats, static_cast<long long>(r.cost)};
+  }
+  return report(line);
 }
