@@ -1,0 +1,178 @@
+// ES — storage-substrate experiment: bytes/state, pool sharing and spill
+// traffic of the interned zone store (src/store) on the train-gate family.
+//
+// Two modes:
+//   bench_store_memory [--max-n N]
+//       Resident sweep N=4..max-n (default 6): per-N table of states,
+//       bytes/state pooled vs. the unpooled baseline representation
+//       (per-state heap vectors, the layout the store used before payload
+//       interning), pool hit rate and distinct-payload share.
+//   bench_store_memory --n N --mem BYTES [--spill PATH]
+//       Governed single run for CI: verify train-gate mutual exclusion for
+//       one N under a hard common::Budget memory ceiling, with the pool's
+//       resident limit at half the ceiling and the spill tier on. Exits
+//       nonzero unless the verdict is definite (kUnknown-free) and correct.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "core/observer.h"
+#include "mc/reachability.h"
+#include "models/train_gate.h"
+#include "store/pool.h"
+#include "ta/traits.h"
+
+using namespace quanta;
+
+namespace {
+
+mc::StatePredicate mutual_exclusion(const models::TrainGate& tg) {
+  std::vector<int> cross;
+  for (int t : tg.trains) {
+    cross.push_back(tg.system.process(t).location_index("Cross"));
+  }
+  auto trains = tg.trains;
+  return [trains, cross](const ta::SymState& s) {
+    int n = 0;
+    for (std::size_t i = 0; i < trains.size(); ++i) {
+      if (s.locs[static_cast<std::size_t>(trains[i])] == cross[i]) ++n;
+    }
+    return n <= 1;
+  };
+}
+
+/// Bytes/state of the pre-interning representation: every state owns its
+/// location/variable vectors and zone matrix on the heap (logical_words
+/// counts that payload as if nothing were shared), plus the same per-state
+/// store bookkeeping (key hash, chain link, covered flag, slot share).
+double unpooled_bytes_per_state(const core::StoreMetrics& m) {
+  if (m.stored == 0) return 0.0;
+  const std::size_t payload = m.pool.logical_words * sizeof(std::int32_t);
+  const std::size_t per_state = sizeof(ta::SymState) + sizeof(std::size_t) +
+                                sizeof(std::int32_t) + sizeof(std::uint8_t) +
+                                sizeof(std::uint32_t);
+  return static_cast<double>(payload + m.stored * per_state) /
+         static_cast<double>(m.stored);
+}
+
+int run_sweep(int max_n) {
+  bench::section("ES: interned zone storage on the train-gate (N=4.." +
+                 std::to_string(max_n) + ")");
+  bench::Table table({"N", "states", "B/state pooled", "B/state unpooled",
+                      "reduction", "hit rate", "distinct", "spilled MiB",
+                      "time [s]"});
+  for (int n = 4; n <= max_n; ++n) {
+    auto tg = models::make_train_gate(n);
+    core::StatsObserver obs;
+    mc::ReachOptions opts;
+    opts.observer = &obs;
+    bench::Stopwatch sw;
+    const auto r = mc::check_invariant(tg.system, mutual_exclusion(tg), opts);
+    const double secs = sw.seconds();
+    if (!r.holds()) {
+      std::printf("  N=%d: UNEXPECTED verdict (not holds)\n", n);
+      return 1;
+    }
+    const auto& m = obs.store_metrics();
+    const double pooled =
+        static_cast<double>(m.memory_bytes) / static_cast<double>(m.stored);
+    const double unpooled = unpooled_bytes_per_state(m);
+    table.row({std::to_string(n), std::to_string(m.stored),
+               bench::fmt(pooled, "%.1f"), bench::fmt(unpooled, "%.1f"),
+               bench::fmt(unpooled / pooled, "%.2fx"),
+               bench::fmt(100.0 * m.pool.hit_rate(), "%.1f%%"),
+               std::to_string(m.pool.records),
+               bench::fmt(static_cast<double>(m.pool.spilled_bytes) /
+                              (1024.0 * 1024.0),
+                          "%.1f"),
+               bench::fmt(secs, "%.2f")});
+  }
+  table.print();
+  std::printf(
+      "\n  unpooled = per-state heap vectors + zone matrix (the layout before"
+      "\n  payload interning); pooled = StateStore::memory_bytes() including"
+      "\n  pool bookkeeping. Spilled bytes live in file-backed pages outside"
+      "\n  the resident figure.\n");
+  return 0;
+}
+
+int run_governed(int n, std::size_t mem_bytes, const std::string& spill) {
+  bench::section("ES-governed: train-gate N=" + std::to_string(n) +
+                 " under a " + std::to_string(mem_bytes >> 20) +
+                 " MiB budget" + (spill.empty() ? "" : ", spill on"));
+  // The pool evicts at a sixteenth of the ceiling: row interning keeps the
+  // resident payload small relative to the search's own bookkeeping (waiting
+  // queue, hash table, covered journal), so a tighter pool ceiling is what
+  // actually pushes chunks through the spill tier while the budget the
+  // watchdog enforces still has ample headroom.
+  if (!spill.empty()) {
+    ::setenv("QUANTA_STORE_SPILL", spill.c_str(), 1);
+    ::setenv("QUANTA_STORE_MEM", std::to_string(mem_bytes / 16).c_str(), 1);
+  }
+  auto tg = models::make_train_gate(n);
+  core::StatsObserver obs;
+  mc::ReachOptions opts;
+  opts.observer = &obs;
+  opts.limits.budget = common::Budget{}.with_memory_limit(mem_bytes);
+  bench::Stopwatch sw;
+  const auto r = mc::check_invariant(tg.system, mutual_exclusion(tg), opts);
+  const double secs = sw.seconds();
+  const auto& m = obs.store_metrics();
+  std::printf("  verdict: %s  states: %zu  time: %.1fs\n",
+              r.verdict == common::Verdict::kHolds      ? "holds"
+              : r.verdict == common::Verdict::kViolated ? "VIOLATED"
+                                                        : "UNKNOWN",
+              m.stored, secs);
+  std::printf("  %s\n", obs.summary().c_str());
+  if (r.verdict == common::Verdict::kUnknown) {
+    std::printf("  FAIL: governed run did not reach a definite verdict\n");
+    return 1;
+  }
+  if (!r.holds()) {
+    std::printf("  FAIL: mutual exclusion must hold on the train-gate\n");
+    return 1;
+  }
+  std::printf("  PASS: definite verdict under the memory budget\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int max_n = 6;
+  int governed_n = 0;
+  std::size_t mem_bytes = 0;
+  std::string spill;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (a == "--max-n") {
+      max_n = std::atoi(next());
+    } else if (a == "--n") {
+      governed_n = std::atoi(next());
+    } else if (a == "--mem") {
+      if (!store::parse_memory_bytes(next(), &mem_bytes)) {
+        std::fprintf(stderr, "bad --mem value\n");
+        return 2;
+      }
+    } else if (a == "--spill") {
+      spill = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--max-n N] | --n N --mem BYTES[K|M|G] "
+                   "[--spill PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (governed_n > 0) {
+    if (mem_bytes == 0) {
+      std::fprintf(stderr, "--n requires --mem\n");
+      return 2;
+    }
+    return run_governed(governed_n, mem_bytes, spill);
+  }
+  return run_sweep(max_n);
+}

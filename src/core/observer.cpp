@@ -25,13 +25,25 @@ double StatsObserver::states_per_second() const {
 }
 
 std::string StatsObserver::summary() const {
-  char buf[192];
-  std::snprintf(buf, sizeof(buf),
-                "%zu stored (peak %zu, %zu covered), %zu explored, "
-                "%.0f states/s, table %zu/%zu slots (max chain %zu)",
-                stats_.states_stored, peak_stored_, metrics_.covered, explored_,
-                states_per_second(), metrics_.occupied, metrics_.slots,
-                metrics_.max_chain);
+  char buf[320];
+  int n = std::snprintf(
+      buf, sizeof(buf),
+      "%zu stored (peak %zu, %zu covered), %zu explored, "
+      "%.0f states/s, table %zu/%zu slots (max chain %zu)",
+      stats_.states_stored, peak_stored_, metrics_.covered, explored_,
+      states_per_second(), metrics_.occupied, metrics_.slots,
+      metrics_.max_chain);
+  if (metrics_.pool.lookups > 0 && n > 0 &&
+      static_cast<std::size_t>(n) < sizeof(buf)) {
+    std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                  ", pool %zu payloads (%.0f%% shared, %.1f MiB resident, "
+                  "%.1f MiB spilled)",
+                  metrics_.pool.records, 100.0 * metrics_.pool.hit_rate(),
+                  static_cast<double>(metrics_.pool.resident_bytes) /
+                      (1024.0 * 1024.0),
+                  static_cast<double>(metrics_.pool.spilled_bytes) /
+                      (1024.0 * 1024.0));
+  }
   return buf;
 }
 

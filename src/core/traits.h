@@ -30,7 +30,36 @@ enum class Subsumes {
 ///
 /// `compare` is only called on states of the same partition and decides the
 /// set-inclusion relation of their continuous parts (zones).
+///
+/// Pooled payload storage (optional). A specialization may additionally opt
+/// its state type into interned storage (store::ZonePool) by defining
+///
+///   using Pooled = ...;   // compact value of store::Ref handles
+///   static Pooled pool(store::ZonePool&, const S&);     // intern components
+///   static S unpool(const store::ZonePool&, const Pooled&);  // materialize
+///   static bool equal(const store::ZonePool&,
+///                     const Pooled& stored, const S& incoming);
+///
+/// and, when kSupportsInclusion is true, the pooled comparison overloads
+///
+///   static bool same_partition(const store::ZonePool&,
+///                              const Pooled& stored, const S& incoming);
+///   static Subsumes compare(const store::ZonePool&,
+///                           const Pooled& stored, const S& incoming);
+///
+/// StateStore then keeps `Pooled` records instead of whole states: identical
+/// zones / discrete vectors across states collapse to one interned copy, and
+/// state(id) materializes an S on demand via unpool. The contract that keeps
+/// exploration bit-identical to unpooled storage: hash/partition_hash are
+/// still computed on the incoming S (so hash values, chain membership, chain
+/// order and the rehash trajectory are unchanged), and the pooled comparison
+/// overloads must decide exactly like their unpooled counterparts would on
+/// the materialized state. unpool(pool(s)) must reproduce s exactly.
 template <typename S>
 struct StateTraits;
+
+/// Detects traits that opt into pooled payload storage.
+template <typename Traits>
+concept PooledTraits = requires { typename Traits::Pooled; };
 
 }  // namespace quanta::core

@@ -142,25 +142,73 @@ void Dbm::copy_clock(int dst, int src) {
   set(dst, dst, kLeZero);
 }
 
+namespace {
+
+/// The one relation algorithm, over raw matrices: Dbm-vs-Dbm, Dbm-vs-view
+/// and view-vs-view all funnel here so pooled comparisons are bit-identical
+/// to owning ones.
+Relation relation_raw(int dim, const raw_t* a, const raw_t* b) {
+  const std::size_t n = static_cast<std::size_t>(dim) * static_cast<std::size_t>(dim);
+  const bool a_empty = a[0] < kLeZero;
+  const bool b_empty = b[0] < kLeZero;
+  if (a_empty && b_empty) return Relation::kEqual;
+  if (a_empty) return Relation::kSubset;
+  if (b_empty) return Relation::kSuperset;
+  bool le = true, ge = true;
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    if (a[idx] > b[idx]) le = false;
+    if (a[idx] < b[idx]) ge = false;
+    if (!le && !ge) return Relation::kDifferent;
+  }
+  if (le && ge) return Relation::kEqual;
+  return le ? Relation::kSubset : Relation::kSuperset;
+}
+
+}  // namespace
+
 Relation Dbm::relation(const Dbm& other) const {
   if (dim_ != other.dim_) {
     throw std::invalid_argument(quanta::context(
         "dbm", "Dbm::relation: dimension mismatch (", dim_, " vs ",
         other.dim_, ")"));
   }
-  bool this_empty = is_empty();
-  bool other_empty = other.is_empty();
-  if (this_empty && other_empty) return Relation::kEqual;
-  if (this_empty) return Relation::kSubset;
-  if (other_empty) return Relation::kSuperset;
-  bool le = true, ge = true;
-  for (std::size_t idx = 0; idx < m_.size(); ++idx) {
-    if (m_[idx] > other.m_[idx]) le = false;
-    if (m_[idx] < other.m_[idx]) ge = false;
-    if (!le && !ge) return Relation::kDifferent;
+  return relation_raw(dim_, m_.data(), other.m_.data());
+}
+
+Relation Dbm::relation(const DbmView& other) const {
+  if (dim_ != other.dim()) {
+    throw std::invalid_argument(quanta::context(
+        "dbm", "Dbm::relation: dimension mismatch (", dim_, " vs ",
+        other.dim(), ")"));
   }
-  if (le && ge) return Relation::kEqual;
-  return le ? Relation::kSubset : Relation::kSuperset;
+  return relation_raw(dim_, m_.data(), other.data());
+}
+
+Relation DbmView::relation(const DbmView& other) const {
+  if (dim_ != other.dim_) {
+    throw std::invalid_argument(quanta::context(
+        "dbm", "DbmView::relation: dimension mismatch (", dim_, " vs ",
+        other.dim_, ")"));
+  }
+  return relation_raw(dim_, m_, other.m_);
+}
+
+bool DbmView::equal(const DbmView& other) const {
+  if (dim_ != other.dim_) return false;
+  const std::size_t n = static_cast<std::size_t>(dim_) * static_cast<std::size_t>(dim_);
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    if (m_[idx] != other.m_[idx]) return false;
+  }
+  return true;
+}
+
+Dbm Dbm::from_raw(int dim, const raw_t* data) {
+  Dbm d(dim);
+  const std::size_t n = static_cast<std::size_t>(dim) * static_cast<std::size_t>(dim);
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    d.m_[idx] = data[idx];
+  }
+  return d;
 }
 
 bool Dbm::subset_eq(const Dbm& other) const {

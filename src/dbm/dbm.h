@@ -56,6 +56,34 @@ std::string bound_to_string(raw_t raw);
 /// How two zones relate under set inclusion.
 enum class Relation { kEqual, kSubset, kSuperset, kDifferent };
 
+class Dbm;
+
+/// Non-owning view of a canonical DBM whose raw bounds live elsewhere —
+/// in practice inside a store::ZonePool arena or spill mapping. Carries
+/// (dim, pointer) only, so zone comparison against pooled storage never
+/// materializes an owning Dbm. The pointed-at row-major matrix must use the
+/// exact layout of Dbm::raw_data() and outlive the view.
+class DbmView {
+ public:
+  DbmView(int dim, const raw_t* data) : dim_(dim), m_(data) {}
+
+  int dim() const { return dim_; }
+  const raw_t* data() const { return m_; }
+  raw_t at(int i, int j) const {
+    return m_[static_cast<std::size_t>(i) * static_cast<std::size_t>(dim_) + j];
+  }
+  bool is_empty() const { return at(0, 0) < kLeZero; }
+
+  /// Set-inclusion relation with another canonical DBM of the same
+  /// dimension; identical semantics to Dbm::relation.
+  Relation relation(const DbmView& other) const;
+  bool equal(const DbmView& other) const;
+
+ private:
+  int dim_;
+  const raw_t* m_;
+};
+
 class Dbm {
  public:
   /// Constructs the *empty* relation holder of the given dimension; use the
@@ -102,7 +130,17 @@ class Dbm {
 
   /// Set-inclusion relation with another canonical DBM of the same dimension.
   Relation relation(const Dbm& other) const;
+  /// Same, against a non-owning view of pooled zone storage.
+  Relation relation(const DbmView& other) const;
   bool subset_eq(const Dbm& other) const;
+
+  /// The row-major raw-bound matrix (dim*dim entries) — the fixed-width
+  /// payload interned into store::ZonePool and written by the QCKPD1 codec.
+  const raw_t* raw_data() const { return m_.data(); }
+  DbmView view() const { return DbmView(dim_, m_.data()); }
+  /// Rebuilds an owning Dbm from a raw matrix in raw_data() layout. The
+  /// input must already be canonical (it came from a canonical Dbm).
+  static Dbm from_raw(int dim, const raw_t* data);
 
   /// True iff the intersection with `other` is non-empty.
   bool intersects(const Dbm& other) const;

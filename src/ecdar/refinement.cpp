@@ -1,10 +1,12 @@
 #include "ecdar/refinement.h"
 
+#include <span>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "common/hash.h"
+#include "store/pool.h"
 #include "core/explore.h"
 #include "core/state_store.h"
 #include "core/worklist.h"
@@ -38,6 +40,45 @@ std::size_t tioa_bytes(const TioaState& s) {
          s.clocks.capacity() * sizeof(decltype(s.clocks)::value_type);
 }
 
+// TioaState <-> pool payload: one blob [loc][nvars][vars...][clocks...] per
+// side (the clocks length is implied by the record length). Many pairs share
+// one side, so each side is interned separately.
+store::Ref intern_tioa(store::ZonePool& p, const TioaState& s) {
+  auto& buf = p.scratch();
+  buf.clear();
+  buf.push_back(s.loc);
+  buf.push_back(static_cast<std::int32_t>(s.vars.size()));
+  buf.insert(buf.end(), s.vars.begin(), s.vars.end());
+  buf.insert(buf.end(), s.clocks.begin(), s.clocks.end());
+  return p.intern(buf);
+}
+
+TioaState unpack_tioa(const store::ZonePool& p, store::Ref r) {
+  const std::span<const std::int32_t> d = p.data(r);
+  TioaState s;
+  s.loc = d[0];
+  const std::size_t nvars = static_cast<std::size_t>(d[1]);
+  s.vars.assign(d.begin() + 2, d.begin() + 2 + static_cast<std::ptrdiff_t>(nvars));
+  s.clocks.assign(d.begin() + 2 + static_cast<std::ptrdiff_t>(nvars), d.end());
+  return s;
+}
+
+bool tioa_equals(const store::ZonePool& p, store::Ref r, const TioaState& s) {
+  const std::span<const std::int32_t> d = p.data(r);
+  if (d.size() != 2 + s.vars.size() + s.clocks.size()) return false;
+  if (d[0] != s.loc || d[1] != static_cast<std::int32_t>(s.vars.size())) {
+    return false;
+  }
+  std::size_t pos = 2;
+  for (const auto v : s.vars) {
+    if (d[pos++] != v) return false;
+  }
+  for (const auto c : s.clocks) {
+    if (d[pos++] != c) return false;
+  }
+  return true;
+}
+
 struct PairTraits {
   static constexpr bool kSupportsInclusion = false;
 
@@ -49,6 +90,24 @@ struct PairTraits {
   static bool equal(const PairState& a, const PairState& b) { return a == b; }
   static std::size_t memory_bytes(const PairState& p) {
     return tioa_bytes(p.s) + tioa_bytes(p.t);
+  }
+
+  // --- pooled storage ---
+
+  struct Pooled {
+    store::Ref s;
+    store::Ref t;
+  };
+
+  static Pooled pool(store::ZonePool& p, const PairState& pair) {
+    return Pooled{intern_tioa(p, pair.s), intern_tioa(p, pair.t)};
+  }
+  static PairState unpool(const store::ZonePool& p, const Pooled& st) {
+    return PairState{unpack_tioa(p, st.s), unpack_tioa(p, st.t)};
+  }
+  static bool equal(const store::ZonePool& p, const Pooled& st,
+                    const PairState& pair) {
+    return tioa_equals(p, st.s, pair.s) && tioa_equals(p, st.t, pair.t);
   }
 };
 

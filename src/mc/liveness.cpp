@@ -22,7 +22,8 @@ struct Graph {
   std::vector<std::vector<std::int32_t>> succ;
 
   std::size_t size() const { return store.size(); }
-  const ta::SymState& state(std::size_t i) const {
+  /// By value: the pooled store materializes states on demand.
+  ta::SymState state(std::size_t i) const {
     return store.state(static_cast<std::int32_t>(i));
   }
 };
@@ -424,8 +425,9 @@ LeadsToResult check_leads_to(const ta::System& sys, const StatePredicate& phi,
         std::vector<bool> is_psi(g.size());
         std::vector<int> roots;
         for (std::size_t i = 0; i < g.size(); ++i) {
-          is_psi[i] = psi(g.state(i));
-          if (!is_psi[i] && phi(g.state(i))) {
+          const ta::SymState s = g.state(i);
+          is_psi[i] = psi(s);
+          if (!is_psi[i] && phi(s)) {
             roots.push_back(static_cast<int>(i));
           }
         }

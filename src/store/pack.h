@@ -1,0 +1,40 @@
+// Helpers for packing exploration-state components into ZonePool payloads.
+// Every component the engines pool (location vectors, variable valuations,
+// digital clock vectors) is a contiguous run of 32-bit integers, so packing
+// is a span view or a copy through the pool's scratch buffer — never a
+// bespoke serializer. Shared by the StateTraits specializations that opt
+// into pooled storage (ta/traits.h, bip/traits.h, ecdar/refinement.cpp).
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "store/pool.h"
+
+namespace quanta::store {
+
+/// Interns a vector of 32-bit integers (int, Value, int32 clocks) as-is.
+template <typename T>
+  requires(sizeof(T) == sizeof(std::int32_t))
+inline Ref intern_vec(ZonePool& p, const std::vector<T>& v) {
+  return p.intern({reinterpret_cast<const std::int32_t*>(v.data()), v.size()});
+}
+
+/// Element-wise equality between an interned payload and a live vector.
+template <typename T>
+  requires(sizeof(T) == sizeof(std::int32_t))
+inline bool vec_equals(const ZonePool& p, Ref r, const std::vector<T>& v) {
+  const std::span<const std::int32_t> d = p.data(r);
+  if (d.size() != v.size()) return false;
+  return v.empty() || std::memcmp(d.data(), v.data(), d.size_bytes()) == 0;
+}
+
+/// Materializes an interned payload back into a vector.
+template <typename T>
+  requires(sizeof(T) == sizeof(std::int32_t))
+inline void unpack_vec(const ZonePool& p, Ref r, std::vector<T>& out) {
+  const std::span<const std::int32_t> d = p.data(r);
+  out.assign(d.begin(), d.end());
+}
+
+}  // namespace quanta::store

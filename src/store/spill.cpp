@@ -1,0 +1,141 @@
+#include "store/spill.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/fault.h"
+
+namespace quanta::store {
+
+namespace {
+
+// 16-byte header: magic + format version + record word size. Nothing after
+// it is self-describing — record boundaries live in the pool's in-memory
+// metadata — so the header exists to make a spill file recognizable, not
+// resumable. Layout changes bump the version.
+constexpr char kMagic[8] = {'Q', 'S', 'P', 'L', '1', '\0', '\0', '\0'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 16;
+
+bool write_all(int fd, const void* buf, std::size_t len, std::size_t offset) {
+  const char* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::pwrite(fd, p, len, static_cast<off_t>(offset));
+    if (n <= 0) return false;
+    p += n;
+    offset += static_cast<std::size_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SpillFile::~SpillFile() { close_all(); }
+
+SpillFile::SpillFile(SpillFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      failed_(std::exchange(other.failed_, false)),
+      map_(std::exchange(other.map_, nullptr)),
+      map_bytes_(std::exchange(other.map_bytes_, 0)),
+      tail_(std::exchange(other.tail_, 0)),
+      path_(std::move(other.path_)) {}
+
+SpillFile& SpillFile::operator=(SpillFile&& other) noexcept {
+  if (this != &other) {
+    close_all();
+    fd_ = std::exchange(other.fd_, -1);
+    failed_ = std::exchange(other.failed_, false);
+    map_ = std::exchange(other.map_, nullptr);
+    map_bytes_ = std::exchange(other.map_bytes_, 0);
+    tail_ = std::exchange(other.tail_, 0);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+void SpillFile::close_all() noexcept {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(map_), map_bytes_);
+    map_ = nullptr;
+    map_bytes_ = 0;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool SpillFile::open(const std::string& path, std::size_t cap_bytes) {
+  close_all();
+  failed_ = false;
+  tail_ = 0;
+  path_ = path;
+  if (path.empty() || cap_bytes <= kHeaderBytes) return false;
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) return false;
+  std::uint8_t header[kHeaderBytes] = {};
+  std::memcpy(header, kMagic, sizeof(kMagic));
+  std::memcpy(header + 8, &kVersion, sizeof(kVersion));
+  const std::uint32_t word = sizeof(std::int32_t);
+  std::memcpy(header + 12, &word, sizeof(word));
+  if (!write_all(fd_, header, kHeaderBytes, 0) ||
+      ::ftruncate(fd_, static_cast<off_t>(cap_bytes)) != 0) {
+    close_all();
+    return false;
+  }
+  // Read-only mapping over the sparse capacity: pages written via pwrite
+  // stay clean here, so the kernel can reclaim them freely.
+  void* m = ::mmap(nullptr, cap_bytes, PROT_READ, MAP_SHARED, fd_, 0);
+  if (m == MAP_FAILED) {
+    close_all();
+    return false;
+  }
+  map_ = static_cast<const std::uint8_t*>(m);
+  map_bytes_ = cap_bytes;
+  tail_ = kHeaderBytes;
+  return true;
+}
+
+std::size_t SpillFile::append(const std::int32_t* words, std::size_t count) {
+  if (!ok()) return std::numeric_limits<std::size_t>::max();
+  const std::size_t bytes = count * sizeof(std::int32_t);
+  if (tail_ + bytes > map_bytes_) {
+    failed_ = true;  // capacity exhausted: stop spilling, keep data resident
+    return std::numeric_limits<std::size_t>::max();
+  }
+  try {
+    common::FaultInjector::site("store.spill.write");
+    if (!write_all(fd_, words, bytes, tail_)) {
+      failed_ = true;
+      return std::numeric_limits<std::size_t>::max();
+    }
+  } catch (...) {
+    // Injected or real write failure: the record was not durably written, so
+    // the caller must keep it resident. The file is poisoned — a partial
+    // record below a later append would corrupt reads.
+    failed_ = true;
+    return std::numeric_limits<std::size_t>::max();
+  }
+  const std::size_t offset = tail_;
+  tail_ += bytes;
+  return offset;
+}
+
+std::span<const std::int32_t> SpillFile::read(std::size_t offset,
+                                              std::size_t count) const {
+  const std::size_t bytes = count * sizeof(std::int32_t);
+  if (map_ == nullptr || offset < kHeaderBytes || offset % sizeof(std::int32_t) != 0 ||
+      offset + bytes > tail_) {
+    return {};
+  }
+  return {reinterpret_cast<const std::int32_t*>(map_ + offset), count};
+}
+
+}  // namespace quanta::store

@@ -150,6 +150,59 @@ TEST(StateStore, MetricsLoadFactorMatchesOccupancy) {
   EXPECT_LT(m.load_factor(), 0.5);
 }
 
+TEST(StateStore, IncrementalMaxChainMatchesBruteForceScan) {
+  // metrics().max_chain is maintained O(1) at insert time; pin it against
+  // the brute-force walk over every chain, across chain growth, rehashes
+  // and tombstoning.
+  SymStore store({.inclusion = true, .tombstone_covered = true});
+  for (int loc = 0; loc < 700; ++loc) {
+    // Varying chain lengths per partition; covering inserts tombstone.
+    for (int ub = 1; ub <= 1 + loc % 5; ++ub) {
+      store.intern(zone_state(loc, ub));
+    }
+    if (loc % 97 == 0) {
+      EXPECT_EQ(store.metrics().max_chain, store.scan_max_chain())
+          << "after partition " << loc;
+    }
+  }
+  EXPECT_EQ(store.metrics().max_chain, store.scan_max_chain());
+  EXPECT_GE(store.metrics().max_chain, 5u);
+
+  // The exact policy chains only on full-hash collisions; the invariant
+  // holds there too.
+  SymStore exact;
+  for (int i = 0; i < 500; ++i) exact.intern(zone_state(i, 1 + i % 3));
+  EXPECT_EQ(exact.metrics().max_chain, exact.scan_max_chain());
+}
+
+TEST(StateStore, MemoryBytesAccountsJournalRehashHeadroomAndPool) {
+  // Pins the memory accounting formula against the store's public surface:
+  // per-state records + bookkeeping columns, table heads, the covered
+  // journal, the rehash-transient head allowance, and the payload pool.
+  // Regression: the journal and the rehash transient used to be uncounted,
+  // silently eroding common::Budget memory ceilings on tombstone-heavy runs.
+  SymStore store({.inclusion = true, .tombstone_covered = true});
+  for (int loc = 0; loc < 120; ++loc) {
+    for (int ub = 1; ub <= 4; ++ub) {
+      store.intern(zone_state(loc, ub));  // each insert tombstones the last
+    }
+  }
+  const auto m = store.metrics();
+  ASSERT_GT(m.covered, 300u);
+  const std::size_t per_state =
+      sizeof(SymStore::Stored) + sizeof(std::size_t) + sizeof(std::int32_t) +
+      sizeof(std::uint8_t) + sizeof(std::uint32_t);
+  const std::size_t expected =
+      store.size() * per_state + m.slots * sizeof(std::int32_t) +
+      store.covered_journal().capacity() * sizeof(std::int32_t) +
+      m.occupied * sizeof(std::int32_t) + store.zone_pool().memory_bytes();
+  EXPECT_EQ(store.memory_bytes(), expected);
+  // The journal term specifically must be visible: it alone exceeds any
+  // slack a caller could wave away.
+  EXPECT_GE(store.memory_bytes(),
+            store.covered_journal().size() * sizeof(std::int32_t));
+}
+
 TEST(StateStore, RestoreRebuildsTombstonedStoreStructurallyIdentically) {
   SymStore store({.inclusion = true, .tombstone_covered = true});
   // A mix of partitions, some with tombstoned ancestors.
