@@ -1,0 +1,188 @@
+// ESVC — analysis-service throughput: cold (engine-bound) versus cached
+// (fingerprint-hit) request rates of an in-process quantad server over a
+// real Unix socket, per session count.
+//
+//   bench_svc_throughput [--model train-gate-3] [--clients "1 2 4 8"]
+//                        [--seconds S] [--cold-reps R]
+//
+// Cold rows bypass the result cache (every request runs the engine), cached
+// rows hit one warm entry. The gap is the cache's value under repeated
+// fleet queries; the cold row doubles as the daemon's per-request overhead
+// ceiling (framing + admission + governance on top of the raw engine).
+// Cold throughput saturates at the engine's single-core rate times the
+// worker count; cached throughput is protocol-bound and scales with
+// sessions until the accept/session threads saturate a core.
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "svc/client.h"
+#include "svc/server.h"
+
+using namespace quanta;
+
+namespace {
+
+svc::Request make_request(const std::string& model, bool use_cache) {
+  svc::Request r;
+  r.engine = "mc";
+  r.model = model;
+  r.query = "mutex";
+  r.use_cache = use_cache;
+  return r;
+}
+
+/// Requests per second over `seconds` wall-clock from `clients` concurrent
+/// sessions, all issuing the same query. Returns 0 on any failed request.
+double measure_qps(const std::string& socket_path, const std::string& model,
+                   bool use_cache, int clients, double seconds) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < clients; ++i) {
+    threads.emplace_back([&] {
+      svc::Client client;
+      std::string error;
+      if (!client.connect_unix(socket_path, &error)) {
+        failed.store(true);
+        return;
+      }
+      const svc::Request req = make_request(model, use_cache);
+      while (!stop.load(std::memory_order_relaxed)) {
+        svc::Response resp;
+        if (!client.analyze(req, &resp, &error) ||
+            resp.status != svc::Status::kOk) {
+          failed.store(true);
+          return;
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  bench::Stopwatch timer;
+  while (timer.seconds() < seconds && !failed.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const double elapsed = timer.seconds();
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  if (failed.load()) return 0.0;
+  return static_cast<double>(completed.load()) / elapsed;
+}
+
+std::string fmt(double v, const char* spec = "%.1f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model = "train-gate-3";
+  std::string clients_spec = "1 2 4 8";
+  double seconds = 2.0;
+  int cold_reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_svc_throughput: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--model") == 0) {
+      model = need("--model");
+    } else if (std::strcmp(argv[i], "--clients") == 0) {
+      clients_spec = need("--clients");
+    } else if (std::strcmp(argv[i], "--seconds") == 0) {
+      seconds = std::atof(need("--seconds"));
+    } else if (std::strcmp(argv[i], "--cold-reps") == 0) {
+      cold_reps = std::atoi(need("--cold-reps"));
+    } else {
+      std::fprintf(stderr, "bench_svc_throughput: unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  char dir[] = "/tmp/qsvc-bench-XXXXXX";
+  if (::mkdtemp(dir) == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  const std::string socket_path = std::string(dir) + "/d.sock";
+  svc::ServerConfig cfg;
+  cfg.socket_path = socket_path;
+  svc::Server server(cfg);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "bench_svc_throughput: %s\n", error.c_str());
+    return 1;
+  }
+
+  // Cold per-request latency: cache-bypassed, sequential — every request
+  // pays one full engine run plus the service overhead.
+  svc::Client client;
+  if (!client.connect_unix(socket_path, &error)) {
+    std::fprintf(stderr, "bench_svc_throughput: %s\n", error.c_str());
+    return 1;
+  }
+  double cold_total = 0.0;
+  for (int i = 0; i < cold_reps; ++i) {
+    svc::Response resp;
+    bench::Stopwatch timer;
+    if (!client.analyze(make_request(model, /*use_cache=*/false), &resp,
+                        &error) ||
+        resp.status != svc::Status::kOk) {
+      std::fprintf(stderr, "bench_svc_throughput: cold query failed: %s %s\n",
+                   error.c_str(), resp.error.c_str());
+      return 1;
+    }
+    cold_total += timer.seconds();
+  }
+  const double cold_ms = 1000.0 * cold_total / cold_reps;
+
+  // Warm the single cache entry the cached rows will hit.
+  {
+    svc::Response resp;
+    if (!client.analyze(make_request(model, /*use_cache=*/true), &resp,
+                        &error) ||
+        resp.status != svc::Status::kOk) {
+      std::fprintf(stderr, "bench_svc_throughput: warm-up failed\n");
+      return 1;
+    }
+  }
+
+  std::printf("== ESVC: service throughput, %s mutex, cold %.2f ms/query ==\n",
+              model.c_str(), cold_ms);
+  bench::Table table({"sessions", "cold q/s", "cached q/s", "speedup"});
+  std::istringstream spec(clients_spec);
+  int clients = 0;
+  bool ok = true;
+  while (spec >> clients) {
+    const double cold_qps =
+        measure_qps(socket_path, model, /*use_cache=*/false, clients, seconds);
+    const double cached_qps =
+        measure_qps(socket_path, model, /*use_cache=*/true, clients, seconds);
+    if (cold_qps == 0.0 || cached_qps == 0.0) ok = false;
+    table.row({std::to_string(clients), fmt(cold_qps), fmt(cached_qps),
+               fmt(cold_qps > 0 ? cached_qps / cold_qps : 0.0, "%.0fx")});
+  }
+  table.print();
+  const auto stats = server.stats();
+  std::printf("  cache: %llu hits / %llu misses, engine runs: %llu\n",
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.misses),
+              static_cast<unsigned long long>(stats.jobs_executed));
+  server.stop();
+  return ok ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 
 #include "ckpt/atomic_file.h"
 #include "ckpt/crc32.h"
+#include "common/env.h"
 #include "common/fault.h"
 
 namespace quanta::ckpt {
@@ -120,19 +121,12 @@ const char* to_string(LoadStatus s) {
 }
 
 std::uint64_t Options::effective_interval() const {
-  // Mirrors the strict QUANTA_JOBS rules (exec/thread_pool.cpp): the whole
-  // string must be a positive decimal number — "12abc", "1e3", "-5", "0" and
-  // "" all fall back to the programmatic interval rather than silently
-  // disabling or misreading the cadence.
-  if (const char* env = std::getenv("QUANTA_CKPT_INTERVAL")) {
-    char* endp = nullptr;
-    errno = 0;
-    const unsigned long long v = std::strtoull(env, &endp, 10);
-    // strtoull silently wraps negative input; refuse any minus sign.
-    if (errno == 0 && endp != env && *endp == '\0' && v >= 1 &&
-        std::strchr(env, '-') == nullptr) {
-      return v > kMaxInterval ? kMaxInterval : v;
-    }
+  // Strict QUANTA_JOBS-style parsing (common::env_u64): the whole string must
+  // be a positive decimal number — "12abc", "1e3", "-5", "0" and "" all fall
+  // back to the programmatic interval rather than silently disabling or
+  // misreading the cadence.
+  if (const auto v = common::env_u64("QUANTA_CKPT_INTERVAL", kMaxInterval)) {
+    return *v;
   }
   return interval;
 }

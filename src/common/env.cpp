@@ -1,0 +1,23 @@
+#include "common/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace quanta::common {
+
+std::optional<std::uint64_t> env_u64(const char* name, std::uint64_t clamp) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return std::nullopt;
+  char* endp = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(env, &endp, 10);
+  // strtoull silently wraps negative input; refuse any minus sign.
+  if (errno != 0 || endp == env || *endp != '\0' || v < 1 ||
+      std::strchr(env, '-') != nullptr) {
+    return std::nullopt;
+  }
+  return v > clamp ? clamp : static_cast<std::uint64_t>(v);
+}
+
+}  // namespace quanta::common

@@ -1,22 +1,18 @@
 #include "exec/thread_pool.h"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdlib>
+
+#include "common/env.h"
 
 namespace quanta::exec {
 
 unsigned default_worker_count() {
-  if (const char* env = std::getenv("QUANTA_JOBS")) {
-    char* endp = nullptr;
-    errno = 0;
-    long v = std::strtol(env, &endp, 10);
-    // The whole value must be a positive decimal number: trailing garbage
-    // ("4x"), empty strings, zero/negative counts and out-of-range values all
-    // fall back to hardware_concurrency rather than half-parsing.
-    if (errno == 0 && endp != env && *endp == '\0' && v >= 1) {
-      return static_cast<unsigned>(std::min(v, 1024L));
-    }
+  // The whole value must be a positive decimal number (common::env_u64):
+  // trailing garbage ("4x"), empty strings, zero/negative counts and
+  // out-of-range values all fall back to hardware_concurrency rather than
+  // half-parsing.
+  if (const auto v = common::env_u64("QUANTA_JOBS", 1024)) {
+    return static_cast<unsigned>(*v);
   }
   unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;

@@ -1,0 +1,125 @@
+#include "svc/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace quanta::svc {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::connect_unix(const std::string& path, std::string* error) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long: " + path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *error = std::string("socket(AF_UNIX): ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    *error = "connect " + path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::connect_tcp(const std::string& host, int port, std::string* error) {
+  close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "invalid IPv4 address '" + host + "'";
+    return false;
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *error = std::string("socket(AF_INET): ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    *error = "connect " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::call(const WireMap& request, WireMap* response,
+                  std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  if (!write_frame(fd_, request.to_json())) {
+    *error = std::string("send: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  std::string payload;
+  switch (read_frame(fd_, &payload)) {
+    case FrameStatus::kOk:
+      break;
+    case FrameStatus::kEof:
+      *error = "connection closed by daemon";
+      close();
+      return false;
+    case FrameStatus::kTooLarge:
+      *error = "oversized response frame";
+      close();
+      return false;
+    case FrameStatus::kError:
+      *error = std::string("recv: ") + std::strerror(errno);
+      close();
+      return false;
+  }
+  auto parsed = WireMap::parse_json(payload, error);
+  if (!parsed) {
+    close();
+    return false;
+  }
+  *response = std::move(*parsed);
+  return true;
+}
+
+bool Client::analyze(const Request& req, Response* out, std::string* error) {
+  WireMap reply;
+  if (!call(to_wire(req), &reply, error)) return false;
+  auto parsed = parse_response(reply, error);
+  if (!parsed) return false;
+  *out = std::move(*parsed);
+  return true;
+}
+
+}  // namespace quanta::svc

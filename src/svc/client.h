@@ -1,0 +1,43 @@
+// Client side of the analysis service: a connected session that frames
+// requests and parses responses. One Client is one socket — calls on it
+// are sequential (the protocol is strict request/response), but any number
+// of Clients may talk to the same daemon concurrently.
+#pragma once
+
+#include <string>
+
+#include "svc/request.h"
+#include "svc/wire.h"
+
+namespace quanta::svc {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects over a Unix-domain socket / loopback TCP. False (with the
+  /// reason in *error) on failure; the client is then unconnected.
+  bool connect_unix(const std::string& path, std::string* error);
+  bool connect_tcp(const std::string& host, int port, std::string* error);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// One raw request/response round trip. False on any socket or protocol
+  /// error (the connection is unusable afterwards).
+  bool call(const WireMap& request, WireMap* response, std::string* error);
+
+  /// Typed round trip: frames `req`, parses the reply into *out. False only
+  /// on transport/parse failure — an unhappy Status (kOverload, ...) is a
+  /// successful call whose outcome is in out->status.
+  bool analyze(const Request& req, Response* out, std::string* error);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace quanta::svc

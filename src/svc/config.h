@@ -1,0 +1,28 @@
+// Daemon sizing knobs, resolved from the QUANTAD_* environment with the
+// same strict rules as QUANTA_JOBS (common::env_u64): the whole value must
+// be a positive decimal number; anything else falls back to the documented
+// default. Command-line flags of tools/quantad override these resolved
+// values; the environment is the fleet-wide baseline.
+#pragma once
+
+#include <cstddef>
+
+namespace quanta::svc {
+
+/// Concurrent job-runner threads. QUANTAD_JOBS, clamp 1024; default
+/// hardware_concurrency (>= 1) — the daemon's analogue of QUANTA_JOBS.
+unsigned default_daemon_jobs();
+
+/// Queued (admitted, not yet running) jobs before load-shedding rejects
+/// with kOverload. QUANTAD_QUEUE_DEPTH, clamp 1'048'576; default 64.
+std::size_t default_queue_depth();
+inline constexpr std::size_t kDefaultQueueDepth = 64;
+inline constexpr std::size_t kMaxQueueDepth = 1u << 20;
+
+/// Result-cache byte budget. QUANTAD_CACHE_MEM (bytes), clamp 1 TiB;
+/// default 64 MiB.
+std::size_t default_cache_bytes();
+inline constexpr std::size_t kDefaultCacheBytes = 64ull << 20;
+inline constexpr std::size_t kMaxCacheBytes = 1ull << 40;
+
+}  // namespace quanta::svc

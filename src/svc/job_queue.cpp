@@ -1,0 +1,121 @@
+#include "svc/job_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace quanta::svc {
+
+const char* to_string(Admission a) {
+  switch (a) {
+    case Admission::kAdmitted: return "admitted";
+    case Admission::kQueueFull: return "queue-full";
+    case Admission::kMemoryOverload: return "memory-overload";
+    case Admission::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+JobQueue::JobQueue(const Limits& limits) : limits_(limits) {
+  const unsigned n = std::max(1u, limits_.workers);
+  running_cancel_.assign(n, nullptr);
+  runners_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    runners_.emplace_back([this, i] { runner_loop(i); });
+  }
+}
+
+JobQueue::~JobQueue() { shutdown(); }
+
+Admission JobQueue::submit(Priority lane, Job job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
+    ++counters_.rejected_shutdown;
+    return Admission::kShutdown;
+  }
+  if (queued_ >= limits_.depth) {
+    ++counters_.rejected_queue;
+    return Admission::kQueueFull;
+  }
+  if (job.mem_charge > limits_.inflight_bytes - inflight_bytes_) {
+    ++counters_.rejected_memory;
+    return Admission::kMemoryOverload;
+  }
+  inflight_bytes_ += job.mem_charge;
+  lanes_[static_cast<int>(lane)].push_back(std::move(job));
+  ++queued_;
+  ++counters_.submitted;
+  cv_.notify_one();
+  return Admission::kAdmitted;
+}
+
+void JobQueue::runner_loop(unsigned id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return queued_ > 0 || shutdown_; });
+    if (queued_ == 0) {
+      if (shutdown_) return;  // drained: runners only exit on an empty queue
+      continue;
+    }
+    Job job;
+    for (auto& lane : lanes_) {
+      if (!lane.empty()) {
+        job = std::move(lane.front());
+        lane.pop_front();
+        break;
+      }
+    }
+    --queued_;
+    ++running_;
+    // A shutdown that began after the pop cancels through this slot; one
+    // that began before already cancelled the job while it was queued.
+    if (shutdown_ && job.cancel != nullptr) job.cancel->cancel();
+    running_cancel_[id] = job.cancel;
+    lock.unlock();
+    try {
+      job.run();
+    } catch (...) {
+      // Job bodies deliver their own results; an escaped exception must not
+      // take the runner (and with it the daemon's capacity) down.
+    }
+    lock.lock();
+    running_cancel_[id] = nullptr;
+    --running_;
+    inflight_bytes_ -= job.mem_charge;
+    ++counters_.executed;
+    if (shutdown_ && queued_ == 0) cv_.notify_all();
+  }
+}
+
+void JobQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    // Cancel everything in flight: queued jobs still run, but their engines
+    // stop at the first budget poll; running jobs stop at their next poll —
+    // either way every admitted job delivers a result and no session
+    // blocked on one can deadlock.
+    for (auto& lane : lanes_) {
+      for (Job& j : lane) {
+        if (j.cancel != nullptr) j.cancel->cancel();
+      }
+    }
+    for (common::CancelToken* t : running_cancel_) {
+      if (t != nullptr) t->cancel();
+    }
+  }
+  cv_.notify_all();
+  for (std::thread& t : runners_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+JobQueue::Stats JobQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = counters_;
+  s.queued = queued_;
+  s.running = running_;
+  s.inflight_bytes = inflight_bytes_;
+  return s;
+}
+
+}  // namespace quanta::svc

@@ -1,0 +1,107 @@
+// Bounded job queue with priority lanes and load-shedding — the admission
+// control of the analysis service, in the spirit of rippled's JobQueue:
+// a server under pressure rejects deterministically at the front door
+// instead of queueing itself to death.
+//
+// Admission (one decision, under one lock, at submit time):
+//   * kQueueFull     — the number of queued (admitted, not yet running)
+//                      jobs has reached `depth`;
+//   * kMemoryOverload — the admitted job's memory charge would push the
+//                      in-flight sum (queued + running) past
+//                      `inflight_bytes`;
+//   * kShutdown      — shutdown() has begun.
+// Rejection never blocks and has no side effects, so overload responses
+// are cheap and deterministic under any interleaving of admitted work.
+//
+// Execution: `workers` runner threads pop the highest non-empty lane in
+// FIFO order and invoke Job::run. A job's run() owns its own error
+// handling and result delivery (the server wraps engine calls in
+// common::governed and fulfills a promise); the queue additionally absorbs
+// any escaped exception so a faulty job can never kill a runner.
+//
+// Shutdown: new submissions are rejected, every admitted job's CancelToken
+// is fired (a governed engine stops at its next budget poll and still
+// delivers its — kCancelled — result), and the runners drain the queue to
+// empty before joining. Every admitted job runs exactly once, so a session
+// blocked on a job's promise is always unblocked: shutdown with jobs in
+// flight cannot deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/budget.h"
+#include "svc/request.h"
+
+namespace quanta::svc {
+
+/// Outcome of JobQueue::submit.
+enum class Admission { kAdmitted, kQueueFull, kMemoryOverload, kShutdown };
+const char* to_string(Admission a);
+
+class JobQueue {
+ public:
+  struct Limits {
+    unsigned workers = 1;
+    std::size_t depth = 64;                                   ///< queued jobs
+    std::size_t inflight_bytes = 4ull << 30;                  ///< queued+running
+  };
+
+  struct Job {
+    std::function<void()> run;
+    /// Fired on shutdown so in-flight engines stop at the next budget poll.
+    /// Not owned; must stay valid until run() returns (the submitting
+    /// session owns it and blocks on the job's result, so it does).
+    common::CancelToken* cancel = nullptr;
+    /// Admission charge against Limits::inflight_bytes: the job's memory
+    /// budget, or the server's default charge when the request has none.
+    std::size_t mem_charge = 0;
+  };
+
+  explicit JobQueue(const Limits& limits);
+  ~JobQueue();
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  Admission submit(Priority lane, Job job);
+
+  /// Idempotent. Blocks until the queue is drained and all runners joined.
+  void shutdown();
+
+  struct Stats {
+    std::uint64_t submitted = 0;   ///< admitted jobs
+    std::uint64_t executed = 0;    ///< jobs whose run() returned
+    std::uint64_t rejected_queue = 0;
+    std::uint64_t rejected_memory = 0;
+    std::uint64_t rejected_shutdown = 0;
+    std::size_t queued = 0;        ///< currently waiting
+    std::size_t running = 0;       ///< currently executing
+    std::size_t inflight_bytes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void runner_loop(unsigned id);
+
+  const Limits limits_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> lanes_[kLaneCount];
+  std::size_t queued_ = 0;
+  std::size_t running_ = 0;
+  std::size_t inflight_bytes_ = 0;
+  bool shutdown_ = false;
+  Stats counters_;
+  /// Cancel token of the job runner `id` is currently executing (nullptr
+  /// when idle) — what shutdown() fires for the running, not just the
+  /// queued, jobs.
+  std::vector<common::CancelToken*> running_cancel_;
+  std::vector<std::thread> runners_;  ///< last member: started in ctor
+};
+
+}  // namespace quanta::svc

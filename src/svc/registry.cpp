@@ -1,0 +1,216 @@
+#include "svc/registry.h"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/pred.h"
+#include "cora/priced.h"
+#include "game/tiga.h"
+#include "mc/reachability.h"
+#include "models/train_game.h"
+#include "models/train_gate.h"
+#include "smc/estimate.h"
+#include "smc/simulator.h"
+
+namespace quanta::svc {
+
+namespace {
+
+/// "train-gate-4" → family "train-gate", size 4. Sizes are bounded so a
+/// request cannot ask the daemon to build an astronomically large model.
+struct ModelName {
+  std::string family;
+  int size = 0;
+};
+
+std::optional<ModelName> parse_model(const std::string& name) {
+  const std::size_t dash = name.rfind('-');
+  if (dash == std::string::npos || dash + 1 >= name.size()) return std::nullopt;
+  int size = 0;
+  for (std::size_t i = dash + 1; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    size = size * 10 + (name[i] - '0');
+    if (size > 99) return std::nullopt;
+  }
+  return ModelName{name.substr(0, dash), size};
+}
+
+/// The paper's mutual-exclusion property, labeled exactly as the ckpt_smoke
+/// driver labels it so service and CLI runs share checkpoint fingerprints.
+mc::StatePredicate mutual_exclusion(const models::TrainGate& tg) {
+  std::vector<int> cross_loc;
+  for (int i = 0; i < tg.num_trains; ++i) {
+    cross_loc.push_back(
+        tg.system.process(tg.trains[static_cast<std::size_t>(i)])
+            .location_index("Cross"));
+  }
+  auto trains = tg.trains;
+  return common::labeled_pred<ta::SymState>(
+      "train-gate-mutex", [trains, cross_loc](const ta::SymState& s) {
+        int crossing = 0;
+        for (std::size_t i = 0; i < trains.size(); ++i) {
+          if (s.locs[static_cast<std::size_t>(trains[i])] == cross_loc[i]) {
+            ++crossing;
+          }
+        }
+        return crossing <= 1;
+      });
+}
+
+JobResult from_search(common::Verdict verdict, const core::SearchStats& stats,
+                      std::int64_t extra, const ckpt::ResumeInfo& resume) {
+  JobResult out;
+  out.verdict = verdict;
+  out.stop = stats.stop;
+  out.stored = stats.states_stored;
+  out.explored = stats.states_explored;
+  out.transitions = stats.transitions;
+  out.extra = extra;
+  out.resume = resume;
+  return out;
+}
+
+}  // namespace
+
+std::optional<PreparedJob> prepare_job(const Request& r, std::string* error) {
+  auto fail = [&](std::string why) -> std::optional<PreparedJob> {
+    if (error != nullptr) *error = std::move(why);
+    return std::nullopt;
+  };
+  const auto model = parse_model(r.model);
+  if (!model) {
+    return fail("unknown model '" + r.model +
+                "' (expected train-gate-<N> or train-game-<N>)");
+  }
+
+  PreparedJob job;
+  job.cache_key = "q1|" + r.engine + "|" + r.model + "|" + r.query;
+
+  if (r.engine == "mc" || r.engine == "cora" || r.engine == "smc") {
+    if (model->family != "train-gate") {
+      return fail("engine '" + r.engine + "' serves train-gate-<N> models");
+    }
+    if (model->size < 2 || model->size > 8) {
+      return fail("train-gate size must be in [2, 8]");
+    }
+  } else if (r.engine == "game") {
+    if (model->family != "train-game") {
+      return fail("engine 'game' serves train-game-<N> models");
+    }
+    if (model->size < 1 || model->size > 3) {
+      return fail("train-game size must be in [1, 3]");
+    }
+  } else {
+    return fail("unknown engine '" + r.engine +
+                "' (expected mc, smc, game or cora)");
+  }
+
+  const int n = model->size;
+  if (r.engine == "mc") {
+    if (r.query != "mutex" && r.query != "reach-cross") {
+      return fail("mc queries: mutex, reach-cross");
+    }
+    const bool invariant = (r.query == "mutex");
+    job.run = [n, invariant](const common::Budget& budget,
+                             const ckpt::Options& checkpoint,
+                             core::ExplorationObserver* observer) {
+      auto tg = models::make_train_gate(n);
+      mc::ReachOptions opts;
+      opts.record_trace = false;
+      opts.observer = observer;
+      opts.limits.budget = budget;
+      opts.checkpoint = checkpoint;
+      if (invariant) {
+        const auto res =
+            mc::check_invariant(tg.system, mutual_exclusion(tg), opts);
+        return from_search(res.verdict, res.stats, 0, res.resume);
+      }
+      const int cross =
+          tg.system.process(tg.trains[0]).location_index("Cross");
+      const auto goal =
+          common::loc_index_pred<ta::SymState>(tg.trains[0], cross);
+      const auto res = mc::reachable(tg.system, goal, opts);
+      return from_search(res.verdict, res.stats, 0, res.resume);
+    };
+  } else if (r.engine == "smc") {
+    if (r.query != "pr-cross") return fail("smc queries: pr-cross");
+    char bound[64];
+    std::snprintf(bound, sizeof(bound), "%.17g", r.bound);
+    job.cache_key += "|runs=" + std::to_string(r.runs) +
+                     "|seed=" + std::to_string(r.seed) + "|bound=" + bound;
+    const std::uint64_t runs = r.runs;
+    const std::uint64_t seed = r.seed;
+    const double time_bound = r.bound;
+    job.run = [n, runs, seed, time_bound](const common::Budget& budget,
+                                          const ckpt::Options& checkpoint,
+                                          core::ExplorationObserver*) {
+      auto tg = models::make_train_gate(n);
+      const int cross =
+          tg.system.process(tg.trains[0]).location_index("Cross");
+      smc::TimeBoundedReach prop;
+      prop.time_bound = time_bound;
+      prop.goal =
+          common::loc_index_pred<ta::ConcreteState>(tg.trains[0], cross);
+      const auto est = smc::estimate_probability_runs(
+          tg.system, prop, runs, /*alpha=*/0.05, seed, budget, checkpoint);
+      JobResult out;
+      out.verdict = est.verdict;
+      out.stop = est.stop;
+      out.explored = est.completed;
+      out.transitions = est.runs;
+      out.extra = static_cast<std::int64_t>(est.hits);
+      out.has_value = true;
+      out.value = est.p_hat;
+      out.resume = est.resume;
+      return out;
+    };
+  } else if (r.engine == "game") {
+    if (r.query != "reach-cross") return fail("game queries: reach-cross");
+    job.run = [n](const common::Budget& budget,
+                  const ckpt::Options& checkpoint,
+                  core::ExplorationObserver* observer) {
+      // Reachability objectives need train 0 already approaching — from
+      // all-Safe the environment may simply never send a train.
+      auto tg = models::make_train_game(
+          {.num_trains = n, .first_train_approaching = true});
+      const auto goal =
+          common::loc_index_pred<ta::DigitalState>(tg.trains[0], tg.l_cross);
+      core::SearchLimits limits;
+      limits.budget = budget;
+      game::TimedGame g(tg.system, limits, checkpoint, observer);
+      const auto res = g.solve_reachability(goal);
+      return from_search(res.verdict, res.stats,
+                         static_cast<std::int64_t>(res.winning_states),
+                         res.resume);
+    };
+  } else {  // cora
+    if (r.query != "mincost-cross") return fail("cora queries: mincost-cross");
+    job.run = [n](const common::Budget& budget,
+                  const ckpt::Options& checkpoint,
+                  core::ExplorationObserver* observer) {
+      auto tg = models::make_train_gate(n);
+      cora::PriceModel prices(tg.system);
+      for (int t : tg.trains) {
+        const auto& proc = tg.system.process(t);
+        prices.set_location_rate(t, proc.location_index("Appr"), 1);
+        prices.set_location_rate(t, proc.location_index("Stop"), 1);
+      }
+      const int cross =
+          tg.system.process(tg.trains[0]).location_index("Cross");
+      const auto goal =
+          common::loc_index_pred<ta::DigitalState>(tg.trains[0], cross);
+      cora::MinCostOptions opts;
+      opts.limits.budget = budget;
+      opts.checkpoint = checkpoint;
+      opts.observer = observer;
+      const auto res = cora::min_cost_reachability(tg.system, prices, goal, opts);
+      return from_search(res.verdict, res.stats, res.cost, res.resume);
+    };
+  }
+
+  job.fingerprint = ckpt::Fingerprint().mix_str(job.cache_key).digest();
+  return job;
+}
+
+}  // namespace quanta::svc

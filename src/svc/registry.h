@@ -1,0 +1,78 @@
+// The analysis registry of the service: maps the (engine, model, query)
+// names of a request onto the built-in `src/models` instances and the
+// library entry points that answer them, producing a canonical cache key,
+// its FNV-1a fingerprint (the same accumulator src/ckpt uses) and a
+// runnable closure.
+//
+// Catalogue (engine · model family · query):
+//
+//   mc   · train-gate-<N> (N 2..8) · mutex        A[] at most one train crossing
+//   mc   · train-gate-<N>          · reach-cross  E<> train 0 crossing
+//   smc  · train-gate-<N>          · pr-cross     Pr[<= bound](<> train 0 crossing)
+//   game · train-game-<N> (N 1..3) · reach-cross  TIGA reachability synthesis
+//   cora · train-gate-<N>          · mincost-cross  min-cost reach (Appr/Stop rate 1)
+//
+// Response stats mapping (Response fields per engine):
+//
+//   engine | stored         | explored        | transitions      | extra          | value
+//   mc     | states stored  | states explored | transitions      | 0              | —
+//   smc    | 0              | completed runs  | requested runs   | hits           | p_hat
+//   game   | states stored  | states explored | transitions      | winning states | —
+//   cora   | states stored  | states explored | transitions      | optimal cost   | —
+//
+// The cache key covers exactly the inputs that determine a completed
+// result: engine, model and query names (a name pins down the whole model
+// — models are built in), plus runs/seed/bound for the statistical engine.
+// Budgets, priorities, checkpoint cadence and debug pacing are not part of
+// the key: a completed run's verdict and statistics are independent of
+// them (the resume bit-identity guarantee of src/ckpt).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "ckpt/checkpoint.h"
+#include "common/budget.h"
+#include "common/verdict.h"
+#include "core/observer.h"
+#include "svc/request.h"
+
+namespace quanta::svc {
+
+/// Engine-uniform outcome of one executed job.
+struct JobResult {
+  common::Verdict verdict = common::Verdict::kUnknown;
+  common::StopReason stop = common::StopReason::kCompleted;
+  std::uint64_t stored = 0;
+  std::uint64_t explored = 0;
+  std::uint64_t transitions = 0;
+  std::int64_t extra = 0;
+  bool has_value = false;
+  double value = 0.0;
+  ckpt::ResumeInfo resume;
+};
+
+struct PreparedJob {
+  /// Canonical "q1|engine|model|query[|params]" form; what the cache and
+  /// the resume token fingerprint.
+  std::string cache_key;
+  /// FNV-1a digest of cache_key (ckpt::Fingerprint).
+  std::uint64_t fingerprint = 0;
+  /// Executes the analysis under the given budget/checkpoint policy. The
+  /// observer (may be nullptr) reaches the symbolic engines only — the
+  /// statistical runtime has no per-state hook. Model construction happens
+  /// inside the call, so a cache hit never builds a model.
+  std::function<JobResult(const common::Budget& budget,
+                          const ckpt::Options& checkpoint,
+                          core::ExplorationObserver* observer)>
+      run;
+};
+
+/// Validates the names/params of `r` against the catalogue above. Unknown
+/// engines, model families, out-of-range sizes and engine/query mismatches
+/// return nullopt with a diagnostic in *error.
+std::optional<PreparedJob> prepare_job(const Request& r, std::string* error);
+
+}  // namespace quanta::svc

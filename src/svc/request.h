@@ -1,0 +1,93 @@
+// Request/response vocabulary of the analysis service: the typed form of
+// one wire message, its validation rules, and the deterministic response
+// serialization that makes "served from cache" bit-identical to "freshly
+// computed" (everything but the `cached` flag).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/verdict.h"
+#include "svc/wire.h"
+
+namespace quanta::svc {
+
+/// Outcome class of one request, the first field of every response.
+enum class Status {
+  kOk,          ///< the analysis ran (or was served from cache)
+  kOverload,    ///< load-shedding rejected the job (queue/memory admission)
+  kBadRequest,  ///< malformed or unknown engine/model/query/params
+  kShutdown,    ///< the daemon is stopping; resubmit elsewhere/later
+  kError,       ///< internal failure (the daemon itself stays up)
+};
+
+const char* to_string(Status s);
+std::optional<Status> parse_status(const std::string& s);
+
+/// Queue lanes, highest first. The wire value is "high"/"normal"/"low".
+enum class Priority { kHigh = 0, kNormal = 1, kLow = 2 };
+
+inline constexpr int kLaneCount = 3;
+
+/// One analysis request. Wire fields (all optional unless noted):
+///   engine (required)   mc | smc | game | cora | svc (builtins)
+///   model  (required*)  a src/models registry name, e.g. "train-gate-4"
+///   query  (required*)  engine-specific query name, e.g. "mutex"
+///   priority            high | normal | low (default normal)
+///   deadline_ms         wall-clock budget for the job (0 = none)
+///   memory_mb           memory ceiling for the job (0 = none)
+///   runs, seed, bound   smc sample size / RNG seed / time bound
+///   ckpt_interval       periodic snapshot cadence (engine progress units)
+///   resume              resume token from a previous budget-tripped reply
+///   cache               "0" bypasses the result cache (lookup and insert)
+///   hold_ms, throttle_us  debug-only pacing knobs (--debug daemons)
+/// (*) not required for engine "svc" builtins ("stats", "ping").
+struct Request {
+  std::string engine;
+  std::string model;
+  std::string query;
+  Priority priority = Priority::kNormal;
+  std::uint64_t deadline_ms = 0;
+  std::uint64_t memory_mb = 0;
+  std::uint64_t runs = 2000;
+  std::uint64_t seed = 1;
+  double bound = 100.0;
+  std::uint64_t ckpt_interval = 0;
+  std::string resume;
+  bool use_cache = true;
+  std::uint64_t hold_ms = 0;
+  std::uint64_t throttle_us = 0;
+};
+
+/// Validates field values (unknown keys are ignored — forward compatible;
+/// malformed values of known keys are rejected, never half-parsed).
+std::optional<Request> parse_request(const WireMap& m, std::string* error);
+WireMap to_wire(const Request& r);
+
+/// One analysis response. `verdict`/`stop` use the common vocabulary;
+/// stats are the engine-specific mapping documented in svc/registry.h.
+struct Response {
+  Status status = Status::kError;
+  std::string error;  ///< reason when status != kOk
+  bool cached = false;
+  common::Verdict verdict = common::Verdict::kUnknown;
+  common::StopReason stop = common::StopReason::kCompleted;
+  std::uint64_t stored = 0;
+  std::uint64_t explored = 0;
+  std::uint64_t transitions = 0;
+  std::int64_t extra = 0;
+  bool has_value = false;
+  double value = 0.0;
+  std::string resume;  ///< resume token when a checkpoint was saved
+};
+
+/// Deterministic field order; cache hits re-serialize the stored Response
+/// with only `cached` flipped, so byte-level diffs ignore exactly one field.
+WireMap to_wire(const Response& r);
+std::optional<Response> parse_response(const WireMap& m, std::string* error);
+
+/// Approximate heap footprint of a cached response (ResultCache accounting).
+std::size_t response_bytes(const Response& r);
+
+}  // namespace quanta::svc

@@ -1,0 +1,81 @@
+#include "svc/result_cache.h"
+
+namespace quanta::svc {
+
+namespace {
+
+std::size_t entry_bytes(const std::string& key, const Response& r) {
+  return key.size() + response_bytes(r) + ResultCache::kEntryOverhead;
+}
+
+}  // namespace
+
+bool ResultCache::lookup(std::uint64_t fingerprint, const std::string& key,
+                         Response* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [lo, hi] = index_.equal_range(fingerprint);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second->key != key) continue;  // fingerprint collision: skip
+    lru_.splice(lru_.begin(), lru_, it->second);
+    *out = it->second->response;
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  return false;
+}
+
+void ResultCache::insert(std::uint64_t fingerprint, const std::string& key,
+                         const Response& response) {
+  const std::size_t bytes = entry_bytes(key, response);
+  if (bytes > budget_) return;  // would evict everything and still not fit
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [lo, hi] = index_.equal_range(fingerprint);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second->key != key) continue;
+    // Refresh in place (e.g. a cache=0 run of an already-cached query).
+    bytes_ -= it->second->bytes;
+    it->second->response = response;
+    it->second->bytes = bytes;
+    bytes_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    evict_to_fit(0);
+    return;
+  }
+  evict_to_fit(bytes);
+  lru_.push_front(Entry{fingerprint, key, response, bytes});
+  index_.emplace(fingerprint, lru_.begin());
+  bytes_ += bytes;
+  ++insertions_;
+}
+
+void ResultCache::evict_to_fit(std::size_t incoming) {
+  while (bytes_ + incoming > budget_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    auto [lo, hi] = index_.equal_range(victim.fingerprint);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == std::prev(lru_.end())) {
+        index_.erase(it);
+        break;
+      }
+    }
+    bytes_ -= victim.bytes;
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  s.budget = budget_;
+  return s;
+}
+
+}  // namespace quanta::svc

@@ -1,0 +1,80 @@
+// Fingerprint-keyed result cache of the analysis service: repeated queries
+// from heavy traffic are answered in O(1) without touching an engine.
+//
+// Keying: the bucket key is the 64-bit FNV-1a fingerprint of the canonical
+// job key (svc/registry.h), the same accumulator the checkpoint subsystem
+// uses — but a hit additionally compares the full canonical key string, so
+// a fingerprint collision between structurally different queries can never
+// serve the wrong result (it merely shares a bucket).
+//
+// Eviction: strict LRU under a byte budget. Every entry is charged its key
+// plus the approximate response footprint plus a fixed bookkeeping
+// overhead; inserting past the budget evicts from the cold end until the
+// new entry fits. An entry larger than the whole budget is not cached.
+//
+// Policy (enforced by the caller, documented here): only completed results
+// are inserted — a kUnknown verdict depends on the budget that truncated
+// it, so caching it would let one client's tiny deadline poison another
+// client's answer.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "svc/request.h"
+
+namespace quanta::svc {
+
+class ResultCache {
+ public:
+  /// Fixed per-entry bookkeeping charge (list/map nodes, pointers).
+  static constexpr std::size_t kEntryOverhead = 64;
+
+  explicit ResultCache(std::size_t byte_budget) : budget_(byte_budget) {}
+
+  /// LRU-touching lookup. True iff an entry with this exact canonical key
+  /// exists; *out receives a copy of the cached response.
+  bool lookup(std::uint64_t fingerprint, const std::string& key,
+              Response* out);
+
+  /// Inserts (or refreshes) the entry, evicting cold entries to fit.
+  void insert(std::uint64_t fingerprint, const std::string& key,
+              const Response& response);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+    std::size_t budget = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    std::string key;
+    Response response;
+    std::size_t bytes = 0;
+  };
+  using Lru = std::list<Entry>;
+
+  void evict_to_fit(std::size_t incoming);
+
+  mutable std::mutex mu_;
+  std::size_t budget_;
+  std::size_t bytes_ = 0;
+  Lru lru_;  ///< front = hottest, back = next eviction victim
+  std::unordered_multimap<std::uint64_t, Lru::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace quanta::svc

@@ -1,0 +1,475 @@
+#include "svc/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "common/fault.h"
+#include "core/observer.h"
+#include "svc/config.h"
+#include "svc/wire.h"
+
+namespace quanta::svc {
+
+namespace {
+
+std::string fingerprint_token(std::uint64_t fp) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+Response make_error(Status status, std::string why) {
+  Response r;
+  r.status = status;
+  r.error = std::move(why);
+  return r;
+}
+
+Response from_job_result(const JobResult& jr, const std::string& token) {
+  Response r;
+  r.status = Status::kOk;
+  r.verdict = jr.verdict;
+  r.stop = jr.stop;
+  r.stored = jr.stored;
+  r.explored = jr.explored;
+  r.transitions = jr.transitions;
+  r.extra = jr.extra;
+  r.has_value = jr.has_value;
+  r.value = jr.value;
+  // A saved snapshot turns the kUnknown verdict into a resumable job: the
+  // client re-submits the same query with this token to continue it.
+  if (jr.resume.saved && jr.verdict == common::Verdict::kUnknown) {
+    r.resume = token;
+  }
+  return r;
+}
+
+/// Debug pacing for the CI smoke and the budget-trip tests: stretches a
+/// symbolic search so deadlines and SIGKILLs land mid-run (the service
+/// twin of tools/ckpt_smoke's Throttle).
+class Throttle final : public core::ExplorationObserver {
+ public:
+  explicit Throttle(std::uint64_t us) : us_(us) {}
+  void on_state_explored(std::int32_t) override {
+    if (us_ > 0) std::this_thread::sleep_for(std::chrono::microseconds(us_));
+  }
+
+ private:
+  std::uint64_t us_;
+};
+
+}  // namespace
+
+Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.jobs == 0) cfg_.jobs = default_daemon_jobs();
+  if (cfg_.queue_depth == 0) cfg_.queue_depth = default_queue_depth();
+  if (cfg_.cache_bytes == 0) cfg_.cache_bytes = default_cache_bytes();
+}
+
+Server::~Server() { stop(); }
+
+bool Server::listen_unix(std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (cfg_.socket_path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long: " + cfg_.socket_path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, cfg_.socket_path.c_str(),
+              cfg_.socket_path.size() + 1);
+  unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (unix_fd_ < 0) {
+    *error = std::string("socket(AF_UNIX): ") + std::strerror(errno);
+    return false;
+  }
+  // A SIGKILLed daemon leaves its socket file behind; rebinding over it is
+  // the clean-restart path the CI smoke exercises.
+  ::unlink(cfg_.socket_path.c_str());
+  if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(unix_fd_, 64) < 0) {
+    *error = "bind/listen " + cfg_.socket_path + ": " + std::strerror(errno);
+    ::close(unix_fd_);
+    unix_fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+bool Server::listen_tcp(std::string* error) {
+  tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (tcp_fd_ < 0) {
+    *error = std::string("socket(AF_INET): ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.tcp_port));
+  if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(tcp_fd_, 64) < 0) {
+    *error = "bind/listen 127.0.0.1:" + std::to_string(cfg_.tcp_port) + ": " +
+             std::strerror(errno);
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    tcp_port_ = ntohs(bound.sin_port);
+  }
+  return true;
+}
+
+bool Server::start(std::string* error) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  std::string local_error;
+  if (error == nullptr) error = &local_error;
+  if (started_) {
+    *error = "server already started";
+    return false;
+  }
+  if (cfg_.socket_path.empty() && cfg_.tcp_port < 0) {
+    *error = "no listener configured (socket_path or tcp_port)";
+    return false;
+  }
+  if (!cfg_.ckpt_dir.empty()) {
+    if (::mkdir(cfg_.ckpt_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      *error = "mkdir " + cfg_.ckpt_dir + ": " + std::strerror(errno);
+      return false;
+    }
+  }
+  if (!cfg_.socket_path.empty() && !listen_unix(error)) return false;
+  if (cfg_.tcp_port >= 0 && !listen_tcp(error)) {
+    if (unix_fd_ >= 0) {
+      ::close(unix_fd_);
+      unix_fd_ = -1;
+      ::unlink(cfg_.socket_path.c_str());
+    }
+    return false;
+  }
+  queue_ = std::make_unique<JobQueue>(JobQueue::Limits{
+      cfg_.jobs, cfg_.queue_depth, cfg_.inflight_bytes});
+  cache_ = std::make_unique<ResultCache>(cfg_.cache_bytes);
+  if (unix_fd_ >= 0) {
+    acceptors_.emplace_back([this, fd = unix_fd_] { accept_loop(fd); });
+  }
+  if (tcp_fd_ >= 0) {
+    acceptors_.emplace_back([this, fd = tcp_fd_] { accept_loop(fd); });
+  }
+  started_ = true;
+  return true;
+}
+
+void Server::stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  // 1. Wake the acceptors: shutdown() unblocks a blocked accept(2) (close
+  //    alone does not, reliably), then join and close.
+  if (unix_fd_ >= 0) ::shutdown(unix_fd_, SHUT_RDWR);
+  if (tcp_fd_ >= 0) ::shutdown(tcp_fd_, SHUT_RDWR);
+  for (std::thread& t : acceptors_) {
+    if (t.joinable()) t.join();
+  }
+  acceptors_.clear();
+  if (unix_fd_ >= 0) ::close(unix_fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  unix_fd_ = tcp_fd_ = -1;
+  // 2. Cancel + drain the job queue: every session blocked on a job's
+  //    promise receives its (kCancelled) result.
+  queue_->shutdown();
+  // 3. Unblock session reads (EOF) but let queued responses flush, then
+  //    join. New requests racing in were answered with status=shutdown.
+  {
+    std::lock_guard<std::mutex> slock(sessions_mu_);
+    for (auto& s : sessions_) {
+      if (!s->done.load(std::memory_order_acquire)) {
+        ::shutdown(s->fd, SHUT_RD);
+      }
+    }
+  }
+  for (;;) {
+    std::unique_ptr<Session> victim;
+    {
+      std::lock_guard<std::mutex> slock(sessions_mu_);
+      if (sessions_.empty()) break;
+      victim = std::move(sessions_.front());
+      sessions_.pop_front();
+    }
+    if (victim->thread.joinable()) victim->thread.join();
+    ::close(victim->fd);
+  }
+  if (!cfg_.socket_path.empty()) ::unlink(cfg_.socket_path.c_str());
+  started_ = false;
+}
+
+void Server::reap_finished_sessions() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      ::close((*it)->fd);
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::accept_loop(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (stop_.load(std::memory_order_acquire)) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down underneath us
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    reap_finished_sessions();
+    try {
+      common::FaultInjector::site("svc.accept");
+    } catch (...) {
+      // Injected accept fault: this one connection is dropped, the daemon
+      // keeps serving — exactly the degradation QUANTA_FAULT CI asserts.
+      accept_faults_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    auto session = std::make_unique<Session>();
+    Session* raw = session.get();
+    raw->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions_.push_back(std::move(session));
+    }
+    raw->thread = std::thread([this, raw] { session_loop(raw); });
+  }
+}
+
+void Server::session_loop(Session* session) {
+  std::string payload;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const FrameStatus fs = read_frame(session->fd, &payload);
+    if (fs != FrameStatus::kOk) {
+      // kTooLarge is the one protocol error worth answering before the
+      // drop — the peer is alive, merely talking garbage.
+      if (fs == FrameStatus::kTooLarge) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        write_frame(session->fd,
+                    to_wire(make_error(Status::kBadRequest, "frame too large"))
+                        .to_json());
+      }
+      break;
+    }
+    const WireMap response = handle_payload(payload);
+    if (!write_frame(session->fd, response.to_json())) break;
+  }
+  ::shutdown(session->fd, SHUT_RDWR);
+  session->done.store(true, std::memory_order_release);
+}
+
+WireMap Server::handle_payload(const std::string& payload) {
+  std::string error;
+  const auto map = WireMap::parse_json(payload, &error);
+  if (!map) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return to_wire(make_error(Status::kBadRequest, "malformed frame: " + error));
+  }
+  const auto req = parse_request(*map, &error);
+  if (!req) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return to_wire(make_error(Status::kBadRequest, error));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (req->engine == "svc") return handle_builtin(*req);
+  const Response resp = run_analysis(*req);
+  if (resp.status == Status::kBadRequest) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+  } else if (resp.status == Status::kOverload) {
+    overloads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return to_wire(resp);
+}
+
+WireMap Server::handle_builtin(const Request& req) {
+  if (req.query == "ping" || req.query.empty()) {
+    WireMap m;
+    m.set("status", "ok");
+    return m;
+  }
+  if (req.query == "stats") {
+    const Stats s = stats();
+    WireMap m;
+    m.set("status", "ok");
+    m.set_u64("accepted", s.accepted);
+    m.set_u64("accept_faults", s.accept_faults);
+    m.set_u64("requests", s.requests);
+    m.set_u64("bad_requests", s.bad_requests);
+    m.set_u64("overloads", s.overloads);
+    m.set_u64("jobs_executed", s.jobs_executed);
+    m.set_u64("cache_hits", s.cache.hits);
+    m.set_u64("cache_misses", s.cache.misses);
+    m.set_u64("cache_entries", s.cache.entries);
+    m.set_u64("cache_bytes", s.cache.bytes);
+    m.set_u64("cache_evictions", s.cache.evictions);
+    m.set_u64("queued", s.queue.queued);
+    m.set_u64("running", s.queue.running);
+    m.set_u64("rejected_queue", s.queue.rejected_queue);
+    m.set_u64("rejected_memory", s.queue.rejected_memory);
+    return m;
+  }
+  bad_requests_.fetch_add(1, std::memory_order_relaxed);
+  return to_wire(make_error(Status::kBadRequest,
+                            "unknown svc builtin '" + req.query + "'"));
+}
+
+Response Server::run_analysis(const Request& req) {
+  std::string error;
+  const auto prepared = prepare_job(req, &error);
+  if (!prepared) return make_error(Status::kBadRequest, error);
+  if (!cfg_.enable_debug && (req.hold_ms != 0 || req.throttle_us != 0)) {
+    return make_error(Status::kBadRequest,
+                      "hold_ms/throttle_us require a --debug daemon");
+  }
+
+  const std::string token = fingerprint_token(prepared->fingerprint);
+  ckpt::Options checkpoint;
+  if (!cfg_.ckpt_dir.empty()) {
+    checkpoint.path =
+        cfg_.ckpt_dir + "/job-" + req.engine + "-" + token + ".qckpt";
+    checkpoint.interval = req.ckpt_interval;
+    checkpoint.resume = false;
+    if (!req.resume.empty()) {
+      if (req.resume != token) {
+        return make_error(Status::kBadRequest,
+                          "resume token does not match this query");
+      }
+      checkpoint.resume = true;
+    }
+  } else if (!req.resume.empty()) {
+    return make_error(Status::kBadRequest,
+                      "daemon runs without --ckpt-dir; resume unavailable");
+  }
+
+  if (req.use_cache) {
+    Response hit;
+    if (cache_->lookup(prepared->fingerprint, prepared->cache_key, &hit)) {
+      hit.cached = true;
+      return hit;
+    }
+  }
+
+  // The job context lives on this stack frame, which blocks on the job's
+  // promise below — so the runner's references stay valid for the whole
+  // run, and JobQueue::shutdown() draining every admitted job guarantees
+  // the wait always ends.
+  common::CancelToken cancel;
+  common::Budget budget;
+  budget.with_cancel(&cancel);
+  if (req.deadline_ms != 0) {
+    budget.with_deadline_after(std::chrono::milliseconds(req.deadline_ms));
+  }
+  if (req.memory_mb != 0) {
+    budget.with_memory_limit(req.memory_mb << 20);
+  }
+  std::promise<Response> done;
+  std::future<Response> result = done.get_future();
+  JobQueue::Job job;
+  job.cancel = &cancel;
+  job.mem_charge =
+      req.memory_mb != 0 ? (req.memory_mb << 20) : cfg_.default_job_charge;
+  job.run = [this, &req, &prepared, &budget, &checkpoint, &done] {
+    try {
+      done.set_value(execute_job(req, *prepared, budget, checkpoint));
+    } catch (...) {
+      // execute_job absorbs everything an engine can throw; this is the
+      // belt-and-braces path that keeps the session from deadlocking even
+      // if it ever does throw.
+      try {
+        done.set_value(make_error(Status::kError, "internal job failure"));
+      } catch (...) {
+      }
+    }
+  };
+  const Admission admission = queue_->submit(req.priority, std::move(job));
+  if (admission == Admission::kShutdown) {
+    return make_error(Status::kShutdown, "daemon is shutting down");
+  }
+  if (admission != Admission::kAdmitted) {
+    return make_error(Status::kOverload, to_string(admission));
+  }
+  Response resp = result.get();
+  // Only completed results are cached: a kUnknown verdict depends on the
+  // submitting client's budget and must never answer another client.
+  if (req.use_cache && resp.status == Status::kOk &&
+      resp.stop == common::StopReason::kCompleted) {
+    cache_->insert(prepared->fingerprint, prepared->cache_key, resp);
+  }
+  return resp;
+}
+
+Response Server::execute_job(const Request& req, const PreparedJob& prepared,
+                             const common::Budget& budget,
+                             const ckpt::Options& checkpoint) {
+  // Debug hold: park the runner (cancellation-responsive) so tests can fill
+  // the queue behind a deterministically busy worker.
+  if (req.hold_ms != 0) {
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(req.hold_ms);
+    while (std::chrono::steady_clock::now() < until &&
+           budget.poll() == common::StopReason::kCompleted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  Throttle throttle(req.throttle_us);
+  core::ExplorationObserver* observer =
+      req.throttle_us != 0 ? &throttle : nullptr;
+  jobs_executed_.fetch_add(1, std::memory_order_relaxed);
+  const std::string token = fingerprint_token(prepared.fingerprint);
+  return common::governed(
+      [&] {
+        common::FaultInjector::site("svc.job.run");
+        return from_job_result(prepared.run(budget, checkpoint, observer),
+                               token);
+      },
+      [&](common::StopReason reason) {
+        Response r;
+        r.status = Status::kOk;
+        r.verdict = common::Verdict::kUnknown;
+        r.stop = reason;
+        return r;
+      });
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.accept_faults = accept_faults_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  s.overloads = overloads_.load(std::memory_order_relaxed);
+  s.jobs_executed = jobs_executed_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) s.cache = cache_->stats();
+  if (queue_ != nullptr) s.queue = queue_->stats();
+  return s;
+}
+
+}  // namespace quanta::svc

@@ -1,0 +1,141 @@
+// The analysis-as-a-service server: a long-lived daemon core multiplexing
+// governed analysis requests from many concurrent sessions over Unix / TCP
+// stream sockets.
+//
+// Life of a request (DESIGN.md "Analysis service"):
+//
+//   frame → parse/validate → [svc builtins] → registry lookup
+//         → ResultCache probe (hit: answer in O(1), engine never invoked)
+//         → JobQueue admission (reject kOverload under pressure)
+//         → runner executes under common::Budget + checkpoint policy
+//         → budget trip: snapshot saved, response carries a resume token
+//         → completed results inserted into the cache → framed response
+//
+// Resume tokens: the 16-hex-digit FNV fingerprint of the canonical job
+// key. A budget-tripped job saves its checkpoint chain under
+// <ckpt_dir>/job-<engine>-<token>.qckpt; a client re-submitting the same
+// query with that token resumes it (`src/ckpt` guarantees the resumed
+// result is bit-identical to an uninterrupted run). A token that does not
+// match the re-submitted query is rejected — and even a forged match is
+// harmless, because the engine re-validates its own fingerprint inside
+// the snapshot.
+//
+// Shutdown discipline (stop(), also the destructor): listeners are shut
+// down and acceptors joined; the JobQueue cancels every in-flight job and
+// drains (all waiting sessions unblock with a result); session sockets are
+// then read-shutdown so blocked reads see EOF, and session threads are
+// joined. No step can deadlock on another.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/job_queue.h"
+#include "svc/registry.h"
+#include "svc/request.h"
+#include "svc/result_cache.h"
+
+namespace quanta::svc {
+
+struct ServerConfig {
+  /// Unix-domain listener path; a stale socket file (SIGKILLed daemon) is
+  /// unlinked before bind. Empty = no unix listener.
+  std::string socket_path;
+  /// 127.0.0.1 TCP listener; -1 = off, 0 = ephemeral (see Server::tcp_port).
+  int tcp_port = -1;
+  unsigned jobs = 0;             ///< job runners; 0 = QUANTAD_JOBS default
+  std::size_t queue_depth = 0;   ///< queued jobs; 0 = QUANTAD_QUEUE_DEPTH
+  std::size_t cache_bytes = 0;   ///< cache budget; 0 = QUANTAD_CACHE_MEM
+  /// Admission ceiling on the summed memory charges of queued + running
+  /// jobs; a job is charged its memory budget, or `default_job_charge`
+  /// when the request carries none.
+  std::size_t inflight_bytes = 4ull << 30;
+  std::size_t default_job_charge = 256ull << 20;
+  /// Directory for resume-token checkpoints (created if missing); empty
+  /// disables checkpointing and resume tokens.
+  std::string ckpt_dir;
+  /// Honor the hold_ms / throttle_us debug pacing fields (tests, CI smoke
+  /// and benches only — a production daemon rejects them).
+  bool enable_debug = false;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();  ///< calls stop()
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds listeners and starts acceptor/runner threads. False (with a
+  /// reason in *error) on any setup failure; the server is then inert.
+  bool start(std::string* error);
+  /// Graceful shutdown as documented above. Idempotent.
+  void stop();
+
+  /// Resolved TCP port (useful with cfg.tcp_port == 0); -1 when TCP is off.
+  int tcp_port() const { return tcp_port_; }
+
+  struct Stats {
+    std::uint64_t accepted = 0;       ///< connections accepted
+    std::uint64_t accept_faults = 0;  ///< connections dropped by svc.accept
+    std::uint64_t requests = 0;       ///< frames parsed into requests
+    std::uint64_t bad_requests = 0;
+    std::uint64_t overloads = 0;      ///< admission rejections served
+    std::uint64_t jobs_executed = 0;  ///< engine invocations (cache hits skip)
+    ResultCache::Stats cache;
+    JobQueue::Stats queue;
+  };
+  Stats stats() const;
+
+ private:
+  struct Session {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  bool listen_unix(std::string* error);
+  bool listen_tcp(std::string* error);
+  void accept_loop(int listen_fd);
+  void session_loop(Session* session);
+  void reap_finished_sessions();
+
+  /// Full request pipeline; always returns a well-formed response map.
+  WireMap handle_payload(const std::string& payload);
+  WireMap handle_builtin(const Request& req);
+  Response run_analysis(const Request& req);
+  Response execute_job(const Request& req, const PreparedJob& prepared,
+                       const common::Budget& budget,
+                       const ckpt::Options& checkpoint);
+
+  ServerConfig cfg_;
+  std::unique_ptr<JobQueue> queue_;
+  std::unique_ptr<ResultCache> cache_;
+
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::mutex lifecycle_mu_;  ///< serializes start/stop
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = -1;
+  std::vector<std::thread> acceptors_;
+
+  std::mutex sessions_mu_;
+  std::list<std::unique_ptr<Session>> sessions_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> accept_faults_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> bad_requests_{0};
+  std::atomic<std::uint64_t> overloads_{0};
+  std::atomic<std::uint64_t> jobs_executed_{0};
+};
+
+}  // namespace quanta::svc

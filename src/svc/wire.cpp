@@ -1,0 +1,310 @@
+#include "svc/wire.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace quanta::svc {
+
+void WireMap::set(std::string key, std::string value) {
+  fields_.emplace_back(std::move(key), std::move(value));
+}
+
+void WireMap::set_u64(std::string key, std::uint64_t v) {
+  set(std::move(key), std::to_string(v));
+}
+
+void WireMap::set_i64(std::string key, std::int64_t v) {
+  set(std::move(key), std::to_string(v));
+}
+
+void WireMap::set_f64(std::string key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  set(std::move(key), buf);
+}
+
+const std::string* WireMap::get(const std::string& key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<std::uint64_t> WireMap::get_u64(const std::string& key) const {
+  const std::string* s = this->get(key);
+  if (s == nullptr || s->empty()) return std::nullopt;
+  char* endp = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s->c_str(), &endp, 10);
+  if (errno != 0 || endp == s->c_str() || *endp != '\0' ||
+      s->find('-') != std::string::npos) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<std::int64_t> WireMap::get_i64(const std::string& key) const {
+  const std::string* s = this->get(key);
+  if (s == nullptr || s->empty()) return std::nullopt;
+  char* endp = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s->c_str(), &endp, 10);
+  if (errno != 0 || endp == s->c_str() || *endp != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<double> WireMap::get_f64(const std::string& key) const {
+  const std::string* s = this->get(key);
+  if (s == nullptr || s->empty()) return std::nullopt;
+  char* endp = nullptr;
+  errno = 0;
+  const double v = std::strtod(s->c_str(), &endp);
+  if (errno != 0 || endp == s->c_str() || *endp != '\0') return std::nullopt;
+  return v;
+}
+
+namespace {
+
+void append_json_string(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const char* why) {
+    error = why;
+    return false;
+  }
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+  bool parse_string(std::string* out) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '"') {
+      return fail("expected string");
+    }
+    ++pos;
+    out->clear();
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) return fail("truncated escape");
+      char e = text[pos++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape");
+            }
+          }
+          // Flat ASCII protocol: only the control-plane range is expected;
+          // anything above is passed through as UTF-8 for robustness.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+  /// Bare scalar (number / true / false / null), captured as raw text.
+  bool parse_scalar(std::string* out) {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size()) {
+      char c = text[pos];
+      if (c == ',' || c == '}' || c == ' ' || c == '\t' || c == '\n' ||
+          c == '\r') {
+        break;
+      }
+      if (c == '{' || c == '[' || c == '"') {
+        return fail("nested values are not supported");
+      }
+      ++pos;
+    }
+    if (pos == start) return fail("expected value");
+    out->assign(text, start, pos - start);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string WireMap::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : fields_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(&out, k);
+    out.push_back(':');
+    append_json_string(&out, v);
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::optional<WireMap> WireMap::parse_json(const std::string& text,
+                                           std::string* error) {
+  Parser p{text, 0, {}};
+  WireMap out;
+  auto fail = [&](const std::string& why) -> std::optional<WireMap> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  if (!p.consume('{')) return fail("expected '{'");
+  p.skip_ws();
+  if (!p.consume('}')) {
+    for (;;) {
+      std::string key, value;
+      if (!p.parse_string(&key)) return fail(p.error);
+      if (!p.consume(':')) return fail("expected ':'");
+      p.skip_ws();
+      if (p.pos < p.text.size() && p.text[p.pos] == '"') {
+        if (!p.parse_string(&value)) return fail(p.error);
+      } else {
+        if (!p.parse_scalar(&value)) return fail(p.error);
+      }
+      out.set(std::move(key), std::move(value));
+      if (p.consume(',')) continue;
+      if (p.consume('}')) break;
+      return fail("expected ',' or '}'");
+    }
+  }
+  p.skip_ws();
+  if (p.pos != p.text.size()) return fail("trailing content after object");
+  return out;
+}
+
+namespace {
+
+bool write_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    // MSG_NOSIGNAL: a peer that vanished mid-response must surface as a
+    // return value, not a SIGPIPE that kills the daemon.
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// 1 = full read, 0 = clean EOF before the first byte, -1 = error/short.
+int read_all(int fd, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, p + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return got == 0 ? 0 : -1;
+    got += static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+bool write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  unsigned char hdr[4] = {
+      static_cast<unsigned char>(len & 0xFF),
+      static_cast<unsigned char>((len >> 8) & 0xFF),
+      static_cast<unsigned char>((len >> 16) & 0xFF),
+      static_cast<unsigned char>((len >> 24) & 0xFF),
+  };
+  return write_all(fd, hdr, sizeof(hdr)) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+FrameStatus read_frame(int fd, std::string* payload) {
+  unsigned char hdr[4];
+  const int h = read_all(fd, hdr, sizeof(hdr));
+  if (h == 0) return FrameStatus::kEof;
+  if (h < 0) return FrameStatus::kError;
+  const std::uint32_t len = static_cast<std::uint32_t>(hdr[0]) |
+                            (static_cast<std::uint32_t>(hdr[1]) << 8) |
+                            (static_cast<std::uint32_t>(hdr[2]) << 16) |
+                            (static_cast<std::uint32_t>(hdr[3]) << 24);
+  if (len > kMaxFrameBytes) return FrameStatus::kTooLarge;
+  payload->resize(len);
+  if (len > 0 && read_all(fd, payload->data(), len) != 1) {
+    return FrameStatus::kError;
+  }
+  return FrameStatus::kOk;
+}
+
+}  // namespace quanta::svc

@@ -1,0 +1,75 @@
+// Wire layer of the analysis service (src/svc): length-prefixed frames over
+// a stream socket, each carrying one flat JSON object of string fields.
+//
+// Frame format (DESIGN.md "Analysis service"):
+//
+//   [payload length u32 LE] [payload bytes]
+//
+// A frame longer than kMaxFrameBytes is a protocol error — the peer is
+// shedding garbage, not a query. The payload is a single-level JSON object;
+// the canonical encoder writes every value as a JSON string (field order
+// preserved), and the parser additionally accepts bare numbers / true /
+// false / null for hand-written clients. Nested objects and arrays are
+// rejected: requests and responses are flat key/value maps by design.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace quanta::svc {
+
+/// Upper bound on one frame's payload; a length prefix beyond this is
+/// treated as a protocol error and the connection is dropped.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Order-preserving flat string map — the in-memory form of one protocol
+/// message. Typed setters/getters do the number formatting uniformly
+/// (doubles as shortest-round-trip "%.17g", so re-encoding is bit-stable).
+class WireMap {
+ public:
+  void set(std::string key, std::string value);
+  void set_u64(std::string key, std::uint64_t v);
+  void set_i64(std::string key, std::int64_t v);
+  void set_f64(std::string key, double v);
+
+  /// nullptr when the key is absent.
+  const std::string* get(const std::string& key) const;
+  /// Strict u64: whole non-negative decimal, no trailing garbage.
+  std::optional<std::uint64_t> get_u64(const std::string& key) const;
+  std::optional<std::int64_t> get_i64(const std::string& key) const;
+  std::optional<double> get_f64(const std::string& key) const;
+
+  bool empty() const { return fields_.empty(); }
+  const std::vector<std::pair<std::string, std::string>>& fields() const {
+    return fields_;
+  }
+
+  /// Canonical encoding: {"k":"v",...} with all values as JSON strings.
+  std::string to_json() const;
+  /// Parses one flat JSON object. On failure returns nullopt and (when
+  /// `error` is non-null) a human-readable reason.
+  static std::optional<WireMap> parse_json(const std::string& text,
+                                           std::string* error);
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Why reading a frame ended.
+enum class FrameStatus {
+  kOk,        ///< one complete frame read
+  kEof,       ///< clean end of stream at a frame boundary
+  kTooLarge,  ///< length prefix exceeds kMaxFrameBytes
+  kError,     ///< short read / socket error mid-frame
+};
+
+/// Blocking frame I/O over a connected stream socket fd. write_frame
+/// returns false on any socket error (EPIPE included; callers must ignore
+/// SIGPIPE or send with MSG_NOSIGNAL, which this does).
+bool write_frame(int fd, const std::string& payload);
+FrameStatus read_frame(int fd, std::string* payload);
+
+}  // namespace quanta::svc

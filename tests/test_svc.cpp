@@ -1,0 +1,978 @@
+// Tests for the analysis service (src/svc): wire protocol, strict QUANTAD_*
+// env parsing, result cache, job-queue admission control, the registry
+// catalogue, and end-to-end daemon behaviour over real sockets — cold
+// queries matching direct library runs, cache hits being bit-identical and
+// engine-free, budget-tripped jobs resuming bit-identically via their
+// tokens, deterministic overload shedding, deadlock-free shutdown with
+// jobs in flight, and graceful degradation under the svc.* fault sites.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "common/fault.h"
+#include "common/pred.h"
+#include "mc/reachability.h"
+#include "models/train_gate.h"
+#include "svc/client.h"
+#include "svc/config.h"
+#include "svc/job_queue.h"
+#include "svc/registry.h"
+#include "svc/request.h"
+#include "svc/result_cache.h"
+#include "svc/server.h"
+#include "svc/wire.h"
+
+namespace {
+
+using namespace quanta;
+using namespace quanta::svc;
+
+/// CI's QUANTA_FAULT arms the process-wide injector at startup; capture the
+/// spec and disarm so every test below starts clean, then replay it in
+/// SvcFaultMatrix.EnvSpecDegradesGracefully.
+const std::string kEnvFaultSpec = [] {
+  const char* s = std::getenv("QUANTA_FAULT");
+  common::FaultInjector::instance().disarm();
+  return std::string(s != nullptr ? s : "");
+}();
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+struct DisarmGuard {
+  ~DisarmGuard() { common::FaultInjector::instance().disarm(); }
+};
+
+// ---------------------------------------------------------------------------
+// Strict env parsing (common::env_u64 and the QUANTAD_* defaults)
+// ---------------------------------------------------------------------------
+
+TEST(EnvU64, AcceptsWholePositiveDecimalsOnly) {
+  ScopedEnv e("QUANTA_TEST_ENV", "12");
+  EXPECT_EQ(common::env_u64("QUANTA_TEST_ENV", 1024), 12u);
+}
+
+TEST(EnvU64, UnsetIsAbsent) {
+  ScopedEnv e("QUANTA_TEST_ENV", nullptr);
+  EXPECT_FALSE(common::env_u64("QUANTA_TEST_ENV", 1024).has_value());
+}
+
+TEST(EnvU64, GarbageIsAbsent) {
+  for (const char* bad : {"", "x", "4x", "4.5", "0", "-3", "0x10", "  "}) {
+    ScopedEnv e("QUANTA_TEST_ENV", bad);
+    EXPECT_FALSE(common::env_u64("QUANTA_TEST_ENV", 1024).has_value())
+        << "value '" << bad << "' should have been rejected";
+  }
+}
+
+TEST(EnvU64, ClampsToCeiling) {
+  ScopedEnv e("QUANTA_TEST_ENV", "99999");
+  EXPECT_EQ(common::env_u64("QUANTA_TEST_ENV", 1024), 1024u);
+}
+
+TEST(QuantadEnv, JobsDefaultAndOverride) {
+  {
+    ScopedEnv e("QUANTAD_JOBS", nullptr);
+    EXPECT_GE(default_daemon_jobs(), 1u);
+  }
+  {
+    ScopedEnv e("QUANTAD_JOBS", "3");
+    EXPECT_EQ(default_daemon_jobs(), 3u);
+  }
+  {
+    ScopedEnv e("QUANTAD_JOBS", "garbage");
+    EXPECT_GE(default_daemon_jobs(), 1u);  // falls back to the default
+  }
+  {
+    ScopedEnv e("QUANTAD_JOBS", "1000000");
+    EXPECT_EQ(default_daemon_jobs(), 1024u);  // documented clamp
+  }
+}
+
+TEST(QuantadEnv, QueueDepthDefaultAndOverride) {
+  {
+    ScopedEnv e("QUANTAD_QUEUE_DEPTH", nullptr);
+    EXPECT_EQ(default_queue_depth(), kDefaultQueueDepth);
+  }
+  {
+    ScopedEnv e("QUANTAD_QUEUE_DEPTH", "128");
+    EXPECT_EQ(default_queue_depth(), 128u);
+  }
+  for (const char* bad : {"0", "-1", "12abc", "1e3"}) {
+    ScopedEnv e("QUANTAD_QUEUE_DEPTH", bad);
+    EXPECT_EQ(default_queue_depth(), kDefaultQueueDepth)
+        << "value '" << bad << "' should fall back to the default";
+  }
+  {
+    ScopedEnv e("QUANTAD_QUEUE_DEPTH", "99999999999");
+    EXPECT_EQ(default_queue_depth(), kMaxQueueDepth);
+  }
+}
+
+TEST(QuantadEnv, CacheMemDefaultAndOverride) {
+  {
+    ScopedEnv e("QUANTAD_CACHE_MEM", nullptr);
+    EXPECT_EQ(default_cache_bytes(), kDefaultCacheBytes);
+  }
+  {
+    ScopedEnv e("QUANTAD_CACHE_MEM", "1048576");
+    EXPECT_EQ(default_cache_bytes(), 1048576u);
+  }
+  {
+    ScopedEnv e("QUANTAD_CACHE_MEM", "64M");  // no unit suffixes: bytes only
+    EXPECT_EQ(default_cache_bytes(), kDefaultCacheBytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+TEST(Wire, MapRoundTripPreservesOrderAndValues) {
+  WireMap m;
+  m.set("engine", "mc");
+  m.set_u64("runs", 2000);
+  m.set_i64("extra", -7);
+  m.set_f64("bound", 1.5);
+  m.set("note", "a \"quoted\"\\\n\tvalue");
+  const std::string json = m.to_json();
+  std::string error;
+  const auto parsed = WireMap::parse_json(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->to_json(), json);  // canonical form is a fixed point
+  EXPECT_EQ(*parsed->get("engine"), "mc");
+  EXPECT_EQ(parsed->get_u64("runs"), 2000u);
+  EXPECT_EQ(parsed->get_i64("extra"), -7);
+  EXPECT_EQ(parsed->get_f64("bound"), 1.5);
+  EXPECT_EQ(*parsed->get("note"), "a \"quoted\"\\\n\tvalue");
+  EXPECT_EQ(parsed->get("absent"), nullptr);
+}
+
+TEST(Wire, ParserAcceptsBareScalarsFromHandWrittenClients) {
+  std::string error;
+  const auto m = WireMap::parse_json(
+      R"({"engine":"smc", "runs":500, "bound":7.25, "cache":true, "x":null})",
+      &error);
+  ASSERT_TRUE(m.has_value()) << error;
+  EXPECT_EQ(m->get_u64("runs"), 500u);
+  EXPECT_EQ(m->get_f64("bound"), 7.25);
+  EXPECT_EQ(*m->get("cache"), "true");
+  EXPECT_EQ(*m->get("x"), "null");
+}
+
+TEST(Wire, ParserRejectsNestedStructures) {
+  std::string error;
+  EXPECT_FALSE(WireMap::parse_json(R"({"a":{"b":"c"}})", &error).has_value());
+  EXPECT_FALSE(WireMap::parse_json(R"({"a":["b"]})", &error).has_value());
+  EXPECT_FALSE(WireMap::parse_json("[]", &error).has_value());
+  EXPECT_FALSE(WireMap::parse_json(R"({"a")", &error).has_value());
+  EXPECT_FALSE(WireMap::parse_json("", &error).has_value());
+}
+
+TEST(Wire, StrictNumericGetters) {
+  std::string error;
+  const auto m = WireMap::parse_json(
+      R"({"a":"12x","b":"-3","c":"","d":"18446744073709551615"})", &error);
+  ASSERT_TRUE(m.has_value()) << error;
+  EXPECT_FALSE(m->get_u64("a").has_value());
+  EXPECT_FALSE(m->get_u64("b").has_value());
+  EXPECT_FALSE(m->get_u64("c").has_value());
+  EXPECT_EQ(m->get_u64("d"), 18446744073709551615ull);
+}
+
+TEST(Wire, FrameRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload = R"({"engine":"mc"})";
+  ASSERT_TRUE(write_frame(fds[0], payload));
+  std::string got;
+  EXPECT_EQ(read_frame(fds[1], &got), FrameStatus::kOk);
+  EXPECT_EQ(got, payload);
+  // Clean close at a frame boundary reads as EOF, not an error.
+  ::close(fds[0]);
+  EXPECT_EQ(read_frame(fds[1], &got), FrameStatus::kEof);
+  ::close(fds[1]);
+}
+
+TEST(Wire, OversizedFrameIsAProtocolError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  unsigned char header[4] = {
+      static_cast<unsigned char>(huge & 0xff),
+      static_cast<unsigned char>((huge >> 8) & 0xff),
+      static_cast<unsigned char>((huge >> 16) & 0xff),
+      static_cast<unsigned char>((huge >> 24) & 0xff),
+  };
+  ASSERT_EQ(::send(fds[0], header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  std::string got;
+  EXPECT_EQ(read_frame(fds[1], &got), FrameStatus::kTooLarge);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Request / response vocabulary
+// ---------------------------------------------------------------------------
+
+TEST(Request, ParsesDefaultsAndIgnoresUnknownKeys) {
+  std::string error;
+  const auto m = WireMap::parse_json(
+      R"({"engine":"mc","model":"train-gate-4","query":"mutex","future":"1"})",
+      &error);
+  ASSERT_TRUE(m.has_value()) << error;
+  const auto r = parse_request(*m, &error);
+  ASSERT_TRUE(r.has_value()) << error;
+  EXPECT_EQ(r->engine, "mc");
+  EXPECT_EQ(r->priority, Priority::kNormal);
+  EXPECT_EQ(r->runs, 2000u);
+  EXPECT_EQ(r->seed, 1u);
+  EXPECT_TRUE(r->use_cache);
+}
+
+TEST(Request, PresentButMalformedFieldFailsWholeRequest) {
+  std::string error;
+  for (const char* bad :
+       {R"({"model":"train-gate-4"})",                      // missing engine
+        R"({"engine":"mc","deadline_ms":"soon"})",          // bad u64
+        R"({"engine":"mc","priority":"urgent"})",           // bad enum
+        R"({"engine":"smc","runs":"0"})",                   // runs < 1
+        R"({"engine":"smc","bound":"-1"})",                 // bound <= 0
+        R"({"engine":"mc","cache":"yes"})"}) {              // bad bool
+    const auto m = WireMap::parse_json(bad, &error);
+    ASSERT_TRUE(m.has_value()) << bad;
+    EXPECT_FALSE(parse_request(*m, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(Request, ResponseSerializationIsDeterministic) {
+  Response r;
+  r.status = Status::kOk;
+  r.verdict = common::Verdict::kHolds;
+  r.stop = common::StopReason::kCompleted;
+  r.stored = 10;
+  r.explored = 9;
+  r.transitions = 20;
+  r.extra = -2;
+  r.has_value = true;
+  r.value = 0.1;  // not exactly representable: %.17g must round-trip it
+  const std::string a = to_wire(r).to_json();
+  const std::string b = to_wire(r).to_json();
+  EXPECT_EQ(a, b);
+  std::string error;
+  const auto parsed = parse_response(*WireMap::parse_json(a, &error), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->value, 0.1);
+  EXPECT_EQ(to_wire(*parsed).to_json(), a);
+  // The cached flag is the single byte-level difference a cache hit makes.
+  Response hit = r;
+  hit.cached = true;
+  EXPECT_NE(to_wire(hit).to_json(), a);
+  hit.cached = false;
+  EXPECT_EQ(to_wire(hit).to_json(), a);
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------------
+
+Response small_response(common::Verdict v = common::Verdict::kHolds) {
+  Response r;
+  r.status = Status::kOk;
+  r.verdict = v;
+  r.stop = common::StopReason::kCompleted;
+  return r;
+}
+
+std::size_t entry_bytes(const std::string& key, const Response& r) {
+  return key.size() + response_bytes(r) + ResultCache::kEntryOverhead;
+}
+
+TEST(ResultCacheTest, HitMissAndLruEvictionUnderByteBudget) {
+  const Response r = small_response();
+  const std::size_t per_entry = entry_bytes("key-a", r);
+  ResultCache cache(2 * per_entry);  // room for exactly two entries
+  cache.insert(1, "key-a", r);
+  cache.insert(2, "key-b", r);
+  Response out;
+  EXPECT_TRUE(cache.lookup(1, "key-a", &out));  // touches a: b is now LRU
+  cache.insert(3, "key-c", r);                  // evicts b
+  EXPECT_TRUE(cache.lookup(1, "key-a", &out));
+  EXPECT_FALSE(cache.lookup(2, "key-b", &out));
+  EXPECT_TRUE(cache.lookup(3, "key-c", &out));
+  const auto s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.insertions, 3u);
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_LE(s.bytes, s.budget);
+}
+
+TEST(ResultCacheTest, FingerprintCollisionCannotServeWrongResult) {
+  ResultCache cache(1 << 20);
+  // Two structurally different queries that happen to share a fingerprint:
+  // both live in the same bucket, each answers only its own key.
+  cache.insert(42, "q1|mc|train-gate-4|mutex",
+               small_response(common::Verdict::kHolds));
+  cache.insert(42, "q1|mc|train-gate-5|mutex",
+               small_response(common::Verdict::kViolated));
+  Response out;
+  ASSERT_TRUE(cache.lookup(42, "q1|mc|train-gate-4|mutex", &out));
+  EXPECT_EQ(out.verdict, common::Verdict::kHolds);
+  ASSERT_TRUE(cache.lookup(42, "q1|mc|train-gate-5|mutex", &out));
+  EXPECT_EQ(out.verdict, common::Verdict::kViolated);
+  EXPECT_FALSE(cache.lookup(42, "q1|mc|train-gate-6|mutex", &out));
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ResultCacheTest, RefreshInPlaceKeepsOneEntry) {
+  ResultCache cache(1 << 20);
+  cache.insert(7, "key", small_response(common::Verdict::kHolds));
+  cache.insert(7, "key", small_response(common::Verdict::kViolated));
+  Response out;
+  ASSERT_TRUE(cache.lookup(7, "key", &out));
+  EXPECT_EQ(out.verdict, common::Verdict::kViolated);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ResultCacheTest, EntryLargerThanBudgetIsNotCached) {
+  Response r = small_response();
+  r.error.assign(4096, 'x');
+  ResultCache cache(64);
+  cache.insert(1, "key", r);
+  Response out;
+  EXPECT_FALSE(cache.lookup(1, "key", &out));
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Job queue admission control
+// ---------------------------------------------------------------------------
+
+/// A manually released gate that jobs block on, making queue occupancy (and
+/// therefore every admission decision below) fully deterministic.
+class Gate {
+ public:
+  void release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+JobQueue::Job gated_job(Gate* gate, std::atomic<int>* started = nullptr,
+                        common::CancelToken* cancel = nullptr,
+                        std::size_t charge = 0) {
+  JobQueue::Job job;
+  job.cancel = cancel;
+  job.mem_charge = charge;
+  job.run = [gate, started] {
+    if (started != nullptr) started->fetch_add(1);
+    gate->wait();
+  };
+  return job;
+}
+
+void wait_until(const std::function<bool()>& cond) {
+  for (int i = 0; i < 5000 && !cond(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(cond()) << "condition not reached within 5s";
+}
+
+TEST(JobQueueTest, DeterministicQueueFullRejection) {
+  Gate gate;
+  std::atomic<int> started{0};
+  JobQueue q({/*workers=*/1, /*depth=*/2, /*inflight_bytes=*/1 << 20});
+  ASSERT_EQ(q.submit(Priority::kNormal, gated_job(&gate, &started)),
+            Admission::kAdmitted);
+  wait_until([&] { return started.load() == 1; });  // worker busy, queue empty
+  ASSERT_EQ(q.submit(Priority::kNormal, gated_job(&gate)),
+            Admission::kAdmitted);
+  ASSERT_EQ(q.submit(Priority::kNormal, gated_job(&gate)),
+            Admission::kAdmitted);
+  // Depth 2 reached: the next submission is shed, deterministically, no
+  // matter how the admitted jobs interleave (they are all blocked).
+  EXPECT_EQ(q.submit(Priority::kNormal, gated_job(&gate)),
+            Admission::kQueueFull);
+  EXPECT_EQ(q.stats().rejected_queue, 1u);
+  gate.release();
+}
+
+TEST(JobQueueTest, DeterministicMemoryOverloadRejection) {
+  Gate gate;
+  std::atomic<int> started{0};
+  JobQueue q({/*workers=*/1, /*depth=*/64, /*inflight_bytes=*/1000});
+  ASSERT_EQ(q.submit(Priority::kNormal,
+                     gated_job(&gate, &started, nullptr, /*charge=*/600)),
+            Admission::kAdmitted);
+  EXPECT_EQ(q.submit(Priority::kNormal,
+                     gated_job(&gate, nullptr, nullptr, /*charge=*/600)),
+            Admission::kMemoryOverload);
+  EXPECT_EQ(q.submit(Priority::kNormal,
+                     gated_job(&gate, nullptr, nullptr, /*charge=*/300)),
+            Admission::kAdmitted);
+  EXPECT_EQ(q.stats().rejected_memory, 1u);
+  gate.release();
+}
+
+TEST(JobQueueTest, PriorityLanesDrainHighestFirst) {
+  Gate gate;
+  std::atomic<int> started{0};
+  std::vector<int> order;
+  std::mutex order_mu;
+  JobQueue q({/*workers=*/1, /*depth=*/8, /*inflight_bytes=*/1 << 20});
+  ASSERT_EQ(q.submit(Priority::kNormal, gated_job(&gate, &started)),
+            Admission::kAdmitted);
+  wait_until([&] { return started.load() == 1; });
+  auto record = [&](int tag) {
+    JobQueue::Job job;
+    job.run = [&order, &order_mu, tag] {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(tag);
+    };
+    return job;
+  };
+  // Submitted low → normal → high while the single worker is blocked...
+  ASSERT_EQ(q.submit(Priority::kLow, record(3)), Admission::kAdmitted);
+  ASSERT_EQ(q.submit(Priority::kNormal, record(2)), Admission::kAdmitted);
+  ASSERT_EQ(q.submit(Priority::kHigh, record(1)), Admission::kAdmitted);
+  gate.release();
+  wait_until([&] {
+    std::lock_guard<std::mutex> lock(order_mu);
+    return order.size() == 3;
+  });
+  // ...but drained high → normal → low.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(JobQueueTest, ShutdownCancelsRunningAndQueuedAndCannotDeadlock) {
+  common::CancelToken running_token, queued_token;
+  std::atomic<int> started{0};
+  std::atomic<int> finished{0};
+  JobQueue q({/*workers=*/1, /*depth=*/8, /*inflight_bytes=*/1 << 20});
+  JobQueue::Job running;
+  running.cancel = &running_token;
+  running.run = [&] {
+    started.fetch_add(1);
+    // A governed engine polls its budget; emulate that poll loop.
+    while (!running_token.cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    finished.fetch_add(1);
+  };
+  ASSERT_EQ(q.submit(Priority::kNormal, std::move(running)),
+            Admission::kAdmitted);
+  wait_until([&] { return started.load() == 1; });
+  JobQueue::Job queued;
+  queued.cancel = &queued_token;
+  queued.run = [&] { finished.fetch_add(1); };
+  ASSERT_EQ(q.submit(Priority::kNormal, std::move(queued)),
+            Admission::kAdmitted);
+  q.shutdown();  // blocks until drained: returning proves no deadlock
+  EXPECT_TRUE(running_token.cancelled());
+  EXPECT_TRUE(queued_token.cancelled());
+  EXPECT_EQ(finished.load(), 2);  // every admitted job ran exactly once
+  EXPECT_EQ(q.submit(Priority::kNormal, JobQueue::Job{[] {}, nullptr, 0}),
+            Admission::kShutdown);
+}
+
+// ---------------------------------------------------------------------------
+// Registry catalogue
+// ---------------------------------------------------------------------------
+
+Request analysis_request(const char* engine, const char* model,
+                         const char* query) {
+  Request r;
+  r.engine = engine;
+  r.model = model;
+  r.query = query;
+  return r;
+}
+
+TEST(Registry, ValidatesEngineModelAndQueryNames) {
+  std::string error;
+  EXPECT_TRUE(prepare_job(analysis_request("mc", "train-gate-4", "mutex"),
+                          &error));
+  EXPECT_TRUE(prepare_job(
+      analysis_request("game", "train-game-2", "reach-cross"), &error));
+  EXPECT_TRUE(prepare_job(
+      analysis_request("cora", "train-gate-3", "mincost-cross"), &error));
+  // Every way a name can be wrong is a bad request, not a crash.
+  EXPECT_FALSE(prepare_job(analysis_request("ltl", "train-gate-4", "mutex"),
+                           &error));
+  EXPECT_FALSE(prepare_job(analysis_request("mc", "train-gate-99", "mutex"),
+                           &error));
+  EXPECT_FALSE(prepare_job(analysis_request("mc", "train-gate-1", "mutex"),
+                           &error));
+  EXPECT_FALSE(prepare_job(analysis_request("mc", "train-game-2", "mutex"),
+                           &error));
+  EXPECT_FALSE(prepare_job(analysis_request("mc", "pancake", "mutex"),
+                           &error));
+  EXPECT_FALSE(prepare_job(analysis_request("game", "train-gate-4",
+                                            "reach-cross"), &error));
+  EXPECT_FALSE(prepare_job(analysis_request("smc", "train-gate-4", "mutex"),
+                           &error));
+}
+
+TEST(Registry, CacheKeyCoversStatisticalParameters) {
+  std::string error;
+  Request a = analysis_request("smc", "train-gate-3", "pr-cross");
+  Request b = a;
+  b.seed = 99;
+  const auto ja = prepare_job(a, &error);
+  const auto jb = prepare_job(b, &error);
+  ASSERT_TRUE(ja && jb);
+  EXPECT_NE(ja->cache_key, jb->cache_key);
+  EXPECT_NE(ja->fingerprint, jb->fingerprint);
+  // Budgets and debug pacing are not inputs to the result: same key.
+  Request c = a;
+  c.deadline_ms = 5;
+  c.hold_ms = 100;
+  const auto jc = prepare_job(c, &error);
+  ASSERT_TRUE(jc);
+  EXPECT_EQ(ja->cache_key, jc->cache_key);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end daemon behaviour over real sockets
+// ---------------------------------------------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/qsvc-XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    server_.reset();  // stops the daemon and unlinks its socket
+    // Best-effort cleanup of checkpoint files the tests created.
+    std::remove((dir_ + "/ckpt").c_str());
+    ::rmdir((dir_ + "/ckpt").c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  void start(ServerConfig cfg = {}) {
+    cfg.socket_path = dir_ + "/d.sock";
+    if (cfg.ckpt_dir.empty()) cfg.ckpt_dir = dir_ + "/ckpt";
+    server_ = std::make_unique<Server>(cfg);
+    std::string error;
+    ASSERT_TRUE(server_->start(&error)) << error;
+  }
+
+  Client connect() {
+    Client c;
+    std::string error;
+    EXPECT_TRUE(c.connect_unix(dir_ + "/d.sock", &error)) << error;
+    return c;
+  }
+
+  Response query(Client& c, const Request& r) {
+    Response out;
+    std::string error;
+    EXPECT_TRUE(c.analyze(r, &out, &error)) << error;
+    return out;
+  }
+
+  std::string dir_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, PingOverUnixAndTcp) {
+  ServerConfig cfg;
+  cfg.tcp_port = 0;  // ephemeral
+  start(cfg);
+  ASSERT_GT(server_->tcp_port(), 0);
+  Request ping;
+  ping.engine = "svc";
+  ping.query = "ping";
+  Client unix_client = connect();
+  WireMap reply;
+  std::string error;
+  ASSERT_TRUE(unix_client.call(to_wire(ping), &reply, &error)) << error;
+  EXPECT_EQ(*reply.get("status"), "ok");
+  Client tcp_client;
+  ASSERT_TRUE(tcp_client.connect_tcp("127.0.0.1", server_->tcp_port(), &error))
+      << error;
+  ASSERT_TRUE(tcp_client.call(to_wire(ping), &reply, &error)) << error;
+  EXPECT_EQ(*reply.get("status"), "ok");
+}
+
+TEST_F(ServerTest, ColdQueryMatchesDirectLibraryRun) {
+  start();
+  Client c = connect();
+  const Response resp =
+      query(c, analysis_request("mc", "train-gate-3", "mutex"));
+  ASSERT_EQ(resp.status, Status::kOk);
+  EXPECT_FALSE(resp.cached);
+
+  // The same analysis through the library directly (the predicate is the
+  // registry's, label included, so fingerprints would also agree).
+  auto tg = models::make_train_gate(3);
+  std::vector<int> cross_loc;
+  for (int i = 0; i < tg.num_trains; ++i) {
+    cross_loc.push_back(
+        tg.system.process(tg.trains[static_cast<std::size_t>(i)])
+            .location_index("Cross"));
+  }
+  auto trains = tg.trains;
+  auto mutex = common::labeled_pred<ta::SymState>(
+      "train-gate-mutex", [trains, cross_loc](const ta::SymState& s) {
+        int crossing = 0;
+        for (std::size_t i = 0; i < trains.size(); ++i) {
+          if (s.locs[static_cast<std::size_t>(trains[i])] == cross_loc[i]) {
+            ++crossing;
+          }
+        }
+        return crossing <= 1;
+      });
+  mc::ReachOptions opts;
+  opts.record_trace = false;
+  const auto direct = mc::check_invariant(tg.system, mutex, opts);
+
+  EXPECT_EQ(resp.verdict, direct.verdict);
+  EXPECT_EQ(resp.stop, direct.stats.stop);
+  EXPECT_EQ(resp.stored, direct.stats.states_stored);
+  EXPECT_EQ(resp.explored, direct.stats.states_explored);
+  EXPECT_EQ(resp.transitions, direct.stats.transitions);
+}
+
+TEST_F(ServerTest, CacheHitIsBitIdenticalAndSkipsTheEngine) {
+  start();
+  Client c = connect();
+  const struct {
+    const char* engine;
+    const char* model;
+    const char* query;
+  } cases[] = {
+      {"mc", "train-gate-3", "mutex"},
+      {"smc", "train-gate-2", "pr-cross"},
+      {"game", "train-game-1", "reach-cross"},
+  };
+  std::uint64_t executed = 0;
+  for (const auto& tc : cases) {
+    Request r = analysis_request(tc.engine, tc.model, tc.query);
+    r.runs = 200;  // keep the smc case quick
+    const Response cold = query(c, r);
+    ASSERT_EQ(cold.status, Status::kOk) << tc.engine << ": " << cold.error;
+    EXPECT_FALSE(cold.cached);
+    ++executed;
+    EXPECT_EQ(server_->stats().jobs_executed, executed);
+
+    const Response hit = query(c, r);
+    ASSERT_EQ(hit.status, Status::kOk);
+    EXPECT_TRUE(hit.cached);
+    // Engine not invoked: the executed counter did not move.
+    EXPECT_EQ(server_->stats().jobs_executed, executed);
+    // Byte-identical modulo the cached flag.
+    Response normalized = hit;
+    normalized.cached = false;
+    EXPECT_EQ(to_wire(normalized).to_json(), to_wire(cold).to_json())
+        << tc.engine << " cache hit altered the response";
+  }
+  const auto cache = server_->stats().cache;
+  EXPECT_EQ(cache.hits, 3u);
+  EXPECT_EQ(cache.misses, 3u);
+  EXPECT_EQ(cache.entries, 3u);
+}
+
+TEST_F(ServerTest, CacheBypassRunsTheEngineAgain) {
+  start();
+  Client c = connect();
+  Request r = analysis_request("mc", "train-gate-2", "mutex");
+  r.use_cache = false;
+  const Response first = query(c, r);
+  ASSERT_EQ(first.status, Status::kOk);
+  const Response second = query(c, r);
+  ASSERT_EQ(second.status, Status::kOk);
+  EXPECT_FALSE(second.cached);
+  EXPECT_EQ(server_->stats().jobs_executed, 2u);
+  EXPECT_EQ(server_->stats().cache.entries, 0u);
+}
+
+TEST_F(ServerTest, BudgetTrippedJobResumesBitIdentically) {
+  ServerConfig cfg;
+  cfg.enable_debug = true;  // the throttle needs a --debug daemon
+  start(cfg);
+  Client c = connect();
+
+  Request r = analysis_request("mc", "train-gate-4", "mutex");
+  r.use_cache = false;
+  const Response reference = query(c, r);
+  ASSERT_EQ(reference.status, Status::kOk);
+  ASSERT_EQ(reference.stop, common::StopReason::kCompleted);
+
+  // Same query, throttled to ~200us/state under a 300ms deadline with a
+  // 200-state checkpoint cadence: guaranteed to trip with a snapshot saved.
+  Request tripped = r;
+  tripped.deadline_ms = 300;
+  tripped.throttle_us = 200;
+  tripped.ckpt_interval = 200;
+  const Response partial = query(c, tripped);
+  ASSERT_EQ(partial.status, Status::kOk);
+  ASSERT_EQ(partial.verdict, common::Verdict::kUnknown);
+  EXPECT_EQ(partial.stop, common::StopReason::kTimeLimit);
+  ASSERT_FALSE(partial.resume.empty()) << "no resume token on a tripped job";
+  EXPECT_LT(partial.explored, reference.explored);
+
+  // Resuming with the token completes and is bit-identical to the
+  // uninterrupted reference run.
+  Request resume = r;
+  resume.resume = partial.resume;
+  const Response resumed = query(c, resume);
+  ASSERT_EQ(resumed.status, Status::kOk);
+  EXPECT_EQ(to_wire(resumed).to_json(), to_wire(reference).to_json());
+
+  // A token that does not match the resubmitted query is rejected.
+  Request mismatched = analysis_request("mc", "train-gate-3", "mutex");
+  mismatched.use_cache = false;
+  mismatched.resume = partial.resume;
+  const Response rejected = query(c, mismatched);
+  EXPECT_EQ(rejected.status, Status::kBadRequest);
+}
+
+TEST_F(ServerTest, DebugPacingRejectedOnProductionDaemons) {
+  start();  // enable_debug defaults to false
+  Client c = connect();
+  Request r = analysis_request("mc", "train-gate-2", "mutex");
+  r.hold_ms = 50;
+  EXPECT_EQ(query(c, r).status, Status::kBadRequest);
+}
+
+TEST_F(ServerTest, OverloadRejectionIsDeterministic) {
+  ServerConfig cfg;
+  cfg.jobs = 1;
+  cfg.queue_depth = 1;
+  cfg.enable_debug = true;
+  start(cfg);
+
+  Request hold = analysis_request("mc", "train-gate-2", "mutex");
+  hold.use_cache = false;
+  hold.hold_ms = 60000;  // parked until shutdown cancels it
+
+  // Occupy the single worker, then the single queue slot; each step waits
+  // on daemon stats so the third request's rejection is deterministic.
+  Client c1 = connect(), c2 = connect(), c3 = connect();
+  std::thread t1([&] { query(c1, hold); });
+  wait_until([&] { return server_->stats().queue.running == 1; });
+
+  // With the worker busy but the queue empty, a request whose memory budget
+  // alone exceeds the in-flight ceiling is shed as memory overload.
+  Request huge = analysis_request("mc", "train-gate-2", "mutex");
+  huge.memory_mb = 1 << 20;  // 1 TiB against the 4 GiB default ceiling
+  Client c4 = connect();
+  const Response shed_mem = query(c4, huge);
+  EXPECT_EQ(shed_mem.status, Status::kOverload);
+  EXPECT_EQ(shed_mem.error, "memory-overload");
+
+  std::thread t2([&] { query(c2, hold); });
+  wait_until([&] { return server_->stats().queue.queued == 1; });
+
+  const Response shed = query(c3, analysis_request("mc", "train-gate-2",
+                                                   "mutex"));
+  EXPECT_EQ(shed.status, Status::kOverload);
+  EXPECT_EQ(shed.error, "queue-full");
+  EXPECT_EQ(server_->stats().overloads, 2u);
+
+  // Shutdown with one running and one queued job: both sessions receive
+  // responses (their jobs are cancelled) — joining proves no deadlock.
+  server_->stop();
+  t1.join();
+  t2.join();
+}
+
+TEST_F(ServerTest, ShutdownWithJobsInFlightDeliversResponses) {
+  ServerConfig cfg;
+  cfg.jobs = 1;
+  cfg.enable_debug = true;
+  start(cfg);
+  Client c = connect();
+  Request hold = analysis_request("mc", "train-gate-2", "mutex");
+  hold.use_cache = false;
+  hold.hold_ms = 60000;
+  Response resp;
+  std::string error;
+  bool transported = false;
+  std::thread t([&] { transported = c.analyze(hold, &resp, &error); });
+  wait_until([&] { return server_->stats().queue.running == 1; });
+  server_->stop();
+  t.join();
+  ASSERT_TRUE(transported) << error;
+  // The cancelled job degrades to kUnknown/kCancelled — a response, not a
+  // hang or a dropped connection.
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.verdict, common::Verdict::kUnknown);
+  EXPECT_EQ(resp.stop, common::StopReason::kCancelled);
+}
+
+TEST_F(ServerTest, ConcurrentSessionsStayConsistent) {
+  ServerConfig cfg;
+  cfg.jobs = 4;
+  start(cfg);
+  constexpr int kThreads = 4;
+  constexpr int kQueriesEach = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client c = connect();
+      for (int i = 0; i < kQueriesEach; ++i) {
+        // Overlapping key sets across threads: cache hits and misses race.
+        Request r = analysis_request("mc",
+                                     (t + i) % 2 == 0 ? "train-gate-2"
+                                                      : "train-gate-3",
+                                     "mutex");
+        Response resp;
+        std::string error;
+        if (!c.analyze(r, &resp, &error) || resp.status != Status::kOk ||
+            resp.verdict != common::Verdict::kHolds) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto s = server_->stats();
+  EXPECT_EQ(s.requests, kThreads * kQueriesEach);
+  EXPECT_EQ(s.cache.hits + s.cache.misses, kThreads * kQueriesEach);
+  // Both distinct queries were computed at least once, and every request
+  // that missed the cache ran an engine.
+  EXPECT_GE(s.jobs_executed, 2u);
+  EXPECT_EQ(s.jobs_executed, s.cache.misses);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-site coverage (svc.accept, svc.job.run)
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, AcceptFaultDropsOneConnectionNotTheDaemon) {
+  DisarmGuard guard;
+  common::FaultInjector::instance().arm("svc.accept",
+                                        common::FaultKind::kException, 1);
+  start();
+  // The faulted connection is accepted then dropped; the client sees EOF on
+  // its first call. The daemon itself keeps serving.
+  Client doomed = connect();
+  Request ping;
+  ping.engine = "svc";
+  ping.query = "ping";
+  WireMap reply;
+  std::string error;
+  EXPECT_FALSE(doomed.call(to_wire(ping), &reply, &error));
+  EXPECT_TRUE(common::FaultInjector::instance().fired());
+  Client healthy = connect();
+  ASSERT_TRUE(healthy.call(to_wire(ping), &reply, &error)) << error;
+  EXPECT_EQ(*reply.get("status"), "ok");
+  EXPECT_EQ(server_->stats().accept_faults, 1u);
+}
+
+TEST_F(ServerTest, JobRunFaultDegradesToUnknownNotACrash) {
+  DisarmGuard guard;
+  common::FaultInjector::instance().arm("svc.job.run",
+                                        common::FaultKind::kException, 1);
+  start();
+  Client c = connect();
+  Request r = analysis_request("mc", "train-gate-2", "mutex");
+  r.use_cache = false;
+  const Response faulted = query(c, r);
+  EXPECT_EQ(faulted.status, Status::kOk);
+  EXPECT_EQ(faulted.verdict, common::Verdict::kUnknown);
+  EXPECT_EQ(faulted.stop, common::StopReason::kFault);
+  EXPECT_TRUE(common::FaultInjector::instance().fired());
+  // Faults fire once; the daemon answers the retry normally, and the
+  // faulted kUnknown result was never cached.
+  const Response retry = query(c, r);
+  EXPECT_EQ(retry.status, Status::kOk);
+  EXPECT_EQ(retry.verdict, common::Verdict::kHolds);
+}
+
+/// CI fault-matrix entry point: replays whatever QUANTA_FAULT the process
+/// was started with against a live daemon (mirrors test_robustness's
+/// EnvSpecDegradesGracefully for the svc.* sites).
+TEST_F(ServerTest, SvcFaultMatrixEnvSpecDegradesGracefully) {
+  if (kEnvFaultSpec.empty()) {
+    GTEST_SKIP() << "QUANTA_FAULT not set; CI fault matrix exercises this";
+  }
+  if (kEnvFaultSpec.compare(0, 4, "svc.") != 0) {
+    GTEST_SKIP() << "spec targets a non-svc site: " << kEnvFaultSpec;
+  }
+  DisarmGuard guard;
+  ASSERT_TRUE(
+      common::FaultInjector::instance().arm_from_spec(kEnvFaultSpec))
+      << "malformed QUANTA_FAULT spec: " << kEnvFaultSpec;
+  start();
+  // Drive enough connections and jobs to hit whichever svc site the spec
+  // armed. Wherever the fault lands the daemon must keep serving: a dropped
+  // connection is retried, a faulted job degrades to kUnknown.
+  bool answered = false;
+  for (int attempt = 0; attempt < 5 && !answered; ++attempt) {
+    Client c;
+    std::string error;
+    if (!c.connect_unix(dir_ + "/d.sock", &error)) continue;
+    Request r = analysis_request("mc", "train-gate-2", "mutex");
+    r.use_cache = false;
+    Response resp;
+    if (!c.analyze(r, &resp, &error)) continue;
+    EXPECT_EQ(resp.status, Status::kOk);
+    if (resp.verdict != common::Verdict::kUnknown) {
+      EXPECT_EQ(resp.stop, common::StopReason::kCompleted);
+    }
+    answered = true;
+  }
+  EXPECT_TRUE(answered) << "daemon never recovered under " << kEnvFaultSpec;
+  EXPECT_TRUE(common::FaultInjector::instance().fired())
+      << "spec " << kEnvFaultSpec << " never fired; site unreachable?";
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+// quanta_client — CLI for the quantad analysis service.
+//
+//   quanta_client --socket PATH | --tcp-host A --tcp-port N
+//                 --engine E --model M --query Q [params...]
+//   quanta_client --socket PATH --ping | --stats
+//
+// Prints one result line per analysis:
+//
+//   status=ok cached=0 verdict=<v> stored=<n> explored=<n> transitions=<n>
+//     extra=<n> [value=<f>] [resume=<token>]
+//
+// Fields 3.. match tools/ckpt_smoke's output line, so CI can diff a
+// service answer against a direct library run with `cut -d' ' -f3-`.
+//
+// Exit codes: 0 definite verdict, 3 verdict unknown (budget-tripped jobs
+// land here and print their resume token), 2 overload rejection,
+// 4 bad request, 5 daemon shutting down, 6 daemon-internal error,
+// 1 usage / transport / protocol failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "svc/client.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--socket PATH | --tcp-host ADDR --tcp-port N)\n"
+      "          (--ping | --stats |\n"
+      "           --engine E --model M --query Q\n"
+      "           [--priority high|normal|low] [--deadline-ms N]\n"
+      "           [--memory-mb N] [--runs N] [--seed N] [--bound F]\n"
+      "           [--ckpt-interval N] [--resume TOKEN] [--no-cache]\n"
+      "           [--hold-ms N] [--throttle-us N])\n",
+      argv0);
+  return 1;
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  char* endp = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &endp, 10);
+  if (errno != 0 || endp == s || *endp != '\0' || std::strchr(s, '-')) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+int status_exit_code(quanta::svc::Status s, quanta::common::Verdict verdict) {
+  switch (s) {
+    case quanta::svc::Status::kOk:
+      return verdict == quanta::common::Verdict::kUnknown ? 3 : 0;
+    case quanta::svc::Status::kOverload:
+      return 2;
+    case quanta::svc::Status::kBadRequest:
+      return 4;
+    case quanta::svc::Status::kShutdown:
+      return 5;
+    case quanta::svc::Status::kError:
+      return 6;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path, tcp_host;
+  int tcp_port = -1;
+  bool builtin = false;
+  quanta::svc::Request req;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto next_u64 = [&](std::uint64_t* out) {
+      const char* s = next();
+      return s != nullptr && parse_u64(s, out);
+    };
+    if (arg == "--socket") {
+      const char* s = next();
+      if (s == nullptr) return usage(argv[0]);
+      socket_path = s;
+    } else if (arg == "--tcp-host") {
+      const char* s = next();
+      if (s == nullptr) return usage(argv[0]);
+      tcp_host = s;
+    } else if (arg == "--tcp-port") {
+      std::uint64_t v = 0;
+      if (!next_u64(&v) || v > 65535) return usage(argv[0]);
+      tcp_port = static_cast<int>(v);
+    } else if (arg == "--ping" || arg == "--stats") {
+      builtin = true;
+      req.engine = "svc";
+      req.query = arg.substr(2);
+    } else if (arg == "--engine") {
+      const char* s = next();
+      if (s == nullptr) return usage(argv[0]);
+      req.engine = s;
+    } else if (arg == "--model") {
+      const char* s = next();
+      if (s == nullptr) return usage(argv[0]);
+      req.model = s;
+    } else if (arg == "--query") {
+      const char* s = next();
+      if (s == nullptr) return usage(argv[0]);
+      req.query = s;
+    } else if (arg == "--priority") {
+      const char* s = next();
+      if (s == nullptr) return usage(argv[0]);
+      if (std::strcmp(s, "high") == 0) {
+        req.priority = quanta::svc::Priority::kHigh;
+      } else if (std::strcmp(s, "normal") == 0) {
+        req.priority = quanta::svc::Priority::kNormal;
+      } else if (std::strcmp(s, "low") == 0) {
+        req.priority = quanta::svc::Priority::kLow;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--deadline-ms") {
+      if (!next_u64(&req.deadline_ms)) return usage(argv[0]);
+    } else if (arg == "--memory-mb") {
+      if (!next_u64(&req.memory_mb)) return usage(argv[0]);
+    } else if (arg == "--runs") {
+      if (!next_u64(&req.runs)) return usage(argv[0]);
+    } else if (arg == "--seed") {
+      if (!next_u64(&req.seed)) return usage(argv[0]);
+    } else if (arg == "--bound") {
+      const char* s = next();
+      char* endp = nullptr;
+      if (s == nullptr) return usage(argv[0]);
+      req.bound = std::strtod(s, &endp);
+      if (endp == s || *endp != '\0') return usage(argv[0]);
+    } else if (arg == "--ckpt-interval") {
+      if (!next_u64(&req.ckpt_interval)) return usage(argv[0]);
+    } else if (arg == "--resume") {
+      const char* s = next();
+      if (s == nullptr) return usage(argv[0]);
+      req.resume = s;
+    } else if (arg == "--no-cache") {
+      req.use_cache = false;
+    } else if (arg == "--hold-ms") {
+      if (!next_u64(&req.hold_ms)) return usage(argv[0]);
+    } else if (arg == "--throttle-us") {
+      if (!next_u64(&req.throttle_us)) return usage(argv[0]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (socket_path.empty() && (tcp_host.empty() || tcp_port < 0)) {
+    return usage(argv[0]);
+  }
+  if (req.engine.empty()) return usage(argv[0]);
+
+  quanta::svc::Client client;
+  std::string error;
+  const bool connected =
+      socket_path.empty() ? client.connect_tcp(tcp_host, tcp_port, &error)
+                          : client.connect_unix(socket_path, &error);
+  if (!connected) {
+    std::fprintf(stderr, "quanta_client: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (builtin) {
+    quanta::svc::WireMap reply;
+    if (!client.call(to_wire(req), &reply, &error)) {
+      std::fprintf(stderr, "quanta_client: %s\n", error.c_str());
+      return 1;
+    }
+    for (const auto& [key, value] : reply.fields()) {
+      std::printf("%s=%s\n", key.c_str(), value.c_str());
+    }
+    const std::string* status = reply.get("status");
+    return (status != nullptr && *status == "ok") ? 0 : 1;
+  }
+
+  quanta::svc::Response resp;
+  if (!client.analyze(req, &resp, &error)) {
+    std::fprintf(stderr, "quanta_client: %s\n", error.c_str());
+    return 1;
+  }
+  if (resp.status != quanta::svc::Status::kOk) {
+    std::printf("status=%s error=%s\n", quanta::svc::to_string(resp.status),
+                resp.error.c_str());
+    return status_exit_code(resp.status, resp.verdict);
+  }
+  std::printf("status=ok cached=%d verdict=%s stored=%llu explored=%llu "
+              "transitions=%llu extra=%lld",
+              resp.cached ? 1 : 0, quanta::common::to_string(resp.verdict),
+              static_cast<unsigned long long>(resp.stored),
+              static_cast<unsigned long long>(resp.explored),
+              static_cast<unsigned long long>(resp.transitions),
+              static_cast<long long>(resp.extra));
+  if (resp.has_value) std::printf(" value=%.17g", resp.value);
+  if (!resp.resume.empty()) std::printf(" resume=%s", resp.resume.c_str());
+  std::printf("\n");
+  return status_exit_code(resp.status, resp.verdict);
+}

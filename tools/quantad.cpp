@@ -1,0 +1,131 @@
+// quantad — the analysis-as-a-service daemon (README "Running as a
+// service"). Binds the configured listeners, serves governed analysis
+// requests until SIGINT/SIGTERM, then shuts down gracefully: in-flight
+// jobs are cancelled at their next budget poll and every connected
+// session receives its final response.
+//
+//   quantad --socket /tmp/quantad.sock [--tcp-port N] [--ckpt-dir DIR]
+//           [--jobs N] [--queue-depth N] [--cache-mem BYTES]
+//           [--inflight-mem BYTES] [--debug]
+//
+// Sizing defaults come from QUANTAD_JOBS / QUANTAD_QUEUE_DEPTH /
+// QUANTAD_CACHE_MEM (strict whole-positive-decimal parsing; anything
+// else falls back to the built-in defaults — see src/svc/config.h).
+// --debug additionally honors the hold_ms/throttle_us request pacing
+// fields; production daemons reject them as bad requests.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "svc/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH [--tcp-port N] [--ckpt-dir DIR] [--jobs N]\n"
+      "          [--queue-depth N] [--cache-mem BYTES] [--inflight-mem BYTES]\n"
+      "          [--debug]\n",
+      argv0);
+  return 1;
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  char* endp = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &endp, 10);
+  if (errno != 0 || endp == s || *endp != '\0' || std::strchr(s, '-')) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  quanta::svc::ServerConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    std::uint64_t v = 0;
+    if (arg == "--socket") {
+      const char* s = next();
+      if (s == nullptr) return usage(argv[0]);
+      cfg.socket_path = s;
+    } else if (arg == "--tcp-port") {
+      const char* s = next();
+      if (s == nullptr || !parse_u64(s, &v) || v > 65535) return usage(argv[0]);
+      cfg.tcp_port = static_cast<int>(v);
+    } else if (arg == "--ckpt-dir") {
+      const char* s = next();
+      if (s == nullptr) return usage(argv[0]);
+      cfg.ckpt_dir = s;
+    } else if (arg == "--jobs") {
+      const char* s = next();
+      if (s == nullptr || !parse_u64(s, &v) || v == 0) return usage(argv[0]);
+      cfg.jobs = static_cast<unsigned>(v);
+    } else if (arg == "--queue-depth") {
+      const char* s = next();
+      if (s == nullptr || !parse_u64(s, &v) || v == 0) return usage(argv[0]);
+      cfg.queue_depth = v;
+    } else if (arg == "--cache-mem") {
+      const char* s = next();
+      if (s == nullptr || !parse_u64(s, &v) || v == 0) return usage(argv[0]);
+      cfg.cache_bytes = v;
+    } else if (arg == "--inflight-mem") {
+      const char* s = next();
+      if (s == nullptr || !parse_u64(s, &v) || v == 0) return usage(argv[0]);
+      cfg.inflight_bytes = v;
+    } else if (arg == "--debug") {
+      cfg.enable_debug = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (cfg.socket_path.empty() && cfg.tcp_port < 0) return usage(argv[0]);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  quanta::svc::Server server(cfg);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "quantad: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("quantad: listening%s%s%s\n",
+              cfg.socket_path.empty() ? "" : (" on " + cfg.socket_path).c_str(),
+              server.tcp_port() >= 0 ? " tcp 127.0.0.1:" : "",
+              server.tcp_port() >= 0
+                  ? std::to_string(server.tcp_port()).c_str()
+                  : "");
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    ::pause();  // signals are the only exit path
+  }
+  server.stop();
+  const auto stats = server.stats();
+  std::printf(
+      "quantad: exiting requests=%llu executed=%llu cache_hits=%llu "
+      "overloads=%llu\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.jobs_executed),
+      static_cast<unsigned long long>(stats.cache.hits),
+      static_cast<unsigned long long>(stats.overloads));
+  return 0;
+}
