@@ -190,6 +190,15 @@ void remove_deltas(const std::string& base_path, std::uint32_t from_seq) {
   }
 }
 
+void remove_chain(const std::string& base_path) {
+  if (base_path.empty()) return;
+  // Deltas first (descending): any interruption leaves a loadable prefix,
+  // never a headless tail.
+  remove_deltas(base_path);
+  std::remove(base_path.c_str());
+  std::remove((base_path + ".tmp").c_str());
+}
+
 bool ChainWriter::save_base(Snapshot&& snap) {
   snap.provider = provider_;
   snap.fingerprint = fingerprint_;

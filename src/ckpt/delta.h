@@ -100,6 +100,11 @@ LoadStatus load_chain(const std::string& path, std::uint64_t fingerprint,
 /// crash mid-removal always leaves a contiguous chain prefix.
 void remove_deltas(const std::string& base_path, std::uint32_t from_seq = 1);
 
+/// Removes the entire checkpoint chain at `base_path`: every delta
+/// (descending), the base snapshot, and any stray temp files. Used when a
+/// resume token is claimed to completion or the chain's TTL expires.
+void remove_chain(const std::string& base_path);
+
 /// Append/compact policy shared by the delta-snapshotting providers. One
 /// ChainWriter lives for the duration of an engine run; the engine asks
 /// want_base() before each periodic save and serializes either a full

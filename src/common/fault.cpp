@@ -1,5 +1,6 @@
 #include "common/fault.h"
 
+#include <csignal>
 #include <cstdlib>
 #include <new>
 
@@ -51,6 +52,8 @@ bool FaultInjector::arm_from_spec(const std::string& spec) {
     kind = FaultKind::kException;
   } else if (rest == "deadline") {
     kind = FaultKind::kDeadline;
+  } else if (rest == "crash") {
+    kind = FaultKind::kCrash;
   } else {
     return false;
   }
@@ -89,6 +92,13 @@ void FaultInjector::on_site(const char* name) {
                                "injected worker fault at site '", site_, "'");
     case FaultKind::kDeadline:
       deadline_forced_.store(true, std::memory_order_relaxed);
+      return;
+    case FaultKind::kCrash:
+      // Die by a genuine SIGSEGV: restore the default disposition first so a
+      // sanitizer's handler cannot turn the death into an orderly report —
+      // the supervisor must observe a signal-killed child.
+      std::signal(SIGSEGV, SIG_DFL);
+      std::raise(SIGSEGV);
       return;
     case FaultKind::kNone:
       return;

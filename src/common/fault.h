@@ -11,6 +11,10 @@
 //   alloc     — throw std::bad_alloc (allocation failure)
 //   exception — throw quanta::FaultError (worker-thread failure)
 //   deadline  — force Budget::poll to report kTimeLimit from then on
+//   crash     — raise(SIGSEGV) with the default disposition restored, so the
+//               process dies by a real signal (crash-containment drills; only
+//               meaningful under svc process isolation, where the supervisor
+//               absorbs the worker death)
 // Faults fire exactly once per arming.
 #pragma once
 
@@ -20,7 +24,7 @@
 
 namespace quanta::common {
 
-enum class FaultKind { kNone, kAlloc, kException, kDeadline };
+enum class FaultKind { kNone, kAlloc, kException, kDeadline, kCrash };
 
 class FaultInjector {
  public:

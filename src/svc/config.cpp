@@ -1,5 +1,7 @@
 #include "svc/config.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "common/env.h"
@@ -26,6 +28,28 @@ std::size_t default_cache_bytes() {
     return static_cast<std::size_t>(*v);
   }
   return kDefaultCacheBytes;
+}
+
+bool default_isolate() {
+  // Not env_u64: "0" is a meaningful value here, and anything that is not
+  // exactly "0" keeps the safe default (isolation on) — a garbled value must
+  // never silently strip the daemon of crash containment.
+  const char* s = std::getenv("QUANTAD_ISOLATE");
+  return s == nullptr || std::strcmp(s, "0") != 0;
+}
+
+unsigned default_retries() {
+  if (const auto v = common::env_u64("QUANTAD_RETRIES", kMaxRetries)) {
+    return static_cast<unsigned>(*v);
+  }
+  return kDefaultRetries;
+}
+
+std::uint64_t default_ckpt_ttl_s() {
+  if (const auto v = common::env_u64("QUANTAD_CKPT_TTL", kMaxCkptTtlS)) {
+    return *v;
+  }
+  return kDefaultCkptTtlS;
 }
 
 }  // namespace quanta::svc

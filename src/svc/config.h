@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace quanta::svc {
 
@@ -24,5 +25,26 @@ inline constexpr std::size_t kMaxQueueDepth = 1u << 20;
 std::size_t default_cache_bytes();
 inline constexpr std::size_t kDefaultCacheBytes = 64ull << 20;
 inline constexpr std::size_t kMaxCacheBytes = 1ull << 40;
+
+/// Process isolation for job execution. QUANTAD_ISOLATE: "0" disables the
+/// worker pool (jobs run in the daemon's address space — zero dispatch
+/// overhead, zero crash containment), anything else keeps the default: on.
+/// This is the daemon tool's posture; the Server library defaults to
+/// in-process and opts in via ServerConfig::isolate.
+bool default_isolate();
+
+/// Crash re-dispatches per job before its fingerprint is quarantined.
+/// QUANTAD_RETRIES, clamp 1000; default 2 (so a fingerprint crashing
+/// QUANTAD_RETRIES+1 times in one submission enters the poison list).
+unsigned default_retries();
+inline constexpr unsigned kDefaultRetries = 2;
+inline constexpr unsigned kMaxRetries = 1000;
+
+/// Age after which an unclaimed resume checkpoint chain is garbage
+/// collected, in seconds (age = newest file of the chain). QUANTAD_CKPT_TTL,
+/// clamp ~31 years; default 1 day.
+std::uint64_t default_ckpt_ttl_s();
+inline constexpr std::uint64_t kDefaultCkptTtlS = 24 * 60 * 60;
+inline constexpr std::uint64_t kMaxCkptTtlS = 1ull << 30;
 
 }  // namespace quanta::svc

@@ -213,4 +213,30 @@ std::optional<PreparedJob> prepare_job(const Request& r, std::string* error) {
   return job;
 }
 
+std::string fingerprint_token(std::uint64_t fingerprint) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+Response response_from_result(const JobResult& jr, const std::string& token) {
+  Response r;
+  r.status = Status::kOk;
+  r.verdict = jr.verdict;
+  r.stop = jr.stop;
+  r.stored = jr.stored;
+  r.explored = jr.explored;
+  r.transitions = jr.transitions;
+  r.extra = jr.extra;
+  r.has_value = jr.has_value;
+  r.value = jr.value;
+  // A saved snapshot turns the kUnknown verdict into a resumable job: the
+  // client re-submits the same query with this token to continue it.
+  if (jr.resume.saved && jr.verdict == common::Verdict::kUnknown) {
+    r.resume = token;
+  }
+  return r;
+}
+
 }  // namespace quanta::svc

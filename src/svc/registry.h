@@ -75,4 +75,14 @@ struct PreparedJob {
 /// return nullopt with a diagnostic in *error.
 std::optional<PreparedJob> prepare_job(const Request& r, std::string* error);
 
+/// Resume-token form of a job fingerprint: 16 lowercase hex digits. Shared
+/// by the server (token validation) and the worker (token attachment).
+std::string fingerprint_token(std::uint64_t fingerprint);
+
+/// Canonical JobResult → Response mapping: definite verdicts require
+/// completion; a budget-tripped job that saved a checkpoint carries `token`
+/// back as its resume handle. Used identically by the in-process execution
+/// path and the isolated worker, so both produce the same bytes.
+Response response_from_result(const JobResult& jr, const std::string& token);
+
 }  // namespace quanta::svc

@@ -101,6 +101,9 @@ std::optional<Request> parse_request(const WireMap& m, std::string* error) {
   if (!read_u64(m, "ckpt_interval", &r.ckpt_interval, &err)) return fail(err);
   if (!read_u64(m, "hold_ms", &r.hold_ms, &err)) return fail(err);
   if (!read_u64(m, "throttle_us", &r.throttle_us, &err)) return fail(err);
+  if (!read_u64(m, "crash_signal", &r.crash_signal, &err)) return fail(err);
+  if (!read_u64(m, "rlimit_mb", &r.rlimit_mb, &err)) return fail(err);
+  if (const std::string* s = m.get("fault")) r.fault = *s;
   if (m.get("bound") != nullptr) {
     const auto b = m.get_f64("bound");
     if (!b || !(*b > 0.0)) return fail("field 'bound' must be a positive number");
@@ -114,7 +117,15 @@ std::optional<Request> parse_request(const WireMap& m, std::string* error) {
       return fail("field 'cache' must be 0 or 1");
     }
   }
+  if (const std::string* s = m.get("quarantine")) {
+    if (*s == "0") {
+      r.use_quarantine = false;
+    } else if (*s != "1") {
+      return fail("field 'quarantine' must be 0 or 1");
+    }
+  }
   if (r.runs < 1) return fail("field 'runs' must be >= 1");
+  if (r.crash_signal > 64) return fail("field 'crash_signal' must be <= 64");
   return r;
 }
 
@@ -132,8 +143,12 @@ WireMap to_wire(const Request& r) {
   if (r.ckpt_interval != 0) m.set_u64("ckpt_interval", r.ckpt_interval);
   if (!r.resume.empty()) m.set("resume", r.resume);
   if (!r.use_cache) m.set("cache", "0");
+  if (!r.use_quarantine) m.set("quarantine", "0");
   if (r.hold_ms != 0) m.set_u64("hold_ms", r.hold_ms);
   if (r.throttle_us != 0) m.set_u64("throttle_us", r.throttle_us);
+  if (!r.fault.empty()) m.set("fault", r.fault);
+  if (r.crash_signal != 0) m.set_u64("crash_signal", r.crash_signal);
+  if (r.rlimit_mb != 0) m.set_u64("rlimit_mb", r.rlimit_mb);
   return m;
 }
 

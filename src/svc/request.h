@@ -41,7 +41,17 @@ inline constexpr int kLaneCount = 3;
 ///   ckpt_interval       periodic snapshot cadence (engine progress units)
 ///   resume              resume token from a previous budget-tripped reply
 ///   cache               "0" bypasses the result cache (lookup and insert)
+///   quarantine          "0" bypasses the poison-job list: the query runs
+///                       even when quarantined, and a clean completion
+///                       clears its quarantine entry
 ///   hold_ms, throttle_us  debug-only pacing knobs (--debug daemons)
+///   fault               debug-only QUANTA_FAULT spec armed inside the
+///                       worker process for this one job (crash drills)
+///   crash_signal        debug-only: worker raises this signal at job start
+///   rlimit_mb           debug-only: worker sets RLIMIT_AS to this many MiB
+///                       before running the job (OOM drills)
+/// The three fault knobs require both --debug and an isolated daemon; an
+/// in-process daemon rejects them rather than crash itself.
 /// (*) not required for engine "svc" builtins ("stats", "ping").
 struct Request {
   std::string engine;
@@ -56,8 +66,12 @@ struct Request {
   std::uint64_t ckpt_interval = 0;
   std::string resume;
   bool use_cache = true;
+  bool use_quarantine = true;
   std::uint64_t hold_ms = 0;
   std::uint64_t throttle_us = 0;
+  std::string fault;
+  std::uint64_t crash_signal = 0;
+  std::uint64_t rlimit_mb = 0;
 };
 
 /// Validates field values (unknown keys are ignored — forward compatible;

@@ -1,5 +1,6 @@
 #include "svc/server.h"
 
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
@@ -10,10 +11,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <future>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
+#include "ckpt/delta.h"
 #include "common/fault.h"
 #include "core/observer.h"
 #include "svc/config.h"
@@ -23,36 +27,10 @@ namespace quanta::svc {
 
 namespace {
 
-std::string fingerprint_token(std::uint64_t fp) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(fp));
-  return buf;
-}
-
 Response make_error(Status status, std::string why) {
   Response r;
   r.status = status;
   r.error = std::move(why);
-  return r;
-}
-
-Response from_job_result(const JobResult& jr, const std::string& token) {
-  Response r;
-  r.status = Status::kOk;
-  r.verdict = jr.verdict;
-  r.stop = jr.stop;
-  r.stored = jr.stored;
-  r.explored = jr.explored;
-  r.transitions = jr.transitions;
-  r.extra = jr.extra;
-  r.has_value = jr.has_value;
-  r.value = jr.value;
-  // A saved snapshot turns the kUnknown verdict into a resumable job: the
-  // client re-submits the same query with this token to continue it.
-  if (jr.resume.saved && jr.verdict == common::Verdict::kUnknown) {
-    r.resume = token;
-  }
   return r;
 }
 
@@ -72,10 +50,50 @@ class Throttle final : public core::ExplorationObserver {
 
 }  // namespace
 
+std::size_t gc_checkpoints(const std::string& dir, std::uint64_t ttl_s) {
+  if (dir.empty() || ttl_s == 0) return 0;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  // Chains are aged as a unit keyed by their base path: "job-*.qckpt" plus
+  // its ".dN" deltas and stray ".tmp" files. The age is the newest member's
+  // mtime — an actively growing chain keeps its old base alive, while an
+  // orphan (budget-tripped job whose token was never claimed) goes cold
+  // everywhere at once.
+  struct ChainInfo {
+    std::time_t newest = 0;
+    std::vector<std::string> files;
+  };
+  std::unordered_map<std::string, ChainInfo> chains;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.rfind("job-", 0) != 0) continue;
+    const std::size_t pos = name.find(".qckpt");
+    if (pos == std::string::npos) continue;
+    const std::string path = dir + "/" + name;
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+    ChainInfo& chain = chains[name.substr(0, pos + 6)];
+    if (st.st_mtime > chain.newest) chain.newest = st.st_mtime;
+    chain.files.push_back(path);
+  }
+  ::closedir(d);
+  const std::time_t now = std::time(nullptr);
+  std::size_t removed = 0;
+  for (const auto& [base, chain] : chains) {
+    if (now - chain.newest < static_cast<std::time_t>(ttl_s)) continue;
+    for (const std::string& path : chain.files) {
+      if (std::remove(path.c_str()) == 0) ++removed;
+    }
+  }
+  return removed;
+}
+
 Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.jobs == 0) cfg_.jobs = default_daemon_jobs();
   if (cfg_.queue_depth == 0) cfg_.queue_depth = default_queue_depth();
   if (cfg_.cache_bytes == 0) cfg_.cache_bytes = default_cache_bytes();
+  if (cfg_.retries < 0) cfg_.retries = static_cast<int>(default_retries());
+  if (cfg_.ckpt_ttl_s == 0) cfg_.ckpt_ttl_s = default_ckpt_ttl_s();
 }
 
 Server::~Server() { stop(); }
@@ -162,6 +180,31 @@ bool Server::start(std::string* error) {
     }
     return false;
   }
+  if (!cfg_.ckpt_dir.empty()) {
+    // Expire chains orphaned across daemon restarts before serving anyone.
+    ckpt_gc_removed_.fetch_add(gc_checkpoints(cfg_.ckpt_dir, cfg_.ckpt_ttl_s),
+                               std::memory_order_relaxed);
+    last_gc_ = std::chrono::steady_clock::now();
+  }
+  if (cfg_.isolate) {
+    SupervisorConfig scfg;
+    scfg.workers = cfg_.jobs;
+    scfg.retries = static_cast<unsigned>(cfg_.retries);
+    supervisor_ = std::make_unique<Supervisor>(scfg);
+    if (!supervisor_->start(error)) {
+      supervisor_.reset();
+      if (unix_fd_ >= 0) {
+        ::close(unix_fd_);
+        unix_fd_ = -1;
+        ::unlink(cfg_.socket_path.c_str());
+      }
+      if (tcp_fd_ >= 0) {
+        ::close(tcp_fd_);
+        tcp_fd_ = -1;
+      }
+      return false;
+    }
+  }
   queue_ = std::make_unique<JobQueue>(JobQueue::Limits{
       cfg_.jobs, cfg_.queue_depth, cfg_.inflight_bytes});
   cache_ = std::make_unique<ResultCache>(cfg_.cache_bytes);
@@ -191,8 +234,11 @@ void Server::stop() {
   if (tcp_fd_ >= 0) ::close(tcp_fd_);
   unix_fd_ = tcp_fd_ = -1;
   // 2. Cancel + drain the job queue: every session blocked on a job's
-  //    promise receives its (kCancelled) result.
+  //    promise receives its (kCancelled) result. In-flight isolated
+  //    dispatches see their CancelToken fire, kill their worker and return
+  //    kCancelled — so the pool is idle before step 2b kills it.
   queue_->shutdown();
+  if (supervisor_ != nullptr) supervisor_->shutdown();
   // 3. Unblock session reads (EOF) but let queued responses flush, then
   //    join. New requests racing in were answered with status=shutdown.
   {
@@ -325,6 +371,15 @@ WireMap Server::handle_builtin(const Request& req) {
     m.set_u64("bad_requests", s.bad_requests);
     m.set_u64("overloads", s.overloads);
     m.set_u64("jobs_executed", s.jobs_executed);
+    m.set("isolated", s.isolated ? "1" : "0");
+    m.set_u64("workers_spawned", s.supervisor.spawned);
+    m.set_u64("worker_crashes", s.supervisor.crashes);
+    m.set_u64("job_retries", s.supervisor.retries);
+    m.set_u64("resumed_retries", s.supervisor.resumed_retries);
+    m.set_u64("worker_kills", s.supervisor.kills);
+    m.set_u64("quarantined", s.supervisor.quarantined);
+    m.set_u64("quarantine_hits", s.quarantine_hits);
+    m.set_u64("ckpt_gc_removed", s.ckpt_gc_removed);
     m.set_u64("cache_hits", s.cache.hits);
     m.set_u64("cache_misses", s.cache.misses);
     m.set_u64("cache_entries", s.cache.entries);
@@ -348,6 +403,19 @@ Response Server::run_analysis(const Request& req) {
   if (!cfg_.enable_debug && (req.hold_ms != 0 || req.throttle_us != 0)) {
     return make_error(Status::kBadRequest,
                       "hold_ms/throttle_us require a --debug daemon");
+  }
+  const bool has_fault_knobs =
+      !req.fault.empty() || req.crash_signal != 0 || req.rlimit_mb != 0;
+  if (has_fault_knobs && !cfg_.enable_debug) {
+    return make_error(Status::kBadRequest,
+                      "fault/crash_signal/rlimit_mb require a --debug daemon");
+  }
+  if (has_fault_knobs && supervisor_ == nullptr) {
+    // An in-process daemon honoring these would crash itself — the knobs
+    // exist to drill the containment layer, not to bypass it.
+    return make_error(Status::kBadRequest,
+                      "fault/crash_signal/rlimit_mb require an isolated "
+                      "daemon (QUANTAD_ISOLATE=1)");
   }
 
   const std::string token = fingerprint_token(prepared->fingerprint);
@@ -375,6 +443,21 @@ Response Server::run_analysis(const Request& req) {
       hit.cached = true;
       return hit;
     }
+  }
+
+  // Poison-job gate, after the cache (a completed result predating the
+  // quarantine is still perfectly good) and before admission (a crash loop
+  // must cost the pool nothing). The response is deterministic: every hit
+  // answers with the same bytes.
+  if (supervisor_ != nullptr && req.use_quarantine &&
+      supervisor_->quarantined(prepared->fingerprint)) {
+    quarantine_hits_.fetch_add(1, std::memory_order_relaxed);
+    Response r;
+    r.status = Status::kOk;
+    r.verdict = common::Verdict::kUnknown;
+    r.stop = common::StopReason::kFault;
+    r.error = "quarantined: repeated worker crashes on this query";
+    return r;
   }
 
   // The job context lives on this stack frame, which blocks on the job's
@@ -417,13 +500,40 @@ Response Server::run_analysis(const Request& req) {
     return make_error(Status::kOverload, to_string(admission));
   }
   Response resp = result.get();
+  const bool completed = resp.status == Status::kOk &&
+                         resp.stop == common::StopReason::kCompleted;
   // Only completed results are cached: a kUnknown verdict depends on the
   // submitting client's budget and must never answer another client.
-  if (req.use_cache && resp.status == Status::kOk &&
-      resp.stop == common::StopReason::kCompleted) {
+  if (req.use_cache && completed) {
     cache_->insert(prepared->fingerprint, prepared->cache_key, resp);
   }
+  if (completed) {
+    // The resume token (if any) is claimed: its checkpoint chain is dead
+    // weight from here on. A completed quarantine-bypass run additionally
+    // proves the input no longer crash-loops.
+    if (checkpoint.enabled()) ckpt::remove_chain(checkpoint.path);
+    if (supervisor_ != nullptr && !req.use_quarantine) {
+      supervisor_->clear_quarantine(prepared->fingerprint);
+    }
+  }
+  maybe_gc_checkpoints();
   return resp;
+}
+
+void Server::maybe_gc_checkpoints() {
+  if (cfg_.ckpt_dir.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  auto period = std::chrono::seconds(60);
+  if (std::chrono::seconds(cfg_.ckpt_ttl_s) < period) {
+    period = std::chrono::seconds(cfg_.ckpt_ttl_s);
+  }
+  {
+    std::lock_guard<std::mutex> lock(gc_mu_);
+    if (now - last_gc_ < period) return;
+    last_gc_ = now;
+  }
+  ckpt_gc_removed_.fetch_add(gc_checkpoints(cfg_.ckpt_dir, cfg_.ckpt_ttl_s),
+                             std::memory_order_relaxed);
 }
 
 Response Server::execute_job(const Request& req, const PreparedJob& prepared,
@@ -439,16 +549,22 @@ Response Server::execute_job(const Request& req, const PreparedJob& prepared,
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
   }
-  Throttle throttle(req.throttle_us);
-  core::ExplorationObserver* observer =
-      req.throttle_us != 0 ? &throttle : nullptr;
   jobs_executed_.fetch_add(1, std::memory_order_relaxed);
   const std::string token = fingerprint_token(prepared.fingerprint);
   return common::governed(
-      [&] {
+      [&]() -> Response {
         common::FaultInjector::site("svc.job.run");
-        return from_job_result(prepared.run(budget, checkpoint, observer),
-                               token);
+        if (supervisor_ != nullptr) {
+          // Isolated path: the worker owns budget polling, throttling and
+          // checkpointing; the supervisor owns crash containment and retry.
+          return supervisor_->execute(req, prepared.fingerprint, budget,
+                                      checkpoint);
+        }
+        Throttle throttle(req.throttle_us);
+        core::ExplorationObserver* observer =
+            req.throttle_us != 0 ? &throttle : nullptr;
+        return response_from_result(prepared.run(budget, checkpoint, observer),
+                                    token);
       },
       [&](common::StopReason reason) {
         Response r;
@@ -467,8 +583,12 @@ Server::Stats Server::stats() const {
   s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
   s.overloads = overloads_.load(std::memory_order_relaxed);
   s.jobs_executed = jobs_executed_.load(std::memory_order_relaxed);
+  s.quarantine_hits = quarantine_hits_.load(std::memory_order_relaxed);
+  s.ckpt_gc_removed = ckpt_gc_removed_.load(std::memory_order_relaxed);
+  s.isolated = supervisor_ != nullptr;
   if (cache_ != nullptr) s.cache = cache_->stats();
   if (queue_ != nullptr) s.queue = queue_->stats();
+  if (supervisor_ != nullptr) s.supervisor = supervisor_->stats();
   return s;
 }
 

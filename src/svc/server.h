@@ -28,6 +28,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -40,6 +42,7 @@
 #include "svc/registry.h"
 #include "svc/request.h"
 #include "svc/result_cache.h"
+#include "svc/supervisor.h"
 
 namespace quanta::svc {
 
@@ -63,7 +66,25 @@ struct ServerConfig {
   /// Honor the hold_ms / throttle_us debug pacing fields (tests, CI smoke
   /// and benches only — a production daemon rejects them).
   bool enable_debug = false;
+  /// Execute jobs in a prefork pool of sandboxed worker processes (one per
+  /// runner) instead of the daemon's own address space: a crashing engine
+  /// fails one job, never the service. The library defaults to in-process;
+  /// the quantad tool turns isolation on unless QUANTAD_ISOLATE=0.
+  bool isolate = false;
+  /// Crash re-dispatches per job before its fingerprint is quarantined;
+  /// -1 = QUANTAD_RETRIES default. Only meaningful with isolate.
+  int retries = -1;
+  /// Unclaimed resume-checkpoint chains older than this many seconds are
+  /// garbage collected (age = the chain's newest file); 0 = QUANTAD_CKPT_TTL
+  /// default. Claimed chains are removed as soon as their job completes.
+  std::uint64_t ckpt_ttl_s = 0;
 };
+
+/// One TTL sweep over `dir`: removes every "job-*.qckpt*" checkpoint chain
+/// whose newest member is at least `ttl_s` seconds old (chains are aged as
+/// a unit — fresh deltas keep their old base alive). Returns the number of
+/// files removed. The server runs this at start() and amortized afterwards.
+std::size_t gc_checkpoints(const std::string& dir, std::uint64_t ttl_s);
 
 class Server {
  public:
@@ -88,8 +109,12 @@ class Server {
     std::uint64_t bad_requests = 0;
     std::uint64_t overloads = 0;      ///< admission rejections served
     std::uint64_t jobs_executed = 0;  ///< engine invocations (cache hits skip)
+    std::uint64_t quarantine_hits = 0;  ///< jobs answered from the poison list
+    std::uint64_t ckpt_gc_removed = 0;  ///< checkpoint files expired by GC
+    bool isolated = false;            ///< jobs run in worker processes
     ResultCache::Stats cache;
     JobQueue::Stats queue;
+    Supervisor::Stats supervisor;     ///< zeros when not isolated
   };
   Stats stats() const;
 
@@ -113,10 +138,13 @@ class Server {
   Response execute_job(const Request& req, const PreparedJob& prepared,
                        const common::Budget& budget,
                        const ckpt::Options& checkpoint);
+  /// Amortized TTL sweep (at most once per minute, or per TTL if shorter).
+  void maybe_gc_checkpoints();
 
   ServerConfig cfg_;
   std::unique_ptr<JobQueue> queue_;
   std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<Supervisor> supervisor_;
 
   std::atomic<bool> stop_{false};
   bool started_ = false;
@@ -136,6 +164,11 @@ class Server {
   std::atomic<std::uint64_t> bad_requests_{0};
   std::atomic<std::uint64_t> overloads_{0};
   std::atomic<std::uint64_t> jobs_executed_{0};
+  std::atomic<std::uint64_t> quarantine_hits_{0};
+  std::atomic<std::uint64_t> ckpt_gc_removed_{0};
+
+  std::mutex gc_mu_;
+  std::chrono::steady_clock::time_point last_gc_{};
 };
 
 }  // namespace quanta::svc

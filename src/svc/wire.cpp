@@ -259,7 +259,8 @@ bool write_all(int fd, const void* data, std::size_t size) {
   return true;
 }
 
-/// 1 = full read, 0 = clean EOF before the first byte, -1 = error/short.
+/// 1 = full read, 0 = clean EOF before the first byte, -1 = socket error,
+/// -2 = EOF after at least one byte (peer died mid-read).
 int read_all(int fd, void* data, std::size_t size) {
   char* p = static_cast<char*>(data);
   std::size_t got = 0;
@@ -269,7 +270,7 @@ int read_all(int fd, void* data, std::size_t size) {
       if (errno == EINTR) continue;
       return -1;
     }
-    if (n == 0) return got == 0 ? 0 : -1;
+    if (n == 0) return got == 0 ? 0 : -2;
     got += static_cast<std::size_t>(n);
   }
   return 1;
@@ -294,6 +295,7 @@ FrameStatus read_frame(int fd, std::string* payload) {
   unsigned char hdr[4];
   const int h = read_all(fd, hdr, sizeof(hdr));
   if (h == 0) return FrameStatus::kEof;
+  if (h == -2) return FrameStatus::kTruncated;
   if (h < 0) return FrameStatus::kError;
   const std::uint32_t len = static_cast<std::uint32_t>(hdr[0]) |
                             (static_cast<std::uint32_t>(hdr[1]) << 8) |
@@ -301,8 +303,10 @@ FrameStatus read_frame(int fd, std::string* payload) {
                             (static_cast<std::uint32_t>(hdr[3]) << 24);
   if (len > kMaxFrameBytes) return FrameStatus::kTooLarge;
   payload->resize(len);
-  if (len > 0 && read_all(fd, payload->data(), len) != 1) {
-    return FrameStatus::kError;
+  if (len > 0) {
+    const int b = read_all(fd, payload->data(), len);
+    if (b == 0 || b == -2) return FrameStatus::kTruncated;
+    if (b != 1) return FrameStatus::kError;
   }
   return FrameStatus::kOk;
 }

@@ -58,12 +58,16 @@ class WireMap {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
-/// Why reading a frame ended.
+/// Why reading a frame ended. kTruncated (peer hung up mid-frame — e.g. a
+/// daemon killed while replying) is kept distinct from kError (socket-level
+/// failure) so retries and monitoring can tell a dying peer from a broken
+/// transport.
 enum class FrameStatus {
-  kOk,        ///< one complete frame read
-  kEof,       ///< clean end of stream at a frame boundary
-  kTooLarge,  ///< length prefix exceeds kMaxFrameBytes
-  kError,     ///< short read / socket error mid-frame
+  kOk,         ///< one complete frame read
+  kEof,        ///< clean end of stream at a frame boundary
+  kTooLarge,   ///< length prefix exceeds kMaxFrameBytes
+  kTruncated,  ///< EOF mid-frame: the peer died while sending
+  kError,      ///< socket error (recv failure)
 };
 
 /// Blocking frame I/O over a connected stream socket fd. write_frame

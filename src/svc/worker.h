@@ -1,0 +1,45 @@
+// The execution side of the supervision layer: a sandboxed worker process
+// that runs one admitted job at a time on behalf of the daemon.
+//
+// Protocol (svc::wire frames over the supervisor's socketpair):
+//
+//   supervisor → worker   to_wire(Request) + "ckpt_path"/"ckpt_resume"
+//                         (the server-resolved checkpoint policy)
+//   worker → supervisor   to_wire(Response), exactly one per job frame
+//
+// The worker never writes a partial answer for a job it could not finish:
+// either a complete response frame arrives, or the process dies and the
+// supervisor observes EOF — there is no third state. Everything an engine
+// can throw is absorbed by common::governed, so the only crashes are real
+// ones (signals, rlimit exhaustion, injected kCrash drills).
+#pragma once
+
+#include <string>
+
+#include "svc/request.h"
+#include "svc/wire.h"
+
+namespace quanta::svc {
+
+/// Builds the job frame the supervisor dispatches: the request plus the
+/// server-resolved checkpoint chain path and whether to resume it.
+WireMap make_job_frame(const Request& req, const std::string& ckpt_path,
+                       bool resume);
+
+/// Post-fork, pre-loop initialization: closes every inherited descriptor
+/// except stdio and `job_fd` (listener and session sockets, other workers'
+/// pipes), restores default SIGINT/SIGTERM dispositions and keeps SIGPIPE
+/// ignored so a dying supervisor surfaces as a write error, not a signal.
+void worker_process_init(int job_fd);
+
+/// The worker loop: read a job frame from `job_fd`, execute it under the
+/// requested budget/checkpoint policy, reply, repeat until the supervisor
+/// closes the pipe. Returns the process exit code (0 on a clean hang-up).
+int worker_main(int job_fd);
+
+/// False when rlimit-based OOM drills are unavailable: sanitizer shadow
+/// mappings are incompatible with a small RLIMIT_AS, so sanitized builds
+/// skip both the limit and the tests that exercise it.
+bool worker_rlimit_supported();
+
+}  // namespace quanta::svc

@@ -5,7 +5,17 @@
 // engine-free, budget-tripped jobs resuming bit-identically via their
 // tokens, deterministic overload shedding, deadlock-free shutdown with
 // jobs in flight, and graceful degradation under the svc.* fault sites.
+//
+// The crash-containment sections exercise the supervision layer end to
+// end: workers killed by SIGSEGV/SIGABRT/SIGKILL/rlimit-OOM mid-job never
+// take the daemon down, crashed jobs retry resuming from their checkpoint
+// chain and converge bit-identically, repeat offenders are quarantined,
+// and checkpoint GC expires orphans while sparing live chains.
+#include <dirent.h>
+#include <fcntl.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -33,6 +43,7 @@
 #include "svc/result_cache.h"
 #include "svc/server.h"
 #include "svc/wire.h"
+#include "svc/worker.h"
 
 namespace {
 
@@ -947,6 +958,29 @@ TEST_F(ServerTest, SvcFaultMatrixEnvSpecDegradesGracefully) {
   if (kEnvFaultSpec.compare(0, 4, "svc.") != 0) {
     GTEST_SKIP() << "spec targets a non-svc site: " << kEnvFaultSpec;
   }
+  if (kEnvFaultSpec.compare(0, 11, "svc.worker.") == 0) {
+    // Worker sites only exist inside sandboxed worker processes — and a
+    // crash spec armed in-process would take down the test binary. Ship
+    // the spec to an isolated daemon via the request's fault field and
+    // assert containment instead of a graceful degrade.
+    ServerConfig cfg;
+    cfg.isolate = true;
+    cfg.enable_debug = true;
+    cfg.retries = 1;
+    start(cfg);
+    Client c = connect();
+    Request r = analysis_request("mc", "train-gate-2", "mutex");
+    r.use_cache = false;
+    r.fault = kEnvFaultSpec;
+    const Response resp = query(c, r);
+    EXPECT_EQ(resp.status, Status::kOk) << resp.error;
+    // Whatever the spec did to the worker, the daemon must still serve.
+    const Response healthy =
+        query(c, analysis_request("mc", "train-gate-3", "mutex"));
+    EXPECT_EQ(healthy.status, Status::kOk);
+    EXPECT_EQ(healthy.verdict, common::Verdict::kHolds);
+    return;
+  }
   DisarmGuard guard;
   ASSERT_TRUE(
       common::FaultInjector::instance().arm_from_spec(kEnvFaultSpec))
@@ -973,6 +1007,584 @@ TEST_F(ServerTest, SvcFaultMatrixEnvSpecDegradesGracefully) {
   EXPECT_TRUE(answered) << "daemon never recovered under " << kEnvFaultSpec;
   EXPECT_TRUE(common::FaultInjector::instance().fired())
       << "spec " << kEnvFaultSpec << " never fired; site unreachable?";
+}
+
+// ---------------------------------------------------------------------------
+// Truncated frames (svc::wire kTruncated) and client-side classification
+// ---------------------------------------------------------------------------
+
+TEST(Wire, TruncatedFrameIsDistinctFromCleanEof) {
+  // Clean EOF: peer closes before any bytes.
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  ::close(sp[1]);
+  std::string payload;
+  EXPECT_EQ(read_frame(sp[0], &payload), FrameStatus::kEof);
+  ::close(sp[0]);
+
+  // Death mid-header: two of four length bytes, then EOF.
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  const unsigned char partial_hdr[2] = {0x10, 0x00};
+  ASSERT_EQ(::send(sp[1], partial_hdr, 2, 0), 2);
+  ::close(sp[1]);
+  EXPECT_EQ(read_frame(sp[0], &payload), FrameStatus::kTruncated);
+  ::close(sp[0]);
+
+  // Death mid-payload: header claims 100 bytes, 10 arrive, then EOF.
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  const unsigned char hdr[4] = {100, 0, 0, 0};
+  ASSERT_EQ(::send(sp[1], hdr, 4, 0), 4);
+  ASSERT_EQ(::send(sp[1], "0123456789", 10, 0), 10);
+  ::close(sp[1]);
+  EXPECT_EQ(read_frame(sp[0], &payload), FrameStatus::kTruncated);
+  ::close(sp[0]);
+}
+
+namespace truncated_listener {
+
+/// A fake daemon for client-classification tests: accepts one connection,
+/// swallows the request frame, then answers according to `mode` and closes.
+enum class Mode { kCloseImmediately, kTruncateReply };
+
+void serve_one(int listen_fd, Mode mode) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return;
+  std::string request;
+  (void)read_frame(fd, &request);  // drain the request; close = daemon died
+  if (mode == Mode::kTruncateReply) {
+    const unsigned char hdr[4] = {100, 0, 0, 0};
+    (void)::send(fd, hdr, 4, 0);
+    (void)::send(fd, "0123456789", 10, 0);
+  }
+  ::close(fd);
+}
+
+int make_listener(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 1) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace truncated_listener
+
+TEST(ClientTransport, TruncatedReplyIsClassifiedDistinctly) {
+  char tmpl[] = "/tmp/qsvc-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  const std::string path = dir + "/fake.sock";
+  const int lfd = truncated_listener::make_listener(path);
+  ASSERT_GE(lfd, 0);
+
+  {
+    std::thread t([&] {
+      truncated_listener::serve_one(lfd,
+                                    truncated_listener::Mode::kTruncateReply);
+    });
+    Client c;
+    std::string error;
+    ASSERT_TRUE(c.connect_unix(path, &error)) << error;
+    WireMap reply;
+    Request ping;
+    ping.engine = "svc";
+    ping.query = "ping";
+    EXPECT_FALSE(c.call(to_wire(ping), &reply, &error));
+    EXPECT_EQ(c.last_transport_error(), TransportError::kTruncated);
+    EXPECT_NE(error.find("truncated response"), std::string::npos) << error;
+    t.join();
+  }
+  {
+    std::thread t([&] {
+      truncated_listener::serve_one(
+          lfd, truncated_listener::Mode::kCloseImmediately);
+    });
+    Client c;
+    std::string error;
+    ASSERT_TRUE(c.connect_unix(path, &error)) << error;
+    WireMap reply;
+    Request ping;
+    ping.engine = "svc";
+    ping.query = "ping";
+    EXPECT_FALSE(c.call(to_wire(ping), &reply, &error));
+    // A clean close is a different failure: absence, not corruption.
+    EXPECT_EQ(c.last_transport_error(), TransportError::kClosed);
+    t.join();
+  }
+  ::close(lfd);
+  std::remove(path.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(ClientRetry, RidesOutADaemonThatStartsLate) {
+  char tmpl[] = "/tmp/qsvc-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  ServerConfig cfg;
+  cfg.socket_path = dir + "/d.sock";
+  std::unique_ptr<Server> server;
+  std::thread starter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    server = std::make_unique<Server>(cfg);
+    std::string error;
+    ASSERT_TRUE(server->start(&error)) << error;
+  });
+
+  Endpoint ep;
+  ep.socket_path = cfg.socket_path;
+  RetryPolicy policy;
+  policy.retries = 10;
+  policy.timeout_ms = 2000;
+  policy.backoff_base_ms = 50;
+  policy.backoff_max_ms = 200;
+  Response resp;
+  std::string error;
+  TransportError te = TransportError::kNone;
+  const bool ok = analyze_with_retry(
+      ep, policy, analysis_request("mc", "train-gate-2", "mutex"), &resp,
+      &error, &te);
+  starter.join();
+  ASSERT_TRUE(ok) << error << " (transport: " << transport_error_name(te)
+                  << ")";
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.verdict, common::Verdict::kHolds);
+  server.reset();
+  std::remove(cfg.socket_path.c_str());
+  ::rmdir(dir.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// QUANTAD_ISOLATE / QUANTAD_RETRIES / QUANTAD_CKPT_TTL env knobs
+// ---------------------------------------------------------------------------
+
+TEST(QuantadEnv, IsolateDefaultsOnAndOnlyZeroTurnsItOff) {
+  {
+    ScopedEnv e("QUANTAD_ISOLATE", nullptr);
+    EXPECT_TRUE(default_isolate());
+  }
+  {
+    ScopedEnv e("QUANTAD_ISOLATE", "0");
+    EXPECT_FALSE(default_isolate());
+  }
+  {
+    // A garbled value keeps the safe default: isolation on.
+    ScopedEnv e("QUANTAD_ISOLATE", "off");
+    EXPECT_TRUE(default_isolate());
+  }
+}
+
+TEST(QuantadEnv, RetriesDefaultAndOverride) {
+  {
+    ScopedEnv e("QUANTAD_RETRIES", nullptr);
+    EXPECT_EQ(default_retries(), kDefaultRetries);
+  }
+  {
+    ScopedEnv e("QUANTAD_RETRIES", "7");
+    EXPECT_EQ(default_retries(), 7u);
+  }
+  {
+    ScopedEnv e("QUANTAD_RETRIES", "garbage");
+    EXPECT_EQ(default_retries(), kDefaultRetries);
+  }
+}
+
+TEST(QuantadEnv, CkptTtlDefaultAndOverride) {
+  {
+    ScopedEnv e("QUANTAD_CKPT_TTL", nullptr);
+    EXPECT_EQ(default_ckpt_ttl_s(), kDefaultCkptTtlS);
+  }
+  {
+    ScopedEnv e("QUANTAD_CKPT_TTL", "3600");
+    EXPECT_EQ(default_ckpt_ttl_s(), 3600u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint GC: TTL expiry of orphans, survival of live chains
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void touch_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  std::fputs("x", f);
+  std::fclose(f);
+}
+
+/// Backdates a file's mtime by `seconds` so GC sees it as old.
+void age_file(const std::string& path, long seconds) {
+  timespec times[2];
+  ASSERT_EQ(::clock_gettime(CLOCK_REALTIME, &times[0]), 0);
+  times[0].tv_sec -= seconds;
+  times[1] = times[0];
+  ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0) << path;
+}
+
+int count_job_files(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return -1;
+  int n = 0;
+  while (dirent* e = ::readdir(d)) {
+    if (std::strncmp(e->d_name, "job-", 4) == 0) ++n;
+  }
+  ::closedir(d);
+  return n;
+}
+
+}  // namespace
+
+TEST(CheckpointGc, ExpiresOrphanChainsAndSparesLiveOnes) {
+  char tmpl[] = "/tmp/qgc-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+
+  // An orphan chain, wholly old: base + delta + torn temp file.
+  for (const char* name : {"job-mc-aaaa.qckpt", "job-mc-aaaa.qckpt.d1",
+                           "job-mc-aaaa.qckpt.tmp"}) {
+    touch_file(dir + "/" + name);
+    age_file(dir + "/" + name, 1000);
+  }
+  // A live chain: the base is old but its newest delta is fresh — an
+  // actively resumed job must not lose its history out from under it.
+  touch_file(dir + "/job-mc-bbbb.qckpt");
+  age_file(dir + "/job-mc-bbbb.qckpt", 1000);
+  touch_file(dir + "/job-mc-bbbb.qckpt.d1");
+  // A fresh chain and an unrelated file.
+  touch_file(dir + "/job-smc-cccc.qckpt");
+  touch_file(dir + "/unrelated.txt");
+
+  EXPECT_EQ(gc_checkpoints(dir, 500), 3u);
+  EXPECT_EQ(count_job_files(dir), 3);  // bbbb base+delta, cccc base
+  // Idempotent: nothing left to expire.
+  EXPECT_EQ(gc_checkpoints(dir, 500), 0u);
+
+  for (const char* name :
+       {"job-mc-bbbb.qckpt", "job-mc-bbbb.qckpt.d1", "job-smc-cccc.qckpt",
+        "unrelated.txt"}) {
+    std::remove((dir + "/" + name).c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
+TEST_F(ServerTest, StartupSweepExpiresOrphansAndCompletionRemovesChain) {
+  // Plant an expired orphan before the daemon starts.
+  const std::string ckpt_dir = dir_ + "/ckpt";
+  ASSERT_EQ(::mkdir(ckpt_dir.c_str(), 0700), 0);
+  touch_file(ckpt_dir + "/job-mc-dead.qckpt");
+  age_file(ckpt_dir + "/job-mc-dead.qckpt", 1000);
+
+  ServerConfig cfg;
+  cfg.enable_debug = true;
+  cfg.ckpt_ttl_s = 500;
+  start(cfg);
+  EXPECT_EQ(count_job_files(ckpt_dir), 0) << "startup sweep missed an orphan";
+  EXPECT_EQ(server_->stats().ckpt_gc_removed, 1u);
+
+  // Trip a job so it saves a chain, then resume it to completion: the
+  // claimed chain is removed as soon as the job finishes.
+  Client c = connect();
+  Request r = analysis_request("mc", "train-gate-4", "mutex");
+  r.use_cache = false;
+  r.deadline_ms = 300;
+  r.throttle_us = 200;
+  r.ckpt_interval = 200;
+  const Response partial = query(c, r);
+  ASSERT_EQ(partial.status, Status::kOk);
+  ASSERT_FALSE(partial.resume.empty());
+  EXPECT_GT(count_job_files(ckpt_dir), 0);
+
+  Request resume = analysis_request("mc", "train-gate-4", "mutex");
+  resume.use_cache = false;
+  resume.resume = partial.resume;
+  const Response resumed = query(c, resume);
+  ASSERT_EQ(resumed.status, Status::kOk);
+  ASSERT_EQ(resumed.stop, common::StopReason::kCompleted);
+  EXPECT_EQ(count_job_files(ckpt_dir), 0)
+      << "completed resume left its chain behind";
+
+  // Cleanup for TearDown's rmdir.
+  ::rmdir(ckpt_dir.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Crash containment: isolated workers, retry-with-resume, quarantine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Response bytes with the cache flag normalized away, for bit-identity
+/// comparisons across cold/contained/resumed runs.
+std::string canonical_bytes(Response r) {
+  r.cached = false;
+  return to_wire(r).to_json();
+}
+
+ServerConfig isolated_config(int retries) {
+  ServerConfig cfg;
+  cfg.isolate = true;
+  cfg.enable_debug = true;  // the crash drills require --debug
+  cfg.retries = retries;
+  return cfg;
+}
+
+}  // namespace
+
+TEST_F(ServerTest, IsolatedColdQueryMatchesInProcessRun) {
+  start(isolated_config(2));
+  Client c1 = connect();
+  Request r = analysis_request("mc", "train-gate-3", "mutex");
+  r.use_cache = false;
+  const Response isolated = query(c1, r);
+  ASSERT_EQ(isolated.status, Status::kOk) << isolated.error;
+  EXPECT_TRUE(server_->stats().isolated);
+  EXPECT_GE(server_->stats().supervisor.spawned, 1u);
+
+  // The same daemon, in-process: answers must be byte-identical — worker
+  // dispatch is a transport, not a different analysis.
+  server_.reset();
+  ServerConfig cfg;
+  cfg.enable_debug = true;
+  start(cfg);
+  Client c2 = connect();
+  const Response inproc = query(c2, r);
+  ASSERT_EQ(inproc.status, Status::kOk);
+  EXPECT_FALSE(server_->stats().isolated);
+  EXPECT_EQ(canonical_bytes(isolated), canonical_bytes(inproc));
+}
+
+TEST_F(ServerTest, WorkerPoolReusesProcessesAcrossJobs) {
+  ServerConfig cfg = isolated_config(2);
+  cfg.jobs = 1;
+  start(cfg);
+  Client c = connect();
+  for (const char* model : {"train-gate-2", "train-gate-3"}) {
+    Request r = analysis_request("mc", model, "mutex");
+    r.use_cache = false;
+    EXPECT_EQ(query(c, r).verdict, common::Verdict::kHolds);
+  }
+  // Healthy workers serve many jobs; no respawn happened.
+  EXPECT_EQ(server_->stats().supervisor.spawned, 1u);
+  EXPECT_EQ(server_->stats().supervisor.crashes, 0u);
+}
+
+TEST_F(ServerTest, WorkerSegfaultIsContainedAndQuarantined) {
+  ServerConfig cfg = isolated_config(1);
+  cfg.jobs = 2;
+  start(cfg);
+  Client c = connect();
+
+  Request crash = analysis_request("mc", "train-gate-2", "mutex");
+  crash.use_cache = false;
+  crash.fault = "svc.worker.job=crash";  // SIGSEGV at the job site
+  const Response resp = query(c, crash);
+  ASSERT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.verdict, common::Verdict::kUnknown);
+  EXPECT_EQ(resp.stop, common::StopReason::kFault);
+  EXPECT_NE(resp.error.find("quarantined"), std::string::npos) << resp.error;
+
+  const auto stats = server_->stats();
+  EXPECT_EQ(stats.supervisor.crashes, 2u);  // initial + 1 retry
+  EXPECT_EQ(stats.supervisor.retries, 1u);
+  EXPECT_EQ(stats.supervisor.quarantined, 1u);
+
+  // The poison list answers the repeat without touching the pool, with the
+  // same deterministic bytes every time.
+  const Response hit1 = query(c, crash);
+  const Response hit2 = query(c, crash);
+  EXPECT_EQ(hit1.error, "quarantined: repeated worker crashes on this query");
+  EXPECT_EQ(canonical_bytes(hit1), canonical_bytes(hit2));
+  EXPECT_EQ(server_->stats().quarantine_hits, 2u);
+  EXPECT_EQ(server_->stats().supervisor.crashes, 2u) << "pool was touched";
+
+  // The daemon itself never died: a different query answers normally.
+  Request healthy = analysis_request("mc", "train-gate-3", "mutex");
+  healthy.use_cache = false;
+  EXPECT_EQ(query(c, healthy).verdict, common::Verdict::kHolds);
+}
+
+TEST_F(ServerTest, CrashSignalMatrixDecodesAbortAndKill) {
+  ServerConfig cfg = isolated_config(0);  // quarantine on the first crash
+  start(cfg);
+  Client c = connect();
+  const struct {
+    const char* model;  // distinct models → distinct quarantine entries
+    std::uint64_t sig;
+    const char* expect;
+  } cases[] = {
+      {"train-gate-2", 6, "signal 6"},   // SIGABRT
+      {"train-gate-3", 9, "signal 9"},   // SIGKILL: nothing to catch at all
+  };
+  for (const auto& tc : cases) {
+    Request r = analysis_request("mc", tc.model, "mutex");
+    r.use_cache = false;
+    r.crash_signal = tc.sig;
+    const Response resp = query(c, r);
+    ASSERT_EQ(resp.status, Status::kOk);
+    EXPECT_EQ(resp.stop, common::StopReason::kFault);
+    EXPECT_NE(resp.error.find(tc.expect), std::string::npos)
+        << "signal " << tc.sig << " not decoded: " << resp.error;
+  }
+  EXPECT_EQ(server_->stats().supervisor.quarantined, 2u);
+  // Still serving.
+  Request healthy = analysis_request("mc", "train-gate-4", "mutex");
+  healthy.use_cache = false;
+  EXPECT_EQ(query(c, healthy).verdict, common::Verdict::kHolds);
+}
+
+TEST_F(ServerTest, WorkerOomUnderRlimitIsContained) {
+  if (!worker_rlimit_supported()) {
+    GTEST_SKIP() << "rlimit drills unavailable under sanitizers";
+  }
+  ServerConfig cfg = isolated_config(0);
+  start(cfg);
+  Client c = connect();
+  Request r = analysis_request("mc", "train-gate-4", "mutex");
+  r.use_cache = false;
+  r.rlimit_mb = 1;  // an address-space cap the engine cannot live under
+  const Response resp = query(c, r);
+  ASSERT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.stop, common::StopReason::kFault);
+  EXPECT_NE(resp.error.find("killed by signal"), std::string::npos)
+      << resp.error;
+  // Daemon alive, pool healthy for other inputs.
+  Request healthy = analysis_request("mc", "train-gate-2", "mutex");
+  healthy.use_cache = false;
+  EXPECT_EQ(query(c, healthy).verdict, common::Verdict::kHolds);
+}
+
+TEST_F(ServerTest, ConcurrentJobsUnaffectedByASiblingCrash) {
+  ServerConfig cfg = isolated_config(0);
+  cfg.jobs = 2;
+  start(cfg);
+
+  // Calm reference for the healthy query.
+  Client ref_client = connect();
+  Request healthy = analysis_request("mc", "train-gate-4", "mutex");
+  healthy.use_cache = false;
+  const Response reference = query(ref_client, healthy);
+  ASSERT_EQ(reference.status, Status::kOk);
+
+  // Run the same healthy query (throttled so it is genuinely in flight
+  // while its sibling dies) concurrently with a crashing one.
+  Request slow = healthy;
+  slow.throttle_us = 100;
+  Response concurrent;
+  std::thread t([&] {
+    Client c = connect();
+    std::string error;
+    Response out;
+    ASSERT_TRUE(c.analyze(slow, &out, &error)) << error;
+    concurrent = out;
+  });
+  Client crash_client = connect();
+  Request crash = analysis_request("mc", "train-gate-2", "mutex");
+  crash.use_cache = false;
+  crash.fault = "svc.worker.job=crash";
+  const Response crashed = query(crash_client, crash);
+  EXPECT_EQ(crashed.stop, common::StopReason::kFault);
+  t.join();
+
+  ASSERT_EQ(concurrent.status, Status::kOk);
+  EXPECT_EQ(canonical_bytes(concurrent), canonical_bytes(reference))
+      << "a sibling crash perturbed a healthy job";
+  EXPECT_GE(server_->stats().supervisor.crashes, 1u);
+}
+
+TEST_F(ServerTest, CrashedJobRetriesResumeAndConvergeBitIdentically) {
+  ServerConfig cfg = isolated_config(12);
+  cfg.jobs = 1;
+  start(cfg);
+  Client c = connect();
+
+  Request r = analysis_request("mc", "train-gate-4", "mutex");
+  r.use_cache = false;
+  const Response reference = query(c, r);
+  ASSERT_EQ(reference.status, Status::kOk);
+  ASSERT_EQ(reference.stop, common::StopReason::kCompleted);
+
+  // Checkpoint every 500 states and crash each attempt at its third delta
+  // write: every retry resumes past its predecessor's last snapshot, makes
+  // ~2 intervals of fresh progress, and the final attempt completes. The
+  // converged answer must be byte-identical to the uninterrupted run —
+  // crash containment is a transport property, not an analysis change.
+  Request drill = r;
+  drill.ckpt_interval = 500;
+  drill.fault = "ckpt.delta.write=crash:3";
+  const Response converged = query(c, drill);
+  ASSERT_EQ(converged.status, Status::kOk) << converged.error;
+  ASSERT_EQ(converged.stop, common::StopReason::kCompleted) << converged.error;
+  EXPECT_EQ(canonical_bytes(converged), canonical_bytes(reference));
+
+  const auto stats = server_->stats();
+  EXPECT_GE(stats.supervisor.crashes, 2u);
+  EXPECT_GE(stats.supervisor.resumed_retries, 1u)
+      << "retries never resumed from the checkpoint chain";
+  EXPECT_EQ(stats.supervisor.quarantined, 0u);
+  EXPECT_EQ(count_job_files(dir_ + "/ckpt"), 0)
+      << "converged job left its chain behind";
+}
+
+TEST_F(ServerTest, QuarantineBypassRunClearsThePoisonEntry) {
+  ServerConfig cfg = isolated_config(0);
+  start(cfg);
+  Client c = connect();
+  Request crash = analysis_request("mc", "train-gate-2", "mutex");
+  crash.use_cache = false;
+  crash.fault = "svc.worker.job=crash";
+  ASSERT_EQ(query(c, crash).stop, common::StopReason::kFault);
+  ASSERT_EQ(server_->stats().supervisor.quarantined, 1u);
+
+  // Quarantined: even a fault-free resubmission is answered from the
+  // poison list without running anything.
+  Request clean = analysis_request("mc", "train-gate-2", "mutex");
+  clean.use_cache = false;
+  const Response held = query(c, clean);
+  EXPECT_NE(held.error.find("quarantined:"), std::string::npos);
+
+  // A bypass run reaches the pool; completing cleanly clears the entry.
+  Request bypass = clean;
+  bypass.use_quarantine = false;
+  const Response cleared = query(c, bypass);
+  ASSERT_EQ(cleared.status, Status::kOk);
+  EXPECT_EQ(cleared.verdict, common::Verdict::kHolds);
+  EXPECT_EQ(server_->stats().supervisor.quarantined, 0u);
+
+  // Normal submissions flow again.
+  const Response after = query(c, clean);
+  EXPECT_EQ(after.verdict, common::Verdict::kHolds);
+}
+
+TEST_F(ServerTest, CrashDrillsRequireDebugAndIsolation) {
+  {
+    // Isolated but not --debug: the drill fields are rejected.
+    ServerConfig cfg;
+    cfg.isolate = true;
+    start(cfg);
+    Client c = connect();
+    Request r = analysis_request("mc", "train-gate-2", "mutex");
+    r.crash_signal = 9;
+    EXPECT_EQ(query(c, r).status, Status::kBadRequest);
+    server_.reset();
+  }
+  {
+    // --debug but in-process: nowhere safe to crash.
+    ServerConfig cfg;
+    cfg.enable_debug = true;
+    start(cfg);
+    Client c = connect();
+    Request r = analysis_request("mc", "train-gate-2", "mutex");
+    r.fault = "svc.worker.job=crash";
+    const Response resp = query(c, r);
+    EXPECT_EQ(resp.status, Status::kBadRequest);
+    EXPECT_NE(resp.error.find("isolated"), std::string::npos) << resp.error;
+  }
 }
 
 }  // namespace

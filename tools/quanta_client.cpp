@@ -15,7 +15,13 @@
 // Exit codes: 0 definite verdict, 3 verdict unknown (budget-tripped jobs
 // land here and print their resume token), 2 overload rejection,
 // 4 bad request, 5 daemon shutting down, 6 daemon-internal error,
-// 1 usage / transport / protocol failure.
+// 7 truncated response (the daemon died mid-reply — distinct from a
+// clean transport failure so chaos harnesses can tell corruption from
+// absence), 1 usage / other transport / protocol failure.
+//
+// --timeout-ms caps connect and each socket read/write; --retries N
+// re-attempts transport failures and overload/shutdown answers with
+// exponential backoff and deterministic jitter (see svc/client.h).
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,7 +41,9 @@ int usage(const char* argv0) {
       "           [--priority high|normal|low] [--deadline-ms N]\n"
       "           [--memory-mb N] [--runs N] [--seed N] [--bound F]\n"
       "           [--ckpt-interval N] [--resume TOKEN] [--no-cache]\n"
-      "           [--hold-ms N] [--throttle-us N])\n",
+      "           [--no-quarantine] [--hold-ms N] [--throttle-us N]\n"
+      "           [--fault SPEC] [--crash-signal N] [--rlimit-mb N])\n"
+      "          [--timeout-ms N] [--retries N]\n",
       argv0);
   return 1;
 }
@@ -74,6 +82,7 @@ int main(int argc, char** argv) {
   int tcp_port = -1;
   bool builtin = false;
   quanta::svc::Request req;
+  quanta::svc::RetryPolicy policy;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -145,6 +154,22 @@ int main(int argc, char** argv) {
       req.resume = s;
     } else if (arg == "--no-cache") {
       req.use_cache = false;
+    } else if (arg == "--no-quarantine") {
+      req.use_quarantine = false;
+    } else if (arg == "--fault") {
+      const char* s = next();
+      if (s == nullptr) return usage(argv[0]);
+      req.fault = s;
+    } else if (arg == "--crash-signal") {
+      if (!next_u64(&req.crash_signal)) return usage(argv[0]);
+    } else if (arg == "--rlimit-mb") {
+      if (!next_u64(&req.rlimit_mb)) return usage(argv[0]);
+    } else if (arg == "--timeout-ms" || arg == "--timeout") {
+      if (!next_u64(&policy.timeout_ms)) return usage(argv[0]);
+    } else if (arg == "--retries") {
+      std::uint64_t v = 0;
+      if (!next_u64(&v) || v > 1000) return usage(argv[0]);
+      policy.retries = static_cast<unsigned>(v);
     } else if (arg == "--hold-ms") {
       if (!next_u64(&req.hold_ms)) return usage(argv[0]);
     } else if (arg == "--throttle-us") {
@@ -158,21 +183,20 @@ int main(int argc, char** argv) {
   }
   if (req.engine.empty()) return usage(argv[0]);
 
-  quanta::svc::Client client;
   std::string error;
-  const bool connected =
-      socket_path.empty() ? client.connect_tcp(tcp_host, tcp_port, &error)
-                          : client.connect_unix(socket_path, &error);
-  if (!connected) {
-    std::fprintf(stderr, "quanta_client: %s\n", error.c_str());
-    return 1;
-  }
-
   if (builtin) {
+    quanta::svc::Client client;
+    client.set_timeout_ms(policy.timeout_ms);
+    const bool connected =
+        socket_path.empty() ? client.connect_tcp(tcp_host, tcp_port, &error)
+                            : client.connect_unix(socket_path, &error);
     quanta::svc::WireMap reply;
-    if (!client.call(to_wire(req), &reply, &error)) {
+    if (!connected || !client.call(to_wire(req), &reply, &error)) {
       std::fprintf(stderr, "quanta_client: %s\n", error.c_str());
-      return 1;
+      return client.last_transport_error() ==
+                     quanta::svc::TransportError::kTruncated
+                 ? 7
+                 : 1;
     }
     for (const auto& [key, value] : reply.fields()) {
       std::printf("%s=%s\n", key.c_str(), value.c_str());
@@ -181,10 +205,23 @@ int main(int argc, char** argv) {
     return (status != nullptr && *status == "ok") ? 0 : 1;
   }
 
+  quanta::svc::Endpoint ep;
+  ep.socket_path = socket_path;
+  if (!tcp_host.empty()) ep.host = tcp_host;
+  ep.port = tcp_port;
   quanta::svc::Response resp;
-  if (!client.analyze(req, &resp, &error)) {
+  quanta::svc::TransportError te = quanta::svc::TransportError::kNone;
+  if (!quanta::svc::analyze_with_retry(ep, policy, req, &resp, &error, &te)) {
+    if (te == quanta::svc::TransportError::kNone && !error.empty() &&
+        resp.status != quanta::svc::Status::kOk) {
+      // Retries exhausted on overload/shutdown answers: report the final
+      // daemon status like a one-shot call would.
+      std::printf("status=%s error=%s\n", quanta::svc::to_string(resp.status),
+                  resp.error.c_str());
+      return status_exit_code(resp.status, resp.verdict);
+    }
     std::fprintf(stderr, "quanta_client: %s\n", error.c_str());
-    return 1;
+    return te == quanta::svc::TransportError::kTruncated ? 7 : 1;
   }
   if (resp.status != quanta::svc::Status::kOk) {
     std::printf("status=%s error=%s\n", quanta::svc::to_string(resp.status),

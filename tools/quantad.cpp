@@ -6,13 +6,20 @@
 //
 //   quantad --socket /tmp/quantad.sock [--tcp-port N] [--ckpt-dir DIR]
 //           [--jobs N] [--queue-depth N] [--cache-mem BYTES]
-//           [--inflight-mem BYTES] [--debug]
+//           [--inflight-mem BYTES] [--isolate | --no-isolate]
+//           [--retries N] [--ckpt-ttl SECONDS] [--debug]
 //
 // Sizing defaults come from QUANTAD_JOBS / QUANTAD_QUEUE_DEPTH /
 // QUANTAD_CACHE_MEM (strict whole-positive-decimal parsing; anything
 // else falls back to the built-in defaults — see src/svc/config.h).
+// Jobs run in sandboxed worker processes unless --no-isolate (or
+// QUANTAD_ISOLATE=0): a crashing engine fails one job, never the daemon;
+// crashed jobs are retried --retries times (QUANTAD_RETRIES) resuming
+// from their last checkpoint, then quarantined. Unclaimed resume
+// checkpoints expire after --ckpt-ttl seconds (QUANTAD_CKPT_TTL).
 // --debug additionally honors the hold_ms/throttle_us request pacing
-// fields; production daemons reject them as bad requests.
+// fields and the fault/crash_signal/rlimit_mb crash drills; production
+// daemons reject them as bad requests.
 
 #include <csignal>
 #include <cstdio>
@@ -22,6 +29,7 @@
 
 #include <unistd.h>
 
+#include "svc/config.h"
 #include "svc/server.h"
 
 namespace {
@@ -35,6 +43,7 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --socket PATH [--tcp-port N] [--ckpt-dir DIR] [--jobs N]\n"
       "          [--queue-depth N] [--cache-mem BYTES] [--inflight-mem BYTES]\n"
+      "          [--isolate | --no-isolate] [--retries N] [--ckpt-ttl SECS]\n"
       "          [--debug]\n",
       argv0);
   return 1;
@@ -55,6 +64,7 @@ bool parse_u64(const char* s, std::uint64_t* out) {
 
 int main(int argc, char** argv) {
   quanta::svc::ServerConfig cfg;
+  cfg.isolate = quanta::svc::default_isolate();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -89,6 +99,24 @@ int main(int argc, char** argv) {
       const char* s = next();
       if (s == nullptr || !parse_u64(s, &v) || v == 0) return usage(argv[0]);
       cfg.inflight_bytes = v;
+    } else if (arg == "--isolate") {
+      cfg.isolate = true;
+    } else if (arg == "--no-isolate") {
+      cfg.isolate = false;
+    } else if (arg == "--retries") {
+      const char* s = next();
+      if (s == nullptr || !parse_u64(s, &v) ||
+          v > quanta::svc::kMaxRetries) {
+        return usage(argv[0]);
+      }
+      cfg.retries = static_cast<int>(v);
+    } else if (arg == "--ckpt-ttl") {
+      const char* s = next();
+      if (s == nullptr || !parse_u64(s, &v) || v == 0 ||
+          v > quanta::svc::kMaxCkptTtlS) {
+        return usage(argv[0]);
+      }
+      cfg.ckpt_ttl_s = v;
     } else if (arg == "--debug") {
       cfg.enable_debug = true;
     } else {
@@ -107,12 +135,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "quantad: %s\n", error.c_str());
     return 1;
   }
-  std::printf("quantad: listening%s%s%s\n",
+  std::printf("quantad: listening%s%s%s (%s)\n",
               cfg.socket_path.empty() ? "" : (" on " + cfg.socket_path).c_str(),
               server.tcp_port() >= 0 ? " tcp 127.0.0.1:" : "",
               server.tcp_port() >= 0
                   ? std::to_string(server.tcp_port()).c_str()
-                  : "");
+                  : "",
+              cfg.isolate ? "isolated workers" : "in-process jobs");
   std::fflush(stdout);
 
   while (g_stop == 0) {
@@ -122,10 +151,12 @@ int main(int argc, char** argv) {
   const auto stats = server.stats();
   std::printf(
       "quantad: exiting requests=%llu executed=%llu cache_hits=%llu "
-      "overloads=%llu\n",
+      "overloads=%llu worker_crashes=%llu quarantined=%llu\n",
       static_cast<unsigned long long>(stats.requests),
       static_cast<unsigned long long>(stats.jobs_executed),
       static_cast<unsigned long long>(stats.cache.hits),
-      static_cast<unsigned long long>(stats.overloads));
+      static_cast<unsigned long long>(stats.overloads),
+      static_cast<unsigned long long>(stats.supervisor.crashes),
+      static_cast<unsigned long long>(stats.supervisor.quarantined));
   return 0;
 }
