@@ -18,12 +18,19 @@
 // The "iso cold" column and the overhead line price the isolation tax —
 // one frame hop each way over the worker socketpair per job (workers are
 // preforked and reused, so no fork cost appears on the steady-state path).
+//
+// The ESVC-DUR section prices durability (--state-dir): the journaled cold
+// latency against the in-memory daemon's (the write-ahead admit/complete
+// records sit on the response path — acceptance is <= 5% overhead), boot
+// replay time as a function of journal length, and the warm hit latency a
+// restarted daemon serves from its reloaded cache segment.
 #include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -31,6 +38,7 @@
 
 #include "bench_util.h"
 #include "svc/client.h"
+#include "svc/journal.h"
 #include "svc/server.h"
 
 using namespace quanta;
@@ -115,6 +123,58 @@ double cold_latency_ms(const std::string& socket_path, const std::string& model,
     total += timer.seconds();
   }
   return 1000.0 * total / reps;
+}
+
+/// Mean sequential cached-hit latency in ms over `reps` requests.
+double warm_latency_ms(const std::string& socket_path, const std::string& model,
+                       int reps) {
+  svc::Client client;
+  std::string error;
+  if (!client.connect_unix(socket_path, &error)) return -1.0;
+  double total = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    svc::Response resp;
+    bench::Stopwatch timer;
+    if (!client.analyze(make_request(model, /*use_cache=*/true), &resp,
+                        &error) ||
+        resp.status != svc::Status::kOk || !resp.cached) {
+      return -1.0;
+    }
+    total += timer.seconds();
+  }
+  return 1000.0 * total / reps;
+}
+
+/// Time to fold a journal of `jobs` completed jobs (3 records each) back
+/// into state — the fixed cost a restart pays before serving.
+double replay_ms(const std::string& dir, const std::string& model, int jobs) {
+  const std::string path = dir + "/replay-" + std::to_string(jobs) + ".qjrnl";
+  svc::Response answer;
+  answer.status = svc::Status::kOk;
+  answer.verdict = common::Verdict::kHolds;
+  answer.stop = common::StopReason::kCompleted;
+  answer.stored = 253;
+  answer.explored = 250;
+  answer.transitions = 390;
+  const std::string answer_json = to_wire(answer).to_json();
+  const std::string request_json =
+      to_wire(make_request(model, /*use_cache=*/false)).to_json();
+  {
+    svc::Journal journal;
+    std::string error;
+    if (!journal.open(path, svc::JournalReplay{}, &error)) return -1.0;
+    for (int t = 1; t <= jobs; ++t) {
+      const auto ticket = static_cast<std::uint64_t>(t);
+      journal.admit(ticket, ticket, request_json);
+      journal.start(ticket, ticket);
+      journal.complete(ticket, ticket, answer_json);
+    }
+    if (journal.append_failures() != 0) return -1.0;
+  }
+  bench::Stopwatch timer;
+  const svc::JournalReplay replay = svc::Journal::replay(path);
+  const double ms = 1000.0 * timer.seconds();
+  return replay.fresh || replay.dropped != 0 ? -1.0 : ms;
 }
 
 }  // namespace
@@ -220,5 +280,87 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(iso_stats.supervisor.spawned));
   server.stop();
   iso_server.stop();
+
+  // --- ESVC-DUR: the price and payoff of --state-dir durability ---------
+  // A fresh in-memory baseline measured back-to-back with the journaled
+  // daemon: the process is equally warm for both, so the delta prices the
+  // journal appends alone (the headline cold_ms above includes first-run
+  // warm-up and would overstate — or understate — the difference).
+  svc::ServerConfig base_cfg;
+  base_cfg.socket_path = std::string(dir) + "/d-base.sock";
+  base_cfg.isolate = false;
+  svc::Server base_server(base_cfg);
+  svc::ServerConfig dur_cfg;
+  dur_cfg.socket_path = std::string(dir) + "/d-dur.sock";
+  dur_cfg.isolate = false;
+  dur_cfg.state_dir = std::string(dir) + "/state";
+  auto dur_server = std::make_unique<svc::Server>(dur_cfg);
+  if (!base_server.start(&error) || !dur_server->start(&error)) {
+    std::fprintf(stderr, "bench_svc_throughput: %s\n", error.c_str());
+    return 1;
+  }
+  const double base_cold_ms =
+      cold_latency_ms(base_cfg.socket_path, model, cold_reps);
+  const double dur_cold_ms =
+      cold_latency_ms(dur_cfg.socket_path, model, cold_reps);
+  base_server.stop();
+  if (base_cold_ms < 0.0 || dur_cold_ms < 0.0) return 1;
+  const double journal_pct =
+      base_cold_ms > 0.0 ? 100.0 * (dur_cold_ms - base_cold_ms) / base_cold_ms
+                         : 0.0;
+  // Seed one cacheable entry, then restart the daemon over its state dir:
+  // warm hits must come from the reloaded segment, not a re-run engine.
+  {
+    svc::Client client;
+    svc::Response resp;
+    if (!client.connect_unix(dur_cfg.socket_path, &error) ||
+        !client.analyze(make_request(model, /*use_cache=*/true), &resp,
+                        &error) ||
+        resp.status != svc::Status::kOk) {
+      std::fprintf(stderr, "bench_svc_throughput: durable warm-up failed\n");
+      return 1;
+    }
+  }
+  dur_server.reset();
+  bench::Stopwatch restart_timer;
+  dur_server = std::make_unique<svc::Server>(dur_cfg);
+  if (!dur_server->start(&error)) {
+    std::fprintf(stderr, "bench_svc_throughput: restart: %s\n", error.c_str());
+    return 1;
+  }
+  const double restart_ms = 1000.0 * restart_timer.seconds();
+  const int warm_reps = 200;
+  const double warm_ms = warm_latency_ms(dur_cfg.socket_path, model, warm_reps);
+  const auto dur_stats = dur_server->stats();
+  const double hit_rate =
+      dur_stats.cache.hits + dur_stats.cache.misses > 0
+          ? 100.0 * static_cast<double>(dur_stats.cache.hits) /
+                static_cast<double>(dur_stats.cache.hits +
+                                    dur_stats.cache.misses)
+          : 0.0;
+  dur_server->stop();
+
+  std::printf(
+      "== ESVC-DUR: durable daemon, %s mutex ==\n"
+      "  journaled cold: %.2f ms/query (%+.1f%% vs %.2f ms in-memory, "
+      "measured back-to-back)\n"
+      "  restart: %.2f ms to boot over %llu reloaded cache entries; "
+      "warm hits after restart: %.3f ms/query, hit rate %.0f%% "
+      "(engine runs: %llu)\n",
+      model.c_str(), dur_cold_ms, journal_pct, base_cold_ms, restart_ms,
+      static_cast<unsigned long long>(dur_stats.cache.persist_loaded),
+      warm_ms, hit_rate,
+      static_cast<unsigned long long>(dur_stats.jobs_executed));
+  if (warm_ms < 0.0) ok = false;
+  bench::Table replay_table({"journal jobs", "records", "replay ms",
+                             "ms / 1k records"});
+  for (const int jobs : {64, 256, 1024}) {
+    const double ms = replay_ms(dir, model, jobs);
+    if (ms < 0.0) ok = false;
+    const int records = 3 * jobs;
+    replay_table.row({std::to_string(jobs), std::to_string(records),
+                      fmt(ms, "%.2f"), fmt(1000.0 * ms / records, "%.2f")});
+  }
+  replay_table.print();
   return ok ? 0 : 1;
 }

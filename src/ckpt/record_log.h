@@ -1,0 +1,100 @@
+// Append-only CRC-framed record logs — the shared on-disk discipline of the
+// service's write-ahead job journal and result-cache segment (src/svc).
+//
+// File layout (all integers little-endian, DESIGN.md "Durable daemon
+// state"):
+//
+//   [magic 8B] [format version u32] [header crc32 u32]
+//   then per record:
+//   [payload size u32] [payload crc32 u32] [payload bytes]
+//
+// Safety properties, mirroring src/ckpt's snapshot rules:
+//   * a record only counts when its stored and recomputed CRC32 agree — a
+//     bit-flipped record is skipped (its intact length field keeps the
+//     stream in sync), never parsed;
+//   * a trailing partial record (SIGKILL mid-append) is discarded as a torn
+//     tail: everything before it survives;
+//   * a missing file, foreign magic or mismatched format version degrades
+//     to "start fresh" — scan_log never throws and never fails a boot;
+//   * rewrite_log (compaction) goes through the atomic temp-then-rename
+//     path of ckpt::internal::write_file_atomic, so a crash mid-compaction
+//     leaves the previous log intact.
+//
+// Appends are fwrite + fflush: they survive process death (SIGKILL) — the
+// bytes are in the kernel — but not power loss; the daemon's durability
+// target is crash/restart, not fsync-grade storage semantics.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace quanta::ckpt {
+
+/// Identity stamp of one log file: exactly 8 magic bytes plus a format
+/// version that gates every layout change of the caller's payloads.
+struct LogFormat {
+  const char* magic;  ///< exactly 8 bytes, e.g. "QJRNL1\r\n"
+  std::uint32_t version = 1;
+};
+
+/// Per-record payload cap: a corrupted length field claiming more than this
+/// marks the rest of the file torn instead of driving an allocation.
+inline constexpr std::uint32_t kMaxLogRecordBytes = 16u << 20;
+
+/// How a scan_log pass went. `fresh` means the caller starts with empty
+/// state (no file, unreadable, foreign magic, version mismatch); `dropped`
+/// counts CRC-mismatched records that were skipped in place.
+struct LogScanStats {
+  std::size_t records = 0;
+  std::size_t dropped = 0;
+  bool torn_tail = false;
+  bool fresh = false;
+  std::string note;  ///< human-readable reason when fresh / records dropped
+};
+
+/// Reads every valid record of `path` into *records (append order). Never
+/// throws; any corruption degrades per the rules above.
+LogScanStats scan_log(const std::string& path, const LogFormat& fmt,
+                      std::vector<std::vector<std::uint8_t>>* records);
+
+/// Atomically replaces `path` with a fresh header plus `records`
+/// (compaction). False on any I/O failure — the previous file is left
+/// untouched. `fault_site` is visited mid-write (see atomic_file.h).
+bool rewrite_log(const std::string& path, const LogFormat& fmt,
+                 const std::vector<std::vector<std::uint8_t>>& records,
+                 const char* fault_site);
+
+/// Append handle for one open log. open() validates (or creates) the
+/// header; append() frames one payload and flushes it to the kernel.
+/// Append failures are sticky: the caller degrades to in-memory operation
+/// and the file keeps its last complete record.
+class RecordLog {
+ public:
+  RecordLog() = default;
+  ~RecordLog() { close(); }
+  RecordLog(const RecordLog&) = delete;
+  RecordLog& operator=(const RecordLog&) = delete;
+
+  /// Opens `path` for appends, creating it (with a header) when missing.
+  /// A file whose header fails validation is truncated and re-created —
+  /// callers scan_log first, so nothing recoverable is lost here.
+  bool open(const std::string& path, const LogFormat& fmt, std::string* error);
+  bool is_open() const { return f_ != nullptr; }
+  void close();
+
+  /// Appends one framed record and flushes. False on any write failure
+  /// (the log is closed; subsequent appends fail fast).
+  bool append(const std::vector<std::uint8_t>& payload);
+
+  /// Bytes appended through this handle since open() — drives the callers'
+  /// amortized compaction triggers.
+  std::uint64_t appended_bytes() const { return appended_bytes_; }
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::uint64_t appended_bytes_ = 0;
+};
+
+}  // namespace quanta::ckpt

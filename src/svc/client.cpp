@@ -297,4 +297,44 @@ bool analyze_with_retry(const Endpoint& ep, const RetryPolicy& policy,
   }
 }
 
+bool wait_ready(const Endpoint& ep, std::uint64_t timeout_ms,
+                std::string* error) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  Request ping;
+  ping.engine = "svc";
+  ping.query = "ping";
+  std::uint64_t backoff_ms = 10;
+  std::string err = "timed out before the first attempt";
+  for (;;) {
+    Client client;
+    // Bound each attempt so a daemon that accepts but never answers (e.g.
+    // mid-crash) cannot absorb the whole budget in one read.
+    client.set_timeout_ms(1000);
+    WireMap reply;
+    const bool ok = (ep.socket_path.empty()
+                         ? client.connect_tcp(ep.host, ep.port, &err)
+                         : client.connect_unix(ep.socket_path, &err)) &&
+                    client.call(to_wire(ping), &reply, &err);
+    if (ok) {
+      const std::string* status = reply.get("status");
+      if (status != nullptr && *status == "ok") {
+        if (error != nullptr) error->clear();
+        return true;
+      }
+      err = "daemon answered ping without status=ok";
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now + std::chrono::milliseconds(backoff_ms) >= deadline) {
+      if (error != nullptr) {
+        *error = "daemon not ready after " + std::to_string(timeout_ms) +
+                 " ms (last failure: " + err + ")";
+      }
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = backoff_ms < 100 ? backoff_ms * 2 : 200;
+  }
+}
+
 }  // namespace quanta::svc

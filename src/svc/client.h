@@ -103,4 +103,12 @@ bool analyze_with_retry(const Endpoint& ep, const RetryPolicy& policy,
                         const Request& req, Response* out, std::string* error,
                         TransportError* transport = nullptr);
 
+/// Polls the daemon with svc/ping until it answers or `timeout_ms` elapses.
+/// Deterministic backoff (10 ms doubling to a 200 ms cap — no jitter, so CI
+/// logs are reproducible); each attempt reconnects with a bounded per-call
+/// timeout. True once a ping answers ok. The startup twin of the ad-hoc
+/// `for i in $(seq ...); do --ping; sleep 0.1; done` loops it replaces.
+bool wait_ready(const Endpoint& ep, std::uint64_t timeout_ms,
+                std::string* error);
+
 }  // namespace quanta::svc

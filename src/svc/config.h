@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace quanta::svc {
 
@@ -46,5 +47,19 @@ inline constexpr unsigned kMaxRetries = 1000;
 std::uint64_t default_ckpt_ttl_s();
 inline constexpr std::uint64_t kDefaultCkptTtlS = 24 * 60 * 60;
 inline constexpr std::uint64_t kMaxCkptTtlS = 1ull << 30;
+
+/// Durable-state directory (job journal + cache segment live here).
+/// QUANTAD_STATE_DIR; default empty = durability off, the daemon is
+/// amnesiac across restarts exactly like the pre-journal builds.
+std::string default_state_dir();
+
+/// Write-ahead job journaling, effective only with a state dir.
+/// QUANTAD_JOURNAL: "0" disables, anything else keeps the default: on
+/// (same never-weaken-on-garble rule as QUANTAD_ISOLATE).
+bool default_journal();
+
+/// Result-cache spill to disk, effective only with a state dir.
+/// QUANTAD_CACHE_PERSIST: "0" disables, anything else keeps on.
+bool default_cache_persist();
 
 }  // namespace quanta::svc

@@ -1,0 +1,111 @@
+// Write-ahead job journal of the analysis daemon (DESIGN.md "Durable
+// daemon state"). Every accepted analysis job gets a monotonically
+// increasing ticket and leaves a trail of records:
+//
+//   admit    — the job was accepted; payload is its canonical request JSON
+//   start    — a worker began executing it
+//   complete — its final answer; payload is the canonical response JSON
+//              (always cached=0, never carrying a ticket field, i.e. the
+//              exact bytes an uninterrupted cold run would serve)
+//   crash    — a worker died running this fingerprint (diagnostic trail)
+//   quarantine / quarantine_clear — the supervisor poison-list transitions
+//
+// On boot, Journal::replay folds the trail back into state: jobs with an
+// admit but no complete are re-run (resuming from their last periodic
+// checkpoint via the normal resume path), recent answers become the
+// --ticket lookup table, and the quarantine set is the fold of records 5/6.
+// Records ride the ckpt::RecordLog framing, so a torn tail or bit-flipped
+// record degrades to "drop that record" — never a failed boot, and a
+// dropped admit can at worst lose one job, never resurrect a wrong answer.
+//
+// Journal writes sit on the response path, so every append visits the
+// FaultInjector site "svc.journal.append"; any failure (injected or real)
+// flips the journal unhealthy and the daemon continues in-memory-only.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ckpt/record_log.h"
+
+namespace quanta::svc {
+
+/// Journal record types (the u8 tag of each payload).
+enum class JournalRecord : std::uint8_t {
+  kAdmit = 1,
+  kStart = 2,
+  kComplete = 3,
+  kCrash = 4,
+  kQuarantine = 5,
+  kQuarantineClear = 6,
+};
+
+/// One job that was admitted but never completed: re-run it on boot.
+struct PendingJob {
+  std::uint64_t ticket = 0;
+  std::uint64_t fingerprint = 0;
+  bool started = false;            ///< saw a start record (purely diagnostic)
+  std::string request_json;        ///< canonical request wire JSON
+};
+
+/// The folded state of one journal file.
+struct JournalReplay {
+  std::vector<PendingJob> pending;                    ///< ticket order
+  std::map<std::uint64_t, std::string> answers;       ///< ticket → response JSON
+  std::vector<std::uint64_t> quarantined;             ///< surviving fingerprints
+  std::uint64_t next_ticket = 1;                      ///< max seen + 1
+  std::size_t dropped = 0;   ///< corrupt/unparseable records skipped
+  bool torn_tail = false;
+  bool fresh = false;        ///< no usable journal (missing/foreign/mismatched)
+  std::string note;
+};
+
+/// Answers retained for --ticket lookups, both in memory and across
+/// compactions. Older completes age out; their cache entries may outlive
+/// them, but a ticket fetch is a recovery path, not an archive.
+inline constexpr std::size_t kMaxTicketAnswers = 1024;
+
+class Journal {
+ public:
+  /// Folds the journal at `path` into replayable state. Never fails: any
+  /// corruption degrades per the RecordLog rules, a missing or mismatched
+  /// file yields `fresh` state.
+  static JournalReplay replay(const std::string& path);
+
+  /// Compacts `path` down to what `replayed` still needs (quarantine set,
+  /// pending admits, the last kMaxTicketAnswers completes) and opens it for
+  /// appends. False → journaling disabled; the daemon runs in-memory-only.
+  bool open(const std::string& path, const JournalReplay& replayed,
+            std::string* error);
+  bool healthy() const { return healthy_; }
+
+  // Append one record each. All degrade identically on failure: the
+  // journal goes unhealthy (one warning on stderr), the daemon keeps
+  // serving from memory. `ticket` 0 on crash records means "no specific
+  // journaled job" (e.g. a recovery or bypass run).
+  void admit(std::uint64_t ticket, std::uint64_t fingerprint,
+             const std::string& request_json);
+  void start(std::uint64_t ticket, std::uint64_t fingerprint);
+  void complete(std::uint64_t ticket, std::uint64_t fingerprint,
+                const std::string& response_json);
+  void crash(std::uint64_t ticket, std::uint64_t fingerprint,
+             const std::string& detail);
+  void quarantine(std::uint64_t fingerprint);
+  void clear_quarantine(std::uint64_t fingerprint);
+
+  std::uint64_t appends() const { return appends_; }
+  std::uint64_t append_failures() const { return append_failures_; }
+
+ private:
+  void append(JournalRecord type, std::uint64_t ticket,
+              std::uint64_t fingerprint, const std::string& payload);
+
+  ckpt::RecordLog log_;
+  bool healthy_ = false;
+  std::uint64_t appends_ = 0;
+  std::uint64_t append_failures_ = 0;
+};
+
+}  // namespace quanta::svc

@@ -103,6 +103,7 @@ std::optional<Request> parse_request(const WireMap& m, std::string* error) {
   if (!read_u64(m, "throttle_us", &r.throttle_us, &err)) return fail(err);
   if (!read_u64(m, "crash_signal", &r.crash_signal, &err)) return fail(err);
   if (!read_u64(m, "rlimit_mb", &r.rlimit_mb, &err)) return fail(err);
+  if (!read_u64(m, "ticket", &r.ticket, &err)) return fail(err);
   if (const std::string* s = m.get("fault")) r.fault = *s;
   if (m.get("bound") != nullptr) {
     const auto b = m.get_f64("bound");
@@ -122,6 +123,13 @@ std::optional<Request> parse_request(const WireMap& m, std::string* error) {
       r.use_quarantine = false;
     } else if (*s != "1") {
       return fail("field 'quarantine' must be 0 or 1");
+    }
+  }
+  if (const std::string* s = m.get("want_ticket")) {
+    if (*s == "1") {
+      r.want_ticket = true;
+    } else if (*s != "0") {
+      return fail("field 'want_ticket' must be 0 or 1");
     }
   }
   if (r.runs < 1) return fail("field 'runs' must be >= 1");
@@ -144,6 +152,8 @@ WireMap to_wire(const Request& r) {
   if (!r.resume.empty()) m.set("resume", r.resume);
   if (!r.use_cache) m.set("cache", "0");
   if (!r.use_quarantine) m.set("quarantine", "0");
+  if (r.want_ticket) m.set("want_ticket", "1");
+  if (r.ticket != 0) m.set_u64("ticket", r.ticket);
   if (r.hold_ms != 0) m.set_u64("hold_ms", r.hold_ms);
   if (r.throttle_us != 0) m.set_u64("throttle_us", r.throttle_us);
   if (!r.fault.empty()) m.set("fault", r.fault);
@@ -165,6 +175,9 @@ WireMap to_wire(const Response& r) {
   m.set_i64("extra", r.extra);
   if (r.has_value) m.set_f64("value", r.value);
   if (!r.resume.empty()) m.set("resume", r.resume);
+  // Only present when explicitly requested (want_ticket): everything the
+  // cache stores and CI byte-diffs stays ticket-free.
+  if (r.ticket != 0) m.set_u64("ticket", r.ticket);
   return m;
 }
 
@@ -202,6 +215,7 @@ std::optional<Response> parse_response(const WireMap& m, std::string* error) {
     r.value = *v;
   }
   if (const std::string* s = m.get("resume")) r.resume = *s;
+  if (const auto v = m.get_u64("ticket")) r.ticket = *v;
   return r;
 }
 

@@ -44,6 +44,11 @@ inline constexpr int kLaneCount = 3;
 ///   quarantine          "0" bypasses the poison-job list: the query runs
 ///                       even when quarantined, and a clean completion
 ///                       clears its quarantine entry
+///   want_ticket         "1" asks a journaling daemon to return this job's
+///                       journal ticket (see svc/journal.h); answers stay
+///                       byte-identical to ticketless traffic otherwise
+///   ticket              for engine "svc" query "result": fetch the stored
+///                       answer of a previously journaled job by its ticket
 ///   hold_ms, throttle_us  debug-only pacing knobs (--debug daemons)
 ///   fault               debug-only QUANTA_FAULT spec armed inside the
 ///                       worker process for this one job (crash drills)
@@ -67,6 +72,8 @@ struct Request {
   std::string resume;
   bool use_cache = true;
   bool use_quarantine = true;
+  bool want_ticket = false;
+  std::uint64_t ticket = 0;
   std::uint64_t hold_ms = 0;
   std::uint64_t throttle_us = 0;
   std::string fault;
@@ -94,6 +101,7 @@ struct Response {
   bool has_value = false;
   double value = 0.0;
   std::string resume;  ///< resume token when a checkpoint was saved
+  std::uint64_t ticket = 0;  ///< journal ticket, only when asked for
 };
 
 /// Deterministic field order; cache hits re-serialize the stored Response

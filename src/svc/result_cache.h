@@ -16,6 +16,17 @@
 // are inserted — a kUnknown verdict depends on the budget that truncated
 // it, so caching it would let one client's tiny deadline poison another
 // client's answer.
+//
+// Persistence (optional, DESIGN.md "Durable daemon state"): with
+// enable_persistence the cache write-throughs every insert to an on-disk
+// QCSEG1 segment file (ckpt::RecordLog framing; payloads are the canonical
+// response wire JSON, so reloaded answers are byte-identical to what was
+// served before the restart) and reloads it on boot. Disk records are
+// append-only — evictions never touch disk; stale records simply re-evict
+// on reload, and the segment is compacted to LRU order at boot and
+// amortized during operation. Every disk write visits the FaultInjector
+// site "svc.cache.persist"; any failure degrades to in-memory-only
+// operation, never an outage.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +35,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "ckpt/record_log.h"
 #include "svc/request.h"
 
 namespace quanta::svc {
@@ -34,6 +46,14 @@ class ResultCache {
   static constexpr std::size_t kEntryOverhead = 64;
 
   explicit ResultCache(std::size_t byte_budget) : budget_(byte_budget) {}
+
+  /// Reloads the segment at `path` into the cache (oldest record first, so
+  /// the hottest pre-restart entries win LRU budget contention), compacts
+  /// it, and starts write-through persistence. Corrupt records are dropped
+  /// individually; a torn/foreign/mismatched file degrades to an empty
+  /// reload — never a failed boot. False (with *error) only when the file
+  /// cannot be (re)written, in which case the cache stays memory-only.
+  bool enable_persistence(const std::string& path, std::string* error);
 
   /// LRU-touching lookup. True iff an entry with this exact canonical key
   /// exists; *out receives a copy of the cached response.
@@ -52,6 +72,11 @@ class ResultCache {
     std::size_t entries = 0;
     std::size_t bytes = 0;
     std::size_t budget = 0;
+    bool persist_enabled = false;      ///< write-through currently healthy
+    std::uint64_t persist_loaded = 0;  ///< entries reloaded at boot
+    std::uint64_t persist_dropped = 0; ///< corrupt/unparseable records skipped
+    std::uint64_t persist_appends = 0;
+    std::uint64_t persist_failures = 0;
   };
   Stats stats() const;
 
@@ -65,6 +90,9 @@ class ResultCache {
   using Lru = std::list<Entry>;
 
   void evict_to_fit(std::size_t incoming);
+  void persist_append_locked(const Entry& e);
+  bool compact_locked(std::string* error);
+  void disable_persist_locked(const char* why);
 
   mutable std::mutex mu_;
   std::size_t budget_;
@@ -75,6 +103,14 @@ class ResultCache {
   std::uint64_t misses_ = 0;
   std::uint64_t insertions_ = 0;
   std::uint64_t evictions_ = 0;
+
+  ckpt::RecordLog log_;
+  std::string persist_path_;
+  bool persist_healthy_ = false;
+  std::uint64_t persist_loaded_ = 0;
+  std::uint64_t persist_dropped_ = 0;
+  std::uint64_t persist_appends_ = 0;
+  std::uint64_t persist_failures_ = 0;
 };
 
 }  // namespace quanta::svc

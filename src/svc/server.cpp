@@ -34,6 +34,17 @@ Response make_error(Status status, std::string why) {
   return r;
 }
 
+/// The deterministic poison-list answer: every quarantine hit (live or
+/// during journal replay) serves these exact bytes.
+Response quarantine_response() {
+  Response r;
+  r.status = Status::kOk;
+  r.verdict = common::Verdict::kUnknown;
+  r.stop = common::StopReason::kFault;
+  r.error = "quarantined: repeated worker crashes on this query";
+  return r;
+}
+
 /// Debug pacing for the CI smoke and the budget-trip tests: stretches a
 /// symbolic search so deadlines and SIGKILLs land mid-run (the service
 /// twin of tools/ckpt_smoke's Throttle).
@@ -190,6 +201,22 @@ bool Server::start(std::string* error) {
     SupervisorConfig scfg;
     scfg.workers = cfg_.jobs;
     scfg.retries = static_cast<unsigned>(cfg_.retries);
+    // Journaling hooks: poison-list transitions and worker deaths go to the
+    // write-ahead journal, so a restart reconstructs the quarantine set.
+    // Both no-op until setup_durable_state() opens the journal.
+    scfg.quarantine_changed = [this](std::uint64_t fp, bool added) {
+      std::lock_guard<std::mutex> lock(journal_mu_);
+      if (journal_ == nullptr) return;
+      if (added) {
+        journal_->quarantine(fp);
+      } else {
+        journal_->clear_quarantine(fp);
+      }
+    };
+    scfg.job_crashed = [this](std::uint64_t fp, const std::string& detail) {
+      std::lock_guard<std::mutex> lock(journal_mu_);
+      if (journal_ != nullptr) journal_->crash(0, fp, detail);
+    };
     supervisor_ = std::make_unique<Supervisor>(scfg);
     if (!supervisor_->start(error)) {
       supervisor_.reset();
@@ -208,20 +235,176 @@ bool Server::start(std::string* error) {
   queue_ = std::make_unique<JobQueue>(JobQueue::Limits{
       cfg_.jobs, cfg_.queue_depth, cfg_.inflight_bytes});
   cache_ = std::make_unique<ResultCache>(cfg_.cache_bytes);
+  setup_durable_state();
   if (unix_fd_ >= 0) {
     acceptors_.emplace_back([this, fd = unix_fd_] { accept_loop(fd); });
   }
   if (tcp_fd_ >= 0) {
     acceptors_.emplace_back([this, fd = tcp_fd_] { accept_loop(fd); });
   }
+  if (!recovery_jobs_.empty()) {
+    recovery_thread_ = std::thread([this] { run_recovery(); });
+  } else {
+    recovery_done_.store(true, std::memory_order_release);
+  }
   started_ = true;
   return true;
+}
+
+void Server::setup_durable_state() {
+  if (cfg_.state_dir.empty()) return;
+  if (::mkdir(cfg_.state_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr,
+                 "quantad: mkdir %s: %s; continuing without durable state\n",
+                 cfg_.state_dir.c_str(), std::strerror(errno));
+    return;
+  }
+  if (cfg_.journal) {
+    const std::string path = cfg_.state_dir + "/journal.qjrnl";
+    JournalReplay replay = Journal::replay(path);
+    if (replay.dropped > 0 || replay.torn_tail ||
+        (replay.fresh && replay.note != "no log file")) {
+      std::fprintf(stderr,
+                   "quantad: journal %s degraded (%s, %zu records dropped)\n",
+                   path.c_str(),
+                   replay.note.empty() ? "recovered" : replay.note.c_str(),
+                   replay.dropped);
+    }
+    // Compact-and-reopen before any state moves out of `replay` (open
+    // serializes it back to disk). Failure costs durability, never the boot.
+    auto journal = std::make_unique<Journal>();
+    std::string err;
+    if (journal->open(path, replay, &err)) {
+      std::lock_guard<std::mutex> lock(journal_mu_);
+      journal_ = std::move(journal);
+    } else {
+      std::fprintf(stderr,
+                   "quantad: %s; continuing without journaling\n", err.c_str());
+    }
+    next_ticket_.store(replay.next_ticket, std::memory_order_relaxed);
+    journal_replayed_.store(replay.pending.size(), std::memory_order_relaxed);
+    journal_dropped_.store(replay.dropped, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(journal_mu_);
+      ticket_answers_ = std::move(replay.answers);
+      for (const PendingJob& job : replay.pending) {
+        tickets_pending_.insert(job.ticket);
+      }
+    }
+    if (supervisor_ != nullptr) {
+      supervisor_->restore_quarantine(replay.quarantined);
+    } else if (!replay.quarantined.empty()) {
+      std::fprintf(stderr,
+                   "quantad: %zu journaled quarantine entries ignored "
+                   "(daemon runs in-process, no poison list)\n",
+                   replay.quarantined.size());
+    }
+    recovery_jobs_ = std::move(replay.pending);
+  }
+  if (cfg_.cache_persist) {
+    std::string err;
+    if (!cache_->enable_persistence(cfg_.state_dir + "/cache.qcseg", &err)) {
+      std::fprintf(stderr, "quantad: %s; cache stays in-memory-only\n",
+                   err.c_str());
+    }
+  }
+}
+
+void Server::finish_ticket(std::uint64_t ticket, std::uint64_t fingerprint,
+                           const Response& response) {
+  // Store the canonical cold-run bytes: cached=0 and no ticket field, the
+  // exact JSON an uninterrupted fresh run of this query would serve. A
+  // --ticket fetch re-serializes with only `cached` flipped, mirroring the
+  // result cache's byte-identity discipline.
+  Response canon = response;
+  canon.cached = false;
+  canon.ticket = 0;
+  const std::string json = to_wire(canon).to_json();
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  tickets_pending_.erase(ticket);
+  ticket_answers_[ticket] = json;
+  while (ticket_answers_.size() > kMaxTicketAnswers) {
+    ticket_answers_.erase(ticket_answers_.begin());  // oldest ticket first
+  }
+  if (journal_ != nullptr) journal_->complete(ticket, fingerprint, json);
+}
+
+void Server::run_recovery() {
+  for (const PendingJob& pending : recovery_jobs_) {
+    if (stop_.load(std::memory_order_acquire) || recovery_cancel_.cancelled()) {
+      break;  // remaining jobs stay pending; the next boot resumes them
+    }
+    std::string error;
+    const auto map = WireMap::parse_json(pending.request_json, &error);
+    auto req = map ? parse_request(*map, &error) : std::optional<Request>();
+    if (!req) {
+      finish_ticket(
+          pending.ticket, pending.fingerprint,
+          make_error(Status::kError, "journaled request unreadable: " + error));
+      continue;
+    }
+    req->hold_ms = 0;  // queue-occupancy drill knob, meaningless on replay
+    const auto prepared = prepare_job(*req, &error);
+    if (!prepared) {
+      finish_ticket(pending.ticket, pending.fingerprint,
+                    make_error(Status::kBadRequest, error));
+      continue;
+    }
+    if (supervisor_ != nullptr && req->use_quarantine &&
+        supervisor_->quarantined(prepared->fingerprint)) {
+      quarantine_hits_.fetch_add(1, std::memory_order_relaxed);
+      finish_ticket(pending.ticket, prepared->fingerprint,
+                    quarantine_response());
+      continue;
+    }
+    common::Budget budget;
+    budget.with_cancel(&recovery_cancel_);
+    if (req->deadline_ms != 0) {
+      budget.with_deadline_after(std::chrono::milliseconds(req->deadline_ms));
+    }
+    if (req->memory_mb != 0) {
+      budget.with_memory_limit(req->memory_mb << 20);
+    }
+    ckpt::Options checkpoint;
+    if (!cfg_.ckpt_dir.empty()) {
+      checkpoint.path = cfg_.ckpt_dir + "/job-" + req->engine + "-" +
+                        fingerprint_token(prepared->fingerprint) + ".qckpt";
+      checkpoint.interval = req->ckpt_interval;
+      // Continue from whatever periodic snapshot the killed daemon managed
+      // to write; a missing or torn chain degrades to a fresh start, and
+      // either way src/ckpt guarantees bit-identity with an uninterrupted
+      // run.
+      checkpoint.resume = true;
+    }
+    // Replayed jobs bypass JobQueue admission: they were admitted before
+    // the crash, and the supervisor slots / engine budgets still bound the
+    // actual resource use. Recovery runs them one at a time behind live
+    // traffic.
+    const Response resp = execute_job(*req, *prepared, budget, checkpoint);
+    if (resp.status == Status::kOk &&
+        resp.stop == common::StopReason::kCancelled) {
+      break;  // shutting down again: the job stays pending for the next boot
+    }
+    const bool completed = resp.status == Status::kOk &&
+                           resp.stop == common::StopReason::kCompleted;
+    if (req->use_cache && completed) {
+      cache_->insert(prepared->fingerprint, prepared->cache_key, resp);
+    }
+    if (completed && checkpoint.enabled()) ckpt::remove_chain(checkpoint.path);
+    finish_ticket(pending.ticket, prepared->fingerprint, resp);
+    jobs_recovered_.fetch_add(1, std::memory_order_relaxed);
+  }
+  recovery_done_.store(true, std::memory_order_release);
 }
 
 void Server::stop() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (!started_) return;
   stop_.store(true, std::memory_order_release);
+  // 0. Cancel recovery: a replayed job parks at its next budget poll (its
+  //    periodic checkpoints already persisted) and stays journal-pending,
+  //    so the next boot carries on from where this one let go.
+  recovery_cancel_.cancel();
   // 1. Wake the acceptors: shutdown() unblocks a blocked accept(2) (close
   //    alone does not, reliably), then join and close.
   if (unix_fd_ >= 0) ::shutdown(unix_fd_, SHUT_RDWR);
@@ -239,6 +422,9 @@ void Server::stop() {
   //    kCancelled — so the pool is idle before step 2b kills it.
   queue_->shutdown();
   if (supervisor_ != nullptr) supervisor_->shutdown();
+  // 2c. Join recovery after the queue and pool are down: its in-flight job
+  //     has seen the cancel token (or its killed worker) by now.
+  if (recovery_thread_.joinable()) recovery_thread_.join();
   // 3. Unblock session reads (EOF) but let queued responses flush, then
   //    join. New requests racing in were answered with status=shutdown.
   {
@@ -361,6 +547,7 @@ WireMap Server::handle_builtin(const Request& req) {
     m.set("status", "ok");
     return m;
   }
+  if (req.query == "result") return handle_ticket_fetch(req);
   if (req.query == "stats") {
     const Stats s = stats();
     WireMap m;
@@ -380,6 +567,20 @@ WireMap Server::handle_builtin(const Request& req) {
     m.set_u64("quarantined", s.supervisor.quarantined);
     m.set_u64("quarantine_hits", s.quarantine_hits);
     m.set_u64("ckpt_gc_removed", s.ckpt_gc_removed);
+    m.set("journaling", s.journaling ? "1" : "0");
+    m.set_u64("tickets_issued", s.tickets_issued);
+    m.set_u64("tickets_pending", s.tickets_pending);
+    m.set_u64("ticket_answers", s.ticket_answers);
+    m.set_u64("journal_appends", s.journal_appends);
+    m.set_u64("journal_failures", s.journal_failures);
+    m.set_u64("journal_replayed", s.journal_replayed);
+    m.set_u64("journal_dropped", s.journal_dropped);
+    m.set_u64("jobs_recovered", s.jobs_recovered);
+    m.set("recovery_done", s.recovery_done ? "1" : "0");
+    m.set("cache_persist", s.cache.persist_enabled ? "1" : "0");
+    m.set_u64("cache_persist_loaded", s.cache.persist_loaded);
+    m.set_u64("cache_persist_dropped", s.cache.persist_dropped);
+    m.set_u64("cache_persist_failures", s.cache.persist_failures);
     m.set_u64("cache_hits", s.cache.hits);
     m.set_u64("cache_misses", s.cache.misses);
     m.set_u64("cache_entries", s.cache.entries);
@@ -394,6 +595,49 @@ WireMap Server::handle_builtin(const Request& req) {
   bad_requests_.fetch_add(1, std::memory_order_relaxed);
   return to_wire(make_error(Status::kBadRequest,
                             "unknown svc builtin '" + req.query + "'"));
+}
+
+WireMap Server::handle_ticket_fetch(const Request& req) {
+  if (req.ticket == 0) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return to_wire(make_error(Status::kBadRequest,
+                              "builtin 'result' requires a nonzero 'ticket'"));
+  }
+  std::string json;
+  bool pending = false;
+  {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    const auto it = ticket_answers_.find(req.ticket);
+    if (it != ticket_answers_.end()) {
+      json = it->second;
+    } else {
+      pending = tickets_pending_.count(req.ticket) != 0;
+    }
+  }
+  if (!json.empty()) {
+    const auto map = WireMap::parse_json(json, nullptr);
+    const auto resp = map ? parse_response(*map, nullptr)
+                          : std::optional<Response>();
+    if (!resp) {
+      return to_wire(make_error(Status::kError, "stored answer unreadable"));
+    }
+    // Same discipline as a cache hit: the stored canonical bytes with only
+    // the `cached` flag flipped, so `cut -f3-` diffs stay byte-exact.
+    Response answer = *resp;
+    answer.cached = true;
+    return to_wire(answer);
+  }
+  if (pending) {
+    return to_wire(make_error(
+        Status::kError, "ticket " + std::to_string(req.ticket) +
+                            " is still pending (replay or execution in "
+                            "progress); retry shortly"));
+  }
+  bad_requests_.fetch_add(1, std::memory_order_relaxed);
+  return to_wire(make_error(
+      Status::kBadRequest,
+      "unknown ticket " + std::to_string(req.ticket) +
+          " (never issued, or its answer aged out of the journal)"));
 }
 
 Response Server::run_analysis(const Request& req) {
@@ -452,12 +696,24 @@ Response Server::run_analysis(const Request& req) {
   if (supervisor_ != nullptr && req.use_quarantine &&
       supervisor_->quarantined(prepared->fingerprint)) {
     quarantine_hits_.fetch_add(1, std::memory_order_relaxed);
-    Response r;
-    r.status = Status::kOk;
-    r.verdict = common::Verdict::kUnknown;
-    r.stop = common::StopReason::kFault;
-    r.error = "quarantined: repeated worker crashes on this query";
-    return r;
+    return quarantine_response();
+  }
+
+  // Every job reaching execution draws a journal ticket; the admit record
+  // hits disk before submission, so a SIGKILL at any later point leaves a
+  // replayable trail (cache hits and quarantine answers never get here —
+  // they consume no ticket, keeping the sequence deterministic for CI).
+  const std::uint64_t ticket =
+      next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  tickets_issued_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> jlock(journal_mu_);
+    tickets_pending_.insert(ticket);
+    if (journal_ != nullptr) {
+      Request admit = req;
+      admit.hold_ms = 0;  // queue-occupancy drill knob, meaningless on replay
+      journal_->admit(ticket, prepared->fingerprint, to_wire(admit).to_json());
+    }
   }
 
   // The job context lives on this stack frame, which blocks on the job's
@@ -479,7 +735,13 @@ Response Server::run_analysis(const Request& req) {
   job.cancel = &cancel;
   job.mem_charge =
       req.memory_mb != 0 ? (req.memory_mb << 20) : cfg_.default_job_charge;
-  job.run = [this, &req, &prepared, &budget, &checkpoint, &done] {
+  job.run = [this, &req, &prepared, &budget, &checkpoint, &done, ticket] {
+    {
+      // Start record at actual execution (it may land after this session's
+      // admit or, on an instant runner, race it — replay tolerates both).
+      std::lock_guard<std::mutex> jlock(journal_mu_);
+      if (journal_ != nullptr) journal_->start(ticket, prepared->fingerprint);
+    }
     try {
       done.set_value(execute_job(req, *prepared, budget, checkpoint));
     } catch (...) {
@@ -493,17 +755,24 @@ Response Server::run_analysis(const Request& req) {
     }
   };
   const Admission admission = queue_->submit(req.priority, std::move(job));
-  if (admission == Admission::kShutdown) {
-    return make_error(Status::kShutdown, "daemon is shutting down");
-  }
   if (admission != Admission::kAdmitted) {
-    return make_error(Status::kOverload, to_string(admission));
+    // The queue refused the job its admit record promised: retire the
+    // ticket with the rejection answer so no future boot replays it.
+    Response rejected =
+        admission == Admission::kShutdown
+            ? make_error(Status::kShutdown, "daemon is shutting down")
+            : make_error(Status::kOverload, to_string(admission));
+    finish_ticket(ticket, prepared->fingerprint, rejected);
+    if (req.want_ticket) rejected.ticket = ticket;
+    return rejected;
   }
   Response resp = result.get();
   const bool completed = resp.status == Status::kOk &&
                          resp.stop == common::StopReason::kCompleted;
   // Only completed results are cached: a kUnknown verdict depends on the
   // submitting client's budget and must never answer another client.
+  // (resp is still ticket-free here, so the cache — and its on-disk
+  // segment — stores the canonical cold-run bytes.)
   if (req.use_cache && completed) {
     cache_->insert(prepared->fingerprint, prepared->cache_key, resp);
   }
@@ -516,7 +785,17 @@ Response Server::run_analysis(const Request& req) {
       supervisor_->clear_quarantine(prepared->fingerprint);
     }
   }
+  if (resp.status == Status::kOk &&
+      resp.stop == common::StopReason::kCancelled) {
+    // Shutdown took this job down mid-run. Its ticket stays pending: the
+    // admit record makes the next boot replay it to completion (resuming
+    // from its last periodic checkpoint), so a graceful stop loses zero
+    // accepted work.
+  } else {
+    finish_ticket(ticket, prepared->fingerprint, resp);
+  }
   maybe_gc_checkpoints();
+  if (req.want_ticket) resp.ticket = ticket;
   return resp;
 }
 
@@ -586,6 +865,21 @@ Server::Stats Server::stats() const {
   s.quarantine_hits = quarantine_hits_.load(std::memory_order_relaxed);
   s.ckpt_gc_removed = ckpt_gc_removed_.load(std::memory_order_relaxed);
   s.isolated = supervisor_ != nullptr;
+  s.tickets_issued = tickets_issued_.load(std::memory_order_relaxed);
+  s.journal_replayed = journal_replayed_.load(std::memory_order_relaxed);
+  s.journal_dropped = journal_dropped_.load(std::memory_order_relaxed);
+  s.jobs_recovered = jobs_recovered_.load(std::memory_order_relaxed);
+  s.recovery_done = recovery_done_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    s.tickets_pending = tickets_pending_.size();
+    s.ticket_answers = ticket_answers_.size();
+    if (journal_ != nullptr) {
+      s.journaling = journal_->healthy();
+      s.journal_appends = journal_->appends();
+      s.journal_failures = journal_->append_failures();
+    }
+  }
   if (cache_ != nullptr) s.cache = cache_->stats();
   if (queue_ != nullptr) s.queue = queue_->stats();
   if (supervisor_ != nullptr) s.supervisor = supervisor_->stats();

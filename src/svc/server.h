@@ -32,13 +32,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "svc/job_queue.h"
+#include "svc/journal.h"
 #include "svc/registry.h"
 #include "svc/request.h"
 #include "svc/result_cache.h"
@@ -78,6 +81,18 @@ struct ServerConfig {
   /// garbage collected (age = the chain's newest file); 0 = QUANTAD_CKPT_TTL
   /// default. Claimed chains are removed as soon as their job completes.
   std::uint64_t ckpt_ttl_s = 0;
+  /// Durable-state directory (created if missing): the write-ahead job
+  /// journal and the cache segment live here. Empty = no durability, the
+  /// daemon is amnesiac across restarts. Any failure to set the directory
+  /// or its files up degrades to in-memory-only operation, never a failed
+  /// boot.
+  std::string state_dir;
+  /// Write-ahead job journaling (needs state_dir): restarts replay
+  /// incomplete jobs and restore the quarantine set and --ticket answers.
+  bool journal = true;
+  /// Result-cache spill to disk (needs state_dir): restarts reload the
+  /// cache, so post-restart traffic is warm and byte-identical.
+  bool cache_persist = true;
 };
 
 /// One TTL sweep over `dir`: removes every "job-*.qckpt*" checkpoint chain
@@ -112,6 +127,16 @@ class Server {
     std::uint64_t quarantine_hits = 0;  ///< jobs answered from the poison list
     std::uint64_t ckpt_gc_removed = 0;  ///< checkpoint files expired by GC
     bool isolated = false;            ///< jobs run in worker processes
+    bool journaling = false;          ///< job journal currently healthy
+    std::uint64_t tickets_issued = 0;   ///< this process (replay seeds counter)
+    std::uint64_t tickets_pending = 0;  ///< journaled jobs awaiting completion
+    std::uint64_t ticket_answers = 0;   ///< answers retained for --ticket
+    std::uint64_t journal_appends = 0;
+    std::uint64_t journal_failures = 0;
+    std::uint64_t journal_replayed = 0;  ///< incomplete jobs found at boot
+    std::uint64_t journal_dropped = 0;   ///< corrupt records dropped at boot
+    std::uint64_t jobs_recovered = 0;    ///< replayed jobs completed by now
+    bool recovery_done = false;          ///< replay queue fully drained
     ResultCache::Stats cache;
     JobQueue::Stats queue;
     Supervisor::Stats supervisor;     ///< zeros when not isolated
@@ -134,6 +159,7 @@ class Server {
   /// Full request pipeline; always returns a well-formed response map.
   WireMap handle_payload(const std::string& payload);
   WireMap handle_builtin(const Request& req);
+  WireMap handle_ticket_fetch(const Request& req);
   Response run_analysis(const Request& req);
   Response execute_job(const Request& req, const PreparedJob& prepared,
                        const common::Budget& budget,
@@ -141,10 +167,34 @@ class Server {
   /// Amortized TTL sweep (at most once per minute, or per TTL if shorter).
   void maybe_gc_checkpoints();
 
+  /// Boot-time durable-state setup: journal replay + compaction, ticket
+  /// tables, quarantine restore, cache segment reload. Never fails the
+  /// boot; any broken piece degrades to in-memory-only with a warning.
+  void setup_durable_state();
+  /// Records a finished ticket (answer table + journal complete record).
+  void finish_ticket(std::uint64_t ticket, std::uint64_t fingerprint,
+                     const Response& canonical);
+  /// Background replay of journaled incomplete jobs (runs after start()).
+  void run_recovery();
+
   ServerConfig cfg_;
   std::unique_ptr<JobQueue> queue_;
   std::unique_ptr<ResultCache> cache_;
   std::unique_ptr<Supervisor> supervisor_;
+
+  std::unique_ptr<Journal> journal_;
+  mutable std::mutex journal_mu_;  ///< journal appends + ticket tables
+  std::map<std::uint64_t, std::string> ticket_answers_;  ///< canonical JSON
+  std::unordered_set<std::uint64_t> tickets_pending_;
+  std::atomic<std::uint64_t> next_ticket_{1};
+  std::atomic<std::uint64_t> tickets_issued_{0};
+  std::atomic<std::uint64_t> journal_replayed_{0};
+  std::atomic<std::uint64_t> journal_dropped_{0};
+  std::atomic<std::uint64_t> jobs_recovered_{0};
+  std::atomic<bool> recovery_done_{false};
+  std::vector<PendingJob> recovery_jobs_;
+  std::thread recovery_thread_;
+  common::CancelToken recovery_cancel_;
 
   std::atomic<bool> stop_{false};
   bool started_ = false;

@@ -267,11 +267,16 @@ Response Supervisor::execute(const Request& req, std::uint64_t fingerprint,
     }
     ++crashes;
     crashes_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.job_crashed) cfg_.job_crashed(fingerprint, out.detail);
     if (shutdown_.load(std::memory_order_acquire)) return cancelled_response();
     if (crashes > cfg_.retries) {
+      bool inserted = false;
       {
         std::lock_guard<std::mutex> lock(mu_);
-        quarantine_.insert(fingerprint);
+        inserted = quarantine_.insert(fingerprint).second;
+      }
+      if (inserted && cfg_.quarantine_changed) {
+        cfg_.quarantine_changed(fingerprint, true);
       }
       Response r;
       r.status = Status::kOk;
@@ -297,9 +302,22 @@ bool Supervisor::quarantined(std::uint64_t fingerprint) const {
   return quarantine_.count(fingerprint) != 0;
 }
 
-void Supervisor::clear_quarantine(std::uint64_t fingerprint) {
+bool Supervisor::clear_quarantine(std::uint64_t fingerprint) {
+  bool erased = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    erased = quarantine_.erase(fingerprint) != 0;
+  }
+  if (erased && cfg_.quarantine_changed) {
+    cfg_.quarantine_changed(fingerprint, false);
+  }
+  return erased;
+}
+
+void Supervisor::restore_quarantine(
+    const std::vector<std::uint64_t>& fingerprints) {
   std::lock_guard<std::mutex> lock(mu_);
-  quarantine_.erase(fingerprint);
+  quarantine_.insert(fingerprints.begin(), fingerprints.end());
 }
 
 Supervisor::Stats Supervisor::stats() const {

@@ -33,6 +33,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_set>
@@ -53,6 +54,13 @@ struct SupervisorConfig {
   /// and the death handled like any other crash. Jobs without a deadline
   /// are never killed (cancellation still reaches them).
   std::chrono::milliseconds kill_grace{30000};
+  /// Journaling hooks (both optional, both invoked outside mu_ so they may
+  /// take their own locks). quarantine_changed fires on every poison-list
+  /// transition (`added` true = quarantined, false = cleared by a bypass);
+  /// job_crashed fires once per observed worker death with its description.
+  std::function<void(std::uint64_t fingerprint, bool added)> quarantine_changed;
+  std::function<void(std::uint64_t fingerprint, const std::string& detail)>
+      job_crashed;
 };
 
 class Supervisor {
@@ -78,7 +86,12 @@ class Supervisor {
 
   bool quarantined(std::uint64_t fingerprint) const;
   /// Removes a fingerprint from the poison list (a bypass run completed).
-  void clear_quarantine(std::uint64_t fingerprint);
+  /// True iff the fingerprint was actually quarantined; fires
+  /// quarantine_changed only on that transition.
+  bool clear_quarantine(std::uint64_t fingerprint);
+  /// Seeds the poison list from a journal replay (boot only, before any
+  /// traffic). Deliberately silent: these entries are already journaled.
+  void restore_quarantine(const std::vector<std::uint64_t>& fingerprints);
 
   struct Stats {
     std::uint64_t spawned = 0;         ///< workers forked over the lifetime

@@ -19,6 +19,7 @@
 
 #include "ckpt/crc32.h"
 #include "ckpt/delta.h"
+#include "ckpt/record_log.h"
 #include "common/budget.h"
 #include "common/fault.h"
 #include "cora/priced.h"
@@ -1703,6 +1704,223 @@ TEST(CkptPooledStore, UnopenableSpillPathDegradesToResidentStorage) {
   expect_same_stats(r.stats, reference.stats, "resident-only degradation");
   EXPECT_GT(obs.store_metrics().pool.spill_failures, 0u);
   EXPECT_EQ(obs.store_metrics().pool.spilled_records, 0u);
+}
+
+// ---- append-only CRC-framed record logs ------------------------------------
+//
+// ckpt::RecordLog is the shared on-disk discipline of the service's job
+// journal and cache segment (DESIGN.md "Durable daemon state"). The tests
+// pin its corruption taxonomy: a bit-flipped record is skipped alone, a
+// torn tail (SIGKILL mid-append) costs only the partial record, and a
+// missing / foreign / version-mismatched file degrades to "start fresh" —
+// scan_log never fails a boot.
+
+constexpr ckpt::LogFormat kTestLog{"QTEST1\r\n", 1};
+
+std::string log_file(const std::string& name) {
+  std::string p = ::testing::TempDir() + "quanta_log_" + name + ".qlog";
+  fs::remove(p);
+  fs::remove(p + ".tmp");
+  return p;
+}
+
+std::vector<std::uint8_t> rec(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(RecordLogTest, AppendScanRoundTripAcrossReopen) {
+  const std::string path = log_file("roundtrip");
+  {
+    ckpt::RecordLog log;
+    std::string error;
+    ASSERT_TRUE(log.open(path, kTestLog, &error)) << error;
+    EXPECT_TRUE(log.append(rec("alpha")));
+    EXPECT_TRUE(log.append(rec("")));  // empty payloads are legal records
+    EXPECT_EQ(log.appended_bytes(), (8u + 5u) + 8u);
+  }
+  {
+    // Re-open appends behind the existing header, never re-writes it.
+    ckpt::RecordLog log;
+    std::string error;
+    ASSERT_TRUE(log.open(path, kTestLog, &error)) << error;
+    EXPECT_TRUE(log.append(rec("gamma")));
+  }
+  std::vector<std::vector<std::uint8_t>> records;
+  const auto stats = ckpt::scan_log(path, kTestLog, &records);
+  EXPECT_FALSE(stats.fresh);
+  EXPECT_FALSE(stats.torn_tail);
+  EXPECT_EQ(stats.dropped, 0u);
+  ASSERT_EQ(stats.records, 3u);
+  EXPECT_EQ(records[0], rec("alpha"));
+  EXPECT_EQ(records[1], rec(""));
+  EXPECT_EQ(records[2], rec("gamma"));
+}
+
+TEST(RecordLogTest, MissingFileScansFresh) {
+  const auto stats = ckpt::scan_log(log_file("missing"), kTestLog, nullptr);
+  EXPECT_TRUE(stats.fresh);
+  EXPECT_EQ(stats.note, "no log file");
+  EXPECT_EQ(stats.records, 0u);
+}
+
+TEST(RecordLogTest, BitFlippedRecordIsSkippedAlone) {
+  const std::string path = log_file("bitflip");
+  {
+    ckpt::RecordLog log;
+    std::string error;
+    ASSERT_TRUE(log.open(path, kTestLog, &error)) << error;
+    for (const char* s : {"alpha", "beta", "gamma"}) {
+      ASSERT_TRUE(log.append(rec(s)));
+    }
+  }
+  // Flip one payload byte of the middle record: 16B header, then
+  // [8B frame + 5B "alpha"], then 8B frame — offset 37 is 'b' of "beta".
+  auto bytes = read_file(path);
+  bytes[37] ^= 0x01;
+  write_file(path, bytes);
+
+  std::vector<std::vector<std::uint8_t>> records;
+  const auto stats = ckpt::scan_log(path, kTestLog, &records);
+  EXPECT_FALSE(stats.fresh);
+  EXPECT_FALSE(stats.torn_tail);
+  EXPECT_EQ(stats.dropped, 1u);
+  ASSERT_EQ(stats.records, 2u);  // neighbours undamaged
+  EXPECT_EQ(records[0], rec("alpha"));
+  EXPECT_EQ(records[1], rec("gamma"));
+}
+
+TEST(RecordLogTest, TornTailDiscardsOnlyThePartialRecord) {
+  const std::string path = log_file("torn");
+  {
+    ckpt::RecordLog log;
+    std::string error;
+    ASSERT_TRUE(log.open(path, kTestLog, &error)) << error;
+    for (const char* s : {"alpha", "beta", "gamma"}) {
+      ASSERT_TRUE(log.append(rec(s)));
+    }
+  }
+  const auto pristine = read_file(path);
+  // Every way an append can die mid-write: inside the last payload, inside
+  // the last frame header, and with a single stray byte after a record.
+  for (const std::size_t cut :
+       {pristine.size() - 2, pristine.size() - 10, pristine.size() - 12}) {
+    auto torn = pristine;
+    torn.resize(cut);
+    write_file(path, torn);
+    std::vector<std::vector<std::uint8_t>> records;
+    const auto stats = ckpt::scan_log(path, kTestLog, &records);
+    EXPECT_TRUE(stats.torn_tail) << "cut at " << cut;
+    EXPECT_FALSE(stats.fresh);
+    ASSERT_EQ(stats.records, 2u) << "cut at " << cut;
+    EXPECT_EQ(records[0], rec("alpha"));
+    EXPECT_EQ(records[1], rec("beta"));
+  }
+}
+
+TEST(RecordLogTest, ImplausibleLengthEndsTheScanAsTorn) {
+  const std::string path = log_file("hugelen");
+  {
+    ckpt::RecordLog log;
+    std::string error;
+    ASSERT_TRUE(log.open(path, kTestLog, &error)) << error;
+    ASSERT_TRUE(log.append(rec("alpha")));
+    ASSERT_TRUE(log.append(rec("beta")));
+  }
+  // Scribble 0xFFFFFFFF over the second record's length field (offset
+  // 16 + 13): a frame this absurd cannot be resynchronized past.
+  auto bytes = read_file(path);
+  for (std::size_t i = 0; i < 4; ++i) bytes[29 + i] = 0xFF;
+  write_file(path, bytes);
+  std::vector<std::vector<std::uint8_t>> records;
+  const auto stats = ckpt::scan_log(path, kTestLog, &records);
+  EXPECT_TRUE(stats.torn_tail);
+  ASSERT_EQ(stats.records, 1u);
+  EXPECT_EQ(records[0], rec("alpha"));
+}
+
+TEST(RecordLogTest, ForeignMagicOrVersionStartsFresh) {
+  const std::string path = log_file("header");
+  {
+    ckpt::RecordLog log;
+    std::string error;
+    ASSERT_TRUE(log.open(path, kTestLog, &error)) << error;
+    ASSERT_TRUE(log.append(rec("alpha")));
+  }
+  const auto pristine = read_file(path);
+
+  // Foreign magic.
+  auto bad = pristine;
+  bad[0] ^= 0xFF;
+  write_file(path, bad);
+  auto stats = ckpt::scan_log(path, kTestLog, nullptr);
+  EXPECT_TRUE(stats.fresh);
+  EXPECT_EQ(stats.note, "bad magic");
+
+  // Version byte patched without re-sealing the header CRC: the CRC check
+  // fires first, so a torn header can never masquerade as another version.
+  bad = pristine;
+  bad[8] ^= 0x01;
+  write_file(path, bad);
+  stats = ckpt::scan_log(path, kTestLog, nullptr);
+  EXPECT_TRUE(stats.fresh);
+  EXPECT_EQ(stats.note, "header CRC mismatch");
+
+  // A genuinely newer format version (header re-sealed): still fresh — old
+  // code must not guess at a future layout.
+  write_file(path, pristine);
+  stats = ckpt::scan_log(path, ckpt::LogFormat{"QTEST1\r\n", 2}, nullptr);
+  EXPECT_TRUE(stats.fresh);
+  EXPECT_EQ(stats.note, "format version mismatch");
+
+  // Truncated header.
+  bad = pristine;
+  bad.resize(7);
+  write_file(path, bad);
+  stats = ckpt::scan_log(path, kTestLog, nullptr);
+  EXPECT_TRUE(stats.fresh);
+  EXPECT_EQ(stats.note, "short header");
+}
+
+TEST(RecordLogTest, RewriteCompactsAtomicallyUnderAFault) {
+  const std::string path = log_file("rewrite");
+  {
+    ckpt::RecordLog log;
+    std::string error;
+    ASSERT_TRUE(log.open(path, kTestLog, &error)) << error;
+    for (const char* s : {"alpha", "beta", "gamma"}) {
+      ASSERT_TRUE(log.append(rec(s)));
+    }
+  }
+  // A compaction killed mid-write leaves the previous log intact.
+  {
+    ScopedFault fault("test.rewrite", common::FaultKind::kException, 1);
+    EXPECT_FALSE(ckpt::rewrite_log(path, kTestLog, {rec("only")},
+                                   "test.rewrite"));
+  }
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  std::vector<std::vector<std::uint8_t>> records;
+  EXPECT_EQ(ckpt::scan_log(path, kTestLog, &records).records, 3u);
+
+  // A clean compaction replaces the contents wholesale.
+  records.clear();
+  ASSERT_TRUE(ckpt::rewrite_log(path, kTestLog, {rec("only")}, nullptr));
+  const auto stats = ckpt::scan_log(path, kTestLog, &records);
+  ASSERT_EQ(stats.records, 1u);
+  EXPECT_EQ(records[0], rec("only"));
+}
+
+TEST(RecordLogTest, OpenOverADamagedHeaderRecreatesTheFile) {
+  const std::string path = log_file("recreate");
+  write_file(path, rec("not a log at all"));
+  ckpt::RecordLog log;
+  std::string error;
+  ASSERT_TRUE(log.open(path, kTestLog, &error)) << error;
+  ASSERT_TRUE(log.append(rec("alpha")));
+  std::vector<std::vector<std::uint8_t>> records;
+  const auto stats = ckpt::scan_log(path, kTestLog, &records);
+  EXPECT_FALSE(stats.fresh);
+  ASSERT_EQ(stats.records, 1u);
+  EXPECT_EQ(records[0], rec("alpha"));
 }
 
 }  // namespace

@@ -11,6 +11,13 @@
 // take the daemon down, crashed jobs retry resuming from their checkpoint
 // chain and converge bit-identically, repeat offenders are quarantined,
 // and checkpoint GC expires orphans while sparing live chains.
+//
+// The durability sections cover the write-ahead job journal, the persistent
+// result-cache segment and zero-lost-work restarts: a restarted daemon
+// serves reloaded cache entries byte-identically, replays incomplete jobs
+// to completion behind --ticket, restores its quarantine set, and degrades
+// to in-memory-only operation under every journal/segment corruption or
+// write failure — never a failed boot, never a resurrected wrong answer.
 #include <dirent.h>
 #include <fcntl.h>
 #include <sys/socket.h>
@@ -23,6 +30,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -30,6 +38,7 @@
 
 #include <gtest/gtest.h>
 
+#include "ckpt/record_log.h"
 #include "common/env.h"
 #include "common/fault.h"
 #include "common/pred.h"
@@ -38,6 +47,7 @@
 #include "svc/client.h"
 #include "svc/config.h"
 #include "svc/job_queue.h"
+#include "svc/journal.h"
 #include "svc/registry.h"
 #include "svc/request.h"
 #include "svc/result_cache.h"
@@ -607,9 +617,12 @@ class ServerTest : public ::testing::Test {
 
   void TearDown() override {
     server_.reset();  // stops the daemon and unlinks its socket
-    // Best-effort cleanup of checkpoint files the tests created.
+    // Best-effort cleanup of checkpoint and durable-state files.
     std::remove((dir_ + "/ckpt").c_str());
     ::rmdir((dir_ + "/ckpt").c_str());
+    std::remove((dir_ + "/state/journal.qjrnl").c_str());
+    std::remove((dir_ + "/state/cache.qcseg").c_str());
+    ::rmdir((dir_ + "/state").c_str());
     ::rmdir(dir_.c_str());
   }
 
@@ -985,6 +998,24 @@ TEST_F(ServerTest, SvcFaultMatrixEnvSpecDegradesGracefully) {
   ASSERT_TRUE(
       common::FaultInjector::instance().arm_from_spec(kEnvFaultSpec))
       << "malformed QUANTA_FAULT spec: " << kEnvFaultSpec;
+  if (kEnvFaultSpec.compare(0, 12, "svc.journal.") == 0 ||
+      kEnvFaultSpec.compare(0, 10, "svc.cache.") == 0) {
+    // Durability sites only exist on a daemon with a state dir. Wherever
+    // the write fault lands (journal compaction/append, cache segment
+    // write), the answer path must be untouched: the daemon degrades to
+    // in-memory-only operation and keeps serving.
+    ServerConfig cfg;
+    cfg.state_dir = dir_ + "/state";
+    start(cfg);
+    Client c = connect();
+    Request r = analysis_request("mc", "train-gate-2", "mutex");
+    const Response resp = query(c, r);
+    EXPECT_EQ(resp.status, Status::kOk) << resp.error;
+    EXPECT_EQ(resp.verdict, common::Verdict::kHolds);
+    EXPECT_TRUE(common::FaultInjector::instance().fired())
+        << "spec " << kEnvFaultSpec << " never fired; site unreachable?";
+    return;
+  }
   start();
   // Drive enough connections and jobs to hit whichever svc site the spec
   // armed. Wherever the fault lands the daemon must keep serving: a dropped
@@ -1559,6 +1590,523 @@ TEST_F(ServerTest, QuarantineBypassRunClearsThePoisonEntry) {
   // Normal submissions flow again.
   const Response after = query(c, clean);
   EXPECT_EQ(after.verdict, common::Verdict::kHolds);
+}
+
+// ---------------------------------------------------------------------------
+// Write-ahead job journal (svc/journal.h): fold semantics and corruption
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string journal_path(const char* name) {
+  std::string p = ::testing::TempDir() + "quanta_jrnl_" + name + ".qjrnl";
+  std::remove(p.c_str());
+  std::remove((p + ".tmp").c_str());
+  return p;
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spew(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A journal with one completed job (ticket 1), one admitted-but-incomplete
+/// job (ticket 2, started), and one surviving quarantine entry. The trail
+/// ends with ticket 2's start record, so damage to the file tail can only
+/// cost records of the still-open job — never a completed answer.
+void write_sample_journal(const std::string& path) {
+  Journal j;
+  std::string error;
+  ASSERT_TRUE(j.open(path, JournalReplay{}, &error)) << error;
+  j.admit(1, 0xAAA, R"({"engine":"mc","model":"train-gate-3"})");
+  j.start(1, 0xAAA);
+  j.quarantine(0xC0FFEE);
+  j.quarantine(0xBAD);
+  j.clear_quarantine(0xBAD);
+  j.complete(1, 0xAAA, R"({"status":"ok","verdict":"holds"})");
+  j.admit(2, 0xBBB, R"({"engine":"smc","model":"train-gate-2"})");
+  j.start(2, 0xBBB);
+  ASSERT_EQ(j.append_failures(), 0u);
+}
+
+}  // namespace
+
+TEST(JournalTest, ReplayFoldsTheTrailIntoState) {
+  const std::string path = journal_path("fold");
+  write_sample_journal(path);
+  const JournalReplay replay = Journal::replay(path);
+  EXPECT_FALSE(replay.fresh);
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.dropped, 0u);
+  EXPECT_EQ(replay.next_ticket, 3u);
+  ASSERT_EQ(replay.pending.size(), 1u);
+  EXPECT_EQ(replay.pending[0].ticket, 2u);
+  EXPECT_EQ(replay.pending[0].fingerprint, 0xBBBu);
+  EXPECT_TRUE(replay.pending[0].started);
+  EXPECT_EQ(replay.pending[0].request_json,
+            R"({"engine":"smc","model":"train-gate-2"})");
+  ASSERT_EQ(replay.answers.size(), 1u);
+  EXPECT_EQ(replay.answers.at(1), R"({"status":"ok","verdict":"holds"})");
+  // The cleared entry folded away; only the surviving fingerprint remains.
+  EXPECT_EQ(replay.quarantined, std::vector<std::uint64_t>{0xC0FFEE});
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, CompactionPreservesTheFoldExactly) {
+  const std::string path = journal_path("compact");
+  write_sample_journal(path);
+  const JournalReplay before = Journal::replay(path);
+  const auto grown = slurp(path).size();
+  {
+    // Re-opening with the folded state compacts the file down to what the
+    // fold still needs; the trail's dead records (starts, clears) drop out.
+    Journal j;
+    std::string error;
+    ASSERT_TRUE(j.open(path, before, &error)) << error;
+  }
+  EXPECT_LT(slurp(path).size(), grown);
+  const JournalReplay after = Journal::replay(path);
+  EXPECT_EQ(after.next_ticket, before.next_ticket);
+  ASSERT_EQ(after.pending.size(), 1u);
+  EXPECT_EQ(after.pending[0].ticket, 2u);
+  EXPECT_EQ(after.pending[0].request_json, before.pending[0].request_json);
+  EXPECT_EQ(after.answers, before.answers);
+  EXPECT_EQ(after.quarantined, before.quarantined);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, TornTailNeverFailsTheReplay) {
+  // SIGKILL mid-append: the file ends inside the last record. Replay keeps
+  // everything before the tear — the completed answer and the quarantine
+  // survive; only the final (partial) record is lost.
+  const std::string path = journal_path("torn");
+  write_sample_journal(path);
+  const auto pristine = slurp(path);
+  for (std::size_t cut = 1; cut <= 12; ++cut) {
+    auto torn = pristine;
+    torn.resize(pristine.size() - cut);
+    spew(path, torn);
+    const JournalReplay replay = Journal::replay(path);
+    EXPECT_FALSE(replay.fresh) << "cut " << cut;
+    EXPECT_TRUE(replay.torn_tail || replay.dropped > 0) << "cut " << cut;
+    EXPECT_EQ(replay.answers.count(1), 1u) << "cut " << cut;
+    EXPECT_EQ(replay.quarantined, std::vector<std::uint64_t>{0xC0FFEE})
+        << "cut " << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, BitFlippedCompleteRevertsTheJobToPendingNotToAWrongAnswer) {
+  const std::string path = journal_path("bitflip");
+  {
+    Journal j;
+    std::string error;
+    ASSERT_TRUE(j.open(path, JournalReplay{}, &error)) << error;
+    j.admit(1, 0xAAA, R"({"engine":"mc"})");
+    j.complete(1, 0xAAA, R"({"status":"ok"})");
+  }
+  // Flip one byte inside the complete record's payload: its CRC kills the
+  // whole record, so the fold sees an admit with no complete — the job is
+  // re-run on boot. A corrupted answer is never served.
+  auto bytes = slurp(path);
+  bytes[bytes.size() - 2] ^= 0x40;
+  spew(path, bytes);
+  const JournalReplay replay = Journal::replay(path);
+  EXPECT_EQ(replay.dropped, 1u);
+  EXPECT_TRUE(replay.answers.empty());
+  ASSERT_EQ(replay.pending.size(), 1u);
+  EXPECT_EQ(replay.pending[0].ticket, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, VersionMismatchStartsFresh) {
+  const std::string path = journal_path("version");
+  write_sample_journal(path);
+  // Re-stamp the file as a future format version (same magic): old records
+  // under a new layout must not be guessed at — the replay starts fresh.
+  std::vector<std::vector<std::uint8_t>> records;
+  ASSERT_EQ(ckpt::scan_log(path, ckpt::LogFormat{"QJRNL1\r\n", 1}, &records)
+                .records,
+            8u);
+  ASSERT_TRUE(ckpt::rewrite_log(path, ckpt::LogFormat{"QJRNL1\r\n", 2},
+                                records, nullptr));
+  const JournalReplay replay = Journal::replay(path);
+  EXPECT_TRUE(replay.fresh);
+  EXPECT_EQ(replay.note, "format version mismatch");
+  EXPECT_TRUE(replay.pending.empty());
+  EXPECT_TRUE(replay.answers.empty());
+  EXPECT_EQ(replay.next_ticket, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, AnswerTableIsCappedAtTheOldEnd) {
+  const std::string path = journal_path("cap");
+  {
+    Journal j;
+    std::string error;
+    ASSERT_TRUE(j.open(path, JournalReplay{}, &error)) << error;
+    for (std::uint64_t t = 1; t <= kMaxTicketAnswers + 50; ++t) {
+      j.complete(t, 0, "{}");
+    }
+  }
+  const JournalReplay replay = Journal::replay(path);
+  EXPECT_EQ(replay.answers.size(), kMaxTicketAnswers);
+  EXPECT_EQ(replay.answers.begin()->first, 51u);  // oldest aged out
+  EXPECT_EQ(replay.next_ticket, kMaxTicketAnswers + 51);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, AppendFailureIsStickyAndCounted) {
+  DisarmGuard guard;
+  const std::string path = journal_path("fault");
+  Journal j;
+  std::string error;
+  ASSERT_TRUE(j.open(path, JournalReplay{}, &error)) << error;
+  j.admit(1, 0xAAA, "{}");
+  common::FaultInjector::instance().arm("svc.journal.append",
+                                        common::FaultKind::kException, 1);
+  j.complete(1, 0xAAA, "{}");  // injected failure
+  EXPECT_TRUE(common::FaultInjector::instance().fired());
+  EXPECT_FALSE(j.healthy());
+  EXPECT_EQ(j.appends(), 1u);
+  EXPECT_EQ(j.append_failures(), 1u);
+  j.admit(2, 0xBBB, "{}");  // sticky: silently dropped, not a crash
+  EXPECT_EQ(j.append_failures(), 1u) << "unhealthy journal kept appending";
+  // The file still replays to its last complete record: the pre-failure
+  // admit alone (the failed complete never reached disk).
+  const JournalReplay replay = Journal::replay(path);
+  ASSERT_EQ(replay.pending.size(), 1u);
+  EXPECT_EQ(replay.pending[0].ticket, 1u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Result-cache persistence (QCSEG1 segment files)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string segment_path(const char* name) {
+  std::string p = ::testing::TempDir() + "quanta_seg_" + name + ".qcseg";
+  std::remove(p.c_str());
+  std::remove((p + ".tmp").c_str());
+  return p;
+}
+
+Response rich_response() {
+  Response r = small_response();
+  r.stored = 253;
+  r.explored = 250;
+  r.transitions = 390;
+  r.has_value = true;
+  r.value = 0.1;  // not exactly representable: reload must round-trip it
+  return r;
+}
+
+}  // namespace
+
+TEST(ResultCacheTest, PersistenceReloadsBitIdenticalEntries) {
+  const std::string path = segment_path("reload");
+  const Response a = rich_response();
+  const Response b = small_response(common::Verdict::kViolated);
+  {
+    ResultCache cache(1 << 20);
+    std::string error;
+    ASSERT_TRUE(cache.enable_persistence(path, &error)) << error;
+    cache.insert(1, "key-a", a);
+    cache.insert(2, "key-b", b);
+    const auto s = cache.stats();
+    EXPECT_TRUE(s.persist_enabled);
+    EXPECT_EQ(s.persist_appends, 2u);
+    EXPECT_EQ(s.persist_failures, 0u);
+  }
+  ResultCache back(1 << 20);
+  std::string error;
+  ASSERT_TRUE(back.enable_persistence(path, &error)) << error;
+  EXPECT_EQ(back.stats().persist_loaded, 2u);
+  EXPECT_EQ(back.stats().persist_dropped, 0u);
+  Response out;
+  ASSERT_TRUE(back.lookup(1, "key-a", &out));
+  EXPECT_EQ(to_wire(out).to_json(), to_wire(a).to_json())
+      << "reload altered the response bytes";
+  ASSERT_TRUE(back.lookup(2, "key-b", &out));
+  EXPECT_EQ(to_wire(out).to_json(), to_wire(b).to_json());
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, PersistedCorruptRecordIsDroppedAlone) {
+  const std::string path = segment_path("corrupt");
+  {
+    ResultCache cache(1 << 20);
+    std::string error;
+    ASSERT_TRUE(cache.enable_persistence(path, &error)) << error;
+    cache.insert(1, "key-a", rich_response());
+    cache.insert(2, "key-b", rich_response());
+  }
+  // Bit-flip inside the last record: only that entry is lost on reload.
+  auto bytes = slurp(path);
+  bytes[bytes.size() - 2] ^= 0x01;
+  spew(path, bytes);
+  ResultCache back(1 << 20);
+  std::string error;
+  ASSERT_TRUE(back.enable_persistence(path, &error)) << error;
+  EXPECT_EQ(back.stats().persist_loaded, 1u);
+  EXPECT_EQ(back.stats().persist_dropped, 1u);
+  Response out;
+  EXPECT_TRUE(back.lookup(1, "key-a", &out));
+  EXPECT_FALSE(back.lookup(2, "key-b", &out));
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, ForeignSegmentFileDegradesToAnEmptyReload) {
+  const std::string path = segment_path("foreign");
+  spew(path, {'n', 'o', 't', ' ', 'a', ' ', 's', 'e', 'g', 'm', 'e', 'n', 't'});
+  ResultCache cache(1 << 20);
+  std::string error;
+  // Unusable file: reload is empty, but persistence still comes up — the
+  // compaction pass re-creates a valid segment in place.
+  ASSERT_TRUE(cache.enable_persistence(path, &error)) << error;
+  EXPECT_EQ(cache.stats().persist_loaded, 0u);
+  EXPECT_TRUE(cache.stats().persist_enabled);
+  cache.insert(1, "key", rich_response());
+  ResultCache back(1 << 20);
+  ASSERT_TRUE(back.enable_persistence(path, &error)) << error;
+  EXPECT_EQ(back.stats().persist_loaded, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, PersistWriteFaultDegradesToMemoryOnly) {
+  DisarmGuard guard;
+  const std::string path = segment_path("fault");
+  ResultCache cache(1 << 20);
+  std::string error;
+  ASSERT_TRUE(cache.enable_persistence(path, &error)) << error;
+  common::FaultInjector::instance().arm("svc.cache.persist",
+                                        common::FaultKind::kException, 1);
+  cache.insert(1, "key", rich_response());
+  EXPECT_TRUE(common::FaultInjector::instance().fired());
+  const auto s = cache.stats();
+  EXPECT_FALSE(s.persist_enabled);
+  EXPECT_EQ(s.persist_failures, 1u);
+  // The in-memory entry is unaffected; further inserts stay memory-only.
+  Response out;
+  EXPECT_TRUE(cache.lookup(1, "key", &out));
+  cache.insert(2, "key-2", rich_response());
+  EXPECT_TRUE(cache.lookup(2, "key-2", &out));
+  EXPECT_EQ(cache.stats().persist_failures, 1u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Durable daemon end to end: restarts lose zero completed work
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Response bytes with the restart-variant fields normalized away (`cached`
+/// flips on any replayed answer, `ticket` is per-request decoration): what
+/// must stay bit-identical across kill/restart cycles.
+std::string durable_bytes(Response r) {
+  r.cached = false;
+  r.ticket = 0;
+  return to_wire(r).to_json();
+}
+
+}  // namespace
+
+TEST_F(ServerTest, WaitReadyPollsUntilTheDaemonAnswers) {
+  Endpoint ep;
+  ep.socket_path = dir_ + "/d.sock";
+  std::string error;
+  // Nothing listening: fails after the budget, with the last failure named.
+  EXPECT_FALSE(wait_ready(ep, 120, &error));
+  EXPECT_NE(error.find("not ready"), std::string::npos) << error;
+  // A daemon that starts late is caught by the poll loop.
+  std::thread starter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    start();
+  });
+  EXPECT_TRUE(wait_ready(ep, 10000, &error)) << error;
+  starter.join();
+}
+
+TEST_F(ServerTest, DurableRestartServesCacheAndTicketsFromDisk) {
+  ServerConfig cfg;
+  cfg.state_dir = dir_ + "/state";
+  start(cfg);
+  Client c = connect();
+  Request r = analysis_request("mc", "train-gate-3", "mutex");
+  r.want_ticket = true;
+  const Response cold = query(c, r);
+  ASSERT_EQ(cold.status, Status::kOk);
+  EXPECT_EQ(cold.ticket, 1u);
+  // A cache hit consumes no ticket: the sequence stays deterministic.
+  const Response hit = query(c, r);
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(hit.ticket, 0u);
+  EXPECT_EQ(server_->stats().tickets_issued, 1u);
+
+  server_.reset();
+  start(cfg);
+  Client c2 = connect();
+  // The reloaded cache answers without running an engine, byte-identically.
+  const Response warm = query(c2, analysis_request("mc", "train-gate-3",
+                                                   "mutex"));
+  ASSERT_EQ(warm.status, Status::kOk);
+  EXPECT_TRUE(warm.cached);
+  EXPECT_EQ(server_->stats().jobs_executed, 0u);
+  EXPECT_EQ(durable_bytes(warm), durable_bytes(cold));
+  // The journaled answer is fetchable by ticket across the restart.
+  Request fetch;
+  fetch.engine = "svc";
+  fetch.query = "result";
+  fetch.ticket = 1;
+  const Response fetched = query(c2, fetch);
+  ASSERT_EQ(fetched.status, Status::kOk) << fetched.error;
+  EXPECT_TRUE(fetched.cached);
+  EXPECT_EQ(durable_bytes(fetched), durable_bytes(cold));
+  // Unknown and missing tickets are bad requests, not crashes.
+  fetch.ticket = 99;
+  EXPECT_EQ(query(c2, fetch).status, Status::kBadRequest);
+  fetch.ticket = 0;
+  EXPECT_EQ(query(c2, fetch).status, Status::kBadRequest);
+
+  const auto s = server_->stats();
+  EXPECT_TRUE(s.journaling);
+  EXPECT_EQ(s.ticket_answers, 1u);
+  EXPECT_EQ(s.cache.persist_loaded, 1u);
+  EXPECT_TRUE(s.recovery_done);
+}
+
+TEST_F(ServerTest, CancelledJobReplaysToCompletionAfterRestart) {
+  // Calm reference from a plain amnesiac daemon.
+  ServerConfig plain;
+  plain.enable_debug = true;
+  start(plain);
+  Request r = analysis_request("mc", "train-gate-4", "mutex");
+  r.use_cache = false;
+  Response reference;
+  {
+    Client c = connect();
+    reference = query(c, r);
+    ASSERT_EQ(reference.status, Status::kOk);
+    ASSERT_EQ(reference.stop, common::StopReason::kCompleted);
+  }
+  server_.reset();
+
+  // Durable daemon: park the same job, then stop with it in flight. The
+  // cancelled job answers kCancelled — and its ticket stays pending.
+  ServerConfig cfg;
+  cfg.state_dir = dir_ + "/state";
+  cfg.enable_debug = true;
+  cfg.jobs = 1;
+  start(cfg);
+  Request held = r;
+  held.hold_ms = 60000;
+  held.want_ticket = true;
+  Response parked;
+  std::string error;
+  bool transported = false;
+  {
+    Client c = connect();
+    std::thread t([&] { transported = c.analyze(held, &parked, &error); });
+    wait_until([&] { return server_->stats().queue.running == 1; });
+    server_->stop();
+    t.join();
+  }
+  ASSERT_TRUE(transported) << error;
+  ASSERT_EQ(parked.stop, common::StopReason::kCancelled);
+  ASSERT_EQ(parked.ticket, 1u);
+
+  // Restart: the journal replays the job to completion in the background.
+  start(cfg);
+  EXPECT_EQ(server_->stats().journal_replayed, 1u);
+  wait_until([&] { return server_->stats().recovery_done; });
+  EXPECT_EQ(server_->stats().jobs_recovered, 1u);
+  EXPECT_EQ(server_->stats().jobs_executed, 1u) << "replay skipped the engine";
+
+  // The replayed answer is byte-identical to the uninterrupted run.
+  Client c = connect();
+  Request fetch;
+  fetch.engine = "svc";
+  fetch.query = "result";
+  fetch.ticket = 1;
+  const Response recovered = query(c, fetch);
+  ASSERT_EQ(recovered.status, Status::kOk) << recovered.error;
+  EXPECT_TRUE(recovered.cached);
+  EXPECT_EQ(durable_bytes(recovered), durable_bytes(reference));
+  EXPECT_EQ(server_->stats().tickets_pending, 0u);
+}
+
+TEST_F(ServerTest, QuarantinePersistsAcrossRestartAndSoDoesItsClearance) {
+  ServerConfig cfg = isolated_config(0);
+  cfg.state_dir = dir_ + "/state";
+  start(cfg);
+  Request crash = analysis_request("mc", "train-gate-2", "mutex");
+  crash.use_cache = false;
+  crash.fault = "svc.worker.job=crash";
+  {
+    Client c = connect();
+    ASSERT_EQ(query(c, crash).stop, common::StopReason::kFault);
+  }
+  ASSERT_EQ(server_->stats().supervisor.quarantined, 1u);
+
+  // Restart: the poison entry answers without any worker crashing again.
+  server_.reset();
+  start(cfg);
+  EXPECT_EQ(server_->stats().supervisor.quarantined, 1u);
+  Request clean = analysis_request("mc", "train-gate-2", "mutex");
+  clean.use_cache = false;
+  {
+    Client c = connect();
+    const Response held = query(c, clean);
+    EXPECT_NE(held.error.find("quarantined:"), std::string::npos) << held.error;
+    EXPECT_EQ(server_->stats().supervisor.crashes, 0u);
+
+    // A clean bypass run clears the entry — durably.
+    Request bypass = clean;
+    bypass.use_quarantine = false;
+    ASSERT_EQ(query(c, bypass).verdict, common::Verdict::kHolds);
+    EXPECT_EQ(server_->stats().supervisor.quarantined, 0u);
+  }
+  server_.reset();
+  start(cfg);
+  EXPECT_EQ(server_->stats().supervisor.quarantined, 0u);
+  Client c = connect();
+  EXPECT_EQ(query(c, clean).verdict, common::Verdict::kHolds);
+}
+
+TEST_F(ServerTest, JournalAppendFaultDegradesToInMemoryOperation) {
+  DisarmGuard guard;
+  ServerConfig cfg;
+  cfg.state_dir = dir_ + "/state";
+  start(cfg);
+  ASSERT_TRUE(server_->stats().journaling);
+  common::FaultInjector::instance().arm("svc.journal.append",
+                                        common::FaultKind::kException, 1);
+  Client c = connect();
+  Request r = analysis_request("mc", "train-gate-2", "mutex");
+  r.use_cache = false;
+  // The admit append fails; the job itself is unharmed.
+  const Response resp = query(c, r);
+  ASSERT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.verdict, common::Verdict::kHolds);
+  EXPECT_TRUE(common::FaultInjector::instance().fired());
+  const auto s = server_->stats();
+  EXPECT_FALSE(s.journaling);
+  EXPECT_EQ(s.journal_failures, 1u);
+  // Tickets keep flowing from memory; answers stay fetchable this session.
+  Request fetch;
+  fetch.engine = "svc";
+  fetch.query = "result";
+  fetch.ticket = 1;
+  EXPECT_EQ(durable_bytes(query(c, fetch)), durable_bytes(resp));
 }
 
 TEST_F(ServerTest, CrashDrillsRequireDebugAndIsolation) {

@@ -3,14 +3,25 @@
 //   quanta_client --socket PATH | --tcp-host A --tcp-port N
 //                 --engine E --model M --query Q [params...]
 //   quanta_client --socket PATH --ping | --stats
+//   quanta_client --socket PATH --ticket N       # fetch a journaled answer
+//   quanta_client --socket PATH --wait-ready MS  # block until daemon is up
 //
 // Prints one result line per analysis:
 //
 //   status=ok cached=0 verdict=<v> stored=<n> explored=<n> transitions=<n>
-//     extra=<n> [value=<f>] [resume=<token>]
+//     extra=<n> [value=<f>] [resume=<token>] [ticket=<n>]
 //
 // Fields 3.. match tools/ckpt_smoke's output line, so CI can diff a
-// service answer against a direct library run with `cut -d' ' -f3-`.
+// service answer against a direct library run with `cut -d' ' -f3-`
+// (ticket= appears only with --want-ticket, so diffed runs never carry it).
+//
+// --want-ticket asks a journaling daemon for the job's journal ticket;
+// --ticket N later fetches that job's stored answer — the recovery path
+// for a client whose connection died across a daemon restart (README
+// "Restarting quantad"). A still-pending ticket answers status=error
+// (exit 6): poll until the replayed job completes. --wait-ready MS polls
+// ping with deterministic backoff and exits 1 if the daemon is not up in
+// time; combined with an action it gates the action on readiness.
 //
 // Exit codes: 0 definite verdict, 3 verdict unknown (budget-tripped jobs
 // land here and print their resume token), 2 overload rejection,
@@ -36,14 +47,15 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s (--socket PATH | --tcp-host ADDR --tcp-port N)\n"
-      "          (--ping | --stats |\n"
+      "          (--ping | --stats | --ticket N | --wait-ready MS |\n"
       "           --engine E --model M --query Q\n"
       "           [--priority high|normal|low] [--deadline-ms N]\n"
       "           [--memory-mb N] [--runs N] [--seed N] [--bound F]\n"
       "           [--ckpt-interval N] [--resume TOKEN] [--no-cache]\n"
-      "           [--no-quarantine] [--hold-ms N] [--throttle-us N]\n"
-      "           [--fault SPEC] [--crash-signal N] [--rlimit-mb N])\n"
-      "          [--timeout-ms N] [--retries N]\n",
+      "           [--no-quarantine] [--want-ticket] [--hold-ms N]\n"
+      "           [--throttle-us N] [--fault SPEC] [--crash-signal N]\n"
+      "           [--rlimit-mb N])\n"
+      "          [--wait-ready MS] [--timeout-ms N] [--retries N]\n",
       argv0);
   return 1;
 }
@@ -81,6 +93,8 @@ int main(int argc, char** argv) {
   std::string socket_path, tcp_host;
   int tcp_port = -1;
   bool builtin = false;
+  bool wait_ready_set = false;
+  std::uint64_t wait_ready_ms = 0;
   quanta::svc::Request req;
   quanta::svc::RetryPolicy policy;
   for (int i = 1; i < argc; ++i) {
@@ -156,6 +170,18 @@ int main(int argc, char** argv) {
       req.use_cache = false;
     } else if (arg == "--no-quarantine") {
       req.use_quarantine = false;
+    } else if (arg == "--want-ticket") {
+      req.want_ticket = true;
+    } else if (arg == "--ticket") {
+      // A ticket fetch is the svc "result" builtin, but it answers with a
+      // full analysis response — route it through the analysis printer so
+      // its output line diffs cleanly against the original run.
+      if (!next_u64(&req.ticket) || req.ticket == 0) return usage(argv[0]);
+      req.engine = "svc";
+      req.query = "result";
+    } else if (arg == "--wait-ready") {
+      if (!next_u64(&wait_ready_ms)) return usage(argv[0]);
+      wait_ready_set = true;
     } else if (arg == "--fault") {
       const char* s = next();
       if (s == nullptr) return usage(argv[0]);
@@ -181,9 +207,21 @@ int main(int argc, char** argv) {
   if (socket_path.empty() && (tcp_host.empty() || tcp_port < 0)) {
     return usage(argv[0]);
   }
-  if (req.engine.empty()) return usage(argv[0]);
+  if (req.engine.empty() && !wait_ready_set) return usage(argv[0]);
+
+  quanta::svc::Endpoint ep;
+  ep.socket_path = socket_path;
+  if (!tcp_host.empty()) ep.host = tcp_host;
+  ep.port = tcp_port;
 
   std::string error;
+  if (wait_ready_set) {
+    if (!quanta::svc::wait_ready(ep, wait_ready_ms, &error)) {
+      std::fprintf(stderr, "quanta_client: %s\n", error.c_str());
+      return 1;
+    }
+    if (req.engine.empty()) return 0;  // --wait-ready alone: readiness gate
+  }
   if (builtin) {
     quanta::svc::Client client;
     client.set_timeout_ms(policy.timeout_ms);
@@ -205,10 +243,6 @@ int main(int argc, char** argv) {
     return (status != nullptr && *status == "ok") ? 0 : 1;
   }
 
-  quanta::svc::Endpoint ep;
-  ep.socket_path = socket_path;
-  if (!tcp_host.empty()) ep.host = tcp_host;
-  ep.port = tcp_port;
   quanta::svc::Response resp;
   quanta::svc::TransportError te = quanta::svc::TransportError::kNone;
   if (!quanta::svc::analyze_with_retry(ep, policy, req, &resp, &error, &te)) {
@@ -237,6 +271,9 @@ int main(int argc, char** argv) {
               static_cast<long long>(resp.extra));
   if (resp.has_value) std::printf(" value=%.17g", resp.value);
   if (!resp.resume.empty()) std::printf(" resume=%s", resp.resume.c_str());
+  if (resp.ticket != 0) {
+    std::printf(" ticket=%llu", static_cast<unsigned long long>(resp.ticket));
+  }
   std::printf("\n");
   return status_exit_code(resp.status, resp.verdict);
 }

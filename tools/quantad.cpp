@@ -7,7 +7,8 @@
 //   quantad --socket /tmp/quantad.sock [--tcp-port N] [--ckpt-dir DIR]
 //           [--jobs N] [--queue-depth N] [--cache-mem BYTES]
 //           [--inflight-mem BYTES] [--isolate | --no-isolate]
-//           [--retries N] [--ckpt-ttl SECONDS] [--debug]
+//           [--retries N] [--ckpt-ttl SECONDS] [--state-dir DIR]
+//           [--no-journal] [--no-cache-persist] [--debug]
 //
 // Sizing defaults come from QUANTAD_JOBS / QUANTAD_QUEUE_DEPTH /
 // QUANTAD_CACHE_MEM (strict whole-positive-decimal parsing; anything
@@ -17,6 +18,12 @@
 // crashed jobs are retried --retries times (QUANTAD_RETRIES) resuming
 // from their last checkpoint, then quarantined. Unclaimed resume
 // checkpoints expire after --ckpt-ttl seconds (QUANTAD_CKPT_TTL).
+// --state-dir DIR (QUANTAD_STATE_DIR) makes the daemon durable: a
+// write-ahead job journal and an on-disk cache segment live there, so a
+// restart reloads the result cache, restores the quarantine set and
+// replays incomplete jobs to completion (README "Restarting quantad");
+// --no-journal / --no-cache-persist (QUANTAD_JOURNAL=0 /
+// QUANTAD_CACHE_PERSIST=0) switch the two halves off individually.
 // --debug additionally honors the hold_ms/throttle_us request pacing
 // fields and the fault/crash_signal/rlimit_mb crash drills; production
 // daemons reject them as bad requests.
@@ -44,6 +51,7 @@ int usage(const char* argv0) {
       "usage: %s --socket PATH [--tcp-port N] [--ckpt-dir DIR] [--jobs N]\n"
       "          [--queue-depth N] [--cache-mem BYTES] [--inflight-mem BYTES]\n"
       "          [--isolate | --no-isolate] [--retries N] [--ckpt-ttl SECS]\n"
+      "          [--state-dir DIR] [--no-journal] [--no-cache-persist]\n"
       "          [--debug]\n",
       argv0);
   return 1;
@@ -65,6 +73,9 @@ bool parse_u64(const char* s, std::uint64_t* out) {
 int main(int argc, char** argv) {
   quanta::svc::ServerConfig cfg;
   cfg.isolate = quanta::svc::default_isolate();
+  cfg.state_dir = quanta::svc::default_state_dir();
+  cfg.journal = quanta::svc::default_journal();
+  cfg.cache_persist = quanta::svc::default_cache_persist();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -117,6 +128,14 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       cfg.ckpt_ttl_s = v;
+    } else if (arg == "--state-dir") {
+      const char* s = next();
+      if (s == nullptr) return usage(argv[0]);
+      cfg.state_dir = s;
+    } else if (arg == "--no-journal") {
+      cfg.journal = false;
+    } else if (arg == "--no-cache-persist") {
+      cfg.cache_persist = false;
     } else if (arg == "--debug") {
       cfg.enable_debug = true;
     } else {
@@ -135,13 +154,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "quantad: %s\n", error.c_str());
     return 1;
   }
-  std::printf("quantad: listening%s%s%s (%s)\n",
+  std::printf("quantad: listening%s%s%s (%s%s)\n",
               cfg.socket_path.empty() ? "" : (" on " + cfg.socket_path).c_str(),
               server.tcp_port() >= 0 ? " tcp 127.0.0.1:" : "",
               server.tcp_port() >= 0
                   ? std::to_string(server.tcp_port()).c_str()
                   : "",
-              cfg.isolate ? "isolated workers" : "in-process jobs");
+              cfg.isolate ? "isolated workers" : "in-process jobs",
+              cfg.state_dir.empty() ? "" : ", durable state");
   std::fflush(stdout);
 
   while (g_stop == 0) {
